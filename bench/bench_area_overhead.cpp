@@ -1,0 +1,86 @@
+// Reproduces Table I: BISR overhead with four spare rows (process
+// CDA 0.7u 3M 1P). The paper's table lists, per configuration (number of
+// words, bpw, bpc), the module geometry in um x um and the area overhead
+// of redundancy + BIST + BISR; the headline claims are overhead <= 7%
+// for realistic embedded sizes (64 Kb - 4 Mb) and ~1% of a whole chip.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/bisramgen.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace bisram;
+
+struct Config {
+  std::uint32_t words;
+  int bpw;
+  int bpc;
+};
+
+void print_table1() {
+  std::printf(
+      "\n=== Table I: BISR overhead, 4 spare rows, process cda.7u3m1p "
+      "===\n");
+  const Config configs[] = {
+      {2048, 32, 4},    // 64 Kb
+      {4096, 32, 4},    // 128 Kb
+      {4096, 32, 8},    // 128 Kb, wider mux
+      {8192, 32, 8},    // 256 Kb
+      {4096, 64, 8},    // 256 Kb wide word
+      {8192, 64, 8},    // 512 Kb
+      {16384, 64, 8},   // 1 Mb
+      {4096, 128, 8},   // 512 Kb (Fig. 6 word organization)
+      {16384, 128, 8},  // 2 Mb
+      {32768, 128, 8},  // 4 Mb
+  };
+  TextTable t;
+  t.header({"words", "bpw", "bpc", "kbit", "geometry um x um", "overhead %",
+            "access ns", "tlb ns"});
+  for (const Config& c : configs) {
+    core::RamSpec spec;
+    spec.words = c.words;
+    spec.bpw = c.bpw;
+    spec.bpc = c.bpc;
+    spec.spare_rows = 4;
+    spec.gate_size = 2.0;
+    spec.strap_interval = 32;
+    const core::Datasheet ds = core::generate(spec).sheet;
+    t.row({std::to_string(c.words), std::to_string(c.bpw),
+           std::to_string(c.bpc),
+           strfmt("%llu", static_cast<unsigned long long>(
+                              ds.geo.bits() / 1024)),
+           strfmt("%.0f x %.0f", ds.width_um, ds.height_um),
+           strfmt("%.2f", ds.overhead_pct),
+           strfmt("%.2f", ds.timing.access_s * 1e9),
+           strfmt("%.2f", ds.timing.tlb_penalty_s * 1e9)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "paper check: overhead <= 7%% for realistic sizes (64 Kb - 4 Mb) and "
+      "shrinking with array size.\n");
+}
+
+void BM_GenerateSmallModule(benchmark::State& state) {
+  for (auto _ : state) {
+    core::RamSpec spec;
+    spec.words = 1024;
+    spec.bpw = 16;
+    spec.bpc = 4;
+    benchmark::DoNotOptimize(core::generate(spec).sheet.area_mm2);
+  }
+}
+BENCHMARK(BM_GenerateSmallModule)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces the Section III comparison against prior BISR schemes:
+//   * repair capability: BISRAMGEN repairs up to spare_rows*bpc faulty
+//     word addresses anywhere in the array; Chen-Sunada repairs at most
+//     two per subblock (dead subblocks need spare subblocks); Sawada's
+//     fail-address register repairs one;
+//   * address-path delay: BISRAMGEN compares the incoming address with
+//     every stored address in parallel; Chen-Sunada compares its capture
+//     registers sequentially.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "sim/baselines.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace bisram;
+
+sim::RamGeometry bench_geo() {
+  sim::RamGeometry g;
+  g.words = 4096;
+  g.bpw = 32;
+  g.bpc = 4;
+  g.spare_rows = 4;  // 16 spare words
+  return g;
+}
+
+void print_comparison() {
+  std::printf("\n=== Section III: repair-success rate vs defect count "
+              "(4096 words, 16 spare words) ===\n");
+  TextTable t;
+  t.header({"faulty words", "BISRAMGEN", "Chen-Sunada (16 blk, 2/blk)",
+            "Sawada (1 reg)"});
+  for (int defects : {1, 2, 4, 8, 12, 16, 24, 32}) {
+    const auto r =
+        sim::compare_schemes(bench_geo(), defects, 4000, 99, 16, 0);
+    t.row({std::to_string(defects), strfmt("%.3f", r.bisramgen),
+           strfmt("%.3f", r.chen_sunada), strfmt("%.3f", r.sawada)});
+  }
+  std::printf("%s", t.render().c_str());
+
+  std::printf("\nwith faulty-spare probability 5%% (strict goodness):\n");
+  TextTable t2;
+  t2.header({"faulty words", "BISRAMGEN", "Chen-Sunada", "Sawada"});
+  for (int defects : {4, 8, 16}) {
+    const auto r =
+        sim::compare_schemes(bench_geo(), defects, 4000, 7, 16, 0, 0.05);
+    t2.row({std::to_string(defects), strfmt("%.3f", r.bisramgen),
+            strfmt("%.3f", r.chen_sunada), strfmt("%.3f", r.sawada)});
+  }
+  std::printf("%s", t2.render().c_str());
+
+  std::printf("\naddress-compare delay model (tau = 0.2 ns):\n");
+  TextTable t3;
+  t3.header({"entries", "parallel (BISRAMGEN) ns", "sequential (C-S) ns"});
+  for (int entries : {2, 4, 8, 16, 32, 64}) {
+    t3.row({std::to_string(entries),
+            strfmt("%.2f", sim::parallel_compare_delay_s(entries, 0.2e-9) * 1e9),
+            strfmt("%.2f",
+                   sim::sequential_compare_delay_s(entries, 0.2e-9) * 1e9)});
+  }
+  std::printf("%s", t3.render().c_str());
+  std::printf(
+      "paper check: BISRAMGEN's word-granular repair dominates both "
+      "baselines for clustered fault counts; parallel compare stays "
+      "logarithmic while sequential compare grows linearly.\n");
+}
+
+void BM_CompareSchemes(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::compare_schemes(bench_geo(), 8, 500, 3, 16, 0).bisramgen);
+  }
+}
+BENCHMARK(BM_CompareSchemes)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_comparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

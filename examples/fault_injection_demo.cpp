@@ -1,0 +1,124 @@
+// Fault-injection walkthrough: the BISR corner cases the paper discusses.
+//
+//   1. repairable defects -> two-pass repair succeeds;
+//   2. too many faulty words -> TLB overflow, "Repair Unsuccessful";
+//   3. faulty spare rows -> classic two-pass fails, the paper's 2k-pass
+//      extension "repairs faults within the spares themselves";
+//   4. a faulty column -> the row redundancy is "quickly swamped because
+//      every single word on a faulty column will be found to be faulty"
+//      (Section VI) — detected but not repairable by row/word redundancy.
+
+#include <cstdio>
+
+#include "sim/bist.hpp"
+#include "sim/controller.hpp"
+#include "sim/diagnosis.hpp"
+#include "sim/transparent.hpp"
+
+using namespace bisram;
+using namespace bisram::sim;
+
+namespace {
+
+RamGeometry demo_geo() {
+  RamGeometry g;
+  g.words = 256;
+  g.bpw = 8;
+  g.bpc = 4;
+  g.spare_rows = 4;  // 16 spare words
+  return g;
+}
+
+void report(const char* scenario, const BistResult& r) {
+  std::printf("%-34s pass1=%s spares=%2d passes=%d -> %s\n", scenario,
+              r.pass1_clean ? "clean" : "dirty", r.spares_used, r.passes_run,
+              r.repair_successful ? "repaired" : "REPAIR UNSUCCESSFUL");
+}
+
+}  // namespace
+
+int main() {
+  const RamGeometry g = demo_geo();
+  std::printf("module: %u words x %d bits, %d spare rows (%d spare words)\n\n",
+              g.words, g.bpw, g.bpc == 0 ? 0 : g.spare_rows, g.spare_words());
+
+  {  // 1. A scatter of repairable cell defects.
+    RamModel ram(g);
+    for (std::uint32_t a : {7u, 40u, 41u, 130u, 255u})
+      ram.array().inject(stuck_bit_fault(g, a, static_cast<int>(a) % g.bpw,
+                                         a % 2 == 0));
+    report("scattered cell defects", self_test_and_repair(ram));
+  }
+
+  {  // 2. More faulty words than spares.
+    RamModel ram(g);
+    for (std::uint32_t a = 0; a < 20; ++a)
+      ram.array().inject(stuck_bit_fault(g, a * 12, 0, true));
+    report("20 faulty words, 16 spares", self_test_and_repair(ram));
+  }
+
+  {  // 3. Faulty spare: two-pass vs 2k-pass.
+    auto build = [&] {
+      RamModel ram(g);
+      ram.array().inject(stuck_bit_fault(g, 99, 2, true));
+      Fault spare;
+      spare.kind = FaultKind::StuckAt1;
+      spare.victim = g.spare_cell_of(0, 5);  // the spare BIST will pick
+      ram.array().inject(spare);
+      return ram;
+    };
+    RamModel two_pass = build();
+    report("faulty spare, 2-pass", self_test_and_repair(two_pass));
+    RamModel multi_pass = build();
+    BistConfig cfg;
+    cfg.max_passes = 6;
+    report("faulty spare, 2k-pass", self_test_and_repair(multi_pass, cfg));
+  }
+
+  {  // 4. Column failure: every word on the column fails.
+    RamModel ram(g);
+    const int col = 5;
+    for (int row = 0; row < g.rows(); ++row) {
+      Fault f;
+      f.kind = FaultKind::StuckAt0;
+      f.victim = {row, col};
+      ram.array().inject(f);
+    }
+    report("stuck column (row repair swamped)", self_test_and_repair(ram));
+  }
+
+  {  // 5. The same flows driven by the TRPLA microprogram.
+    RamModel ram(g);
+    ram.array().inject(stuck_bit_fault(g, 123, 1, true));
+    report("microcoded controller, 1 defect", run_microcoded_bist(ram));
+  }
+
+  {  // 6. Diagnostic fault map of a mixed defect pattern.
+    RamModel ram(g);
+    ram.array().inject(stuck_bit_fault(g, 42, 6, true));
+    ram.array().inject(stuck_bit_fault(g, 200, 2, false));
+    const auto map = diagnose(ram);
+    std::printf("\n%s", map.render().c_str());
+  }
+
+  {  // 7. Transparent BIST (Kebichi-Nicolaidis): contents survive.
+    RamModel ram(g);
+    Word pattern(static_cast<std::size_t>(g.bpw));
+    for (int i = 0; i < g.bpw; ++i)
+      pattern[static_cast<std::size_t>(i)] = i % 2 == 0;
+    ram.write_word(77, pattern);
+    const auto r = transparent_ifa9(ram);
+    std::printf("\ntransparent IFA-9 on a clean RAM: fault=%s, contents %s, "
+                "word 77 intact=%s\n",
+                r.fault_detected ? "yes" : "no",
+                r.contents_preserved ? "preserved" : "LOST",
+                ram.read_word(77) == pattern ? "yes" : "no");
+  }
+
+  std::printf(
+      "\npaper behaviours demonstrated: word-granular repair, overflow "
+      "signalling, spare-on-spare repair via 2k passes, column-failure "
+      "detection without repair, fault-map diagnosis, and transparent "
+      "(contents-preserving) self-test.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Field self-repair: the mission-critical scenario the paper opens with
+// ("mission-critical space, oceanic, and avionic applications where
+// external field testing and repair are prohibitively expensive or
+// infeasible").
+//
+// A deployed RAM accumulates hard cell failures over its life. Without
+// BISR the module dies at the first failure. With BISR and periodic
+// in-field self-test, each maintenance window maps new failures to
+// spares — until the spares run out. This example simulates years of
+// operation and compares measured survival against the analytic
+// reliability model of Fig. 5.
+
+#include <cstdio>
+
+#include "models/reliability.hpp"
+#include "sim/bist.hpp"
+#include "util/rng.hpp"
+
+using namespace bisram;
+
+namespace {
+
+sim::RamGeometry geo() {
+  sim::RamGeometry g;
+  g.words = 512;
+  g.bpw = 4;
+  g.bpc = 4;
+  g.spare_rows = 4;  // 16 spare words
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  const double lambda_per_hour = 2e-8;  // accelerated for the demo
+  const double window_hours = 4380;     // self-test every 6 months
+  const int windows = 60;               // 30 years
+  const int fleets = 24;                // devices simulated per policy
+
+  Rng rng(2026);
+  std::printf("fleet of %d devices, lambda=%.0e/cell/h, self-test every "
+              "%.0f h:\n\n", fleets, lambda_per_hour, window_hours);
+  std::printf("%8s %22s %22s\n", "years", "alive w/o BISR", "alive with BISR");
+
+  const auto g = geo();
+  const double cell_fail_per_window =
+      lambda_per_hour * window_hours;
+
+  std::vector<int> dead_plain(static_cast<std::size_t>(windows) + 1, 0);
+  std::vector<int> dead_bisr(static_cast<std::size_t>(windows) + 1, 0);
+
+  for (int dev = 0; dev < fleets; ++dev) {
+    sim::RamModel ram(g);
+    bool plain_alive = true, bisr_alive = true;
+    for (int w = 1; w <= windows; ++w) {
+      // New hard failures this window (binomial over all cells).
+      const std::uint64_t cells =
+          static_cast<std::uint64_t>(g.total_rows()) *
+          static_cast<std::uint64_t>(g.cols());
+      const std::int64_t failures =
+          poisson_sample(rng, static_cast<double>(cells) * cell_fail_per_window);
+      for (std::int64_t f = 0; f < failures; ++f) {
+        sim::Fault fault;
+        fault.kind = rng.chance(0.5) ? sim::FaultKind::StuckAt0
+                                     : sim::FaultKind::StuckAt1;
+        fault.victim = {static_cast<int>(rng.below(static_cast<std::uint64_t>(g.total_rows()))),
+                        static_cast<int>(rng.below(static_cast<std::uint64_t>(g.cols())))};
+        ram.array().inject(fault);
+        if (plain_alive &&
+            fault.victim.row < g.rows()) {  // any regular-array failure
+          plain_alive = false;
+          dead_plain[static_cast<std::size_t>(w)]++;
+        }
+      }
+      if (bisr_alive) {
+        // Maintenance window: re-run the self-test/self-repair from
+        // scratch (clear the map, 2k-pass to survive faulty spares).
+        ram.tlb().clear();
+        sim::BistConfig cfg;
+        cfg.max_passes = 8;
+        const sim::BistResult r = sim::self_test_and_repair(ram, cfg);
+        if (!r.repair_successful) {
+          bisr_alive = false;
+          dead_bisr[static_cast<std::size_t>(w)]++;
+        }
+      }
+    }
+  }
+
+  int cum_plain = 0, cum_bisr = 0;
+  for (int w = 1; w <= windows; ++w) {
+    cum_plain += dead_plain[static_cast<std::size_t>(w)];
+    cum_bisr += dead_bisr[static_cast<std::size_t>(w)];
+    if (w % 10 != 0) continue;
+    const double years = w * window_hours / 8766.0;
+    const double r_model =
+        models::reliability(g, lambda_per_hour, w * window_hours);
+    std::printf("%8.1f %15d/%d %17d/%d   (model R with BISR: %.3f)\n", years,
+                fleets - cum_plain, fleets, fleets - cum_bisr, fleets,
+                r_model);
+  }
+  std::printf(
+      "\nperiodic in-field self-repair keeps the fleet alive long after "
+      "every unrepaired module has failed — the paper's reliability "
+      "argument, measured on the actual BIST/BISR machinery.\n");
+  return 0;
+}

@@ -1,0 +1,670 @@
+#include "cells/leaf_cells.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bisram::cells {
+
+using geom::dbu;
+
+namespace {
+
+Coord L(double lambda) { return dbu(lambda); }
+
+/// Returns the cached cell when the generator already ran for this
+/// library; otherwise creates it.
+std::shared_ptr<Cell> fresh(Library& lib, const std::string& name,
+                            bool& existed) {
+  existed = lib.contains(name);
+  if (existed) return nullptr;
+  return lib.create(name);
+}
+
+}  // namespace
+
+CellPtr sram_cell_6t(Library& lib, const Tech& t) {
+  bool existed = false;
+  auto cell = fresh(lib, "sram6t", existed);
+  if (existed) return lib.get("sram6t");
+
+  const Coord W = L(kCellPitchLambda), H = L(kCellPitchLambda);
+  const Coord p6 = L(6);
+
+  // NMOS stripe: BL | WL | A | gateB | GND | gateA | B | WL | BLB.
+  StripeSpec nspec{4, L(6), p6, {}};
+  const Stripe n = draw_mos_stripe(*cell, t, false, {L(1.5), L(10)}, nspec);
+  // PMOS stripe: A | gateB | VDD | gateA | B.
+  StripeSpec pspec{2, L(6), p6, {}};
+  const Stripe p = draw_mos_stripe(*cell, t, true, {L(13.5), L(36)}, pspec);
+
+  // Word line: poly strip across the full cell, with stubs up to the two
+  // pass-transistor gates (fingers 0 and 3).
+  cell->add_shape(Layer::Poly, Rect::ltrb(0, L(4), W, L(6)));
+  cell->add_shape(Layer::Poly, Rect::ltrb(L(9), L(6), L(11), L(9)));
+  cell->add_shape(Layer::Poly, Rect::ltrb(L(45), L(6), L(47), L(9)));
+
+  // Supply rails and taps.
+  cell->add_shape(Layer::Metal1, Rect::ltrb(0, 0, W, L(3)));      // GND
+  cell->add_shape(Layer::Metal1, Rect::ltrb(0, L(53), W, H));     // VDD
+  draw_wire(*cell, t, Layer::Metal1, {L(28), L(1.5)}, {L(28), L(13)}, L(3));
+  draw_wire(*cell, t, Layer::Metal1, {L(28), L(39)}, {L(28), L(54.5)}, L(3));
+
+  // Storage-node columns: A joins NMOS c1 to PMOS c0; B joins c3 to c2.
+  draw_wire(*cell, t, Layer::Metal1, {L(16), L(13)}, {L(16), L(39)}, L(3));
+  draw_wire(*cell, t, Layer::Metal1, {L(40), L(13)}, {L(40), L(39)}, L(3));
+
+  // Cross-coupled gate columns (the NMOS and PMOS gates line up).
+  draw_wire(*cell, t, Layer::Poly, {L(22), L(18)}, {L(22), L(34)}, L(2));
+  draw_wire(*cell, t, Layer::Poly, {L(34), L(18)}, {L(34), L(34)}, L(2));
+  // Gate contacts and jumpers to the opposite storage node. Contact pads
+  // sit mid-column so their poly landing stays 2 lambda clear of the
+  // gate ends (notch rule).
+  draw_contact(*cell, t, Layer::Poly, {L(34), L(23)});
+  draw_wire(*cell, t, Layer::Metal1, {L(16), L(23)}, {L(34), L(23)}, L(3));
+  draw_contact(*cell, t, Layer::Poly, {L(22), L(29)});
+  draw_wire(*cell, t, Layer::Metal1, {L(22), L(29)}, {L(40), L(29)}, L(3));
+
+  // Bit lines on metal2, dropping onto the pass-transistor diffusions.
+  draw_via1(*cell, t, {L(4), L(13)});
+  draw_via1(*cell, t, {L(52), L(13)});
+  const Rect bl = Rect::ltrb(L(2.5), 0, L(5.5), H);
+  const Rect blb = Rect::ltrb(L(50.5), 0, L(53.5), H);
+  cell->add_shape(Layer::Metal2, bl);
+  cell->add_shape(Layer::Metal2, blb);
+
+  cell->add_port("bl", Layer::Metal2, bl);
+  cell->add_port("blb", Layer::Metal2, blb);
+  cell->add_port("wl", Layer::Poly, Rect::ltrb(0, L(4), W, L(6)));
+  cell->add_port("gnd", Layer::Metal1, Rect::ltrb(0, 0, W, L(3)));
+  cell->add_port("vdd", Layer::Metal1, Rect::ltrb(0, L(53), W, H));
+  (void)n;
+  (void)p;
+  return cell;
+}
+
+CellPtr precharge_cell(Library& lib, const Tech& t, double size) {
+  require(size >= 1.0 && size <= 8.0, "precharge_cell: size out of range");
+  const std::string name = strfmt("precharge_x%g", size);
+  bool existed = false;
+  auto cell = fresh(lib, name, existed);
+  if (existed) return lib.get(name);
+
+  const Coord W = L(kCellPitchLambda);
+  const Coord gw = L(6 * size);
+
+  // Lower stripe: BL | pc | VDD | pc | BLB (two precharge PMOS).
+  StripeSpec pair{2, gw, L(12), {}};
+  const Stripe lower = draw_mos_stripe(*cell, t, true, {L(1.5), L(8)}, pair);
+  const Coord gtop = L(8) + gw + t.gate_poly_ext;
+  // Upper stripe: BL | eq | BLB (the equalizer), spaced so the two
+  // n-wells respect the well spacing rule.
+  const Coord y_eq = L(8) + gw + L(19);
+  StripeSpec eq{1, gw, L(24), {}};
+  const Stripe upper = draw_mos_stripe(*cell, t, true, {L(1.5), y_eq}, eq);
+
+  const Coord y_line = y_eq + gw + L(6);  // pcb poly line
+  const Coord H = y_line + L(6);
+
+  // pcb control line. The equalizer gate stubs straight up into it; the
+  // pair gates cannot (a poly riser would cross the equalizer diffusion
+  // and create parasitic gates), so each climbs through a poly contact,
+  // a metal1 riser over the equalizer, and a contact back onto the line.
+  cell->add_shape(Layer::Poly, Rect::ltrb(0, y_line, W, y_line + L(2)));
+  for (const Rect& g : upper.gates)
+    cell->add_shape(Layer::Poly,
+                    Rect::ltrb(g.lo.x, g.hi.y, g.hi.x, y_line + L(1)));
+  for (const Rect& g : lower.gates) {
+    const Coord x = g.center().x;
+    // Full-pad-width stub so the contact landing does not notch against
+    // the gate end.
+    cell->add_shape(Layer::Poly, Rect::ltrb(x - L(2.5), g.hi.y - L(1),
+                                            x + L(2.5), gtop + L(4)));
+    draw_contact(*cell, t, Layer::Poly, {x, gtop + L(4)});
+    draw_wire(*cell, t, Layer::Metal1, {x, gtop + L(4)}, {x, y_line + L(1)},
+              L(3));
+    draw_contact(*cell, t, Layer::Poly, {x, y_line + L(1)});
+    cell->add_shape(Layer::Poly, Rect::ltrb(x - L(2.5), y_line - L(1.5),
+                                            x + L(2.5), y_line + L(3.5)));
+  }
+
+  // VDD rail at the bottom, tapped to the middle contact of the pair.
+  cell->add_shape(Layer::Metal1, Rect::ltrb(0, 0, W, L(3)));
+  draw_wire(*cell, t, Layer::Metal1, {L(28), L(1.5)},
+            {L(28), L(8) + gw / 2}, L(3));
+
+  // Bit lines: metal2 columns hitting both stripes' outer contacts.
+  for (Coord x : {L(4), L(52)}) {
+    draw_via1(*cell, t, {x, L(8) + gw / 2});
+    draw_via1(*cell, t, {x, y_eq + gw / 2});
+    cell->add_shape(Layer::Metal2, Rect::ltrb(x - L(1.5), 0, x + L(1.5), H));
+  }
+
+  cell->add_port("bl", Layer::Metal2, Rect::ltrb(L(2.5), 0, L(5.5), H));
+  cell->add_port("blb", Layer::Metal2, Rect::ltrb(L(50.5), 0, L(53.5), H));
+  cell->add_port("pcb", Layer::Poly, Rect::ltrb(0, y_line, W, y_line + L(2)));
+  cell->add_port("vdd", Layer::Metal1, Rect::ltrb(0, 0, W, L(3)));
+  return cell;
+}
+
+CellPtr column_mux_cell(Library& lib, const Tech& t, double size) {
+  require(size >= 1.0 && size <= 8.0, "column_mux_cell: size out of range");
+  const std::string name = strfmt("colmux_x%g", size);
+  bool existed = false;
+  auto cell = fresh(lib, name, existed);
+  if (existed) return lib.get(name);
+
+  const Coord W = L(kCellPitchLambda);
+  const Coord gw = L(6 * size);
+  const Coord y0 = L(12);
+
+  // Pass transistor BL -> bus at the left, BLB -> busb at the right.
+  StripeSpec one{1, gw, L(6), {}};
+  const Stripe left = draw_mos_stripe(*cell, t, false, {L(1.5), y0}, one);
+  const Stripe right = draw_mos_stripe(*cell, t, false, {L(37.5), y0}, one);
+
+  const Coord y_sel = y0 + gw + L(6);
+  const Coord H = y_sel + L(6);
+
+  // Select line: poly across the cell with stubs to both gates.
+  cell->add_shape(Layer::Poly, Rect::ltrb(0, y_sel, W, y_sel + L(2)));
+  for (const Stripe* s : {&left, &right})
+    cell->add_shape(Layer::Poly, Rect::ltrb(s->gates[0].lo.x, s->gates[0].hi.y,
+                                            s->gates[0].hi.x, y_sel + L(1)));
+
+  // Data bus rails (metal1): bus at y0..4, busb at y6..9. The bus tap
+  // from x16 must cross the busb rail, so it drops through metal2.
+  cell->add_shape(Layer::Metal1, Rect::ltrb(0, 0, W, L(4)));
+  cell->add_shape(Layer::Metal1, Rect::ltrb(0, L(6), W, L(9)));
+  draw_via1(*cell, t, {L(16), y0 + gw / 2});
+  cell->add_shape(Layer::Metal2, Rect::ltrb(L(14.5), L(1),
+                                            L(17.5), y0 + gw / 2 + L(1.5)));
+  draw_via1(*cell, t, {L(16), L(2)});
+  draw_wire(*cell, t, Layer::Metal1, {L(40), L(7.5)}, {L(40), y0 + gw / 2},
+            L(3));
+
+  // Bit lines (metal2) to the outer contacts.
+  draw_via1(*cell, t, {L(4), y0 + gw / 2});
+  draw_via1(*cell, t, {L(52), y0 + gw / 2});
+  cell->add_shape(Layer::Metal2, Rect::ltrb(L(2.5), 0, L(5.5), H));
+  cell->add_shape(Layer::Metal2, Rect::ltrb(L(50.5), 0, L(53.5), H));
+
+  cell->add_port("bl", Layer::Metal2, Rect::ltrb(L(2.5), 0, L(5.5), H));
+  cell->add_port("blb", Layer::Metal2, Rect::ltrb(L(50.5), 0, L(53.5), H));
+  cell->add_port("bus", Layer::Metal1, Rect::ltrb(0, 0, W, L(4)));
+  cell->add_port("busb", Layer::Metal1, Rect::ltrb(0, L(6), W, L(9)));
+  cell->add_port("sel", Layer::Poly, Rect::ltrb(0, y_sel, W, y_sel + L(2)));
+  return cell;
+}
+
+CellPtr sense_amp_cell(Library& lib, const Tech& t, double size) {
+  require(size >= 1.0 && size <= 8.0, "sense_amp_cell: size out of range");
+  const std::string name = strfmt("senseamp_x%g", size);
+  bool existed = false;
+  auto cell = fresh(lib, name, existed);
+  if (existed) return lib.get(name);
+
+  const Coord W = L(kCellPitchLambda);
+  const Coord gwn = L(6 * size), gwp = L(6 * size);
+
+  // Cross-coupled core, mirroring the 6T construction but with a tail
+  // device for the current-mode bias (Fig. 3): NMOS stripe
+  // out | gate(outb) | tail | gate(out) | outb, tail NMOS to ground
+  // gated by the sense enable, PMOS loads above.
+  StripeSpec n2{2, gwn, L(6), {}};
+  const Stripe n = draw_mos_stripe(*cell, t, false, {L(1.5), L(12)}, n2);
+  StripeSpec tail{1, gwn, L(6), {}};
+  const Stripe tl = draw_mos_stripe(*cell, t, false, {L(33.5), L(12)}, tail);
+  const Coord yp = L(12) + gwn + L(22);
+  StripeSpec p2{2, gwp, L(6), {}};
+  const Stripe p = draw_mos_stripe(*cell, t, true, {L(1.5), yp}, p2);
+  const Coord H = yp + gwp + L(8) + L(6);
+
+  // Rails.
+  cell->add_shape(Layer::Metal1, Rect::ltrb(0, 0, W, L(3)));        // gnd
+  cell->add_shape(Layer::Metal1, Rect::ltrb(0, H - L(3), W, H));    // vdd
+  const Coord ny = L(12) + gwn / 2;
+  const Coord py = yp + gwp / 2;
+  // tail: n mid contact (x16) -> tail stripe left contact (x36) in m1,
+  // jogging under the outb column; tail right contact (x48) -> gnd rail.
+  draw_wire(*cell, t, Layer::Metal1, {L(16), ny}, {L(16), L(7)}, L(3));
+  draw_wire(*cell, t, Layer::Metal1, {L(16), L(7)}, {L(36), L(7)}, L(3));
+  draw_wire(*cell, t, Layer::Metal1, {L(36), L(7)}, {L(36), ny}, L(3));
+  draw_wire(*cell, t, Layer::Metal1, {L(48), ny}, {L(48), L(1.5)}, L(3));
+  // vdd to PMOS middle contact (x16).
+  draw_wire(*cell, t, Layer::Metal1, {L(16), py}, {L(16), H - L(1.5)}, L(3));
+  // out / outb columns joining N and P drains (x4 and x28).
+  draw_wire(*cell, t, Layer::Metal1, {L(4), ny}, {L(4), py}, L(3));
+  draw_wire(*cell, t, Layer::Metal1, {L(28), ny}, {L(28), py}, L(3));
+  // Cross-coupled gate columns (N gate i aligns with P gate i at x10/x22).
+  const Coord gy0 = L(12) + gwn + L(2);
+  const Coord gy1 = yp - L(2);
+  draw_wire(*cell, t, Layer::Poly, {L(10), gy0}, {L(10), gy1}, L(2));
+  draw_wire(*cell, t, Layer::Poly, {L(22), gy0}, {L(22), gy1}, L(2));
+  // Gate-to-output jumpers: gate column x10 (driven by outb) and x22
+  // (driven by out). Contact pads sit 4.5 lambda inside the column so
+  // their poly landing clears the gate ends (notch rule).
+  draw_contact(*cell, t, Layer::Poly, {L(10), gy0 + L(4.5)});
+  draw_wire(*cell, t, Layer::Metal1, {L(10), gy0 + L(4.5)},
+            {L(28), gy0 + L(4.5)}, L(3));
+  draw_contact(*cell, t, Layer::Poly, {L(22), gy1 - L(4.5)});
+  draw_wire(*cell, t, Layer::Metal1, {L(4), gy1 - L(4.5)},
+            {L(22), gy1 - L(4.5)}, L(3));
+  // Sense enable to the tail gate (x40).
+  const Coord y_sab = L(2);
+  cell->add_shape(Layer::Poly,
+                  Rect::ltrb(tl.gates[0].lo.x, y_sab + L(2),
+                             tl.gates[0].hi.x, tl.gates[0].lo.y + L(1)));
+  cell->add_shape(Layer::Poly, Rect::ltrb(L(34), y_sab, W, y_sab + L(2)));
+
+  cell->add_port("in", Layer::Metal1,
+                 Rect::ltrb(L(2.5), ny - L(1.5), L(5.5), ny + L(1.5)));
+  cell->add_port("inb", Layer::Metal1,
+                 Rect::ltrb(L(26.5), ny - L(1.5), L(29.5), ny + L(1.5)));
+  cell->add_port("out", Layer::Metal1,
+                 Rect::ltrb(L(2.5), py - L(1.5), L(5.5), py + L(1.5)));
+  cell->add_port("outb", Layer::Metal1,
+                 Rect::ltrb(L(26.5), py - L(1.5), L(29.5), py + L(1.5)));
+  cell->add_port("sab", Layer::Poly, Rect::ltrb(L(34), y_sab, W, y_sab + L(2)));
+  cell->add_port("gnd", Layer::Metal1, Rect::ltrb(0, 0, W, L(3)));
+  cell->add_port("vdd", Layer::Metal1, Rect::ltrb(0, H - L(3), W, H));
+  (void)n;
+  (void)p;
+  return cell;
+}
+
+CellPtr write_driver_cell(Library& lib, const Tech& t, double size) {
+  require(size >= 1.0 && size <= 8.0, "write_driver_cell: size out of range");
+  const std::string name = strfmt("writedrv_x%g", size);
+  bool existed = false;
+  auto cell = fresh(lib, name, existed);
+  if (existed) return lib.get(name);
+
+  const Coord W = L(kCellPitchLambda);
+  const Coord gwn = L(6 * size), gwp = L(6 * size);
+
+  // NMOS: bus | din | gnd | dinb | busb; PMOS: bus | dinb | vdd | din |
+  // busb (complementary drivers).
+  StripeSpec n2{2, gwn, L(6), {}};
+  const Stripe n = draw_mos_stripe(*cell, t, false, {L(1.5), L(12)}, n2);
+  const Coord yp = L(12) + gwn + L(16);
+  StripeSpec p2{2, gwp, L(6), {}};
+  const Stripe p = draw_mos_stripe(*cell, t, true, {L(1.5), yp}, p2);
+  const Coord H = yp + gwp + L(8) + L(6);
+  const Coord ny = L(12) + gwn / 2, py = yp + gwp / 2;
+
+  cell->add_shape(Layer::Metal1, Rect::ltrb(0, 0, W, L(3)));      // gnd
+  cell->add_shape(Layer::Metal1, Rect::ltrb(0, H - L(3), W, H));  // vdd
+  draw_wire(*cell, t, Layer::Metal1, {L(16), ny}, {L(16), L(1.5)}, L(3));
+  draw_wire(*cell, t, Layer::Metal1, {L(16), py}, {L(16), H - L(1.5)}, L(3));
+  // bus / busb output columns.
+  draw_wire(*cell, t, Layer::Metal1, {L(4), ny}, {L(4), py}, L(3));
+  draw_wire(*cell, t, Layer::Metal1, {L(28), ny}, {L(28), py}, L(3));
+  // din drives NMOS gate0 and PMOS gate1; dinb the other pair.
+  const Coord gy0 = L(12) + gwn + L(2), gy1 = yp - L(2);
+  draw_wire(*cell, t, Layer::Poly, {L(10), gy0}, {L(10), gy1}, L(2));
+  draw_wire(*cell, t, Layer::Poly, {L(22), gy0}, {L(22), gy1}, L(2));
+
+  cell->add_port("bus", Layer::Metal1,
+                 Rect::ltrb(L(2.5), ny - L(1.5), L(5.5), ny + L(1.5)));
+  cell->add_port("busb", Layer::Metal1,
+                 Rect::ltrb(L(26.5), ny - L(1.5), L(29.5), ny + L(1.5)));
+  cell->add_port("din", Layer::Poly,
+                 Rect::ltrb(L(9), gy0, L(11), gy1));
+  cell->add_port("dinb", Layer::Poly,
+                 Rect::ltrb(L(21), gy0, L(23), gy1));
+  cell->add_port("gnd", Layer::Metal1, Rect::ltrb(0, 0, W, L(3)));
+  cell->add_port("vdd", Layer::Metal1, Rect::ltrb(0, H - L(3), W, H));
+  (void)n;
+  (void)p;
+  return cell;
+}
+
+CellPtr row_decoder_cell(Library& lib, const Tech& t, int address_bits,
+                         double driver_size) {
+  require(address_bits >= 1 && address_bits <= 12,
+          "row_decoder_cell: address bits out of range");
+  require(driver_size >= 1.0 && driver_size <= 8.0,
+          "row_decoder_cell: driver size out of range");
+  const std::string name =
+      strfmt("rowdec_a%d_x%g", address_bits, driver_size);
+  bool existed = false;
+  auto cell = fresh(lib, name, existed);
+  if (existed) return lib.get(name);
+
+  const int k = address_bits;
+  const Coord H = L(kCellPitchLambda);
+
+  // NAND pull-down: series chain, contacts only at the ends. The x
+  // offset keeps the pull-up n-well inside the cell outline so the
+  // macro's bounding box starts at its real geometry.
+  StripeSpec chain;
+  chain.fingers = k;
+  chain.gate_w = L(6);
+  chain.pitch = L(6);
+  chain.contact.assign(static_cast<std::size_t>(k + 1), false);
+  chain.contact.front() = chain.contact.back() = true;
+  const Stripe n = draw_mos_stripe(*cell, t, false, {L(5.5), L(10)}, chain);
+
+  // PMOS pull-ups: parallel fingers, alternating out/vdd columns.
+  StripeSpec par{k, L(6), L(6), {}};
+  const Stripe p = draw_mos_stripe(*cell, t, true, {L(5.5), L(36)}, par);
+  // Stretch the well to the cell top so vertically mirrored decoder rows
+  // merge their wells instead of violating well spacing.
+  cell->add_shape(Layer::NWell,
+                  Rect::ltrb(p.well.lo.x, p.well.lo.y, p.well.hi.x, H));
+
+  // Address columns join NMOS gate i with PMOS gate i and run to y=0.
+  for (int i = 0; i < k; ++i) {
+    const Rect& gn = n.gates[static_cast<std::size_t>(i)];
+    const Rect& gp = p.gates[static_cast<std::size_t>(i)];
+    draw_wire(*cell, t, Layer::Poly, {gn.center().x, gn.hi.y - L(1)},
+              {gp.center().x, gp.lo.y + L(1)}, L(2));
+    cell->add_port(strfmt("a%d", i), Layer::Poly,
+                   Rect::ltrb(gn.lo.x, gn.lo.y, gn.hi.x, gp.hi.y));
+  }
+
+  // NAND output: NMOS end contact plus the even PMOS columns; odd PMOS
+  // columns are VDD. Collect with a horizontal metal1 spine above the
+  // PMOS stripe (y = 44..47), clear of the address poly columns' tops.
+  const Coord spine_y = L(47.5);
+  const Coord nand_out_x = n.sd_pads.back().center().x;
+  const Coord p_pad_y = p.sd_pads.front().center().y;
+  draw_wire(*cell, t, Layer::Metal1, {nand_out_x, L(13)},
+            {nand_out_x, L(20)}, L(3));
+  // Jog the riser right of the PMOS stripe, then up to the spine.
+  const Coord clear_x = p.diff.hi.x + L(6);
+  draw_wire(*cell, t, Layer::Metal1, {nand_out_x, L(18.5)},
+            {clear_x, L(18.5)}, L(3));
+  draw_wire(*cell, t, Layer::Metal1, {clear_x, L(18.5)},
+            {clear_x, spine_y}, L(3));
+  Coord spine_left = clear_x;
+  for (std::size_t c = 0; c < p.sd_pads.size(); c += 2) {
+    const Coord x = p.sd_pads[c].center().x;
+    draw_wire(*cell, t, Layer::Metal1, {x, p_pad_y}, {x, spine_y}, L(3));
+    spine_left = std::min(spine_left, x);
+  }
+  draw_wire(*cell, t, Layer::Metal1, {spine_left, spine_y},
+            {clear_x, spine_y}, L(3));
+  // VDD rail on top, fed by the odd PMOS columns.
+  cell->add_shape(Layer::Metal1, Rect::ltrb(0, H - L(3), clear_x + L(40), H));
+  for (std::size_t c = 1; c < p.sd_pads.size(); c += 2) {
+    const Coord x = p.sd_pads[c].center().x;
+    // Route around the spine on metal2, extending to the cell top so the
+    // mirrored neighbour row's riser merges at the seam instead of
+    // violating metal2 spacing.
+    draw_via1(*cell, t, {x, L(39)});
+    cell->add_shape(Layer::Metal2,
+                    Rect::ltrb(x - L(1.5), L(37.5), x + L(1.5), H));
+    draw_via1(*cell, t, {x, H - L(2.5)});
+  }
+  // GND rail at the bottom, fed by the NMOS first contact.
+  cell->add_shape(Layer::Metal1, Rect::ltrb(0, 0, clear_x + L(40), L(3)));
+  const Coord gnd_x = n.sd_pads.front().center().x;
+  draw_wire(*cell, t, Layer::Metal1, {gnd_x, L(1.5)}, {gnd_x, L(13)}, L(3));
+
+  // Word-line driver: inverter sized `driver_size`, far enough right
+  // that its n-well clears the NAND pull-up well (well spacing rule).
+  const Coord xd = clear_x + L(14);
+  StripeSpec dn{1, L(6 * driver_size), L(6), {}};
+  const Stripe drv_n = draw_mos_stripe(*cell, t, false, {xd, L(10)}, dn);
+  StripeSpec dp{1, L(6 * driver_size), L(6), {}};
+  const Stripe drv_p = draw_mos_stripe(*cell, t, true, {xd, L(36)}, dp);
+  cell->add_shape(Layer::NWell, Rect::ltrb(drv_p.well.lo.x, drv_p.well.lo.y,
+                                           drv_p.well.hi.x, H));
+  const Coord ny_d = drv_n.sd_pads.front().center().y;
+  const Coord py_d = drv_p.sd_pads.front().center().y;
+  // Driver input gate column, contacted and fed from the NAND spine.
+  const Coord gx = drv_n.gates[0].center().x;
+  draw_wire(*cell, t, Layer::Poly, {gx, drv_n.gates[0].hi.y - L(1)},
+            {gx, drv_p.gates[0].lo.y + L(1)}, L(2));
+  const Coord in_y = (drv_n.gates[0].hi.y + drv_p.gates[0].lo.y) / 2;
+  draw_contact(*cell, t, Layer::Poly, {gx, in_y});
+  draw_wire(*cell, t, Layer::Metal1, {clear_x, spine_y}, {clear_x, in_y},
+            L(3));
+  draw_wire(*cell, t, Layer::Metal1, {clear_x, in_y}, {gx, in_y}, L(3));
+  // Driver supplies: left diffusion columns to the rails.
+  const Coord dnl = drv_n.sd_pads.front().center().x;
+  draw_wire(*cell, t, Layer::Metal1, {dnl, L(1.5)}, {dnl, ny_d}, L(3));
+  const Coord dpl = drv_p.sd_pads.front().center().x;
+  draw_wire(*cell, t, Layer::Metal1, {dpl, py_d}, {dpl, H - L(1.5)}, L(3));
+  // Driver output -> word line (poly at the array pitch: y 4..6 at the
+  // right edge so the decoder abuts the row of 6T cells).
+  const Coord out_n = drv_n.sd_pads.back().center().x;
+  const Coord out_p = drv_p.sd_pads.back().center().x;
+  draw_wire(*cell, t, Layer::Metal1, {out_n, ny_d}, {out_p, py_d}, L(3));
+  const Coord wx = out_n + L(8);
+  draw_contact(*cell, t, Layer::Poly, {wx, ny_d});
+  draw_wire(*cell, t, Layer::Metal1, {out_n, ny_d}, {wx, ny_d}, L(3));
+  const Coord W = wx + L(10);
+  draw_route_hv(*cell, t, Layer::Poly, {wx, ny_d}, {W - L(1), L(5)}, L(2));
+  cell->add_shape(Layer::Poly, Rect::ltrb(wx + L(4), L(4), W, L(6)));
+
+  cell->add_port("wl", Layer::Poly, Rect::ltrb(W - L(2), L(4), W, L(6)));
+  cell->add_port("gnd", Layer::Metal1,
+                 Rect::ltrb(0, 0, clear_x + L(40), L(3)));
+  cell->add_port("vdd", Layer::Metal1,
+                 Rect::ltrb(0, H - L(3), clear_x + L(40), H));
+  return cell;
+}
+
+namespace {
+
+/// Shared body for the sequential bit slices (DFF, counter, Johnson):
+/// `fingers` transistor pairs with paired gate columns, rails, and the
+/// standard d/q/clk port set.
+CellPtr sequential_slice(Library& lib, const Tech& t, const std::string& name,
+                         int fingers) {
+  bool existed = false;
+  auto cell = fresh(lib, name, existed);
+  if (existed) return lib.get(name);
+
+  StripeSpec ns{fingers, L(6), L(6), {}};
+  const Stripe n = draw_mos_stripe(*cell, t, false, {L(5.5), L(12)}, ns);
+  const Coord yp = L(12) + L(6) + L(16);
+  StripeSpec ps{fingers, L(6), L(6), {}};
+  const Stripe p = draw_mos_stripe(*cell, t, true, {L(5.5), yp}, ps);
+  const Coord W = std::max(n.diff.hi.x, p.diff.hi.x) + L(5.5);
+  const Coord H = yp + L(6) + L(8) + L(6);
+
+  cell->add_shape(Layer::Metal1, Rect::ltrb(0, 0, W, L(3)));
+  cell->add_shape(Layer::Metal1, Rect::ltrb(0, H - L(3), W, H));
+  // Stretch the well across the full slice width so horizontally tiled
+  // slices merge their wells.
+  cell->add_shape(Layer::NWell, Rect::ltrb(0, p.well.lo.y, W, p.well.hi.y));
+
+  // Pair up the gates with poly columns; even columns alternate supply
+  // taps, odd columns are signal nodes joined N-to-P in metal1.
+  const Coord gy0 = L(12) + L(6) + L(2), gy1 = yp - L(2);
+  for (int i = 0; i < fingers; ++i) {
+    const Coord gx = n.gates[static_cast<std::size_t>(i)].center().x;
+    draw_wire(*cell, t, Layer::Poly, {gx, gy0}, {gx, gy1}, L(2));
+  }
+  const Coord ny = L(12) + L(3), py = yp + L(3);
+  for (std::size_t c = 0; c < n.sd_pads.size(); ++c) {
+    const Coord x = n.sd_pads[c].center().x;
+    if (c % 2 == 0) {
+      draw_wire(*cell, t, Layer::Metal1, {x, ny}, {x, L(1.5)}, L(3));
+      draw_wire(*cell, t, Layer::Metal1, {x, py}, {x, H - L(1.5)}, L(3));
+    } else {
+      draw_wire(*cell, t, Layer::Metal1, {x, ny}, {x, py}, L(3));
+    }
+  }
+
+  const Coord gy_port_lo = gy0, gy_port_hi = gy1;
+  const Coord g0 = n.gates.front().center().x;
+  const Coord gl = n.gates.back().center().x;
+  cell->add_port("d", Layer::Poly,
+                 Rect::ltrb(g0 - L(1), gy_port_lo, g0 + L(1), gy_port_hi));
+  cell->add_port("clk", Layer::Poly,
+                 Rect::ltrb(gl - L(1), gy_port_lo, gl + L(1), gy_port_hi));
+  const Coord qx = n.sd_pads[1].center().x;
+  cell->add_port("q", Layer::Metal1,
+                 Rect::ltrb(qx - L(1.5), ny, qx + L(1.5), py));
+  cell->add_port("gnd", Layer::Metal1, Rect::ltrb(0, 0, W, L(3)));
+  cell->add_port("vdd", Layer::Metal1, Rect::ltrb(0, H - L(3), W, H));
+  (void)p;
+  return cell;
+}
+
+}  // namespace
+
+CellPtr dff_cell(Library& lib, const Tech& t) {
+  return sequential_slice(lib, t, "dff", 8);
+}
+
+CellPtr counter_slice_cell(Library& lib, const Tech& t) {
+  // DFF plus toggle XOR and up/down steering: 12 transistor pairs' worth
+  // of fingers.
+  return sequential_slice(lib, t, "addgen_slice", 12);
+}
+
+CellPtr johnson_slice_cell(Library& lib, const Tech& t) {
+  // DFF plus the shift multiplexer.
+  return sequential_slice(lib, t, "datagen_slice", 10);
+}
+
+CellPtr cam_cell(Library& lib, const Tech& t) {
+  bool existed = false;
+  auto cell = fresh(lib, "cam", existed);
+  if (existed) return lib.get("cam");
+
+  const Coord W = L(kCellPitchLambda);
+  const Coord y_sram = L(24);
+  cell->add_instance("bit", sram_cell_6t(lib, t),
+                     geom::Transform::translate(0, y_sram));
+
+  // Compare network below the storage bit: one stripe carrying both XOR
+  // branches, GND | key | n1 | bitb | MATCH | bit | n2 | keyb | GND,
+  // with contacts only at the two ends (ground) and the centre (match).
+  StripeSpec xs;
+  xs.fingers = 4;
+  xs.gate_w = L(6);
+  xs.pitch = L(6);
+  xs.contact = {true, false, true, false, true};
+  const Stripe cmp = draw_mos_stripe(*cell, t, false, {L(1.5), L(8)}, xs);
+
+  // Match line: metal1 rail at the very bottom, tapped by the centre
+  // contact (jogged off the supply columns).
+  cell->add_shape(Layer::Metal1, Rect::ltrb(0, 0, W, L(3)));
+  draw_wire(*cell, t, Layer::Metal1, {L(22), L(1.5)}, {L(22), L(5)}, L(3));
+  draw_wire(*cell, t, Layer::Metal1, {L(22), L(5)}, {L(28), L(5)}, L(3));
+  draw_wire(*cell, t, Layer::Metal1, {L(28), L(5)}, {L(28), L(11)}, L(3));
+  // Ground ends rise to the storage cell's GND rail.
+  draw_wire(*cell, t, Layer::Metal1, {L(4), L(11)}, {L(4), y_sram + L(1.5)},
+            L(3));
+  draw_wire(*cell, t, Layer::Metal1, {L(52), L(11)}, {L(52), y_sram + L(1.5)},
+            L(3));
+  // Key lines: extend the bit lines (metal2) down over the compare
+  // network; they double as the search-key broadcast.
+  cell->add_shape(Layer::Metal2, Rect::ltrb(L(2.5), 0, L(5.5), y_sram));
+  cell->add_shape(Layer::Metal2, Rect::ltrb(L(50.5), 0, L(53.5), y_sram));
+  // Gate stubs: key, bitb, bit, keyb at the four fingers (kept above the
+  // diffusion so they do not form extra gates).
+  for (const Rect& g : cmp.gates)
+    cell->add_shape(Layer::Poly, Rect::ltrb(g.lo.x, g.hi.y - L(1),
+                                            g.hi.x, y_sram - L(4)));
+  cell->add_port("cmp_key", Layer::Poly, cmp.gates[0]);
+  cell->add_port("cmp_keyb", Layer::Poly, cmp.gates[3]);
+
+  const Coord H = y_sram + L(kCellPitchLambda);
+  cell->add_port("key", Layer::Metal2, Rect::ltrb(L(2.5), 0, L(5.5), H));
+  cell->add_port("keyb", Layer::Metal2, Rect::ltrb(L(50.5), 0, L(53.5), H));
+  cell->add_port("match", Layer::Metal1, Rect::ltrb(0, 0, W, L(3)));
+  cell->add_port("wl", Layer::Poly,
+                 Rect::ltrb(0, y_sram + L(4), W, y_sram + L(6)));
+  return cell;
+}
+
+CellPtr pla_cell(Library& lib, const Tech& t, bool programmed) {
+  const std::string name = programmed ? "pla_dot" : "pla_blank";
+  bool existed = false;
+  auto cell = fresh(lib, name, existed);
+  if (existed) return lib.get(name);
+
+  const Coord W = L(24), H = L(24);
+  // Input: vertical poly; term: horizontal metal1; ground return rail on
+  // top (metal1), reached through metal2 where a device exists.
+  // In the programmed cell the input line is split around the device
+  // gate so the gate is not double-counted as two stacked transistors.
+  if (programmed) {
+    cell->add_shape(Layer::Poly, Rect::ltrb(L(11), 0, L(13), L(2)));
+    cell->add_shape(Layer::Poly, Rect::ltrb(L(11), L(10.5), L(13), H));
+  } else {
+    cell->add_shape(Layer::Poly, Rect::ltrb(L(11), 0, L(13), H));
+  }
+  cell->add_shape(Layer::Metal1, Rect::ltrb(0, L(10), W, L(13)));
+  cell->add_shape(Layer::Metal1, Rect::ltrb(0, L(21), W, H));
+
+  if (programmed) {
+    StripeSpec one{1, L(6), L(6), {}};
+    const Stripe s = draw_mos_stripe(*cell, t, false, {L(3.5), L(3)}, one);
+    // Drain to the term line.
+    draw_wire(*cell, t, Layer::Metal1, {s.sd_pads.front().center().x, L(6)},
+              {s.sd_pads.front().center().x, L(11.5)}, L(3));
+    // Source to the ground rail via metal2 (crossing the term line).
+    const Coord sx = s.sd_pads.back().center().x;
+    draw_via1(*cell, t, {sx, L(6)});
+    cell->add_shape(Layer::Metal2,
+                    Rect::ltrb(sx - L(1.5), L(4.5), sx + L(1.5), L(23)));
+    draw_via1(*cell, t, {sx, L(22)});
+  }
+
+  cell->add_port("in", Layer::Poly, Rect::ltrb(L(11), 0, L(13), H));
+  cell->add_port("term", Layer::Metal1, Rect::ltrb(0, L(10), W, L(13)));
+  cell->add_port("gnd", Layer::Metal1, Rect::ltrb(0, L(21), W, H));
+  return cell;
+}
+
+CellPtr pla_pullup_cell(Library& lib, const Tech& t) {
+  bool existed = false;
+  auto cell = fresh(lib, "pla_pullup", existed);
+  if (existed) return lib.get("pla_pullup");
+
+  const Coord W = L(24), H = L(24);
+  cell->add_shape(Layer::Metal1, Rect::ltrb(0, L(10), W, L(13)));  // term
+  cell->add_shape(Layer::Metal1, Rect::ltrb(0, L(21), W, H));      // vdd
+
+  StripeSpec one{1, L(6), L(6), {}};
+  const Stripe s = draw_mos_stripe(*cell, t, true, {L(3.5), L(5)}, one);
+  // Stretch the well over the full cell height so vertically stacked
+  // pull-ups merge their wells (well-spacing rule between PLA rows).
+  cell->add_shape(Layer::NWell, Rect::ltrb(s.well.lo.x, 0, s.well.hi.x, H));
+  draw_wire(*cell, t, Layer::Metal1, {s.sd_pads.front().center().x, L(8)},
+            {s.sd_pads.front().center().x, L(11.5)}, L(3));
+  const Coord sx = s.sd_pads.back().center().x;
+  draw_via1(*cell, t, {sx, L(8)});
+  cell->add_shape(Layer::Metal2,
+                  Rect::ltrb(sx - L(1.5), L(6.5), sx + L(1.5), L(23)));
+  draw_via1(*cell, t, {sx, L(22)});
+  // Pseudo-NMOS load: gate is a bias column the macro ties low.
+  cell->add_port("bias", Layer::Poly,
+                 Rect::ltrb(s.gates[0].lo.x, s.gates[0].lo.y,
+                            s.gates[0].hi.x, s.gates[0].hi.y));
+  cell->add_port("term", Layer::Metal1, Rect::ltrb(0, L(10), W, L(13)));
+  cell->add_port("vdd", Layer::Metal1, Rect::ltrb(0, L(21), W, H));
+  return cell;
+}
+
+CellPtr strap_cell(Library& lib, const Tech& t, double width_lambda) {
+  require(width_lambda >= 8.0 && width_lambda <= 512.0,
+          "strap_cell: width out of range");
+  const std::string name = strfmt("strap_w%g", width_lambda);
+  bool existed = false;
+  auto cell = fresh(lib, name, existed);
+  if (existed) return lib.get(name);
+
+  const Coord W = L(width_lambda), H = L(kCellPitchLambda);
+  // Supply rails matching the 6T cell edges plus a substrate tie row.
+  cell->add_shape(Layer::Metal1, Rect::ltrb(0, 0, W, L(3)));
+  cell->add_shape(Layer::Metal1, Rect::ltrb(0, L(53), W, H));
+  const Coord tx = W / 2;
+  cell->add_shape(Layer::NDiff, Rect::ltrb(tx - L(3), L(8), tx + L(3), L(14)));
+  draw_contact(*cell, t, Layer::NDiff, {tx, L(11)});
+  draw_wire(*cell, t, Layer::Metal1, {tx, L(1.5)}, {tx, L(11)}, L(3));
+
+  cell->add_port("gnd", Layer::Metal1, Rect::ltrb(0, 0, W, L(3)));
+  cell->add_port("vdd", Layer::Metal1, Rect::ltrb(0, L(53), W, H));
+  return cell;
+}
+
+}  // namespace bisram::cells

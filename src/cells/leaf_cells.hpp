@@ -1,0 +1,82 @@
+#pragma once
+// Leaf-cell generators: the bottom of BISRAMGEN's hierarchy. Every cell
+// is generated from the technology's lambda rules (design-rule
+// independence) on a common 6-lambda feature pitch, and every generator
+// is validated DRC-clean in tests for all three registered processes.
+//
+// Pitch contract: the 6T cell is kCellPitch x kCellPitch lambda. Column
+// periphery (precharge, column mux, write driver, sense amp) is exactly
+// one or more cell pitches wide with bitline ports at the same x
+// positions as the 6T cell, so macros assemble by pure abutment — the
+// paper's "no routing is necessary and the signals in adjacent modules
+// are perfectly aligned and connected by abutments".
+//
+// Density note (see DESIGN.md): generous corridors cost roughly 2-4x the
+// area of a hand-packed commercial cell; all Table-I style *ratios*
+// (overhead percentages) are preserved because array and periphery scale
+// together.
+
+#include "cells/primitives.hpp"
+
+namespace bisram::cells {
+
+using geom::CellPtr;
+using geom::Library;
+
+/// Lambda pitch of the 6T cell (both width and height).
+inline constexpr double kCellPitchLambda = 56.0;
+
+/// The six-transistor SRAM bit cell. Ports: bl/blb (metal2, full
+/// height), wl (poly, full width), vdd/gnd (metal1 rails).
+CellPtr sram_cell_6t(Library& lib, const Tech& t);
+
+/// Bit-line precharge and equalization (3 PMOS). `size` scales the gate
+/// widths ("critical components... are made larger than minimal size").
+/// Ports: bl/blb (metal2), pcb (poly, active-low), vdd.
+CellPtr precharge_cell(Library& lib, const Tech& t, double size);
+
+/// Column multiplexer: one pass-transistor pair hanging off the bitline
+/// pair. Ports: bl/blb (metal2), bus/busb (metal1 rails), sel (poly).
+CellPtr column_mux_cell(Library& lib, const Tech& t, double size);
+
+/// Current-mode sense amplifier (Fig. 3 of the paper): cross-coupled
+/// pair with bias and enable. Ports: in/inb, out, sab (enable), vdd/gnd.
+CellPtr sense_amp_cell(Library& lib, const Tech& t, double size);
+
+/// Write driver: complementary drivers forcing the bus pair.
+/// Ports: din, web, bus/busb, vdd/gnd.
+CellPtr write_driver_cell(Library& lib, const Tech& t, double size);
+
+/// Row decoder slice: `address_bits`-input NAND plus the word-line
+/// driver, exactly one row pitch tall. Ports: a0..a{k-1} (poly), wl
+/// (poly at the array-facing edge), vdd/gnd.
+CellPtr row_decoder_cell(Library& lib, const Tech& t, int address_bits,
+                         double driver_size);
+
+/// D flip-flop bit slice used by STREG, ADDGEN and DATAGEN.
+/// Ports: d, q, clk, vdd/gnd.
+CellPtr dff_cell(Library& lib, const Tech& t);
+
+/// ADDGEN bit slice: DFF plus toggle XOR (binary up/down counter bit).
+CellPtr counter_slice_cell(Library& lib, const Tech& t);
+
+/// DATAGEN bit slice: DFF plus shift mux (Johnson counter bit).
+CellPtr johnson_slice_cell(Library& lib, const Tech& t);
+
+/// TLB bit: storage cell plus XOR compare pulling the match line.
+/// Ports: key/keyb (metal2), match (metal1), wl (poly), vdd/gnd.
+CellPtr cam_cell(Library& lib, const Tech& t);
+
+/// PLA grid cells (pseudo-NMOS NOR-NOR): a grid point either carries a
+/// pull-down transistor (programmed) or just the crossing wires.
+/// 16x16 lambda. Ports: in (poly, vertical), term (metal1, horizontal).
+CellPtr pla_cell(Library& lib, const Tech& t, bool programmed);
+
+/// PLA static pull-up (pseudo-NMOS load PMOS), one per term line.
+CellPtr pla_pullup_cell(Library& lib, const Tech& t);
+
+/// Well/substrate strap spacer of the given width in lambda; full cell
+/// pitch tall. Used to realize the user's "strap space" parameter.
+CellPtr strap_cell(Library& lib, const Tech& t, double width_lambda);
+
+}  // namespace bisram::cells

@@ -1,0 +1,38 @@
+#pragma once
+// Subarray banking analysis. Chen & Sunada's scheme (paper Section III)
+// leans on a hierarchical cell-array organization to keep access time
+// down; BISRAMGEN's flat column-multiplexed array instead relies on
+// current-mode sensing and the zero-penalty TLB. This module quantifies
+// the trade: splitting a module into B banks shortens the bit lines
+// (access time falls) but replicates decoders and periphery (area and
+// overhead grow), while BIST/BISR stay shared. The bench_banking
+// harness sweeps B and reports where each organization wins.
+
+#include <vector>
+
+#include "core/bisramgen.hpp"
+
+namespace bisram::core {
+
+struct BankingPoint {
+  int banks = 1;
+  double area_mm2 = 0;
+  double access_ns = 0;
+  double overhead_pct = 0;     ///< BIST+BISR over the banked base area
+  double tlb_penalty_ns = 0;
+  double energy_per_read_pj = 0;
+};
+
+/// Evaluates `base` organized as `banks` equal banks (word-interleaved:
+/// each bank holds words/banks words). BIST (ADDGEN/DATAGEN/STREG/TRPLA)
+/// and the TLB are instantiated once and shared; decoders and column
+/// periphery replicate per bank; a global bank decoder and inter-bank
+/// wiring are added analytically. `banks` must be a power of two
+/// dividing the word count.
+BankingPoint evaluate_banking(const RamSpec& base, int banks);
+
+/// Sweep helper.
+std::vector<BankingPoint> banking_sweep(const RamSpec& base,
+                                        const std::vector<int>& bank_counts);
+
+}  // namespace bisram::core

@@ -1,0 +1,34 @@
+#include "core/spec.hpp"
+
+#include "tech/tech.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace bisram::core {
+
+void RamSpec::validate() const {
+  geometry();  // words/bpw/bpc/spares consistency
+  require(is_pow2(static_cast<std::uint64_t>(bpc)),
+          "RamSpec: bpc must be a power of two");
+  require(spare_rows == 4 || spare_rows == 8 || spare_rows == 16,
+          "RamSpec: spare rows must be 4, 8 or 16 (paper-supported values)");
+  require(gate_size >= 1.0 && gate_size <= 8.0,
+          "RamSpec: gate_size must be in [1, 8]");
+  require(strap_interval >= 0, "RamSpec: negative strap interval");
+  require(strap_interval == 0 ||
+              (strap_width_lambda >= 8.0 && strap_width_lambda <= 512.0),
+          "RamSpec: strap width out of range");
+  require(test != nullptr, "RamSpec: null march test");
+  require(max_passes >= 2, "RamSpec: needs at least two passes");
+  if (custom_tech == nullptr)
+    tech::technology(technology);  // throws for unknown processes
+  else
+    require(custom_tech->metal_layers >= 3,
+            "RamSpec: BISRAMGEN requires a three-metal process");
+}
+
+const tech::Tech& RamSpec::resolved_technology() const {
+  return custom_tech != nullptr ? *custom_tech : tech::technology(technology);
+}
+
+}  // namespace bisram::core

@@ -1,0 +1,49 @@
+#pragma once
+// The user-facing specification of a BISR RAM, matching the parameters
+// the paper's Fig. 1 flow asks for: number of words, bits per word (bpw),
+// bits per column (bpc, the column-mux factor), number of spare rows
+// (4, 8 or 16), the size of critical gates, and the strap space.
+
+#include <string>
+
+#include "march/march.hpp"
+#include "sim/ram_model.hpp"
+#include "tech/tech.hpp"
+
+namespace bisram::core {
+
+struct RamSpec {
+  std::uint32_t words = 4096;   ///< NW
+  int bpw = 32;                 ///< bits per word
+  int bpc = 4;                  ///< bits per column (power of two)
+  int spare_rows = 4;           ///< 4, 8 or 16 (paper-supported values)
+  double gate_size = 2.0;       ///< critical-gate multiplier, 1..8
+  int strap_interval = 32;      ///< cells between straps (0 = none)
+  double strap_width_lambda = 32.0;
+  std::string technology = "cda.7u3m1p";
+  /// When set, overrides `technology` with a user-supplied deck (see
+  /// tech/tech_file.hpp); must outlive the generate() call.
+  const tech::Tech* custom_tech = nullptr;
+  const march::MarchTest* test = &march::ifa9();
+  int max_passes = 2;           ///< 2 = standard flow; 2k for spare repair
+  bool johnson_backgrounds = true;
+  bool run_drc = false;         ///< full DRC on the final layout (slow for
+                                ///< megabit arrays; meant for small specs)
+
+  /// The derived array geometry (validates on the fly).
+  sim::RamGeometry geometry() const {
+    sim::RamGeometry g{words, bpw, bpc, spare_rows};
+    g.validate();
+    return g;
+  }
+
+  /// Validates every field; throws bisram::SpecError with a message
+  /// naming the offending parameter.
+  void validate() const;
+
+  /// The process to build in: custom_tech when set, else the registry
+  /// entry named by `technology`.
+  const tech::Tech& resolved_technology() const;
+};
+
+}  // namespace bisram::core

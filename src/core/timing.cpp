@@ -1,0 +1,167 @@
+#include "core/timing.hpp"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "cells/leaf_cells.hpp"
+#include "spice/sizing.hpp"
+#include "util/math.hpp"
+
+namespace bisram::core {
+
+double stage_delay_s(const tech::Tech& t) {
+  static std::map<std::string, double> cache;
+  static std::mutex mutex;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(t.name);
+  if (it != cache.end()) return it->second;
+
+  // A 2 um NMOS inverter driving four copies of itself (~FO4): gate cap
+  // of the fan-out plus local wire.
+  const double wn = 2.0;
+  const double cg =
+      (t.elec.nmos.cox_f_um2 + t.elec.pmos.cox_f_um2) * wn * t.feature_um;
+  const double load = 4.0 * cg + 5e-15;
+  const spice::SizingResult r = spice::balance_inverter(t, wn, load, 0.05);
+  const double tau = 0.5 * (r.tplh_s + r.tphl_s);
+  cache[t.name] = tau;
+  return tau;
+}
+
+namespace {
+
+/// Capacitance of one word-line segment per cell: the poly strip across
+/// the 56-lambda pitch plus two pass-transistor gates.
+double wordline_cap_per_cell(const tech::Tech& t) {
+  const double lam = t.lambda_um;
+  const auto& poly = t.elec.wire[static_cast<std::size_t>(geom::Layer::Poly)];
+  const double strip_area = (cells::kCellPitchLambda * lam) * (2.0 * lam);
+  const double gate_area = 2.0 * (6.0 * lam) * t.feature_um;
+  return strip_area * poly.cap_area_f_um2 +
+         2.0 * (cells::kCellPitchLambda * lam) * poly.cap_fringe_f_um +
+         gate_area * t.elec.nmos.cox_f_um2;
+}
+
+/// Capacitance of one bit-line segment per cell: metal2 strip plus the
+/// pass-transistor junction.
+double bitline_cap_per_cell(const tech::Tech& t) {
+  const double lam = t.lambda_um;
+  const auto& m2 = t.elec.wire[static_cast<std::size_t>(geom::Layer::Metal2)];
+  const double strip_area = (cells::kCellPitchLambda * lam) * (3.0 * lam);
+  const double junction = (6.0 * lam) * (5.0 * lam) * t.elec.nmos.cj_f_um2;
+  return strip_area * m2.cap_area_f_um2 +
+         2.0 * (cells::kCellPitchLambda * lam) * m2.cap_fringe_f_um + junction;
+}
+
+}  // namespace
+
+TimingReport estimate_timing(const tech::Tech& t, const sim::RamGeometry& geo,
+                             double gate_size) {
+  TimingReport r;
+  r.tau_s = stage_delay_s(t);
+
+  // Decoder: a NAND of log2(rows) inputs realized as a two-level tree,
+  // roughly (2 + log4(rows)) logic stages, plus the word-line driver.
+  const int row_bits = log2_ceil(static_cast<std::uint64_t>(geo.rows()));
+  r.decoder_s = (2.0 + row_bits / 2.0) * r.tau_s;
+
+  // Word line: driver resistance against the distributed line cap
+  // (lumped RC with the 0.7 Elmore factor for a distributed load).
+  const double r_driver =
+      spice::device_on_resistance(t, spice::MosType::Pmos,
+                                  8.0 * gate_size * t.lambda_um) ;
+  const double c_wl = geo.cols() * wordline_cap_per_cell(t);
+  r.wordline_s = 0.7 * r_driver * c_wl;
+
+  // Bit line: cell pull-down discharging the line through the pass
+  // device; current-mode sensing needs only a small swing (~10%), which
+  // is where the technique's speed comes from.
+  const double r_cell =
+      spice::device_on_resistance(t, spice::MosType::Nmos, 6.0 * t.lambda_um) *
+      2.0;  // pull-down in series with the pass device
+  const double c_bl = geo.total_rows() * bitline_cap_per_cell(t);
+  r.bitline_s = 0.1 * r_cell * c_bl;
+
+  // Column mux (one pass stage) + current-mode sense amplifier.
+  r.senseamp_s = 3.0 * r.tau_s;
+
+  r.access_s = r.decoder_s + r.wordline_s + r.bitline_s + r.senseamp_s;
+
+  // Write: the driver forces a full swing through the pass device, but
+  // the sense amp is bypassed ("in write mode, the sense amplifier is
+  // bypassed and the bit-lines are directly accessed").
+  const double r_drv = spice::device_on_resistance(
+      t, spice::MosType::Nmos, 6.0 * gate_size * t.lambda_um);
+  const double c_bl_w = geo.total_rows() * bitline_cap_per_cell(t);
+  r.write_s = r.decoder_s + r.wordline_s + 0.7 * r_drv * c_bl_w;
+
+  // Synchronous interface (paper section VI, masking technique 2): the
+  // TLB compare overlaps the low clock phase, so the address must be
+  // valid one TLB delay before the active edge; hold is one stage delay.
+  r.tlb_penalty_s = tlb_penalty_s(t, geo);
+  r.setup_s = r.tlb_penalty_s;
+  r.hold_s = r.tau_s;
+  r.penalty_ratio = r.tlb_penalty_s / r.access_s;
+  return r;
+}
+
+PowerReport estimate_power(const tech::Tech& t, const sim::RamGeometry& geo,
+                           double access_s) {
+  PowerReport p;
+  p.vdd = t.elec.vdd;
+  const double c_bl = geo.total_rows() * bitline_cap_per_cell(t);
+  const double c_wl = geo.cols() * wordline_cap_per_cell(t);
+
+  // Read: one word line swings rail to rail; every column's bit-line
+  // pair is precharged back through the ~10% current-mode sensing swing;
+  // the selected word's sense amps and output drivers switch fully.
+  const double e_wl = c_wl * p.vdd * p.vdd;
+  const double e_bl_read = geo.cols() * 2.0 * c_bl * p.vdd * (0.1 * p.vdd);
+  const double e_sense = geo.bpw * 50e-15 * p.vdd * p.vdd;
+  p.read_energy_j = e_wl + e_bl_read + e_sense;
+
+  // Write: the selected word's bpw column pairs swing fully; the rest
+  // see only the precharge swing.
+  const double e_bl_write = geo.bpw * 2.0 * c_bl * p.vdd * p.vdd +
+                            (geo.cols() - geo.bpw) * 2.0 * c_bl * p.vdd *
+                                (0.1 * p.vdd);
+  p.write_energy_j = e_wl + e_bl_write;
+
+  // Back-to-back reads at the minimum cycle (= access time).
+  p.active_power_w = p.read_energy_j / access_s;
+  p.active_current_a = p.active_power_w / p.vdd;
+
+  // Standby: subthreshold leakage of the cell array (one off NMOS path
+  // per cell at the era-typical off current).
+  const double ioff_per_cell = 1e-12;  // 1 pA per cell, half-micron era
+  p.standby_power_w =
+      static_cast<double>(geo.total_rows()) * geo.cols() * ioff_per_cell *
+      p.vdd;
+  return p;
+}
+
+double tlb_penalty_s(const tech::Tech& t, const sim::RamGeometry& geo) {
+  const double tau = stage_delay_s(t);
+  const int entries = std::max(1, geo.spare_words());
+  const int key_bits = log2_ceil(std::max<std::uint64_t>(geo.words, 2));
+
+  // Match line: every CAM bit hangs a compare pull-down on it; the worst
+  // case discharges through one XOR stack.
+  const double lam = t.lambda_um;
+  const double c_per_bit =
+      (6.0 * lam) * (5.0 * lam) * t.elec.nmos.cj_f_um2 +
+      (56.0 * lam) * (3.0 * lam) *
+          t.elec.wire[static_cast<std::size_t>(geom::Layer::Metal1)]
+              .cap_area_f_um2;
+  const double r_stack =
+      2.0 * spice::device_on_resistance(t, spice::MosType::Nmos, 6.0 * lam);
+  const double match_s = 0.7 * r_stack * key_bits * c_per_bit;
+
+  // Parallel compare resolves in one CAM delay; the hit then threads a
+  // log-depth priority encoder (newest entry wins) and the address mux.
+  const int levels = log2_ceil(static_cast<std::uint64_t>(entries));
+  return match_s + tau * (2.0 + levels);
+}
+
+}  // namespace bisram::core

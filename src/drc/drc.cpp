@@ -1,0 +1,195 @@
+#include "drc/drc.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "util/strings.hpp"
+
+namespace bisram::drc {
+
+using geom::Coord;
+using geom::Layer;
+using geom::Rect;
+
+namespace {
+
+// Spatial hash over rect lists so spacing checks stay near-linear.
+class Buckets {
+ public:
+  Buckets(const std::vector<Rect>& rects, Coord cell_size)
+      : rects_(rects), size_(std::max<Coord>(cell_size, 1)) {
+    for (std::size_t i = 0; i < rects.size(); ++i) insert(i);
+  }
+
+  template <typename Fn>
+  void neighbors(std::size_t i, Coord margin, Fn&& fn) const {
+    const Rect r = rects_[i].expanded(margin);
+    for (Coord gx = floor_div(r.lo.x); gx <= floor_div(r.hi.x); ++gx) {
+      for (Coord gy = floor_div(r.lo.y); gy <= floor_div(r.hi.y); ++gy) {
+        auto it = grid_.find(key(gx, gy));
+        if (it == grid_.end()) continue;
+        for (std::size_t j : it->second)
+          if (j > i) fn(j);
+      }
+    }
+  }
+
+ private:
+  Coord floor_div(Coord v) const {
+    return v >= 0 ? v / size_ : -((-v + size_ - 1) / size_);
+  }
+  static std::uint64_t key(Coord x, Coord y) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) << 32) |
+           static_cast<std::uint32_t>(y);
+  }
+  void insert(std::size_t i) {
+    const Rect& r = rects_[i];
+    for (Coord gx = floor_div(r.lo.x); gx <= floor_div(r.hi.x); ++gx)
+      for (Coord gy = floor_div(r.lo.y); gy <= floor_div(r.hi.y); ++gy)
+        grid_[key(gx, gy)].push_back(i);
+  }
+
+  const std::vector<Rect>& rects_;
+  Coord size_;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> grid_;
+};
+
+bool enclosed_by_any(const Rect& need, const std::vector<Rect>& candidates) {
+  for (const Rect& c : candidates) {
+    if (c.lo.x <= need.lo.x && c.lo.y <= need.lo.y && c.hi.x >= need.hi.x &&
+        c.hi.y >= need.hi.y)
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Violation> check(const geom::Cell& top, const tech::Tech& tech,
+                             const DrcOptions& options) {
+  std::vector<Violation> out;
+  const auto by_layer = top.flatten_by_layer();
+  auto layer_rects = [&](Layer l) -> const std::vector<Rect>& {
+    return by_layer[static_cast<std::size_t>(l)];
+  };
+  auto full = [&] { return out.size() >= options.max_violations; };
+
+  // --- width and spacing per layer ----------------------------------------
+  for (Layer layer : geom::all_layers()) {
+    const auto& rule = tech.rule(layer);
+    const auto& rects = layer_rects(layer);
+    if (rects.empty()) continue;
+
+    if (rule.min_width > 0) {
+      for (const Rect& r : rects) {
+        if (std::min(r.width(), r.height()) < rule.min_width) {
+          out.push_back({RuleKind::MinWidth, layer, r, {}, ""});
+          if (full()) return out;
+        }
+      }
+    }
+
+    if (rule.min_space > 0) {
+      Buckets buckets(rects, rule.min_space * 8);
+      // Merge touching rects into components first: two rectangles of the
+      // same merged polygon may legitimately sit close (e.g. a contact
+      // pad bridged to a gate by a stub). Note this also skips true
+      // same-polygon notches — an accepted approximation documented in
+      // drc.hpp.
+      std::vector<std::size_t> comp(rects.size());
+      for (std::size_t i = 0; i < comp.size(); ++i) comp[i] = i;
+      std::function<std::size_t(std::size_t)> find =
+          [&](std::size_t x) -> std::size_t {
+        while (comp[x] != x) {
+          comp[x] = comp[comp[x]];
+          x = comp[x];
+        }
+        return x;
+      };
+      for (std::size_t i = 0; i < rects.size(); ++i) {
+        buckets.neighbors(i, 0, [&](std::size_t j) {
+          if (rects[i].intersects(rects[j])) comp[find(i)] = find(j);
+        });
+      }
+      for (std::size_t i = 0; i < rects.size(); ++i) {
+        buckets.neighbors(i, rule.min_space, [&](std::size_t j) {
+          if (full()) return;
+          if (find(i) == find(j)) return;  // same merged polygon
+          const Rect& a = rects[i];
+          const Rect& b = rects[j];
+          const Coord gap = geom::rect_gap(a, b);
+          if (gap < rule.min_space)
+            out.push_back({RuleKind::MinSpace, layer, a, b,
+                           strfmt("gap %.1f < %.1f lambda",
+                                  geom::to_lambda(gap),
+                                  geom::to_lambda(rule.min_space))});
+        });
+        if (full()) return out;
+      }
+    }
+  }
+
+  // --- via enclosures -------------------------------------------------------
+  struct ViaRule {
+    Layer via;
+    std::vector<Layer> lower;  // any of these may provide the landing
+    Layer upper;
+    Coord encl_lower;
+    Coord encl_upper;
+  };
+  const ViaRule via_rules[] = {
+      {Layer::Contact,
+       {Layer::NDiff, Layer::PDiff, Layer::Poly},
+       Layer::Metal1,
+       std::min(tech.contact_encl_diff, tech.contact_encl_poly),
+       tech.contact_encl_m1},
+      {Layer::Via1, {Layer::Metal1}, Layer::Metal2, tech.via1_encl,
+       tech.via1_encl},
+      {Layer::Via2, {Layer::Metal2}, Layer::Metal3, tech.via2_encl,
+       tech.via2_encl},
+  };
+  for (const auto& vr : via_rules) {
+    for (const Rect& via : layer_rects(vr.via)) {
+      if (full()) return out;
+      bool landed = false;
+      for (Layer lower : vr.lower)
+        if (enclosed_by_any(via.expanded(vr.encl_lower), layer_rects(lower)))
+          landed = true;
+      if (!landed)
+        out.push_back({RuleKind::ViaEnclosure, vr.via, via, {},
+                       "missing lower-layer enclosure"});
+      if (!enclosed_by_any(via.expanded(vr.encl_upper), layer_rects(vr.upper)))
+        out.push_back({RuleKind::ViaEnclosure, vr.via, via, {},
+                       "missing upper-layer enclosure"});
+    }
+  }
+
+  // --- wells must enclose p-diffusion ---------------------------------------
+  for (const Rect& pd : layer_rects(Layer::PDiff)) {
+    if (full()) return out;
+    if (!enclosed_by_any(pd.expanded(tech.well_encl_diff),
+                         layer_rects(Layer::NWell)))
+      out.push_back({RuleKind::WellCoverage, Layer::PDiff, pd, {},
+                     "pdiff not enclosed by nwell"});
+  }
+
+  return out;
+}
+
+std::string describe(const Violation& v) {
+  const char* kind = "?";
+  switch (v.kind) {
+    case RuleKind::MinWidth: kind = "min-width"; break;
+    case RuleKind::MinSpace: kind = "min-space"; break;
+    case RuleKind::ViaEnclosure: kind = "via-enclosure"; break;
+    case RuleKind::WellCoverage: kind = "well-coverage"; break;
+  }
+  return strfmt("%s on %s at (%.1f,%.1f)-(%.1f,%.1f) %s", kind,
+                std::string(geom::layer_name(v.layer)).c_str(),
+                geom::to_lambda(v.a.lo.x), geom::to_lambda(v.a.lo.y),
+                geom::to_lambda(v.a.hi.x), geom::to_lambda(v.a.hi.y),
+                v.note.c_str());
+}
+
+}  // namespace bisram::drc

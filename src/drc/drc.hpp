@@ -1,0 +1,43 @@
+#pragma once
+// Design-rule checker over flattened layouts: per-layer minimum width and
+// spacing, via enclosure, and well coverage of diffusion. BISRAMGEN runs
+// this after every cell/macro generation — design-rule independence is
+// only credible if the generated geometry actually satisfies the deck it
+// was generated from.
+
+#include <string>
+#include <vector>
+
+#include "geom/cell.hpp"
+#include "tech/tech.hpp"
+
+namespace bisram::drc {
+
+enum class RuleKind {
+  MinWidth,       ///< rectangle thinner than the layer's minimum width
+  MinSpace,       ///< two disjoint rectangles closer than minimum spacing
+  ViaEnclosure,   ///< via/contact not enclosed by its adjacent layers
+  WellCoverage,   ///< pdiff outside nwell (or insufficient enclosure)
+};
+
+struct Violation {
+  RuleKind kind;
+  geom::Layer layer;
+  geom::Rect a;
+  geom::Rect b;  ///< second rect for spacing violations
+  std::string note;
+};
+
+struct DrcOptions {
+  /// Stop after this many violations (keeps pathological runs bounded).
+  std::size_t max_violations = 1000;
+};
+
+/// Checks the flattened layout of `top` against `tech`'s rules.
+std::vector<Violation> check(const geom::Cell& top, const tech::Tech& tech,
+                             const DrcOptions& options = {});
+
+/// Human-readable one-line description of a violation.
+std::string describe(const Violation& v);
+
+}  // namespace bisram::drc

@@ -1,0 +1,56 @@
+#include "extract/erc.hpp"
+
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace bisram::extract {
+
+std::vector<ErcViolation> check_erc(const Extracted& ex,
+                                    const std::string& supply_a,
+                                    const std::string& supply_b) {
+  std::vector<ErcViolation> out;
+
+  // Power short.
+  auto a = ex.port_net.find(supply_a);
+  auto b = ex.port_net.find(supply_b);
+  if (a != ex.port_net.end() && b != ex.port_net.end() &&
+      a->second == b->second) {
+    out.push_back({ErcKind::PowerShort,
+                   supply_a + " and " + supply_b + " are the same net"});
+  }
+
+  // Nets that can be driven: ports, and any device channel terminal.
+  std::set<int> driven;
+  for (const auto& [_, net] : ex.port_net) driven.insert(net);
+  for (const auto& d : ex.devices) {
+    driven.insert(d.source);
+    driven.insert(d.drain);
+  }
+  std::set<int> reported;
+  for (const auto& d : ex.devices) {
+    if (!driven.count(d.gate) && !reported.count(d.gate)) {
+      reported.insert(d.gate);
+      out.push_back({ErcKind::FloatingGate,
+                     strfmt("net %d gates a %s but is never driven", d.gate,
+                            d.type == spice::MosType::Pmos ? "PMOS" : "NMOS")});
+    }
+    if (d.source == d.drain) {
+      out.push_back({ErcKind::ChannelShort,
+                     strfmt("device channel shorted on net %d", d.source)});
+    }
+  }
+  return out;
+}
+
+std::string describe(const ErcViolation& v) {
+  const char* kind = "?";
+  switch (v.kind) {
+    case ErcKind::FloatingGate: kind = "floating-gate"; break;
+    case ErcKind::PowerShort: kind = "power-short"; break;
+    case ErcKind::ChannelShort: kind = "channel-short"; break;
+  }
+  return std::string(kind) + ": " + v.detail;
+}
+
+}  // namespace bisram::extract

@@ -1,0 +1,33 @@
+#pragma once
+// Electrical rule checks on extracted netlists: the classes of wiring
+// mistakes DRC cannot see because every polygon is individually legal —
+// floating gates, supply shorts, and gate-shorted channels.
+
+#include <string>
+#include <vector>
+
+#include "extract/extract.hpp"
+
+namespace bisram::extract {
+
+enum class ErcKind {
+  FloatingGate,   ///< a gate net that nothing drives (devices' S/D and
+                  ///< ports never touch it)
+  PowerShort,     ///< vdd and gnd resolve to the same net
+  ChannelShort,   ///< a device whose source and drain are the same net
+};
+
+struct ErcViolation {
+  ErcKind kind;
+  std::string detail;
+};
+
+/// Checks `ex`. `supply_a`/`supply_b` name the rails (checked for a
+/// short only when both ports exist).
+std::vector<ErcViolation> check_erc(const Extracted& ex,
+                                    const std::string& supply_a = "vdd",
+                                    const std::string& supply_b = "gnd");
+
+std::string describe(const ErcViolation& v);
+
+}  // namespace bisram::extract

@@ -1,0 +1,233 @@
+#include "extract/extract.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace bisram::extract {
+
+using geom::Layer;
+using geom::Rect;
+
+namespace {
+
+/// Union-find over shape ids.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+struct Piece {
+  Layer layer;
+  Rect rect;
+};
+
+/// True when `poly` fully crosses `diff` (a transistor gate).
+bool crosses(const Rect& poly, const Rect& diff) {
+  const Rect x = poly.intersection(diff);
+  if (x.empty()) return false;
+  const bool vertical = poly.lo.y <= diff.lo.y && poly.hi.y >= diff.hi.y;
+  const bool horizontal = poly.lo.x <= diff.lo.x && poly.hi.x >= diff.hi.x;
+  return vertical || horizontal;
+}
+
+}  // namespace
+
+std::vector<Device> Extracted::gated_by(int net) const {
+  std::vector<Device> out;
+  for (const auto& d : devices)
+    if (d.gate == net) out.push_back(d);
+  return out;
+}
+
+std::vector<Device> Extracted::touching(int net) const {
+  std::vector<Device> out;
+  for (const auto& d : devices)
+    if (d.source == net || d.drain == net) out.push_back(d);
+  return out;
+}
+
+bool Extracted::channel_between(int a, int b) const {
+  for (const auto& d : devices)
+    if ((d.source == a && d.drain == b) || (d.source == b && d.drain == a))
+      return true;
+  return false;
+}
+
+Extracted extract(const geom::Cell& top, const tech::Tech& tech) {
+  const auto by_layer = top.flatten_by_layer();
+  auto rects = [&](Layer l) -> const std::vector<Rect>& {
+    return by_layer[static_cast<std::size_t>(l)];
+  };
+
+  // --- 1. split diffusion at gate crossings; collect device sites -------
+  struct Site {
+    bool pmos;
+    Rect gate_poly;
+    Rect channel;       // poly-diff intersection
+    std::size_t left;   // piece ids filled after pieces are final
+    std::size_t right;
+  };
+  std::vector<Piece> pieces;
+  std::vector<Site> sites;
+
+  const auto& polys = rects(Layer::Poly);
+  for (Layer dl : {Layer::NDiff, Layer::PDiff}) {
+    for (const Rect& diff : rects(dl)) {
+      // Gates crossing this diffusion, sorted along the stripe axis.
+      std::vector<Rect> gates;
+      for (const Rect& poly : polys)
+        if (crosses(poly, diff)) gates.push_back(poly);
+      if (gates.empty()) {
+        pieces.push_back({dl, diff});
+        continue;
+      }
+      const bool split_x = gates[0].lo.y <= diff.lo.y;  // vertical gates
+      std::sort(gates.begin(), gates.end(), [&](const Rect& a, const Rect& b) {
+        return split_x ? a.lo.x < b.lo.x : a.lo.y < b.lo.y;
+      });
+      geom::Coord pos = split_x ? diff.lo.x : diff.lo.y;
+      std::vector<std::size_t> segment_ids;
+      for (const Rect& g : gates) {
+        const Rect seg = split_x
+                             ? Rect::ltrb(pos, diff.lo.y, g.lo.x, diff.hi.y)
+                             : Rect::ltrb(diff.lo.x, pos, diff.hi.x, g.lo.y);
+        segment_ids.push_back(pieces.size());
+        pieces.push_back({dl, seg});
+        pos = split_x ? g.hi.x : g.hi.y;
+      }
+      const Rect last = split_x
+                            ? Rect::ltrb(pos, diff.lo.y, diff.hi.x, diff.hi.y)
+                            : Rect::ltrb(diff.lo.x, pos, diff.hi.x, diff.hi.y);
+      segment_ids.push_back(pieces.size());
+      pieces.push_back({dl, last});
+
+      for (std::size_t g = 0; g < gates.size(); ++g) {
+        Site site;
+        site.pmos = dl == Layer::PDiff;
+        site.gate_poly = gates[g];
+        site.channel = gates[g].intersection(diff);
+        site.left = segment_ids[g];
+        site.right = segment_ids[g + 1];
+        sites.push_back(site);
+      }
+    }
+  }
+
+  // --- 2. other conducting layers as-is ------------------------------------
+  for (Layer l : {Layer::Poly, Layer::Metal1, Layer::Metal2, Layer::Metal3,
+                  Layer::Contact, Layer::Via1, Layer::Via2})
+    for (const Rect& r : rects(l)) pieces.push_back({l, r});
+
+  // --- 3. connectivity ------------------------------------------------------
+  UnionFind uf(pieces.size());
+  auto connects = [&](Layer a, Layer b) {
+    // Same-layer shapes merge on touch; vias merge with their adjacent
+    // layers; poly never merges with diffusion (that is a gate).
+    if (a == b) return a != Layer::Contact && a != Layer::Via1 && a != Layer::Via2;
+    auto pair_is = [&](Layer x, Layer y) {
+      return (a == x && b == y) || (a == y && b == x);
+    };
+    if (pair_is(Layer::Contact, Layer::Metal1)) return true;
+    if (pair_is(Layer::Contact, Layer::Poly)) return true;
+    if (pair_is(Layer::Contact, Layer::NDiff)) return true;
+    if (pair_is(Layer::Contact, Layer::PDiff)) return true;
+    if (pair_is(Layer::Via1, Layer::Metal1)) return true;
+    if (pair_is(Layer::Via1, Layer::Metal2)) return true;
+    if (pair_is(Layer::Via2, Layer::Metal2)) return true;
+    if (pair_is(Layer::Via2, Layer::Metal3)) return true;
+    return false;
+  };
+  // O(n^2) with an early bbox sort would be fine for leaf cells; use a
+  // simple sweep over x-sorted pieces to keep macros tractable.
+  std::vector<std::size_t> order(pieces.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return pieces[a].rect.lo.x < pieces[b].rect.lo.x;
+  });
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Piece& pi = pieces[order[i]];
+    for (std::size_t j = i + 1; j < order.size(); ++j) {
+      const Piece& pj = pieces[order[j]];
+      if (pj.rect.lo.x > pi.rect.hi.x) break;  // sweep window closed
+      if (!pi.rect.intersects(pj.rect)) continue;
+      if (connects(pi.layer, pj.layer)) uf.unite(order[i], order[j]);
+    }
+  }
+
+  // --- 4. net numbering ------------------------------------------------------
+  Extracted out;
+  std::map<std::size_t, int> root_to_net;
+  auto net_of = [&](std::size_t piece) {
+    const std::size_t root = uf.find(piece);
+    auto it = root_to_net.find(root);
+    if (it != root_to_net.end()) return it->second;
+    const int id = out.net_count++;
+    root_to_net[root] = id;
+    return id;
+  };
+
+  // --- 5. devices -------------------------------------------------------------
+  // Find the gate poly's piece id: any poly piece intersecting it.
+  auto poly_piece_net = [&](const Rect& gate) {
+    for (std::size_t i = 0; i < pieces.size(); ++i)
+      if (pieces[i].layer == Layer::Poly && pieces[i].rect.intersects(gate))
+        return net_of(i);
+    throw InternalError("extract: gate poly piece not found");
+  };
+  const double um_per_dbu = tech.lambda_um / 10.0;
+  for (const Site& s : sites) {
+    Device d;
+    d.type = s.pmos ? spice::MosType::Pmos : spice::MosType::Nmos;
+    d.gate = poly_piece_net(s.gate_poly);
+    d.source = net_of(s.left);
+    d.drain = net_of(s.right);
+    const bool split_x = s.gate_poly.lo.y <= s.channel.lo.y;
+    const geom::Coord w = split_x ? s.channel.height() : s.channel.width();
+    const geom::Coord l = split_x ? s.channel.width() : s.channel.height();
+    d.w_um = static_cast<double>(w) * um_per_dbu;
+    d.l_um = static_cast<double>(l) * um_per_dbu;
+    out.devices.push_back(d);
+  }
+
+  // --- 6. ports ---------------------------------------------------------------
+  for (const auto& port : top.ports()) {
+    int net = -1;
+    for (std::size_t i = 0; i < pieces.size() && net < 0; ++i)
+      if (pieces[i].layer == port.layer && pieces[i].rect.intersects(port.rect))
+        net = net_of(i);
+    require(net >= 0, "extract: port '" + port.name +
+                          "' touches no geometry on its layer");
+    out.port_net[port.name] = net;
+  }
+
+  // --- 7. parasitic capacitance -------------------------------------------------
+  out.net_cap_f.assign(static_cast<std::size_t>(out.net_count), 0.0);
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    const Piece& p = pieces[i];
+    if (geom::is_via(p.layer)) continue;
+    const auto& wp = tech.elec.wire[static_cast<std::size_t>(p.layer)];
+    if (wp.cap_area_f_um2 == 0.0 && wp.cap_fringe_f_um == 0.0) continue;
+    const double w = static_cast<double>(p.rect.width()) * um_per_dbu;
+    const double h = static_cast<double>(p.rect.height()) * um_per_dbu;
+    const int net = net_of(i);
+    out.net_cap_f[static_cast<std::size_t>(net)] +=
+        w * h * wp.cap_area_f_um2 + 2.0 * (w + h) * wp.cap_fringe_f_um;
+  }
+  return out;
+}
+
+}  // namespace bisram::extract

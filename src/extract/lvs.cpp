@@ -1,0 +1,179 @@
+#include "extract/lvs.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace bisram::extract {
+
+namespace {
+
+/// Unified device view for both sides: nets as integer ids.
+struct Dev {
+  bool pmos;
+  int gate, a, b;  // a/b = source/drain, order-insensitive
+};
+
+struct Side {
+  int nets = 0;
+  std::vector<Dev> devices;
+  std::map<std::string, int> anchors;  // port name -> net
+};
+
+Side from_extracted(const Extracted& ex) {
+  Side s;
+  s.nets = ex.net_count;
+  for (const auto& d : ex.devices)
+    s.devices.push_back(
+        {d.type == spice::MosType::Pmos, d.gate, d.source, d.drain});
+  for (const auto& [name, net] : ex.port_net) s.anchors[name] = net;
+  return s;
+}
+
+Side from_schematic(const Schematic& sch, const Extracted& layout) {
+  Side s;
+  std::map<std::string, int> ids;
+  auto net = [&](const std::string& name) {
+    auto it = ids.find(name);
+    if (it != ids.end()) return it->second;
+    const int id = s.nets++;
+    ids[name] = id;
+    return id;
+  };
+  for (const auto& d : sch.devices)
+    s.devices.push_back({d.type == spice::MosType::Pmos, net(d.gate),
+                         net(d.source), net(d.drain)});
+  // Anchor exactly the nets whose names are layout ports.
+  for (const auto& [name, _] : layout.port_net) {
+    auto it = ids.find(name);
+    if (it != ids.end()) s.anchors[name] = it->second;
+  }
+  return s;
+}
+
+/// Iteratively refined net signatures; anchored nets start from their
+/// port name, everything else from a neutral tag.
+std::vector<std::string> net_signatures(const Side& side, int rounds) {
+  std::vector<std::string> sig(static_cast<std::size_t>(side.nets), "n");
+  for (const auto& [name, net] : side.anchors)
+    sig[static_cast<std::size_t>(net)] = "port:" + name;
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<std::vector<std::string>> incoming(
+        static_cast<std::size_t>(side.nets));
+    for (const auto& d : side.devices) {
+      const char* t = d.pmos ? "p" : "n";
+      // Channel terminals see (type, gate sig, other-terminal sig).
+      incoming[static_cast<std::size_t>(d.a)].push_back(
+          strfmt("c/%s/", t) + sig[static_cast<std::size_t>(d.gate)] + "/" +
+          sig[static_cast<std::size_t>(d.b)]);
+      incoming[static_cast<std::size_t>(d.b)].push_back(
+          strfmt("c/%s/", t) + sig[static_cast<std::size_t>(d.gate)] + "/" +
+          sig[static_cast<std::size_t>(d.a)]);
+      // The gate sees the sorted channel pair.
+      std::string x = sig[static_cast<std::size_t>(d.a)];
+      std::string y = sig[static_cast<std::size_t>(d.b)];
+      if (y < x) std::swap(x, y);
+      incoming[static_cast<std::size_t>(d.gate)].push_back(
+          strfmt("g/%s/", t) + x + "/" + y);
+    }
+    std::vector<std::string> next(static_cast<std::size_t>(side.nets));
+    for (int n = 0; n < side.nets; ++n) {
+      auto& in = incoming[static_cast<std::size_t>(n)];
+      std::sort(in.begin(), in.end());
+      std::string merged = sig[static_cast<std::size_t>(n)];
+      for (const auto& piece : in) merged += "|" + piece;
+      // Keep signatures bounded: hash long strings.
+      next[static_cast<std::size_t>(n)] =
+          merged.size() > 64
+              ? strfmt("h%zx", std::hash<std::string>{}(merged))
+              : merged;
+    }
+    sig = std::move(next);
+  }
+  return sig;
+}
+
+/// Canonical multiset of device signatures for one side.
+std::vector<std::string> device_signatures(const Side& side, int rounds) {
+  const auto sig = net_signatures(side, rounds);
+  std::vector<std::string> out;
+  for (const auto& d : side.devices) {
+    std::string x = sig[static_cast<std::size_t>(d.a)];
+    std::string y = sig[static_cast<std::size_t>(d.b)];
+    if (y < x) std::swap(x, y);
+    out.push_back(std::string(d.pmos ? "P" : "N") + "(" +
+                  sig[static_cast<std::size_t>(d.gate)] + ";" + x + ";" + y +
+                  ")");
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+LvsResult compare(const Extracted& layout, const Schematic& schematic) {
+  const Side a = from_extracted(layout);
+  const Side b = from_schematic(schematic, layout);
+
+  if (a.devices.size() != b.devices.size())
+    return {false, strfmt("device count: layout %zu vs schematic %zu",
+                          a.devices.size(), b.devices.size())};
+  int a_p = 0, b_p = 0;
+  for (const auto& d : a.devices) a_p += d.pmos;
+  for (const auto& d : b.devices) b_p += d.pmos;
+  if (a_p != b_p)
+    return {false, strfmt("PMOS count: layout %d vs schematic %d", a_p, b_p)};
+  if (a.anchors.size() != b.anchors.size())
+    return {false,
+            strfmt("anchored port count: layout %zu vs schematic %zu "
+                   "(schematic must name every layout port)",
+                   a.anchors.size(), b.anchors.size())};
+
+  const int rounds = 4;
+  const auto sig_a = device_signatures(a, rounds);
+  const auto sig_b = device_signatures(b, rounds);
+  for (std::size_t i = 0; i < sig_a.size(); ++i) {
+    if (sig_a[i] != sig_b[i])
+      return {false, "device signature mismatch: layout has " + sig_a[i] +
+                         ", schematic has " + sig_b[i]};
+  }
+  return {true, ""};
+}
+
+Schematic sram6t_schematic() {
+  Schematic s;
+  s.name = "sram6t";
+  using spice::MosType;
+  // Pass gates.
+  s.devices.push_back({MosType::Nmos, "wl", "bl", "A"});
+  s.devices.push_back({MosType::Nmos, "wl", "blb", "B"});
+  // Cross-coupled inverters: input A drives B, input B drives A.
+  s.devices.push_back({MosType::Nmos, "A", "B", "gnd"});
+  s.devices.push_back({MosType::Pmos, "A", "B", "vdd"});
+  s.devices.push_back({MosType::Nmos, "B", "A", "gnd"});
+  s.devices.push_back({MosType::Pmos, "B", "A", "vdd"});
+  return s;
+}
+
+Schematic precharge_schematic() {
+  Schematic s;
+  s.name = "precharge";
+  using spice::MosType;
+  s.devices.push_back({MosType::Pmos, "pcb", "bl", "vdd"});
+  s.devices.push_back({MosType::Pmos, "pcb", "blb", "vdd"});
+  s.devices.push_back({MosType::Pmos, "pcb", "bl", "blb"});  // equalizer
+  return s;
+}
+
+Schematic column_mux_schematic() {
+  Schematic s;
+  s.name = "colmux";
+  using spice::MosType;
+  s.devices.push_back({MosType::Nmos, "sel", "bl", "bus"});
+  s.devices.push_back({MosType::Nmos, "sel", "blb", "busb"});
+  return s;
+}
+
+}  // namespace bisram::extract

@@ -1,0 +1,45 @@
+#pragma once
+// Layout-versus-schematic (LVS) comparison. Extraction tells us what
+// transistors the layout contains; LVS proves they are wired as the
+// *intended* circuit. The comparator anchors nets by port name and then
+// refines net signatures (a Weisfeiler-Leman style iteration over the
+// device-net bipartite graph) until devices can be matched one-to-one.
+// Golden schematics for the key leaf cells live here too, so the cell
+// generators are verified against their circuit intent on every run.
+
+#include <string>
+#include <vector>
+
+#include "extract/extract.hpp"
+
+namespace bisram::extract {
+
+/// One schematic device; net names are free-form, and names matching the
+/// layout's port names act as anchors.
+struct SchematicDevice {
+  spice::MosType type = spice::MosType::Nmos;
+  std::string gate;
+  std::string source;
+  std::string drain;
+};
+
+struct Schematic {
+  std::string name;
+  std::vector<SchematicDevice> devices;
+};
+
+struct LvsResult {
+  bool match = false;
+  std::string detail;  ///< first mismatch found, for diagnostics
+};
+
+/// Compares the extracted layout against the schematic. Devices are
+/// symmetric in source/drain; ports anchor by name.
+LvsResult compare(const Extracted& layout, const Schematic& schematic);
+
+// Golden schematics for generated leaf cells.
+Schematic sram6t_schematic();
+Schematic precharge_schematic();
+Schematic column_mux_schematic();
+
+}  // namespace bisram::extract

@@ -1,0 +1,25 @@
+#pragma once
+// Bridges extraction to the built-in SPICE engine: an extracted cell
+// becomes a simulatable circuit, closing the loop the paper's Fig. 1
+// draws ("generate leaf cells ahead of time and extract and simulate
+// them"). The flagship use is simulating the generated 6T cell at
+// transistor level — write a bit through the pass gates, remove the
+// drive, and watch the cross-coupled pair hold it.
+
+#include "extract/extract.hpp"
+#include "spice/netlist.hpp"
+
+namespace bisram::extract {
+
+/// Builds a circuit from the extracted netlist: each net becomes a node
+/// (ports keep their names, internal nets are "n<id>"), each device gets
+/// the process's level-1 parameters, and each net's wiring parasitics
+/// become a grounded capacitor. Supplies and stimuli are the caller's
+/// job. The "gnd" port net, if present, is bound to the simulator's
+/// ground node.
+spice::Circuit to_circuit(const Extracted& ex, const tech::Tech& tech);
+
+/// Node name used by to_circuit for `net`.
+std::string node_name(const Extracted& ex, int net);
+
+}  // namespace bisram::extract

@@ -1,0 +1,41 @@
+#pragma once
+// SPICE deck generation: BISRAMGEN's ancestors (RAMGEN onward) shipped
+// "layouts, simulation models, symbols and datasheets"; the simulation
+// model of a generated cell is its extracted transistor netlist as a
+// SPICE subcircuit. The writer emits a .subckt with the cell's ports as
+// terminals, M cards for every recognized device, and C cards for the
+// per-net wiring parasitics; the reader parses the same dialect back so
+// round-trips (and hand-edited decks) can drive the built-in simulator.
+
+#include <iosfwd>
+#include <string>
+
+#include "extract/extract.hpp"
+
+namespace bisram::extract {
+
+/// Writes `ex` as a SPICE subcircuit named `name`. Port nets take their
+/// port names; internal nets are numbered n<id>.
+void write_spice_deck(std::ostream& os, const Extracted& ex,
+                      const std::string& name, const tech::Tech& tech);
+
+std::string to_spice_deck(const Extracted& ex, const std::string& name,
+                          const tech::Tech& tech);
+
+/// Parsed deck statistics (the reader checks structure, not semantics).
+struct DeckStats {
+  std::string name;
+  int terminals = 0;
+  int mosfets = 0;
+  int nmos = 0;
+  int pmos = 0;
+  int capacitors = 0;
+  double total_cap_f = 0;
+  double total_gate_width_um = 0;
+};
+
+/// Parses a deck produced by write_spice_deck (or a compatible hand
+/// deck). Throws bisram::SpecError on malformed cards.
+DeckStats read_spice_deck(std::istream& is);
+
+}  // namespace bisram::extract

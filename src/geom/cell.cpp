@@ -1,0 +1,130 @@
+#include "geom/cell.hpp"
+
+#include "util/error.hpp"
+
+namespace bisram::geom {
+
+void Cell::add_shape(Layer layer, const Rect& rect) {
+  ensure(!rect.empty(), "Cell::add_shape: empty rect in cell " + name_);
+  shapes_.push_back({layer, rect});
+}
+
+void Cell::add_port(std::string name, Layer layer, const Rect& rect) {
+  ensure(!rect.empty(), "Cell::add_port: empty rect for port " + name);
+  ports_.push_back({std::move(name), layer, rect});
+}
+
+void Cell::add_instance(std::string name, CellPtr cell, const Transform& t) {
+  ensure(cell != nullptr, "Cell::add_instance: null cell");
+  instances_.push_back({std::move(name), std::move(cell), t});
+}
+
+const Port& Cell::port(std::string_view name) const {
+  for (const auto& p : ports_)
+    if (p.name == name) return p;
+  throw Error("Cell '" + name_ + "' has no port '" + std::string(name) + "'");
+}
+
+std::optional<Port> Cell::find_port(std::string_view name) const {
+  for (const auto& p : ports_)
+    if (p.name == name) return p;
+  return std::nullopt;
+}
+
+Rect Cell::bbox() const {
+  Rect box{};  // empty
+  for (const auto& s : shapes_) box = box.united(s.rect);
+  for (const auto& inst : instances_)
+    box = box.united(inst.transform.apply(inst.cell->bbox()));
+  return box;
+}
+
+std::size_t Cell::flat_shape_count() const {
+  std::size_t n = shapes_.size();
+  for (const auto& inst : instances_) n += inst.cell->flat_shape_count();
+  return n;
+}
+
+void Cell::flatten_into(
+    const Transform& t,
+    const std::function<void(Layer, const Rect&)>& visit) const {
+  for (const auto& s : shapes_) visit(s.layer, t.apply(s.rect));
+  for (const auto& inst : instances_)
+    inst.cell->flatten_into(t.compose(inst.transform), visit);
+}
+
+void Cell::flatten(const std::function<void(Layer, const Rect&)>& visit) const {
+  flatten_into(Transform{}, visit);
+}
+
+std::vector<std::vector<Rect>> Cell::flatten_by_layer() const {
+  std::vector<std::vector<Rect>> out(kLayerCount);
+  flatten([&](Layer layer, const Rect& r) {
+    out[static_cast<std::size_t>(layer)].push_back(r);
+  });
+  return out;
+}
+
+double Cell::layer_area(Layer layer) const {
+  double area = 0.0;
+  flatten([&](Layer l, const Rect& r) {
+    if (l == layer) area += r.area();
+  });
+  return area;
+}
+
+double Cell::layer_union_area(Layer layer) const {
+  std::vector<Rect> rects;
+  flatten([&](Layer l, const Rect& r) {
+    if (l == layer) rects.push_back(r);
+  });
+  return union_area(rects);
+}
+
+std::size_t Cell::transistor_census() const {
+  const auto by_layer = flatten_by_layer();
+  const auto& poly = by_layer[static_cast<std::size_t>(Layer::Poly)];
+  std::size_t count = 0;
+  for (Layer diff : {Layer::NDiff, Layer::PDiff}) {
+    for (const Rect& d : by_layer[static_cast<std::size_t>(diff)]) {
+      for (const Rect& p : poly) {
+        // A gate exists where poly crosses fully over a diffusion strip.
+        const Rect x = p.intersection(d);
+        if (!x.empty() &&
+            ((p.lo.y <= d.lo.y && p.hi.y >= d.hi.y) ||
+             (p.lo.x <= d.lo.x && p.hi.x >= d.hi.x)))
+          ++count;
+      }
+    }
+  }
+  return count;
+}
+
+std::shared_ptr<Cell> Library::create(const std::string& name) {
+  require(!contains(name), "Library: duplicate cell name '" + name + "'");
+  auto cell = std::make_shared<Cell>(name);
+  cells_[name] = cell;
+  return cell;
+}
+
+void Library::add(std::shared_ptr<Cell> cell) {
+  ensure(cell != nullptr, "Library::add: null cell");
+  require(!contains(cell->name()),
+          "Library: duplicate cell name '" + cell->name() + "'");
+  cells_[cell->name()] = std::move(cell);
+}
+
+CellPtr Library::get(const std::string& name) const {
+  auto it = cells_.find(name);
+  if (it == cells_.end()) throw Error("Library: no cell named '" + name + "'");
+  return it->second;
+}
+
+std::vector<CellPtr> Library::cells() const {
+  std::vector<CellPtr> out;
+  out.reserve(cells_.size());
+  for (const auto& [_, cell] : cells_) out.push_back(cell);
+  return out;
+}
+
+}  // namespace bisram::geom

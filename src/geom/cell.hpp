@@ -1,0 +1,124 @@
+#pragma once
+// Hierarchical layout database: cells contain shapes, labelled ports and
+// transformed instances of other cells. BISRAMGEN builds leaf cells from
+// design rules, then composes them bottom-up by abutment exactly as the
+// paper describes ("no routing is necessary and the signals in adjacent
+// modules are perfectly aligned and connected by abutments").
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/geometry.hpp"
+#include "geom/layer.hpp"
+
+namespace bisram::geom {
+
+/// One rectangle on one layer.
+struct Shape {
+  Layer layer = Layer::Metal1;
+  Rect rect;
+};
+
+/// A named connection point on a cell boundary (or interior).
+struct Port {
+  std::string name;
+  Layer layer = Layer::Metal1;
+  Rect rect;
+};
+
+class Cell;
+using CellPtr = std::shared_ptr<const Cell>;
+
+/// A placed, oriented reference to another cell.
+struct Instance {
+  std::string name;
+  CellPtr cell;
+  Transform transform;
+};
+
+/// A layout cell. Cells are immutable once published into a Library;
+/// builders mutate them through the non-const API before publishing.
+class Cell {
+ public:
+  explicit Cell(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // --- building -----------------------------------------------------------
+  void add_shape(Layer layer, const Rect& rect);
+  void add_port(std::string name, Layer layer, const Rect& rect);
+  void add_instance(std::string name, CellPtr cell, const Transform& t);
+
+  // --- queries ------------------------------------------------------------
+  const std::vector<Shape>& shapes() const { return shapes_; }
+  const std::vector<Port>& ports() const { return ports_; }
+  const std::vector<Instance>& instances() const { return instances_; }
+
+  /// Port by name; throws bisram::Error when absent.
+  const Port& port(std::string_view name) const;
+  /// Port by name; nullopt when absent.
+  std::optional<Port> find_port(std::string_view name) const;
+
+  /// Bounding box over own shapes and all instances (recursive).
+  Rect bbox() const;
+
+  /// Total shape count in the fully flattened cell.
+  std::size_t flat_shape_count() const;
+
+  /// Visits every shape of the flattened hierarchy with its absolute rect.
+  void flatten(const std::function<void(Layer, const Rect&)>& visit) const;
+
+  /// Flattened shapes collected per layer (convenience over flatten()).
+  std::vector<std::vector<Rect>> flatten_by_layer() const;
+
+  /// Sum of flattened shape areas on `layer`, in DBU^2 (overlapping
+  /// rectangles counted multiply — cheap; see layer_union_area).
+  double layer_area(Layer layer) const;
+
+  /// Exact merged area of `layer` in DBU^2 (overlaps counted once).
+  double layer_union_area(Layer layer) const;
+
+  /// Number of transistors implied by poly-over-diffusion crossings in the
+  /// flattened layout (cheap structural census; full recognition lives in
+  /// src/extract).
+  std::size_t transistor_census() const;
+
+ private:
+  void flatten_into(const Transform& t,
+                    const std::function<void(Layer, const Rect&)>& visit) const;
+
+  std::string name_;
+  std::vector<Shape> shapes_;
+  std::vector<Port> ports_;
+  std::vector<Instance> instances_;
+};
+
+/// Owning registry of cells; names are unique.
+class Library {
+ public:
+  /// Creates a new mutable cell; throws if the name already exists.
+  std::shared_ptr<Cell> create(const std::string& name);
+
+  /// Publishes an externally built cell into the library.
+  void add(std::shared_ptr<Cell> cell);
+
+  /// Lookup; throws bisram::Error when absent.
+  CellPtr get(const std::string& name) const;
+
+  bool contains(const std::string& name) const {
+    return cells_.count(name) != 0;
+  }
+  std::size_t size() const { return cells_.size(); }
+
+  /// All cells in name order.
+  std::vector<CellPtr> cells() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<Cell>> cells_;
+};
+
+}  // namespace bisram::geom

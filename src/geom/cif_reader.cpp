@@ -1,0 +1,151 @@
+#include "geom/cif_reader.hpp"
+
+#include <istream>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bisram::geom {
+
+namespace {
+
+Layer layer_by_cif(const std::string& code) {
+  for (Layer l : all_layers())
+    if (layer_cif_code(l) == code) return l;
+  throw SpecError("cif: unknown layer code '" + code + "'");
+}
+
+/// Parses the orientation suffix of a call: tokens between the cell id
+/// and the final "T x y".
+Orient orient_from_tokens(const std::vector<std::string>& tokens,
+                          std::size_t begin, std::size_t end) {
+  std::string key;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!key.empty()) key += ' ';
+    key += tokens[i];
+  }
+  static const std::map<std::string, Orient> kMap = {
+      {"", Orient::R0},
+      {"R 0 1", Orient::R90},
+      {"R -1 0", Orient::R180},
+      {"R 0 -1", Orient::R270},
+      {"M Y", Orient::MX},
+      {"M Y R 0 1", Orient::MXR90},
+      {"M X", Orient::MY},
+      {"M X R 0 1", Orient::MYR90},
+  };
+  auto it = kMap.find(key);
+  require(it != kMap.end(), "cif: unsupported transform '" + key + "'");
+  return it->second;
+}
+
+}  // namespace
+
+CifDesign read_cif(std::istream& is) {
+  // Tokenize into ';'-terminated commands, dropping comments in (...).
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  std::string stripped;
+  int paren = 0;
+  for (char c : text) {
+    if (c == '(') ++paren;
+    else if (c == ')') { require(paren > 0, "cif: unbalanced comment"); --paren; }
+    else if (paren == 0) stripped += c;
+  }
+
+  CifDesign design;
+  std::map<int, std::shared_ptr<Cell>> by_id;
+  std::shared_ptr<Cell> current;
+  int current_id = -1;
+  Layer current_layer = Layer::Metal1;
+  int top_call = -1;
+  int next_anon = 0;
+
+  for (const std::string& raw : split(stripped, ";")) {
+    const std::string cmd = trim(raw);
+    if (cmd.empty()) continue;
+    auto tokens = split(cmd, " \t\n\r");
+    const std::string& head = tokens[0];
+
+    if (head == "DS") {
+      require(tokens.size() >= 4, "cif: bad DS");
+      require(current == nullptr, "cif: nested DS");
+      current_id = std::stoi(tokens[1]);
+      const double a = std::stod(tokens[2]);
+      const double b = std::stod(tokens[3]);
+      // a/b converts DBU (lambda/10) to centimicrons (10 nm), so one
+      // lambda is (a/b)*10 DBU-units of 10 nm = (a/b)*100 nm.
+      design.lambda_nm = a / b * 100.0;
+      current = std::make_shared<Cell>("cif_cell_" +
+                                       std::to_string(next_anon++));
+      by_id[current_id] = current;
+    } else if (head == "DF") {
+      require(current != nullptr, "cif: DF without DS");
+      current.reset();
+    } else if (head == "9") {
+      require(current != nullptr && tokens.size() >= 2, "cif: stray name");
+      // Rebuild the cell under its real name (names arrive after DS).
+      auto named = std::make_shared<Cell>(tokens[1]);
+      by_id[current_id] = named;
+      current = named;
+    } else if (head == "L") {
+      require(current != nullptr && tokens.size() >= 2, "cif: stray L");
+      current_layer = layer_by_cif(tokens[1]);
+    } else if (head == "B") {
+      require(current != nullptr && tokens.size() >= 5, "cif: bad B");
+      const Coord w = std::stoll(tokens[1]);
+      const Coord h = std::stoll(tokens[2]);
+      const Coord cx = std::stoll(tokens[3]);
+      const Coord cy = std::stoll(tokens[4]);
+      require(w >= 2 && h >= 2, "cif: degenerate box");
+      current->add_shape(current_layer,
+                         Rect::ltrb(cx - w / 2, cy - h / 2, cx + w / 2,
+                                    cy + h / 2));
+    } else if (head == "C") {
+      require(tokens.size() >= 2, "cif: bad C");
+      const int id = std::stoi(tokens[1]);
+      auto it = by_id.find(id);
+      require(it != by_id.end(), "cif: call of undefined symbol");
+      if (current == nullptr) {
+        top_call = id;  // the trailing top-level call
+        continue;
+      }
+      // Grammar from the writer: C id [orient tokens] T x y.
+      std::size_t t_pos = tokens.size();
+      for (std::size_t i = 2; i < tokens.size(); ++i)
+        if (tokens[i] == "T") t_pos = i;
+      require(t_pos + 2 < tokens.size() || t_pos == tokens.size(),
+              "cif: bad call transform");
+      Orient orient = Orient::R0;
+      Point offset{0, 0};
+      if (t_pos < tokens.size()) {
+        orient = orient_from_tokens(tokens, 2, t_pos);
+        offset = {std::stoll(tokens[t_pos + 1]),
+                  std::stoll(tokens[t_pos + 2])};
+      } else {
+        orient = orient_from_tokens(tokens, 2, tokens.size());
+      }
+      current->add_instance(
+          "i" + std::to_string(current->instances().size()), it->second,
+          Transform(orient, offset));
+    } else if (head == "E") {
+      break;
+    } else {
+      throw SpecError("cif: unsupported command '" + head + "'");
+    }
+  }
+
+  require(top_call >= 0, "cif: no top-level call before E");
+  for (auto& [id, cell] : by_id) design.library.add(cell);
+  design.top = by_id.at(top_call);
+  return design;
+}
+
+CifDesign read_cif_string(const std::string& text) {
+  std::istringstream ss(text);
+  return read_cif(ss);
+}
+
+}  // namespace bisram::geom

@@ -1,0 +1,25 @@
+#pragma once
+// CIF 2.0 reader: parses the dialect write_cif() emits (DS/9/L/B/C/DF/E
+// commands with box and call placements) back into a Library, so layouts
+// can round-trip through the era's interchange format and externally
+// produced CIF can be imported for DRC or extraction.
+
+#include <iosfwd>
+#include <string>
+
+#include "geom/cell.hpp"
+
+namespace bisram::geom {
+
+struct CifDesign {
+  Library library;
+  CellPtr top;          ///< cell invoked by the trailing top-level call
+  double lambda_nm = 0; ///< recovered from the DS scale (a/b * 10 nm)
+};
+
+/// Parses a CIF stream; throws bisram::SpecError on malformed input.
+CifDesign read_cif(std::istream& is);
+
+CifDesign read_cif_string(const std::string& text);
+
+}  // namespace bisram::geom

@@ -1,0 +1,115 @@
+#include "geom/geometry.hpp"
+
+#include "util/error.hpp"
+
+namespace bisram::geom {
+
+Coord rect_gap(const Rect& a, const Rect& b) {
+  const Coord dx = std::max<Coord>(
+      0, std::max(a.lo.x - b.hi.x, b.lo.x - a.hi.x));
+  const Coord dy = std::max<Coord>(
+      0, std::max(a.lo.y - b.hi.y, b.lo.y - a.hi.y));
+  // Euclidean rules degrade to max-of-axes for Manhattan checking; a
+  // diagonal gap is governed by the larger axis separation.
+  return std::max(dx, dy);
+}
+
+double union_area(const std::vector<Rect>& rects) {
+  // Coordinate-compressed column sweep: for each x-slab between adjacent
+  // distinct x edges, measure the union of the y-intervals of the rects
+  // covering the slab.
+  std::vector<Coord> xs;
+  xs.reserve(rects.size() * 2);
+  for (const Rect& r : rects) {
+    if (r.empty()) continue;
+    xs.push_back(r.lo.x);
+    xs.push_back(r.hi.x);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  if (xs.size() < 2) return 0.0;
+
+  double total = 0.0;
+  std::vector<std::pair<Coord, Coord>> spans;
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    const Coord x0 = xs[i], x1 = xs[i + 1];
+    spans.clear();
+    for (const Rect& r : rects) {
+      if (r.empty() || r.lo.x > x0 || r.hi.x < x1) continue;
+      spans.push_back({r.lo.y, r.hi.y});
+    }
+    if (spans.empty()) continue;
+    std::sort(spans.begin(), spans.end());
+    Coord covered = 0;
+    Coord cur_lo = spans[0].first, cur_hi = spans[0].second;
+    for (std::size_t s = 1; s < spans.size(); ++s) {
+      if (spans[s].first <= cur_hi) {
+        cur_hi = std::max(cur_hi, spans[s].second);
+      } else {
+        covered += cur_hi - cur_lo;
+        cur_lo = spans[s].first;
+        cur_hi = spans[s].second;
+      }
+    }
+    covered += cur_hi - cur_lo;
+    total += static_cast<double>(x1 - x0) * static_cast<double>(covered);
+  }
+  return total;
+}
+
+namespace {
+// Orientation as a 2x2 matrix with entries in {-1, 0, 1}.
+struct Mat {
+  int a, b, c, d;  // [a b; c d]
+};
+
+constexpr Mat kMats[8] = {
+    {1, 0, 0, 1},    // R0
+    {0, -1, 1, 0},   // R90
+    {-1, 0, 0, -1},  // R180
+    {0, 1, -1, 0},   // R270
+    {1, 0, 0, -1},   // MX  (mirror about x-axis: y -> -y)
+    {0, 1, 1, 0},    // MXR90
+    {-1, 0, 0, 1},   // MY  (mirror about y-axis: x -> -x)
+    {0, -1, -1, 0},  // MYR90
+};
+
+const Mat& mat(Orient o) { return kMats[static_cast<int>(o)]; }
+
+Orient orient_from_mat(const Mat& m) {
+  for (int i = 0; i < 8; ++i) {
+    const Mat& k = kMats[i];
+    if (k.a == m.a && k.b == m.b && k.c == m.c && k.d == m.d)
+      return static_cast<Orient>(i);
+  }
+  throw InternalError("orient_from_mat: not an orientation matrix");
+}
+}  // namespace
+
+Point Transform::apply(const Point& p) const {
+  const Mat& m = mat(orient_);
+  return {m.a * p.x + m.b * p.y + offset_.x,
+          m.c * p.x + m.d * p.y + offset_.y};
+}
+
+Rect Transform::apply(const Rect& r) const {
+  const Point p0 = apply(r.lo);
+  const Point p1 = apply(r.hi);
+  return Rect::ltrb(p0.x, p0.y, p1.x, p1.y);
+}
+
+Transform Transform::compose(const Transform& inner) const {
+  const Mat& mo = mat(orient_);
+  const Mat& mi = mat(inner.orient_);
+  const Mat prod{mo.a * mi.a + mo.b * mi.c, mo.a * mi.b + mo.b * mi.d,
+                 mo.c * mi.a + mo.d * mi.c, mo.c * mi.b + mo.d * mi.d};
+  return Transform(orient_from_mat(prod), apply(inner.offset_));
+}
+
+std::string orient_name(Orient o) {
+  static const char* names[8] = {"R0", "R90",   "R180", "R270",
+                                 "MX", "MXR90", "MY",   "MYR90"};
+  return names[static_cast<int>(o)];
+}
+
+}  // namespace bisram::geom

@@ -1,0 +1,43 @@
+#include "geom/layer.hpp"
+
+#include "util/error.hpp"
+
+namespace bisram::geom {
+
+namespace {
+struct LayerInfo {
+  std::string_view name;
+  std::string_view cif;
+  std::string_view color;
+  bool conducting;
+  bool via;
+};
+
+constexpr std::array<LayerInfo, kLayerCount> kInfo{{
+    {"nwell", "CWN", "#d9d2e9", false, false},
+    {"pwell", "CWP", "#fce5cd", false, false},
+    {"ndiff", "CAA", "#76a04e", true, false},
+    {"pdiff", "CAP", "#c8a04e", true, false},
+    {"poly", "CPG", "#d04545", true, false},
+    {"contact", "CCC", "#222222", true, true},
+    {"metal1", "CMF", "#4472c4", true, false},
+    {"via1", "CV1", "#111144", true, true},
+    {"metal2", "CMS", "#9955bb", true, false},
+    {"via2", "CV2", "#441144", true, true},
+    {"metal3", "CMT", "#33a0a0", true, false},
+}};
+
+const LayerInfo& info(Layer layer) {
+  const int i = static_cast<int>(layer);
+  ensure(i >= 0 && i < kLayerCount, "layer out of range");
+  return kInfo[static_cast<std::size_t>(i)];
+}
+}  // namespace
+
+std::string_view layer_name(Layer layer) { return info(layer).name; }
+std::string_view layer_cif_code(Layer layer) { return info(layer).cif; }
+std::string_view layer_color(Layer layer) { return info(layer).color; }
+bool is_conducting(Layer layer) { return info(layer).conducting; }
+bool is_via(Layer layer) { return info(layer).via; }
+
+}  // namespace bisram::geom

@@ -1,0 +1,53 @@
+#pragma once
+// Mask layers for the 3-metal CMOS processes BISRAMGEN targets.
+//
+// The paper requires "a range of 3-metal processes with feature widths
+// 0.5 um and above"; the layer stack below is the common denominator of
+// those processes (one poly, three metals, stacked contacts/vias, wells
+// and select layers).
+
+#include <array>
+#include <string_view>
+
+namespace bisram::geom {
+
+enum class Layer : int {
+  NWell = 0,
+  PWell,
+  NDiff,    // n+ active (NMOS source/drain)
+  PDiff,    // p+ active (PMOS source/drain)
+  Poly,
+  Contact,  // diffusion/poly -> metal1
+  Metal1,
+  Via1,     // metal1 -> metal2
+  Metal2,
+  Via2,     // metal2 -> metal3
+  Metal3,
+  Count,
+};
+
+inline constexpr int kLayerCount = static_cast<int>(Layer::Count);
+
+/// Stable short name used in CIF output and reports (e.g. "CMF" for Metal1).
+std::string_view layer_name(Layer layer);
+
+/// CIF layer code following MOSIS SCMOS conventions.
+std::string_view layer_cif_code(Layer layer);
+
+/// Fill color used by the SVG writer (hex "#rrggbb").
+std::string_view layer_color(Layer layer);
+
+/// All layers in stack order (useful for iteration).
+constexpr std::array<Layer, kLayerCount> all_layers() {
+  std::array<Layer, kLayerCount> out{};
+  for (int i = 0; i < kLayerCount; ++i) out[static_cast<std::size_t>(i)] = static_cast<Layer>(i);
+  return out;
+}
+
+/// True for layers that carry electrical connectivity for extraction.
+bool is_conducting(Layer layer);
+
+/// True for Contact/Via1/Via2.
+bool is_via(Layer layer);
+
+}  // namespace bisram::geom

@@ -1,0 +1,175 @@
+#include "geom/writers.hpp"
+
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace bisram::geom {
+
+namespace {
+
+// Assigns stable integer ids to every cell in the hierarchy (post-order so
+// definitions precede uses, as CIF requires).
+void collect(const Cell& cell, std::vector<const Cell*>& order,
+             std::set<const Cell*>& seen) {
+  if (seen.count(&cell)) return;
+  seen.insert(&cell);
+  for (const auto& inst : cell.instances()) collect(*inst.cell, order, seen);
+  order.push_back(&cell);
+}
+
+// CIF transform for the eight orientations: CIF expresses placement as an
+// optional mirror (MX/MY) followed by a rotation vector and translation.
+const char* cif_orient(Orient o) {
+  switch (o) {
+    case Orient::R0: return "";
+    case Orient::R90: return " R 0 1";
+    case Orient::R180: return " R -1 0";
+    case Orient::R270: return " R 0 -1";
+    case Orient::MX: return " M Y";
+    case Orient::MXR90: return " M Y R 0 1";
+    case Orient::MY: return " M X";
+    case Orient::MYR90: return " M X R 0 1";
+  }
+  return "";
+}
+
+}  // namespace
+
+void write_cif(std::ostream& os, const Cell& top, double lambda_nm) {
+  std::vector<const Cell*> order;
+  std::set<const Cell*> seen;
+  collect(top, order, seen);
+
+  std::map<const Cell*, int> ids;
+  int next_id = 1;
+  for (const Cell* c : order) ids[c] = next_id++;
+
+  // DBU = lambda/10; CIF unit = centimicron = 10 nm.
+  // DS scale a/b maps local integers to centimicrons: value * a / b.
+  // 1 DBU = lambda_nm/10 nm = lambda_nm/100 centimicrons.
+  const int a = static_cast<int>(lambda_nm);
+  const int b = 100;
+
+  os << "(CIF written by BISRAMGEN);\n";
+  for (const Cell* c : order) {
+    os << "DS " << ids[c] << ' ' << a << ' ' << b << ";\n";
+    os << "9 " << c->name() << ";\n";
+    Layer last = Layer::Count;
+    for (const auto& s : c->shapes()) {
+      if (s.layer != last) {
+        os << "L " << layer_cif_code(s.layer) << ";\n";
+        last = s.layer;
+      }
+      const Rect& r = s.rect;
+      os << "B " << r.width() << ' ' << r.height() << ' '
+         << r.center().x << ' ' << r.center().y << ";\n";
+    }
+    for (const auto& inst : c->instances()) {
+      os << "C " << ids[inst.cell.get()] << cif_orient(inst.transform.orient())
+         << " T " << inst.transform.offset().x << ' '
+         << inst.transform.offset().y << ";\n";
+    }
+    os << "DF;\n";
+  }
+  os << "C " << ids[&top] << ";\nE\n";
+}
+
+void write_svg(std::ostream& os, const Cell& top, int max_px) {
+  const Rect box = top.bbox();
+  ensure(!box.empty(), "write_svg: empty layout");
+  const double w = static_cast<double>(box.width());
+  const double h = static_cast<double>(box.height());
+  const double scale = max_px / std::max(w, h);
+  const double pw = w * scale, ph = h * scale;
+
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << pw
+     << "\" height=\"" << ph << "\" viewBox=\"0 0 " << pw << ' ' << ph
+     << "\">\n<rect width=\"100%\" height=\"100%\" fill=\"#ffffff\"/>\n";
+
+  // Draw in stack order so wells sit below metal.
+  auto by_layer = top.flatten_by_layer();
+  for (Layer layer : all_layers()) {
+    const auto& rects = by_layer[static_cast<std::size_t>(layer)];
+    if (rects.empty()) continue;
+    os << "<g fill=\"" << layer_color(layer) << "\" fill-opacity=\"0.55\">\n";
+    for (const Rect& r : rects) {
+      const double x = (static_cast<double>(r.lo.x) - box.lo.x) * scale;
+      // SVG y grows downward; flip.
+      const double y = (static_cast<double>(box.hi.y) - r.hi.y) * scale;
+      os << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\""
+         << r.width() * scale << "\" height=\"" << r.height() * scale
+         << "\"/>\n";
+    }
+    os << "</g>\n";
+  }
+  os << "</svg>\n";
+}
+
+namespace {
+void outline_recurse(std::ostream& os, const Cell& cell, const Transform& t,
+                     int depth, const Rect& box, double scale) {
+  for (const auto& inst : cell.instances()) {
+    const Transform child = t.compose(inst.transform);
+    const Rect r = child.apply(inst.cell->bbox());
+    const double x = (static_cast<double>(r.lo.x) - box.lo.x) * scale;
+    const double y = (static_cast<double>(box.hi.y) - r.hi.y) * scale;
+    const double w = r.width() * scale, h = r.height() * scale;
+    os << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << w
+       << "\" height=\"" << h
+       << "\" fill=\"#eef2f7\" stroke=\"#334\" stroke-width=\"0.6\"/>\n";
+    if (w > 60 && h > 12) {
+      os << "<text x=\"" << x + 3 << "\" y=\"" << y + 11
+         << "\" font-size=\"10\" font-family=\"monospace\">" << inst.name
+         << "</text>\n";
+    }
+    if (depth > 1) outline_recurse(os, *inst.cell, child, depth - 1, box, scale);
+  }
+}
+}  // namespace
+
+void write_svg_outline(std::ostream& os, const Cell& top, int depth,
+                       int max_px) {
+  const Rect box = top.bbox();
+  ensure(!box.empty(), "write_svg_outline: empty layout");
+  const double scale =
+      max_px / std::max<double>(box.width(), box.height());
+  const double pw = box.width() * scale, ph = box.height() * scale;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << pw
+     << "\" height=\"" << ph << "\" viewBox=\"0 0 " << pw << ' ' << ph
+     << "\">\n<rect width=\"100%\" height=\"100%\" fill=\"#ffffff\"/>\n";
+  outline_recurse(os, top, Transform{}, depth, box, scale);
+  // The top cell's own shapes (e.g. over-the-cell metal3 routes).
+  for (const auto& s : top.shapes()) {
+    const Rect r = s.rect;
+    os << "<rect x=\"" << (static_cast<double>(r.lo.x) - box.lo.x) * scale
+       << "\" y=\"" << (static_cast<double>(box.hi.y) - r.hi.y) * scale
+       << "\" width=\"" << r.width() * scale << "\" height=\""
+       << r.height() * scale << "\" fill=\"" << layer_color(s.layer)
+       << "\" fill-opacity=\"0.7\"/>\n";
+  }
+  os << "</svg>\n";
+}
+
+std::string to_svg(const Cell& top, int max_px) {
+  std::ostringstream ss;
+  write_svg(ss, top, max_px);
+  return ss.str();
+}
+
+std::string to_svg_outline(const Cell& top, int depth, int max_px) {
+  std::ostringstream ss;
+  write_svg_outline(ss, top, depth, max_px);
+  return ss.str();
+}
+
+std::string to_cif(const Cell& top, double lambda_nm) {
+  std::ostringstream ss;
+  write_cif(ss, top, lambda_nm);
+  return ss.str();
+}
+
+}  // namespace bisram::geom

@@ -1,0 +1,32 @@
+#pragma once
+// Layout export: CIF 2.0 (the interchange format of the paper's era) and
+// SVG (for the Fig. 6 / Fig. 7 style layout plots).
+
+#include <iosfwd>
+#include <string>
+
+#include "geom/cell.hpp"
+
+namespace bisram::geom {
+
+/// Writes the cell hierarchy rooted at `top` as CIF 2.0.
+/// `lambda_nm` scales DBU (lambda/10) to CIF centimicrons.
+void write_cif(std::ostream& os, const Cell& top, double lambda_nm);
+
+/// Renders the flattened layout as an SVG document.
+/// `max_px` bounds the longer image side in pixels.
+void write_svg(std::ostream& os, const Cell& top, int max_px = 1600);
+
+/// Renders a floorplan view: instance outlines (with names) down to
+/// `depth` levels plus the top cell's own shapes. Multi-megabit arrays
+/// flatten to tens of millions of rectangles, so the Fig. 6/7 style
+/// layout plots use this view instead of full flattening.
+void write_svg_outline(std::ostream& os, const Cell& top, int depth = 2,
+                       int max_px = 1600);
+
+/// Convenience: render to a string (used by tests).
+std::string to_svg(const Cell& top, int max_px = 1600);
+std::string to_cif(const Cell& top, double lambda_nm);
+std::string to_svg_outline(const Cell& top, int depth = 2, int max_px = 1600);
+
+}  // namespace bisram::geom

@@ -1,0 +1,66 @@
+#pragma once
+// Macrocell assembly: the structured-custom stage of BISRAMGEN. Each
+// macro is tiled from leaf cells by pure abutment ("the signals in
+// adjacent modules are perfectly aligned and connected by abutments") —
+// RAMARRAY, the row-decoder column, the column periphery, DATAGEN,
+// ADDGEN, STREG, the TLB and the TRPLA.
+//
+// Arrays are built with two-level hierarchy (a row cell instantiated per
+// row) so multi-megabit macros stay cheap to traverse.
+
+#include "cells/leaf_cells.hpp"
+#include "microcode/pla.hpp"
+#include "sim/ram_model.hpp"
+
+namespace bisram::macro {
+
+using cells::Library;
+using cells::Tech;
+using geom::CellPtr;
+
+/// Generation knobs shared by the macros (the user parameters of Fig. 1).
+struct MacroOptions {
+  double gate_size = 2.0;      ///< critical-gate multiplier ("buffer size")
+  int strap_interval = 32;     ///< cells between straps; 0 disables straps
+  double strap_width_lambda = 32.0;
+};
+
+/// The storage array: (rows + spare_rows) x cols 6T cells, rows mirrored
+/// in pairs to share supply rails, with strap columns every
+/// `strap_interval` cells.
+CellPtr ram_array(Library& lib, const Tech& t, const sim::RamGeometry& geo,
+                  const MacroOptions& opt);
+
+/// Row decoders + word-line drivers, one per row (regular rows only;
+/// spare rows are driven from the TLB side).
+CellPtr row_decoder_column(Library& lib, const Tech& t, int rows,
+                           const MacroOptions& opt);
+
+/// Column periphery under the array: a precharge row, a column-mux row,
+/// and one sense amplifier + write driver per I/O group (bpc columns).
+CellPtr column_periphery(Library& lib, const Tech& t,
+                         const sim::RamGeometry& geo, const MacroOptions& opt);
+
+/// Test address generator: binary up/down counter, one slice per bit.
+CellPtr addgen_macro(Library& lib, const Tech& t, int bits);
+
+/// Test data-background generator: Johnson counter, one slice per word bit.
+CellPtr datagen_macro(Library& lib, const Tech& t, int bpw);
+
+/// BIST state register (six flip-flops in the paper's controller).
+CellPtr streg_macro(Library& lib, const Tech& t, int bits);
+
+/// The BISR TLB: a CAM array of `entries` rows by `key_bits` columns
+/// plus a valid flip-flop per entry.
+CellPtr tlb_macro(Library& lib, const Tech& t, int entries, int key_bits);
+
+/// The TRPLA: pseudo-NMOS NOR-NOR PLA carrying the control program.
+/// Grid: one row per product term; columns for each input (true and
+/// complement), each output, plus a pull-up column per plane.
+CellPtr trpla_macro(Library& lib, const Tech& t,
+                    const microcode::PlaPersonality& pla);
+
+/// Area of a macro in square millimetres.
+double macro_area_mm2(const Tech& t, const geom::Cell& cell);
+
+}  // namespace bisram::macro

@@ -1,0 +1,206 @@
+#include "march/analysis.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bisram::march {
+
+namespace {
+
+// Fault semantics on a 2-cell memory. Cell indices 0 and 1; the fault
+// structs mirror src/sim/faults.hpp at miniature scale.
+struct MiniFault {
+  enum class Kind { None, Sa, Tf, CfSt, CfId, CfIn, Sof } kind = Kind::None;
+  int victim = 0;
+  int aggressor = 1;
+  bool v0 = false;  // SA value / TF direction(rising) / CFst trigger state
+  bool v1 = false;  // CFst forced value / CFid forced value
+  bool rising = false;  // CFid/CFin trigger direction
+};
+
+class MiniMemory {
+ public:
+  MiniMemory(const MiniFault& fault, int cells)
+      : fault_(fault), cells_(static_cast<std::size_t>(cells), false) {}
+
+  void write(int cell, bool value) {
+    const bool old_v = cells_[static_cast<std::size_t>(cell)];
+    bool effective = value;
+    bool stored = true;
+    if (cell == fault_.victim) {
+      switch (fault_.kind) {
+        case MiniFault::Kind::Sa: effective = fault_.v0; break;
+        case MiniFault::Kind::Tf:
+          // v0=true: cannot rise; v0=false: cannot fall.
+          if (fault_.v0 && !old_v && value) effective = old_v;
+          if (!fault_.v0 && old_v && !value) effective = old_v;
+          break;
+        case MiniFault::Kind::Sof: stored = false; break;
+        default: break;
+      }
+    }
+    if (stored) cells_[static_cast<std::size_t>(cell)] = effective;
+    // Aggressor-triggered effects.
+    if (cell == fault_.aggressor) {
+      const bool new_v = cells_[static_cast<std::size_t>(cell)];
+      const std::size_t vi = static_cast<std::size_t>(fault_.victim);
+      switch (fault_.kind) {
+        case MiniFault::Kind::CfId:
+          if (old_v != new_v && new_v == fault_.rising) cells_[vi] = fault_.v1;
+          break;
+        case MiniFault::Kind::CfIn:
+          if (old_v != new_v && new_v == fault_.rising) cells_[vi] = !cells_[vi];
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  bool read(int cell) {
+    bool value = cells_[static_cast<std::size_t>(cell)];
+    if (cell == fault_.victim) {
+      switch (fault_.kind) {
+        case MiniFault::Kind::Sa: value = fault_.v0; break;
+        case MiniFault::Kind::CfSt:
+          if (cells_[static_cast<std::size_t>(fault_.aggressor)] == fault_.v0) {
+            cells_[static_cast<std::size_t>(cell)] = fault_.v1;
+            value = fault_.v1;
+          }
+          break;
+        case MiniFault::Kind::Sof:
+          // Both mini-cells share a bit line: the sense amp re-latches
+          // the last value read from either.
+          value = last_line_;
+          break;
+        default:
+          break;
+      }
+    }
+    last_line_ = value;
+    return value;
+  }
+
+ private:
+  MiniFault fault_;
+  std::vector<bool> cells_;
+  bool last_line_ = false;
+};
+
+/// Runs `test` on an n-cell memory with the fault; true when some read
+/// mismatches its expectation. Two cells decide the coupling classes;
+/// stuck-open needs three (the stale bit line is only refreshed by
+/// same-column neighbours, so interior cells behave differently).
+bool detects(const MarchTest& test, const MiniFault& fault, int cells) {
+  MiniMemory mem(fault, cells);
+  for (const auto& element : test.elements()) {
+    if (element.is_delay) continue;  // retention handled separately
+    const bool up = element.order != Order::Down;
+    for (int step = 0; step < cells; ++step) {
+      const int cell = up ? step : cells - 1 - step;
+      for (Op op : element.ops) {
+        const bool v = op_value(op);
+        if (is_read(op)) {
+          if (mem.read(cell) != v) return true;
+        } else {
+          mem.write(cell, v);
+        }
+      }
+    }
+  }
+  return false;
+}
+
+bool all_detected(const MarchTest& test, const std::vector<MiniFault>& faults,
+                  int cells = 2) {
+  for (const auto& f : faults)
+    if (!detects(test, f, cells)) return false;
+  return true;
+}
+
+}  // namespace
+
+MarchAnalysis analyze(const MarchTest& test) {
+  MarchAnalysis a;
+
+  std::vector<MiniFault> saf, tf, cfst, cfid, cfin, sof;
+  for (int cell : {0, 1}) {
+    for (bool v : {false, true}) {
+      MiniFault f;
+      f.kind = MiniFault::Kind::Sa;
+      f.victim = cell;
+      f.v0 = v;
+      saf.push_back(f);
+      f.kind = MiniFault::Kind::Tf;
+      tf.push_back(f);
+    }
+  }
+  for (int cell : {0, 1, 2}) {
+    MiniFault s;
+    s.kind = MiniFault::Kind::Sof;
+    s.victim = cell;
+    s.aggressor = cell == 0 ? 1 : 0;
+    sof.push_back(s);
+  }
+  for (int victim : {0, 1}) {
+    const int aggressor = 1 - victim;
+    for (bool trigger : {false, true}) {
+      for (bool forced : {false, true}) {
+        MiniFault f;
+        f.kind = MiniFault::Kind::CfSt;
+        f.victim = victim;
+        f.aggressor = aggressor;
+        f.v0 = trigger;
+        f.v1 = forced;
+        cfst.push_back(f);
+
+        MiniFault g;
+        g.kind = MiniFault::Kind::CfId;
+        g.victim = victim;
+        g.aggressor = aggressor;
+        g.rising = trigger;
+        g.v1 = forced;
+        cfid.push_back(g);
+      }
+      MiniFault h;
+      h.kind = MiniFault::Kind::CfIn;
+      h.victim = victim;
+      h.aggressor = aggressor;
+      h.rising = trigger;
+      cfin.push_back(h);
+    }
+  }
+
+  a.detects_saf = all_detected(test, saf);
+  a.detects_tf = all_detected(test, tf);
+  a.detects_cfst = all_detected(test, cfst);
+  a.detects_cfid = all_detected(test, cfid);
+  a.detects_cfin = all_detected(test, cfin);
+  a.detects_sof = all_detected(test, sof, 3);
+
+  // Retention: a delay element with at least one read somewhere after it.
+  bool seen_delay = false;
+  for (const auto& e : test.elements()) {
+    if (e.is_delay) {
+      seen_delay = true;
+      continue;
+    }
+    if (!seen_delay) continue;
+    for (Op op : e.ops)
+      if (is_read(op)) a.exercises_retention = true;
+  }
+  return a;
+}
+
+std::string MarchAnalysis::summary() const {
+  auto tag = [](bool on, const char* name) {
+    return std::string(on ? "" : "-") + name;
+  };
+  return tag(detects_saf, "SAF") + " " + tag(detects_tf, "TF") + " " +
+         tag(detects_cfst, "CFst") + " " + tag(detects_cfid, "CFid") + " " +
+         tag(detects_cfin, "CFin") + " " + tag(detects_sof, "SOF") + " " +
+         tag(exercises_retention, "DRF");
+}
+
+}  // namespace bisram::march

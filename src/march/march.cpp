@@ -1,0 +1,228 @@
+#include "march/march.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bisram::march {
+
+bool is_read(Op op) { return op == Op::R0 || op == Op::R1; }
+
+bool op_value(Op op) { return op == Op::R1 || op == Op::W1; }
+
+std::string op_name(Op op) {
+  switch (op) {
+    case Op::R0: return "r0";
+    case Op::R1: return "r1";
+    case Op::W0: return "w0";
+    case Op::W1: return "w1";
+  }
+  return "?";
+}
+
+MarchTest::MarchTest(std::string name, std::vector<Element> elements)
+    : name_(std::move(name)), elements_(std::move(elements)) {
+  require(!elements_.empty(), "MarchTest: no elements");
+  for (const auto& e : elements_) {
+    require(e.is_delay || !e.ops.empty(),
+            "MarchTest: non-delay element with no ops");
+    require(!e.is_delay || e.ops.empty(), "MarchTest: delay element has ops");
+  }
+}
+
+std::size_t MarchTest::ops_per_address() const {
+  std::size_t n = 0;
+  for (const auto& e : elements_) n += e.ops.size();
+  return n;
+}
+
+std::size_t MarchTest::delay_count() const {
+  std::size_t n = 0;
+  for (const auto& e : elements_)
+    if (e.is_delay) ++n;
+  return n;
+}
+
+std::string MarchTest::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& e : elements_) {
+    if (!first) out += ';';
+    first = false;
+    if (e.is_delay) {
+      out += "del";
+      continue;
+    }
+    switch (e.order) {
+      case Order::Up: out += 'u'; break;
+      case Order::Down: out += 'd'; break;
+      case Order::Either: out += 'b'; break;
+    }
+    out += '(';
+    for (std::size_t i = 0; i < e.ops.size(); ++i) {
+      if (i) out += ',';
+      out += op_name(e.ops[i]);
+    }
+    out += ')';
+  }
+  out += '}';
+  return out;
+}
+
+MarchTest MarchTest::parse(const std::string& name, const std::string& text) {
+  std::string s = trim(text);
+  require(s.size() >= 2 && s.front() == '{' && s.back() == '}',
+          "march parse: missing braces in '" + text + "'");
+  s = s.substr(1, s.size() - 2);
+
+  std::vector<Element> elements;
+  for (const std::string& raw : split(s, ";")) {
+    const std::string el = to_lower(trim(raw));
+    if (el.empty()) continue;
+    if (el == "del" || el == "delay") {
+      elements.push_back(Element::delay());
+      continue;
+    }
+    require(el.size() >= 4 && el[1] == '(' && el.back() == ')',
+            "march parse: bad element '" + raw + "'");
+    Element e;
+    switch (el[0]) {
+      case 'u': e.order = Order::Up; break;
+      case 'd': e.order = Order::Down; break;
+      case 'b': e.order = Order::Either; break;
+      default:
+        throw SpecError("march parse: bad order char in '" + raw + "'");
+    }
+    for (const std::string& opraw : split(el.substr(2, el.size() - 3), ", ")) {
+      const std::string op = trim(opraw);
+      if (op == "r0") e.ops.push_back(Op::R0);
+      else if (op == "r1") e.ops.push_back(Op::R1);
+      else if (op == "w0") e.ops.push_back(Op::W0);
+      else if (op == "w1") e.ops.push_back(Op::W1);
+      else throw SpecError("march parse: bad op '" + op + "'");
+    }
+    require(!e.ops.empty(), "march parse: empty op list in '" + raw + "'");
+    elements.push_back(std::move(e));
+  }
+  return MarchTest(name, std::move(elements));
+}
+
+const MarchTest& ifa9() {
+  static const MarchTest t = MarchTest::parse(
+      "IFA-9",
+      "{b(w0);u(r0,w1);u(r1,w0);d(r0,w1);d(r1,w0);del;b(r0,w1);del;b(r1)}");
+  return t;
+}
+
+const MarchTest& ifa13() {
+  static const MarchTest t = MarchTest::parse(
+      "IFA-13",
+      "{b(w0);u(r0,w1,r1);u(r1,w0,r0);d(r0,w1,r1);d(r1,w0,r0);del;b(r0,w1);"
+      "del;b(r1)}");
+  return t;
+}
+
+const MarchTest& mats_plus() {
+  static const MarchTest t =
+      MarchTest::parse("MATS+", "{b(w0);u(r0,w1);d(r1,w0)}");
+  return t;
+}
+
+const MarchTest& march_c_minus() {
+  static const MarchTest t = MarchTest::parse(
+      "March C-", "{b(w0);u(r0,w1);u(r1,w0);d(r0,w1);d(r1,w0);b(r0)}");
+  return t;
+}
+
+const MarchTest& march_x() {
+  static const MarchTest t =
+      MarchTest::parse("March X", "{b(w0);u(r0,w1);d(r1,w0);b(r0)}");
+  return t;
+}
+
+const MarchTest& march_y() {
+  static const MarchTest t =
+      MarchTest::parse("March Y", "{b(w0);u(r0,w1,r1);d(r1,w0,r0);b(r0)}");
+  return t;
+}
+
+const MarchTest& march_a() {
+  static const MarchTest t = MarchTest::parse(
+      "March A",
+      "{b(w0);u(r0,w1,w0,w1);u(r1,w0,w1);d(r1,w0,w1,w0);d(r0,w1,w0)}");
+  return t;
+}
+
+const MarchTest& march_b() {
+  static const MarchTest t = MarchTest::parse(
+      "March B",
+      "{b(w0);u(r0,w1,r1,w0,r0,w1);u(r1,w0,w1);d(r1,w0,w1,w0);d(r0,w1,w0)}");
+  return t;
+}
+
+const MarchTest& pmovi() {
+  static const MarchTest t = MarchTest::parse(
+      "PMOVI", "{d(w0);u(r0,w1,r1);u(r1,w0,r0);d(r0,w1,r1);d(r1,w0,r0)}");
+  return t;
+}
+
+const MarchTest& march_lr() {
+  static const MarchTest t = MarchTest::parse(
+      "March LR",
+      "{b(w0);d(r0,w1);u(r1,w0,r0,w1);u(r1,w0);u(r0,w1,r1,w0);u(r0)}");
+  return t;
+}
+
+std::vector<std::vector<bool>> johnson_backgrounds(int bpw) {
+  require(bpw >= 1, "johnson_backgrounds: bpw must be >= 1");
+  std::vector<std::vector<bool>> out;
+  // A bpw-bit Johnson counter visits all-0, then fills ones from the left
+  // one bit per shift until all-1 (the first bpw+1 of its 2*bpw states;
+  // the remaining states are complements already exercised by the march's
+  // complement writes).
+  for (int k = 0; k <= bpw; ++k) {
+    std::vector<bool> bg(static_cast<std::size_t>(bpw), false);
+    for (int i = 0; i < k; ++i) bg[static_cast<std::size_t>(i)] = true;
+    out.push_back(std::move(bg));
+  }
+  return out;
+}
+
+std::vector<std::vector<bool>> log_backgrounds(int bpw) {
+  require(bpw >= 1, "log_backgrounds: bpw must be >= 1");
+  std::vector<std::vector<bool>> out;
+  out.emplace_back(static_cast<std::size_t>(bpw), false);  // all-0
+  // Alternating blocks of size 1, 2, 4, ... (0101..., 0011..., ...).
+  for (int block = 1; block < bpw; block *= 2) {
+    std::vector<bool> bg(static_cast<std::size_t>(bpw));
+    for (int i = 0; i < bpw; ++i) bg[static_cast<std::size_t>(i)] = (i / block) % 2 != 0;
+    out.push_back(std::move(bg));
+  }
+  out.emplace_back(static_cast<std::size_t>(bpw), true);  // all-1
+  return out;
+}
+
+bool covers_all_pairs(const std::vector<std::vector<bool>>& backgrounds,
+                      int bpw) {
+  for (int i = 0; i < bpw; ++i) {
+    for (int j = i + 1; j < bpw; ++j) {
+      bool distinguished = false;
+      for (const auto& bg : backgrounds) {
+        if (bg[static_cast<std::size_t>(i)] != bg[static_cast<std::size_t>(j)]) {
+          distinguished = true;
+          break;
+        }
+      }
+      if (!distinguished) return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t test_cycles(const MarchTest& t, std::uint64_t words,
+                          int backgrounds) {
+  require(backgrounds >= 1, "test_cycles: needs >= 1 background");
+  return static_cast<std::uint64_t>(t.ops_per_address()) * words *
+         static_cast<std::uint64_t>(backgrounds);
+}
+
+}  // namespace bisram::march

@@ -1,0 +1,118 @@
+#pragma once
+// March-test algebra: the notation used by the paper for IFA-9
+//   {⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); Delay; ⇕(r0,w1);
+//    Delay; ⇕(r1)}
+// plus a small library of classic tests for the coverage benchmarks.
+//
+// ASCII grammar accepted by parse():
+//   test    := '{' element (';' element)* '}'
+//   element := ('b'|'u'|'d') '(' op (',' op)* ')' | 'del'
+//   op      := 'r0' | 'r1' | 'w0' | 'w1'
+// where 'u' is ascending address order (⇑), 'd' descending (⇓) and
+// 'b' either order (⇕).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bisram::march {
+
+/// One read or write of the current background (0) or its complement (1).
+enum class Op : std::uint8_t { R0, R1, W0, W1 };
+
+/// Address order of a march element.
+enum class Order : std::uint8_t { Up, Down, Either };
+
+bool is_read(Op op);
+/// The data sense of the op: false for r0/w0 (background), true for r1/w1
+/// (complemented background).
+bool op_value(Op op);
+std::string op_name(Op op);
+
+/// One march element: an address sweep applying `ops` at every address,
+/// or a delay element (for data-retention testing).
+struct Element {
+  Order order = Order::Either;
+  std::vector<Op> ops;
+  bool is_delay = false;
+
+  static Element delay() { return Element{Order::Either, {}, true}; }
+};
+
+/// A complete march test.
+class MarchTest {
+ public:
+  MarchTest(std::string name, std::vector<Element> elements);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Element>& elements() const { return elements_; }
+
+  /// Number of per-address operations summed over non-delay elements;
+  /// a test of complexity k*n returns k.
+  std::size_t ops_per_address() const;
+
+  /// Number of delay (data-retention wait) elements.
+  std::size_t delay_count() const;
+
+  /// Renders in the ASCII grammar, e.g. "{b(w0);u(r0,w1);del;b(r1)}".
+  std::string to_string() const;
+
+  /// Parses the ASCII grammar; throws bisram::SpecError on syntax errors
+  /// and on semantically empty tests.
+  static MarchTest parse(const std::string& name, const std::string& text);
+
+ private:
+  std::string name_;
+  std::vector<Element> elements_;
+};
+
+// --- Library of standard tests ---------------------------------------------
+
+/// IFA-9 [Shen/Maly/Ferguson]: the test BISRAMGEN microprograms into the
+/// TRPLA. Detects SAF, TF, CFst plus data-retention faults.
+const MarchTest& ifa9();
+/// IFA-13: IFA-9 with a verifying read after every write (used by the
+/// Chen-Sunada baseline per the paper).
+const MarchTest& ifa13();
+/// MATS+ (4n, SAF only).
+const MarchTest& mats_plus();
+/// March C- (10n; SAF, TF, unlinked CFs).
+const MarchTest& march_c_minus();
+/// March X (6n).
+const MarchTest& march_x();
+/// March Y (8n; adds transition coverage).
+const MarchTest& march_y();
+/// March A (15n; linked coupling faults).
+const MarchTest& march_a();
+/// March B (17n; March A plus verifying reads).
+const MarchTest& march_b();
+/// PMOVI (13n; read-after-write everywhere — strong on stuck-open).
+const MarchTest& pmovi();
+/// March LR (14n; realistic linked faults).
+const MarchTest& march_lr();
+
+// --- Data backgrounds -------------------------------------------------------
+
+/// The bpw+1 data backgrounds a bpw-bit Johnson counter steps through:
+/// all-0, 10..0, 110..0, ..., all-1. The paper proves ([2]) these cover
+/// every intra-word cell pair; see johnson_covers_all_pairs().
+std::vector<std::vector<bool>> johnson_backgrounds(int bpw);
+
+/// The log2(bpw)+1 "binary" backgrounds (all-0, 0101.., 0011.., ..,
+/// all-1) the paper mentions as the alternative needing more hardware.
+std::vector<std::vector<bool>> log_backgrounds(int bpw);
+
+/// True when `backgrounds` distinguishes every pair of bit positions,
+/// i.e. for every i < j some background has bit i != bit j. Together
+/// with the march's complement writes this yields all four (bi, bj)
+/// combinations on every pair.
+bool covers_all_pairs(const std::vector<std::vector<bool>>& backgrounds,
+                      int bpw);
+
+/// Test length in RAM cycles for `t` applied once per background:
+/// backgrounds * ops_per_address * words (delays excluded, they cost
+/// wall-clock, not cycles).
+std::uint64_t test_cycles(const MarchTest& t, std::uint64_t words,
+                          int backgrounds);
+
+}  // namespace bisram::march

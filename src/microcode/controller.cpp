@@ -1,0 +1,257 @@
+#include "microcode/controller.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+#include "util/strings.hpp"
+
+namespace bisram::microcode {
+
+namespace {
+
+std::uint32_t bit(Cond c) { return 1u << static_cast<int>(c); }
+
+/// Builder that keeps name -> index bookkeeping while states are created
+/// before their successors exist (two-phase: declare, then wire).
+class FsmBuilder {
+ public:
+  int declare(const std::string& name) {
+    fsm_.states.push_back({name, {}});
+    return static_cast<int>(fsm_.states.size()) - 1;
+  }
+  void wire(int from, std::uint32_t mask, std::uint32_t value, int to,
+            std::vector<Ctrl> controls) {
+    ensure(from >= 0 && from < static_cast<int>(fsm_.states.size()) &&
+               to >= 0 && to < static_cast<int>(fsm_.states.size()),
+           "FsmBuilder: bad state index");
+    fsm_.states[static_cast<std::size_t>(from)].transitions.push_back(
+        {mask, value, to, std::move(controls)});
+  }
+  ControllerFsm take() { return std::move(fsm_); }
+
+ private:
+  ControllerFsm fsm_;
+};
+
+}  // namespace
+
+void ControllerFsm::check_deterministic() const {
+  const std::uint32_t all = 1u << kCondCount;
+  for (const auto& state : states) {
+    for (std::uint32_t conds = 0; conds < all; ++conds) {
+      int matches = 0;
+      for (const auto& t : state.transitions)
+        if ((conds & t.cond_mask) == t.cond_value) ++matches;
+      ensure(matches == 1,
+             "controller state '" + state.name + "' has " +
+                 std::to_string(matches) + " transitions for condition " +
+                 std::to_string(conds));
+    }
+  }
+}
+
+ControllerFsm compile_controller(const march::MarchTest& test,
+                                 int max_passes) {
+  require(max_passes >= 2, "compile_controller: needs >= 2 passes");
+  const auto& elements = test.elements();
+  require(!elements.back().is_delay,
+          "compile_controller: march must not end with a delay element");
+
+  FsmBuilder b;
+
+  // --- declare all states -------------------------------------------------
+  // Per pass: one entry per element op (or one timer state per delay
+  // element), plus the end-of-pass CHECK state. Plus global DONE/FAIL.
+  struct ElemStates {
+    std::vector<int> ops;  // per op; single entry for a delay element
+  };
+  std::vector<std::vector<ElemStates>> per_pass(
+      static_cast<std::size_t>(max_passes));
+  std::vector<int> check_state(static_cast<std::size_t>(max_passes));
+
+  for (int p = 0; p < max_passes; ++p) {
+    auto& elems = per_pass[static_cast<std::size_t>(p)];
+    for (std::size_t e = 0; e < elements.size(); ++e) {
+      ElemStates es;
+      if (elements[e].is_delay) {
+        es.ops.push_back(b.declare(strfmt("P%d_E%zu_WAIT", p + 1, e)));
+      } else {
+        for (std::size_t o = 0; o < elements[e].ops.size(); ++o)
+          es.ops.push_back(b.declare(strfmt(
+              "P%d_E%zu_%s", p + 1, e,
+              march::op_name(elements[e].ops[o]).c_str())));
+      }
+      elems.push_back(std::move(es));
+    }
+    check_state[static_cast<std::size_t>(p)] =
+        b.declare(strfmt("P%d_CHECK", p + 1));
+  }
+  const int init = b.declare("P1_INIT");
+  const int done_ok = b.declare("DONE_OK");
+  const int done_fail = b.declare("DONE_FAIL");
+
+  // --- wiring helpers -------------------------------------------------
+  // Controls asserted when *entering* element e (address counter load or
+  // retention-timer start).
+  auto entry_controls = [&](std::size_t e) -> std::vector<Ctrl> {
+    if (elements[e].is_delay) return {Ctrl::TimerStart};
+    return {elements[e].order == march::Order::Down ? Ctrl::AddrResetDown
+                                                    : Ctrl::AddrResetUp};
+  };
+  auto entry_state = [&](int p, std::size_t e) {
+    return per_pass[static_cast<std::size_t>(p)][e].ops.front();
+  };
+
+  // Controls asserted while executing op o of element e in pass p.
+  auto op_controls = [&](int p, std::size_t e, std::size_t o) {
+    std::vector<Ctrl> c;
+    const march::Op op = elements[e].ops[o];
+    c.push_back(march::is_read(op) ? Ctrl::DoRead : Ctrl::DoWrite);
+    if (march::op_value(op)) c.push_back(Ctrl::Invert);
+    if (march::is_read(op)) {
+      c.push_back(Ctrl::TlbRecord);
+      if (p > 0) c.push_back(Ctrl::TlbForceNew);
+    }
+    if (p > 0) c.push_back(Ctrl::RepairOn);
+    return c;
+  };
+
+  auto append = [](std::vector<Ctrl> base, std::initializer_list<Ctrl> more) {
+    base.insert(base.end(), more);
+    return base;
+  };
+
+  // --- wire each pass ---------------------------------------------------
+  for (int p = 0; p < max_passes; ++p) {
+    for (std::size_t e = 0; e < elements.size(); ++e) {
+      const auto& es = per_pass[static_cast<std::size_t>(p)][e];
+      const bool last_elem = e + 1 == elements.size();
+      const int after_elem =
+          last_elem ? check_state[static_cast<std::size_t>(p)]
+                    : entry_state(p, e + 1);
+      const std::vector<Ctrl> after_entry =
+          last_elem ? std::vector<Ctrl>{} : entry_controls(e + 1);
+
+      if (elements[e].is_delay) {
+        const int wait = es.ops.front();
+        b.wire(wait, bit(Cond::TimerDone), 0, wait, {});  // keep waiting
+        // Timer done -> next element / check. Background stepping never
+        // happens after a delay in practice (delays are not last), but
+        // handle it uniformly: delays pass through to the next element.
+        b.wire(wait, bit(Cond::TimerDone), bit(Cond::TimerDone), after_elem,
+               after_entry);
+        continue;
+      }
+
+      for (std::size_t o = 0; o < es.ops.size(); ++o) {
+        const int st = es.ops[o];
+        const auto ctrl = op_controls(p, e, o);
+        if (o + 1 < es.ops.size()) {
+          // More ops at this address: unconditional advance.
+          b.wire(st, 0, 0, es.ops[o + 1], ctrl);
+          continue;
+        }
+        // Last op of the element: step the address or move on.
+        b.wire(st, bit(Cond::AddrLast), 0, es.ops.front(),
+               append(ctrl, {Ctrl::AddrStep}));
+        if (!last_elem) {
+          std::vector<Ctrl> cc = ctrl;
+          cc.insert(cc.end(), after_entry.begin(), after_entry.end());
+          b.wire(st, bit(Cond::AddrLast), bit(Cond::AddrLast), after_elem,
+                 std::move(cc));
+        } else {
+          // End of the march: next background, or end of pass.
+          b.wire(st, bit(Cond::AddrLast) | bit(Cond::BgLast),
+                 bit(Cond::AddrLast), entry_state(p, 0),
+                 append(ctrl, {Ctrl::DataStep, entry_controls(0).front()}));
+          b.wire(st, bit(Cond::AddrLast) | bit(Cond::BgLast),
+                 bit(Cond::AddrLast) | bit(Cond::BgLast),
+                 check_state[static_cast<std::size_t>(p)], ctrl);
+        }
+      }
+    }
+
+    // End-of-pass decision.
+    const int chk = check_state[static_cast<std::size_t>(p)];
+    const std::uint32_t m = bit(Cond::PassDirty) | bit(Cond::TlbOverflow);
+    // Clean pass: done (repair verified, or never needed).
+    b.wire(chk, m, 0, done_ok, {Ctrl::SigDone});
+    b.wire(chk, m, bit(Cond::TlbOverflow), done_fail, {Ctrl::SigFail});
+    b.wire(chk, m, bit(Cond::PassDirty) | bit(Cond::TlbOverflow), done_fail,
+           {Ctrl::SigFail});
+    if (p + 1 < max_passes) {
+      // Dirty but repairable: start the next pass fresh.
+      b.wire(chk, m, bit(Cond::PassDirty), entry_state(p + 1, 0),
+             append(entry_controls(0),
+                    {Ctrl::DataReset, Ctrl::ClearDirty}));
+    } else {
+      b.wire(chk, m, bit(Cond::PassDirty), done_fail, {Ctrl::SigFail});
+    }
+  }
+
+  // Hardware reset lands in INIT, which loads the address counter for
+  // the first element, clears DATAGEN and the dirty flag, then enters
+  // the march.
+  b.wire(init, 0, 0, entry_state(0, 0),
+         append(entry_controls(0), {Ctrl::DataReset, Ctrl::ClearDirty}));
+
+  b.wire(done_ok, 0, 0, done_ok, {Ctrl::SigDone});
+  b.wire(done_fail, 0, 0, done_fail, {Ctrl::SigFail});
+
+  ControllerFsm fsm = b.take();
+  fsm.initial = init;
+  fsm.done_ok = done_ok;
+  fsm.done_fail = done_fail;
+  fsm.check_deterministic();
+  return fsm;
+}
+
+AssembledController assemble(const ControllerFsm& fsm, int min_state_bits) {
+  const int n = static_cast<int>(fsm.states.size());
+  require(n >= 1, "assemble: empty FSM");
+  const int needed = log2_ceil(static_cast<std::uint64_t>(std::max(n, 2)));
+  const int sbits = std::max(needed, min_state_bits);
+
+  const int inputs = sbits + kCondCount;
+  const int outputs = sbits + kCtrlCount;
+  PlaPersonality pla(inputs, outputs);
+
+  auto encode_state = [&](int s) {
+    std::string bits(static_cast<std::size_t>(sbits), '0');
+    for (int i = 0; i < sbits; ++i)
+      if (s & (1 << i)) bits[static_cast<std::size_t>(i)] = '1';
+    return bits;
+  };
+
+  for (int s = 0; s < n; ++s) {
+    for (const auto& t : fsm.states[static_cast<std::size_t>(s)].transitions) {
+      std::string and_row = encode_state(s);
+      for (int c = 0; c < kCondCount; ++c) {
+        const std::uint32_t cb = 1u << c;
+        if (!(t.cond_mask & cb))
+          and_row += '-';
+        else
+          and_row += (t.cond_value & cb) ? '1' : '0';
+      }
+      std::string or_row(static_cast<std::size_t>(outputs), '0');
+      const std::string next = encode_state(t.next);
+      for (int i = 0; i < sbits; ++i)
+        or_row[static_cast<std::size_t>(i)] = next[static_cast<std::size_t>(i)];
+      for (Ctrl ctrl : t.controls)
+        or_row[static_cast<std::size_t>(sbits + static_cast<int>(ctrl))] = '1';
+      pla.add_term(and_row, or_row);
+    }
+  }
+
+  AssembledController out{std::move(pla), sbits, n, {}, fsm.initial,
+                          fsm.done_ok, fsm.done_fail};
+  for (const auto& s : fsm.states) out.state_names.push_back(s.name);
+  return out;
+}
+
+AssembledController build_trpla(const march::MarchTest& test, int max_passes) {
+  return assemble(compile_controller(test, max_passes));
+}
+
+}  // namespace bisram::microcode

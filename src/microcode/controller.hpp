@@ -1,0 +1,103 @@
+#pragma once
+// The Test and Repair Controller (TRPLA) microassembler.
+//
+// Compiles a march test plus the two-pass (or 2k-pass) repair flow into a
+// finite state machine, binary state-assigns it into the state register
+// (STREG — six flip-flops in the paper, more if the program needs them),
+// and emits the pseudo-NMOS NOR-NOR PLA personality. The datapath
+// simulator (sim/controller.hpp) then executes the BIST/BISR flow by
+// evaluating this PLA every cycle — the microprogram, not C++ control
+// flow, drives the test.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "march/march.hpp"
+#include "microcode/pla.hpp"
+
+namespace bisram::microcode {
+
+/// Condition inputs sampled from the datapath each cycle (PLA inputs
+/// after the state bits, in this order).
+enum class Cond : int {
+  AddrLast = 0,  ///< ADDGEN sits on the final address of its sweep
+  BgLast,        ///< DATAGEN sits on the final background
+  TimerDone,     ///< data-retention wait elapsed
+  PassDirty,     ///< a mismatch occurred somewhere in the current pass
+  TlbOverflow,   ///< the TLB ran out of spare entries
+  Count
+};
+inline constexpr int kCondCount = static_cast<int>(Cond::Count);
+
+/// Control outputs asserted by product terms (PLA outputs after the
+/// next-state bits, in this order).
+enum class Ctrl : int {
+  DoRead = 0,    ///< issue a RAM read and compare against DATAGEN
+  DoWrite,       ///< issue a RAM write of the DATAGEN pattern
+  Invert,        ///< the op uses the complemented background (r1/w1)
+  AddrResetUp,   ///< load ADDGEN with 0, direction up
+  AddrResetDown, ///< load ADDGEN with words-1, direction down
+  AddrStep,      ///< advance ADDGEN after this cycle's op
+  DataReset,     ///< reset DATAGEN to the all-0 background
+  DataStep,      ///< shift DATAGEN to the next background
+  ClearDirty,    ///< clear the pass-dirty flip-flop (start of a pass)
+  TlbRecord,     ///< on mismatch, record the address in the TLB
+  TlbForceNew,   ///< record supersedes an existing mapping (pass >= 2)
+  RepairOn,      ///< access goes through the TLB diversion (pass >= 2)
+  TimerStart,    ///< begin the data-retention wait
+  SigDone,       ///< test complete, repair successful (or not needed)
+  SigFail,       ///< "Repair Unsuccessful"
+  Count
+};
+inline constexpr int kCtrlCount = static_cast<int>(Ctrl::Count);
+
+/// One FSM transition: taken when (conds & mask) == value.
+struct Transition {
+  std::uint32_t cond_mask = 0;
+  std::uint32_t cond_value = 0;
+  int next = 0;
+  std::vector<Ctrl> controls;
+};
+
+/// Symbolic controller before state assignment.
+struct ControllerFsm {
+  struct State {
+    std::string name;
+    std::vector<Transition> transitions;
+  };
+  std::vector<State> states;
+  int initial = 0;
+  int done_ok = 0;
+  int done_fail = 0;
+
+  /// Checks that every state's transitions are mutually exclusive and
+  /// cover all 2^kCondCount condition combinations; throws otherwise.
+  void check_deterministic() const;
+};
+
+/// Compiles the BIST+BISR control flow for `test` with `max_passes`
+/// passes (>= 2). The FSM layout mirrors the paper's controller:
+/// per-pass op states, delay states, background stepping, and the
+/// end-of-pass decision state.
+ControllerFsm compile_controller(const march::MarchTest& test, int max_passes);
+
+/// Binary state assignment + PLA personality generation. The PLA inputs
+/// are [state bits | condition bits]; outputs are [next-state bits |
+/// control bits]. `min_state_bits` pads the state register (the paper
+/// uses 6 flip-flops).
+struct AssembledController {
+  PlaPersonality pla;
+  int state_bits = 0;
+  int num_states = 0;
+  std::vector<std::string> state_names;
+  int initial_state = 0;
+  int done_ok_state = 0;
+  int done_fail_state = 0;
+};
+AssembledController assemble(const ControllerFsm& fsm, int min_state_bits = 6);
+
+/// One-call convenience: compile + assemble.
+AssembledController build_trpla(const march::MarchTest& test, int max_passes);
+
+}  // namespace bisram::microcode

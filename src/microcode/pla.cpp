@@ -1,0 +1,99 @@
+#include "microcode/pla.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bisram::microcode {
+
+PlaPersonality::PlaPersonality(int num_inputs, int num_outputs)
+    : inputs_(num_inputs), outputs_(num_outputs) {
+  require(num_inputs >= 1 && num_outputs >= 1,
+          "PlaPersonality: need at least one input and output");
+}
+
+void PlaPersonality::add_term(const std::string& and_row,
+                              const std::string& or_row) {
+  require(static_cast<int>(and_row.size()) == inputs_,
+          "PLA: AND row width mismatch");
+  require(static_cast<int>(or_row.size()) == outputs_,
+          "PLA: OR row width mismatch");
+  for (char c : and_row)
+    require(c == '0' || c == '1' || c == '-', "PLA: bad AND plane character");
+  for (char c : or_row)
+    require(c == '0' || c == '1', "PLA: bad OR plane character");
+  terms_.push_back({and_row, or_row});
+}
+
+std::vector<bool> PlaPersonality::evaluate(const std::vector<bool>& in) const {
+  ensure(static_cast<int>(in.size()) == inputs_, "PLA: input width mismatch");
+  std::vector<bool> out(static_cast<std::size_t>(outputs_), false);
+  for (const auto& term : terms_) {
+    bool match = true;
+    for (int i = 0; i < inputs_ && match; ++i) {
+      const char c = term.and_row[static_cast<std::size_t>(i)];
+      if (c == '-') continue;
+      match = (c == '1') == in[static_cast<std::size_t>(i)];
+    }
+    if (!match) continue;
+    for (int j = 0; j < outputs_; ++j)
+      if (term.or_row[static_cast<std::size_t>(j)] == '1')
+        out[static_cast<std::size_t>(j)] = true;
+  }
+  return out;
+}
+
+int PlaPersonality::matching_terms(const std::vector<bool>& in) const {
+  ensure(static_cast<int>(in.size()) == inputs_, "PLA: input width mismatch");
+  int count = 0;
+  for (const auto& term : terms_) {
+    bool match = true;
+    for (int i = 0; i < inputs_ && match; ++i) {
+      const char c = term.and_row[static_cast<std::size_t>(i)];
+      if (c == '-') continue;
+      match = (c == '1') == in[static_cast<std::size_t>(i)];
+    }
+    if (match) ++count;
+  }
+  return count;
+}
+
+void PlaPersonality::write_and_plane(std::ostream& os) const {
+  os << "# BISRAMGEN TRPLA AND plane: " << inputs_ << " inputs, " << terms()
+     << " product terms\n";
+  for (const auto& t : terms_) os << t.and_row << '\n';
+}
+
+void PlaPersonality::write_or_plane(std::ostream& os) const {
+  os << "# BISRAMGEN TRPLA OR plane: " << outputs_ << " outputs, " << terms()
+     << " product terms\n";
+  for (const auto& t : terms_) os << t.or_row << '\n';
+}
+
+PlaPersonality PlaPersonality::read_planes(std::istream& and_plane,
+                                           std::istream& or_plane) {
+  auto read_rows = [](std::istream& is) {
+    std::vector<std::string> rows;
+    std::string line;
+    while (std::getline(is, line)) {
+      const std::string t = trim(line);
+      if (t.empty() || t[0] == '#') continue;
+      rows.push_back(t);
+    }
+    return rows;
+  };
+  const auto and_rows = read_rows(and_plane);
+  const auto or_rows = read_rows(or_plane);
+  require(!and_rows.empty(), "PLA: empty AND plane");
+  require(and_rows.size() == or_rows.size(),
+          "PLA: AND/OR plane term count mismatch");
+  PlaPersonality pla(static_cast<int>(and_rows[0].size()),
+                     static_cast<int>(or_rows[0].size()));
+  for (std::size_t i = 0; i < and_rows.size(); ++i)
+    pla.add_term(and_rows[i], or_rows[i]);
+  return pla;
+}
+
+}  // namespace bisram::microcode

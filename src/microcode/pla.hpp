@@ -1,0 +1,59 @@
+#pragma once
+// Pseudo-NMOS NOR-NOR PLA personality: the storage format of the TRPLA
+// control program. As in the paper, the control code is kept in two
+// plane files (AND plane, OR plane) that BISRAMGEN reads at run time —
+// "changing these files to implement a different test algorithm is a
+// simple and straightforward matter."
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bisram::microcode {
+
+/// One product term: `and_row` over the inputs ('1' input true,
+/// '0' input false, '-' don't care) and `or_row` over the outputs
+/// ('1' asserted by this term, '0' not).
+struct ProductTerm {
+  std::string and_row;
+  std::string or_row;
+};
+
+class PlaPersonality {
+ public:
+  PlaPersonality(int num_inputs, int num_outputs);
+
+  int inputs() const { return inputs_; }
+  int outputs() const { return outputs_; }
+  int terms() const { return static_cast<int>(terms_.size()); }
+  const std::vector<ProductTerm>& product_terms() const { return terms_; }
+
+  /// Adds a term; validates row lengths and characters.
+  void add_term(const std::string& and_row, const std::string& or_row);
+
+  /// Evaluates the NOR-NOR array: output j is the OR of or_row[j] over
+  /// all matching terms.
+  std::vector<bool> evaluate(const std::vector<bool>& in) const;
+
+  /// True when `in` matches exactly one product term (used to verify
+  /// that generated controllers are deterministic).
+  int matching_terms(const std::vector<bool>& in) const;
+
+  /// Writes/reads the two plane files (text; '#' comment lines allowed).
+  void write_and_plane(std::ostream& os) const;
+  void write_or_plane(std::ostream& os) const;
+  static PlaPersonality read_planes(std::istream& and_plane,
+                                    std::istream& or_plane);
+
+  /// Grid dimensions of the physical PLA: (rows = terms,
+  /// columns = 2 * inputs + outputs) — used by the macro generator.
+  int grid_rows() const { return terms(); }
+  int grid_cols() const { return 2 * inputs_ + outputs_; }
+
+ private:
+  int inputs_;
+  int outputs_;
+  std::vector<ProductTerm> terms_;
+};
+
+}  // namespace bisram::microcode

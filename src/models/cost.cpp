@@ -1,0 +1,111 @@
+#include "models/cost.hpp"
+
+#include <cmath>
+
+#include "models/yield.hpp"
+#include "util/error.hpp"
+
+namespace bisram::models {
+
+double dies_per_wafer(double wafer_mm, double die_area_mm2) {
+  require(wafer_mm > 0 && die_area_mm2 > 0, "dies_per_wafer: bad inputs");
+  const double r = wafer_mm / 2.0;
+  const double gross = M_PI * r * r / die_area_mm2;
+  const double edge = M_PI * wafer_mm / std::sqrt(2.0 * die_area_mm2);
+  const double dpw = gross - edge;
+  require(dpw > 1.0, "dies_per_wafer: die too large for wafer");
+  return dpw;
+}
+
+CostResult analyze_cpu(const CpuSpec& cpu, const CostModelParams& params) {
+  require(cpu.die_area_mm2 > 0 && cpu.wafer_cost_usd > 0,
+          "analyze_cpu: incomplete spec");
+  CostResult r;
+  r.name = cpu.name;
+  r.bisr_supported = cpu.metal_layers >= 3 && cpu.cache_fraction > 0;
+
+  // --- yields ---------------------------------------------------------
+  const double die_cm2 = cpu.die_area_mm2 / 100.0;
+  const double m_die = cpu.defects_per_cm2 * die_cm2;
+  r.die_yield = stapper_yield(m_die, cpu.cluster_alpha);
+  // Paper: embedded RAM yield = (die yield)^cache_fraction.
+  r.ram_yield = std::pow(r.die_yield, cpu.cache_fraction);
+
+  if (r.bisr_supported) {
+    // Defect mean attributable to the cache (inverse Stapper on Y_ram).
+    const double m_ram =
+        cpu.cluster_alpha *
+        (std::pow(r.ram_yield, -1.0 / cpu.cluster_alpha) - 1.0);
+    const double growth = 1.0 + params.bisr_area_overhead;
+    sim::RamGeometry geo = cpu.cache_geo;
+    geo.spare_rows = params.spare_rows;
+    geo.validate();
+    r.ram_yield_bisr = bisr_yield(geo, m_ram, cpu.cluster_alpha, growth);
+    // Fold the cache improvement back into the whole-die yield: all other
+    // macrocells keep their yield, so the die improves by the same factor
+    // as the cache.
+    r.die_yield_bisr = r.die_yield * (r.ram_yield_bisr / r.ram_yield);
+  } else {
+    r.ram_yield_bisr = r.ram_yield;
+    r.die_yield_bisr = r.die_yield;
+  }
+
+  // --- dies per wafer --------------------------------------------------
+  r.dies_per_wafer = dies_per_wafer(cpu.wafer_mm, cpu.die_area_mm2);
+  const double area_bisr =
+      cpu.die_area_mm2 *
+      (1.0 + (r.bisr_supported
+                  ? params.bisr_area_overhead * cpu.cache_fraction
+                  : 0.0));
+  r.dies_per_wafer_bisr = dies_per_wafer(cpu.wafer_mm, area_bisr);
+
+  // --- die cost ---------------------------------------------------------
+  r.die_cost = cpu.wafer_cost_usd / (r.dies_per_wafer * r.die_yield);
+  r.die_cost_bisr =
+      cpu.wafer_cost_usd / (r.dies_per_wafer_bisr * r.die_yield_bisr);
+
+  // --- wafer test & assembly, amortized over good dies ------------------
+  auto test_cost_per_good = [&](double dpw, double yield) {
+    const double good = dpw * yield;
+    const double bad = dpw * (1.0 - yield);
+    const double seconds = good * cpu.test_time_s + bad * params.bad_die_test_s;
+    const double wafer_test_usd = seconds / 60.0 * params.wafer_test_usd_per_min;
+    return wafer_test_usd / good;
+  };
+  const double test_cost = test_cost_per_good(r.dies_per_wafer, r.die_yield);
+  const double test_cost_bisr =
+      test_cost_per_good(r.dies_per_wafer_bisr, r.die_yield_bisr);
+
+  // --- package & final test --------------------------------------------
+  const double package_usd = cpu.pins * params.package_usd_per_pin;
+  const double final_yield =
+      cpu.package == "PGA" ? params.final_yield_pga : params.final_yield_pqfp;
+
+  r.total_cost = (r.die_cost + test_cost + package_usd) / final_yield;
+  r.total_cost_bisr =
+      (r.die_cost_bisr + test_cost_bisr + package_usd) / final_yield;
+  return r;
+}
+
+double breakeven_defect_density(const CpuSpec& cpu,
+                                const CostModelParams& params,
+                                double max_d_cm2) {
+  require(max_d_cm2 > 0, "breakeven_defect_density: bad probe limit");
+  CpuSpec probe = cpu;
+  auto pays = [&](double d) {
+    probe.defects_per_cm2 = d;
+    const CostResult r = analyze_cpu(probe, params);
+    return r.bisr_supported && r.total_cost_bisr < r.total_cost;
+  };
+  const double lo_probe = 0.01;
+  if (pays(lo_probe)) return 0.0;
+  if (!pays(max_d_cm2)) return -1.0;
+  double lo = lo_probe, hi = max_d_cm2;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (pays(mid) ? hi : lo) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace bisram::models

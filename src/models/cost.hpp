@@ -1,0 +1,101 @@
+#pragma once
+// Manufacturing cost model (paper Section X, Tables II and III), after
+// the MPR (Microprocessor Report) model:
+//
+//   cost/chip = die cost + test & assembly cost + package & final test
+//   die cost  = wafer cost / (dies per wafer * die yield)
+//
+// Die yield follows Stapper; the embedded-RAM yield is recovered from the
+// die yield as Y_ram = Y_die^cache_fraction (the paper's formula), the
+// BISR improvement factor is computed from the yield model of
+// models/yield.hpp, and the improved RAM yield is folded back into the
+// die yield. BISR also slightly shrinks dies-per-wafer via the area
+// growth of the cache.
+//
+// The original tables were computed from 1993-94 Microprocessor Report
+// data which is not in the paper text; src/models/cpu_db.cpp reconstructs
+// the inputs from public-domain sources and documents each entry.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/ram_model.hpp"
+
+namespace bisram::models {
+
+/// One microprocessor row of Tables II/III.
+struct CpuSpec {
+  std::string name;
+  std::string process;        ///< e.g. "0.8u BiCMOS"
+  double feature_um = 0;
+  int metal_layers = 0;       ///< BISR needs >= 3 (blank rows in Table II)
+  double die_area_mm2 = 0;
+  int wafer_mm = 0;           ///< 150 or 200
+  double wafer_cost_usd = 0;
+  double defects_per_cm2 = 0; ///< process defect density
+  double cluster_alpha = 2.0; ///< Stapper clustering
+  double cache_fraction = 0;  ///< embedded RAM fraction of die area
+  sim::RamGeometry cache_geo; ///< representative geometry of the cache
+  int pins = 0;
+  std::string package;        ///< "PGA" or "PQFP"
+  double test_time_s = 60;    ///< wafer test time for a good die
+};
+
+/// Cost breakdown for one CPU, with and without cache BISR.
+struct CostResult {
+  std::string name;
+  double dies_per_wafer = 0;
+  double dies_per_wafer_bisr = 0;
+  double die_yield = 0;
+  double die_yield_bisr = 0;
+  double ram_yield = 0;
+  double ram_yield_bisr = 0;
+  double die_cost = 0;        ///< Table II: cost per good die
+  double die_cost_bisr = 0;
+  double total_cost = 0;      ///< Table III: packaged & tested chip
+  double total_cost_bisr = 0;
+  bool bisr_supported = true; ///< false when < 3 metal layers
+
+  double die_cost_improvement() const {
+    return die_cost_bisr > 0 ? die_cost / die_cost_bisr : 0.0;
+  }
+  double total_cost_reduction_pct() const {
+    return total_cost > 0
+               ? 100.0 * (total_cost - total_cost_bisr) / total_cost
+               : 0.0;
+  }
+};
+
+/// Economic constants of the MPR model (overridable in benches/tests).
+struct CostModelParams {
+  double wafer_test_usd_per_min = 5.0;   ///< paper: ~$5/minute
+  double bad_die_test_s = 3.0;           ///< "a few seconds" per bad chip
+  double package_usd_per_pin = 0.01;     ///< "about one cent per pin"
+  double final_yield_pqfp = 0.93;        ///< paper's final-test yields
+  double final_yield_pga = 0.97;
+  double bisr_area_overhead = 0.07;      ///< cache growth factor - 1 (<=7%)
+  int spare_rows = 4;
+};
+
+/// Classic dies-per-wafer estimate: pi*(d/2)^2/A - pi*d/sqrt(2A).
+double dies_per_wafer(double wafer_mm, double die_area_mm2);
+
+/// Full cost analysis for one CPU.
+CostResult analyze_cpu(const CpuSpec& cpu, const CostModelParams& params = {});
+
+/// The defect density above which cache BISR lowers the total chip cost
+/// for this CPU (it always costs area; it pays once yield loss bites).
+/// Returns 0 when BISR pays even at the lowest density probed, and a
+/// negative value when it never pays below `max_d_cm2`.
+double breakeven_defect_density(const CpuSpec& cpu,
+                                const CostModelParams& params = {},
+                                double max_d_cm2 = 5.0);
+
+/// The reconstructed CPU database (Tables II/III rows).
+const std::vector<CpuSpec>& cpu_database();
+
+/// Lookup by name; nullopt when absent.
+std::optional<CpuSpec> find_cpu(const std::string& name);
+
+}  // namespace bisram::models

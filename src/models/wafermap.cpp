@@ -1,0 +1,115 @@
+#include "models/wafermap.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bisram::models {
+
+WaferResult simulate_wafer(const WaferSpec& spec, std::uint64_t seed) {
+  require(spec.wafer_mm > 0 && spec.die_w_mm > 0 && spec.die_h_mm > 0,
+          "simulate_wafer: bad dimensions");
+  require(spec.ram_fraction > 0 && spec.ram_fraction < 1,
+          "simulate_wafer: ram_fraction must be in (0,1)");
+  spec.ram_geo.validate();
+
+  Rng rng(seed);
+  const double radius = spec.wafer_mm / 2.0;
+  const int cols = static_cast<int>(spec.wafer_mm / spec.die_w_mm);
+  const int rows = static_cast<int>(spec.wafer_mm / spec.die_h_mm);
+  const double die_cm2 = spec.die_w_mm * spec.die_h_mm / 100.0;
+  const double mean_defects = spec.defects_per_cm2 * die_cm2;
+
+  WaferResult result;
+  result.map.assign(static_cast<std::size_t>(rows),
+                    std::vector<DieState>(static_cast<std::size_t>(cols),
+                                          DieState::OffWafer));
+
+  const int spare_words = spec.ram_geo.spare_words();
+  const std::uint64_t ram_rows =
+      static_cast<std::uint64_t>(spec.ram_geo.total_rows());
+  const std::uint64_t ram_cols = static_cast<std::uint64_t>(spec.ram_geo.cols());
+
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      // Die corner coordinates relative to wafer centre.
+      const double x0 = c * spec.die_w_mm - radius;
+      const double y0 = r * spec.die_h_mm - radius;
+      // A die is usable when all four corners are inside the circle.
+      bool inside = true;
+      for (double dx : {0.0, spec.die_w_mm})
+        for (double dy : {0.0, spec.die_h_mm})
+          if (std::hypot(x0 + dx, y0 + dy) > radius) inside = false;
+      if (!inside) continue;
+      result.dies_total++;
+
+      // Clustered statistics: this die's defect rate is Gamma-mixed, so
+      // the count is negative-binomial with the Stapper alpha.
+      const std::int64_t k =
+          mean_defects <= 0.0
+              ? 0
+              : poisson_sample(rng,
+                               gamma_sample(rng, spec.cluster_alpha,
+                                            mean_defects / spec.cluster_alpha));
+
+      // Scatter defects between RAM and logic; within the RAM, place
+      // them on uniformly random cells and test repairability.
+      bool logic_hit = false;
+      bool spare_hit = false;
+      std::set<std::uint32_t> faulty_words;
+      for (std::int64_t d = 0; d < k; ++d) {
+        if (!rng.chance(spec.ram_fraction)) {
+          logic_hit = true;
+          continue;
+        }
+        const int cell_row = static_cast<int>(rng.below(ram_rows));
+        const int cell_col = static_cast<int>(rng.below(ram_cols));
+        if (cell_row >= spec.ram_geo.rows()) {
+          spare_hit = true;
+          continue;
+        }
+        const std::uint32_t addr =
+            static_cast<std::uint32_t>(cell_row) *
+                static_cast<std::uint32_t>(spec.ram_geo.bpc) +
+            static_cast<std::uint32_t>(cell_col % spec.ram_geo.bpc);
+        faulty_words.insert(addr);
+      }
+
+      DieState state;
+      if (k == 0) {
+        state = DieState::Good;
+        result.good++;
+      } else if (logic_hit || spare_hit ||
+                 static_cast<int>(faulty_words.size()) > spare_words) {
+        state = DieState::Bad;
+        result.bad++;
+      } else {
+        state = DieState::Repaired;
+        result.repaired++;
+      }
+      result.map[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+          state;
+    }
+  }
+  return result;
+}
+
+std::string render_wafer(const WaferResult& result) {
+  std::string out;
+  for (const auto& row : result.map) {
+    for (DieState s : row) {
+      switch (s) {
+        case DieState::OffWafer: out += ' '; break;
+        case DieState::Good: out += 'O'; break;
+        case DieState::Repaired: out += 'R'; break;
+        case DieState::Bad: out += 'X'; break;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace bisram::models

@@ -1,0 +1,58 @@
+#pragma once
+// Wafer-map Monte-Carlo: a spatial defect simulation behind the yield
+// model. Stapper's negative-binomial statistics arise physically from
+// defect *clustering* across the wafer; this module samples per-die
+// defect rates from a Gamma mixture, scatters defect coordinates over
+// each die, splits them between the embedded RAM region and the rest of
+// the chip, and asks the repairability model whether each die survives
+// — with and without BISR. It both cross-validates the analytic Fig. 4
+// model and produces the classic wafer-map picture.
+
+#include <string>
+#include <vector>
+
+#include "sim/ram_model.hpp"
+
+namespace bisram::models {
+
+struct WaferSpec {
+  double wafer_mm = 200;
+  double die_w_mm = 10;
+  double die_h_mm = 10;
+  double defects_per_cm2 = 1.0;
+  double cluster_alpha = 2.0;   ///< Stapper clustering
+  double ram_fraction = 0.2;    ///< die area occupied by the RAM macro
+  sim::RamGeometry ram_geo;     ///< geometry of the embedded RAM
+};
+
+enum class DieState : std::uint8_t {
+  OffWafer,   ///< outside the usable circle
+  Good,       ///< zero defects anywhere
+  Repaired,   ///< defects only in the RAM, repairable by BISR
+  Bad,        ///< logic defects, or unrepairable RAM defects
+};
+
+struct WaferResult {
+  int dies_total = 0;          ///< complete dies on the wafer
+  int good = 0;                ///< perfect dies
+  int repaired = 0;            ///< saved by BISR
+  int bad = 0;
+  std::vector<std::vector<DieState>> map;  ///< [row][col]
+
+  double yield_without_bisr() const {
+    return dies_total ? static_cast<double>(good) / dies_total : 0.0;
+  }
+  double yield_with_bisr() const {
+    return dies_total ? static_cast<double>(good + repaired) / dies_total
+                      : 0.0;
+  }
+};
+
+/// Simulates one wafer.
+WaferResult simulate_wafer(const WaferSpec& spec, std::uint64_t seed);
+
+/// ASCII rendering of the map ('.' off-wafer, 'O' good, 'R' repaired,
+/// 'X' bad) — the picture a fab yield report shows.
+std::string render_wafer(const WaferResult& result);
+
+}  // namespace bisram::models

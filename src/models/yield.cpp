@@ -1,0 +1,205 @@
+#include "models/yield.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "sim/bist.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace bisram::models {
+
+double poisson_cell_yield(double lambda) {
+  require(lambda >= 0, "poisson_cell_yield: negative lambda");
+  return std::exp(-lambda);
+}
+
+double stapper_yield(double defect_mean, double alpha) {
+  require(defect_mean >= 0, "stapper_yield: negative defect mean");
+  require(alpha > 0, "stapper_yield: non-positive alpha");
+  return std::pow(1.0 + defect_mean / alpha, -alpha);
+}
+
+double negbin_pmf(std::int64_t k, double mean, double alpha) {
+  if (k < 0) return 0.0;
+  require(alpha > 0, "negbin_pmf: non-positive alpha");
+  if (mean <= 0.0) return k == 0 ? 1.0 : 0.0;
+  const double p = mean / (mean + alpha);  // "success" probability
+  const double ln = std::lgamma(alpha + static_cast<double>(k)) -
+                    ln_factorial(k) - std::lgamma(alpha) +
+                    static_cast<double>(k) * std::log(p) +
+                    alpha * std::log1p(-p);
+  return std::exp(ln);
+}
+
+double repair_probability(const sim::RamGeometry& geo, std::int64_t defects) {
+  require(defects >= 0, "repair_probability: negative defects");
+  if (defects == 0) return 1.0;
+  const double ncells =
+      static_cast<double>(geo.total_rows()) * static_cast<double>(geo.cols());
+  const std::int64_t spare_words = geo.spare_words();
+  const double spare_cells =
+      static_cast<double>(spare_words) * static_cast<double>(geo.bpw);
+  // Factor 1: every defect must miss the spare cells (strict goodness).
+  const double spares_ok =
+      std::pow(1.0 - spare_cells / ncells, static_cast<double>(defects));
+  if (spare_words == 0) {
+    // No repair capacity at all: good iff no defect hits a regular word,
+    // which is impossible once a defect lands in the array.
+    return 0.0;
+  }
+  // Factor 2: the defects that hit regular cells must cover at most
+  // spare_words *distinct* words. Conditioned on missing the spares, the
+  // k defects are uniform over the NW words (each word has bpw cells), so
+  // the number of distinct faulty words follows the occupancy
+  // distribution of k balls in NW boxes. A binomial approximation is
+  // badly wrong here (k balls can never occupy more than k boxes), so we
+  // run the exact occupancy recurrence, lumping states beyond
+  // spare_words into an absorbing "unrepairable" state:
+  //   p(k+1, d) = p(k, d) * d/NW + p(k, d-1) * (1 - (d-1)/NW).
+  const double nw = static_cast<double>(geo.words);
+  const std::size_t cap = static_cast<std::size_t>(spare_words);
+  std::vector<double> p(cap + 1, 0.0);
+  p[0] = 1.0;
+  double dead = 0.0;
+  for (std::int64_t b = 0; b < defects; ++b) {
+    double carry = 0.0;  // mass flowing from d to d+1
+    for (std::size_t d = 0; d <= cap; ++d) {
+      const double stay = p[d] * (static_cast<double>(d) / nw);
+      const double leave = p[d] - stay;
+      p[d] = stay + carry;
+      carry = leave;
+    }
+    dead += carry;  // occupancy exceeded the spare capacity
+    if (dead > 1.0 - 1e-15) break;
+  }
+  double words_ok = 0.0;
+  for (double v : p) words_ok += v;
+  return words_ok * spares_ok;
+}
+
+double repair_probability_mc(const sim::RamGeometry& geo,
+                             std::int64_t defects, int trials,
+                             std::uint64_t seed) {
+  require(trials >= 1, "repair_probability_mc: needs >= 1 trial");
+  Rng rng(seed);
+  const std::uint64_t rows = static_cast<std::uint64_t>(geo.total_rows());
+  const std::uint64_t cols = static_cast<std::uint64_t>(geo.cols());
+  const int spare_words = geo.spare_words();
+  int good = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::set<std::uint32_t> faulty_words;
+    bool spare_hit = false;
+    for (std::int64_t d = 0; d < defects; ++d) {
+      const int row = static_cast<int>(rng.below(rows));
+      const int col = static_cast<int>(rng.below(cols));
+      if (row >= geo.rows()) {
+        spare_hit = true;
+        break;
+      }
+      // Invert the cell mapping: column = bit * bpc + colgroup.
+      const int colgroup = col % geo.bpc;
+      const std::uint32_t addr =
+          static_cast<std::uint32_t>(row) * static_cast<std::uint32_t>(geo.bpc) +
+          static_cast<std::uint32_t>(colgroup);
+      faulty_words.insert(addr);
+    }
+    if (!spare_hit && static_cast<int>(faulty_words.size()) <= spare_words)
+      ++good;
+  }
+  return static_cast<double>(good) / trials;
+}
+
+double bisr_yield(const sim::RamGeometry& geo, double defect_mean,
+                  double alpha, double growth) {
+  require(growth >= 1.0, "bisr_yield: growth factor must be >= 1");
+  const double m = defect_mean * growth;
+  if (m == 0.0) return 1.0;
+  // Truncate the negative-binomial sum when the residual tail cannot
+  // change the result at double precision.
+  double yield = 0.0;
+  double tail = 1.0;
+  const std::int64_t kmax =
+      static_cast<std::int64_t>(m + 12.0 * std::sqrt(m * (1.0 + m / alpha))) +
+      64;
+  for (std::int64_t k = 0; k <= kmax && tail > 1e-12; ++k) {
+    const double pk = negbin_pmf(k, m, alpha);
+    tail -= pk;
+    if (pk <= 0.0) continue;
+    yield += pk * repair_probability(geo, k);
+  }
+  return yield;
+}
+
+int min_spare_rows_for_yield(sim::RamGeometry geo, double defect_mean,
+                             double alpha, double target_yield,
+                             double growth4, double growth8, double growth16) {
+  require(target_yield > 0 && target_yield <= 1,
+          "min_spare_rows_for_yield: target must be in (0, 1]");
+  const std::pair<int, double> options[] = {
+      {4, growth4}, {8, growth8}, {16, growth16}};
+  for (const auto& [spares, growth] : options) {
+    geo.spare_rows = spares;
+    if (bisr_yield(geo, defect_mean, alpha, growth) >= target_yield)
+      return spares;
+  }
+  return -1;
+}
+
+std::vector<YieldPoint> yield_curve(sim::RamGeometry geo, int spare_rows,
+                                    double alpha, double growth,
+                                    double max_defects, int points) {
+  require(points >= 2, "yield_curve: needs >= 2 points");
+  geo.spare_rows = spare_rows;
+  geo.validate();
+  std::vector<YieldPoint> out;
+  out.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double m = max_defects * i / (points - 1);
+    const double y = spare_rows == 0 ? stapper_yield(m, alpha)
+                                     : bisr_yield(geo, m, alpha, growth);
+    out.push_back({m, y});
+  }
+  return out;
+}
+
+BisrYieldMc bisr_yield_mc_with_bist(const sim::RamGeometry& geo,
+                                    double defect_mean, double alpha,
+                                    double growth, int trials,
+                                    std::uint64_t seed) {
+  require(trials >= 1, "bisr_yield_mc_with_bist: needs >= 1 trial");
+  Rng rng(seed);
+  BisrYieldMc out;
+  for (int t = 0; t < trials; ++t) {
+    // K ~ NegBin(mean = m*growth, alpha) via the Gamma-Poisson mixture.
+    const double m = defect_mean * growth;
+    const double rate = gamma_sample(rng, alpha, m / alpha);
+    const std::int64_t k = poisson_sample(rng, rate);
+
+    sim::RamModel ram(geo);
+    bool spare_hit = false;
+    for (std::int64_t d = 0; d < k; ++d) {
+      sim::Fault f;
+      f.kind = rng.chance(0.5) ? sim::FaultKind::StuckAt0
+                               : sim::FaultKind::StuckAt1;
+      f.victim = {static_cast<int>(rng.below(static_cast<std::uint64_t>(geo.total_rows()))),
+                  static_cast<int>(rng.below(static_cast<std::uint64_t>(geo.cols())))};
+      if (f.victim.row >= geo.rows()) spare_hit = true;
+      ram.array().inject(f);
+    }
+    // Run the real two-pass BIST/BISR machinery. Note a StuckAt0 fault in
+    // a cell that every background pattern drives to 0 is benign but is
+    // still *detected* by IFA-9's complement writes, so this matches the
+    // analytic "any hit cell is faulty" accounting.
+    const sim::BistResult r = sim::self_test_and_repair(ram);
+    if (r.repair_successful) {
+      out.bist_repaired += 1.0;
+      if (!spare_hit) out.strict_good += 1.0;
+    }
+  }
+  out.bist_repaired /= trials;
+  out.strict_good /= trials;
+  return out;
+}
+
+}  // namespace bisram::models

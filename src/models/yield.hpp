@@ -1,0 +1,86 @@
+#pragma once
+// Yield model (paper Section VII, Fig. 4).
+//
+// Defect statistics follow Stapper: the number of defects K falling on an
+// area with mean defect count m = D*A is negative-binomial with
+// clustering parameter alpha, so that P(K = 0) = (1 + m/alpha)^-alpha is
+// exactly Stapper's yield formula. Given K = k defects placed uniformly
+// over the cell array, a BISR'ed RAM is "good" (the paper's strict
+// manufacturing definition) iff
+//   (a) the number of faulty regular words is at most the number of
+//       spare words (s * bpc), and
+//   (b) every spare word is fault-free.
+// The yield with BISR is E_K[ P(pattern of K defects is repairable) ],
+// where the defect mean is grown by the BISR area growth factor.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/ram_model.hpp"
+
+namespace bisram::models {
+
+/// Poisson single-cell yield e^-lambda (lambda = mean faults per cell).
+double poisson_cell_yield(double lambda);
+
+/// Stapper's clustered yield (1 + m/alpha)^-alpha for defect mean m.
+double stapper_yield(double defect_mean, double alpha);
+
+/// Negative-binomial pmf P(K = k) with mean m and clustering alpha.
+double negbin_pmf(std::int64_t k, double mean, double alpha);
+
+/// P(a pattern of exactly `defects` uniformly placed cell defects is
+/// repairable) under the strict goodness criterion, using the
+/// independent-words approximation:
+///   q = 1 - (1 - bpw/Ncells)^defects,
+///   P = BinCdf(NW, spare_words, q) * (1 - spare_cells/Ncells)^defects.
+double repair_probability(const sim::RamGeometry& geo, std::int64_t defects);
+
+/// Monte-Carlo estimate of the same probability (exact pattern
+/// semantics, no independence approximation).
+double repair_probability_mc(const sim::RamGeometry& geo,
+                             std::int64_t defects, int trials,
+                             std::uint64_t seed);
+
+/// Yield of a RAM *without* spares at defect mean m: Stapper.
+/// Yield *with* spares and BISR at the same nonredundant defect mean m:
+/// E_K[repair_probability(K)] with K ~ NegBin(mean = m * growth, alpha).
+/// `growth` is the BISR'ed-over-plain area ratio (>= 1).
+double bisr_yield(const sim::RamGeometry& geo, double defect_mean,
+                  double alpha, double growth);
+
+/// Spare-allocation helper: the smallest paper-supported spare-row count
+/// (4, 8, 16) whose BISR yield meets `target_yield` at the given defect
+/// mean, or -1 when even 16 rows fall short. Growth factors are supplied
+/// per spare count (index by 4/8/16 via the map argument order 4,8,16).
+int min_spare_rows_for_yield(sim::RamGeometry geo, double defect_mean,
+                             double alpha, double target_yield,
+                             double growth4 = 1.05, double growth8 = 1.06,
+                             double growth16 = 1.08);
+
+/// One Fig. 4 curve: yield vs defect mean for the given spare-row count.
+struct YieldPoint {
+  double defects;  ///< nonredundant defect mean (the paper's x axis)
+  double yield;
+};
+std::vector<YieldPoint> yield_curve(sim::RamGeometry geo, int spare_rows,
+                                    double alpha, double growth,
+                                    double max_defects, int points);
+
+/// End-to-end Monte-Carlo check: samples K ~ NegBin, injects K random
+/// stuck-at cell faults into a real RamModel and runs the actual
+/// BIST/BISR engine. `bist_repaired` is the fraction the two-pass flow
+/// repaired; `strict_good` additionally demands every spare cell be
+/// fault-free — the paper's manufacturing criterion and the quantity the
+/// analytic bisr_yield() models (BIST alone is more permissive: a faulty
+/// spare that is never used does not fail the module).
+struct BisrYieldMc {
+  double bist_repaired = 0;
+  double strict_good = 0;
+};
+BisrYieldMc bisr_yield_mc_with_bist(const sim::RamGeometry& geo,
+                                    double defect_mean, double alpha,
+                                    double growth, int trials,
+                                    std::uint64_t seed);
+
+}  // namespace bisram::models

@@ -1,0 +1,348 @@
+#include "pnr/floorplan.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace bisram::pnr {
+
+namespace {
+
+/// Absolute rect of a block port under a placement.
+Rect port_rect(const Block& block, const Transform& t,
+               const std::string& port) {
+  return t.apply(block.cell->port(port).rect);
+}
+
+/// Half-perimeter wirelength of one net under the current placements
+/// (unplaced pins are skipped).
+double net_hpwl(const Net& net, const std::vector<Block>& blocks,
+                const std::map<int, Transform>& placed) {
+  // Track min/max directly: pin centres are degenerate (zero-area)
+  // rects, which Rect::united would treat as empty and drop.
+  Coord min_x = 0, max_x = 0, min_y = 0, max_y = 0;
+  bool any = false;
+  for (const auto& [bi, port] : net.pins) {
+    auto it = placed.find(bi);
+    if (it == placed.end()) continue;
+    const Rect r = port_rect(blocks[static_cast<std::size_t>(bi)], it->second,
+                             port);
+    const geom::Point c = r.center();
+    if (!any) {
+      min_x = max_x = c.x;
+      min_y = max_y = c.y;
+      any = true;
+    } else {
+      min_x = std::min(min_x, c.x);
+      max_x = std::max(max_x, c.x);
+      min_y = std::min(min_y, c.y);
+      max_y = std::max(max_y, c.y);
+    }
+  }
+  if (!any) return 0.0;
+  return static_cast<double>((max_x - min_x) + (max_y - min_y));
+}
+
+double total_hpwl(const std::vector<Net>& nets,
+                  const std::vector<Block>& blocks,
+                  const std::map<int, Transform>& placed) {
+  double sum = 0.0;
+  for (const auto& net : nets) sum += net_hpwl(net, blocks, placed);
+  return sum;
+}
+
+}  // namespace
+
+FloorplanResult floorplan(const std::vector<Block>& blocks,
+                          const std::vector<Net>& nets,
+                          const FloorplanOptions& options) {
+  require(!blocks.empty(), "floorplan: no blocks");
+
+  // Decreasing-area order (the paper's first heuristic).
+  std::vector<int> order(blocks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return blocks[static_cast<std::size_t>(a)].cell->bbox().area() >
+           blocks[static_cast<std::size_t>(b)].cell->bbox().area();
+  });
+
+  std::map<int, Transform> placed;
+  std::vector<Rect> outlines;
+  Rect bbox{};
+
+  auto overlaps_any = [&](const Rect& r) {
+    for (const Rect& o : outlines)
+      if (r.overlaps(o)) return true;
+    return false;
+  };
+
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const int bi = order[k];
+    const Block& block = blocks[static_cast<std::size_t>(bi)];
+    const Rect local = block.cell->bbox();
+
+    if (k == 0) {
+      const Transform t = Transform::translate(-local.lo.x, -local.lo.y);
+      placed[bi] = t;
+      outlines.push_back(t.apply(local));
+      bbox = outlines.back();
+      continue;
+    }
+
+    // Candidate origins: to the right of and above the current bbox,
+    // bottom- and left-aligned, plus port-aligned variants for every net
+    // joining this block to a placed one.
+    const Coord s = options.spacing;
+    std::vector<geom::Point> candidates = {
+        {bbox.hi.x + s - local.lo.x, bbox.lo.y - local.lo.y},
+        {bbox.lo.x - local.lo.x, bbox.hi.y + s - local.lo.y},
+        {bbox.hi.x + s - local.lo.x, bbox.hi.y - local.hi.y},
+        {bbox.hi.x - local.hi.x, bbox.hi.y + s - local.lo.y},
+    };
+    for (const auto& net : nets) {
+      for (const auto& [pa, porta] : net.pins) {
+        if (pa != bi) continue;
+        for (const auto& [pb, portb] : net.pins) {
+          auto it = placed.find(pb);
+          if (it == placed.end()) continue;
+          const Rect target = port_rect(blocks[static_cast<std::size_t>(pb)],
+                                        it->second, portb);
+          const Rect mine = block.cell->port(porta).rect;
+          // Right abutment with y alignment, and top abutment with x
+          // alignment.
+          candidates.push_back({bbox.hi.x + s - local.lo.x,
+                                target.center().y - mine.center().y});
+          candidates.push_back({target.center().x - mine.center().x,
+                                bbox.hi.y + s - local.lo.y});
+        }
+      }
+    }
+
+    double best_cost = std::numeric_limits<double>::infinity();
+    Transform best_t;
+    Rect best_outline{};
+    for (const auto& origin : candidates) {
+      const Transform t = Transform::translate(origin.x, origin.y);
+      const Rect outline = t.apply(local);
+      if (overlaps_any(outline)) continue;
+      const Rect nb = bbox.united(outline);
+      const double w = static_cast<double>(nb.width());
+      const double h = static_cast<double>(nb.height());
+      const double squareness = std::max(w, h) / std::min(w, h) - 1.0;
+      const double area_term = nb.area() / bbox.area() - 1.0;
+      placed[bi] = t;
+      const double wl = total_hpwl(nets, blocks, placed);
+      placed.erase(bi);
+      const double cost = options.squareness_weight * (squareness + area_term) +
+                          options.wirelength_weight * wl;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_t = t;
+        best_outline = outline;
+      }
+    }
+    ensure(best_cost < std::numeric_limits<double>::infinity(),
+           "floorplan: no legal candidate for block " + block.name);
+    placed[bi] = best_t;
+    outlines.push_back(best_outline);
+    bbox = bbox.united(best_outline);
+  }
+
+  FloorplanResult result;
+  result.placements.reserve(blocks.size());
+  double area_sum = 0.0;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    result.placements.push_back({static_cast<int>(i),
+                                 placed.at(static_cast<int>(i))});
+    area_sum += blocks[i].cell->bbox().area();
+  }
+  result.bbox = bbox;
+  result.rectangularity = area_sum / bbox.area();
+  result.wirelength_dbu = total_hpwl(nets, blocks, placed);
+  return result;
+}
+
+namespace {
+
+/// Draws a via stack from `layer` up to metal3 at the given point.
+void via_stack_to_m3(geom::Cell& top, const tech::Tech& t, geom::Layer layer,
+                     geom::Point at) {
+  using geom::Layer;
+  auto pad = [&](Layer l, Coord size) {
+    top.add_shape(l, Rect::ltrb(at.x - size, at.y - size, at.x + size,
+                                at.y + size));
+  };
+  const Coord cut1 = t.via1_size / 2;
+  const Coord cut2 = t.via2_size / 2;
+  const Coord pad1 = cut1 + t.via1_encl;
+  const Coord pad2 = cut2 + t.via2_encl;
+  if (layer == Layer::Poly) {
+    const Coord cutc = t.contact_size / 2;
+    pad(Layer::Poly, cutc + t.contact_encl_poly);
+    pad(Layer::Contact, cutc);
+    pad(Layer::Metal1, cutc + t.contact_encl_m1);
+    layer = Layer::Metal1;
+  }
+  if (layer == Layer::Metal1) {
+    pad(Layer::Metal1, pad1);
+    pad(Layer::Via1, cut1);
+    pad(Layer::Metal2, pad1);
+    layer = Layer::Metal2;
+  }
+  if (layer == Layer::Metal2) {
+    pad(Layer::Metal2, pad2);
+    pad(Layer::Via2, cut2);
+    // The metal3 landing must also satisfy metal3's (wide) minimum width.
+    pad(Layer::Metal3,
+        std::max(pad2, t.rule(Layer::Metal3).min_width / 2 + 1));
+  }
+}
+
+/// Short straight wire on `layer` connecting a port point to the via
+/// stack in the halo (minimum width of that layer).
+void draw_bridge(geom::Cell& top, const tech::Tech& t, geom::Layer layer,
+                 geom::Point a, geom::Point b) {
+  const Coord w = t.rule(layer).min_width;
+  top.add_shape(layer, Rect::ltrb(std::min(a.x, b.x) - w / 2,
+                                  std::min(a.y, b.y) - w / 2,
+                                  std::max(a.x, b.x) + w / 2,
+                                  std::max(a.y, b.y) + w / 2));
+}
+
+}  // namespace
+
+CellPtr build_top(geom::Library& lib, const tech::Tech& t,
+                  const std::string& name, const std::vector<Block>& blocks,
+                  const std::vector<Net>& nets, const FloorplanResult& plan) {
+  auto top = lib.create(name);
+  std::vector<Rect> outlines;
+  for (const auto& p : plan.placements) {
+    const auto& block = blocks[static_cast<std::size_t>(p.block)];
+    top->add_instance(block.name, block.cell, p.transform);
+    outlines.push_back(p.transform.apply(block.cell->bbox()));
+  }
+
+  const Coord w3 = t.rule(geom::Layer::Metal3).min_width;
+  int net_ordinal = 0;
+  for (const auto& net : nets) {
+    if (net.pins.size() < 2) continue;
+    // Stagger taps per net so two nets sharing a port (or adjacent ports)
+    // do not drop their via stacks on top of each other.
+    const Coord stagger = geom::dbu(8.0 * net_ordinal++);
+    // Collect absolute pin rects and their owning block outlines.
+    std::vector<std::tuple<Rect, geom::Layer, Rect>> pins;
+    for (const auto& [bi, port] : net.pins) {
+      const auto& block = blocks[static_cast<std::size_t>(bi)];
+      const auto& pr = block.cell->port(port);
+      pins.push_back(
+          {plan.placements[static_cast<std::size_t>(bi)].transform.apply(
+               pr.rect),
+           pr.layer, outlines[static_cast<std::size_t>(bi)]});
+    }
+    // Pin tap: pick a point on the port (edge buses carry their first
+    // wire 4 lambda from the corner), then push the via stack just
+    // *outside* the block outline, into the floorplan halo, so the
+    // stack's landing pads cannot collide with block-internal wiring. A
+    // short port-layer bridge connects the port to the stack.
+    const Coord four = geom::dbu(4);
+    const Coord push = geom::dbu(6);
+    auto tap = [&](const Rect& r, geom::Layer layer,
+                   const Rect& outline) -> geom::Point {
+      geom::Point on_port = r.center();
+      if (r.width() > 4 * r.height())
+        on_port = {std::min(r.lo.x + four + stagger, r.hi.x - four),
+                   r.center().y};
+      else if (r.height() > 4 * r.width())
+        on_port = {r.center().x,
+                   std::min(r.lo.y + four + stagger, r.hi.y - four)};
+      // Outward direction: toward the nearest outline edge.
+      const Coord d_left = on_port.x - outline.lo.x;
+      const Coord d_right = outline.hi.x - on_port.x;
+      const Coord d_bot = on_port.y - outline.lo.y;
+      const Coord d_top = outline.hi.y - on_port.y;
+      const Coord dmin = std::min({d_left, d_right, d_bot, d_top});
+      geom::Point outside = on_port;
+      if (dmin == d_left) outside.x = outline.lo.x - push;
+      else if (dmin == d_right) outside.x = outline.hi.x + push;
+      else if (dmin == d_bot) outside.y = outline.lo.y - push;
+      else outside.y = outline.hi.y + push;
+      // Bridge on the port's own layer from the port to the stack.
+      draw_bridge(*top, t, layer, on_port, outside);
+      return outside;
+    };
+    // Chain pins: route pin i to pin i+1 unless they abut (or face each
+    // other across the floorplan halo, where a production tool would
+    // stretch the blocks into contact — the paper's stretching
+    // heuristic).
+    const Coord abut_reach = geom::dbu(16);
+    for (std::size_t i = 0; i + 1 < pins.size(); ++i) {
+      const auto& [ra, la, oa] = pins[i];
+      const auto& [rb, lbl, ob] = pins[i + 1];
+      if (geom::rect_gap(ra, rb) <= abut_reach) continue;
+      const geom::Point a = tap(ra, la, oa);
+      const geom::Point b = tap(rb, lbl, ob);
+      via_stack_to_m3(*top, t, la, a);
+      via_stack_to_m3(*top, t, lbl, b);
+      // L route on metal3 (over-the-cell).
+      const geom::Point corner{b.x, a.y};
+      auto add_wire = [&](geom::Point p0, geom::Point p1) {
+        if (p0.x == p1.x && p0.y == p1.y) return;
+        top->add_shape(geom::Layer::Metal3,
+                       Rect::ltrb(std::min(p0.x, p1.x) - w3 / 2,
+                                  std::min(p0.y, p1.y) - w3 / 2,
+                                  std::max(p0.x, p1.x) + w3 / 2,
+                                  std::max(p0.y, p1.y) + w3 / 2));
+      };
+      add_wire(a, corner);
+      add_wire(corner, b);
+    }
+  }
+  return top;
+}
+
+ChannelRoute left_edge_route(const std::vector<ChannelPin>& pins) {
+  // Interval per net.
+  std::map<int, std::pair<Coord, Coord>> spans;
+  for (const auto& pin : pins) {
+    auto it = spans.find(pin.net);
+    if (it == spans.end()) {
+      spans[pin.net] = {pin.x, pin.x};
+    } else {
+      it->second.first = std::min(it->second.first, pin.x);
+      it->second.second = std::max(it->second.second, pin.x);
+    }
+  }
+  struct Interval {
+    int net;
+    Coord lo, hi;
+  };
+  std::vector<Interval> intervals;
+  for (const auto& [net, span] : spans)
+    intervals.push_back({net, span.first, span.second});
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+
+  ChannelRoute route;
+  std::vector<Coord> track_end;  // rightmost occupied x per track
+  for (const auto& iv : intervals) {
+    int track = -1;
+    for (std::size_t tr = 0; tr < track_end.size(); ++tr) {
+      if (track_end[tr] < iv.lo) {
+        track = static_cast<int>(tr);
+        break;
+      }
+    }
+    if (track < 0) {
+      track = static_cast<int>(track_end.size());
+      track_end.push_back(std::numeric_limits<Coord>::min());
+    }
+    track_end[static_cast<std::size_t>(track)] = iv.hi;
+    route.segments.push_back({iv.net, track, iv.lo, iv.hi});
+  }
+  route.tracks = static_cast<int>(track_end.size());
+  return route;
+}
+
+}  // namespace bisram::pnr

@@ -1,0 +1,97 @@
+#pragma once
+// Macrocell place-and-route, following the paper's heuristics:
+//
+//  * blocks are placed in decreasing order of area;
+//  * candidate positions keep the growing floorplan "as rectangular as
+//    possible" (the squareness term of the cost);
+//  * port alignment: when a block's ports connect to an already-placed
+//    block, candidates that bring those ports face-to-face are generated
+//    and wirelength-scored — this "avoids the long computation involved
+//    in trying out all 64 pairs of orientations";
+//  * stretching: a post-pass slides blocks along their abutment edge to
+//    zero out remaining port misalignment when no overlap results;
+//  * connections between non-abutting ports are routed over-the-cell in
+//    metal3 rather than through channels wherever possible.
+//
+// A classic left-edge channel router is provided for the control-signal
+// channel between the TRPLA and the datapath generators.
+
+#include <string>
+#include <vector>
+
+#include "geom/cell.hpp"
+#include "tech/tech.hpp"
+
+namespace bisram::pnr {
+
+using geom::CellPtr;
+using geom::Coord;
+using geom::Rect;
+using geom::Transform;
+
+/// One macro to place.
+struct Block {
+  std::string name;
+  CellPtr cell;
+};
+
+/// A logical connection: pins are (block index, port name).
+struct Net {
+  std::string name;
+  std::vector<std::pair<int, std::string>> pins;
+};
+
+struct FloorplanOptions {
+  double squareness_weight = 1.0;
+  double wirelength_weight = 1e-6;  ///< per-DBU; bbox term dominates
+  Coord spacing = 0;                ///< margin inserted between blocks
+};
+
+struct Placement {
+  int block = 0;
+  Transform transform;
+};
+
+struct FloorplanResult {
+  std::vector<Placement> placements;  ///< one per block, block order
+  Rect bbox;
+  double rectangularity = 0;  ///< sum(block areas) / bbox area, <= 1
+  double wirelength_dbu = 0;  ///< HPWL over all nets
+};
+
+/// Places the blocks. Throws on empty input.
+FloorplanResult floorplan(const std::vector<Block>& blocks,
+                          const std::vector<Net>& nets,
+                          const FloorplanOptions& options = {});
+
+/// Builds the placed top-level cell and routes every non-abutting net
+/// with an L-shaped over-the-cell metal3 wire (via stacks at the pins).
+CellPtr build_top(geom::Library& lib, const tech::Tech& t,
+                  const std::string& name, const std::vector<Block>& blocks,
+                  const std::vector<Net>& nets, const FloorplanResult& plan);
+
+// --- channel routing ---------------------------------------------------------
+
+/// A pin entering a routing channel at position x; `net` groups pins.
+struct ChannelPin {
+  Coord x = 0;
+  int net = 0;
+};
+
+struct ChannelSegment {
+  int net = 0;
+  int track = 0;
+  Coord x0 = 0, x1 = 0;
+};
+
+struct ChannelRoute {
+  std::vector<ChannelSegment> segments;  ///< one horizontal trunk per net
+  int tracks = 0;
+};
+
+/// Left-edge channel routing: each net gets one horizontal trunk spanning
+/// its pins, packed greedily into tracks. The track count equals the
+/// channel density for pin sets without vertical constraints.
+ChannelRoute left_edge_route(const std::vector<ChannelPin>& pins);
+
+}  // namespace bisram::pnr

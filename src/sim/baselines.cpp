@@ -1,0 +1,117 @@
+#include "sim/baselines.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bisram::sim {
+
+namespace {
+std::vector<std::uint32_t> distinct(std::vector<std::uint32_t> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+}  // namespace
+
+RepairAnalysis bisramgen_repair(const RamGeometry& geo,
+                                const std::vector<std::uint32_t>& faulty_words,
+                                const std::vector<int>& faulty_spares) {
+  const auto faults = distinct(faulty_words);
+  RepairAnalysis r;
+  r.repairs_used = static_cast<int>(faults.size());
+  if (r.repairs_used > geo.spare_words()) return r;  // not repairable
+  // Strict "goodness": the spares consumed by the strictly increasing
+  // sequence must themselves be fault-free. (The 2k-pass extension can
+  // tolerate faulty spares if enough remain; that stricter-capability
+  // variant is exercised in the BIST engine itself.)
+  for (int spare : faulty_spares) {
+    if (spare < r.repairs_used) return r;
+  }
+  r.repairable = true;
+  return r;
+}
+
+RepairAnalysis sawada_repair(const std::vector<std::uint32_t>& faulty_words,
+                             bool spare_good) {
+  const auto faults = distinct(faulty_words);
+  RepairAnalysis r;
+  r.repairs_used = static_cast<int>(faults.size());
+  r.repairable = faults.size() <= 1 && (faults.empty() || spare_good);
+  return r;
+}
+
+RepairAnalysis chen_sunada_repair(const RamGeometry& geo,
+                                  const std::vector<std::uint32_t>& faulty_words,
+                                  int subblocks, int captures_per_block,
+                                  int spare_blocks) {
+  require(subblocks >= 1, "chen_sunada_repair: need >= 1 subblock");
+  require(geo.words % static_cast<std::uint32_t>(subblocks) == 0,
+          "chen_sunada_repair: words must divide into subblocks");
+  const std::uint32_t block_words = geo.words / static_cast<std::uint32_t>(subblocks);
+
+  std::vector<int> per_block(static_cast<std::size_t>(subblocks), 0);
+  for (std::uint32_t addr : distinct(faulty_words))
+    per_block[addr / block_words]++;
+
+  RepairAnalysis r;
+  for (int count : per_block) {
+    if (count == 0) continue;
+    if (count <= captures_per_block) {
+      r.repairs_used += count;
+    } else {
+      r.dead_subblocks++;  // beyond local repair; needs the fault assembler
+    }
+  }
+  r.repairable = r.dead_subblocks <= spare_blocks;
+  return r;
+}
+
+double parallel_compare_delay_s(int entries, double tau_s) {
+  require(entries >= 1, "parallel_compare_delay_s: need >= 1 entry");
+  // CAM match in parallel (1 tau), wired-OR/priority encode over entries
+  // (log2 tree), output mux (1 tau).
+  int levels = 0;
+  for (int n = 1; n < entries; n *= 2) ++levels;
+  return tau_s * (2.0 + levels);
+}
+
+double sequential_compare_delay_s(int entries, double tau_s) {
+  require(entries >= 1, "sequential_compare_delay_s: need >= 1 entry");
+  // Compare registers one after another: compare (1 tau) + select per
+  // entry, plus the final mux.
+  return tau_s * (2.0 * entries + 1.0);
+}
+
+SchemeComparison compare_schemes(const RamGeometry& geo, int defects,
+                                 int trials, std::uint64_t seed,
+                                 int cs_subblocks, int cs_spare_blocks,
+                                 double spare_fault_prob) {
+  require(trials >= 1, "compare_schemes: need >= 1 trial");
+  Rng rng(seed);
+  SchemeComparison out;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<std::uint32_t> faulty;
+    for (int d = 0; d < defects; ++d)
+      faulty.push_back(static_cast<std::uint32_t>(rng.below(geo.words)));
+    std::vector<int> faulty_spares;
+    for (int s = 0; s < geo.spare_words(); ++s)
+      if (rng.chance(spare_fault_prob)) faulty_spares.push_back(s);
+
+    if (bisramgen_repair(geo, faulty, faulty_spares).repairable)
+      out.bisramgen += 1.0;
+    if (chen_sunada_repair(geo, faulty, cs_subblocks, 2, cs_spare_blocks)
+            .repairable)
+      out.chen_sunada += 1.0;
+    if (sawada_repair(faulty, faulty_spares.empty()).repairable)
+      out.sawada += 1.0;
+  }
+  out.bisramgen /= trials;
+  out.chen_sunada /= trials;
+  out.sawada /= trials;
+  return out;
+}
+
+}  // namespace bisram::sim

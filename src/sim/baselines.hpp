@@ -1,0 +1,74 @@
+#pragma once
+// The BISR schemes the paper compares against (Section III):
+//
+//  * Sawada et al. 1989 — a single fail-address register; repairs one
+//    faulty address location.
+//  * Chen & Sunada 1993 — hierarchical subblocks, each with a fault
+//    signature block holding TWO fault-capture registers (so two
+//    repairable addresses per subblock), sequential address comparison,
+//    and a top-level "fault assembler" that swaps dead subblocks for
+//    spare subblocks.
+//  * Kebichi & Nicolaidis 1992 — transparent BIST only, no repair.
+//
+// These are modelled at repair-analysis granularity: given a set of
+// faulty word addresses, can the scheme repair the pattern, and what
+// address-path delay does it add? The BISRAMGEN TLB analysis lives here
+// too so benchmarks can compare all schemes uniformly.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/ram_model.hpp"
+
+namespace bisram::sim {
+
+/// Result of a repair-capability analysis.
+struct RepairAnalysis {
+  bool repairable = false;
+  int repairs_used = 0;     ///< spare words / capture registers consumed
+  int dead_subblocks = 0;   ///< Chen-Sunada: subblocks beyond local repair
+};
+
+/// BISRAMGEN: repairable iff the number of distinct faulty words does not
+/// exceed spare_words() and (per the paper's strict "goodness") the
+/// spares named by the strictly increasing sequence are fault-free —
+/// callers pass faulty spare indices separately.
+RepairAnalysis bisramgen_repair(const RamGeometry& geo,
+                                const std::vector<std::uint32_t>& faulty_words,
+                                const std::vector<int>& faulty_spares = {});
+
+/// Sawada: one fail-address register; repairable iff at most one faulty
+/// word (and the single spare location is good).
+RepairAnalysis sawada_repair(const std::vector<std::uint32_t>& faulty_words,
+                             bool spare_good = true);
+
+/// Chen-Sunada: the word space is divided into `subblocks` equal blocks;
+/// each block repairs at most `captures_per_block` (2 in the paper)
+/// faulty addresses; blocks with more faults are dead and must be covered
+/// by one of `spare_blocks` spare subblocks (the fault assembler).
+RepairAnalysis chen_sunada_repair(
+    const RamGeometry& geo, const std::vector<std::uint32_t>& faulty_words,
+    int subblocks, int captures_per_block = 2, int spare_blocks = 0);
+
+/// Address-path delay models (normal-mode penalty), in gate delays of
+/// `tau_s` each. BISRAMGEN compares all entries in parallel: one CAM
+/// match + priority-encode + mux. Chen-Sunada compares its capture
+/// registers sequentially: delay grows linearly in the register count.
+double parallel_compare_delay_s(int entries, double tau_s);
+double sequential_compare_delay_s(int entries, double tau_s);
+
+/// Monte-Carlo repair-success comparison: injects `defects` uniformly
+/// random faulty words (with `spare_fault_prob` chance of each spare word
+/// being bad) and returns the fraction of `trials` patterns each scheme
+/// repairs: {bisramgen, chen_sunada, sawada}.
+struct SchemeComparison {
+  double bisramgen = 0;
+  double chen_sunada = 0;
+  double sawada = 0;
+};
+SchemeComparison compare_schemes(const RamGeometry& geo, int defects,
+                                 int trials, std::uint64_t seed,
+                                 int cs_subblocks, int cs_spare_blocks = 0,
+                                 double spare_fault_prob = 0.0);
+
+}  // namespace bisram::sim

@@ -1,0 +1,91 @@
+#include "sim/bist.hpp"
+
+#include "sim/generators.hpp"
+
+namespace bisram::sim {
+
+BistEngine::BistEngine(RamModel& ram, BistConfig config)
+    : ram_(ram), config_(config) {
+  require(config_.test != nullptr, "BistEngine: null march test");
+  require(config_.max_passes >= 2, "BistEngine: needs at least two passes");
+}
+
+bool BistEngine::run_pass(int pass, BistResult& result) {
+  const march::MarchTest& test = *config_.test;
+  const RamGeometry& geo = ram_.geometry();
+
+  // Pass 1 tests the raw array; later passes test through the repair map.
+  ram_.set_repair_enabled(pass >= 2);
+
+  bool clean = true;
+  DataGen datagen(geo.bpw);
+  datagen.reset();
+  const int backgrounds = config_.johnson_backgrounds
+                              ? datagen.background_count()
+                              : 1;
+  for (int bg = 0; bg < backgrounds; ++bg) {
+    for (const auto& element : test.elements()) {
+      if (element.is_delay) {
+        // The embedded processor tristates the bus and waits; our clock
+        // simply advances so retention faults can decay.
+        ram_.elapse(config_.retention_wait_s);
+        continue;
+      }
+      AddGen addgen(geo.words);
+      addgen.reset(element.order != march::Order::Down);
+      for (;;) {
+        const std::uint32_t addr = addgen.address();
+        for (march::Op op : element.ops) {
+          ++result.cycles;
+          if (!march::is_read(op)) {
+            ram_.write_word(addr, datagen.word(march::op_value(op)));
+            continue;
+          }
+          const Word data = ram_.read_word(addr);
+          if (!datagen.mismatch(data, march::op_value(op))) continue;
+          clean = false;
+          // Record exactly as the hardware does, on every mismatching
+          // read: in pass 1 the TLB's own address compare dedups repeat
+          // detections; in pass >= 2 the mapped spare itself proved bad,
+          // so a new entry supersedes it — and once remapped, subsequent
+          // ops divert to the fresh spare and stop mismatching, so no
+          // spare is burned twice.
+          const auto spare = ram_.tlb().record(addr, /*force_new=*/pass >= 2);
+          if (!spare) result.tlb_overflow = true;
+        }
+        if (addgen.at_last()) break;
+        addgen.step();
+      }
+    }
+    if (config_.johnson_backgrounds && !datagen.at_last()) datagen.step();
+  }
+  return clean;
+}
+
+BistResult BistEngine::run() {
+  BistResult result;
+  for (int pass = 1; pass <= config_.max_passes; ++pass) {
+    const bool clean = run_pass(pass, result);
+    ++result.passes_run;
+    if (pass == 1) result.pass1_clean = clean;
+    result.spares_used = ram_.tlb().used();
+
+    if (clean) {
+      // Either the array was fault-free (pass 1 clean, nothing mapped) or
+      // a verification pass confirmed the repair.
+      result.repair_successful = true;
+      break;
+    }
+    if (result.tlb_overflow) break;  // cannot repair: too many faults
+  }
+  // Leave the RAM in normal mode with diversion active so that the
+  // repaired module is usable immediately after BIST.
+  ram_.set_repair_enabled(true);
+  return result;
+}
+
+BistResult self_test_and_repair(RamModel& ram, BistConfig config) {
+  return BistEngine(ram, config).run();
+}
+
+}  // namespace bisram::sim

@@ -1,0 +1,70 @@
+#pragma once
+// Behavioural BIST + BISR engine implementing the paper's flow:
+//
+//   pass 1: march the array (IFA-9 by default, over the Johnson data
+//           backgrounds); every mismatching word address is recorded in
+//           the TLB against the next spare in the strictly increasing
+//           sequence.
+//   pass 2: re-march with the TLB diversion active, so the mapped spare
+//           words are tested in place of the faulty words. Any residual
+//           mismatch means faulty spares or too many faults.
+//
+// The classic scheme stops here and raises "Repair Unsuccessful"; the
+// paper notes the flow "can be easily converted to a 2k-pass algorithm"
+// that iterates to repair faults within the spares themselves — set
+// `max_passes > 2` for that behaviour.
+//
+// This engine interprets the march directly; the microprogrammed TRPLA
+// path (src/microcode + sim/controller.hpp) drives the same datapath from
+// a PLA personality, and the two are proven equivalent in tests.
+
+#include <cstdint>
+
+#include "march/march.hpp"
+#include "sim/ram_model.hpp"
+
+namespace bisram::sim {
+
+struct BistConfig {
+  const march::MarchTest* test = &march::ifa9();
+  /// Apply all bpw+1 Johnson backgrounds; false = single all-0 background
+  /// (the ablation the paper argues against Chen-Sunada's generator).
+  bool johnson_backgrounds = true;
+  /// 2 = the paper's standard flow; 2k allows k repair rounds.
+  int max_passes = 2;
+  /// Data-retention wait per Delay element (paper suggests ~100 ms).
+  double retention_wait_s = 0.1;
+};
+
+struct BistResult {
+  bool pass1_clean = false;        ///< no mismatch in the first pass
+  bool repair_successful = false;  ///< a verification pass ran clean
+  bool tlb_overflow = false;       ///< more faulty words than spares
+  int spares_used = 0;             ///< TLB entries consumed
+  int passes_run = 0;
+  std::uint64_t cycles = 0;        ///< RAM read+write operations issued
+
+  /// The paper's status signal.
+  bool repair_unsuccessful() const { return !repair_successful; }
+};
+
+class BistEngine {
+ public:
+  BistEngine(RamModel& ram, BistConfig config = {});
+
+  /// Runs the complete self-test / self-repair flow. On success the RAM
+  /// is left with repair enabled (normal mode uses the TLB diversion).
+  BistResult run();
+
+ private:
+  /// One full march over all backgrounds. Returns true when clean.
+  bool run_pass(int pass, BistResult& result);
+
+  RamModel& ram_;
+  BistConfig config_;
+};
+
+/// Convenience: run BIST/BISR with defaults and return the result.
+BistResult self_test_and_repair(RamModel& ram, BistConfig config = {});
+
+}  // namespace bisram::sim

@@ -1,0 +1,64 @@
+#pragma once
+// Cycle-accurate execution of the microprogrammed TRPLA controller: the
+// state register (STREG), the NOR-NOR PLA, and the BIST/BISR datapath
+// (ADDGEN, DATAGEN, comparator, TLB, retention timer) wired to a
+// fault-injectable RAM. Unlike sim/bist.hpp, nothing here interprets the
+// march test — every control decision comes out of the PLA personality,
+// exactly as in the generated hardware.
+
+#include <cstdint>
+
+#include "microcode/controller.hpp"
+#include "sim/bist.hpp"
+#include "sim/generators.hpp"
+#include "sim/ram_model.hpp"
+
+namespace bisram::sim {
+
+class PlaBistMachine {
+ public:
+  /// `johnson_backgrounds` false pins DATAGEN to the all-0 background
+  /// (the bg_last condition reads constant-true).
+  PlaBistMachine(RamModel& ram, const microcode::AssembledController& ctrl,
+                 double retention_wait_s = 0.1,
+                 bool johnson_backgrounds = true, int timer_cycles = 3);
+
+  /// Executes one controller cycle; returns true when the controller has
+  /// reached DONE_OK or DONE_FAIL.
+  bool step();
+
+  /// Runs to completion (bounded by `max_cycles` as a runaway guard).
+  BistResult run(std::uint64_t max_cycles = 1ull << 34);
+
+  int state() const { return state_; }
+  std::uint64_t controller_cycles() const { return controller_cycles_; }
+
+ private:
+  std::vector<bool> sample_conditions() const;
+
+  RamModel& ram_;
+  const microcode::AssembledController& ctrl_;
+  AddGen addgen_;
+  DataGen datagen_;
+  double retention_wait_s_;
+  bool johnson_;
+  int timer_cycles_;
+
+  int state_ = 0;
+  bool dirty_ = false;
+  bool overflow_ = false;
+  int timer_remaining_ = 0;
+  bool pass1_clean_seen_ = true;  // no mismatch observed during pass 1
+  int passes_started_ = 0;        // INIT's ClearDirty starts pass 1
+  std::uint64_t ram_ops_ = 0;
+  std::uint64_t controller_cycles_ = 0;
+  bool finished_ = false;
+  bool success_ = false;
+};
+
+/// Convenience: build the TRPLA for `config.test`/`config.max_passes`,
+/// execute it, and return the same BistResult shape as the behavioural
+/// engine (tests prove the two agree).
+BistResult run_microcoded_bist(RamModel& ram, const BistConfig& config = {});
+
+}  // namespace bisram::sim

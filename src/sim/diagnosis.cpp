@@ -1,0 +1,94 @@
+#include "sim/diagnosis.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "sim/generators.hpp"
+#include "util/strings.hpp"
+
+namespace bisram::sim {
+
+std::string DiagnosisReport::render() const {
+  std::string out = strfmt("fault map: %zu failing bit(s), %zu faulty word(s), %s\n",
+                           failing_bits.size(), faulty_words.size(),
+                           repairable ? "repairable" : "NOT repairable");
+  for (const auto& s : failing_bits) {
+    out += strfmt("  addr %5u bit %3d (row %4d col %4d)  %d fails\n", s.addr,
+                  s.bit, s.physical_row, s.physical_col, s.fail_count);
+  }
+  if (column_failure)
+    out += strfmt("  COLUMN FAILURE suspected at physical column %d "
+                  "(row redundancy cannot repair it)\n",
+                  suspect_column);
+  return out;
+}
+
+DiagnosisReport diagnose(RamModel& ram, const march::MarchTest& test) {
+  const RamGeometry& geo = ram.geometry();
+  ram.set_repair_enabled(false);
+
+  std::map<std::pair<std::uint32_t, int>, int> fails;
+  DiagnosisReport report;
+
+  DataGen datagen(geo.bpw);
+  datagen.reset();
+  for (int bg = 0; bg < datagen.background_count(); ++bg) {
+    for (const auto& element : test.elements()) {
+      if (element.is_delay) {
+        ram.elapse(0.1);
+        continue;
+      }
+      AddGen addgen(geo.words);
+      addgen.reset(element.order != march::Order::Down);
+      for (;;) {
+        const std::uint32_t addr = addgen.address();
+        for (march::Op op : element.ops) {
+          if (!march::is_read(op)) {
+            ram.write_word(addr, datagen.word(march::op_value(op)));
+            continue;
+          }
+          ++report.reads;
+          const Word data = ram.read_word(addr);
+          for (int bit = 0; bit < geo.bpw; ++bit) {
+            const bool expect =
+                datagen.bit(bit) != march::op_value(op);
+            if (data[static_cast<std::size_t>(bit)] != expect)
+              fails[{addr, bit}]++;
+          }
+        }
+        if (addgen.at_last()) break;
+        addgen.step();
+      }
+    }
+    if (!datagen.at_last()) datagen.step();
+  }
+
+  std::map<int, int> per_column;
+  for (const auto& [key, count] : fails) {
+    const auto [addr, bit] = key;
+    const CellAddr cell = geo.cell_of(addr, bit);
+    report.failing_bits.push_back({addr, bit, cell.row, cell.col, count});
+    per_column[cell.col]++;
+    if (report.faulty_words.empty() || report.faulty_words.back() != addr)
+      report.faulty_words.push_back(addr);
+  }
+  std::sort(report.faulty_words.begin(), report.faulty_words.end());
+  report.faulty_words.erase(
+      std::unique(report.faulty_words.begin(), report.faulty_words.end()),
+      report.faulty_words.end());
+  report.repairable =
+      static_cast<int>(report.faulty_words.size()) <= geo.spare_words();
+
+  // Column-failure heuristic: one physical column accounts for at least
+  // half the regular rows' worth of failing bits.
+  for (const auto& [col, count] : per_column) {
+    if (count >= geo.rows() / 2) {
+      report.column_failure = true;
+      report.suspect_column = col;
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace bisram::sim

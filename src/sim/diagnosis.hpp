@@ -1,0 +1,45 @@
+#pragma once
+// Fault diagnosis: beyond the pass/fail and TLB contents the BIST flow
+// produces, a manufacturing engineer wants the fault map — which word
+// addresses and bit positions failed, and whether the pattern points at
+// a whole-column defect. The paper (Section VI) is explicit that column
+// failures swamp the row redundancy and can be *detected* but not
+// repaired; this module implements that detection: a diagnostic march
+// that logs every mismatching bit and classifies the damage.
+
+#include <string>
+#include <vector>
+
+#include "march/march.hpp"
+#include "sim/ram_model.hpp"
+
+namespace bisram::sim {
+
+/// One failing bit observed during the diagnostic march.
+struct BitSyndrome {
+  std::uint32_t addr = 0;
+  int bit = 0;
+  int physical_row = 0;
+  int physical_col = 0;
+  int fail_count = 0;  ///< mismatching reads at this bit
+};
+
+struct DiagnosisReport {
+  std::vector<BitSyndrome> failing_bits;     ///< sorted by (addr, bit)
+  std::vector<std::uint32_t> faulty_words;   ///< distinct addresses
+  bool repairable = false;                   ///< words <= spare words
+  bool column_failure = false;               ///< one column dominates
+  int suspect_column = -1;
+  std::uint64_t reads = 0;
+
+  /// Human-readable fault map.
+  std::string render() const;
+};
+
+/// Runs `test` diagnostically (pass-1 semantics, repair disabled, all
+/// Johnson backgrounds) and collects every mismatching bit. The RAM's
+/// fault state is unchanged; its contents are overwritten by the march.
+DiagnosisReport diagnose(RamModel& ram,
+                         const march::MarchTest& test = march::ifa9());
+
+}  // namespace bisram::sim

@@ -1,0 +1,77 @@
+#include "sim/fault_sim.hpp"
+
+namespace bisram::sim {
+
+Fault random_fault(FaultKind kind, const RamGeometry& geo, Rng& rng,
+                   CouplingScope scope) {
+  Fault f;
+  f.kind = kind;
+  const bool coupling = kind == FaultKind::CouplingIdem ||
+                        kind == FaultKind::CouplingInv ||
+                        kind == FaultKind::CouplingState;
+  if (!coupling) {
+    f.victim = {static_cast<int>(rng.below(static_cast<std::uint64_t>(geo.rows()))),
+                static_cast<int>(rng.below(static_cast<std::uint64_t>(geo.cols())))};
+  } else if (scope == CouplingScope::IntraWord) {
+    const auto addr = static_cast<std::uint32_t>(rng.below(geo.words));
+    const int bi = static_cast<int>(rng.below(static_cast<std::uint64_t>(geo.bpw)));
+    int bj = static_cast<int>(rng.below(static_cast<std::uint64_t>(geo.bpw)));
+    if (geo.bpw > 1) {
+      while (bj == bi)
+        bj = static_cast<int>(rng.below(static_cast<std::uint64_t>(geo.bpw)));
+    } else {
+      // Degenerate 1-bit words cannot host intra-word coupling; fall back
+      // to a neighbouring word's cell.
+      return random_fault(kind, geo, rng, CouplingScope::PhysicalNeighbor);
+    }
+    f.aggressor = geo.cell_of(addr, bi);
+    f.victim = geo.cell_of(addr, bj);
+  } else {
+    // Adjacent columns of the same row: under column multiplexing these
+    // belong to different words (or different bit positions).
+    const int row = static_cast<int>(rng.below(static_cast<std::uint64_t>(geo.rows())));
+    const int col = static_cast<int>(rng.below(static_cast<std::uint64_t>(geo.cols() - 1)));
+    f.aggressor = {row, col};
+    f.victim = {row, col + 1};
+    if (rng.chance(0.5)) std::swap(f.aggressor, f.victim);
+  }
+  f.dir_rising = rng.chance(0.5);
+  f.value = rng.chance(0.5);
+  f.value2 = rng.chance(0.5);
+  return f;
+}
+
+bool detects(const march::MarchTest& test, const RamGeometry& geo,
+             const Fault& fault, bool johnson_backgrounds) {
+  RamModel ram(geo);
+  ram.array().inject(fault);
+  BistConfig config;
+  config.test = &test;
+  config.johnson_backgrounds = johnson_backgrounds;
+  const BistResult result = BistEngine(ram, config).run();
+  return !result.pass1_clean;
+}
+
+std::vector<Coverage> fault_coverage(const march::MarchTest& test,
+                                     const RamGeometry& geo,
+                                     const std::vector<FaultKind>& kinds,
+                                     int trials, bool johnson_backgrounds,
+                                     std::uint64_t seed, CouplingScope scope) {
+  require(trials >= 1, "fault_coverage: needs at least one trial");
+  Rng rng(seed);
+  std::vector<Coverage> out;
+  for (FaultKind kind : kinds) {
+    Coverage cov;
+    cov.kind = kind;
+    cov.scope = scope;
+    for (int i = 0; i < trials; ++i) {
+      const Fault f = random_fault(kind, geo, rng, scope);
+      cov.total++;
+      if (detects(test, geo, f, johnson_backgrounds)) cov.detected++;
+    }
+    out.push_back(cov);
+  }
+  return out;
+}
+
+}  // namespace bisram::sim

@@ -1,0 +1,50 @@
+#pragma once
+// Single-fault injection campaigns measuring march-test coverage: the
+// evidence behind the paper's claims that IFA-9 "detects a wide range of
+// functional faults caused by layout defects" and that the Johnson
+// backgrounds "improve the fault coverage for coupling faults between
+// bits of the same word".
+
+#include <vector>
+
+#include "march/march.hpp"
+#include "sim/bist.hpp"
+#include "sim/ram_model.hpp"
+#include "util/rng.hpp"
+
+namespace bisram::sim {
+
+/// Where the two cells of a coupling fault live relative to each other.
+enum class CouplingScope {
+  IntraWord,       ///< aggressor and victim are bits of the same word
+  PhysicalNeighbor ///< adjacent columns in the same row (different words
+                   ///< under column multiplexing)
+};
+
+/// Draws a random fault of the given kind within the regular array.
+Fault random_fault(FaultKind kind, const RamGeometry& geo, Rng& rng,
+                   CouplingScope scope = CouplingScope::PhysicalNeighbor);
+
+/// True when running `test` (pass 1 semantics) on a RAM containing only
+/// `fault` flags at least one mismatch.
+bool detects(const march::MarchTest& test, const RamGeometry& geo,
+             const Fault& fault, bool johnson_backgrounds);
+
+/// Coverage of one fault kind over `trials` random instances.
+struct Coverage {
+  FaultKind kind = FaultKind::StuckAt0;
+  CouplingScope scope = CouplingScope::PhysicalNeighbor;
+  int detected = 0;
+  int total = 0;
+  double fraction() const {
+    return total == 0 ? 0.0 : static_cast<double>(detected) / total;
+  }
+};
+
+/// Runs a campaign for each kind in `kinds`.
+std::vector<Coverage> fault_coverage(
+    const march::MarchTest& test, const RamGeometry& geo,
+    const std::vector<FaultKind>& kinds, int trials, bool johnson_backgrounds,
+    std::uint64_t seed, CouplingScope scope = CouplingScope::PhysicalNeighbor);
+
+}  // namespace bisram::sim

@@ -1,0 +1,37 @@
+#include "sim/generators.hpp"
+
+namespace bisram::sim {
+
+DataGen::DataGen(int bpw) : bpw_(bpw) {
+  require(bpw >= 1, "DataGen: bpw must be >= 1");
+}
+
+void DataGen::reset() { ones_ = 0; }
+
+bool DataGen::step() {
+  if (at_last()) return false;
+  ++ones_;
+  return true;
+}
+
+bool DataGen::bit(int i) const {
+  ensure(i >= 0 && i < bpw_, "DataGen::bit out of range");
+  return i < ones_;
+}
+
+std::vector<bool> DataGen::word(bool complemented) const {
+  std::vector<bool> w(static_cast<std::size_t>(bpw_));
+  for (int i = 0; i < bpw_; ++i)
+    w[static_cast<std::size_t>(i)] = bit(i) != complemented;
+  return w;
+}
+
+bool DataGen::mismatch(const std::vector<bool>& data, bool complemented) const {
+  ensure(static_cast<int>(data.size()) == bpw_, "DataGen: word width mismatch");
+  for (int i = 0; i < bpw_; ++i)
+    if (data[static_cast<std::size_t>(i)] != (bit(i) != complemented))
+      return true;
+  return false;
+}
+
+}  // namespace bisram::sim

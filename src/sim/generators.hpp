@@ -1,0 +1,81 @@
+#pragma once
+// The BIST datapath generators:
+//  * ADDGEN — a binary up/down counter producing the forward and reverse
+//    address sequences required by march elements;
+//  * DATAGEN — a Johnson counter stepping through the data backgrounds
+//    and comparing read data against expectations (XOR tree + OR gate in
+//    the hardware; modelled functionally here).
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bisram::sim {
+
+/// Binary up/down address counter over [0, words).
+class AddGen {
+ public:
+  explicit AddGen(std::uint32_t words) : words_(words) {
+    require(words >= 1, "AddGen: empty address space");
+  }
+
+  /// Loads 0 (up) or words-1 (down) and sets the direction.
+  void reset(bool up) {
+    up_ = up;
+    addr_ = up ? 0 : words_ - 1;
+    done_ = false;
+  }
+
+  std::uint32_t address() const { return addr_; }
+  /// True once the counter has stepped past the final address.
+  bool done() const { return done_; }
+  /// True while the counter sits on the last address of the sweep.
+  bool at_last() const { return up_ ? addr_ == words_ - 1 : addr_ == 0; }
+
+  /// Advances one step; sets done() when the sweep is exhausted.
+  void step() {
+    if (at_last()) {
+      done_ = true;
+      return;
+    }
+    addr_ = up_ ? addr_ + 1 : addr_ - 1;
+  }
+
+ private:
+  std::uint32_t words_;
+  std::uint32_t addr_ = 0;
+  bool up_ = true;
+  bool done_ = false;
+};
+
+/// Johnson-counter data background generator for bpw-bit words.
+/// Steps through the bpw+1 backgrounds all-0, 10...0, ..., all-1.
+class DataGen {
+ public:
+  explicit DataGen(int bpw);
+
+  void reset();
+  /// Shifts in the next background; returns false when already at the
+  /// last one (all-1).
+  bool step();
+  /// True when positioned at the final background.
+  bool at_last() const { return ones_ == bpw_; }
+  int background_index() const { return ones_; }
+  int background_count() const { return bpw_ + 1; }
+
+  /// Current background pattern, bit i of the word.
+  bool bit(int i) const;
+  /// The full pattern, optionally complemented (r1/w1 ops).
+  std::vector<bool> word(bool complemented) const;
+
+  /// Comparator: true when `data` differs from the expected pattern
+  /// (background or complement) in any bit — the XOR/OR network.
+  bool mismatch(const std::vector<bool>& data, bool complemented) const;
+
+ private:
+  int bpw_;
+  int ones_ = 0;  // Johnson fill count: background = 1^ones 0^(bpw-ones)
+};
+
+}  // namespace bisram::sim

@@ -1,0 +1,95 @@
+#include "sim/ram_model.hpp"
+
+#include "util/math.hpp"
+
+namespace bisram::sim {
+
+CellAddr RamGeometry::cell_of(std::uint32_t addr, int bit) const {
+  ensure(addr < words, "RamGeometry: address out of range");
+  ensure(bit >= 0 && bit < bpw, "RamGeometry: bit out of range");
+  const int row = static_cast<int>(addr) / bpc;
+  const int colgroup = static_cast<int>(addr) % bpc;
+  return {row, bit * bpc + colgroup};
+}
+
+CellAddr RamGeometry::spare_cell_of(int spare, int bit) const {
+  ensure(spare >= 0 && spare < spare_words(),
+         "RamGeometry: spare index out of range");
+  ensure(bit >= 0 && bit < bpw, "RamGeometry: bit out of range");
+  const int row = rows() + spare / bpc;
+  const int colgroup = spare % bpc;
+  return {row, bit * bpc + colgroup};
+}
+
+void RamGeometry::validate() const {
+  require(words >= 1, "RamGeometry: words must be >= 1");
+  require(bpw >= 1, "RamGeometry: bpw must be >= 1");
+  require(bpc >= 1 && is_pow2(static_cast<std::uint64_t>(bpc)),
+          "RamGeometry: bpc must be a power of two");
+  require(words % static_cast<std::uint32_t>(bpc) == 0,
+          "RamGeometry: words must be a multiple of bpc");
+  require(spare_rows >= 0, "RamGeometry: negative spare rows");
+}
+
+RamModel::RamModel(const RamGeometry& geo)
+    : geo_([&] {
+        geo.validate();
+        return geo;
+      }()),
+      array_(geo_.total_rows(), geo_.cols()),
+      tlb_(std::max(1, geo_.spare_words())) {}
+
+Word RamModel::read_word(std::uint32_t addr) {
+  if (repair_enabled_) {
+    if (const auto spare = tlb_.lookup(addr)) return read_spare(*spare);
+  }
+  Word w(static_cast<std::size_t>(geo_.bpw));
+  for (int bit = 0; bit < geo_.bpw; ++bit) {
+    const CellAddr c = geo_.cell_of(addr, bit);
+    w[static_cast<std::size_t>(bit)] = array_.read(c.row, c.col);
+  }
+  return w;
+}
+
+void RamModel::write_word(std::uint32_t addr, const Word& data) {
+  ensure(static_cast<int>(data.size()) == geo_.bpw,
+         "RamModel::write_word: width mismatch");
+  if (repair_enabled_) {
+    if (const auto spare = tlb_.lookup(addr)) {
+      write_spare(*spare, data);
+      return;
+    }
+  }
+  for (int bit = 0; bit < geo_.bpw; ++bit) {
+    const CellAddr c = geo_.cell_of(addr, bit);
+    array_.write(c.row, c.col, data[static_cast<std::size_t>(bit)]);
+  }
+}
+
+Word RamModel::read_spare(int spare) {
+  Word w(static_cast<std::size_t>(geo_.bpw));
+  for (int bit = 0; bit < geo_.bpw; ++bit) {
+    const CellAddr c = geo_.spare_cell_of(spare, bit);
+    w[static_cast<std::size_t>(bit)] = array_.read(c.row, c.col);
+  }
+  return w;
+}
+
+void RamModel::write_spare(int spare, const Word& data) {
+  ensure(static_cast<int>(data.size()) == geo_.bpw,
+         "RamModel::write_spare: width mismatch");
+  for (int bit = 0; bit < geo_.bpw; ++bit) {
+    const CellAddr c = geo_.spare_cell_of(spare, bit);
+    array_.write(c.row, c.col, data[static_cast<std::size_t>(bit)]);
+  }
+}
+
+Fault stuck_bit_fault(const RamGeometry& geo, std::uint32_t addr, int bit,
+                      bool stuck_at_one) {
+  Fault f;
+  f.kind = stuck_at_one ? FaultKind::StuckAt1 : FaultKind::StuckAt0;
+  f.victim = geo.cell_of(addr, bit);
+  return f;
+}
+
+}  // namespace bisram::sim

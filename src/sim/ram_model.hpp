@@ -1,0 +1,85 @@
+#pragma once
+// Word-level behavioural model of the BISR RAM that BISRAMGEN generates:
+// a column-multiplexed array with spare rows, fronted by the TLB address
+// diversion. Geometry follows the paper exactly: rows = words / bpc,
+// columns = bpw * bpc; bit k of the word at address a lives at
+// (row = a / bpc, column = k * bpc + a % bpc) — each I/O subarray owns
+// bpc adjacent columns, and the column decoder picks one of them.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/faults.hpp"
+#include "sim/tlb.hpp"
+
+namespace bisram::sim {
+
+/// Word pattern (bit 0 first).
+using Word = std::vector<bool>;
+
+/// Logical geometry of the RAM array.
+struct RamGeometry {
+  std::uint32_t words = 0;  ///< number of addressable words (NW)
+  int bpw = 0;              ///< bits per word
+  int bpc = 0;              ///< bits per column (column-mux factor)
+  int spare_rows = 0;       ///< redundant rows (4, 8 or 16 in the tool)
+
+  int rows() const { return static_cast<int>(words) / bpc; }
+  int cols() const { return bpw * bpc; }
+  int total_rows() const { return rows() + spare_rows; }
+  int spare_words() const { return spare_rows * bpc; }
+  std::uint64_t bits() const {
+    return static_cast<std::uint64_t>(words) * static_cast<std::uint64_t>(bpw);
+  }
+
+  /// Physical location of bit `bit` of word `addr`.
+  CellAddr cell_of(std::uint32_t addr, int bit) const;
+  /// Physical location of bit `bit` of spare word `spare`.
+  CellAddr spare_cell_of(int spare, int bit) const;
+
+  /// Throws SpecError unless bpc is a power of two, words divides evenly
+  /// into rows, and all values are positive.
+  void validate() const;
+};
+
+/// The fault-injectable BISR RAM.
+class RamModel {
+ public:
+  explicit RamModel(const RamGeometry& geo);
+
+  const RamGeometry& geometry() const { return geo_; }
+  FaultyArray& array() { return array_; }
+  const FaultyArray& array() const { return array_; }
+  Tlb& tlb() { return tlb_; }
+  const Tlb& tlb() const { return tlb_; }
+
+  /// Enables/disables TLB address diversion (normal mode after repair, or
+  /// pass >= 2 of the BIST).
+  void set_repair_enabled(bool on) { repair_enabled_ = on; }
+  bool repair_enabled() const { return repair_enabled_; }
+
+  /// Word access through the address path (TLB diversion when enabled).
+  Word read_word(std::uint32_t addr);
+  void write_word(std::uint32_t addr, const Word& data);
+
+  /// Direct spare-word access (used by tests and diagnostics).
+  Word read_spare(int spare);
+  void write_spare(int spare, const Word& data);
+
+  /// Data-retention wait (delegates to the array's clock).
+  void elapse(double seconds) { array_.elapse(seconds); }
+
+ private:
+  RamGeometry geo_;
+  FaultyArray array_;
+  Tlb tlb_;
+  bool repair_enabled_ = false;
+};
+
+/// Injects a fault described at word granularity: makes bit `bit` of word
+/// `addr` stuck-at the complement of what every test expects — a
+/// convenience for yield/repair experiments.
+Fault stuck_bit_fault(const RamGeometry& geo, std::uint32_t addr, int bit,
+                      bool stuck_at_one);
+
+}  // namespace bisram::sim

@@ -1,0 +1,30 @@
+#include "sim/tlb.hpp"
+
+#include "util/error.hpp"
+
+namespace bisram::sim {
+
+Tlb::Tlb(int capacity) : capacity_(capacity) {
+  require(capacity >= 1, "Tlb: capacity must be >= 1");
+}
+
+std::optional<int> Tlb::lookup(std::uint32_t addr) const {
+  // Newest entry wins: scan from the back.
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it)
+    if (it->addr == addr) return it->spare;
+  return std::nullopt;
+}
+
+std::optional<int> Tlb::record(std::uint32_t addr, bool force_new) {
+  if (!force_new) {
+    if (const auto existing = lookup(addr)) return existing;
+  }
+  if (full()) return std::nullopt;
+  const int spare = used();  // strictly increasing sequence 0, 1, 2, ...
+  entries_.push_back({addr, spare});
+  return spare;
+}
+
+void Tlb::clear() { entries_.clear(); }
+
+}  // namespace bisram::sim

@@ -1,0 +1,54 @@
+#pragma once
+// The BISR translation lookaside buffer.
+//
+// The paper's key repair structure: faulty word addresses found by BIST
+// are associated with a unique, predetermined, strictly increasing
+// sequence of redundant (spare-word) addresses. During normal operation
+// the incoming address is compared *in parallel* with every stored
+// address; a match diverts the access to the assigned spare word. The
+// strictly increasing assignment guarantees that, given enough spares,
+// any faulty row — spare or non-spare — can be replaced under the
+// 2k-pass scheme (a faulty spare's address simply earns a newer entry
+// mapping it to the next spare).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace bisram::sim {
+
+class Tlb {
+ public:
+  /// `capacity` is the number of spare words (spare_rows * bpc).
+  explicit Tlb(int capacity);
+
+  int capacity() const { return capacity_; }
+  int used() const { return static_cast<int>(entries_.size()); }
+  bool full() const { return used() >= capacity_; }
+
+  /// Parallel compare: spare index assigned to `addr`, if mapped.
+  /// When an address has been remapped (faulty spare), the newest entry
+  /// wins — exactly what a priority encoder over entry age gives.
+  std::optional<int> lookup(std::uint32_t addr) const;
+
+  /// Records `addr`, assigning the next spare in the strictly increasing
+  /// sequence. When the address is already mapped and `force_new` is
+  /// false (pass-1 dedup) the existing spare is returned; with
+  /// `force_new` (pass >= 2: the mapped spare itself proved faulty) a new
+  /// entry supersedes the old one. Returns nullopt when out of spares.
+  std::optional<int> record(std::uint32_t addr, bool force_new = false);
+
+  void clear();
+
+  struct Entry {
+    std::uint32_t addr;
+    int spare;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  int capacity_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace bisram::sim

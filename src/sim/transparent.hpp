@@ -1,0 +1,59 @@
+#pragma once
+// Transparent BIST engine (the Kebichi-Nicolaidis scheme the paper
+// compares against in Section III — test-only, no repair, but the RAM's
+// normal-mode contents survive the self-test).
+//
+// Because expected read values depend on the unknown initial data, the
+// engine runs two phases:
+//   1. signature prediction — walk the test's read sequence over the
+//      *current* contents, computing each predicted read value from the
+//      initial data and the op's inversion flag, and compact the stream
+//      into a MISR;
+//   2. execution — run the transparent test for real, compacting the
+//      actual read data into a second MISR.
+// A signature mismatch flags a fault. Aliasing probability is the usual
+// 2^-k for a k-bit MISR.
+
+#include <cstdint>
+
+#include "march/transparent.hpp"
+#include "sim/ram_model.hpp"
+
+namespace bisram::sim {
+
+/// Multiple-input signature register over GF(2) (Fibonacci LFSR with the
+/// read word XORed into the low bits each step).
+class Misr {
+ public:
+  explicit Misr(int bits);
+
+  void reset(std::uint64_t seed = 0x1);
+  void absorb(const Word& word);
+  std::uint64_t signature() const { return state_; }
+  int bits() const { return bits_; }
+
+ private:
+  int bits_;
+  std::uint64_t state_ = 1;
+  std::uint64_t taps_ = 0;
+  std::uint64_t mask_ = 0;
+};
+
+struct TransparentResult {
+  bool fault_detected = false;
+  bool contents_preserved = false;  ///< verified against a snapshot
+  std::uint64_t predicted_signature = 0;
+  std::uint64_t actual_signature = 0;
+  std::uint64_t cycles = 0;
+};
+
+/// Runs the transparent test on `ram` (repair disabled — this scheme has
+/// none). The RAM is left with its pre-test contents when the test's
+/// write parity restores them and the array is fault-free.
+TransparentResult run_transparent_bist(RamModel& ram,
+                                       const march::TransparentTest& test);
+
+/// Convenience: transparent IFA-9.
+TransparentResult transparent_ifa9(RamModel& ram);
+
+}  // namespace bisram::sim

@@ -1,0 +1,279 @@
+#include "spice/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/linalg.hpp"
+
+namespace bisram::spice {
+
+double Trace::at_time(Node n, double t) const {
+  ensure(!times_.empty(), "Trace::at_time: empty trace");
+  if (t <= times_.front()) return value(n, 0);
+  if (t >= times_.back()) return value(n, times_.size() - 1);
+  const auto it = std::lower_bound(times_.begin(), times_.end(), t);
+  const std::size_t i1 = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t i0 = i1 - 1;
+  const double t0 = times_[i0], t1 = times_[i1];
+  const double v0 = value(n, i0), v1 = value(n, i1);
+  if (t1 == t0) return v1;
+  return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+}
+
+namespace {
+
+// Level-1 drain current and derivatives for a device whose terminal
+// voltages have already been normalized to NMOS polarity with vds >= 0.
+struct MosEval {
+  double ids;  // drain current, d -> s
+  double gm;   // d ids / d vgs
+  double gds;  // d ids / d vds
+};
+
+MosEval level1(double vgs, double vds, double beta, double vt,
+               double lambda_ch) {
+  MosEval e{0.0, 0.0, 0.0};
+  const double vov = vgs - vt;
+  if (vov <= 0.0) return e;  // cutoff
+  const double clm = 1.0 + lambda_ch * vds;
+  if (vds < vov) {  // linear / triode
+    e.ids = beta * (vov * vds - 0.5 * vds * vds) * clm;
+    e.gm = beta * vds * clm;
+    e.gds = beta * (vov - vds) * clm +
+            beta * (vov * vds - 0.5 * vds * vds) * lambda_ch;
+  } else {  // saturation
+    e.ids = 0.5 * beta * vov * vov * clm;
+    e.gm = beta * vov * clm;
+    e.gds = 0.5 * beta * vov * vov * lambda_ch;
+  }
+  return e;
+}
+
+// The MNA system: unknowns are node voltages 1..N-1 plus one branch
+// current per voltage source.
+class Mna {
+ public:
+  Mna(const Circuit& ckt, const EngineOptions& opt)
+      : ckt_(ckt), opt_(opt), nv_(ckt.node_count() - 1),
+        nu_(nv_ + static_cast<int>(ckt.vsources().size())),
+        a_(static_cast<std::size_t>(nu_), static_cast<std::size_t>(nu_)),
+        rhs_(static_cast<std::size_t>(nu_), 0.0) {}
+
+  // Solves f(v) = 0 at time t. `x` carries node voltages (index by Node,
+  // ground at [0]) in and out. `cap_geq`/`cap_ieq` are the trapezoidal
+  // companion parameters per capacitor (empty for DC).
+  // Returns false if Newton failed to converge.
+  bool solve(double t, std::vector<double>& x,
+             const std::vector<double>& cap_geq,
+             const std::vector<double>& cap_ieq, double gmin) {
+    std::vector<double> v = pack(x);
+    for (int iter = 0; iter < opt_.max_newton; ++iter) {
+      build(t, v, cap_geq, cap_ieq, gmin);
+      Matrix a = a_;  // lu_solve destroys its input
+      std::vector<double> dv;
+      try {
+        dv = lu_solve(a, rhs_);
+      } catch (const Error&) {
+        return false;
+      }
+      double max_dv = 0.0;
+      for (int i = 0; i < nv_; ++i) {
+        double step = dv[static_cast<std::size_t>(i)] -
+                      v[static_cast<std::size_t>(i)];
+        step = std::clamp(step, -opt_.vlimit, opt_.vlimit);
+        v[static_cast<std::size_t>(i)] += step;
+        max_dv = std::max(max_dv, std::abs(step));
+      }
+      for (int i = nv_; i < nu_; ++i)
+        v[static_cast<std::size_t>(i)] = dv[static_cast<std::size_t>(i)];
+      if (max_dv < opt_.reltol) {
+        unpack(v, x);
+        branch_currents_.assign(v.begin() + nv_, v.end());
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Voltage-source branch currents from the last converged solve.
+  const std::vector<double>& branch_currents() const {
+    return branch_currents_;
+  }
+
+ private:
+  std::vector<double> pack(const std::vector<double>& x) const {
+    std::vector<double> v(static_cast<std::size_t>(nu_), 0.0);
+    for (int i = 0; i < nv_; ++i)
+      v[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i + 1)];
+    return v;
+  }
+  void unpack(const std::vector<double>& v, std::vector<double>& x) const {
+    x.assign(static_cast<std::size_t>(ckt_.node_count()), 0.0);
+    for (int i = 0; i < nv_; ++i)
+      x[static_cast<std::size_t>(i + 1)] = v[static_cast<std::size_t>(i)];
+  }
+
+  double volt(const std::vector<double>& v, Node n) const {
+    return n == 0 ? 0.0 : v[static_cast<std::size_t>(n - 1)];
+  }
+
+  void stamp_g(Node a, Node b, double g) {
+    if (a != 0) a_.at(idx(a), idx(a)) += g;
+    if (b != 0) a_.at(idx(b), idx(b)) += g;
+    if (a != 0 && b != 0) {
+      a_.at(idx(a), idx(b)) -= g;
+      a_.at(idx(b), idx(a)) -= g;
+    }
+  }
+  // Current `i` flowing out of node a into node b (i.e. injected into b).
+  void stamp_i(Node a, Node b, double i) {
+    if (a != 0) rhs_[idx(a)] -= i;
+    if (b != 0) rhs_[idx(b)] += i;
+  }
+  // VCCS: current g*(vc - vd) flows from node a to node b.
+  void stamp_vccs(Node a, Node b, Node c, Node d, double g) {
+    if (a != 0 && c != 0) a_.at(idx(a), idx(c)) += g;
+    if (a != 0 && d != 0) a_.at(idx(a), idx(d)) -= g;
+    if (b != 0 && c != 0) a_.at(idx(b), idx(c)) -= g;
+    if (b != 0 && d != 0) a_.at(idx(b), idx(d)) += g;
+  }
+
+  std::size_t idx(Node n) const { return static_cast<std::size_t>(n - 1); }
+
+  void build(double t, const std::vector<double>& v,
+             const std::vector<double>& cap_geq,
+             const std::vector<double>& cap_ieq, double gmin) {
+    a_.clear();
+    std::fill(rhs_.begin(), rhs_.end(), 0.0);
+
+    for (int n = 1; n <= nv_; ++n) a_.at(idx(n), idx(n)) += gmin;
+
+    for (const auto& r : ckt_.resistors()) stamp_g(r.a, r.b, 1.0 / r.ohms);
+
+    const auto& caps = ckt_.capacitors();
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      if (cap_geq.empty()) continue;  // DC: capacitors open
+      stamp_g(caps[i].a, caps[i].b, cap_geq[i]);
+      // Companion current source from a to b.
+      stamp_i(caps[i].a, caps[i].b, -cap_ieq[i]);
+    }
+
+    for (const auto& s : ckt_.isources()) {
+      const double i = s.wave.at(t);
+      stamp_i(s.pos, s.neg, i);
+    }
+
+    for (const auto& m : ckt_.mosfets()) {
+      const double sign = m.type == MosType::Nmos ? 1.0 : -1.0;
+      // Devices are symmetric: pick the terminal roles so the normalized
+      // vds is non-negative (the "source" is the lower terminal for NMOS,
+      // the higher for PMOS).
+      Node d = m.d, s = m.s;
+      if (sign * (volt(v, d) - volt(v, s)) < 0) std::swap(d, s);
+
+      const double vgs_real = volt(v, m.g) - volt(v, s);
+      const double vds_real = volt(v, d) - volt(v, s);
+      const double vt = std::abs(m.model.vt0);
+      const double beta = m.model.kp * m.w_um / m.l_um;
+      const MosEval e = level1(sign * vgs_real, sign * vds_real, beta, vt,
+                               m.model.lambda_ch);
+      // Real current from d to s is i = sign * ids_n. Its derivatives wrt
+      // the *real* gate and drain voltages are +gm and +gds for both
+      // polarities (the two sign flips cancel), so the stamps are uniform:
+      //   i ~= (sign*ids0 - gm*vgs0 - gds*vds0) + gm*vgs + gds*vds.
+      stamp_g(d, s, e.gds);
+      stamp_vccs(d, s, m.g, s, e.gm);
+      stamp_i(d, s, sign * e.ids - e.gm * vgs_real - e.gds * vds_real);
+    }
+
+    const auto& vss = ckt_.vsources();
+    for (std::size_t k = 0; k < vss.size(); ++k) {
+      const auto& src = vss[k];
+      const std::size_t row = static_cast<std::size_t>(nv_) + k;
+      if (src.pos != 0) {
+        a_.at(row, idx(src.pos)) += 1.0;
+        a_.at(idx(src.pos), row) += 1.0;
+      }
+      if (src.neg != 0) {
+        a_.at(row, idx(src.neg)) -= 1.0;
+        a_.at(idx(src.neg), row) -= 1.0;
+      }
+      rhs_[row] += src.wave.at(t);
+    }
+  }
+
+  const Circuit& ckt_;
+  EngineOptions opt_;
+  int nv_;  // node unknowns (excluding ground)
+  int nu_;  // total unknowns
+  Matrix a_;
+  std::vector<double> rhs_;
+  std::vector<double> branch_currents_;
+};
+
+DcSolution solve_dc(const Circuit& ckt, const EngineOptions& opt, double t) {
+  Mna mna(ckt, opt);
+  std::vector<double> x(static_cast<std::size_t>(ckt.node_count()), 0.0);
+  // gmin stepping: start with a heavy leak and relax toward opt.gmin.
+  for (double gmin = 1e-3; gmin >= opt.gmin; gmin /= 100.0) {
+    if (!mna.solve(t, x, {}, {}, gmin))
+      throw Error("spice: DC Newton failed to converge (gmin stepping)");
+  }
+  if (!mna.solve(t, x, {}, {}, opt.gmin))
+    throw Error("spice: DC Newton failed to converge");
+  return {std::move(x), mna.branch_currents()};
+}
+
+}  // namespace
+
+std::vector<double> dc_operating_point(const Circuit& ckt,
+                                       const EngineOptions& opt) {
+  return solve_dc(ckt, opt, 0.0).voltages;
+}
+
+DcSolution dc_operating_point_full(const Circuit& ckt,
+                                   const EngineOptions& opt) {
+  return solve_dc(ckt, opt, 0.0);
+}
+
+Trace transient(const Circuit& ckt, double tstop, double dt,
+                const EngineOptions& opt) {
+  require(tstop > 0 && dt > 0 && dt <= tstop, "transient: bad time range");
+  const std::size_t steps = static_cast<std::size_t>(tstop / dt + 0.5);
+  std::vector<double> times(steps + 1);
+  for (std::size_t i = 0; i <= steps; ++i)
+    times[i] = static_cast<double>(i) * dt;
+
+  Trace trace(ckt.node_count(), times);
+  std::vector<double> x = solve_dc(ckt, opt, 0.0).voltages;
+  for (Node n = 0; n < ckt.node_count(); ++n) trace.set(n, 0, x[static_cast<std::size_t>(n)]);
+
+  const auto& caps = ckt.capacitors();
+  std::vector<double> geq(caps.size(), 0.0), ieq(caps.size(), 0.0);
+  std::vector<double> icap(caps.size(), 0.0);  // capacitor current history
+
+  Mna mna(ckt, opt);
+  for (std::size_t step = 1; step <= steps; ++step) {
+    const double t = times[step];
+    // Trapezoidal companion: i_c = geq * v - ieq with
+    // geq = 2C/dt, ieq = geq * v_prev + i_prev.
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      const double vprev = x[static_cast<std::size_t>(caps[i].a)] -
+                           x[static_cast<std::size_t>(caps[i].b)];
+      geq[i] = 2.0 * caps[i].farads / dt;
+      ieq[i] = geq[i] * vprev + icap[i];
+    }
+    if (!mna.solve(t, x, geq, ieq, opt.gmin))
+      throw Error("spice: transient Newton failed at t=" + std::to_string(t));
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      const double vnow = x[static_cast<std::size_t>(caps[i].a)] -
+                          x[static_cast<std::size_t>(caps[i].b)];
+      icap[i] = geq[i] * vnow - ieq[i];
+    }
+    for (Node n = 0; n < ckt.node_count(); ++n)
+      trace.set(n, step, x[static_cast<std::size_t>(n)]);
+  }
+  return trace;
+}
+
+}  // namespace bisram::spice

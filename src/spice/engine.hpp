@@ -1,0 +1,72 @@
+#pragma once
+// Circuit solver: modified nodal analysis with Newton-Raphson for the
+// level-1 MOSFETs, gmin stepping for DC convergence, and trapezoidal
+// integration for transient analysis.
+
+#include <vector>
+
+#include "spice/netlist.hpp"
+
+namespace bisram::spice {
+
+/// Result of a transient run: node voltages sampled at fixed steps.
+class Trace {
+ public:
+  Trace(int node_count, std::vector<double> times)
+      : nodes_(node_count), times_(std::move(times)),
+        data_(times_.size() * static_cast<std::size_t>(node_count), 0.0) {}
+
+  int node_count() const { return nodes_; }
+  std::size_t samples() const { return times_.size(); }
+  double time(std::size_t i) const { return times_[i]; }
+  const std::vector<double>& times() const { return times_; }
+
+  double value(Node n, std::size_t i) const {
+    return data_[i * static_cast<std::size_t>(nodes_) +
+                 static_cast<std::size_t>(n)];
+  }
+  void set(Node n, std::size_t i, double v) {
+    data_[i * static_cast<std::size_t>(nodes_) + static_cast<std::size_t>(n)] =
+        v;
+  }
+
+  /// Linear interpolation of node `n` at time t.
+  double at_time(Node n, double t) const;
+
+ private:
+  int nodes_;
+  std::vector<double> times_;
+  std::vector<double> data_;
+};
+
+/// Solver options.
+struct EngineOptions {
+  double gmin = 1e-12;      ///< leak conductance from every node to ground
+  double abstol = 1e-9;     ///< Newton current residual tolerance [A]
+  double reltol = 1e-6;     ///< Newton voltage delta tolerance [V]
+  int max_newton = 200;     ///< iterations per solve
+  double vlimit = 0.5;      ///< max per-iteration voltage step [V]
+};
+
+/// DC operating point with all sources at their t = 0 values.
+/// Returns node voltages indexed by Node (ground included, == 0).
+std::vector<double> dc_operating_point(const Circuit& ckt,
+                                       const EngineOptions& opt = {});
+
+/// DC operating point with the voltage-source branch currents included
+/// (ordered as the sources were added; positive current flows from the
+/// source's + terminal through the source to its - terminal, i.e. a
+/// supply delivering power shows a negative branch current).
+struct DcSolution {
+  std::vector<double> voltages;         ///< indexed by Node
+  std::vector<double> source_currents;  ///< one per voltage source
+};
+DcSolution dc_operating_point_full(const Circuit& ckt,
+                                   const EngineOptions& opt = {});
+
+/// Transient analysis from a DC operating point at t = 0 to `tstop`
+/// with fixed step `dt` (trapezoidal companion models).
+Trace transient(const Circuit& ckt, double tstop, double dt,
+                const EngineOptions& opt = {});
+
+}  // namespace bisram::spice

@@ -1,0 +1,51 @@
+#include "spice/measure.hpp"
+
+#include <algorithm>
+
+namespace bisram::spice {
+
+std::optional<double> crossing_time(const Trace& trace, Node n, double level,
+                                    bool rising, double after) {
+  for (std::size_t i = 1; i < trace.samples(); ++i) {
+    if (trace.time(i) <= after) continue;
+    const double v0 = trace.value(n, i - 1);
+    const double v1 = trace.value(n, i);
+    const bool crossed =
+        rising ? (v0 < level && v1 >= level) : (v0 > level && v1 <= level);
+    if (!crossed) continue;
+    const double t0 = trace.time(i - 1), t1 = trace.time(i);
+    if (v1 == v0) return t1;
+    return t0 + (t1 - t0) * (level - v0) / (v1 - v0);
+  }
+  return std::nullopt;
+}
+
+std::optional<double> rise_time(const Trace& trace, Node n, double vdd,
+                                double after) {
+  const auto t10 = crossing_time(trace, n, 0.1 * vdd, true, after);
+  if (!t10) return std::nullopt;
+  const auto t90 = crossing_time(trace, n, 0.9 * vdd, true, *t10);
+  if (!t90) return std::nullopt;
+  return *t90 - *t10;
+}
+
+std::optional<double> fall_time(const Trace& trace, Node n, double vdd,
+                                double after) {
+  const auto t90 = crossing_time(trace, n, 0.9 * vdd, false, after);
+  if (!t90) return std::nullopt;
+  const auto t10 = crossing_time(trace, n, 0.1 * vdd, false, *t90);
+  if (!t10) return std::nullopt;
+  return *t10 - *t90;
+}
+
+std::optional<double> prop_delay(const Trace& trace, Node out, double vdd,
+                                 double t_in_edge) {
+  const auto up = crossing_time(trace, out, 0.5 * vdd, true, t_in_edge);
+  const auto dn = crossing_time(trace, out, 0.5 * vdd, false, t_in_edge);
+  if (up && dn) return std::min(*up, *dn) - t_in_edge;
+  if (up) return *up - t_in_edge;
+  if (dn) return *dn - t_in_edge;
+  return std::nullopt;
+}
+
+}  // namespace bisram::spice

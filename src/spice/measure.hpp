@@ -1,0 +1,32 @@
+#pragma once
+// Waveform measurements over transient traces: threshold crossings,
+// 10-90% rise/fall times, and 50%-to-50% propagation delay. These are the
+// quantities BISRAMGEN extracts from leaf-cell simulations to provide the
+// timing guarantees described in the paper.
+
+#include <optional>
+
+#include "spice/engine.hpp"
+
+namespace bisram::spice {
+
+/// First time after `after` at which node `n` crosses `level` in the given
+/// direction; nullopt when it never does.
+std::optional<double> crossing_time(const Trace& trace, Node n, double level,
+                                    bool rising, double after = 0.0);
+
+/// 10%-90% rise time of the first rising edge after `after` (levels are
+/// fractions of `vdd`).
+std::optional<double> rise_time(const Trace& trace, Node n, double vdd,
+                                double after = 0.0);
+
+/// 90%-10% fall time of the first falling edge after `after`.
+std::optional<double> fall_time(const Trace& trace, Node n, double vdd,
+                                double after = 0.0);
+
+/// 50%-to-50% propagation delay from the input edge at `t_in_edge` to the
+/// first output crossing (either direction) after it.
+std::optional<double> prop_delay(const Trace& trace, Node out, double vdd,
+                                 double t_in_edge);
+
+}  // namespace bisram::spice

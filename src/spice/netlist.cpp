@@ -1,0 +1,126 @@
+#include "spice/netlist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bisram::spice {
+
+Waveform Waveform::dc(double volts) {
+  Waveform w;
+  w.kind_ = Kind::Dc;
+  w.v1_ = volts;
+  return w;
+}
+
+Waveform Waveform::pulse(double v1, double v2, double delay, double rise,
+                         double fall, double width, double period) {
+  require(rise >= 0 && fall >= 0 && width >= 0, "pulse: negative time");
+  Waveform w;
+  w.kind_ = Kind::Pulse;
+  w.v1_ = v1;
+  w.v2_ = v2;
+  w.delay_ = delay;
+  w.rise_ = std::max(rise, 1e-15);
+  w.fall_ = std::max(fall, 1e-15);
+  w.width_ = width;
+  w.period_ = period;
+  return w;
+}
+
+Waveform Waveform::pwl(std::vector<std::pair<double, double>> points) {
+  require(!points.empty(), "pwl: needs at least one point");
+  require(std::is_sorted(points.begin(), points.end(),
+                         [](auto& a, auto& b) { return a.first < b.first; }),
+          "pwl: points must be time-sorted");
+  Waveform w;
+  w.kind_ = Kind::Pwl;
+  w.points_ = std::move(points);
+  return w;
+}
+
+double Waveform::at(double t) const {
+  if (t < 0) t = 0;
+  switch (kind_) {
+    case Kind::Dc:
+      return v1_;
+    case Kind::Pulse: {
+      if (t < delay_) return v1_;
+      double local = t - delay_;
+      if (period_ > 0) local = std::fmod(local, period_);
+      if (local < rise_) return v1_ + (v2_ - v1_) * local / rise_;
+      local -= rise_;
+      if (local < width_) return v2_;
+      local -= width_;
+      if (local < fall_) return v2_ + (v1_ - v2_) * local / fall_;
+      return v1_;
+    }
+    case Kind::Pwl: {
+      if (t <= points_.front().first) return points_.front().second;
+      if (t >= points_.back().first) return points_.back().second;
+      for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (t <= points_[i].first) {
+          const auto& [t0, v0] = points_[i - 1];
+          const auto& [t1, v1] = points_[i];
+          if (t1 == t0) return v1;
+          return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+        }
+      }
+      return points_.back().second;
+    }
+  }
+  return 0.0;
+}
+
+Node Circuit::node(const std::string& name) {
+  if (name == "0" || name == "gnd" || name == "GND") return 0;
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const Node n = static_cast<Node>(names_.size());
+  names_.push_back(name);
+  index_[name] = n;
+  return n;
+}
+
+const std::string& Circuit::node_name(Node n) const {
+  ensure(n >= 0 && n < node_count(), "node_name: out of range");
+  return names_[static_cast<std::size_t>(n)];
+}
+
+Node Circuit::find(const std::string& name) const {
+  if (name == "0" || name == "gnd" || name == "GND") return 0;
+  auto it = index_.find(name);
+  require(it != index_.end(), "Circuit: no node named '" + name + "'");
+  return it->second;
+}
+
+void Circuit::add_resistor(const std::string& a, const std::string& b,
+                           double ohms) {
+  require(ohms > 0, "resistor: non-positive resistance");
+  resistors_.push_back({node(a), node(b), ohms});
+}
+
+void Circuit::add_capacitor(const std::string& a, const std::string& b,
+                            double f) {
+  require(f > 0, "capacitor: non-positive capacitance");
+  capacitors_.push_back({node(a), node(b), f});
+}
+
+void Circuit::add_vsource(const std::string& pos, const std::string& neg,
+                          Waveform wave) {
+  vsources_.push_back({node(pos), node(neg), std::move(wave)});
+}
+
+void Circuit::add_isource(const std::string& pos, const std::string& neg,
+                          Waveform wave) {
+  isources_.push_back({node(pos), node(neg), std::move(wave)});
+}
+
+void Circuit::add_mosfet(MosType type, const std::string& d,
+                         const std::string& g, const std::string& s,
+                         double w_um, double l_um, const MosModel& model) {
+  require(w_um > 0 && l_um > 0, "mosfet: non-positive W or L");
+  require(model.kp > 0, "mosfet: non-positive KP");
+  mosfets_.push_back({type, node(d), node(g), node(s), w_um, l_um, model});
+}
+
+}  // namespace bisram::spice

@@ -1,0 +1,114 @@
+#pragma once
+// Circuit netlist for the built-in SPICE utilities.
+//
+// The paper relies on "built-in access to SPICE utilities" to size the
+// n and p transistors of critical gates so their rise and fall times
+// balance, and to extrapolate timing/power guarantees from leaf cells.
+// This module provides the netlist representation; src/spice/engine.hpp
+// solves it (DC operating point + transient).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bisram::spice {
+
+/// Node index; 0 is always ground.
+using Node = int;
+
+/// Source waveform: DC level, pulse train, or piecewise-linear.
+class Waveform {
+ public:
+  /// Constant level.
+  static Waveform dc(double volts);
+  /// SPICE-style PULSE(v1 v2 delay rise fall width period).
+  static Waveform pulse(double v1, double v2, double delay, double rise,
+                        double fall, double width, double period);
+  /// Piecewise linear through (time, value) points; clamps outside range.
+  static Waveform pwl(std::vector<std::pair<double, double>> points);
+
+  /// Value at time t (t < 0 behaves like t == 0).
+  double at(double t) const;
+
+ private:
+  enum class Kind { Dc, Pulse, Pwl };
+  Kind kind_ = Kind::Dc;
+  double v1_ = 0, v2_ = 0, delay_ = 0, rise_ = 0, fall_ = 0, width_ = 0,
+         period_ = 0;
+  std::vector<std::pair<double, double>> points_;
+};
+
+enum class MosType { Nmos, Pmos };
+
+/// Shichman-Hodges parameters for one device instance.
+struct MosModel {
+  double vt0 = 0.7;        ///< threshold [V]; sign-positive for both types
+  double kp = 100e-6;      ///< transconductance [A/V^2]
+  double lambda_ch = 0.0;  ///< channel-length modulation [1/V]
+};
+
+struct Resistor {
+  Node a, b;
+  double ohms;
+};
+struct Capacitor {
+  Node a, b;
+  double farads;
+};
+struct VSource {
+  Node pos, neg;
+  Waveform wave;
+};
+struct ISource {
+  Node pos, neg;  ///< current flows pos -> neg through the source
+  Waveform wave;
+};
+struct Mosfet {
+  MosType type;
+  Node d, g, s;
+  double w_um, l_um;
+  MosModel model;
+};
+
+/// A flat circuit. Nodes are created by name; "0", "gnd" and "GND" alias
+/// ground. All add_* methods validate their arguments.
+class Circuit {
+ public:
+  /// Returns (creating if needed) the node with this name.
+  Node node(const std::string& name);
+  /// Number of nodes including ground.
+  int node_count() const { return static_cast<int>(names_.size()); }
+  /// Name of node n (for diagnostics).
+  const std::string& node_name(Node n) const;
+  /// Looks up an existing node; throws if absent.
+  Node find(const std::string& name) const;
+
+  void add_resistor(const std::string& a, const std::string& b, double ohms);
+  void add_capacitor(const std::string& a, const std::string& b, double f);
+  void add_vsource(const std::string& pos, const std::string& neg,
+                   Waveform wave);
+  void add_isource(const std::string& pos, const std::string& neg,
+                   Waveform wave);
+  void add_mosfet(MosType type, const std::string& d, const std::string& g,
+                  const std::string& s, double w_um, double l_um,
+                  const MosModel& model);
+
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<VSource>& vsources() const { return vsources_; }
+  const std::vector<ISource>& isources() const { return isources_; }
+  const std::vector<Mosfet>& mosfets() const { return mosfets_; }
+
+ private:
+  std::map<std::string, Node> index_;
+  std::vector<std::string> names_{"0"};
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<VSource> vsources_;
+  std::vector<ISource> isources_;
+  std::vector<Mosfet> mosfets_;
+};
+
+}  // namespace bisram::spice

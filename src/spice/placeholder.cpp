@@ -1,0 +1,1 @@
+namespace bisram { namespace { [[maybe_unused]] int placeholder_spice = 0; } }

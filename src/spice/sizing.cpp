@@ -1,0 +1,104 @@
+#include "spice/sizing.hpp"
+
+#include <cmath>
+
+#include "spice/engine.hpp"
+#include "spice/measure.hpp"
+
+namespace bisram::spice {
+
+namespace {
+MosModel model_of(const tech::MosParams& p) {
+  return {p.vt0, p.kp, p.lambda_ch};
+}
+}  // namespace
+
+void build_inverter(Circuit& ckt, const tech::Tech& t, double wn_um,
+                    double wp_um, const std::string& in,
+                    const std::string& out) {
+  const double l = t.feature_um;
+  ckt.add_mosfet(MosType::Nmos, out, in, "0", wn_um, l, model_of(t.elec.nmos));
+  ckt.add_mosfet(MosType::Pmos, out, in, "vdd", wp_um, l,
+                 model_of(t.elec.pmos));
+}
+
+SizingResult measure_inverter(const tech::Tech& t, double wn_um, double wp_um,
+                              double load_f) {
+  require(load_f > 0, "measure_inverter: non-positive load");
+  Circuit ckt;
+  const double vdd = t.elec.vdd;
+  ckt.add_vsource("vdd", "0", Waveform::dc(vdd));
+  // One full input cycle: rise at 1 ns, fall at 11 ns; edges of 50 ps.
+  const double t_rise_in = 1e-9, t_fall_in = 11e-9;
+  ckt.add_vsource("in", "0",
+                  Waveform::pwl({{0.0, 0.0},
+                                 {t_rise_in, 0.0},
+                                 {t_rise_in + 50e-12, vdd},
+                                 {t_fall_in, vdd},
+                                 {t_fall_in + 50e-12, 0.0},
+                                 {22e-9, 0.0}}));
+  build_inverter(ckt, t, wn_um, wp_um, "in", "out");
+  ckt.add_capacitor("out", "0", load_f);
+
+  const Trace trace = transient(ckt, 22e-9, 5e-12);
+  const Node out = ckt.find("out");
+
+  SizingResult r;
+  r.wn_um = wn_um;
+  r.wp_um = wp_um;
+  // Input rises -> output falls; input falls -> output rises.
+  r.fall_s = fall_time(trace, out, vdd, t_rise_in).value_or(0.0);
+  r.rise_s = rise_time(trace, out, vdd, t_fall_in).value_or(0.0);
+  r.tphl_s =
+      crossing_time(trace, out, 0.5 * vdd, false, t_rise_in).value_or(0.0) -
+      (t_rise_in + 25e-12);
+  r.tplh_s =
+      crossing_time(trace, out, 0.5 * vdd, true, t_fall_in).value_or(0.0) -
+      (t_fall_in + 25e-12);
+  ensure(r.rise_s > 0 && r.fall_s > 0,
+         "measure_inverter: output did not switch");
+  return r;
+}
+
+SizingResult balance_inverter(const tech::Tech& t, double wn_um, double load_f,
+                              double tol_rel) {
+  require(wn_um > 0, "balance_inverter: non-positive NMOS width");
+  // Wider PMOS -> faster rise. Bracket: at wp = wn the rise is slower
+  // than the fall (mobility ratio > 1); at wp = 8*wn it is faster.
+  double lo = wn_um, hi = 8.0 * wn_um;
+  SizingResult at_lo = measure_inverter(t, wn_um, lo, load_f);
+  if (at_lo.rise_s <= at_lo.fall_s) return at_lo;  // already balanced
+  SizingResult at_hi = measure_inverter(t, wn_um, hi, load_f);
+  require(at_hi.rise_s <= at_hi.fall_s,
+          "balance_inverter: bracket failed; load too large for widths");
+
+  SizingResult best = at_lo;
+  for (int iter = 0; iter < 30; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    best = measure_inverter(t, wn_um, mid, load_f);
+    const double err =
+        std::abs(best.rise_s - best.fall_s) / std::max(best.rise_s, best.fall_s);
+    if (err < tol_rel) return best;
+    if (best.rise_s > best.fall_s)
+      lo = mid;  // rise too slow -> widen PMOS
+    else
+      hi = mid;
+  }
+  return best;
+}
+
+double device_on_resistance(const tech::Tech& t, MosType type, double w_um) {
+  require(w_um > 0, "device_on_resistance: non-positive width");
+  const tech::MosParams& p =
+      type == MosType::Nmos ? t.elec.nmos : t.elec.pmos;
+  const double vdd = t.elec.vdd;
+  const double vov = vdd - std::abs(p.vt0);
+  // Average of the saturation-region and deep-triode resistances over the
+  // output transition (standard switch-model approximation).
+  const double beta = p.kp * w_um / t.feature_um;
+  const double r_sat = vdd / (0.5 * beta * vov * vov);
+  const double r_lin = 1.0 / (beta * vov);
+  return 0.5 * (r_sat + r_lin);
+}
+
+}  // namespace bisram::spice

@@ -1,0 +1,46 @@
+#pragma once
+// Automatic transistor sizing: "for a given gate size, the n and p
+// transistors are automatically sized to balance the rise and fall times.
+// This is made possible by built-in access to SPICE utilities."
+//
+// The sizer simulates a CMOS inverter of the target process driving a
+// given load and bisects on the PMOS width until the 10-90% rise and
+// 90-10% fall times at the output match.
+
+#include "spice/netlist.hpp"
+#include "tech/tech.hpp"
+
+namespace bisram::spice {
+
+/// Result of a sizing run.
+struct SizingResult {
+  double wn_um = 0;     ///< NMOS width (input, echoed)
+  double wp_um = 0;     ///< balanced PMOS width
+  double rise_s = 0;    ///< achieved 10-90% rise time
+  double fall_s = 0;    ///< achieved 90-10% fall time
+  double tplh_s = 0;    ///< low-to-high propagation delay
+  double tphl_s = 0;    ///< high-to-low propagation delay
+};
+
+/// Builds a minimum-length inverter with the given widths into `ckt`.
+/// Nodes: "vdd", "in", `out`. Returns nothing; caller adds sources/loads.
+void build_inverter(Circuit& ckt, const tech::Tech& t, double wn_um,
+                    double wp_um, const std::string& in,
+                    const std::string& out);
+
+/// Measures rise/fall/propagation of an inverter (wn, wp) driving
+/// `load_f` farads, using a full transient simulation.
+SizingResult measure_inverter(const tech::Tech& t, double wn_um, double wp_um,
+                              double load_f);
+
+/// Finds the PMOS width (between wn and 8*wn) that balances rise and fall
+/// times to within `tol_rel` (relative). Throws if the bracket fails.
+SizingResult balance_inverter(const tech::Tech& t, double wn_um,
+                              double load_f, double tol_rel = 0.02);
+
+/// First-order RC estimate of the equivalent on-resistance of a device of
+/// width `w_um` (used by the timing model for large arrays where full
+/// transient simulation would be too slow).
+double device_on_resistance(const tech::Tech& t, MosType type, double w_um);
+
+}  // namespace bisram::spice

@@ -1,0 +1,122 @@
+#include "tech/tech.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bisram::tech {
+
+namespace {
+
+using geom::dbu;
+
+// Shared scalable rule skeleton (values in lambda, converted to DBU).
+// Derived from the public MOSIS SCMOS deck, which is the style of rule
+// set the CDA processes also follow.
+Tech scmos_skeleton() {
+  Tech t;
+  auto set = [&](Layer l, double w, double s) {
+    t.layer[static_cast<std::size_t>(l)] = {dbu(w), dbu(s)};
+  };
+  set(Layer::NWell, 10, 9);
+  set(Layer::PWell, 10, 9);
+  set(Layer::NDiff, 3, 3);
+  set(Layer::PDiff, 3, 3);
+  set(Layer::Poly, 2, 2);
+  set(Layer::Contact, 2, 2);
+  set(Layer::Metal1, 3, 2);
+  set(Layer::Via1, 2, 3);
+  set(Layer::Metal2, 3, 3);
+  set(Layer::Via2, 2, 3);
+  set(Layer::Metal3, 5, 3);
+
+  t.gate_poly_ext = dbu(2);
+  t.diff_gate_ext = dbu(3);
+  t.poly_diff_space = dbu(1);
+  t.contact_size = dbu(2);
+  t.contact_space = dbu(2);
+  t.contact_encl_diff = dbu(1.5);
+  t.contact_encl_poly = dbu(1.5);
+  t.contact_encl_m1 = dbu(1);
+  t.via1_size = dbu(2);
+  t.via1_encl = dbu(1);
+  t.via2_size = dbu(2);
+  t.via2_encl = dbu(1);
+  t.well_encl_diff = dbu(5);
+  t.well_space = dbu(9);
+  return t;
+}
+
+// Electrical parameters for a given feature size. The level-1 numbers are
+// representative textbook values for half-micron-era CMOS; the tool uses
+// them for *relative* sizing (rise/fall balancing) and delay ranking, not
+// for absolute silicon correlation.
+Electrical electrical_for(double feature_um) {
+  Electrical e;
+  e.vdd = 5.0;
+  // Mobility ratio ~2.5..3; KP scales roughly inversely with tox, which
+  // shrinks with feature size.
+  const double scale = 0.7 / feature_um;  // 1.0 at 0.7 um
+  e.nmos = {0.75, 110e-6 * scale, 0.04, 2.3e-15 * scale, 0.4e-15};
+  e.pmos = {-0.85, 38e-6 * scale, 0.05, 2.3e-15 * scale, 0.5e-15};
+
+  auto wire = [&](Layer l, double rs, double ca, double cf) {
+    e.wire[static_cast<std::size_t>(l)] = {rs, ca, cf};
+  };
+  wire(Layer::NDiff, 60.0, 0.9e-15, 0.0);
+  wire(Layer::PDiff, 90.0, 1.0e-15, 0.0);
+  wire(Layer::Poly, 25.0, 0.06e-15, 0.04e-15);
+  wire(Layer::Metal1, 0.07, 0.03e-15, 0.044e-15);
+  wire(Layer::Metal2, 0.07, 0.017e-15, 0.040e-15);
+  wire(Layer::Metal3, 0.04, 0.011e-15, 0.038e-15);
+  wire(Layer::Contact, 6.0, 0.0, 0.0);   // ohm per cut
+  wire(Layer::Via1, 3.0, 0.0, 0.0);
+  wire(Layer::Via2, 3.0, 0.0, 0.0);
+  return e;
+}
+
+Tech make(const std::string& name, double feature_um) {
+  Tech t = scmos_skeleton();
+  t.name = name;
+  t.feature_um = feature_um;
+  t.lambda_um = feature_um / 2.0;
+  t.elec = electrical_for(feature_um);
+  return t;
+}
+
+const std::vector<Tech>& registry() {
+  static const std::vector<Tech> techs = {
+      make("cda.5u3m1p", 0.5),
+      make("cda.7u3m1p", 0.7),
+      make("mos.6u3m1pHP", 0.6),
+  };
+  return techs;
+}
+
+}  // namespace
+
+const Tech& technology(std::string_view name) {
+  const std::string lowered = to_lower(name);
+  for (const Tech& t : registry())
+    if (to_lower(t.name) == lowered) return t;
+  throw SpecError("unknown technology '" + std::string(name) +
+                  "'; known: cda.5u3m1p, cda.7u3m1p, mos.6u3m1pHP");
+}
+
+std::vector<std::string> technology_names() {
+  std::vector<std::string> names;
+  for (const Tech& t : registry()) names.push_back(t.name);
+  return names;
+}
+
+const Tech& cda_05() { return technology("cda.5u3m1p"); }
+const Tech& cda_07() { return technology("cda.7u3m1p"); }
+const Tech& mosis_06() { return technology("mos.6u3m1pHP"); }
+
+Tech make_scalable_tech(const std::string& name, double feature_um) {
+  require(feature_um >= 0.3 && feature_um <= 3.0,
+          "make_scalable_tech: feature size out of the supported range "
+          "(the paper targets 0.5 um and above)");
+  return make(name, feature_um);
+}
+
+}  // namespace bisram::tech

@@ -1,0 +1,116 @@
+#pragma once
+// Technology database: lambda-based design rules plus electrical
+// parameters for the 3-metal CMOS processes BISRAMGEN supports.
+//
+// The paper names CDA.53m1p (0.5 um), CDA.73m1p (0.7 um) and the MOSIS
+// process mos.63m1pHP (0.6 um). The proprietary decks are not public, so
+// we reconstruct scalable (SCMOS-style) rule sets with the correct feature
+// sizes — see DESIGN.md section 2 for the substitution rationale. All
+// rule values are in DBU (lambda/10), so decks scale with the process
+// exactly as a lambda-rule deck should.
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geom/geometry.hpp"
+#include "geom/layer.hpp"
+
+namespace bisram::tech {
+
+using geom::Coord;
+using geom::Layer;
+
+/// Per-layer width/space rules.
+struct LayerRule {
+  Coord min_width = 0;
+  Coord min_space = 0;
+};
+
+/// Shichman-Hodges (SPICE level-1) device parameters.
+struct MosParams {
+  double vt0 = 0.0;       ///< threshold voltage [V] (negative for PMOS)
+  double kp = 0.0;        ///< transconductance u0*Cox [A/V^2]
+  double lambda_ch = 0.0; ///< channel-length modulation [1/V]
+  double cox_f_um2 = 0.0; ///< gate oxide capacitance [F/um^2]
+  double cj_f_um2 = 0.0;  ///< junction area capacitance [F/um^2]
+};
+
+/// Interconnect parasitics per routing layer.
+struct WireParams {
+  double sheet_ohm = 0.0;     ///< sheet resistance [ohm/sq]
+  double cap_area_f_um2 = 0;  ///< area capacitance to substrate [F/um^2]
+  double cap_fringe_f_um = 0; ///< fringe capacitance [F/um]
+};
+
+/// Electrical section of a process.
+struct Electrical {
+  double vdd = 5.0;
+  MosParams nmos;
+  MosParams pmos;
+  std::array<WireParams, geom::kLayerCount> wire{};
+};
+
+/// A complete process description.
+struct Tech {
+  std::string name;      ///< e.g. "cda.7u3m1p"
+  double feature_um = 0; ///< drawn feature size (min gate length)
+  double lambda_um = 0;  ///< scalable-rule lambda (= feature / 2)
+  int metal_layers = 3;
+
+  std::array<LayerRule, geom::kLayerCount> layer{};
+
+  // Transistor and via construction rules (DBU).
+  Coord gate_poly_ext = 0;     ///< poly endcap past diffusion
+  Coord diff_gate_ext = 0;     ///< source/drain diffusion past gate
+  Coord poly_diff_space = 0;   ///< field poly to unrelated diffusion
+  Coord contact_size = 0;
+  Coord contact_space = 0;
+  Coord contact_encl_diff = 0;
+  Coord contact_encl_poly = 0;
+  Coord contact_encl_m1 = 0;
+  Coord via1_size = 0;
+  Coord via1_encl = 0;  ///< metal1/metal2 enclosure of via1
+  Coord via2_size = 0;
+  Coord via2_encl = 0;  ///< metal2/metal3 enclosure of via2
+  Coord well_encl_diff = 0;
+  Coord well_space = 0;
+
+  Electrical elec;
+
+  /// Rule accessor with bounds checking.
+  const LayerRule& rule(Layer l) const {
+    return layer[static_cast<std::size_t>(l)];
+  }
+
+  /// DBU -> micrometres.
+  double um(Coord c) const { return geom::to_lambda(c) * lambda_um; }
+  /// DBU^2 -> mm^2 (for macro area reporting).
+  double mm2(double dbu2) const {
+    const double um_per_dbu = lambda_um / 10.0;
+    return dbu2 * um_per_dbu * um_per_dbu * 1e-6;
+  }
+  /// Micrometres -> DBU (rounded).
+  Coord from_um(double um_value) const {
+    return geom::dbu(um_value / lambda_um);
+  }
+};
+
+/// Returns the process registered under `name` ("cda.5u3m1p",
+/// "cda.7u3m1p", "mos.6u3m1pHP"); throws bisram::SpecError when unknown.
+const Tech& technology(std::string_view name);
+
+/// Names of every registered process, for enumeration in tools/tests.
+std::vector<std::string> technology_names();
+
+/// Convenience factories for the three paper processes.
+const Tech& cda_05();
+const Tech& cda_07();
+const Tech& mosis_06();
+
+/// Builds a complete scalable (SCMOS-style) process for an arbitrary
+/// feature size — the starting point user decks override (tech_file.hpp).
+Tech make_scalable_tech(const std::string& name, double feature_um);
+
+}  // namespace bisram::tech

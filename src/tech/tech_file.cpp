@@ -1,0 +1,208 @@
+#include "tech/tech_file.hpp"
+
+#include <istream>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bisram::tech {
+
+namespace {
+
+Layer layer_by_name(const std::string& name) {
+  for (Layer l : geom::all_layers())
+    if (geom::layer_name(l) == name) return l;
+  throw SpecError("tech deck: unknown layer '" + name + "'");
+}
+
+double num(const std::string& token, int line_no) {
+  try {
+    return std::stod(token);
+  } catch (...) {
+    throw SpecError("tech deck line " + std::to_string(line_no) +
+                    ": bad number '" + token + "'");
+  }
+}
+
+}  // namespace
+
+Tech read_tech_file(std::istream& is) {
+  // Two-pass: feature size first (it scales everything), then overrides.
+  std::vector<std::string> lines;
+  std::string raw;
+  while (std::getline(is, raw)) lines.push_back(raw);
+
+  std::string name = "user.tech";
+  double feature = 0.0;
+  for (const auto& l : lines) {
+    const auto tokens = split(trim(l), " \t");
+    if (tokens.size() >= 2 && tokens[0] == "name") name = tokens[1];
+    if (tokens.size() >= 2 && tokens[0] == "feature_um")
+      feature = std::stod(tokens[1]);
+  }
+  require(feature > 0.0, "tech deck: missing feature_um");
+  Tech t = make_scalable_tech(name, feature);
+
+  int line_no = 0;
+  for (const auto& l : lines) {
+    ++line_no;
+    const std::string line = trim(l);
+    if (line.empty() || line[0] == '#') continue;
+    const auto tok = split(line, " \t");
+    const std::string& key = tok[0];
+    auto need = [&](std::size_t n) {
+      require(tok.size() >= n, "tech deck line " + std::to_string(line_no) +
+                                   ": too few fields for '" + key + "'");
+    };
+
+    if (key == "name" || key == "feature_um") {
+      continue;  // handled in the first pass
+    } else if (key == "metals") {
+      need(2);
+      t.metal_layers = static_cast<int>(num(tok[1], line_no));
+      require(t.metal_layers >= 3,
+              "tech deck: BISRAMGEN requires three metal layers");
+    } else if (key == "layer") {
+      need(6);
+      const Layer layer = layer_by_name(tok[1]);
+      auto& rule = t.layer[static_cast<std::size_t>(layer)];
+      for (std::size_t i = 2; i + 1 < tok.size(); i += 2) {
+        if (tok[i] == "width") rule.min_width = geom::dbu(num(tok[i + 1], line_no));
+        else if (tok[i] == "space") rule.min_space = geom::dbu(num(tok[i + 1], line_no));
+        else throw SpecError("tech deck line " + std::to_string(line_no) +
+                             ": unknown layer attribute '" + tok[i] + "'");
+      }
+    } else if (key == "rule") {
+      need(3);
+      const std::map<std::string, geom::Coord Tech::*> rules = {
+          {"gate_poly_ext", &Tech::gate_poly_ext},
+          {"diff_gate_ext", &Tech::diff_gate_ext},
+          {"poly_diff_space", &Tech::poly_diff_space},
+          {"contact_size", &Tech::contact_size},
+          {"contact_space", &Tech::contact_space},
+          {"contact_encl_diff", &Tech::contact_encl_diff},
+          {"contact_encl_poly", &Tech::contact_encl_poly},
+          {"contact_encl_m1", &Tech::contact_encl_m1},
+          {"via1_size", &Tech::via1_size},
+          {"via1_encl", &Tech::via1_encl},
+          {"via2_size", &Tech::via2_size},
+          {"via2_encl", &Tech::via2_encl},
+          {"well_encl_diff", &Tech::well_encl_diff},
+          {"well_space", &Tech::well_space},
+      };
+      auto it = rules.find(tok[1]);
+      if (it == rules.end())
+        throw SpecError("tech deck line " + std::to_string(line_no) +
+                        ": unknown rule '" + tok[1] + "'");
+      t.*(it->second) = geom::dbu(num(tok[2], line_no));
+    } else if (key == "vdd") {
+      need(2);
+      t.elec.vdd = num(tok[1], line_no);
+    } else if (key == "nmos" || key == "pmos") {
+      MosParams& p = key == "nmos" ? t.elec.nmos : t.elec.pmos;
+      for (std::size_t i = 1; i + 1 < tok.size(); i += 2) {
+        if (tok[i] == "vt0") p.vt0 = num(tok[i + 1], line_no);
+        else if (tok[i] == "kp") p.kp = num(tok[i + 1], line_no);
+        else if (tok[i] == "lambda") p.lambda_ch = num(tok[i + 1], line_no);
+        else throw SpecError("tech deck line " + std::to_string(line_no) +
+                             ": unknown device attribute '" + tok[i] + "'");
+      }
+    } else if (key == "wire") {
+      need(4);
+      const Layer layer = layer_by_name(tok[1]);
+      auto& w = t.elec.wire[static_cast<std::size_t>(layer)];
+      for (std::size_t i = 2; i + 1 < tok.size(); i += 2) {
+        if (tok[i] == "sheet") w.sheet_ohm = num(tok[i + 1], line_no);
+        else if (tok[i] == "area") w.cap_area_f_um2 = num(tok[i + 1], line_no);
+        else if (tok[i] == "fringe") w.cap_fringe_f_um = num(tok[i + 1], line_no);
+        else throw SpecError("tech deck line " + std::to_string(line_no) +
+                             ": unknown wire attribute '" + tok[i] + "'");
+      }
+    } else {
+      throw SpecError("tech deck line " + std::to_string(line_no) +
+                      ": unknown keyword '" + key + "'");
+    }
+  }
+
+  // Sanity constraints that generators rely on.
+  require(t.elec.nmos.kp > 0 && t.elec.pmos.kp > 0,
+          "tech deck: device KP must be positive");
+  require(t.contact_size > 0 && t.via1_size > 0 && t.via2_size > 0,
+          "tech deck: via sizes must be positive");
+
+  // The leaf-cell generators are architected against the scalable
+  // (SCMOS-style) rule envelope: any *tighter* deck works unchanged
+  // (everything is drawn in lambda), but a deck with looser-than-envelope
+  // spacing or width would need re-architected cells. Reject those
+  // explicitly instead of producing DRC-dirty layouts.
+  const Tech envelope = make_scalable_tech("envelope", feature);
+  for (Layer l : geom::all_layers()) {
+    const auto& user = t.rule(l);
+    const auto& base = envelope.rule(l);
+    require(user.min_width <= base.min_width &&
+                user.min_space <= base.min_space,
+            std::string("tech deck: layer '") +
+                std::string(geom::layer_name(l)) +
+                "' rules exceed the scalable envelope the generators "
+                "support (tighten, or match the SCMOS baseline)");
+  }
+  require(t.contact_size <= envelope.contact_size &&
+              t.contact_space <= envelope.contact_space &&
+              t.well_encl_diff <= envelope.well_encl_diff &&
+              t.well_space <= envelope.well_space,
+          "tech deck: construction rules exceed the scalable envelope");
+  return t;
+}
+
+Tech read_tech_string(const std::string& text) {
+  std::istringstream ss(text);
+  return read_tech_file(ss);
+}
+
+std::string write_tech_string(const Tech& t) {
+  std::ostringstream os;
+  os << "# BISRAMGEN technology deck\n";
+  os << "name " << t.name << '\n';
+  os << "feature_um " << t.feature_um << '\n';
+  os << "metals " << t.metal_layers << '\n';
+  for (Layer l : geom::all_layers()) {
+    const auto& r = t.rule(l);
+    if (r.min_width == 0 && r.min_space == 0) continue;
+    os << "layer " << geom::layer_name(l) << " width "
+       << geom::to_lambda(r.min_width) << " space "
+       << geom::to_lambda(r.min_space) << '\n';
+  }
+  auto rule = [&](const char* key, geom::Coord v) {
+    os << "rule " << key << ' ' << geom::to_lambda(v) << '\n';
+  };
+  rule("gate_poly_ext", t.gate_poly_ext);
+  rule("diff_gate_ext", t.diff_gate_ext);
+  rule("poly_diff_space", t.poly_diff_space);
+  rule("contact_size", t.contact_size);
+  rule("contact_space", t.contact_space);
+  rule("contact_encl_diff", t.contact_encl_diff);
+  rule("contact_encl_poly", t.contact_encl_poly);
+  rule("contact_encl_m1", t.contact_encl_m1);
+  rule("via1_size", t.via1_size);
+  rule("via1_encl", t.via1_encl);
+  rule("via2_size", t.via2_size);
+  rule("via2_encl", t.via2_encl);
+  rule("well_encl_diff", t.well_encl_diff);
+  rule("well_space", t.well_space);
+  os << "vdd " << t.elec.vdd << '\n';
+  os << strfmt("nmos vt0 %.9g kp %.9g lambda %.9g\n", t.elec.nmos.vt0,
+               t.elec.nmos.kp, t.elec.nmos.lambda_ch);
+  os << strfmt("pmos vt0 %.9g kp %.9g lambda %.9g\n", t.elec.pmos.vt0,
+               t.elec.pmos.kp, t.elec.pmos.lambda_ch);
+  for (Layer l : {Layer::Poly, Layer::Metal1, Layer::Metal2, Layer::Metal3}) {
+    const auto& w = t.elec.wire[static_cast<std::size_t>(l)];
+    os << "wire " << geom::layer_name(l)
+       << strfmt(" sheet %.9g area %.9g fringe %.9g\n", w.sheet_ohm,
+                 w.cap_area_f_um2, w.cap_fringe_f_um);
+  }
+  return os.str();
+}
+
+}  // namespace bisram::tech

@@ -1,0 +1,38 @@
+#pragma once
+// User-supplied technology decks. The paper's headline tool property is
+// design-rule independence — "the ability to generate layouts for any
+// input process technology and set of design rules" — so a user must be
+// able to hand BISRAMGEN a process description, not just pick from the
+// built-ins. This parser reads a simple line-oriented deck:
+//
+//   # comment
+//   name       my.process
+//   feature_um 0.6
+//   metals     3
+//   layer <name> width <lambda> space <lambda>
+//   rule  <key> <value-lambda>         # gate_poly_ext, contact_size, ...
+//   vdd   5.0
+//   nmos  vt0 <V> kp <A/V^2> lambda <1/V>
+//   pmos  vt0 <V> kp <A/V^2> lambda <1/V>
+//   wire  <layer> sheet <ohm/sq> area <F/um^2> fringe <F/um>
+//
+// Unspecified values inherit the built-in SCMOS-style defaults, so a
+// minimal deck only overrides what differs.
+
+#include <iosfwd>
+#include <string>
+
+#include "tech/tech.hpp"
+
+namespace bisram::tech {
+
+/// Parses a deck; throws bisram::SpecError with line numbers on errors.
+Tech read_tech_file(std::istream& is);
+
+Tech read_tech_string(const std::string& text);
+
+/// Serializes a Tech back into the deck format (round-trip and
+/// documentation of the built-ins).
+std::string write_tech_string(const Tech& t);
+
+}  // namespace bisram::tech

@@ -1,0 +1,58 @@
+#include "util/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace bisram {
+
+void Matrix::clear() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+std::vector<double> lu_solve(Matrix& a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  ensure(a.cols() == n, "lu_solve: matrix must be square");
+  ensure(b.size() == n, "lu_solve: rhs size mismatch");
+
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot: pick the row with the largest magnitude in this column.
+    std::size_t pivot = col;
+    double best = std::abs(a.at(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(a.at(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) throw Error("lu_solve: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(a.at(col, c), a.at(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a.at(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a.at(r, col) * inv;
+      if (factor == 0.0) continue;
+      a.at(r, col) = 0.0;
+      for (std::size_t c = col + 1; c < n; ++c)
+        a.at(r, c) -= factor * a.at(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) sum -= a.at(i, c) * x[c];
+    x[i] = sum / a.at(i, i);
+  }
+  return x;
+}
+
+}  // namespace bisram

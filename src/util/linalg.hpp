@@ -1,0 +1,38 @@
+#pragma once
+// Small dense linear algebra used by the MNA circuit solver (src/spice).
+// Circuit matrices in this tool are tiny (tens of nodes), so a dense LU
+// with partial pivoting is both simpler and faster than a sparse solver.
+
+#include <cstddef>
+#include <vector>
+
+namespace bisram {
+
+/// Dense row-major matrix of double.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Sets every entry to zero without reallocating.
+  void clear();
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by LU decomposition with partial pivoting.
+/// A is modified in place. Throws bisram::Error if A is singular
+/// (pivot magnitude below 1e-13 of the largest row entry).
+std::vector<double> lu_solve(Matrix& a, std::vector<double> b);
+
+}  // namespace bisram

@@ -1,0 +1,44 @@
+#pragma once
+// Numerically stable combinatorics and quadrature used by the yield,
+// reliability and cost models (src/models). Everything works in the log
+// domain so that e.g. C(4096, 64) * q^64 does not overflow or underflow.
+
+#include <cstdint>
+#include <functional>
+
+namespace bisram {
+
+/// ln(n!) via lgamma; exact for the integer arguments we use.
+double ln_factorial(std::int64_t n);
+
+/// ln C(n, k); returns -inf when k < 0 or k > n (choose == 0).
+double ln_choose(std::int64_t n, std::int64_t k);
+
+/// Binomial pmf P[X = k], X ~ B(n, p). Stable for n up to millions.
+double binomial_pmf(std::int64_t n, std::int64_t k, double p);
+
+/// Binomial cdf P[X <= k], X ~ B(n, p).
+double binomial_cdf(std::int64_t n, std::int64_t k, double p);
+
+/// Poisson pmf P[X = k] with mean lambda.
+double poisson_pmf(std::int64_t k, double lambda);
+
+/// Adaptive Simpson quadrature of f over [a, b] to absolute tolerance tol.
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 double tol = 1e-10);
+
+/// Integrates f from a to +infinity by substitution x = a + t/(1-t).
+/// f must decay to 0; used for MTTF = integral of R(t).
+double integrate_to_inf(const std::function<double(double)>& f, double a,
+                        double tol = 1e-10);
+
+/// True when v is an integral power of two (v >= 1).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// ceil(log2(v)) for v >= 1; log2_ceil(1) == 0.
+int log2_ceil(std::uint64_t v);
+
+/// floor(log2(v)) for v >= 1.
+int log2_floor(std::uint64_t v);
+
+}  // namespace bisram

@@ -1,0 +1,23 @@
+#pragma once
+// String utilities shared by the march-notation parser, PLA personality
+// reader, and report writers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bisram {
+
+/// Splits `s` on any character in `delims`, dropping empty pieces.
+std::vector<std::string> split(std::string_view s, std::string_view delims);
+
+/// Removes leading and trailing whitespace.
+std::string trim(std::string_view s);
+
+/// Lower-cases ASCII characters.
+std::string to_lower(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace bisram

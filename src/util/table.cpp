@@ -1,0 +1,51 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace bisram {
+
+void TextTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  if (!header_.empty())
+    ensure(cells.size() == header_.size(), "TextTable: column count mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths;
+  auto widen = [&](const std::vector<std::string>& cells) {
+    if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto emit = [&](const std::vector<std::string>& cells, std::string& out) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      out += cells[i];
+      if (i + 1 < cells.size())
+        out.append(widths[i] - cells[i].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  if (!header_.empty()) {
+    emit(header_, out);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i)
+      total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+    out.append(total, '-');
+    out += '\n';
+  }
+  for (const auto& r : rows_) emit(r, out);
+  return out;
+}
+
+}  // namespace bisram

@@ -1,0 +1,30 @@
+#pragma once
+// ASCII table formatter used by benchmarks and datasheet reports to print
+// rows in the shape of the paper's Tables I-III.
+
+#include <string>
+#include <vector>
+
+namespace bisram {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+class TextTable {
+ public:
+  /// Sets the header row. Column count is fixed by this call.
+  void header(std::vector<std::string> cells);
+
+  /// Appends a data row; must match the header's column count
+  /// (or any count if no header was set).
+  void row(std::vector<std::string> cells);
+
+  /// Renders the table with a rule under the header.
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bisram

@@ -1,0 +1,100 @@
+// Tests for the fault-diagnosis module: per-bit fault maps, repairability
+// classification, and the Section-VI column-failure detector.
+
+#include <gtest/gtest.h>
+
+#include "sim/diagnosis.hpp"
+#include "util/rng.hpp"
+
+namespace bisram::sim {
+namespace {
+
+RamGeometry geo() {
+  RamGeometry g;
+  g.words = 128;
+  g.bpw = 8;
+  g.bpc = 4;
+  g.spare_rows = 4;
+  return g;
+}
+
+TEST(Diagnosis, CleanRamHasEmptyMap) {
+  RamModel ram(geo());
+  const auto r = diagnose(ram);
+  EXPECT_TRUE(r.failing_bits.empty());
+  EXPECT_TRUE(r.faulty_words.empty());
+  EXPECT_TRUE(r.repairable);
+  EXPECT_FALSE(r.column_failure);
+  EXPECT_GT(r.reads, 0u);
+}
+
+TEST(Diagnosis, PinpointsInjectedBits) {
+  RamModel ram(geo());
+  ram.array().inject(stuck_bit_fault(geo(), 17, 3, true));
+  ram.array().inject(stuck_bit_fault(geo(), 99, 0, false));
+  const auto r = diagnose(ram);
+  ASSERT_EQ(r.faulty_words.size(), 2u);
+  EXPECT_EQ(r.faulty_words[0], 17u);
+  EXPECT_EQ(r.faulty_words[1], 99u);
+  // Exactly the two planted (addr, bit) pairs appear.
+  ASSERT_EQ(r.failing_bits.size(), 2u);
+  EXPECT_EQ(r.failing_bits[0].addr, 17u);
+  EXPECT_EQ(r.failing_bits[0].bit, 3);
+  EXPECT_EQ(r.failing_bits[1].addr, 99u);
+  EXPECT_EQ(r.failing_bits[1].bit, 0);
+  EXPECT_TRUE(r.repairable);
+  const std::string text = r.render();
+  EXPECT_NE(text.find("addr    17"), std::string::npos);
+}
+
+TEST(Diagnosis, PhysicalCoordinatesMatchGeometry) {
+  RamModel ram(geo());
+  ram.array().inject(stuck_bit_fault(geo(), 21, 5, true));
+  const auto r = diagnose(ram);
+  ASSERT_EQ(r.failing_bits.size(), 1u);
+  const CellAddr expect = geo().cell_of(21, 5);
+  EXPECT_EQ(r.failing_bits[0].physical_row, expect.row);
+  EXPECT_EQ(r.failing_bits[0].physical_col, expect.col);
+}
+
+TEST(Diagnosis, TooManyWordsNotRepairable) {
+  RamModel ram(geo());  // 16 spare words
+  for (std::uint32_t a = 0; a < 20; ++a)
+    ram.array().inject(stuck_bit_fault(geo(), a * 6, 1, true));
+  const auto r = diagnose(ram);
+  EXPECT_EQ(r.faulty_words.size(), 20u);
+  EXPECT_FALSE(r.repairable);
+}
+
+TEST(Diagnosis, DetectsColumnFailure) {
+  RamModel ram(geo());
+  const int col = 9;
+  for (int row = 0; row < geo().rows(); ++row) {
+    Fault f;
+    f.kind = FaultKind::StuckAt1;
+    f.victim = {row, col};
+    ram.array().inject(f);
+  }
+  const auto r = diagnose(ram);
+  EXPECT_TRUE(r.column_failure);
+  EXPECT_EQ(r.suspect_column, col);
+  EXPECT_FALSE(r.repairable);  // every word on the column is faulty
+  EXPECT_NE(r.render().find("COLUMN FAILURE"), std::string::npos);
+}
+
+TEST(Diagnosis, ScatteredFaultsAreNotAColumnFailure) {
+  RamModel ram(geo());
+  Rng rng(3);
+  for (int i = 0; i < 6; ++i) {
+    Fault f;
+    f.kind = FaultKind::StuckAt0;
+    f.victim = {static_cast<int>(rng.below(static_cast<std::uint64_t>(geo().rows()))),
+                static_cast<int>(rng.below(static_cast<std::uint64_t>(geo().cols())))};
+    ram.array().inject(f);
+  }
+  const auto r = diagnose(ram);
+  EXPECT_FALSE(r.column_failure);
+}
+
+}  // namespace
+}  // namespace bisram::sim

@@ -1,0 +1,119 @@
+// Tests for the march-test algebra: parsing, the standard test library,
+// and the data-background generators (including the paper's claim that
+// Johnson-counter backgrounds cover every intra-word pair).
+
+#include <gtest/gtest.h>
+
+#include "march/march.hpp"
+#include "util/error.hpp"
+
+namespace bisram::march {
+namespace {
+
+TEST(March, ParseRoundTrip) {
+  const std::string text = "{b(w0);u(r0,w1);d(r1,w0);del;b(r1)}";
+  const MarchTest t = MarchTest::parse("t", text);
+  EXPECT_EQ(t.to_string(), text);
+  ASSERT_EQ(t.elements().size(), 5u);
+  EXPECT_EQ(t.elements()[0].order, Order::Either);
+  EXPECT_EQ(t.elements()[1].order, Order::Up);
+  EXPECT_EQ(t.elements()[2].order, Order::Down);
+  EXPECT_TRUE(t.elements()[3].is_delay);
+  EXPECT_EQ(t.elements()[1].ops.size(), 2u);
+  EXPECT_EQ(t.elements()[1].ops[0], Op::R0);
+  EXPECT_EQ(t.elements()[1].ops[1], Op::W1);
+}
+
+TEST(March, ParseToleratesWhitespace) {
+  const MarchTest t = MarchTest::parse("t", "  { b(w0) ; u( r0 , w1 ) }  ");
+  EXPECT_EQ(t.to_string(), "{b(w0);u(r0,w1)}");
+}
+
+TEST(March, ParseRejectsGarbage) {
+  EXPECT_THROW(MarchTest::parse("t", "b(w0)"), SpecError);       // no braces
+  EXPECT_THROW(MarchTest::parse("t", "{x(w0)}"), SpecError);     // bad order
+  EXPECT_THROW(MarchTest::parse("t", "{u(w2)}"), SpecError);     // bad op
+  EXPECT_THROW(MarchTest::parse("t", "{u()}"), SpecError);       // empty ops
+  EXPECT_THROW(MarchTest::parse("t", "{}"), SpecError);          // no elements
+}
+
+TEST(March, OpHelpers) {
+  EXPECT_TRUE(is_read(Op::R0));
+  EXPECT_TRUE(is_read(Op::R1));
+  EXPECT_FALSE(is_read(Op::W0));
+  EXPECT_FALSE(op_value(Op::R0));
+  EXPECT_TRUE(op_value(Op::W1));
+  EXPECT_EQ(op_name(Op::R1), "r1");
+}
+
+TEST(March, Ifa9MatchesPaperNotation) {
+  // {⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); Delay; ⇕(r0,w1);
+  //  Delay; ⇕(r1)}
+  const MarchTest& t = ifa9();
+  EXPECT_EQ(t.to_string(),
+            "{b(w0);u(r0,w1);u(r1,w0);d(r0,w1);d(r1,w0);del;b(r0,w1);del;"
+            "b(r1)}");
+  EXPECT_EQ(t.elements().size(), 9u);
+  EXPECT_EQ(t.delay_count(), 2u);
+  EXPECT_EQ(t.ops_per_address(), 12u);  // 1+2+2+2+2+2+1
+}
+
+TEST(March, Ifa13AddsVerifyingReads) {
+  EXPECT_EQ(ifa13().ops_per_address(), 16u);
+  EXPECT_EQ(ifa13().delay_count(), 2u);
+}
+
+TEST(March, StandardComplexities) {
+  EXPECT_EQ(mats_plus().ops_per_address(), 5u);     // 5n
+  EXPECT_EQ(march_c_minus().ops_per_address(), 10u); // 10n
+  EXPECT_EQ(march_x().ops_per_address(), 6u);        // 6n
+  EXPECT_EQ(march_y().ops_per_address(), 8u);        // 8n
+}
+
+TEST(March, TestCyclesArithmetic) {
+  EXPECT_EQ(test_cycles(mats_plus(), 1024, 1), 5u * 1024u);
+  EXPECT_EQ(test_cycles(ifa9(), 4096, 5), 12u * 4096u * 5u);
+  EXPECT_THROW(test_cycles(ifa9(), 10, 0), SpecError);
+}
+
+TEST(Backgrounds, JohnsonShape) {
+  const auto bgs = johnson_backgrounds(4);
+  ASSERT_EQ(bgs.size(), 5u);  // bpw + 1
+  EXPECT_EQ(bgs[0], (std::vector<bool>{false, false, false, false}));
+  EXPECT_EQ(bgs[1], (std::vector<bool>{true, false, false, false}));
+  EXPECT_EQ(bgs[2], (std::vector<bool>{true, true, false, false}));
+  EXPECT_EQ(bgs[4], (std::vector<bool>{true, true, true, true}));
+}
+
+TEST(Backgrounds, LogShape) {
+  const auto bgs = log_backgrounds(4);
+  // all-0, 0101, 0011, all-1.
+  ASSERT_EQ(bgs.size(), 4u);
+  EXPECT_EQ(bgs[1], (std::vector<bool>{false, true, false, true}));
+  EXPECT_EQ(bgs[2], (std::vector<bool>{false, false, true, true}));
+}
+
+TEST(Backgrounds, BothFamiliesCoverAllPairs) {
+  for (int bpw : {2, 4, 8, 16, 32, 64, 128}) {
+    EXPECT_TRUE(covers_all_pairs(johnson_backgrounds(bpw), bpw)) << bpw;
+    EXPECT_TRUE(covers_all_pairs(log_backgrounds(bpw), bpw)) << bpw;
+  }
+}
+
+TEST(Backgrounds, SingleBackgroundDoesNotCoverPairs) {
+  // The ablation: one all-0 background leaves every pair identical.
+  const std::vector<std::vector<bool>> single = {{false, false, false, false}};
+  EXPECT_FALSE(covers_all_pairs(single, 4));
+}
+
+TEST(Backgrounds, JohnsonIsHardwareCheaperButLonger) {
+  // The paper: bpw Johnson backgrounds need less hardware than the
+  // log2(bpw)+1 binary patterns but cost more test time. Verify the count
+  // relation driving that trade-off.
+  for (int bpw : {8, 16, 32, 64}) {
+    EXPECT_GT(johnson_backgrounds(bpw).size(), log_backgrounds(bpw).size());
+  }
+}
+
+}  // namespace
+}  // namespace bisram::march

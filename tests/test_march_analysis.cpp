@@ -1,0 +1,101 @@
+// Tests for the exact march-coverage analyzer, including the textbook
+// verdicts for the classic tests and cross-validation against the
+// stochastic fault simulator: whenever the analyzer proves a class
+// covered, the simulator must measure 100% on that class.
+
+#include <gtest/gtest.h>
+
+#include "march/analysis.hpp"
+#include "sim/fault_sim.hpp"
+
+namespace bisram::march {
+namespace {
+
+TEST(MarchAnalysis, Ifa9TextbookVerdict) {
+  const MarchAnalysis a = analyze(ifa9());
+  EXPECT_TRUE(a.detects_saf);
+  EXPECT_TRUE(a.detects_tf);
+  EXPECT_TRUE(a.detects_cfst);
+  EXPECT_FALSE(a.detects_sof);  // the reason IFA-13 exists
+  EXPECT_TRUE(a.exercises_retention);
+}
+
+TEST(MarchAnalysis, Ifa13AddsStuckOpen) {
+  const MarchAnalysis a = analyze(ifa13());
+  EXPECT_TRUE(a.detects_saf);
+  EXPECT_TRUE(a.detects_tf);
+  EXPECT_TRUE(a.detects_cfst);
+  EXPECT_TRUE(a.detects_sof);
+  EXPECT_TRUE(a.exercises_retention);
+}
+
+TEST(MarchAnalysis, MatsPlusIsSafOnly) {
+  const MarchAnalysis a = analyze(mats_plus());
+  EXPECT_TRUE(a.detects_saf);
+  // The final w0 is never verified: down transitions escape.
+  EXPECT_FALSE(a.detects_tf);
+  EXPECT_FALSE(a.exercises_retention);
+}
+
+TEST(MarchAnalysis, MarchCMinusCoversUnlinkedCoupling) {
+  const MarchAnalysis a = analyze(march_c_minus());
+  EXPECT_TRUE(a.detects_saf);
+  EXPECT_TRUE(a.detects_tf);
+  EXPECT_TRUE(a.detects_cfst);
+  EXPECT_TRUE(a.detects_cfid);
+  EXPECT_TRUE(a.detects_cfin);
+}
+
+TEST(MarchAnalysis, TrivialTestsDetectLittle) {
+  const auto w_only = MarchTest::parse("w", "{b(w0);u(w1)}");
+  const MarchAnalysis a = analyze(w_only);
+  EXPECT_FALSE(a.detects_saf);
+  const auto read_once = MarchTest::parse("r1", "{b(w0);u(r0)}");
+  const MarchAnalysis b = analyze(read_once);
+  EXPECT_FALSE(b.detects_saf);  // never expects a 1
+}
+
+TEST(MarchAnalysis, SummaryFormat) {
+  const std::string s = analyze(ifa9()).summary();
+  EXPECT_NE(s.find("SAF"), std::string::npos);
+  EXPECT_NE(s.find("-SOF"), std::string::npos);
+}
+
+TEST(MarchAnalysis, ProofsAgreeWithFaultSimulator) {
+  // Cross-validation: a class the analyzer proves covered must measure
+  // 100% in the randomized fault-injection campaign (inter-word faults,
+  // the regime the 2-cell analysis models).
+  sim::RamGeometry g;
+  g.words = 64;
+  g.bpw = 4;
+  g.bpc = 4;
+  g.spare_rows = 4;
+  struct ClassMap {
+    bool MarchAnalysis::*proved;
+    sim::FaultKind kind;
+  };
+  const std::vector<ClassMap> classes = {
+      {&MarchAnalysis::detects_saf, sim::FaultKind::StuckAt0},
+      {&MarchAnalysis::detects_saf, sim::FaultKind::StuckAt1},
+      {&MarchAnalysis::detects_tf, sim::FaultKind::TransitionUp},
+      {&MarchAnalysis::detects_tf, sim::FaultKind::TransitionDown},
+      {&MarchAnalysis::detects_cfst, sim::FaultKind::CouplingState},
+      {&MarchAnalysis::detects_cfid, sim::FaultKind::CouplingIdem},
+      {&MarchAnalysis::detects_sof, sim::FaultKind::StuckOpen},
+  };
+  for (const MarchTest* test :
+       {&ifa9(), &ifa13(), &mats_plus(), &march_c_minus(), &march_y()}) {
+    const MarchAnalysis proof = analyze(*test);
+    for (const auto& c : classes) {
+      if (!(proof.*(c.proved))) continue;  // no claim, nothing to check
+      const auto cov = sim::fault_coverage(*test, g, {c.kind}, 30, true, 77);
+      EXPECT_DOUBLE_EQ(cov[0].fraction(), 1.0)
+          << test->name() << " proved " << sim::fault_name(c.kind)
+          << " covered but the simulator measured "
+          << cov[0].fraction();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bisram::march

@@ -1,0 +1,250 @@
+// Tests for the TRPLA microassembler: PLA personality round-trips, FSM
+// determinism, state counts, and — most importantly — cycle-exact
+// equivalence between the microprogram-driven machine and the behavioural
+// BIST engine.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "march/march.hpp"
+#include "microcode/controller.hpp"
+#include "microcode/pla.hpp"
+#include "sim/bist.hpp"
+#include "sim/controller.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bisram::microcode {
+namespace {
+
+TEST(Pla, EvaluateBasicTerms) {
+  PlaPersonality pla(3, 2);
+  pla.add_term("1-0", "10");  // in0 & !in2 -> out0
+  pla.add_term("-11", "01");  // in1 & in2  -> out1
+  EXPECT_EQ(pla.evaluate({true, false, false}), (std::vector<bool>{true, false}));
+  EXPECT_EQ(pla.evaluate({false, true, true}), (std::vector<bool>{false, true}));
+  EXPECT_EQ(pla.evaluate({true, true, true}), (std::vector<bool>{false, true}));
+  EXPECT_EQ(pla.evaluate({false, false, false}),
+            (std::vector<bool>{false, false}));
+}
+
+TEST(Pla, ValidatesRows) {
+  PlaPersonality pla(2, 1);
+  EXPECT_THROW(pla.add_term("1", "1"), Error);     // AND width
+  EXPECT_THROW(pla.add_term("1x", "1"), Error);    // bad char
+  EXPECT_THROW(pla.add_term("11", "-"), Error);    // OR must be 0/1
+  EXPECT_THROW(PlaPersonality(0, 1), Error);
+}
+
+TEST(Pla, FileRoundTrip) {
+  PlaPersonality pla(4, 3);
+  pla.add_term("10-1", "101");
+  pla.add_term("--00", "010");
+  std::ostringstream and_os, or_os;
+  pla.write_and_plane(and_os);
+  pla.write_or_plane(or_os);
+
+  std::istringstream and_is(and_os.str()), or_is(or_os.str());
+  const PlaPersonality back = PlaPersonality::read_planes(and_is, or_is);
+  EXPECT_EQ(back.inputs(), 4);
+  EXPECT_EQ(back.outputs(), 3);
+  EXPECT_EQ(back.terms(), 2);
+  Rng rng(3);
+  for (int trial = 0; trial < 64; ++trial) {
+    std::vector<bool> in(4);
+    for (auto&& b : in) b = rng.chance(0.5);
+    EXPECT_EQ(pla.evaluate(in), back.evaluate(in));
+  }
+}
+
+TEST(Pla, GridDimensionsForMacroGeneration) {
+  PlaPersonality pla(11, 21);
+  pla.add_term("-----------", "000000000000000000001");
+  EXPECT_EQ(pla.grid_rows(), 1);
+  EXPECT_EQ(pla.grid_cols(), 2 * 11 + 21);
+}
+
+TEST(Controller, Ifa9FsmIsDeterministic) {
+  const ControllerFsm fsm = compile_controller(march::ifa9(), 2);
+  EXPECT_NO_THROW(fsm.check_deterministic());
+}
+
+TEST(Controller, StateCountNearPaper) {
+  // The paper's controller has 59 states in 6 flip-flops. Our factoring
+  // of the same flow (IFA-9, two passes) must also fit 6 flip-flops.
+  const ControllerFsm fsm = compile_controller(march::ifa9(), 2);
+  EXPECT_LE(fsm.states.size(), 64u);
+  EXPECT_GE(fsm.states.size(), 30u);
+  const AssembledController trpla = assemble(fsm);
+  EXPECT_EQ(trpla.state_bits, 6);
+}
+
+TEST(Controller, RejectsBadPrograms) {
+  EXPECT_THROW(compile_controller(march::ifa9(), 1), SpecError);
+  const auto ends_with_delay = march::MarchTest::parse(
+      "bad", "{b(w0);u(r0,w1);del}");
+  EXPECT_THROW(compile_controller(ends_with_delay, 2), SpecError);
+}
+
+TEST(Controller, EveryStateReachableFromInit) {
+  const ControllerFsm fsm = compile_controller(march::ifa9(), 2);
+  std::vector<bool> seen(fsm.states.size(), false);
+  std::vector<int> stack{fsm.initial};
+  seen[static_cast<std::size_t>(fsm.initial)] = true;
+  while (!stack.empty()) {
+    const int s = stack.back();
+    stack.pop_back();
+    for (const auto& t : fsm.states[static_cast<std::size_t>(s)].transitions) {
+      if (!seen[static_cast<std::size_t>(t.next)]) {
+        seen[static_cast<std::size_t>(t.next)] = true;
+        stack.push_back(t.next);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    EXPECT_TRUE(seen[i]) << "unreachable state " << fsm.states[i].name;
+}
+
+TEST(Controller, PersonalityTermsMatchTransitionCount) {
+  const ControllerFsm fsm = compile_controller(march::mats_plus(), 2);
+  std::size_t transitions = 0;
+  for (const auto& s : fsm.states) transitions += s.transitions.size();
+  const AssembledController trpla = assemble(fsm);
+  EXPECT_EQ(static_cast<std::size_t>(trpla.pla.terms()), transitions);
+  EXPECT_EQ(trpla.pla.inputs(), trpla.state_bits + kCondCount);
+  EXPECT_EQ(trpla.pla.outputs(), trpla.state_bits + kCtrlCount);
+}
+
+}  // namespace
+}  // namespace bisram::microcode
+
+namespace bisram::sim {
+namespace {
+
+RamGeometry small_geo() {
+  RamGeometry g;
+  g.words = 64;
+  g.bpw = 4;
+  g.bpc = 4;
+  g.spare_rows = 4;
+  return g;
+}
+
+void expect_equivalent(const BistResult& a, const BistResult& b) {
+  EXPECT_EQ(a.pass1_clean, b.pass1_clean);
+  EXPECT_EQ(a.repair_successful, b.repair_successful);
+  EXPECT_EQ(a.tlb_overflow, b.tlb_overflow);
+  EXPECT_EQ(a.spares_used, b.spares_used);
+  EXPECT_EQ(a.passes_run, b.passes_run);
+  EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(PlaMachine, CleanArrayMatchesBehavioural) {
+  RamModel ram_a(small_geo()), ram_b(small_geo());
+  const BistResult a = self_test_and_repair(ram_a);
+  const BistResult b = run_microcoded_bist(ram_b);
+  expect_equivalent(a, b);
+  EXPECT_TRUE(b.repair_successful);
+}
+
+TEST(PlaMachine, SingleFaultMatchesBehavioural) {
+  RamModel ram_a(small_geo()), ram_b(small_geo());
+  const Fault f = stuck_bit_fault(small_geo(), 13, 2, true);
+  ram_a.array().inject(f);
+  ram_b.array().inject(f);
+  expect_equivalent(self_test_and_repair(ram_a), run_microcoded_bist(ram_b));
+}
+
+TEST(PlaMachine, RandomFaultSoupEquivalence) {
+  // Property test: for many random multi-fault patterns the microcoded
+  // machine and the behavioural engine report identical results.
+  Rng rng(42);
+  const RamGeometry g = small_geo();
+  for (int trial = 0; trial < 25; ++trial) {
+    RamModel ram_a(g), ram_b(g);
+    const int nfaults = static_cast<int>(rng.below(8));
+    for (int i = 0; i < nfaults; ++i) {
+      Fault f;
+      const FaultKind kinds[] = {FaultKind::StuckAt0, FaultKind::StuckAt1,
+                                 FaultKind::TransitionUp,
+                                 FaultKind::TransitionDown,
+                                 FaultKind::Retention};
+      f.kind = kinds[rng.below(5)];
+      f.victim = {static_cast<int>(rng.below(static_cast<std::uint64_t>(g.total_rows()))),
+                  static_cast<int>(rng.below(static_cast<std::uint64_t>(g.cols())))};
+      f.value = rng.chance(0.5);
+      ram_a.array().inject(f);
+      ram_b.array().inject(f);
+    }
+    expect_equivalent(self_test_and_repair(ram_a),
+                      run_microcoded_bist(ram_b));
+  }
+}
+
+TEST(PlaMachine, FaultySpare2kPassEquivalence) {
+  const RamGeometry g = small_geo();
+  for (int passes : {2, 6}) {
+    RamModel ram_a(g), ram_b(g);
+    for (auto* ram : {&ram_a, &ram_b}) {
+      ram->array().inject(stuck_bit_fault(g, 20, 1, true));
+      Fault spare_fault;
+      spare_fault.kind = FaultKind::StuckAt0;
+      spare_fault.victim = g.spare_cell_of(0, 3);
+      ram->array().inject(spare_fault);
+    }
+    BistConfig cfg;
+    cfg.max_passes = passes;
+    expect_equivalent(BistEngine(ram_a, cfg).run(),
+                      [&] {
+                        return run_microcoded_bist(ram_b, cfg);
+                      }());
+  }
+}
+
+TEST(PlaMachine, OverflowEquivalence) {
+  RamGeometry g = small_geo();
+  g.spare_rows = 1;
+  RamModel ram_a(g), ram_b(g);
+  for (std::uint32_t a : {1u, 9u, 17u, 33u, 40u}) {
+    ram_a.array().inject(stuck_bit_fault(g, a, 0, true));
+    ram_b.array().inject(stuck_bit_fault(g, a, 0, true));
+  }
+  const BistResult r_a = self_test_and_repair(ram_a);
+  const BistResult r_b = run_microcoded_bist(ram_b);
+  expect_equivalent(r_a, r_b);
+  EXPECT_TRUE(r_b.tlb_overflow);
+}
+
+TEST(PlaMachine, SingleBackgroundModeEquivalence) {
+  RamModel ram_a(small_geo()), ram_b(small_geo());
+  BistConfig cfg;
+  cfg.johnson_backgrounds = false;
+  const Fault f = stuck_bit_fault(small_geo(), 5, 0, true);
+  ram_a.array().inject(f);
+  ram_b.array().inject(f);
+  expect_equivalent(BistEngine(ram_a, cfg).run(),
+                    run_microcoded_bist(ram_b, cfg));
+}
+
+TEST(PlaMachine, RunsFromPersonalityFilesRoundTrip) {
+  // The paper loads the control code from the two plane files at run
+  // time; prove a file round-trip drives the machine identically.
+  const auto trpla = microcode::build_trpla(march::ifa9(), 2);
+  std::ostringstream and_os, or_os;
+  trpla.pla.write_and_plane(and_os);
+  trpla.pla.write_or_plane(or_os);
+  std::istringstream and_is(and_os.str()), or_is(or_os.str());
+  microcode::AssembledController loaded = trpla;
+  loaded.pla = microcode::PlaPersonality::read_planes(and_is, or_is);
+
+  RamModel ram(small_geo());
+  ram.array().inject(stuck_bit_fault(small_geo(), 7, 3, false));
+  PlaBistMachine machine(ram, loaded);
+  const BistResult r = machine.run();
+  EXPECT_TRUE(r.repair_successful);
+  EXPECT_EQ(r.spares_used, 1);
+}
+
+}  // namespace
+}  // namespace bisram::sim

@@ -1,0 +1,175 @@
+// Tests for the macrocell floorplanner and the left-edge channel router.
+
+#include <gtest/gtest.h>
+
+#include "pnr/floorplan.hpp"
+#include "tech/tech.hpp"
+#include "util/error.hpp"
+
+namespace bisram::pnr {
+namespace {
+
+using geom::Layer;
+using geom::Rect;
+
+CellPtr make_block(geom::Library& lib, const std::string& name, Coord w,
+                   Coord h, Coord port_y = -1) {
+  auto cell = lib.create(name);
+  cell->add_shape(Layer::Metal1, Rect::ltrb(0, 0, w, h));
+  if (port_y >= 0)
+    cell->add_port("p", Layer::Metal1,
+                   Rect::ltrb(w - 10, port_y, w, port_y + 10));
+  return cell;
+}
+
+TEST(Floorplan, SingleBlock) {
+  geom::Library lib;
+  const std::vector<Block> blocks = {{"a", make_block(lib, "a", 100, 50)}};
+  const auto plan = floorplan(blocks, {});
+  EXPECT_EQ(plan.placements.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.rectangularity, 1.0);
+}
+
+TEST(Floorplan, NoOverlapsManyBlocks) {
+  geom::Library lib;
+  std::vector<Block> blocks;
+  for (int i = 0; i < 8; ++i) {
+    blocks.push_back({"b" + std::to_string(i),
+                      make_block(lib, "b" + std::to_string(i),
+                                 100 + i * 37, 60 + (i * 53) % 90)});
+  }
+  const auto plan = floorplan(blocks, {});
+  std::vector<Rect> outlines;
+  for (const auto& p : plan.placements) {
+    outlines.push_back(p.transform.apply(
+        blocks[static_cast<std::size_t>(p.block)].cell->bbox()));
+  }
+  for (std::size_t i = 0; i < outlines.size(); ++i)
+    for (std::size_t j = i + 1; j < outlines.size(); ++j)
+      EXPECT_FALSE(outlines[i].overlaps(outlines[j])) << i << " vs " << j;
+  EXPECT_GT(plan.rectangularity, 0.5);
+}
+
+TEST(Floorplan, KeepsResultRoughlySquare) {
+  // Many equal blocks should tile into something much squarer than a
+  // single row.
+  geom::Library lib;
+  std::vector<Block> blocks;
+  for (int i = 0; i < 9; ++i)
+    blocks.push_back({"s" + std::to_string(i),
+                      make_block(lib, "s" + std::to_string(i), 100, 100)});
+  const auto plan = floorplan(blocks, {});
+  const double aspect = static_cast<double>(plan.bbox.width()) /
+                        static_cast<double>(plan.bbox.height());
+  EXPECT_GT(aspect, 1.0 / 3.0);
+  EXPECT_LT(aspect, 3.0);
+}
+
+TEST(Floorplan, PortAlignmentPullsConnectedBlocksTogether) {
+  geom::Library lib;
+  auto a = lib.create("blk_a");
+  a->add_shape(Layer::Metal1, Rect::ltrb(0, 0, 200, 200));
+  a->add_port("out", Layer::Metal1, Rect::ltrb(190, 120, 200, 140));
+  auto b = lib.create("blk_b");
+  b->add_shape(Layer::Metal1, Rect::ltrb(0, 0, 100, 40));
+  b->add_port("in", Layer::Metal1, Rect::ltrb(0, 10, 10, 30));
+
+  const std::vector<Block> blocks = {{"a", a}, {"b", b}};
+  const std::vector<Net> nets = {{"n", {{0, "out"}, {1, "in"}}}};
+  FloorplanOptions opt;
+  opt.wirelength_weight = 1e-2;  // make alignment matter
+  const auto plan = floorplan(blocks, nets, opt);
+  // b's port should land opposite a's port (y centres aligned).
+  const Rect pa = plan.placements[0].transform.apply(a->port("out").rect);
+  const Rect pb = plan.placements[1].transform.apply(b->port("in").rect);
+  EXPECT_EQ(pa.center().y, pb.center().y);
+  EXPECT_LE(std::abs(pb.lo.x - pa.hi.x), 10);
+}
+
+TEST(Floorplan, DecreasingAreaOrderIsUsed) {
+  // The largest block anchors at the origin.
+  geom::Library lib;
+  const std::vector<Block> blocks = {
+      {"small", make_block(lib, "small", 50, 50)},
+      {"large", make_block(lib, "large", 300, 300)},
+  };
+  const auto plan = floorplan(blocks, {});
+  const Rect large_outline = plan.placements[1].transform.apply(
+      blocks[1].cell->bbox());
+  EXPECT_EQ(large_outline.lo.x, 0);
+  EXPECT_EQ(large_outline.lo.y, 0);
+}
+
+TEST(Floorplan, EmptyInputThrows) {
+  EXPECT_THROW(floorplan({}, {}), Error);
+}
+
+TEST(BuildTop, RoutesNonAbuttingNetsOnMetal3) {
+  geom::Library lib;
+  const auto& t = tech::cda_07();
+  // Ports on opposite outer edges, far beyond the abutment reach, so the
+  // net must be routed over-the-cell.
+  auto a = lib.create("blk_a");
+  a->add_shape(Layer::Metal1, Rect::ltrb(0, 0, 2000, 2000));
+  a->add_port("p", Layer::Metal1, Rect::ltrb(0, 900, 60, 960));
+  auto b = lib.create("blk_b");
+  b->add_shape(Layer::Metal1, Rect::ltrb(0, 0, 800, 800));
+  b->add_port("p", Layer::Metal1, Rect::ltrb(740, 100, 800, 160));
+  const std::vector<Block> blocks = {{"a", a}, {"b", b}};
+  const std::vector<Net> nets = {{"n", {{0, "p"}, {1, "p"}}}};
+  const auto plan = floorplan(blocks, nets);
+  const auto top = build_top(lib, t, "top", blocks, nets, plan);
+  EXPECT_EQ(top->instances().size(), 2u);
+  // Expect at least one metal3 shape (the over-the-cell route) and vias.
+  double m3_area = 0;
+  for (const auto& s : top->shapes())
+    if (s.layer == Layer::Metal3) m3_area += s.rect.area();
+  EXPECT_GT(m3_area, 0.0);
+}
+
+TEST(ChannelRouter, TrackCountEqualsDensity) {
+  // Three nets: a:[0,100], b:[50,150], c:[120,200].
+  // Density 2 (a and b overlap; b and c overlap; a and c do not).
+  const std::vector<ChannelPin> pins = {
+      {0, 1}, {100, 1}, {50, 2}, {150, 2}, {120, 3}, {200, 3},
+  };
+  const auto route = left_edge_route(pins);
+  EXPECT_EQ(route.tracks, 2);
+  ASSERT_EQ(route.segments.size(), 3u);
+  // Net c reuses net a's track.
+  int track_a = -1, track_c = -1;
+  for (const auto& s : route.segments) {
+    if (s.net == 1) track_a = s.track;
+    if (s.net == 3) track_c = s.track;
+  }
+  EXPECT_EQ(track_a, track_c);
+}
+
+TEST(ChannelRouter, DisjointNetsShareOneTrack) {
+  std::vector<ChannelPin> pins;
+  for (int i = 0; i < 10; ++i) {
+    pins.push_back({i * 100, i});
+    pins.push_back({i * 100 + 50, i});
+  }
+  EXPECT_EQ(left_edge_route(pins).tracks, 1);
+}
+
+TEST(ChannelRouter, FullyOverlappingNetsEachGetATrack) {
+  std::vector<ChannelPin> pins;
+  for (int i = 0; i < 5; ++i) {
+    pins.push_back({0 - i, i});
+    pins.push_back({1000 + i, i});
+  }
+  EXPECT_EQ(left_edge_route(pins).tracks, 5);
+}
+
+TEST(ChannelRouter, SegmentsSpanTheirPins) {
+  const std::vector<ChannelPin> pins = {{10, 7}, {300, 7}, {150, 7}};
+  const auto route = left_edge_route(pins);
+  ASSERT_EQ(route.segments.size(), 1u);
+  EXPECT_EQ(route.segments[0].x0, 10);
+  EXPECT_EQ(route.segments[0].x1, 300);
+}
+
+}  // namespace
+}  // namespace bisram::pnr

@@ -1,0 +1,264 @@
+// Tests for the RAM model, the BIST/BISR engine (two-pass and 2k-pass)
+// and the fault-coverage simulator.
+
+#include <gtest/gtest.h>
+
+#include "march/march.hpp"
+#include "sim/bist.hpp"
+#include "sim/fault_sim.hpp"
+#include "sim/ram_model.hpp"
+#include "util/error.hpp"
+
+namespace bisram::sim {
+namespace {
+
+RamGeometry small_geo() {
+  RamGeometry g;
+  g.words = 64;
+  g.bpw = 4;
+  g.bpc = 4;
+  g.spare_rows = 4;  // 16 spare words
+  return g;
+}
+
+TEST(RamGeometry, PaperConfigurationsAreConsistent) {
+  // Fig. 4: 1024 rows, bpc = bpw = 4 -> 4096 words of 16 Kb.
+  RamGeometry fig4{4096, 4, 4, 0};
+  fig4.validate();
+  EXPECT_EQ(fig4.rows(), 1024);
+  EXPECT_EQ(fig4.cols(), 16);
+  EXPECT_EQ(fig4.bits(), 16384u);
+  // Fig. 6: 4 K words x 128 bits, bpc = 8 -> 512 rows x 1024 cols = 64 KB.
+  RamGeometry fig6{4096, 128, 8, 4};
+  fig6.validate();
+  EXPECT_EQ(fig6.rows(), 512);
+  EXPECT_EQ(fig6.cols(), 1024);
+  EXPECT_EQ(fig6.bits() / 8, 65536u);
+  // Fig. 7: 4 K words x 256 bits, bpc = 16 -> 256 rows x 4096 cols = 128 KB.
+  RamGeometry fig7{4096, 256, 16, 4};
+  fig7.validate();
+  EXPECT_EQ(fig7.rows(), 256);
+  EXPECT_EQ(fig7.cols(), 4096);
+  EXPECT_EQ(fig7.bits() / 8, 131072u);
+}
+
+TEST(RamGeometry, ValidationRejectsBadSpecs) {
+  EXPECT_THROW((RamGeometry{0, 4, 4, 4}).validate(), SpecError);
+  EXPECT_THROW((RamGeometry{64, 4, 3, 4}).validate(), SpecError);   // bpc not pow2
+  EXPECT_THROW((RamGeometry{63, 4, 4, 4}).validate(), SpecError);   // not divisible
+  EXPECT_THROW((RamGeometry{64, 4, 4, -1}).validate(), SpecError);
+}
+
+TEST(RamGeometry, ColumnMultiplexedCellMapping) {
+  const RamGeometry g = small_geo();
+  // Word 0 and word 1 share row 0 but occupy adjacent columns of each
+  // I/O subarray.
+  EXPECT_EQ(g.cell_of(0, 0), (CellAddr{0, 0}));
+  EXPECT_EQ(g.cell_of(1, 0), (CellAddr{0, 1}));
+  EXPECT_EQ(g.cell_of(0, 1), (CellAddr{0, 4}));   // bit 1 -> subarray 1
+  EXPECT_EQ(g.cell_of(4, 0), (CellAddr{1, 0}));   // next row after bpc words
+  // Spare word 0 sits in the first spare row.
+  EXPECT_EQ(g.spare_cell_of(0, 0), (CellAddr{16, 0}));
+  EXPECT_EQ(g.spare_cell_of(5, 2), (CellAddr{17, 9}));
+}
+
+TEST(RamModel, ReadWriteRoundTrip) {
+  RamModel ram(small_geo());
+  const Word w{true, false, true, true};
+  ram.write_word(7, w);
+  EXPECT_EQ(ram.read_word(7), w);
+  // Neighbouring words unaffected.
+  EXPECT_EQ(ram.read_word(6), (Word{false, false, false, false}));
+}
+
+TEST(RamModel, TlbDiversionRedirectsAccess) {
+  RamModel ram(small_geo());
+  ram.tlb().record(5);
+  ram.set_repair_enabled(true);
+  const Word w{true, true, false, false};
+  ram.write_word(5, w);
+  EXPECT_EQ(ram.read_word(5), w);
+  // The data physically lives in spare word 0, not in word 5's cells.
+  EXPECT_EQ(ram.read_spare(0), w);
+  ram.set_repair_enabled(false);
+  EXPECT_NE(ram.read_word(5), w);
+}
+
+TEST(Bist, CleanArrayPassesFirstTime) {
+  RamModel ram(small_geo());
+  const BistResult r = self_test_and_repair(ram);
+  EXPECT_TRUE(r.pass1_clean);
+  EXPECT_TRUE(r.repair_successful);
+  EXPECT_EQ(r.spares_used, 0);
+  EXPECT_EQ(r.passes_run, 1);
+  EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(Bist, SingleStuckBitIsRepaired) {
+  RamModel ram(small_geo());
+  ram.array().inject(stuck_bit_fault(ram.geometry(), 13, 2, true));
+  const BistResult r = self_test_and_repair(ram);
+  EXPECT_FALSE(r.pass1_clean);
+  EXPECT_TRUE(r.repair_successful);
+  EXPECT_EQ(r.spares_used, 1);
+  EXPECT_EQ(r.passes_run, 2);
+  // After repair, normal-mode accesses work.
+  const Word w{true, true, true, true};
+  ram.write_word(13, w);
+  EXPECT_EQ(ram.read_word(13), w);
+}
+
+TEST(Bist, ManyFaultsWithinCapacityAreRepaired) {
+  RamModel ram(small_geo());  // 16 spare words
+  for (std::uint32_t a : {1u, 9u, 17u, 33u, 40u, 63u})
+    ram.array().inject(stuck_bit_fault(ram.geometry(), a, a % 4, a % 2 == 0));
+  const BistResult r = self_test_and_repair(ram);
+  EXPECT_TRUE(r.repair_successful);
+  EXPECT_EQ(r.spares_used, 6);
+}
+
+TEST(Bist, TooManyFaultsRaiseRepairUnsuccessful) {
+  RamGeometry g = small_geo();
+  g.spare_rows = 1;  // only 4 spare words
+  RamModel ram(g);
+  for (std::uint32_t a : {1u, 9u, 17u, 33u, 40u})
+    ram.array().inject(stuck_bit_fault(ram.geometry(), a, 0, true));
+  const BistResult r = self_test_and_repair(ram);
+  EXPECT_FALSE(r.repair_successful);
+  EXPECT_TRUE(r.repair_unsuccessful());
+  EXPECT_TRUE(r.tlb_overflow);
+}
+
+TEST(Bist, FaultySpareFailsTwoPassButRepairsWith2kPass) {
+  RamGeometry g = small_geo();
+  RamModel ram(g);
+  // Word 20 is faulty; so is spare word 0, which the strictly increasing
+  // sequence will assign to it first.
+  ram.array().inject(stuck_bit_fault(g, 20, 1, true));
+  Fault spare_fault;
+  spare_fault.kind = FaultKind::StuckAt0;
+  spare_fault.victim = g.spare_cell_of(0, 3);
+  ram.array().inject(spare_fault);
+
+  {
+    RamModel two_pass(g);
+    two_pass.array().inject(stuck_bit_fault(g, 20, 1, true));
+    two_pass.array().inject(spare_fault);
+    const BistResult r = self_test_and_repair(two_pass);
+    EXPECT_FALSE(r.repair_successful);  // classic 2-pass gives up
+  }
+
+  BistConfig cfg;
+  cfg.max_passes = 6;  // the paper's 2k-pass extension
+  const BistResult r = self_test_and_repair(ram, cfg);
+  EXPECT_TRUE(r.repair_successful);
+  EXPECT_EQ(r.spares_used, 2);  // word 20 remapped from spare 0 to spare 1
+  EXPECT_EQ(ram.tlb().lookup(20), 1);
+}
+
+TEST(Bist, DataRetentionFaultDetectedAndRepaired) {
+  RamModel ram(small_geo());
+  Fault drf;
+  drf.kind = FaultKind::Retention;
+  drf.victim = ram.geometry().cell_of(30, 0);
+  drf.value = true;  // decays to 1
+  ram.array().inject(drf);
+  const BistResult r = self_test_and_repair(ram);
+  EXPECT_FALSE(r.pass1_clean);  // only the post-delay read catches it
+  EXPECT_TRUE(r.repair_successful);
+}
+
+TEST(Bist, RetentionFaultMissedWithoutDelayElements) {
+  // MATS+ has no delay elements, so a DRF escapes it.
+  RamModel ram(small_geo());
+  Fault drf;
+  drf.kind = FaultKind::Retention;
+  drf.victim = ram.geometry().cell_of(30, 0);
+  drf.value = true;
+  ram.array().inject(drf);
+  BistConfig cfg;
+  cfg.test = &march::mats_plus();
+  const BistResult r = self_test_and_repair(ram, cfg);
+  EXPECT_TRUE(r.pass1_clean);
+}
+
+TEST(Bist, CycleCountMatchesFormula) {
+  RamModel ram(small_geo());
+  BistConfig cfg;
+  const BistResult r = self_test_and_repair(ram, cfg);
+  // Clean array: exactly one pass of IFA-9 over bpw+1 backgrounds.
+  EXPECT_EQ(r.cycles,
+            march::test_cycles(march::ifa9(), ram.geometry().words,
+                               ram.geometry().bpw + 1));
+}
+
+TEST(Bist, ConfigValidation) {
+  RamModel ram(small_geo());
+  BistConfig cfg;
+  cfg.max_passes = 1;
+  EXPECT_THROW(BistEngine(ram, cfg), SpecError);
+  cfg.max_passes = 2;
+  cfg.test = nullptr;
+  EXPECT_THROW(BistEngine(ram, cfg), SpecError);
+}
+
+TEST(FaultSim, Ifa9DetectsClassicFaults) {
+  const RamGeometry g = small_geo();
+  const std::vector<FaultKind> kinds = {
+      FaultKind::StuckAt0, FaultKind::StuckAt1, FaultKind::TransitionUp,
+      FaultKind::TransitionDown, FaultKind::Retention};
+  const auto report = fault_coverage(march::ifa9(), g, kinds, 40, true, 1);
+  for (const auto& cov : report) {
+    EXPECT_EQ(cov.detected, cov.total) << fault_name(cov.kind);
+  }
+}
+
+TEST(FaultSim, Ifa9DetectsStateCouplingBetweenNeighbors) {
+  const RamGeometry g = small_geo();
+  const auto report =
+      fault_coverage(march::ifa9(), g, {FaultKind::CouplingState}, 60, true, 2,
+                     CouplingScope::PhysicalNeighbor);
+  EXPECT_GT(report[0].fraction(), 0.95);
+}
+
+TEST(FaultSim, JohnsonBackgroundsImproveIntraWordCoverage) {
+  // The paper's argument against single-background generators: intra-word
+  // coupling faults escape when all bits of a word always carry the same
+  // value.
+  const RamGeometry g = small_geo();
+  const auto with = fault_coverage(march::ifa9(), g,
+                                   {FaultKind::CouplingState}, 60, true, 3,
+                                   CouplingScope::IntraWord);
+  const auto without = fault_coverage(march::ifa9(), g,
+                                      {FaultKind::CouplingState}, 60, false, 3,
+                                      CouplingScope::IntraWord);
+  EXPECT_GT(with[0].fraction(), without[0].fraction() + 0.3);
+  EXPECT_GT(with[0].fraction(), 0.9);
+}
+
+TEST(FaultSim, MatsPlusMissesSomeCouplingFaults) {
+  const RamGeometry g = small_geo();
+  const auto ifa = fault_coverage(march::ifa9(), g, {FaultKind::CouplingIdem},
+                                  80, true, 4);
+  const auto mats = fault_coverage(march::mats_plus(), g,
+                                   {FaultKind::CouplingIdem}, 80, true, 4);
+  EXPECT_GE(ifa[0].fraction(), mats[0].fraction());
+  EXPECT_LT(mats[0].fraction(), 1.0);
+}
+
+TEST(FaultSim, StuckOpenNeedsIfa13VerifyingReads) {
+  // Classic result: plain march reads see the stale bit-line value agree
+  // with the expected data, so IFA-9 largely misses SOFs; IFA-13's read
+  // immediately after each write catches them. (This is why IFA-13
+  // exists; the Chen-Sunada baseline uses it.)
+  const RamGeometry g = small_geo();
+  const auto ifa9_cov =
+      fault_coverage(march::ifa9(), g, {FaultKind::StuckOpen}, 40, true, 5);
+  const auto ifa13_cov =
+      fault_coverage(march::ifa13(), g, {FaultKind::StuckOpen}, 40, true, 5);
+  EXPECT_GT(ifa13_cov[0].fraction(), 0.9);
+  EXPECT_LT(ifa9_cov[0].fraction(), ifa13_cov[0].fraction());
+}
+
+}  // namespace
+}  // namespace bisram::sim

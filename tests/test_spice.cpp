@@ -1,0 +1,264 @@
+// Tests for the built-in SPICE utilities: analytic checks on linear
+// circuits, device-physics checks on the level-1 model, and end-to-end
+// inverter sizing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/engine.hpp"
+#include "spice/measure.hpp"
+#include "spice/netlist.hpp"
+#include "spice/sizing.hpp"
+#include "tech/tech.hpp"
+#include "util/error.hpp"
+
+namespace bisram::spice {
+namespace {
+
+TEST(Waveform, DcAndPulse) {
+  const Waveform d = Waveform::dc(3.3);
+  EXPECT_DOUBLE_EQ(d.at(0.0), 3.3);
+  EXPECT_DOUBLE_EQ(d.at(1.0), 3.3);
+
+  const Waveform p = Waveform::pulse(0, 5, 1e-9, 0.1e-9, 0.1e-9, 2e-9, 10e-9);
+  EXPECT_DOUBLE_EQ(p.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.at(0.9e-9), 0.0);
+  EXPECT_NEAR(p.at(1.05e-9), 2.5, 1e-9);  // mid-rise
+  EXPECT_DOUBLE_EQ(p.at(2e-9), 5.0);      // plateau
+  EXPECT_DOUBLE_EQ(p.at(5e-9), 0.0);      // after fall
+  EXPECT_DOUBLE_EQ(p.at(12e-9), 5.0);     // second period plateau
+}
+
+TEST(Waveform, PwlInterpolatesAndClamps) {
+  const Waveform w = Waveform::pwl({{1.0, 0.0}, {2.0, 10.0}});
+  EXPECT_DOUBLE_EQ(w.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.at(1.5), 5.0);
+  EXPECT_DOUBLE_EQ(w.at(3.0), 10.0);
+  EXPECT_THROW(Waveform::pwl({{2.0, 0.0}, {1.0, 1.0}}), Error);
+}
+
+TEST(Dc, VoltageDivider) {
+  Circuit ckt;
+  ckt.add_vsource("vin", "0", Waveform::dc(10.0));
+  ckt.add_resistor("vin", "mid", 1000.0);
+  ckt.add_resistor("mid", "0", 3000.0);
+  const auto v = dc_operating_point(ckt);
+  EXPECT_NEAR(v[static_cast<std::size_t>(ckt.find("mid"))], 7.5, 1e-6);
+}
+
+TEST(Dc, CurrentSourceIntoResistor) {
+  Circuit ckt;
+  // 1 mA pulled from ground through the source into node a, 1k to ground.
+  ckt.add_isource("0", "a", Waveform::dc(1e-3));
+  ckt.add_resistor("a", "0", 1000.0);
+  const auto v = dc_operating_point(ckt);
+  EXPECT_NEAR(v[static_cast<std::size_t>(ckt.find("a"))], 1.0, 1e-6);
+}
+
+TEST(Dc, LadderNetwork) {
+  // Three equal resistors in series across 9 V tap at 1/3 and 2/3.
+  Circuit ckt;
+  ckt.add_vsource("top", "0", Waveform::dc(9.0));
+  ckt.add_resistor("top", "a", 100.0);
+  ckt.add_resistor("a", "b", 100.0);
+  ckt.add_resistor("b", "0", 100.0);
+  const auto v = dc_operating_point(ckt);
+  EXPECT_NEAR(v[static_cast<std::size_t>(ckt.find("a"))], 6.0, 1e-6);
+  EXPECT_NEAR(v[static_cast<std::size_t>(ckt.find("b"))], 3.0, 1e-6);
+}
+
+TEST(Transient, RcChargeMatchesAnalytic) {
+  // 1k * 1pF: tau = 1 ns. Step at t=0 via PWL starting high.
+  Circuit ckt;
+  ckt.add_vsource("vin", "0", Waveform::pwl({{0.0, 0.0}, {1e-12, 5.0}}));
+  ckt.add_resistor("vin", "out", 1000.0);
+  ckt.add_capacitor("out", "0", 1e-12);
+  const Trace tr = transient(ckt, 5e-9, 1e-12);
+  const Node out = ckt.find("out");
+  for (double t : {0.5e-9, 1e-9, 2e-9, 4e-9}) {
+    const double expected = 5.0 * (1.0 - std::exp(-t / 1e-9));
+    EXPECT_NEAR(tr.at_time(out, t), expected, 0.05);
+  }
+}
+
+TEST(Transient, CapacitorDividerConservesCharge) {
+  // Two series caps across a stepped source divide by inverse capacitance.
+  Circuit ckt;
+  ckt.add_vsource("vin", "0", Waveform::pwl({{0.0, 0.0}, {1e-12, 6.0}}));
+  ckt.add_capacitor("vin", "mid", 2e-12);
+  ckt.add_capacitor("mid", "0", 1e-12);
+  // Small bleed to ground keeps DC defined.
+  ckt.add_resistor("mid", "0", 1e12);
+  const Trace tr = transient(ckt, 1e-9, 1e-12);
+  // V_mid = 6 * C1/(C1+C2) = 4 V right after the step.
+  EXPECT_NEAR(tr.at_time(ckt.find("mid"), 0.1e-9), 4.0, 0.1);
+}
+
+TEST(Mos, NmosInverterDcTransfersCorrectly) {
+  const tech::Tech& t = tech::cda_07();
+  Circuit ckt;
+  ckt.add_vsource("vdd", "0", Waveform::dc(t.elec.vdd));
+  ckt.add_vsource("in", "0", Waveform::dc(0.0));
+  build_inverter(ckt, t, 2.0, 5.0, "in", "out");
+  ckt.add_resistor("out", "0", 1e9);  // probe load
+  auto v = dc_operating_point(ckt);
+  // Input low -> output pulled to VDD by the PMOS.
+  EXPECT_NEAR(v[static_cast<std::size_t>(ckt.find("out"))], t.elec.vdd, 0.05);
+}
+
+TEST(Mos, NmosInverterOutputLowWhenInputHigh) {
+  const tech::Tech& t = tech::cda_07();
+  Circuit ckt;
+  ckt.add_vsource("vdd", "0", Waveform::dc(t.elec.vdd));
+  ckt.add_vsource("in", "0", Waveform::dc(t.elec.vdd));
+  build_inverter(ckt, t, 2.0, 5.0, "in", "out");
+  ckt.add_resistor("out", "0", 1e9);
+  auto v = dc_operating_point(ckt);
+  EXPECT_NEAR(v[static_cast<std::size_t>(ckt.find("out"))], 0.0, 0.05);
+}
+
+TEST(Mos, SaturationCurrentScalesWithWidth) {
+  // Ids of a saturated NMOS doubles with W.
+  const tech::Tech& t = tech::cda_07();
+  auto ids_for = [&](double w) {
+    Circuit ckt;
+    ckt.add_vsource("vd", "0", Waveform::dc(5.0));
+    ckt.add_vsource("vg", "0", Waveform::dc(3.0));
+    // Drain through a tiny sense resistor so we can read the current.
+    ckt.add_resistor("vd", "d", 1.0);
+    ckt.add_mosfet(MosType::Nmos, "d", "vg", "0", w, t.feature_um,
+                   {t.elec.nmos.vt0, t.elec.nmos.kp, 0.0});
+    auto v = dc_operating_point(ckt);
+    return (5.0 - v[static_cast<std::size_t>(ckt.find("d"))]) / 1.0;
+  };
+  const double i1 = ids_for(2.0);
+  const double i2 = ids_for(4.0);
+  EXPECT_GT(i1, 1e-5);
+  EXPECT_NEAR(i2 / i1, 2.0, 0.02);
+}
+
+TEST(Mos, SymmetricConductionBothDirections) {
+  // A pass transistor conducts with drain/source exchanged.
+  const tech::Tech& t = tech::cda_07();
+  for (bool forward : {true, false}) {
+    Circuit ckt;
+    ckt.add_vsource("vg", "0", Waveform::dc(5.0));
+    ckt.add_vsource("a", "0", Waveform::dc(forward ? 2.0 : 0.0));
+    ckt.add_resistor("b", "0", 10e3);
+    ckt.add_vsource("bb", "0", Waveform::dc(forward ? 0.0 : 2.0));
+    ckt.add_resistor("bb", "b", 1.0);
+    ckt.add_mosfet(MosType::Nmos, "a", "vg", "b", 2.0, t.feature_um,
+                   {t.elec.nmos.vt0, t.elec.nmos.kp, 0.0});
+    EXPECT_NO_THROW(dc_operating_point(ckt)) << "forward=" << forward;
+  }
+}
+
+TEST(Transient, InverterSwitchesUnderPulse) {
+  const tech::Tech& t = tech::cda_07();
+  Circuit ckt;
+  const double vdd = t.elec.vdd;
+  ckt.add_vsource("vdd", "0", Waveform::dc(vdd));
+  ckt.add_vsource("in", "0",
+                  Waveform::pulse(0, vdd, 1e-9, 50e-12, 50e-12, 4e-9, 10e-9));
+  build_inverter(ckt, t, 4.0, 10.0, "in", "out");
+  ckt.add_capacitor("out", "0", 50e-15);
+  const Trace tr = transient(ckt, 8e-9, 5e-12);
+  const Node out = ckt.find("out");
+  EXPECT_GT(tr.at_time(out, 0.5e-9), 0.9 * vdd);  // before pulse: high
+  EXPECT_LT(tr.at_time(out, 3e-9), 0.1 * vdd);    // during pulse: low
+  const auto tfall = crossing_time(tr, out, 0.5 * vdd, false, 1e-9);
+  ASSERT_TRUE(tfall.has_value());
+  EXPECT_LT(*tfall - 1e-9, 1e-9);  // sub-ns switching
+}
+
+TEST(Measure, RiseFallOnSyntheticRamp) {
+  // Synthetic trace: linear ramp 0..5 V over 1 ns starting at 1 ns.
+  Trace tr(2, [] {
+    std::vector<double> t(201);
+    for (int i = 0; i <= 200; ++i) t[static_cast<std::size_t>(i)] = i * 2e-11;
+    return t;
+  }());
+  for (std::size_t i = 0; i < tr.samples(); ++i) {
+    const double t = tr.time(i);
+    double v = 0.0;
+    if (t > 1e-9) v = std::min(5.0, (t - 1e-9) / 1e-9 * 5.0);
+    tr.set(1, i, v);
+  }
+  const auto rt = rise_time(tr, 1, 5.0);
+  ASSERT_TRUE(rt.has_value());
+  EXPECT_NEAR(*rt, 0.8e-9, 0.02e-9);  // 10-90% of a linear ramp = 80%
+  EXPECT_FALSE(fall_time(tr, 1, 5.0).has_value());
+}
+
+TEST(Sizing, BalanceProducesWiderPmos) {
+  const tech::Tech& t = tech::cda_07();
+  const SizingResult r = balance_inverter(t, 2.0, 30e-15, 0.05);
+  // Mobility ratio ~3 means the balanced PMOS is wider than the NMOS.
+  EXPECT_GT(r.wp_um, r.wn_um * 1.3);
+  EXPECT_LT(r.wp_um, r.wn_um * 6.0);
+  const double err = std::abs(r.rise_s - r.fall_s) /
+                     std::max(r.rise_s, r.fall_s);
+  EXPECT_LT(err, 0.05);
+}
+
+TEST(Sizing, OnResistanceScalesInverselyWithWidth) {
+  const tech::Tech& t = tech::cda_07();
+  const double r2 = device_on_resistance(t, MosType::Nmos, 2.0);
+  const double r4 = device_on_resistance(t, MosType::Nmos, 4.0);
+  EXPECT_NEAR(r2 / r4, 2.0, 1e-9);
+  // PMOS is weaker per micron.
+  EXPECT_GT(device_on_resistance(t, MosType::Pmos, 2.0), r2);
+}
+
+TEST(Dc, BranchCurrentsSatisfyOhm) {
+  // 10 V across 1 kOhm: the source sees 10 mA flowing + -> - externally,
+  // i.e. -10 mA through the source in the branch convention.
+  Circuit ckt;
+  ckt.add_vsource("vin", "0", Waveform::dc(10.0));
+  ckt.add_resistor("vin", "0", 1000.0);
+  const DcSolution sol = dc_operating_point_full(ckt);
+  ASSERT_EQ(sol.source_currents.size(), 1u);
+  EXPECT_NEAR(sol.source_currents[0], -10e-3, 1e-6);
+}
+
+TEST(Dc, InverterStaticCurrentPeaksAtMidRail) {
+  // CMOS crowbar current: negligible at the rails, maximal near VDD/2.
+  const tech::Tech& t = tech::cda_07();
+  auto supply_current = [&](double vin) {
+    Circuit ckt;
+    ckt.add_vsource("vdd", "0", Waveform::dc(t.elec.vdd));
+    ckt.add_vsource("in", "0", Waveform::dc(vin));
+    build_inverter(ckt, t, 2.0, 5.0, "in", "out");
+    ckt.add_resistor("out", "0", 1e9);
+    return std::abs(dc_operating_point_full(ckt).source_currents[0]);
+  };
+  const double at_lo = supply_current(0.0);
+  const double at_mid = supply_current(0.5 * t.elec.vdd);
+  const double at_hi = supply_current(t.elec.vdd);
+  EXPECT_GT(at_mid, 100.0 * at_lo);
+  EXPECT_GT(at_mid, 100.0 * at_hi);
+  EXPECT_GT(at_mid, 1e-5);  // tens of uA of class-A current
+}
+
+TEST(Netlist, Validation) {
+  Circuit ckt;
+  EXPECT_THROW(ckt.add_resistor("a", "b", 0.0), Error);
+  EXPECT_THROW(ckt.add_capacitor("a", "b", -1e-12), Error);
+  EXPECT_THROW(ckt.add_mosfet(MosType::Nmos, "d", "g", "s", 0.0, 1.0, {}),
+               Error);
+  EXPECT_THROW(ckt.find("nope"), Error);
+  ckt.add_resistor("a", "b", 1.0);
+  EXPECT_EQ(ckt.node_count(), 3);  // ground + a + b
+  EXPECT_EQ(ckt.node_name(0), "0");
+}
+
+TEST(Transient, RejectsBadTimeRange) {
+  Circuit ckt;
+  ckt.add_resistor("a", "0", 1.0);
+  EXPECT_THROW(transient(ckt, 0.0, 1e-12), Error);
+  EXPECT_THROW(transient(ckt, 1e-9, 2e-9), Error);
+}
+
+}  // namespace
+}  // namespace bisram::spice

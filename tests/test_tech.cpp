@@ -1,0 +1,82 @@
+// Unit tests for the technology database.
+
+#include <gtest/gtest.h>
+
+#include "tech/tech.hpp"
+#include "util/error.hpp"
+
+namespace bisram::tech {
+namespace {
+
+TEST(Tech, RegistryHasThreePaperProcesses) {
+  const auto names = technology_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_NO_THROW(technology("cda.5u3m1p"));
+  EXPECT_NO_THROW(technology("cda.7u3m1p"));
+  EXPECT_NO_THROW(technology("mos.6u3m1pHP"));
+  EXPECT_THROW(technology("tsmc.0u18"), SpecError);
+}
+
+TEST(Tech, LookupIsCaseInsensitive) {
+  EXPECT_EQ(technology("MOS.6U3M1PHP").name, "mos.6u3m1pHP");
+}
+
+TEST(Tech, FeatureAndLambda) {
+  EXPECT_DOUBLE_EQ(cda_07().feature_um, 0.7);
+  EXPECT_DOUBLE_EQ(cda_07().lambda_um, 0.35);
+  EXPECT_DOUBLE_EQ(cda_05().lambda_um, 0.25);
+  EXPECT_DOUBLE_EQ(mosis_06().lambda_um, 0.30);
+  EXPECT_EQ(cda_07().metal_layers, 3);
+}
+
+TEST(Tech, RulesScaleWithLambda) {
+  // Same DBU rule values across processes (lambda rules)...
+  EXPECT_EQ(cda_05().rule(geom::Layer::Metal1).min_width,
+            cda_07().rule(geom::Layer::Metal1).min_width);
+  // ...but different physical sizes.
+  const double w5 = cda_05().um(cda_05().rule(geom::Layer::Metal1).min_width);
+  const double w7 = cda_07().um(cda_07().rule(geom::Layer::Metal1).min_width);
+  EXPECT_NEAR(w7 / w5, 0.35 / 0.25, 1e-12);
+}
+
+TEST(Tech, UnitConversions) {
+  const Tech& t = cda_07();  // lambda = 0.35 um, DBU = 0.035 um
+  EXPECT_NEAR(t.um(geom::dbu(2.0)), 0.7, 1e-12);
+  EXPECT_EQ(t.from_um(0.7), geom::dbu(2.0));
+  // 1 mm^2 in DBU^2.
+  const double dbu_per_um = 10.0 / t.lambda_um;
+  const double dbu2 = 1e6 * dbu_per_um * dbu_per_um;
+  EXPECT_NEAR(t.mm2(dbu2), 1.0, 1e-9);
+}
+
+TEST(Tech, ElectricalSanity) {
+  for (const auto& name : technology_names()) {
+    const Tech& t = technology(name);
+    EXPECT_GT(t.elec.vdd, 0.0) << name;
+    EXPECT_GT(t.elec.nmos.kp, t.elec.pmos.kp) << name;  // un > up
+    EXPECT_GT(t.elec.nmos.vt0, 0.0) << name;
+    EXPECT_LT(t.elec.pmos.vt0, 0.0) << name;
+    const auto& m1 = t.elec.wire[static_cast<std::size_t>(geom::Layer::Metal1)];
+    EXPECT_GT(m1.cap_area_f_um2, 0.0) << name;
+    EXPECT_GT(m1.sheet_ohm, 0.0) << name;
+  }
+}
+
+TEST(Tech, SmallerFeatureHasHigherKp) {
+  EXPECT_GT(cda_05().elec.nmos.kp, cda_07().elec.nmos.kp);
+}
+
+TEST(Tech, ConstructionRulesArePositive) {
+  for (const auto& name : technology_names()) {
+    const Tech& t = technology(name);
+    EXPECT_GT(t.gate_poly_ext, 0) << name;
+    EXPECT_GT(t.diff_gate_ext, 0) << name;
+    EXPECT_GT(t.contact_size, 0) << name;
+    EXPECT_GT(t.via1_size, 0) << name;
+    EXPECT_GT(t.via2_size, 0) << name;
+    EXPECT_GT(t.well_encl_diff, 0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace bisram::tech

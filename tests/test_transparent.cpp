@@ -1,0 +1,149 @@
+// Tests for transparent BIST (Kebichi-Nicolaidis, paper reference [8]):
+// the march transformation, content preservation, and fault detection by
+// signature comparison.
+
+#include <gtest/gtest.h>
+
+#include "march/transparent.hpp"
+#include "sim/transparent.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bisram {
+namespace {
+
+using march::make_transparent;
+using march::TransparentTest;
+using sim::RamGeometry;
+using sim::RamModel;
+using sim::Word;
+
+RamGeometry small_geo() {
+  RamGeometry g;
+  g.words = 64;
+  g.bpw = 8;
+  g.bpc = 4;
+  g.spare_rows = 4;
+  return g;
+}
+
+void fill_random(RamModel& ram, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto& geo = ram.geometry();
+  for (std::uint32_t a = 0; a < geo.words; ++a) {
+    Word w(static_cast<std::size_t>(geo.bpw));
+    for (auto&& b : w) b = rng.chance(0.5);
+    ram.write_word(a, w);
+  }
+}
+
+TEST(TransparentMarch, DropsInitializerAndRebasesPolarity) {
+  const TransparentTest t = make_transparent(march::ifa9());
+  // IFA-9 has 9 elements; the initializer b(w0) is dropped and a
+  // restoring sweep appended -> 9 again (2 of them delays).
+  EXPECT_EQ(t.elements().size(), 9u);
+  // First derived element was u(r0,w1): read expecting d, write ~d.
+  const auto& e0 = t.elements()[0];
+  ASSERT_EQ(e0.ops.size(), 2u);
+  EXPECT_TRUE(e0.ops[0].read);
+  EXPECT_FALSE(e0.ops[0].invert);
+  EXPECT_FALSE(e0.ops[1].read);
+  EXPECT_TRUE(e0.ops[1].invert);
+}
+
+TEST(TransparentMarch, RestoresContentsByConstruction) {
+  for (const march::MarchTest* m :
+       {&march::ifa9(), &march::mats_plus(), &march::march_c_minus(),
+        &march::march_y()}) {
+    const TransparentTest t = make_transparent(*m);
+    EXPECT_TRUE(t.restores_contents()) << m->name();
+  }
+}
+
+TEST(TransparentMarch, RejectsTestWithoutInitializer) {
+  const auto no_init = march::MarchTest::parse("odd", "{u(r0,w1);d(r1,w0)}");
+  EXPECT_THROW(make_transparent(no_init), SpecError);
+}
+
+TEST(TransparentBist, CleanRamPassesAndKeepsContents) {
+  RamModel ram(small_geo());
+  fill_random(ram, 11);
+  const auto r = sim::transparent_ifa9(ram);
+  EXPECT_FALSE(r.fault_detected);
+  EXPECT_TRUE(r.contents_preserved);
+  EXPECT_EQ(r.predicted_signature, r.actual_signature);
+  EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(TransparentBist, DetectsStuckAtFaults) {
+  int detected = 0;
+  const int trials = 30;
+  Rng rng(5);
+  for (int i = 0; i < trials; ++i) {
+    RamModel ram(small_geo());
+    fill_random(ram, 100 + static_cast<unsigned>(i));
+    sim::Fault f;
+    f.kind = rng.chance(0.5) ? sim::FaultKind::StuckAt0
+                             : sim::FaultKind::StuckAt1;
+    f.victim = {static_cast<int>(rng.below(16)),
+                static_cast<int>(rng.below(32))};
+    ram.array().inject(f);
+    if (sim::transparent_ifa9(ram).fault_detected) ++detected;
+  }
+  // Signature compaction can alias, but detection should be near-total.
+  EXPECT_GE(detected, trials - 1);
+}
+
+TEST(TransparentBist, DetectsTransitionFaults) {
+  RamModel ram(small_geo());
+  fill_random(ram, 21);
+  sim::Fault f;
+  f.kind = sim::FaultKind::TransitionUp;
+  f.victim = {3, 7};
+  ram.array().inject(f);
+  EXPECT_TRUE(sim::transparent_ifa9(ram).fault_detected);
+}
+
+TEST(TransparentBist, NoRepairCapability) {
+  // The scheme flags the fault but cannot fix it: contents differ from
+  // the snapshot at the faulty cell and the TLB is untouched.
+  RamModel ram(small_geo());
+  fill_random(ram, 31);
+  ram.array().inject(
+      {sim::FaultKind::StuckAt0, {2, 2}, {}, true, false, false});
+  const auto r = sim::transparent_ifa9(ram);
+  EXPECT_TRUE(r.fault_detected);
+  EXPECT_EQ(ram.tlb().used(), 0);
+}
+
+TEST(TransparentBist, PropertyRandomContentsAlwaysRestored) {
+  // Property sweep: whatever the initial contents, a fault-free
+  // transparent run preserves them, for several base tests.
+  for (const march::MarchTest* m :
+       {&march::ifa9(), &march::march_c_minus(), &march::march_y()}) {
+    const TransparentTest t = make_transparent(*m);
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+      RamModel ram(small_geo());
+      fill_random(ram, seed);
+      const auto r = sim::run_transparent_bist(ram, t);
+      EXPECT_TRUE(r.contents_preserved) << m->name() << " seed " << seed;
+      EXPECT_FALSE(r.fault_detected) << m->name() << " seed " << seed;
+    }
+  }
+}
+
+TEST(Misr, DeterministicAndSensitive) {
+  sim::Misr a(16), b(16);
+  const Word w1{true, false, true, false};
+  const Word w2{true, false, true, true};
+  a.absorb(w1);
+  b.absorb(w1);
+  EXPECT_EQ(a.signature(), b.signature());
+  sim::Misr c(16);
+  c.absorb(w2);
+  EXPECT_NE(a.signature(), c.signature());
+  EXPECT_THROW(sim::Misr(1), Error);
+}
+
+}  // namespace
+}  // namespace bisram

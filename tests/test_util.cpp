@@ -1,0 +1,186 @@
+// Unit tests for src/util: math, rng, linalg, strings, table.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/linalg.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace bisram {
+namespace {
+
+TEST(Math, LnFactorialMatchesSmallCases) {
+  EXPECT_DOUBLE_EQ(ln_factorial(0), 0.0);
+  EXPECT_NEAR(ln_factorial(5), std::log(120.0), 1e-12);
+  EXPECT_NEAR(ln_factorial(10), std::log(3628800.0), 1e-10);
+}
+
+TEST(Math, LnChooseMatchesPascal) {
+  EXPECT_NEAR(std::exp(ln_choose(10, 3)), 120.0, 1e-9);
+  EXPECT_NEAR(std::exp(ln_choose(52, 5)), 2598960.0, 1e-3);
+  EXPECT_EQ(ln_choose(5, 6), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(ln_choose(5, -1), -std::numeric_limits<double>::infinity());
+}
+
+TEST(Math, BinomialPmfSumsToOne) {
+  double sum = 0.0;
+  for (int k = 0; k <= 40; ++k) sum += binomial_pmf(40, k, 0.3);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Math, BinomialPmfHandlesHugeN) {
+  // 4096 words, tiny p: must not under/overflow.
+  const double p = 1e-5;
+  const double pmf0 = binomial_pmf(4096, 0, p);
+  EXPECT_NEAR(pmf0, std::exp(4096 * std::log1p(-p)), 1e-15);
+  EXPECT_GT(binomial_pmf(1 << 20, 3, 1e-6), 0.0);
+}
+
+TEST(Math, BinomialCdfEdges) {
+  EXPECT_DOUBLE_EQ(binomial_cdf(10, -1, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_cdf(10, 10, 0.5), 1.0);
+  EXPECT_NEAR(binomial_cdf(10, 5, 0.5), 0.623046875, 1e-12);
+}
+
+TEST(Math, PoissonPmf) {
+  EXPECT_NEAR(poisson_pmf(0, 2.0), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(poisson_pmf(3, 2.0), std::exp(-2.0) * 8.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(poisson_pmf(-1, 2.0), 0.0);
+}
+
+TEST(Math, IntegrateSmooth) {
+  EXPECT_NEAR(integrate([](double x) { return x * x; }, 0, 3), 9.0, 1e-9);
+  EXPECT_NEAR(integrate([](double x) { return std::sin(x); }, 0, M_PI), 2.0,
+              1e-9);
+}
+
+TEST(Math, IntegrateToInfExponential) {
+  // integral_0^inf e^{-x} = 1; MTTF of a constant-rate device.
+  EXPECT_NEAR(integrate_to_inf([](double x) { return std::exp(-x); }, 0.0),
+              1.0, 1e-7);
+  // integral_2^inf e^{-x} = e^{-2}.
+  EXPECT_NEAR(integrate_to_inf([](double x) { return std::exp(-x); }, 2.0),
+              std::exp(-2.0), 1e-7);
+}
+
+TEST(Math, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+  EXPECT_EQ(log2_ceil(1), 0);
+  EXPECT_EQ(log2_ceil(5), 3);
+  EXPECT_EQ(log2_ceil(8), 3);
+  EXPECT_EQ(log2_floor(8), 3);
+  EXPECT_EQ(log2_floor(9), 3);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedish) {
+  Rng r(1);
+  int counts[5] = {0};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) counts[r.below(5)]++;
+  for (int c : counts) EXPECT_NEAR(c, n / 5.0, 5.0 * std::sqrt(n / 5.0));
+}
+
+TEST(Linalg, SolvesIdentity) {
+  Matrix a(3, 3);
+  for (int i = 0; i < 3; ++i) a.at(i, i) = 1.0;
+  auto x = lu_solve(a, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+}
+
+TEST(Linalg, SolvesGeneralSystem) {
+  // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+  Matrix a(2, 2);
+  a.at(0, 0) = 2;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 3;
+  auto x = lu_solve(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Linalg, RequiresPivoting) {
+  // Leading zero pivot forces a row swap.
+  Matrix a(2, 2);
+  a.at(0, 0) = 0;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 0;
+  auto x = lu_solve(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Linalg, ThrowsOnSingular) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 4;
+  EXPECT_THROW(lu_solve(a, {1.0, 1.0}), Error);
+}
+
+TEST(Strings, SplitAndTrim) {
+  auto parts = split("a, b ,c", ", ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(to_lower("AbC"), "abc");
+}
+
+TEST(Strings, Strfmt) {
+  EXPECT_EQ(strfmt("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(strfmt("%.2f", 3.14159), "3.14");
+}
+
+TEST(Table, RendersAligned) {
+  TextTable t;
+  t.header({"name", "value"});
+  t.row({"a", "1"});
+  t.row({"long-name", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, RejectsMismatchedColumns) {
+  TextTable t;
+  t.header({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), Error);
+}
+
+TEST(Errors, RequireAndEnsure) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  EXPECT_THROW(require(false, "bad input"), SpecError);
+  EXPECT_THROW(ensure(false, "bug"), InternalError);
+}
+
+}  // namespace
+}  // namespace bisram
