@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_banking.dir/bench_banking.cpp.o"
+  "CMakeFiles/bench_banking.dir/bench_banking.cpp.o.d"
+  "bench_banking"
+  "bench_banking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_banking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

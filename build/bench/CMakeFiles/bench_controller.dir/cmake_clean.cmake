@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_controller.dir/bench_controller.cpp.o"
+  "CMakeFiles/bench_controller.dir/bench_controller.cpp.o.d"
+  "bench_controller"
+  "bench_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_layouts.dir/bench_layouts.cpp.o"
+  "CMakeFiles/bench_layouts.dir/bench_layouts.cpp.o.d"
+  "bench_layouts"
+  "bench_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_senseamp.dir/bench_senseamp.cpp.o"
+  "CMakeFiles/bench_senseamp.dir/bench_senseamp.cpp.o.d"
+  "bench_senseamp"
+  "bench_senseamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_senseamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

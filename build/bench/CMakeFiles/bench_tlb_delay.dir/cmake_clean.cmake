@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tlb_delay.dir/bench_tlb_delay.cpp.o"
+  "CMakeFiles/bench_tlb_delay.dir/bench_tlb_delay.cpp.o.d"
+  "bench_tlb_delay"
+  "bench_tlb_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tlb_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

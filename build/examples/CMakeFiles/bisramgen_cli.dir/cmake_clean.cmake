@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisramgen_cli.dir/bisramgen_cli.cpp.o"
+  "CMakeFiles/bisramgen_cli.dir/bisramgen_cli.cpp.o.d"
+  "bisramgen_cli"
+  "bisramgen_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisramgen_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

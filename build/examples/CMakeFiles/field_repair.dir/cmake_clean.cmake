@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_repair.dir/field_repair.cpp.o"
+  "CMakeFiles/field_repair.dir/field_repair.cpp.o.d"
+  "field_repair"
+  "field_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2_cache_macro.dir/l2_cache_macro.cpp.o"
+  "CMakeFiles/l2_cache_macro.dir/l2_cache_macro.cpp.o.d"
+  "l2_cache_macro"
+  "l2_cache_macro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2_cache_macro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cells/leaf_cells.cpp" "src/CMakeFiles/bisram_cells.dir/cells/leaf_cells.cpp.o" "gcc" "src/CMakeFiles/bisram_cells.dir/cells/leaf_cells.cpp.o.d"
+  "/root/repo/src/cells/primitives.cpp" "src/CMakeFiles/bisram_cells.dir/cells/primitives.cpp.o" "gcc" "src/CMakeFiles/bisram_cells.dir/cells/primitives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bisram_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bisram_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bisram_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bisram_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisram_cells.dir/cells/leaf_cells.cpp.o"
+  "CMakeFiles/bisram_cells.dir/cells/leaf_cells.cpp.o.d"
+  "CMakeFiles/bisram_cells.dir/cells/primitives.cpp.o"
+  "CMakeFiles/bisram_cells.dir/cells/primitives.cpp.o.d"
+  "libbisram_cells.a"
+  "libbisram_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisram_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisram_core.dir/core/banking.cpp.o"
+  "CMakeFiles/bisram_core.dir/core/banking.cpp.o.d"
+  "CMakeFiles/bisram_core.dir/core/bisramgen.cpp.o"
+  "CMakeFiles/bisram_core.dir/core/bisramgen.cpp.o.d"
+  "CMakeFiles/bisram_core.dir/core/spec.cpp.o"
+  "CMakeFiles/bisram_core.dir/core/spec.cpp.o.d"
+  "CMakeFiles/bisram_core.dir/core/timing.cpp.o"
+  "CMakeFiles/bisram_core.dir/core/timing.cpp.o.d"
+  "libbisram_core.a"
+  "libbisram_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisram_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisram_drc.dir/drc/drc.cpp.o"
+  "CMakeFiles/bisram_drc.dir/drc/drc.cpp.o.d"
+  "libbisram_drc.a"
+  "libbisram_drc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisram_drc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

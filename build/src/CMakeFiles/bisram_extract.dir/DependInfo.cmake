@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extract/erc.cpp" "src/CMakeFiles/bisram_extract.dir/extract/erc.cpp.o" "gcc" "src/CMakeFiles/bisram_extract.dir/extract/erc.cpp.o.d"
+  "/root/repo/src/extract/extract.cpp" "src/CMakeFiles/bisram_extract.dir/extract/extract.cpp.o" "gcc" "src/CMakeFiles/bisram_extract.dir/extract/extract.cpp.o.d"
+  "/root/repo/src/extract/lvs.cpp" "src/CMakeFiles/bisram_extract.dir/extract/lvs.cpp.o" "gcc" "src/CMakeFiles/bisram_extract.dir/extract/lvs.cpp.o.d"
+  "/root/repo/src/extract/simulate.cpp" "src/CMakeFiles/bisram_extract.dir/extract/simulate.cpp.o" "gcc" "src/CMakeFiles/bisram_extract.dir/extract/simulate.cpp.o.d"
+  "/root/repo/src/extract/spice_deck.cpp" "src/CMakeFiles/bisram_extract.dir/extract/spice_deck.cpp.o" "gcc" "src/CMakeFiles/bisram_extract.dir/extract/spice_deck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bisram_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bisram_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bisram_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bisram_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

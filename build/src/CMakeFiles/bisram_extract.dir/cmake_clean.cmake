@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisram_extract.dir/extract/erc.cpp.o"
+  "CMakeFiles/bisram_extract.dir/extract/erc.cpp.o.d"
+  "CMakeFiles/bisram_extract.dir/extract/extract.cpp.o"
+  "CMakeFiles/bisram_extract.dir/extract/extract.cpp.o.d"
+  "CMakeFiles/bisram_extract.dir/extract/lvs.cpp.o"
+  "CMakeFiles/bisram_extract.dir/extract/lvs.cpp.o.d"
+  "CMakeFiles/bisram_extract.dir/extract/simulate.cpp.o"
+  "CMakeFiles/bisram_extract.dir/extract/simulate.cpp.o.d"
+  "CMakeFiles/bisram_extract.dir/extract/spice_deck.cpp.o"
+  "CMakeFiles/bisram_extract.dir/extract/spice_deck.cpp.o.d"
+  "libbisram_extract.a"
+  "libbisram_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisram_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/cell.cpp" "src/CMakeFiles/bisram_geom.dir/geom/cell.cpp.o" "gcc" "src/CMakeFiles/bisram_geom.dir/geom/cell.cpp.o.d"
+  "/root/repo/src/geom/cif_reader.cpp" "src/CMakeFiles/bisram_geom.dir/geom/cif_reader.cpp.o" "gcc" "src/CMakeFiles/bisram_geom.dir/geom/cif_reader.cpp.o.d"
+  "/root/repo/src/geom/geometry.cpp" "src/CMakeFiles/bisram_geom.dir/geom/geometry.cpp.o" "gcc" "src/CMakeFiles/bisram_geom.dir/geom/geometry.cpp.o.d"
+  "/root/repo/src/geom/layer.cpp" "src/CMakeFiles/bisram_geom.dir/geom/layer.cpp.o" "gcc" "src/CMakeFiles/bisram_geom.dir/geom/layer.cpp.o.d"
+  "/root/repo/src/geom/writers.cpp" "src/CMakeFiles/bisram_geom.dir/geom/writers.cpp.o" "gcc" "src/CMakeFiles/bisram_geom.dir/geom/writers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bisram_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisram_geom.dir/geom/cell.cpp.o"
+  "CMakeFiles/bisram_geom.dir/geom/cell.cpp.o.d"
+  "CMakeFiles/bisram_geom.dir/geom/cif_reader.cpp.o"
+  "CMakeFiles/bisram_geom.dir/geom/cif_reader.cpp.o.d"
+  "CMakeFiles/bisram_geom.dir/geom/geometry.cpp.o"
+  "CMakeFiles/bisram_geom.dir/geom/geometry.cpp.o.d"
+  "CMakeFiles/bisram_geom.dir/geom/layer.cpp.o"
+  "CMakeFiles/bisram_geom.dir/geom/layer.cpp.o.d"
+  "CMakeFiles/bisram_geom.dir/geom/writers.cpp.o"
+  "CMakeFiles/bisram_geom.dir/geom/writers.cpp.o.d"
+  "libbisram_geom.a"
+  "libbisram_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisram_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

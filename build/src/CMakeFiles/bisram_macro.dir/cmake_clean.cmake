@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisram_macro.dir/macro/macros.cpp.o"
+  "CMakeFiles/bisram_macro.dir/macro/macros.cpp.o.d"
+  "libbisram_macro.a"
+  "libbisram_macro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisram_macro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisram_march.dir/march/analysis.cpp.o"
+  "CMakeFiles/bisram_march.dir/march/analysis.cpp.o.d"
+  "CMakeFiles/bisram_march.dir/march/march.cpp.o"
+  "CMakeFiles/bisram_march.dir/march/march.cpp.o.d"
+  "CMakeFiles/bisram_march.dir/march/transparent.cpp.o"
+  "CMakeFiles/bisram_march.dir/march/transparent.cpp.o.d"
+  "libbisram_march.a"
+  "libbisram_march.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisram_march.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

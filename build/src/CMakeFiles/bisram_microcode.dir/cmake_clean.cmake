@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisram_microcode.dir/microcode/controller.cpp.o"
+  "CMakeFiles/bisram_microcode.dir/microcode/controller.cpp.o.d"
+  "CMakeFiles/bisram_microcode.dir/microcode/pla.cpp.o"
+  "CMakeFiles/bisram_microcode.dir/microcode/pla.cpp.o.d"
+  "libbisram_microcode.a"
+  "libbisram_microcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisram_microcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/cost.cpp" "src/CMakeFiles/bisram_models.dir/models/cost.cpp.o" "gcc" "src/CMakeFiles/bisram_models.dir/models/cost.cpp.o.d"
+  "/root/repo/src/models/cpu_db.cpp" "src/CMakeFiles/bisram_models.dir/models/cpu_db.cpp.o" "gcc" "src/CMakeFiles/bisram_models.dir/models/cpu_db.cpp.o.d"
+  "/root/repo/src/models/reliability.cpp" "src/CMakeFiles/bisram_models.dir/models/reliability.cpp.o" "gcc" "src/CMakeFiles/bisram_models.dir/models/reliability.cpp.o.d"
+  "/root/repo/src/models/wafermap.cpp" "src/CMakeFiles/bisram_models.dir/models/wafermap.cpp.o" "gcc" "src/CMakeFiles/bisram_models.dir/models/wafermap.cpp.o.d"
+  "/root/repo/src/models/yield.cpp" "src/CMakeFiles/bisram_models.dir/models/yield.cpp.o" "gcc" "src/CMakeFiles/bisram_models.dir/models/yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bisram_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bisram_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bisram_microcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bisram_march.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

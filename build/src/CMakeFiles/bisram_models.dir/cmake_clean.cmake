@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisram_models.dir/models/cost.cpp.o"
+  "CMakeFiles/bisram_models.dir/models/cost.cpp.o.d"
+  "CMakeFiles/bisram_models.dir/models/cpu_db.cpp.o"
+  "CMakeFiles/bisram_models.dir/models/cpu_db.cpp.o.d"
+  "CMakeFiles/bisram_models.dir/models/reliability.cpp.o"
+  "CMakeFiles/bisram_models.dir/models/reliability.cpp.o.d"
+  "CMakeFiles/bisram_models.dir/models/wafermap.cpp.o"
+  "CMakeFiles/bisram_models.dir/models/wafermap.cpp.o.d"
+  "CMakeFiles/bisram_models.dir/models/yield.cpp.o"
+  "CMakeFiles/bisram_models.dir/models/yield.cpp.o.d"
+  "libbisram_models.a"
+  "libbisram_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisram_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbisram_models.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisram_pnr.dir/pnr/floorplan.cpp.o"
+  "CMakeFiles/bisram_pnr.dir/pnr/floorplan.cpp.o.d"
+  "libbisram_pnr.a"
+  "libbisram_pnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisram_pnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

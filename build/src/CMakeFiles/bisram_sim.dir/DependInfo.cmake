@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/baselines.cpp" "src/CMakeFiles/bisram_sim.dir/sim/baselines.cpp.o" "gcc" "src/CMakeFiles/bisram_sim.dir/sim/baselines.cpp.o.d"
+  "/root/repo/src/sim/bist.cpp" "src/CMakeFiles/bisram_sim.dir/sim/bist.cpp.o" "gcc" "src/CMakeFiles/bisram_sim.dir/sim/bist.cpp.o.d"
+  "/root/repo/src/sim/controller.cpp" "src/CMakeFiles/bisram_sim.dir/sim/controller.cpp.o" "gcc" "src/CMakeFiles/bisram_sim.dir/sim/controller.cpp.o.d"
+  "/root/repo/src/sim/diagnosis.cpp" "src/CMakeFiles/bisram_sim.dir/sim/diagnosis.cpp.o" "gcc" "src/CMakeFiles/bisram_sim.dir/sim/diagnosis.cpp.o.d"
+  "/root/repo/src/sim/fault_sim.cpp" "src/CMakeFiles/bisram_sim.dir/sim/fault_sim.cpp.o" "gcc" "src/CMakeFiles/bisram_sim.dir/sim/fault_sim.cpp.o.d"
+  "/root/repo/src/sim/faults.cpp" "src/CMakeFiles/bisram_sim.dir/sim/faults.cpp.o" "gcc" "src/CMakeFiles/bisram_sim.dir/sim/faults.cpp.o.d"
+  "/root/repo/src/sim/generators.cpp" "src/CMakeFiles/bisram_sim.dir/sim/generators.cpp.o" "gcc" "src/CMakeFiles/bisram_sim.dir/sim/generators.cpp.o.d"
+  "/root/repo/src/sim/ram_model.cpp" "src/CMakeFiles/bisram_sim.dir/sim/ram_model.cpp.o" "gcc" "src/CMakeFiles/bisram_sim.dir/sim/ram_model.cpp.o.d"
+  "/root/repo/src/sim/tlb.cpp" "src/CMakeFiles/bisram_sim.dir/sim/tlb.cpp.o" "gcc" "src/CMakeFiles/bisram_sim.dir/sim/tlb.cpp.o.d"
+  "/root/repo/src/sim/transparent.cpp" "src/CMakeFiles/bisram_sim.dir/sim/transparent.cpp.o" "gcc" "src/CMakeFiles/bisram_sim.dir/sim/transparent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bisram_march.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bisram_microcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bisram_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

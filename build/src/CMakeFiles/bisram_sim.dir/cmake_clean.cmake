@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisram_sim.dir/sim/baselines.cpp.o"
+  "CMakeFiles/bisram_sim.dir/sim/baselines.cpp.o.d"
+  "CMakeFiles/bisram_sim.dir/sim/bist.cpp.o"
+  "CMakeFiles/bisram_sim.dir/sim/bist.cpp.o.d"
+  "CMakeFiles/bisram_sim.dir/sim/controller.cpp.o"
+  "CMakeFiles/bisram_sim.dir/sim/controller.cpp.o.d"
+  "CMakeFiles/bisram_sim.dir/sim/diagnosis.cpp.o"
+  "CMakeFiles/bisram_sim.dir/sim/diagnosis.cpp.o.d"
+  "CMakeFiles/bisram_sim.dir/sim/fault_sim.cpp.o"
+  "CMakeFiles/bisram_sim.dir/sim/fault_sim.cpp.o.d"
+  "CMakeFiles/bisram_sim.dir/sim/faults.cpp.o"
+  "CMakeFiles/bisram_sim.dir/sim/faults.cpp.o.d"
+  "CMakeFiles/bisram_sim.dir/sim/generators.cpp.o"
+  "CMakeFiles/bisram_sim.dir/sim/generators.cpp.o.d"
+  "CMakeFiles/bisram_sim.dir/sim/ram_model.cpp.o"
+  "CMakeFiles/bisram_sim.dir/sim/ram_model.cpp.o.d"
+  "CMakeFiles/bisram_sim.dir/sim/tlb.cpp.o"
+  "CMakeFiles/bisram_sim.dir/sim/tlb.cpp.o.d"
+  "CMakeFiles/bisram_sim.dir/sim/transparent.cpp.o"
+  "CMakeFiles/bisram_sim.dir/sim/transparent.cpp.o.d"
+  "libbisram_sim.a"
+  "libbisram_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisram_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

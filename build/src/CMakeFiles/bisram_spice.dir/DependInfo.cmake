@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/engine.cpp" "src/CMakeFiles/bisram_spice.dir/spice/engine.cpp.o" "gcc" "src/CMakeFiles/bisram_spice.dir/spice/engine.cpp.o.d"
+  "/root/repo/src/spice/measure.cpp" "src/CMakeFiles/bisram_spice.dir/spice/measure.cpp.o" "gcc" "src/CMakeFiles/bisram_spice.dir/spice/measure.cpp.o.d"
+  "/root/repo/src/spice/netlist.cpp" "src/CMakeFiles/bisram_spice.dir/spice/netlist.cpp.o" "gcc" "src/CMakeFiles/bisram_spice.dir/spice/netlist.cpp.o.d"
+  "/root/repo/src/spice/placeholder.cpp" "src/CMakeFiles/bisram_spice.dir/spice/placeholder.cpp.o" "gcc" "src/CMakeFiles/bisram_spice.dir/spice/placeholder.cpp.o.d"
+  "/root/repo/src/spice/sizing.cpp" "src/CMakeFiles/bisram_spice.dir/spice/sizing.cpp.o" "gcc" "src/CMakeFiles/bisram_spice.dir/spice/sizing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bisram_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisram_spice.dir/spice/engine.cpp.o"
+  "CMakeFiles/bisram_spice.dir/spice/engine.cpp.o.d"
+  "CMakeFiles/bisram_spice.dir/spice/measure.cpp.o"
+  "CMakeFiles/bisram_spice.dir/spice/measure.cpp.o.d"
+  "CMakeFiles/bisram_spice.dir/spice/netlist.cpp.o"
+  "CMakeFiles/bisram_spice.dir/spice/netlist.cpp.o.d"
+  "CMakeFiles/bisram_spice.dir/spice/placeholder.cpp.o"
+  "CMakeFiles/bisram_spice.dir/spice/placeholder.cpp.o.d"
+  "CMakeFiles/bisram_spice.dir/spice/sizing.cpp.o"
+  "CMakeFiles/bisram_spice.dir/spice/sizing.cpp.o.d"
+  "libbisram_spice.a"
+  "libbisram_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisram_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/CMakeFiles/bisram_spice.dir/spice/placeholder.cpp.o: \
+ /root/repo/src/spice/placeholder.cpp /usr/include/stdc-predef.h

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisram_tech.dir/tech/tech.cpp.o"
+  "CMakeFiles/bisram_tech.dir/tech/tech.cpp.o.d"
+  "CMakeFiles/bisram_tech.dir/tech/tech_file.cpp.o"
+  "CMakeFiles/bisram_tech.dir/tech/tech_file.cpp.o.d"
+  "libbisram_tech.a"
+  "libbisram_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisram_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

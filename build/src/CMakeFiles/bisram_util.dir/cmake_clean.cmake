@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisram_util.dir/util/linalg.cpp.o"
+  "CMakeFiles/bisram_util.dir/util/linalg.cpp.o.d"
+  "CMakeFiles/bisram_util.dir/util/math.cpp.o"
+  "CMakeFiles/bisram_util.dir/util/math.cpp.o.d"
+  "CMakeFiles/bisram_util.dir/util/rng.cpp.o"
+  "CMakeFiles/bisram_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/bisram_util.dir/util/strings.cpp.o"
+  "CMakeFiles/bisram_util.dir/util/strings.cpp.o.d"
+  "CMakeFiles/bisram_util.dir/util/table.cpp.o"
+  "CMakeFiles/bisram_util.dir/util/table.cpp.o.d"
+  "libbisram_util.a"
+  "libbisram_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisram_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_banking_wafer.dir/test_banking_wafer.cpp.o"
+  "CMakeFiles/test_banking_wafer.dir/test_banking_wafer.cpp.o.d"
+  "test_banking_wafer"
+  "test_banking_wafer.pdb"
+  "test_banking_wafer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_banking_wafer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

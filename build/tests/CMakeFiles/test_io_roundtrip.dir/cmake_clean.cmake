@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_roundtrip.dir/test_io_roundtrip.cpp.o"
+  "CMakeFiles/test_io_roundtrip.dir/test_io_roundtrip.cpp.o.d"
+  "test_io_roundtrip"
+  "test_io_roundtrip.pdb"
+  "test_io_roundtrip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

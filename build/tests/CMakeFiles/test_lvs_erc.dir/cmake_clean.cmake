@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lvs_erc.dir/test_lvs_erc.cpp.o"
+  "CMakeFiles/test_lvs_erc.dir/test_lvs_erc.cpp.o.d"
+  "test_lvs_erc"
+  "test_lvs_erc.pdb"
+  "test_lvs_erc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lvs_erc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

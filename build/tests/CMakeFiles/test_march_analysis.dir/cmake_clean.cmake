@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_march_analysis.dir/test_march_analysis.cpp.o"
+  "CMakeFiles/test_march_analysis.dir/test_march_analysis.cpp.o.d"
+  "test_march_analysis"
+  "test_march_analysis.pdb"
+  "test_march_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_march_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

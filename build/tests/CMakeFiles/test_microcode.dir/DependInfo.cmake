@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_microcode.cpp" "tests/CMakeFiles/test_microcode.dir/test_microcode.cpp.o" "gcc" "tests/CMakeFiles/test_microcode.dir/test_microcode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bisram_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bisram_drc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bisram_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bisram_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bisram_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bisram_macro.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bisram_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bisram_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bisram_microcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bisram_march.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bisram_pnr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bisram_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bisram_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bisram_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_microcode.dir/test_microcode.cpp.o"
+  "CMakeFiles/test_microcode.dir/test_microcode.cpp.o.d"
+  "test_microcode"
+  "test_microcode.pdb"
+  "test_microcode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_microcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pnr.dir/test_pnr.cpp.o"
+  "CMakeFiles/test_pnr.dir/test_pnr.cpp.o.d"
+  "test_pnr"
+  "test_pnr.pdb"
+  "test_pnr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transparent.dir/test_transparent.cpp.o"
+  "CMakeFiles/test_transparent.dir/test_transparent.cpp.o.d"
+  "test_transparent"
+  "test_transparent.pdb"
+  "test_transparent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transparent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_banking_wafer[1]_include.cmake")
+include("/root/repo/build/tests/test_cells[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_diagnosis[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_geom[1]_include.cmake")
+include("/root/repo/build/tests/test_io_roundtrip[1]_include.cmake")
+include("/root/repo/build/tests/test_lvs_erc[1]_include.cmake")
+include("/root/repo/build/tests/test_march[1]_include.cmake")
+include("/root/repo/build/tests/test_march_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_microcode[1]_include.cmake")
+include("/root/repo/build/tests/test_models[1]_include.cmake")
+include("/root/repo/build/tests/test_pnr[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_bist[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_faults[1]_include.cmake")
+include("/root/repo/build/tests/test_spice[1]_include.cmake")
+include("/root/repo/build/tests/test_tech[1]_include.cmake")
+include("/root/repo/build/tests/test_transparent[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
