@@ -17,6 +17,7 @@
 #include "march/analysis.hpp"
 #include "sim/fault_sim.hpp"
 #include "sim/transparent.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -119,6 +120,27 @@ void BM_Ifa9Campaign(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Ifa9Campaign)->Unit(benchmark::kMillisecond);
+
+// Parallel-engine scaling: the same campaign pinned to 1/2/4/8 threads.
+// Results are bit-identical across the sweep (the determinism contract,
+// enforced by tests/test_parallel_campaigns.cpp); only the wall clock
+// should move, bounded by the machine's core count.
+void BM_Ifa9CampaignThreads(benchmark::State& state) {
+  const int prev = set_campaign_threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const auto cov = sim::fault_coverage(march::ifa9(), bench_geo(),
+                                         {FaultKind::StuckAt0}, 96, true, 3);
+    benchmark::DoNotOptimize(cov[0].detected);
+  }
+  set_campaign_threads(prev);
+}
+BENCHMARK(BM_Ifa9CampaignThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -12,6 +12,7 @@
 #include "core/bisramgen.hpp"
 #include "models/wafermap.hpp"
 #include "models/yield.hpp"
+#include "util/parallel.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -118,6 +119,49 @@ void BM_RepairProbability(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RepairProbability)->Arg(16)->Arg(128)->Arg(1024);
+
+// Parallel-engine scaling on the pattern-exact yield Monte-Carlo; the
+// estimate is bit-identical at every thread count (see
+// tests/test_parallel_campaigns.cpp), so only wall clock moves.
+void BM_RepairProbabilityMcThreads(benchmark::State& state) {
+  const int prev = set_campaign_threads(static_cast<int>(state.range(0)));
+  const auto geo = fig4_geometry(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        models::repair_probability_mc(geo, 24, 20000, 99));
+  }
+  set_campaign_threads(prev);
+}
+BENCHMARK(BM_RepairProbabilityMcThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Same sweep on the heavyweight end-to-end BIST/BISR yield campaign.
+void BM_BisrYieldMcThreads(benchmark::State& state) {
+  const int prev = set_campaign_threads(static_cast<int>(state.range(0)));
+  sim::RamGeometry g;
+  g.words = 64;
+  g.bpw = 4;
+  g.bpc = 4;
+  g.spare_rows = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        models::bisr_yield_mc_with_bist(g, 3.0, 2.0, 1.05, 200, 7)
+            .strict_good);
+  }
+  set_campaign_threads(prev);
+}
+BENCHMARK(BM_BisrYieldMcThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -3,8 +3,33 @@
 #include <cmath>
 
 #include "util/math.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
 
 namespace bisram::models {
+
+namespace {
+/// Number of successes in `n` Bernoulli(q) draws, sampled with geometric
+/// gaps between successes: O(successes) expected work instead of O(n),
+/// which matters because realistic word-failure probabilities are tiny.
+std::int64_t binomial_count(Rng& rng, std::int64_t n, double q) {
+  if (q <= 0.0 || n <= 0) return 0;
+  if (q >= 1.0) return n;
+  const double log1mq = std::log1p(-q);
+  std::int64_t count = 0;
+  std::int64_t pos = 0;
+  for (;;) {
+    double u = rng.uniform();
+    while (u <= 0.0) u = rng.uniform();
+    // Gap to the next success: floor(log(u) / log(1-q)).
+    const double gap = std::floor(std::log(u) / log1mq);
+    if (gap >= static_cast<double>(n - pos)) return count;
+    pos += static_cast<std::int64_t>(gap) + 1;
+    ++count;
+    if (pos >= n) return count;
+  }
+}
+}  // namespace
 
 double word_failure_prob(int bpw, double lambda_per_hour, double t_hours) {
   require(bpw >= 1, "word_failure_prob: bpw must be >= 1");
@@ -22,6 +47,25 @@ double reliability(const sim::RamGeometry& geo, double lambda_per_hour,
   const double spares_ok =
       std::pow(1.0 - q, static_cast<double>(s));
   return words_ok * spares_ok;
+}
+
+double reliability_mc(const sim::RamGeometry& geo, double lambda_per_hour,
+                      double t_hours, int trials, std::uint64_t seed) {
+  require(trials >= 1, "reliability_mc: needs >= 1 trial");
+  const double q = word_failure_prob(geo.bpw, lambda_per_hour, t_hours);
+  const std::int64_t nw = static_cast<std::int64_t>(geo.words);
+  const std::int64_t s = geo.spare_words();
+  const int alive = parallel_reduce<int>(
+      trials, /*chunk=*/64, 0,
+      [&](std::int64_t t) {
+        Rng rng(stream_seed(seed, static_cast<std::uint64_t>(t)));
+        const std::int64_t failed_regular = binomial_count(rng, nw, q);
+        if (failed_regular > s) return 0;
+        const std::int64_t failed_spares = binomial_count(rng, s, q);
+        return failed_spares == 0 ? 1 : 0;
+      },
+      [](int a, int b) { return a + b; });
+  return static_cast<double>(alive) / trials;
 }
 
 double mttf_hours(const sim::RamGeometry& geo, double lambda_per_hour) {

@@ -14,6 +14,7 @@
 // cells are just more ways to die (the (1-q)^S factor), so R with 4
 // spares exceeds R with 8 until the crossover.
 
+#include <cstdint>
 #include <vector>
 
 #include "sim/ram_model.hpp"
@@ -26,6 +27,16 @@ double word_failure_prob(int bpw, double lambda_per_hour, double t_hours);
 /// R(t) for the BISR'ed RAM.
 double reliability(const sim::RamGeometry& geo, double lambda_per_hour,
                    double t_hours);
+
+/// Monte-Carlo estimate of R(t): samples which words have failed by
+/// t_hours (geometric-gap Bernoulli sampling over the word array) and
+/// applies the same survival criterion as the analytic formula — at most
+/// spare_words failed regular words and every spare word alive. Runs on
+/// the deterministic parallel engine: bit-identical for any
+/// BISRAM_THREADS value under a fixed seed. Cross-validates reliability()
+/// with exact pattern semantics.
+double reliability_mc(const sim::RamGeometry& geo, double lambda_per_hour,
+                      double t_hours, int trials, std::uint64_t seed);
 
 /// Mean time to failure in hours (numeric integration of R).
 double mttf_hours(const sim::RamGeometry& geo, double lambda_per_hour);

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace bisram::models {
@@ -15,7 +16,6 @@ WaferResult simulate_wafer(const WaferSpec& spec, std::uint64_t seed) {
           "simulate_wafer: ram_fraction must be in (0,1)");
   spec.ram_geo.validate();
 
-  Rng rng(seed);
   const double radius = spec.wafer_mm / 2.0;
   const int cols = static_cast<int>(spec.wafer_mm / spec.die_w_mm);
   const int rows = static_cast<int>(spec.wafer_mm / spec.die_h_mm);
@@ -32,67 +32,86 @@ WaferResult simulate_wafer(const WaferSpec& spec, std::uint64_t seed) {
       static_cast<std::uint64_t>(spec.ram_geo.total_rows());
   const std::uint64_t ram_cols = static_cast<std::uint64_t>(spec.ram_geo.cols());
 
-  for (int r = 0; r < rows; ++r) {
-    for (int c = 0; c < cols; ++c) {
-      // Die corner coordinates relative to wafer centre.
-      const double x0 = c * spec.die_w_mm - radius;
-      const double y0 = r * spec.die_h_mm - radius;
-      // A die is usable when all four corners are inside the circle.
-      bool inside = true;
-      for (double dx : {0.0, spec.die_w_mm})
-        for (double dy : {0.0, spec.die_h_mm})
-          if (std::hypot(x0 + dx, y0 + dy) > radius) inside = false;
-      if (!inside) continue;
-      result.dies_total++;
+  // Each die draws from its own grid-indexed seed sub-stream and writes
+  // only its own map cell, so dies simulate concurrently with the same
+  // outcome as the serial scan.
+  struct Counts {
+    int total = 0, good = 0, repaired = 0, bad = 0;
+  };
+  const Counts counts = parallel_reduce<Counts>(
+      static_cast<std::int64_t>(rows) * cols, /*chunk=*/8, Counts{},
+      [&](std::int64_t die) {
+        const int r = static_cast<int>(die / cols);
+        const int c = static_cast<int>(die % cols);
+        // Die corner coordinates relative to wafer centre.
+        const double x0 = c * spec.die_w_mm - radius;
+        const double y0 = r * spec.die_h_mm - radius;
+        // A die is usable when all four corners are inside the circle.
+        bool inside = true;
+        for (double dx : {0.0, spec.die_w_mm})
+          for (double dy : {0.0, spec.die_h_mm})
+            if (std::hypot(x0 + dx, y0 + dy) > radius) inside = false;
+        if (!inside) return Counts{};
+        Counts out;
+        out.total = 1;
 
-      // Clustered statistics: this die's defect rate is Gamma-mixed, so
-      // the count is negative-binomial with the Stapper alpha.
-      const std::int64_t k =
-          mean_defects <= 0.0
-              ? 0
-              : poisson_sample(rng,
-                               gamma_sample(rng, spec.cluster_alpha,
-                                            mean_defects / spec.cluster_alpha));
+        Rng rng(stream_seed(seed, static_cast<std::uint64_t>(die)));
+        // Clustered statistics: this die's defect rate is Gamma-mixed, so
+        // the count is negative-binomial with the Stapper alpha.
+        const std::int64_t k =
+            mean_defects <= 0.0
+                ? 0
+                : poisson_sample(
+                      rng, gamma_sample(rng, spec.cluster_alpha,
+                                        mean_defects / spec.cluster_alpha));
 
-      // Scatter defects between RAM and logic; within the RAM, place
-      // them on uniformly random cells and test repairability.
-      bool logic_hit = false;
-      bool spare_hit = false;
-      std::set<std::uint32_t> faulty_words;
-      for (std::int64_t d = 0; d < k; ++d) {
-        if (!rng.chance(spec.ram_fraction)) {
-          logic_hit = true;
-          continue;
+        // Scatter defects between RAM and logic; within the RAM, place
+        // them on uniformly random cells and test repairability.
+        bool logic_hit = false;
+        bool spare_hit = false;
+        std::set<std::uint32_t> faulty_words;
+        for (std::int64_t d = 0; d < k; ++d) {
+          if (!rng.chance(spec.ram_fraction)) {
+            logic_hit = true;
+            continue;
+          }
+          const int cell_row = static_cast<int>(rng.below(ram_rows));
+          const int cell_col = static_cast<int>(rng.below(ram_cols));
+          if (cell_row >= spec.ram_geo.rows()) {
+            spare_hit = true;
+            continue;
+          }
+          const std::uint32_t addr =
+              static_cast<std::uint32_t>(cell_row) *
+                  static_cast<std::uint32_t>(spec.ram_geo.bpc) +
+              static_cast<std::uint32_t>(cell_col % spec.ram_geo.bpc);
+          faulty_words.insert(addr);
         }
-        const int cell_row = static_cast<int>(rng.below(ram_rows));
-        const int cell_col = static_cast<int>(rng.below(ram_cols));
-        if (cell_row >= spec.ram_geo.rows()) {
-          spare_hit = true;
-          continue;
-        }
-        const std::uint32_t addr =
-            static_cast<std::uint32_t>(cell_row) *
-                static_cast<std::uint32_t>(spec.ram_geo.bpc) +
-            static_cast<std::uint32_t>(cell_col % spec.ram_geo.bpc);
-        faulty_words.insert(addr);
-      }
 
-      DieState state;
-      if (k == 0) {
-        state = DieState::Good;
-        result.good++;
-      } else if (logic_hit || spare_hit ||
-                 static_cast<int>(faulty_words.size()) > spare_words) {
-        state = DieState::Bad;
-        result.bad++;
-      } else {
-        state = DieState::Repaired;
-        result.repaired++;
-      }
-      result.map[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
-          state;
-    }
-  }
+        DieState state;
+        if (k == 0) {
+          state = DieState::Good;
+          out.good = 1;
+        } else if (logic_hit || spare_hit ||
+                   static_cast<int>(faulty_words.size()) > spare_words) {
+          state = DieState::Bad;
+          out.bad = 1;
+        } else {
+          state = DieState::Repaired;
+          out.repaired = 1;
+        }
+        result.map[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+            state;
+        return out;
+      },
+      [](Counts a, Counts b) {
+        return Counts{a.total + b.total, a.good + b.good,
+                      a.repaired + b.repaired, a.bad + b.bad};
+      });
+  result.dies_total = counts.total;
+  result.good = counts.good;
+  result.repaired = counts.repaired;
+  result.bad = counts.bad;
   return result;
 }
 

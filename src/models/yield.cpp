@@ -5,6 +5,7 @@
 
 #include "sim/bist.hpp"
 #include "util/math.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace bisram::models {
@@ -82,31 +83,36 @@ double repair_probability_mc(const sim::RamGeometry& geo,
                              std::int64_t defects, int trials,
                              std::uint64_t seed) {
   require(trials >= 1, "repair_probability_mc: needs >= 1 trial");
-  Rng rng(seed);
   const std::uint64_t rows = static_cast<std::uint64_t>(geo.total_rows());
   const std::uint64_t cols = static_cast<std::uint64_t>(geo.cols());
   const int spare_words = geo.spare_words();
-  int good = 0;
-  for (int t = 0; t < trials; ++t) {
-    std::set<std::uint32_t> faulty_words;
-    bool spare_hit = false;
-    for (std::int64_t d = 0; d < defects; ++d) {
-      const int row = static_cast<int>(rng.below(rows));
-      const int col = static_cast<int>(rng.below(cols));
-      if (row >= geo.rows()) {
-        spare_hit = true;
-        break;
-      }
-      // Invert the cell mapping: column = bit * bpc + colgroup.
-      const int colgroup = col % geo.bpc;
-      const std::uint32_t addr =
-          static_cast<std::uint32_t>(row) * static_cast<std::uint32_t>(geo.bpc) +
-          static_cast<std::uint32_t>(colgroup);
-      faulty_words.insert(addr);
-    }
-    if (!spare_hit && static_cast<int>(faulty_words.size()) <= spare_words)
-      ++good;
-  }
+  const int good = parallel_reduce<int>(
+      trials, /*chunk=*/64, 0,
+      [&](std::int64_t t) {
+        Rng rng(stream_seed(seed, static_cast<std::uint64_t>(t)));
+        std::set<std::uint32_t> faulty_words;
+        bool spare_hit = false;
+        for (std::int64_t d = 0; d < defects; ++d) {
+          const int row = static_cast<int>(rng.below(rows));
+          const int col = static_cast<int>(rng.below(cols));
+          if (row >= geo.rows()) {
+            spare_hit = true;
+            break;
+          }
+          // Invert the cell mapping: column = bit * bpc + colgroup.
+          const int colgroup = col % geo.bpc;
+          const std::uint32_t addr =
+              static_cast<std::uint32_t>(row) *
+                  static_cast<std::uint32_t>(geo.bpc) +
+              static_cast<std::uint32_t>(colgroup);
+          faulty_words.insert(addr);
+        }
+        return !spare_hit &&
+                       static_cast<int>(faulty_words.size()) <= spare_words
+                   ? 1
+                   : 0;
+      },
+      [](int a, int b) { return a + b; });
   return static_cast<double>(good) / trials;
 }
 
@@ -168,37 +174,51 @@ BisrYieldMc bisr_yield_mc_with_bist(const sim::RamGeometry& geo,
                                     double growth, int trials,
                                     std::uint64_t seed) {
   require(trials >= 1, "bisr_yield_mc_with_bist: needs >= 1 trial");
-  Rng rng(seed);
-  BisrYieldMc out;
-  for (int t = 0; t < trials; ++t) {
-    // K ~ NegBin(mean = m*growth, alpha) via the Gamma-Poisson mixture.
-    const double m = defect_mean * growth;
-    const double rate = gamma_sample(rng, alpha, m / alpha);
-    const std::int64_t k = poisson_sample(rng, rate);
+  struct Counts {
+    int repaired = 0;
+    int strict = 0;
+  };
+  const Counts counts = parallel_reduce<Counts>(
+      trials, /*chunk=*/8, Counts{},
+      [&](std::int64_t t) {
+        Rng rng(stream_seed(seed, static_cast<std::uint64_t>(t)));
+        // K ~ NegBin(mean = m*growth, alpha) via the Gamma-Poisson
+        // mixture.
+        const double m = defect_mean * growth;
+        const double rate = gamma_sample(rng, alpha, m / alpha);
+        const std::int64_t k = poisson_sample(rng, rate);
 
-    sim::RamModel ram(geo);
-    bool spare_hit = false;
-    for (std::int64_t d = 0; d < k; ++d) {
-      sim::Fault f;
-      f.kind = rng.chance(0.5) ? sim::FaultKind::StuckAt0
-                               : sim::FaultKind::StuckAt1;
-      f.victim = {static_cast<int>(rng.below(static_cast<std::uint64_t>(geo.total_rows()))),
-                  static_cast<int>(rng.below(static_cast<std::uint64_t>(geo.cols())))};
-      if (f.victim.row >= geo.rows()) spare_hit = true;
-      ram.array().inject(f);
-    }
-    // Run the real two-pass BIST/BISR machinery. Note a StuckAt0 fault in
-    // a cell that every background pattern drives to 0 is benign but is
-    // still *detected* by IFA-9's complement writes, so this matches the
-    // analytic "any hit cell is faulty" accounting.
-    const sim::BistResult r = sim::self_test_and_repair(ram);
-    if (r.repair_successful) {
-      out.bist_repaired += 1.0;
-      if (!spare_hit) out.strict_good += 1.0;
-    }
-  }
-  out.bist_repaired /= trials;
-  out.strict_good /= trials;
+        sim::RamModel ram(geo);
+        bool spare_hit = false;
+        for (std::int64_t d = 0; d < k; ++d) {
+          sim::Fault f;
+          f.kind = rng.chance(0.5) ? sim::FaultKind::StuckAt0
+                                   : sim::FaultKind::StuckAt1;
+          f.victim = {static_cast<int>(rng.below(
+                          static_cast<std::uint64_t>(geo.total_rows()))),
+                      static_cast<int>(rng.below(
+                          static_cast<std::uint64_t>(geo.cols())))};
+          if (f.victim.row >= geo.rows()) spare_hit = true;
+          ram.array().inject(f);
+        }
+        // Run the real two-pass BIST/BISR machinery. Note a StuckAt0
+        // fault in a cell that every background pattern drives to 0 is
+        // benign but is still *detected* by IFA-9's complement writes, so
+        // this matches the analytic "any hit cell is faulty" accounting.
+        const sim::BistResult r = sim::self_test_and_repair(ram);
+        Counts c;
+        if (r.repair_successful) {
+          c.repaired = 1;
+          if (!spare_hit) c.strict = 1;
+        }
+        return c;
+      },
+      [](Counts a, Counts b) {
+        return Counts{a.repaired + b.repaired, a.strict + b.strict};
+      });
+  BisrYieldMc out;
+  out.bist_repaired = static_cast<double>(counts.repaired) / trials;
+  out.strict_good = static_cast<double>(counts.strict) / trials;
   return out;
 }
 

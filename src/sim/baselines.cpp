@@ -4,6 +4,7 @@
 #include <set>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace bisram::sim {
@@ -90,27 +91,38 @@ SchemeComparison compare_schemes(const RamGeometry& geo, int defects,
                                  int cs_subblocks, int cs_spare_blocks,
                                  double spare_fault_prob) {
   require(trials >= 1, "compare_schemes: need >= 1 trial");
-  Rng rng(seed);
-  SchemeComparison out;
-  for (int t = 0; t < trials; ++t) {
-    std::vector<std::uint32_t> faulty;
-    for (int d = 0; d < defects; ++d)
-      faulty.push_back(static_cast<std::uint32_t>(rng.below(geo.words)));
-    std::vector<int> faulty_spares;
-    for (int s = 0; s < geo.spare_words(); ++s)
-      if (rng.chance(spare_fault_prob)) faulty_spares.push_back(s);
+  struct Counts {
+    int bisramgen = 0, chen_sunada = 0, sawada = 0;
+  };
+  const Counts counts = parallel_reduce<Counts>(
+      trials, /*chunk=*/16, Counts{},
+      [&](std::int64_t t) {
+        Rng rng(stream_seed(seed, static_cast<std::uint64_t>(t)));
+        std::vector<std::uint32_t> faulty;
+        for (int d = 0; d < defects; ++d)
+          faulty.push_back(static_cast<std::uint32_t>(rng.below(geo.words)));
+        std::vector<int> faulty_spares;
+        for (int s = 0; s < geo.spare_words(); ++s)
+          if (rng.chance(spare_fault_prob)) faulty_spares.push_back(s);
 
-    if (bisramgen_repair(geo, faulty, faulty_spares).repairable)
-      out.bisramgen += 1.0;
-    if (chen_sunada_repair(geo, faulty, cs_subblocks, 2, cs_spare_blocks)
-            .repairable)
-      out.chen_sunada += 1.0;
-    if (sawada_repair(faulty, faulty_spares.empty()).repairable)
-      out.sawada += 1.0;
-  }
-  out.bisramgen /= trials;
-  out.chen_sunada /= trials;
-  out.sawada /= trials;
+        Counts c;
+        if (bisramgen_repair(geo, faulty, faulty_spares).repairable)
+          c.bisramgen = 1;
+        if (chen_sunada_repair(geo, faulty, cs_subblocks, 2, cs_spare_blocks)
+                .repairable)
+          c.chen_sunada = 1;
+        if (sawada_repair(faulty, faulty_spares.empty()).repairable)
+          c.sawada = 1;
+        return c;
+      },
+      [](Counts a, Counts b) {
+        return Counts{a.bisramgen + b.bisramgen,
+                      a.chen_sunada + b.chen_sunada, a.sawada + b.sawada};
+      });
+  SchemeComparison out;
+  out.bisramgen = static_cast<double>(counts.bisramgen) / trials;
+  out.chen_sunada = static_cast<double>(counts.chen_sunada) / trials;
+  out.sawada = static_cast<double>(counts.sawada) / trials;
   return out;
 }
 

@@ -1,5 +1,7 @@
 #include "sim/fault_sim.hpp"
 
+#include "util/parallel.hpp"
+
 namespace bisram::sim {
 
 Fault random_fault(FaultKind kind, const RamGeometry& geo, Rng& rng,
@@ -58,17 +60,27 @@ std::vector<Coverage> fault_coverage(const march::MarchTest& test,
                                      int trials, bool johnson_backgrounds,
                                      std::uint64_t seed, CouplingScope scope) {
   require(trials >= 1, "fault_coverage: needs at least one trial");
-  Rng rng(seed);
+  // Trial i of kind k draws from sub-stream k * trials + i of the
+  // campaign seed, so the faults sampled are a pure function of the
+  // (seed, kind, trial) triple — never of thread placement.
   std::vector<Coverage> out;
-  for (FaultKind kind : kinds) {
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    const FaultKind kind = kinds[k];
     Coverage cov;
     cov.kind = kind;
     cov.scope = scope;
-    for (int i = 0; i < trials; ++i) {
-      const Fault f = random_fault(kind, geo, rng, scope);
-      cov.total++;
-      if (detects(test, geo, f, johnson_backgrounds)) cov.detected++;
-    }
+    cov.total = trials;
+    cov.detected = parallel_reduce<int>(
+        trials, /*chunk=*/4, 0,
+        [&](std::int64_t i) {
+          Rng rng(stream_seed(
+              seed, static_cast<std::uint64_t>(k) *
+                        static_cast<std::uint64_t>(trials) +
+                    static_cast<std::uint64_t>(i)));
+          const Fault f = random_fault(kind, geo, rng, scope);
+          return detects(test, geo, f, johnson_backgrounds) ? 1 : 0;
+        },
+        [](int a, int b) { return a + b; });
     out.push_back(cov);
   }
   return out;

@@ -41,7 +41,10 @@ struct Coverage {
   }
 };
 
-/// Runs a campaign for each kind in `kinds`.
+/// Runs a campaign for each kind in `kinds`. Trials execute on the
+/// deterministic parallel engine (util/parallel.hpp): each trial draws
+/// from its own seed sub-stream, so the report is bit-identical for any
+/// BISRAM_THREADS value.
 std::vector<Coverage> fault_coverage(
     const march::MarchTest& test, const RamGeometry& geo,
     const std::vector<FaultKind>& kinds, int trials, bool johnson_backgrounds,

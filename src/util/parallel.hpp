@@ -1,0 +1,113 @@
+#pragma once
+// Deterministic parallel campaign engine.
+//
+// Every Monte-Carlo campaign in this repo (fault coverage, yield,
+// reliability, wafer maps) is embarrassingly parallel: `trials`
+// independent experiments folded by an associative combiner. This header
+// provides the one primitive they all share, `parallel_reduce`, built on
+// a small lazily-grown thread pool with dynamic chunk scheduling.
+//
+// The determinism contract — the reason this engine is trustworthy:
+//   * each trial draws from its own RNG sub-stream (util/rng.hpp's
+//     stream_seed), so the random numbers a trial sees never depend on
+//     which thread ran it or in what order;
+//   * per-trial results are folded in strict index order within a chunk,
+//     and chunk partials are folded in strict chunk order on the calling
+//     thread, so the floating-point association is fixed by the chunk
+//     size alone — never by the thread count or the scheduler.
+// Hence results are bit-identical for any BISRAM_THREADS value, which
+// tests/test_parallel_campaigns.cpp enforces.
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace bisram {
+
+/// Worker-thread count campaigns use: the BISRAM_THREADS environment
+/// variable when set to a positive integer, else a programmatic override
+/// (set_campaign_threads), else the hardware concurrency. Always >= 1;
+/// 1 selects the plain serial path (no pool involvement at all).
+int campaign_threads();
+
+/// Programmatic override for campaign_threads() (tests, benchmarks).
+/// Pass 0 to restore the environment/hardware default. Returns the
+/// previous override. Note BISRAM_THREADS, when set, still wins: the
+/// environment is the operator's knob of last resort.
+int set_campaign_threads(int n);
+
+namespace detail {
+/// Runs body() concurrently on `threads` participants (threads - 1 pool
+/// workers plus the calling thread). body must be safe to run from
+/// multiple threads; exceptions thrown by pool workers are captured and
+/// rethrown on the caller. Blocks until every participant returns.
+void run_on_pool(int threads, const std::function<void()>& body);
+}  // namespace detail
+
+/// Folds `per_trial(i)` for i in [0, trials) with `combine`, splitting
+/// the index space into fixed `chunk`-sized blocks that worker threads
+/// claim dynamically from a shared counter. `combine(acc, value)` must be
+/// associative; `identity` is its neutral element. The fold order is a
+/// pure function of (trials, chunk) — see the header comment — so for a
+/// fixed chunk size the result is bit-identical no matter how many
+/// threads execute it. `threads` <= 0 means campaign_threads().
+template <typename T, typename PerTrial, typename Combine>
+T parallel_reduce(std::int64_t trials, std::int64_t chunk, T identity,
+                  PerTrial&& per_trial, Combine&& combine, int threads = 0) {
+  if (trials <= 0) return identity;
+  if (chunk < 1) chunk = 1;
+  if (threads <= 0) threads = campaign_threads();
+
+  const std::int64_t nchunks = (trials + chunk - 1) / chunk;
+  if (threads == 1 || nchunks == 1) {
+    // Serial path: identical association (chunked fold) as the parallel
+    // path, just executed in place.
+    T acc = identity;
+    for (std::int64_t c = 0; c < nchunks; ++c) {
+      const std::int64_t lo = c * chunk;
+      const std::int64_t hi = std::min(trials, lo + chunk);
+      T part = identity;
+      for (std::int64_t i = lo; i < hi; ++i) part = combine(std::move(part), per_trial(i));
+      acc = combine(std::move(acc), std::move(part));
+    }
+    return acc;
+  }
+
+  if (threads > nchunks) threads = static_cast<int>(nchunks);
+  std::vector<T> partials(static_cast<std::size_t>(nchunks), identity);
+  std::atomic<std::int64_t> next{0};
+  detail::run_on_pool(threads, [&] {
+    for (std::int64_t c; (c = next.fetch_add(1, std::memory_order_relaxed)) <
+                         nchunks;) {
+      const std::int64_t lo = c * chunk;
+      const std::int64_t hi = std::min(trials, lo + chunk);
+      T part = identity;
+      for (std::int64_t i = lo; i < hi; ++i) part = combine(std::move(part), per_trial(i));
+      partials[static_cast<std::size_t>(c)] = std::move(part);
+    }
+  });
+  T acc = identity;
+  for (auto& p : partials) acc = combine(std::move(acc), std::move(p));
+  return acc;
+}
+
+/// Runs `per_item(i)` for i in [0, items) for side effects only (each
+/// item must touch disjoint state). Same scheduling and thread-count
+/// semantics as parallel_reduce.
+template <typename PerItem>
+void parallel_for(std::int64_t items, std::int64_t chunk, PerItem&& per_item,
+                  int threads = 0) {
+  struct Nothing {};
+  parallel_reduce<Nothing>(
+      items, chunk, Nothing{},
+      [&](std::int64_t i) {
+        per_item(i);
+        return Nothing{};
+      },
+      [](Nothing, Nothing) { return Nothing{}; }, threads);
+}
+
+}  // namespace bisram

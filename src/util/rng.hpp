@@ -32,6 +32,18 @@ class Rng {
   std::uint64_t s_[4]{};
 };
 
+/// Stateless splitmix64 finalizer: one increment-and-mix step of the
+/// splitmix64 sequence, usable as a strong 64-bit bijective hash.
+std::uint64_t splitmix64_mix(std::uint64_t x);
+
+/// Counter-based seed-stream splitter for parallel campaigns. Trial i of
+/// a campaign seeded with `campaign_seed` always draws from
+/// Rng(stream_seed(campaign_seed, i)), no matter which thread executes
+/// it — the basis of the engine's bit-identical-for-any-thread-count
+/// guarantee (see util/parallel.hpp). For a fixed campaign seed the map
+/// stream -> seed is a bijection, so sub-streams never collide.
+std::uint64_t stream_seed(std::uint64_t campaign_seed, std::uint64_t stream);
+
 /// Standard normal variate (Box-Muller).
 double normal_sample(Rng& rng);
 

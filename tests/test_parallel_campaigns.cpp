@@ -1,0 +1,257 @@
+// The determinism contract of the parallel campaign engine: every
+// Monte-Carlo campaign must produce bit-identical results whether it
+// runs on 1, 2 or 8 threads, because each trial draws from its own seed
+// sub-stream and partial results fold in a thread-independent order.
+// These are the tests that make parallel speedups trustworthy — without
+// them "fast" could silently mean "different".
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "march/march.hpp"
+#include "models/reliability.hpp"
+#include "models/wafermap.hpp"
+#include "models/yield.hpp"
+#include "sim/baselines.hpp"
+#include "sim/fault_sim.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace bisram {
+namespace {
+
+/// Forces the engine to `n` threads for the enclosing scope.
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int n) : prev_(set_campaign_threads(n)) {}
+  ~ThreadGuard() { set_campaign_threads(prev_); }
+
+ private:
+  int prev_;
+};
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+/// Runs `campaign` once per thread count and checks every rerun is
+/// bit-identical to the single-threaded reference.
+template <typename Campaign, typename Check>
+void expect_thread_invariant(Campaign&& campaign, Check&& check) {
+  ThreadGuard serial(1);
+  const auto reference = campaign();
+  for (int threads : kThreadCounts) {
+    ThreadGuard guard(threads);
+    check(reference, campaign(), threads);
+  }
+}
+
+sim::RamGeometry small_geo() {
+  sim::RamGeometry g;
+  g.words = 64;
+  g.bpw = 4;
+  g.bpc = 4;
+  g.spare_rows = 4;
+  return g;
+}
+
+TEST(ParallelReduce, MatchesSerialSumForAnyThreadCount) {
+  const std::int64_t n = 10007;
+  auto sum = [&] {
+    return parallel_reduce<std::int64_t>(
+        n, 64, std::int64_t{0}, [](std::int64_t i) { return i * i; },
+        [](std::int64_t a, std::int64_t b) { return a + b; });
+  };
+  ThreadGuard serial(1);
+  const std::int64_t expected = sum();
+  std::int64_t check = 0;
+  for (std::int64_t i = 0; i < n; ++i) check += i * i;
+  EXPECT_EQ(expected, check);
+  for (int threads : kThreadCounts) {
+    ThreadGuard guard(threads);
+    EXPECT_EQ(sum(), expected) << threads << " threads";
+  }
+}
+
+TEST(ParallelReduce, FloatingPointAssociationFixedByChunkSize) {
+  // Doubles make fold order observable: with a fixed chunk size the
+  // bracketing — and therefore the exact bits — must not change with the
+  // thread count.
+  const std::int64_t n = 4099;
+  auto fold = [&] {
+    return parallel_reduce<double>(
+        n, 32, 0.0,
+        [](std::int64_t i) { return 1.0 / (1.0 + static_cast<double>(i)); },
+        [](double a, double b) { return a + b; });
+  };
+  ThreadGuard serial(1);
+  const double expected = fold();
+  for (int threads : kThreadCounts) {
+    ThreadGuard guard(threads);
+    const double got = fold();
+    EXPECT_EQ(got, expected) << threads << " threads";  // bitwise, no NEAR
+  }
+}
+
+TEST(ParallelReduce, CoversEveryIndexExactlyOnce) {
+  const std::int64_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  ThreadGuard guard(8);
+  parallel_for(n, 7, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (std::int64_t i = 0; i < n; ++i)
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << i;
+}
+
+TEST(ParallelReduce, EmptyAndSingleTrialEdges) {
+  auto one = [](std::int64_t) { return 1; };
+  auto add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(parallel_reduce<int>(0, 8, 0, one, add), 0);
+  EXPECT_EQ(parallel_reduce<int>(1, 8, 0, one, add), 1);
+  // Chunk larger than the trial count degenerates to one serial chunk.
+  EXPECT_EQ(parallel_reduce<int>(5, 1000, 0, one, add), 5);
+}
+
+TEST(ParallelReduce, PropagatesExceptionsFromWorkers) {
+  ThreadGuard guard(4);
+  auto boom = [&] {
+    parallel_for(100, 1, [](std::int64_t i) {
+      if (i == 57) throw InternalError("boom");
+    });
+  };
+  EXPECT_THROW(boom(), InternalError);
+}
+
+TEST(CampaignThreads, EnvOverrideWins) {
+  ThreadGuard guard(3);
+  EXPECT_EQ(campaign_threads(), 3);
+  ASSERT_EQ(setenv("BISRAM_THREADS", "5", 1), 0);
+  EXPECT_EQ(campaign_threads(), 5);
+  // Garbage and out-of-range values fall through to the override.
+  ASSERT_EQ(setenv("BISRAM_THREADS", "zero", 1), 0);
+  EXPECT_EQ(campaign_threads(), 3);
+  ASSERT_EQ(setenv("BISRAM_THREADS", "0", 1), 0);
+  EXPECT_EQ(campaign_threads(), 3);
+  ASSERT_EQ(unsetenv("BISRAM_THREADS"), 0);
+  EXPECT_EQ(campaign_threads(), 3);
+}
+
+TEST(ThreadInvariance, FaultCoverageCampaign) {
+  const std::vector<sim::FaultKind> kinds = {
+      sim::FaultKind::StuckAt0, sim::FaultKind::CouplingState,
+      sim::FaultKind::StuckOpen};
+  expect_thread_invariant(
+      [&] {
+        return sim::fault_coverage(march::ifa9(), small_geo(), kinds, 48,
+                                   true, 17);
+      },
+      [&](const auto& ref, const auto& got, int threads) {
+        ASSERT_EQ(ref.size(), got.size());
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+          EXPECT_EQ(ref[i].detected, got[i].detected)
+              << threads << " threads, kind " << i;
+          EXPECT_EQ(ref[i].total, got[i].total);
+        }
+      });
+}
+
+TEST(ThreadInvariance, YieldRepairProbabilityCampaign) {
+  sim::RamGeometry g;
+  g.words = 4096;
+  g.bpw = 4;
+  g.bpc = 4;
+  g.spare_rows = 4;
+  expect_thread_invariant(
+      [&] { return models::repair_probability_mc(g, 12, 2000, 99); },
+      [](double ref, double got, int threads) {
+        EXPECT_EQ(ref, got) << threads << " threads";  // bitwise
+      });
+}
+
+TEST(ThreadInvariance, YieldBistMonteCarloCampaign) {
+  expect_thread_invariant(
+      [&] {
+        return models::bisr_yield_mc_with_bist(small_geo(), 3.0, 2.0, 1.05,
+                                               120, 7);
+      },
+      [](const models::BisrYieldMc& ref, const models::BisrYieldMc& got,
+         int threads) {
+        EXPECT_EQ(ref.bist_repaired, got.bist_repaired) << threads;
+        EXPECT_EQ(ref.strict_good, got.strict_good) << threads;
+      });
+}
+
+TEST(ThreadInvariance, ReliabilityCampaign) {
+  sim::RamGeometry g;
+  g.words = 4096;
+  g.bpw = 4;
+  g.bpc = 4;
+  g.spare_rows = 8;
+  expect_thread_invariant(
+      [&] { return models::reliability_mc(g, 1e-9, 5e5, 4000, 2024); },
+      [](double ref, double got, int threads) {
+        EXPECT_EQ(ref, got) << threads << " threads";
+      });
+}
+
+TEST(ThreadInvariance, WaferMapCampaign) {
+  models::WaferSpec w;
+  w.wafer_mm = 150;
+  w.die_w_mm = 10;
+  w.die_h_mm = 10;
+  w.defects_per_cm2 = 1.0;
+  w.cluster_alpha = 2.0;
+  w.ram_fraction = 0.3;
+  w.ram_geo = sim::RamGeometry{4096, 4, 4, 4};
+  expect_thread_invariant(
+      [&] { return models::simulate_wafer(w, 7); },
+      [](const models::WaferResult& ref, const models::WaferResult& got,
+         int threads) {
+        EXPECT_EQ(ref.dies_total, got.dies_total) << threads;
+        EXPECT_EQ(ref.good, got.good) << threads;
+        EXPECT_EQ(ref.repaired, got.repaired) << threads;
+        EXPECT_EQ(ref.bad, got.bad) << threads;
+        EXPECT_EQ(ref.map, got.map) << threads;  // cell-exact wafer map
+      });
+}
+
+TEST(ThreadInvariance, BaselineComparisonCampaign) {
+  expect_thread_invariant(
+      [&] {
+        sim::RamGeometry g;
+        g.words = 4096;
+        g.bpw = 4;
+        g.bpc = 4;
+        g.spare_rows = 4;
+        return sim::compare_schemes(g, 12, 400, 5, 16, 2, 0.01);
+      },
+      [](const sim::SchemeComparison& ref, const sim::SchemeComparison& got,
+         int threads) {
+        EXPECT_EQ(ref.bisramgen, got.bisramgen) << threads;
+        EXPECT_EQ(ref.chen_sunada, got.chen_sunada) << threads;
+        EXPECT_EQ(ref.sawada, got.sawada) << threads;
+      });
+}
+
+TEST(ReliabilityMc, AgreesWithAnalyticModel) {
+  // The MC campaign is only worth parallelizing if it estimates the same
+  // quantity the closed form computes.
+  sim::RamGeometry g;
+  g.words = 4096;
+  g.bpw = 4;
+  g.bpc = 4;
+  g.spare_rows = 8;
+  const double lam = 1e-9;
+  for (double t : {1e5, 5e5, 1e6}) {
+    const double analytic = models::reliability(g, lam, t);
+    const double mc = models::reliability_mc(g, lam, t, 6000, 31);
+    EXPECT_NEAR(mc, analytic, 0.02) << "t = " << t;
+  }
+}
+
+}  // namespace
+}  // namespace bisram
