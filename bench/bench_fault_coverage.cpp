@@ -14,9 +14,12 @@
 
 #include <cstdio>
 
+#include <cstring>
+
 #include "march/analysis.hpp"
 #include "sim/fault_sim.hpp"
 #include "sim/transparent.hpp"
+#include "util/json.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -112,6 +115,58 @@ void print_coverage() {
               detected, ttrials, preserved_clean);
 }
 
+// Machine-readable variant of print_coverage() for --json: the same
+// campaigns, emitted as one JSON object on stdout.
+void print_coverage_json() {
+  const std::vector<FaultKind> kinds = {
+      FaultKind::StuckAt0,      FaultKind::StuckAt1,
+      FaultKind::TransitionUp,  FaultKind::TransitionDown,
+      FaultKind::CouplingState, FaultKind::CouplingIdem,
+      FaultKind::StuckOpen,     FaultKind::Retention,
+  };
+  const std::vector<std::pair<const char*, const march::MarchTest*>> tests = {
+      {"IFA-9", &march::ifa9()},       {"IFA-13", &march::ifa13()},
+      {"MATS+", &march::mats_plus()},  {"March C-", &march::march_c_minus()},
+      {"March X", &march::march_x()},  {"March Y", &march::march_y()},
+  };
+  const sim::RamGeometry geo = bench_geo();
+  JsonWriter j;
+  j.begin_object();
+  j.key("benchmark").value("fault_coverage");
+  j.key("geometry").begin_object();
+  j.key("words").value(static_cast<std::int64_t>(geo.words));
+  j.key("bpw").value(geo.bpw);
+  j.key("bpc").value(geo.bpc);
+  j.key("spare_rows").value(geo.spare_rows);
+  j.end_object();
+  j.key("trials_per_fault").value(kTrials);
+  j.key("coverage").begin_array();
+  for (const auto& [name, test] : tests) {
+    const auto cov = sim::fault_coverage(*test, geo, kinds, kTrials, true, 17);
+    for (const auto& c : cov) {
+      j.begin_object();
+      j.key("test").value(name);
+      j.key("fault").value(sim::fault_name(c.kind));
+      j.key("detected").value(c.detected);
+      j.key("total").value(c.total);
+      j.key("fraction").value(c.fraction());
+      j.end_object();
+    }
+  }
+  j.end_array();
+  j.key("johnson_ablation").begin_object();
+  for (bool johnson : {false, true}) {
+    const auto cov = sim::fault_coverage(
+        march::ifa9(), geo, {FaultKind::CouplingState}, kTrials, johnson, 29,
+        CouplingScope::IntraWord);
+    j.key(johnson ? "johnson_backgrounds" : "single_background")
+        .value(cov[0].fraction());
+  }
+  j.end_object();
+  j.end_object();
+  std::printf("%s\n", j.str().c_str());
+}
+
 void BM_Ifa9Campaign(benchmark::State& state) {
   for (auto _ : state) {
     const auto cov = sim::fault_coverage(march::ifa9(), bench_geo(),
@@ -145,6 +200,13 @@ BENCHMARK(BM_Ifa9CampaignThreads)
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --json: emit the campaign report as JSON and skip the benchmarks.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      print_coverage_json();
+      return 0;
+    }
+  }
   print_coverage();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

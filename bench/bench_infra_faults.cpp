@@ -1,0 +1,198 @@
+// The robustness question the paper leaves open: what happens when the
+// layout defects land in the repair machinery itself? This harness runs
+// the infra-fault campaign (sim/infra_faults.hpp) and prints the outcome
+// distribution per fault class — benign / safe-fail / escape / hung —
+// for a clean array and for an array that additionally carries cell
+// faults, then the yield impact: the tester-visible ("BIST said OK")
+// yield versus the effective yield once escapes are discounted.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "models/yield.hpp"
+#include "sim/infra_faults.hpp"
+#include "util/json.hpp"
+#include "util/parallel.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace bisram;
+using sim::InfraFaultKind;
+using sim::InfraOutcome;
+
+sim::RamGeometry bench_geo() {
+  sim::RamGeometry g;
+  g.words = 64;
+  g.bpw = 4;
+  g.bpc = 4;
+  g.spare_rows = 4;
+  return g;
+}
+
+constexpr int kTrials = 240;
+
+sim::InfraCampaignReport run_campaign(int array_faults, std::uint64_t seed) {
+  sim::InfraTrialConfig cfg;
+  cfg.array_faults = array_faults;
+  return sim::infra_fault_campaign(bench_geo(), cfg, kTrials, seed);
+}
+
+void print_outcome_table(const sim::InfraCampaignReport& rep) {
+  TextTable t;
+  t.header({"fault class", "benign", "safe-fail", "escape", "hung"});
+  for (int k = 0; k < sim::kInfraFaultKindCount; ++k) {
+    const auto kind = static_cast<InfraFaultKind>(k);
+    std::vector<std::string> row = {sim::infra_fault_name(kind)};
+    for (int o = 0; o < sim::kInfraOutcomeCount; ++o)
+      row.push_back(strfmt(
+          "%lld", static_cast<long long>(
+                      rep.count(kind, static_cast<InfraOutcome>(o)))));
+    t.row(row);
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("  totals over %lld trials: benign %.1f%%  safe-fail %.1f%%  "
+              "escape %.1f%%  hung %.1f%%\n",
+              static_cast<long long>(rep.trials),
+              100.0 * rep.rate(InfraOutcome::Benign),
+              100.0 * rep.rate(InfraOutcome::SafeFail),
+              100.0 * rep.rate(InfraOutcome::Escape),
+              100.0 * rep.rate(InfraOutcome::Hung));
+}
+
+void print_report() {
+  std::printf("\n=== Infrastructure fault campaign (defects in the repair "
+              "machinery, %d trials) ===\n",
+              kTrials);
+  std::printf("\nclean array (the infra fault is the only defect):\n");
+  print_outcome_table(run_campaign(0, 2026));
+  std::printf("\narray additionally carrying 2 random stuck-at cells (the "
+              "broken engine must actually repair):\n");
+  print_outcome_table(run_campaign(2, 2027));
+
+  std::printf("\nyield impact (alpha=2, growth 1.06, repair logic 6%% of "
+              "die area):\n");
+  TextTable t;
+  t.header({"defect mean", "BIST-reported", "effective", "escape",
+            "safe-fail", "hung", "analytic logic-yield"});
+  for (double m : {0.5, 2.0, 6.0}) {
+    const auto y =
+        models::bisr_yield_mc_with_infra(bench_geo(), m, 2.0, 1.06, 0.06,
+                                         400, 4242);
+    t.row({strfmt("%.1f", m), strfmt("%.3f", y.bist_reported_good),
+           strfmt("%.3f", y.effective_good), strfmt("%.3f", y.escape),
+           strfmt("%.3f", y.safe_fail), strfmt("%.3f", y.hung),
+           strfmt("%.3f", models::repair_logic_yield(m, 2.0, 1.06, 0.06))});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("check: escapes are the gap between the tester-visible and "
+              "the effective yield; the hung fraction is the watchdog's "
+              "graceful-degradation bucket.\n");
+}
+
+void print_report_json() {
+  JsonWriter j;
+  j.begin_object();
+  j.key("benchmark").value("infra_faults");
+  j.key("trials").value(kTrials);
+  j.key("campaigns").begin_array();
+  for (int array_faults : {0, 2}) {
+    const auto rep =
+        run_campaign(array_faults, array_faults == 0 ? 2026 : 2027);
+    j.begin_object();
+    j.key("array_faults").value(array_faults);
+    j.key("by_kind").begin_array();
+    for (int k = 0; k < sim::kInfraFaultKindCount; ++k) {
+      const auto kind = static_cast<InfraFaultKind>(k);
+      j.begin_object();
+      j.key("fault").value(sim::infra_fault_name(kind));
+      for (int o = 0; o < sim::kInfraOutcomeCount; ++o) {
+        const auto out = static_cast<InfraOutcome>(o);
+        j.key(sim::infra_outcome_name(out)).value(rep.count(kind, out));
+      }
+      j.end_object();
+    }
+    j.end_array();
+    j.key("rates").begin_object();
+    for (int o = 0; o < sim::kInfraOutcomeCount; ++o) {
+      const auto out = static_cast<InfraOutcome>(o);
+      j.key(sim::infra_outcome_name(out)).value(rep.rate(out));
+    }
+    j.end_object();
+    j.end_object();
+  }
+  j.end_array();
+  j.key("yield_impact").begin_array();
+  for (double m : {0.5, 2.0, 6.0}) {
+    const auto y = models::bisr_yield_mc_with_infra(bench_geo(), m, 2.0,
+                                                    1.06, 0.06, 400, 4242);
+    j.begin_object();
+    j.key("defect_mean").value(m);
+    j.key("bist_reported_good").value(y.bist_reported_good);
+    j.key("effective_good").value(y.effective_good);
+    j.key("escape").value(y.escape);
+    j.key("safe_fail").value(y.safe_fail);
+    j.key("hung").value(y.hung);
+    j.key("repair_logic_yield")
+        .value(models::repair_logic_yield(m, 2.0, 1.06, 0.06));
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  std::printf("%s\n", j.str().c_str());
+}
+
+void BM_InfraTrial(benchmark::State& state) {
+  const auto geo = bench_geo();
+  const auto ctrl = microcode::build_trpla(*sim::BistConfig{}.test, 2);
+  sim::InfraTrialConfig cfg;
+  sim::InfraFault fault;
+  fault.kind = InfraFaultKind::TlbValidStuck;
+  fault.value = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::run_infra_trial(geo, ctrl, fault, {}, cfg).outcome);
+  }
+}
+BENCHMARK(BM_InfraTrial)->Unit(benchmark::kMillisecond);
+
+// Parallel-engine scaling of the campaign; the report is bit-identical
+// at every thread count (tests/test_parallel_campaigns.cpp enforces it),
+// so only the wall clock should move.
+void BM_InfraCampaignThreads(benchmark::State& state) {
+  const int prev = set_campaign_threads(static_cast<int>(state.range(0)));
+  const auto geo = bench_geo();
+  sim::InfraTrialConfig cfg;
+  cfg.array_faults = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::infra_fault_campaign(geo, cfg, 64, 11).trials);
+  }
+  set_campaign_threads(prev);
+}
+BENCHMARK(BM_InfraCampaignThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --json: emit the campaign report as JSON and skip the benchmarks.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      print_report_json();
+      return 0;
+    }
+  }
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -8,10 +8,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/bisramgen.hpp"
 #include "models/wafermap.hpp"
 #include "models/yield.hpp"
+#include "util/json.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -103,6 +105,46 @@ void print_fig4() {
               models::render_wafer(w).c_str());
 }
 
+// Machine-readable variant of print_fig4() for --json: the analytic
+// curves plus the repair-logic discount of models::repair_logic_yield.
+void print_fig4_json() {
+  const double alpha = 2.0;
+  const double g4 = growth_factor(4);
+  const double g8 = growth_factor(8);
+  const double g16 = growth_factor(16);
+  // The repair logic occupies the BIST+BISR share of the grown die.
+  const double logic_fraction4 = 1.0 - 1.0 / g4;
+  JsonWriter j;
+  j.begin_object();
+  j.key("benchmark").value("yield");
+  j.key("alpha").value(alpha);
+  j.key("growth_factors").begin_object();
+  j.key("spares4").value(g4);
+  j.key("spares8").value(g8);
+  j.key("spares16").value(g16);
+  j.end_object();
+  j.key("curve").begin_array();
+  for (int d = 0; d <= 400; d += 25) {
+    const double m = d;
+    j.begin_object();
+    j.key("defects").value(d);
+    j.key("no_spares").value(models::stapper_yield(m, alpha));
+    j.key("spares4").value(models::bisr_yield(fig4_geometry(4), m, alpha, g4));
+    j.key("spares8").value(models::bisr_yield(fig4_geometry(8), m, alpha, g8));
+    j.key("spares16")
+        .value(models::bisr_yield(fig4_geometry(16), m, alpha, g16));
+    // First-order discount for defects landing in the repair machinery
+    // itself (every such defect counted fatal — see bench_infra_faults
+    // for the outcome-classified version).
+    j.key("repair_logic_yield4")
+        .value(models::repair_logic_yield(m, alpha, g4, logic_fraction4));
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  std::printf("%s\n", j.str().c_str());
+}
+
 void BM_YieldCurvePoint(benchmark::State& state) {
   const auto geo = fig4_geometry(4);
   for (auto _ : state) {
@@ -166,6 +208,13 @@ BENCHMARK(BM_BisrYieldMcThreads)
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --json: emit the yield report as JSON and skip the benchmarks.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      print_fig4_json();
+      return 0;
+    }
+  }
   print_fig4();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

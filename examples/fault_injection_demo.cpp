@@ -6,13 +6,18 @@
 //      extension "repairs faults within the spares themselves";
 //   4. a faulty column -> the row redundancy is "quickly swamped because
 //      every single word on a faulty column will be found to be faulty"
-//      (Section VI) — detected but not repairable by row/word redundancy.
+//      (Section VI) — detected but not repairable by row/word redundancy;
+//   5. defects in the repair engine *itself* -> a stuck TLB match line
+//      that silently escapes the BIST, and a stuck address-counter bit
+//      that the watchdog catches and degrades gracefully.
 
 #include <cstdio>
 
+#include "march/march.hpp"
 #include "sim/bist.hpp"
 #include "sim/controller.hpp"
 #include "sim/diagnosis.hpp"
+#include "sim/infra_faults.hpp"
 #include "sim/transparent.hpp"
 
 using namespace bisram;
@@ -101,7 +106,43 @@ int main() {
     std::printf("\n%s", map.render().c_str());
   }
 
-  {  // 7. Transparent BIST (Kebichi-Nicolaidis): contents survive.
+  {  // 7. A broken repair engine, part 1: the dangerous escape. A TLB
+     // match line stuck at 1 diverts *every* access to one spare word.
+     // Pass 1 marches with repair off over a clean array, so the BIST
+     // happily reports DONE_OK — only an address-dependent readback in
+     // normal mode exposes the aliasing.
+    const auto ctrl = microcode::build_trpla(march::ifa9(), 2);
+    InfraFault fault;
+    fault.kind = InfraFaultKind::TlbMatchStuck;
+    fault.index = 3;  // slot 3's match line
+    fault.value = true;
+    const auto trial = run_infra_trial(g, ctrl, fault, {},
+                                       InfraTrialConfig{});
+    std::printf("\nbroken repair engine (TLB match line stuck at 1):\n"
+                "  BIST verdict: %s   golden readback verdict: %s\n",
+                trial.bist.repair_successful ? "DONE_OK" : "fail",
+                infra_outcome_name(trial.outcome));
+  }
+
+  {  // 8. A broken repair engine, part 2: the watchdog. A stuck-at-0 low
+     // bit in ADDGEN makes the up-count oscillate 0 -> 1 -> 0 below the
+     // terminal address; the march never ends. Instead of hanging the
+     // tester (or throwing), run() trips the watchdog, reports `hung`
+     // and leaves BISR disabled.
+    RamModel ram(g);
+    const auto ctrl = microcode::build_trpla(march::ifa9(), 2);
+    PlaBistMachine machine(ram, ctrl);
+    machine.inject({InfraFaultKind::AddgenBitStuck, 0, /*bit=*/0,
+                    /*value=*/false, true});
+    const InfraTrialConfig cfg;
+    const auto r = machine.run(auto_watchdog_cycles(g, ctrl, cfg));
+    std::printf("broken repair engine (ADDGEN bit 0 stuck at 0):\n"
+                "  hung=%s after watchdog, BISR left %s\n",
+                r.hung ? "yes" : "no",
+                ram.repair_enabled() ? "ENABLED (bad)" : "disabled (safe)");
+  }
+
+  {  // 9. Transparent BIST (Kebichi-Nicolaidis): contents survive.
     RamModel ram(g);
     Word pattern(static_cast<std::size_t>(g.bpw));
     for (int i = 0; i < g.bpw; ++i)
@@ -118,7 +159,8 @@ int main() {
   std::printf(
       "\npaper behaviours demonstrated: word-granular repair, overflow "
       "signalling, spare-on-spare repair via 2k passes, column-failure "
-      "detection without repair, fault-map diagnosis, and transparent "
-      "(contents-preserving) self-test.\n");
+      "detection without repair, fault-map diagnosis, escape and watchdog "
+      "classification of defects in the repair machinery itself, and "
+      "transparent (contents-preserving) self-test.\n");
   return 0;
 }

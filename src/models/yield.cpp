@@ -3,7 +3,10 @@
 #include <cmath>
 #include <set>
 
+#include "microcode/controller.hpp"
 #include "sim/bist.hpp"
+#include "sim/controller.hpp"
+#include "sim/infra_faults.hpp"
 #include "util/math.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -219,6 +222,98 @@ BisrYieldMc bisr_yield_mc_with_bist(const sim::RamGeometry& geo,
   BisrYieldMc out;
   out.bist_repaired = static_cast<double>(counts.repaired) / trials;
   out.strict_good = static_cast<double>(counts.strict) / trials;
+  return out;
+}
+
+double repair_logic_yield(double defect_mean, double alpha, double growth,
+                          double logic_area_fraction) {
+  require(growth >= 1.0, "repair_logic_yield: growth factor must be >= 1");
+  require(logic_area_fraction >= 0.0 && logic_area_fraction <= 1.0,
+          "repair_logic_yield: area fraction must be in [0, 1]");
+  return stapper_yield(defect_mean * growth * logic_area_fraction, alpha);
+}
+
+BisrYieldMcInfra bisr_yield_mc_with_infra(const sim::RamGeometry& geo,
+                                          double defect_mean, double alpha,
+                                          double growth,
+                                          double logic_area_fraction,
+                                          int trials, std::uint64_t seed) {
+  require(trials >= 1, "bisr_yield_mc_with_infra: needs >= 1 trial");
+  require(growth >= 1.0, "bisr_yield_mc_with_infra: growth must be >= 1");
+  require(logic_area_fraction >= 0.0 && logic_area_fraction <= 1.0,
+          "bisr_yield_mc_with_infra: area fraction must be in [0, 1]");
+  geo.validate();
+  require(geo.spare_words() >= 1,
+          "bisr_yield_mc_with_infra: geometry needs >= 1 spare word");
+
+  // Shared read-only controller + watchdog budget, built once.
+  const sim::BistConfig bist;
+  const auto ctrl = microcode::build_trpla(*bist.test, bist.max_passes);
+  sim::InfraTrialConfig trial_cfg;
+  trial_cfg.bist = bist;
+  const std::uint64_t watchdog =
+      sim::auto_watchdog_cycles(geo, ctrl, trial_cfg);
+
+  struct Counts {
+    std::int64_t reported = 0, effective = 0, escape = 0, safe_fail = 0,
+                 hung = 0;
+  };
+  const Counts counts = parallel_reduce<Counts>(
+      trials, /*chunk=*/8, Counts{},
+      [&](std::int64_t t) {
+        Rng rng(stream_seed(seed, static_cast<std::uint64_t>(t)));
+        // One clustered defect rate per die (Gamma mixture), split
+        // between array and repair logic by area.
+        const double m = defect_mean * growth;
+        const double rate =
+            m > 0 ? gamma_sample(rng, alpha, m / alpha) : 0.0;
+        const std::int64_t k = poisson_sample(rng, rate);
+        const std::int64_t l =
+            poisson_sample(rng, rate * logic_area_fraction);
+
+        sim::RamModel ram(geo);
+        for (std::int64_t d = 0; d < k; ++d) {
+          sim::Fault f;
+          f.kind = rng.chance(0.5) ? sim::FaultKind::StuckAt0
+                                   : sim::FaultKind::StuckAt1;
+          f.victim = {static_cast<int>(rng.below(
+                          static_cast<std::uint64_t>(geo.total_rows()))),
+                      static_cast<int>(rng.below(
+                          static_cast<std::uint64_t>(geo.cols())))};
+          ram.array().inject(f);
+        }
+        sim::PlaBistMachine machine(ram, ctrl, bist.retention_wait_s,
+                                    bist.johnson_backgrounds);
+        for (std::int64_t d = 0; d < l; ++d)
+          machine.inject(sim::random_infra_fault(geo, ctrl, rng));
+
+        const sim::BistResult r = machine.run(watchdog);
+        Counts c;
+        if (r.hung) {
+          c.hung = 1;
+        } else if (!r.repair_successful) {
+          c.safe_fail = 1;
+        } else {
+          c.reported = 1;
+          if (sim::normal_mode_readback_clean(ram))
+            c.effective = 1;
+          else
+            c.escape = 1;
+        }
+        return c;
+      },
+      [](Counts a, Counts b) {
+        return Counts{a.reported + b.reported, a.effective + b.effective,
+                      a.escape + b.escape, a.safe_fail + b.safe_fail,
+                      a.hung + b.hung};
+      });
+  BisrYieldMcInfra out;
+  const double n = static_cast<double>(trials);
+  out.bist_reported_good = static_cast<double>(counts.reported) / n;
+  out.effective_good = static_cast<double>(counts.effective) / n;
+  out.escape = static_cast<double>(counts.escape) / n;
+  out.safe_fail = static_cast<double>(counts.safe_fail) / n;
+  out.hung = static_cast<double>(counts.hung) / n;
   return out;
 }
 

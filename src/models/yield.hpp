@@ -83,4 +83,40 @@ BisrYieldMc bisr_yield_mc_with_bist(const sim::RamGeometry& geo,
                                     double growth, int trials,
                                     std::uint64_t seed);
 
+// --- repair-logic defects (sim/infra_faults.hpp) ----------------------------
+//
+// The analytic bisr_yield() and the MC above treat the repair machinery
+// as defect-free, but the TLB/ADDGEN/DATAGEN/TRPLA occupy the BISR area
+// overhead (growth - 1, plus a share of the periphery) and collect
+// defects at the same density as the array.
+
+/// Probability the repair logic itself is defect-free: Stapper yield of
+/// the repair-logic area. `logic_area_fraction` is the repair logic's
+/// share of the grown die area (so its defect mean is
+/// defect_mean * growth * logic_area_fraction). Multiply bisr_yield() by
+/// this for a first-order "working die AND working BISR" estimate that
+/// counts every repair-logic defect as fatal — pessimistic, since the MC
+/// below shows a large share of such defects are benign or safe-fail.
+double repair_logic_yield(double defect_mean, double alpha, double growth,
+                          double logic_area_fraction);
+
+/// Monte-Carlo yield with defects in *both* the array and the repair
+/// machinery. Each trial draws one clustered defect rate (Gamma-Poisson,
+/// shared by both regions — defects cluster across the die, not per
+/// block), injects K array faults and L ~ Poisson(rate * fraction) infra
+/// faults, runs the microprogrammed BIST/BISR flow under a watchdog and
+/// classifies the outcome with the golden normal-mode readback.
+struct BisrYieldMcInfra {
+  double bist_reported_good = 0;  ///< DONE_OK fraction (what the tester sees)
+  double effective_good = 0;      ///< DONE_OK and the readback is clean
+  double escape = 0;              ///< DONE_OK but the RAM is bad — shipped defect
+  double safe_fail = 0;           ///< DONE_FAIL fraction
+  double hung = 0;                ///< watchdog-tripped fraction
+};
+BisrYieldMcInfra bisr_yield_mc_with_infra(const sim::RamGeometry& geo,
+                                          double defect_mean, double alpha,
+                                          double growth,
+                                          double logic_area_fraction,
+                                          int trials, std::uint64_t seed);
+
 }  // namespace bisram::models

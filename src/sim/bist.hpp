@@ -43,6 +43,12 @@ struct BistResult {
   int spares_used = 0;             ///< TLB entries consumed
   int passes_run = 0;
   std::uint64_t cycles = 0;        ///< RAM read+write operations issued
+  /// Watchdog trip: the controller never reached DONE_OK/DONE_FAIL
+  /// within its cycle budget (a defective controller can loop forever —
+  /// see sim/infra_faults.hpp). The machine degrades gracefully: the
+  /// result reports the hang and BISR is left disabled. Always false for
+  /// the behavioural engine and for any fault-free controller.
+  bool hung = false;
 
   /// The paper's status signal.
   bool repair_unsuccessful() const { return !repair_successful; }

@@ -21,6 +21,40 @@ PlaBistMachine::PlaBistMachine(RamModel& ram,
   ram_.set_repair_enabled(false);
 }
 
+void PlaBistMachine::inject(const InfraFault& fault) {
+  switch (fault.kind) {
+    case InfraFaultKind::TlbEntryBitStuck:
+      ram_.tlb().inject_entry_bit_stuck(fault.index, fault.bit, fault.value);
+      break;
+    case InfraFaultKind::TlbValidStuck:
+      ram_.tlb().inject_valid_stuck(fault.index, fault.value);
+      break;
+    case InfraFaultKind::TlbMatchStuck:
+      ram_.tlb().inject_match_stuck(fault.index, fault.value);
+      break;
+    case InfraFaultKind::AddgenBitStuck:
+      addgen_.inject_stuck_bit(fault.bit, fault.value);
+      break;
+    case InfraFaultKind::DatagenBitStuck:
+      datagen_.inject_stuck_bit(fault.bit, fault.value);
+      break;
+    case InfraFaultKind::StregBitStuck:
+      require(fault.bit >= 0 && fault.bit < ctrl_.state_bits,
+              "PlaBistMachine: STREG bit out of range");
+      streg_stuck_mask_ |= 1 << fault.bit;
+      if (fault.value)
+        streg_stuck_value_ |= 1 << fault.bit;
+      else
+        streg_stuck_value_ &= ~(1 << fault.bit);
+      state_ = apply_streg_stuck(state_);
+      break;
+    case InfraFaultKind::PlaCrosspointMissing:
+    case InfraFaultKind::PlaCrosspointExtra:
+      pla_override_ = apply_pla_fault(active_pla(), fault);
+      break;
+  }
+}
+
 std::vector<bool> PlaBistMachine::sample_conditions() const {
   std::vector<bool> c(static_cast<std::size_t>(microcode::kCondCount));
   c[static_cast<std::size_t>(Cond::AddrLast)] = addgen_.at_last();
@@ -37,7 +71,7 @@ bool PlaBistMachine::step() {
   if (timer_remaining_ > 0) --timer_remaining_;
 
   // Assemble the PLA input vector: state bits then condition bits.
-  std::vector<bool> in(static_cast<std::size_t>(ctrl_.pla.inputs()), false);
+  std::vector<bool> in(static_cast<std::size_t>(active_pla().inputs()), false);
   for (int i = 0; i < ctrl_.state_bits; ++i)
     in[static_cast<std::size_t>(i)] = (state_ >> i) & 1;
   const auto conds = sample_conditions();
@@ -45,7 +79,7 @@ bool PlaBistMachine::step() {
     in[static_cast<std::size_t>(ctrl_.state_bits + i)] =
         conds[static_cast<std::size_t>(i)];
 
-  const auto out = ctrl_.pla.evaluate(in);
+  const auto out = active_pla().evaluate(in);
   auto ctrl_on = [&](Ctrl c) {
     return out[static_cast<std::size_t>(ctrl_.state_bits +
                                         static_cast<int>(c))];
@@ -94,7 +128,7 @@ bool PlaBistMachine::step() {
   int next = 0;
   for (int i = 0; i < ctrl_.state_bits; ++i)
     if (out[static_cast<std::size_t>(i)]) next |= 1 << i;
-  state_ = next;
+  state_ = apply_streg_stuck(next);
 
   if (ctrl_on(Ctrl::SigDone)) {
     finished_ = true;
@@ -106,19 +140,25 @@ bool PlaBistMachine::step() {
   return finished_;
 }
 
-BistResult PlaBistMachine::run(std::uint64_t max_cycles) {
-  while (!finished_) {
-    ensure(controller_cycles_ < max_cycles,
-           "PlaBistMachine: controller did not terminate");
-    step();
-  }
+BistResult PlaBistMachine::run(std::uint64_t max_cycles, bool strict_runaway) {
+  while (!finished_ && controller_cycles_ < max_cycles) step();
+
   BistResult r;
   r.pass1_clean = pass1_clean_seen_;
-  r.repair_successful = success_;
+  r.repair_successful = finished_ && success_;
   r.tlb_overflow = overflow_;
   r.spares_used = ram_.tlb().used();
   r.passes_run = passes_started_;
   r.cycles = ram_ops_;
+  if (!finished_) {
+    // Watchdog trip: the controller is running away. Historically this
+    // threw; campaigns need a classified result instead, with BISR left
+    // disabled — a hung engine must not be trusted to divert addresses.
+    ensure(!strict_runaway, "PlaBistMachine: controller did not terminate");
+    r.hung = true;
+    ram_.set_repair_enabled(false);
+    return r;
+  }
   // Match the behavioural engine: leave the RAM usable in normal mode.
   ram_.set_repair_enabled(true);
   return r;

@@ -2,6 +2,16 @@
 
 namespace bisram::sim {
 
+void AddGen::inject_stuck_bit(int bit, bool value) {
+  require(bit >= 0 && bit < 32, "AddGen: stuck bit out of range");
+  stuck_mask_ |= 1u << bit;
+  if (value)
+    stuck_value_ |= 1u << bit;
+  else
+    stuck_value_ &= ~(1u << bit);
+  apply_stuck();
+}
+
 DataGen::DataGen(int bpw) : bpw_(bpw) {
   require(bpw >= 1, "DataGen: bpw must be >= 1");
 }
@@ -9,13 +19,23 @@ DataGen::DataGen(int bpw) : bpw_(bpw) {
 void DataGen::reset() { ones_ = 0; }
 
 bool DataGen::step() {
-  if (at_last()) return false;
+  if (ones_ == bpw_) return false;  // shift register saturated at all-1
   ++ones_;
+  return true;
+}
+
+bool DataGen::at_last() const {
+  if (stuck_.empty()) return ones_ == bpw_;
+  // The all-1 decode sees the register outputs, stuck bits included.
+  for (int i = 0; i < bpw_; ++i)
+    if (!bit(i)) return false;
   return true;
 }
 
 bool DataGen::bit(int i) const {
   ensure(i >= 0 && i < bpw_, "DataGen::bit out of range");
+  if (!stuck_.empty() && stuck_[static_cast<std::size_t>(i)] >= 0)
+    return stuck_[static_cast<std::size_t>(i)] != 0;
   return i < ones_;
 }
 
@@ -32,6 +52,12 @@ bool DataGen::mismatch(const std::vector<bool>& data, bool complemented) const {
     if (data[static_cast<std::size_t>(i)] != (bit(i) != complemented))
       return true;
   return false;
+}
+
+void DataGen::inject_stuck_bit(int bit, bool value) {
+  require(bit >= 0 && bit < bpw_, "DataGen: stuck bit out of range");
+  if (stuck_.empty()) stuck_.assign(static_cast<std::size_t>(bpw_), -1);
+  stuck_[static_cast<std::size_t>(bit)] = value ? 1 : 0;
 }
 
 }  // namespace bisram::sim

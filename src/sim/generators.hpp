@@ -5,6 +5,12 @@
 //  * DATAGEN — a Johnson counter stepping through the data backgrounds
 //    and comparing read data against expectations (XOR tree + OR gate in
 //    the hardware; modelled functionally here).
+//
+// Both blocks carry stuck-at injection hooks (sim/infra_faults.hpp): a
+// defective counter flip-flop makes the generator skip, alias or never
+// reach addresses/backgrounds — which is exactly how a broken BIST
+// engine hangs or lets real faults escape. The fault-free paths are
+// unchanged when nothing is injected.
 
 #include <cstdint>
 #include <vector>
@@ -25,6 +31,7 @@ class AddGen {
     up_ = up;
     addr_ = up ? 0 : words_ - 1;
     done_ = false;
+    apply_stuck();
   }
 
   std::uint32_t address() const { return addr_; }
@@ -40,13 +47,29 @@ class AddGen {
       return;
     }
     addr_ = up_ ? addr_ + 1 : addr_ - 1;
+    apply_stuck();
   }
 
+  /// Infra-fault hook: counter flip-flop `bit` is stuck at `value`. The
+  /// stuck bit lives in the stored state, so the increment, the
+  /// last-address comparator and the issued address all see it — a
+  /// stuck low bit makes the count oscillate below the terminal address
+  /// forever (the classic BIST hang). Out-of-range results wrap modulo
+  /// the word count, as a partial row decode would.
+  void inject_stuck_bit(int bit, bool value);
+
  private:
+  void apply_stuck() {
+    if (stuck_mask_ == 0) return;
+    addr_ = ((addr_ & ~stuck_mask_) | stuck_value_) % words_;
+  }
+
   std::uint32_t words_;
   std::uint32_t addr_ = 0;
   bool up_ = true;
   bool done_ = false;
+  std::uint32_t stuck_mask_ = 0;
+  std::uint32_t stuck_value_ = 0;
 };
 
 /// Johnson-counter data background generator for bpw-bit words.
@@ -59,8 +82,11 @@ class DataGen {
   /// Shifts in the next background; returns false when already at the
   /// last one (all-1).
   bool step();
-  /// True when positioned at the final background.
-  bool at_last() const { return ones_ == bpw_; }
+  /// True when positioned at the final background. The hardware decodes
+  /// this from the register outputs, so a stuck bit fools it: stuck-at-0
+  /// means all-1 never decodes (the controller loops forever stepping
+  /// backgrounds); stuck-at-1 can fire it early (backgrounds skipped).
+  bool at_last() const;
   int background_index() const { return ones_; }
   int background_count() const { return bpw_ + 1; }
 
@@ -73,9 +99,17 @@ class DataGen {
   /// (background or complement) in any bit — the XOR/OR network.
   bool mismatch(const std::vector<bool>& data, bool complemented) const;
 
+  /// Infra-fault hook: register output `bit` is stuck at `value`. Writes
+  /// and compare expectations both use the stuck value (they share the
+  /// generator), so a clean RAM still passes — but cells the stuck
+  /// pattern can no longer exercise become escape sites for real faults.
+  void inject_stuck_bit(int bit, bool value);
+
  private:
   int bpw_;
   int ones_ = 0;  // Johnson fill count: background = 1^ones 0^(bpw-ones)
+  // stuck_[i] < 0: bit i healthy; otherwise the forced value (0/1).
+  std::vector<signed char> stuck_;
 };
 
 }  // namespace bisram::sim

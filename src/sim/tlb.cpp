@@ -9,14 +9,52 @@ Tlb::Tlb(int capacity) : capacity_(capacity) {
 }
 
 std::optional<int> Tlb::lookup(std::uint32_t addr) const {
+  if (!slot_faults_.empty()) return faulted_lookup(addr);
   // Newest entry wins: scan from the back.
   for (auto it = entries_.rbegin(); it != entries_.rend(); ++it)
     if (it->addr == addr) return it->spare;
   return std::nullopt;
 }
 
+std::optional<int> Tlb::faulted_lookup(std::uint32_t addr) const {
+  // The hardware compares every physical slot in parallel and a priority
+  // encoder picks the newest (highest-index) match. Scan all capacity_
+  // slots — not just the recorded ones — because a valid or match line
+  // stuck at 1 activates a slot nothing was ever written to.
+  for (int slot = capacity_ - 1; slot >= 0; --slot) {
+    bool valid = slot < used();
+    // Powered-up CAM contents of an unwritten slot: all zeros.
+    std::uint32_t stored =
+        valid ? entries_[static_cast<std::size_t>(slot)].addr : 0u;
+    std::optional<bool> match_override;
+    for (const SlotFault& f : slot_faults_) {
+      if (f.slot != slot) continue;
+      switch (f.site) {
+        case SlotFault::Site::EntryBit:
+          if (f.value)
+            stored |= 1u << f.bit;
+          else
+            stored &= ~(1u << f.bit);
+          break;
+        case SlotFault::Site::Valid:
+          valid = f.value;
+          break;
+        case SlotFault::Site::Match:
+          match_override = f.value;
+          break;
+      }
+    }
+    const bool match =
+        match_override ? *match_override : (valid && stored == addr);
+    if (match) return slot;  // spare index == slot index
+  }
+  return std::nullopt;
+}
+
 std::optional<int> Tlb::record(std::uint32_t addr, bool force_new) {
   if (!force_new) {
+    // Pass-1 dedup rides the same (possibly faulty) comparators the
+    // normal-mode diversion uses.
     if (const auto existing = lookup(addr)) return existing;
   }
   if (full()) return std::nullopt;
@@ -26,5 +64,23 @@ std::optional<int> Tlb::record(std::uint32_t addr, bool force_new) {
 }
 
 void Tlb::clear() { entries_.clear(); }
+
+void Tlb::add_fault(SlotFault f) {
+  require(f.slot >= 0 && f.slot < capacity_, "Tlb: fault slot out of range");
+  require(f.bit >= 0 && f.bit < 32, "Tlb: fault bit out of range");
+  slot_faults_.push_back(f);
+}
+
+void Tlb::inject_entry_bit_stuck(int slot, int bit, bool value) {
+  add_fault({SlotFault::Site::EntryBit, slot, bit, value});
+}
+
+void Tlb::inject_valid_stuck(int slot, bool value) {
+  add_fault({SlotFault::Site::Valid, slot, 0, value});
+}
+
+void Tlb::inject_match_stuck(int slot, bool value) {
+  add_fault({SlotFault::Site::Match, slot, 0, value});
+}
 
 }  // namespace bisram::sim

@@ -10,6 +10,13 @@
 // any faulty row — spare or non-spare — can be replaced under the
 // 2k-pass scheme (a faulty spare's address simply earns a newer entry
 // mapping it to the next spare).
+//
+// Because the TLB itself occupies silicon, it can also be *defective*:
+// the inject_* hooks model stuck-at defects in the CAM slots (entry
+// bits, valid flip-flops, match lines) so the infra-fault campaigns
+// (sim/infra_faults.hpp) can ask whether a broken repair engine fails
+// safe or silently escapes. With no injected faults the lookup/record
+// paths are bit-for-bit the original fault-free logic.
 
 #include <cstdint>
 #include <optional>
@@ -38,6 +45,8 @@ class Tlb {
   /// entry supersedes the old one. Returns nullopt when out of spares.
   std::optional<int> record(std::uint32_t addr, bool force_new = false);
 
+  /// Forgets all recorded entries (injected hardware faults persist —
+  /// clearing the CAM does not heal silicon).
   void clear();
 
   struct Entry {
@@ -46,9 +55,40 @@ class Tlb {
   };
   const std::vector<Entry>& entries() const { return entries_; }
 
+  // --- infrastructure fault hooks (sim/infra_faults.hpp) -------------------
+  // Physical slot s holds the s-th recorded entry and maps to spare s
+  // (the strictly increasing assignment), so slot indices address the
+  // hardware directly.
+
+  /// Address bit `bit` of slot `slot`'s CAM word reads as `value` forever.
+  void inject_entry_bit_stuck(int slot, int bit, bool value);
+  /// Slot `slot`'s valid flip-flop is stuck: stuck-at-0 makes the entry
+  /// invisible to the comparators (a recorded repair is silently lost);
+  /// stuck-at-1 makes the slot match its powered-up CAM contents
+  /// (modelled as address 0) before anything was recorded there.
+  void inject_valid_stuck(int slot, bool value);
+  /// Slot `slot`'s match line is stuck: stuck-at-1 diverts *every*
+  /// access to that spare; stuck-at-0 never diverts.
+  void inject_match_stuck(int slot, bool value);
+
+  bool has_infra_faults() const { return !slot_faults_.empty(); }
+
  private:
+  struct SlotFault {
+    enum class Site : std::uint8_t { EntryBit, Valid, Match };
+    Site site;
+    int slot;
+    int bit;     // EntryBit only
+    bool value;  // stuck-at value
+  };
+
+  /// Slot-descending (newest-wins) CAM scan honouring injected faults.
+  std::optional<int> faulted_lookup(std::uint32_t addr) const;
+  void add_fault(SlotFault f);
+
   int capacity_;
   std::vector<Entry> entries_;
+  std::vector<SlotFault> slot_faults_;
 };
 
 }  // namespace bisram::sim

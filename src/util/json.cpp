@@ -1,0 +1,143 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace bisram {
+
+void JsonWriter::raw_escaped(std::string_view s) {
+  out_ += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    require(out_.empty(), "JsonWriter: multiple top-level values");
+    return;
+  }
+  if (stack_.back() == Ctx::Object) {
+    require(have_key_, "JsonWriter: object member needs a key");
+    have_key_ = false;
+    return;
+  }
+  if (need_comma_) out_ += ',';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back(Ctx::Object);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  require(!stack_.empty() && stack_.back() == Ctx::Object,
+          "JsonWriter: end_object outside an object");
+  require(!have_key_, "JsonWriter: dangling key at end_object");
+  out_ += '}';
+  stack_.pop_back();
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back(Ctx::Array);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  require(!stack_.empty() && stack_.back() == Ctx::Array,
+          "JsonWriter: end_array outside an array");
+  out_ += ']';
+  stack_.pop_back();
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  require(!stack_.empty() && stack_.back() == Ctx::Object,
+          "JsonWriter: key outside an object");
+  require(!have_key_, "JsonWriter: two keys in a row");
+  if (need_comma_) out_ += ',';
+  raw_escaped(name);
+  out_ += ':';
+  have_key_ = true;
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  raw_escaped(s);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();
+  before_value();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  out_ += buf;
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  need_comma_ = true;
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  require(stack_.empty(), "JsonWriter: unterminated object or array");
+  return out_;
+}
+
+}  // namespace bisram

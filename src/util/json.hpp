@@ -1,0 +1,56 @@
+#pragma once
+// Minimal JSON emitter for the benchmark harnesses' --json mode. Builds
+// a document incrementally with automatic comma placement and string
+// escaping; no parsing, no DOM — the reports are write-only. Kept
+// dependency-free on purpose (the container ships no JSON library).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bisram {
+
+/// Streaming JSON writer. Usage:
+///   JsonWriter j;
+///   j.begin_object();
+///   j.key("trials").value(100);
+///   j.key("rates").begin_array().value(0.5).value(0.25).end_array();
+///   j.end_object();
+///   puts(j.str().c_str());
+/// Calls must nest correctly; keys are required inside objects and
+/// forbidden elsewhere (checked with util/error.hpp's require).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits the key of the next object member.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);  ///< non-finite values emit null
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// The finished document; requires every container to be closed.
+  const std::string& str() const;
+
+ private:
+  enum class Ctx : std::uint8_t { Object, Array };
+  void before_value();
+  void raw_escaped(std::string_view s);
+
+  std::string out_;
+  std::vector<Ctx> stack_;
+  bool need_comma_ = false;
+  bool have_key_ = false;
+};
+
+}  // namespace bisram

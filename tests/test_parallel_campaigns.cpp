@@ -18,6 +18,7 @@
 #include "models/yield.hpp"
 #include "sim/baselines.hpp"
 #include "sim/fault_sim.hpp"
+#include "sim/infra_faults.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -234,6 +235,40 @@ TEST(ThreadInvariance, BaselineComparisonCampaign) {
         EXPECT_EQ(ref.bisramgen, got.bisramgen) << threads;
         EXPECT_EQ(ref.chen_sunada, got.chen_sunada) << threads;
         EXPECT_EQ(ref.sawada, got.sawada) << threads;
+      });
+}
+
+TEST(ThreadInvariance, InfraFaultCampaign) {
+  sim::InfraTrialConfig cfg;
+  cfg.array_faults = 1;
+  expect_thread_invariant(
+      [&] { return sim::infra_fault_campaign(small_geo(), cfg, 96, 13); },
+      [](const sim::InfraCampaignReport& ref,
+         const sim::InfraCampaignReport& got, int threads) {
+        EXPECT_EQ(ref.trials, got.trials) << threads;
+        for (int k = 0; k < sim::kInfraFaultKindCount; ++k)
+          for (int o = 0; o < sim::kInfraOutcomeCount; ++o)
+            EXPECT_EQ(ref.count(static_cast<sim::InfraFaultKind>(k),
+                                static_cast<sim::InfraOutcome>(o)),
+                      got.count(static_cast<sim::InfraFaultKind>(k),
+                                static_cast<sim::InfraOutcome>(o)))
+                << threads << " threads, kind " << k << ", outcome " << o;
+      });
+}
+
+TEST(ThreadInvariance, YieldInfraMonteCarloCampaign) {
+  expect_thread_invariant(
+      [&] {
+        return models::bisr_yield_mc_with_infra(small_geo(), 2.0, 2.0, 1.05,
+                                                0.08, 80, 7);
+      },
+      [](const models::BisrYieldMcInfra& ref,
+         const models::BisrYieldMcInfra& got, int threads) {
+        EXPECT_EQ(ref.bist_reported_good, got.bist_reported_good) << threads;
+        EXPECT_EQ(ref.effective_good, got.effective_good) << threads;
+        EXPECT_EQ(ref.escape, got.escape) << threads;
+        EXPECT_EQ(ref.safe_fail, got.safe_fail) << threads;
+        EXPECT_EQ(ref.hung, got.hung) << threads;
       });
 }
 

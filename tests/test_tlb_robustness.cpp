@@ -1,0 +1,151 @@
+// Robustness properties of the TLB repair structure: newest-entry-wins
+// priority under remap chains, behaviour exactly at capacity, and the
+// CAM-slot fault hooks that the infra-fault campaigns build on.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "sim/tlb.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bisram::sim {
+namespace {
+
+TEST(TlbRobustness, ForceNewRemapChainAlwaysResolvesToTheNewestSpare) {
+  // The 2k-pass flow remaps an address whose assigned spare proved faulty:
+  // every force_new record must supersede all earlier entries for that
+  // address, however long the chain grows.
+  Tlb tlb(8);
+  EXPECT_EQ(tlb.record(42, false), std::optional<int>(0));
+  for (int expected = 1; expected < 8; ++expected) {
+    EXPECT_EQ(tlb.record(42, true), std::optional<int>(expected));
+    EXPECT_EQ(tlb.lookup(42), std::optional<int>(expected));
+  }
+  // All eight slots now hold address 42; the priority encoder must still
+  // pick the newest.
+  EXPECT_TRUE(tlb.full());
+  EXPECT_EQ(tlb.lookup(42), std::optional<int>(7));
+}
+
+TEST(TlbRobustness, OverflowAtExactCapacity) {
+  Tlb tlb(4);
+  for (std::uint32_t a = 0; a < 4; ++a)
+    EXPECT_EQ(tlb.record(a), std::optional<int>(static_cast<int>(a)));
+  EXPECT_TRUE(tlb.full());
+  // The next distinct address overflows; the already-mapped ones dedup.
+  EXPECT_EQ(tlb.record(99), std::nullopt);
+  EXPECT_EQ(tlb.record(2), std::optional<int>(2));
+  // A force_new on a mapped address also needs a fresh slot: overflow.
+  EXPECT_EQ(tlb.record(2, true), std::nullopt);
+  EXPECT_EQ(tlb.lookup(2), std::optional<int>(2));  // old mapping intact
+}
+
+TEST(TlbRobustness, RandomRecordSequenceMatchesReferenceMap) {
+  // Property-style check against a trivially correct model: a map from
+  // address to the latest assigned spare, spares handed out 0,1,2,...
+  const int capacity = 16;
+  Tlb tlb(capacity);
+  std::map<std::uint32_t, int> reference;
+  int next_spare = 0;
+  Rng rng(2718);
+  for (int i = 0; i < 400; ++i) {
+    const std::uint32_t addr = static_cast<std::uint32_t>(rng.below(24));
+    const bool force_new = rng.chance(0.3);
+    const auto got = tlb.record(addr, force_new);
+    if (!force_new && reference.count(addr)) {
+      EXPECT_EQ(got, std::optional<int>(reference[addr])) << "i=" << i;
+    } else if (next_spare < capacity) {
+      EXPECT_EQ(got, std::optional<int>(next_spare)) << "i=" << i;
+      reference[addr] = next_spare++;
+    } else {
+      EXPECT_EQ(got, std::nullopt) << "i=" << i;
+    }
+    for (const auto& [a, spare] : reference)
+      EXPECT_EQ(tlb.lookup(a), std::optional<int>(spare)) << "i=" << i;
+  }
+}
+
+TEST(TlbRobustness, ValidStuck0HidesARecordedRepair) {
+  // The dangerous direction for a valid flip-flop: the repair was
+  // recorded, then the stuck-at-0 valid bit silently drops it — accesses
+  // go back to the faulty regular word.
+  Tlb tlb(4);
+  tlb.record(7);
+  tlb.record(9);
+  EXPECT_EQ(tlb.lookup(9), std::optional<int>(1));
+  tlb.inject_valid_stuck(1, false);
+  EXPECT_TRUE(tlb.has_infra_faults());
+  EXPECT_EQ(tlb.lookup(9), std::nullopt);
+  EXPECT_EQ(tlb.lookup(7), std::optional<int>(0));  // other slots unharmed
+}
+
+TEST(TlbRobustness, ValidStuck1ActivatesThePoweredUpSlot) {
+  // An unwritten CAM slot powers up as all zeros: valid stuck-at-1 makes
+  // it a live entry for address 0.
+  Tlb tlb(4);
+  tlb.inject_valid_stuck(2, true);
+  EXPECT_EQ(tlb.lookup(0), std::optional<int>(2));
+  EXPECT_EQ(tlb.lookup(1), std::nullopt);
+}
+
+TEST(TlbRobustness, EntryBitStuckDivertsTheWrongAddress) {
+  // Slot 0 records address 5 (101b) but bit 0 is stuck at 0: the CAM now
+  // holds 4, so address 4 is wrongly diverted and address 5 — the faulty
+  // word the entry was supposed to repair — is not.
+  Tlb tlb(4);
+  tlb.record(5);
+  tlb.inject_entry_bit_stuck(0, 0, false);
+  EXPECT_EQ(tlb.lookup(5), std::nullopt);
+  EXPECT_EQ(tlb.lookup(4), std::optional<int>(0));
+}
+
+TEST(TlbRobustness, MatchStuckDominatesTheComparator) {
+  Tlb tlb(4);
+  tlb.record(3);
+  // Stuck-at-0: the recorded repair never diverts.
+  tlb.inject_match_stuck(0, false);
+  EXPECT_EQ(tlb.lookup(3), std::nullopt);
+  // Stuck-at-1 on a higher slot: every address diverts there (newest
+  // wins, and slot 2 outranks slot 0).
+  tlb.inject_match_stuck(2, true);
+  EXPECT_EQ(tlb.lookup(3), std::optional<int>(2));
+  EXPECT_EQ(tlb.lookup(1000), std::optional<int>(2));
+}
+
+TEST(TlbRobustness, ClearForgetsEntriesButNotSiliconFaults) {
+  Tlb tlb(4);
+  tlb.record(11);
+  tlb.inject_match_stuck(3, true);
+  tlb.clear();
+  EXPECT_EQ(tlb.used(), 0);
+  EXPECT_TRUE(tlb.has_infra_faults());
+  EXPECT_EQ(tlb.lookup(11), std::optional<int>(3));  // stuck line still fires
+}
+
+TEST(TlbRobustness, FaultFreePathIsUntouched) {
+  // No injected faults: lookups hit the original back-scan; the hooks
+  // must not perturb results or bookkeeping.
+  Tlb tlb(4);
+  EXPECT_FALSE(tlb.has_infra_faults());
+  tlb.record(1);
+  tlb.record(2);
+  tlb.record(1, true);
+  EXPECT_EQ(tlb.lookup(1), std::optional<int>(2));
+  EXPECT_EQ(tlb.lookup(2), std::optional<int>(1));
+  EXPECT_EQ(tlb.lookup(3), std::nullopt);
+  EXPECT_EQ(tlb.used(), 3);
+}
+
+TEST(TlbRobustness, InjectionHooksValidateTheirArguments) {
+  Tlb tlb(4);
+  EXPECT_THROW(tlb.inject_valid_stuck(4, true), SpecError);
+  EXPECT_THROW(tlb.inject_valid_stuck(-1, true), SpecError);
+  EXPECT_THROW(tlb.inject_entry_bit_stuck(0, 32, true), SpecError);
+  EXPECT_THROW(tlb.inject_match_stuck(7, false), SpecError);
+}
+
+}  // namespace
+}  // namespace bisram::sim
