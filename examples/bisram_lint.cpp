@@ -1,0 +1,128 @@
+// bisram_lint: unified static signoff for a generated BISR RAM.
+//
+// Runs every static check the tool has on one spec — microprogram
+// verification of the generated TRPLA (reachability, determinism,
+// hang-freedom with a derived watchdog budget), optionally the
+// per-crosspoint static fault classification, DRC on the assembled
+// layout, ERC/LVS on the instantiated leaf cells, and the exact march
+// coverage analysis — and prints one aggregated verdict.
+//
+// Usage:
+//   bisram_lint [options]
+//     --words N          number of words            (default 1024)
+//     --bpw N            bits per word              (default 16)
+//     --bpc N            bits per column, pow2      (default 4)
+//     --spares N         spare rows: 4, 8 or 16     (default 4)
+//     --gate-size X      critical gate multiplier   (default 2.0)
+//     --tech NAME        cda.5u3m1p | cda.7u3m1p | mos.6u3m1pHP
+//     --test NAME        ifa9 | ifa13 | matsp | marchc
+//     --passes N         BIST passes (>= 2)         (default 2)
+//     --microfaults      also classify every PLA crosspoint defect
+//     --no-drc           skip layout DRC
+//     --no-erc           skip leaf-cell ERC/LVS
+//     --abstract-words N product-model address space (default 8)
+//     --abstract-bpw N   product-model data width    (default 4)
+//     --json [FILE]      emit the unified JSON report (stdout or FILE)
+//
+// Exit status: 0 when the signoff is clean, 1 when any check found a
+// problem, 2 on a bad invocation or invalid spec.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "util/error.hpp"
+#include "verify/signoff.hpp"
+
+using namespace bisram;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--words N] [--bpw N] [--bpc N] [--spares N]\n"
+               "          [--gate-size X] [--tech NAME]\n"
+               "          [--test ifa9|ifa13|matsp|marchc] [--passes N]\n"
+               "          [--microfaults] [--no-drc] [--no-erc]\n"
+               "          [--abstract-words N] [--abstract-bpw N]\n"
+               "          [--json [FILE]]\n",
+               argv0);
+  std::exit(2);
+}
+
+const march::MarchTest* test_by_name(const std::string& name) {
+  if (name == "ifa9") return &march::ifa9();
+  if (name == "ifa13") return &march::ifa13();
+  if (name == "matsp") return &march::mats_plus();
+  if (name == "marchc") return &march::march_c_minus();
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::RamSpec spec;
+  spec.words = 1024;
+  spec.bpw = 16;
+  spec.bpc = 4;
+  verify::SignoffOptions options;
+  bool want_json = false;
+  std::string json_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--words") spec.words = static_cast<std::uint32_t>(std::atoll(next()));
+    else if (arg == "--bpw") spec.bpw = std::atoi(next());
+    else if (arg == "--bpc") spec.bpc = std::atoi(next());
+    else if (arg == "--spares") spec.spare_rows = std::atoi(next());
+    else if (arg == "--gate-size") spec.gate_size = std::atof(next());
+    else if (arg == "--tech") spec.technology = next();
+    else if (arg == "--passes") spec.max_passes = std::atoi(next());
+    else if (arg == "--microfaults") options.fault_mode = true;
+    else if (arg == "--no-drc") options.run_drc = false;
+    else if (arg == "--no-erc") options.run_erc_lvs = false;
+    else if (arg == "--abstract-words")
+      options.micro.words = static_cast<std::uint32_t>(std::atoll(next()));
+    else if (arg == "--abstract-bpw") options.micro.bpw = std::atoi(next());
+    else if (arg == "--json") {
+      want_json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else if (arg == "--test") {
+      const march::MarchTest* t = test_by_name(next());
+      if (!t) usage(argv[0]);
+      spec.test = t;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  try {
+    const verify::SignoffReport report = verify::run_signoff(spec, options);
+    std::fputs(report.render().c_str(), stdout);
+    if (want_json) {
+      const std::string doc = report.json();
+      if (json_path.empty()) {
+        std::printf("%s\n", doc.c_str());
+      } else {
+        std::ofstream f(json_path);
+        if (!f) {
+          std::fprintf(stderr, "bisram_lint: cannot write %s\n",
+                       json_path.c_str());
+          return 2;
+        }
+        f << doc << '\n';
+        std::printf("wrote %s\n", json_path.c_str());
+      }
+    }
+    return report.clean() ? 0 : 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "bisram_lint: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,5 +1,6 @@
 #include "microcode/pla.hpp"
 
+#include <cstring>
 #include <istream>
 #include <ostream>
 
@@ -84,11 +85,35 @@ PlaPersonality PlaPersonality::read_planes(std::istream& and_plane,
     }
     return rows;
   };
+  // Validate each plane in isolation first so the message names the
+  // exact plane, term row and column — the personality files are meant
+  // to be edited by hand, and "width mismatch" alone is not actionable.
+  auto check_plane = [](const std::vector<std::string>& rows,
+                        const char* plane, const char* alphabet) {
+    require(!rows.empty(), std::string("PLA: empty ") + plane +
+                               " plane (no personality rows; a truncated "
+                               "or comment-only file?)");
+    const std::size_t width = rows[0].size();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      require(rows[i].size() == width,
+              strfmt("PLA: %s plane term %zu is %zu columns wide but term 0 "
+                     "has %zu (ragged plane file)",
+                     plane, i, rows[i].size(), width));
+      for (std::size_t c = 0; c < rows[i].size(); ++c)
+        require(std::strchr(alphabet, rows[i][c]) != nullptr,
+                strfmt("PLA: %s plane term %zu column %zu holds '%c' "
+                       "(expected one of \"%s\")",
+                       plane, i, c, rows[i][c], alphabet));
+    }
+  };
   const auto and_rows = read_rows(and_plane);
   const auto or_rows = read_rows(or_plane);
-  require(!and_rows.empty(), "PLA: empty AND plane");
+  check_plane(and_rows, "AND", "01-");
+  check_plane(or_rows, "OR", "01");
   require(and_rows.size() == or_rows.size(),
-          "PLA: AND/OR plane term count mismatch");
+          strfmt("PLA: AND plane has %zu terms but OR plane has %zu (planes "
+                 "must pair term-for-term; is one file truncated?)",
+                 and_rows.size(), or_rows.size()));
   PlaPersonality pla(static_cast<int>(and_rows[0].size()),
                      static_cast<int>(or_rows[0].size()));
   for (std::size_t i = 0; i < and_rows.size(); ++i)

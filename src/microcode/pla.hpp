@@ -35,11 +35,26 @@ class PlaPersonality {
   /// all matching terms.
   std::vector<bool> evaluate(const std::vector<bool>& in) const;
 
-  /// True when `in` matches exactly one product term (used to verify
-  /// that generated controllers are deterministic).
+  /// Number of product terms whose AND cube matches `in` — the fan-in of
+  /// the OR plane for that input point. A deterministic controller
+  /// personality activates exactly one term per input: 0 means the input
+  /// is unspecified (pseudo-NMOS pulls every output low), >= 2 that terms
+  /// overlap and their OR rows merge. verify/microprogram.hpp sharpens
+  /// this point check to *reachable* inputs only.
   int matching_terms(const std::vector<bool>& in) const;
 
+  /// True when exactly one product term matches `in` — the per-input
+  /// determinism contract generated controllers rely on (used by the
+  /// static verifier to cross-check its transition table).
+  bool is_deterministic_for(const std::vector<bool>& in) const {
+    return matching_terms(in) == 1;
+  }
+
   /// Writes/reads the two plane files (text; '#' comment lines allowed).
+  /// read_planes throws bisram::SpecError with the offending plane, term
+  /// row and column on ragged rows, bad characters, and truncated or
+  /// empty planes — the control store is user-editable, so the loader
+  /// must say exactly what is wrong with a hand-modified program.
   void write_and_plane(std::ostream& os) const;
   void write_or_plane(std::ostream& os) const;
   static PlaPersonality read_planes(std::istream& and_plane,

@@ -72,6 +72,43 @@ microcode::PlaPersonality apply_pla_fault(const microcode::PlaPersonality& pla,
   return out;
 }
 
+std::vector<InfraFault> enumerate_pla_crosspoint_faults(
+    const microcode::PlaPersonality& pla) {
+  std::vector<InfraFault> faults;
+  auto push = [&](InfraFaultKind kind, int term, bool and_plane, int col,
+                  bool value) {
+    InfraFault f;
+    f.kind = kind;
+    f.index = term;
+    f.bit = col;
+    f.value = value;
+    f.and_plane = and_plane;
+    faults.push_back(f);
+  };
+  for (int t = 0; t < pla.terms(); ++t) {
+    const auto& term = pla.product_terms()[static_cast<std::size_t>(t)];
+    for (int i = 0; i < pla.inputs(); ++i) {
+      const char c = term.and_row[static_cast<std::size_t>(i)];
+      if (c == '-') {
+        push(InfraFaultKind::PlaCrosspointExtra, t, true, i, false);
+        push(InfraFaultKind::PlaCrosspointExtra, t, true, i, true);
+      } else {
+        push(InfraFaultKind::PlaCrosspointMissing, t, true, i, false);
+        // The complementary transistor landing next to an existing
+        // literal grounds the term line for every input.
+        push(InfraFaultKind::PlaCrosspointExtra, t, true, i, c != '1');
+      }
+    }
+    for (int j = 0; j < pla.outputs(); ++j) {
+      const bool programmed = term.or_row[static_cast<std::size_t>(j)] == '1';
+      push(programmed ? InfraFaultKind::PlaCrosspointMissing
+                      : InfraFaultKind::PlaCrosspointExtra,
+           t, false, j, false);
+    }
+  }
+  return faults;
+}
+
 InfraFault random_infra_fault(const RamGeometry& geo,
                               const microcode::AssembledController& ctrl,
                               Rng& rng) {

@@ -77,6 +77,17 @@ InfraFault random_infra_fault(const RamGeometry& geo,
                               const microcode::AssembledController& ctrl,
                               Rng& rng);
 
+/// Every single-crosspoint defect of `pla`, in a fixed deterministic
+/// order (term-major, AND columns before OR columns): a populated cell
+/// yields its missing-crosspoint fault; an empty AND cell yields both
+/// extra-literal polarities; a populated AND cell additionally yields the
+/// opposite-polarity extra (both transistors present — the term can never
+/// fire); an empty OR cell yields one extra fault. This is the exhaustive
+/// site list the static verifier (verify/fault_analysis.hpp) classifies
+/// and the dynamic campaign samples from.
+std::vector<InfraFault> enumerate_pla_crosspoint_faults(
+    const microcode::PlaPersonality& pla);
+
 // --- outcome classification -------------------------------------------------
 
 enum class InfraOutcome : std::uint8_t {

@@ -1,0 +1,217 @@
+#include "verify/fault_analysis.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "verify/product_model.hpp"
+
+namespace bisram::verify {
+
+const char* static_verdict_name(StaticVerdict v) {
+  switch (v) {
+    case StaticVerdict::Benign: return "benign";
+    case StaticVerdict::SafeFail: return "safe-fail";
+    case StaticVerdict::EscapePossible: return "escape-possible";
+    case StaticVerdict::HangPossible: return "hang-possible";
+  }
+  return "?";
+}
+
+namespace {
+
+using detail::cbit;
+using detail::DatapathDims;
+using detail::kTerminalMask;
+
+/// Solo exploration of one program over the non-signalling edges:
+/// hang-freedom, whether any reachable signalling edge asserts SigDone
+/// (SigDone wins over SigFail, as in the simulator), and the longest
+/// path to a signal when hang-free.
+struct SoloResult {
+  bool hang_free = true;
+  bool any_done = false;
+  std::uint64_t bound = 0;
+};
+
+SoloResult explore_solo(const PlaTable& table, const DatapathDims& dims,
+                        int start_code) {
+  const std::size_t dp_count = dims.size();
+  const std::size_t product =
+      dp_count * static_cast<std::size_t>(table.num_codes);
+
+  struct Frame {
+    std::size_t state;
+    int nsucc;
+    int visited_succ;
+    std::size_t succ[3];
+  };
+  std::vector<std::uint8_t> color(product, 0);
+  std::vector<std::uint32_t> bound(product, 0);
+  std::vector<Frame> frames;
+  SoloResult res;
+
+  auto open_frame = [&](std::size_t s) {
+    Frame f;
+    f.state = s;
+    f.visited_succ = 0;
+    const auto code = static_cast<int>(s / dp_count);
+    const std::size_t dp = s % dp_count;
+    const std::size_t at = table.index(code, dims.conds_of(dp));
+    const std::uint32_t controls = table.controls[at];
+    if (controls & kTerminalMask) {
+      f.nsucc = 0;
+      if (controls & cbit(microcode::Ctrl::SigDone)) res.any_done = true;
+    } else {
+      f.nsucc = dims.step(dp, controls, f.succ);
+      for (int i = 0; i < f.nsucc; ++i)
+        f.succ[i] =
+            static_cast<std::size_t>(table.next[at]) * dp_count + f.succ[i];
+    }
+    color[s] = 1;
+    frames.push_back(f);
+  };
+
+  const std::size_t start =
+      static_cast<std::size_t>(start_code) * dp_count + dims.initial();
+  open_frame(start);
+  while (!frames.empty()) {
+    Frame& f = frames.back();
+    if (f.visited_succ == f.nsucc) {
+      std::uint32_t b = 1;
+      for (int i = 0; i < f.nsucc; ++i)
+        b = std::max(b, 1 + bound[f.succ[i]]);
+      bound[f.state] = b;
+      color[f.state] = 2;
+      frames.pop_back();
+      continue;
+    }
+    const std::size_t ns = f.succ[f.visited_succ++];
+    if (color[ns] == 0) {
+      open_frame(ns);
+    } else if (color[ns] == 1) {
+      res.hang_free = false;
+      return res;
+    }
+  }
+  res.bound = bound[start];
+  return res;
+}
+
+/// Lockstep exploration of golden × faulted over a shared datapath,
+/// valid while the two programs assert identical control words (the
+/// datapath and environment then evolve identically for both). Returns
+/// true when no reachable lockstep state diverges — the faulted program
+/// is control-equivalent to golden, hence behaviorally identical.
+bool control_equivalent(const PlaTable& golden, const PlaTable& faulted,
+                        const DatapathDims& dims, int start_code) {
+  const std::size_t dp_count = dims.size();
+  const std::size_t codes = static_cast<std::size_t>(golden.num_codes);
+  const std::size_t pairs = codes * codes * dp_count;
+  std::vector<std::uint64_t> visited((pairs + 63) / 64, 0);
+  auto test_and_set = [&](std::size_t p) {
+    const std::uint64_t m = std::uint64_t{1} << (p & 63);
+    const bool was = (visited[p >> 6] & m) != 0;
+    visited[p >> 6] |= m;
+    return was;
+  };
+
+  std::vector<std::size_t> stack;
+  const std::size_t start =
+      (static_cast<std::size_t>(start_code) * codes +
+       static_cast<std::size_t>(start_code)) *
+          dp_count +
+      dims.initial();
+  test_and_set(start);
+  stack.push_back(start);
+  std::size_t succ[3];
+  while (!stack.empty()) {
+    const std::size_t s = stack.back();
+    stack.pop_back();
+    const std::size_t dp = s % dp_count;
+    const std::size_t cf = (s / dp_count) % codes;
+    const std::size_t cg = s / dp_count / codes;
+    const std::uint32_t conds = dims.conds_of(dp);
+    const std::size_t at_g = golden.index(static_cast<int>(cg), conds);
+    const std::size_t at_f = faulted.index(static_cast<int>(cf), conds);
+    if (golden.controls[at_g] != faulted.controls[at_f]) return false;
+    // Identical controls: if they signal, both machines stop here with
+    // the same outcome; otherwise both datapaths take the same step.
+    if (golden.controls[at_g] & kTerminalMask) continue;
+    const int n = dims.step(dp, golden.controls[at_g], succ);
+    for (int i = 0; i < n; ++i) {
+      const std::size_t ns =
+          (static_cast<std::size_t>(golden.next[at_g]) * codes +
+           static_cast<std::size_t>(faulted.next[at_f])) *
+              dp_count +
+          succ[i];
+      if (!test_and_set(ns)) stack.push_back(ns);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+StaticVerdict classify_pla_fault(const microcode::AssembledController& ctrl,
+                                 const PlaTable& golden,
+                                 const sim::InfraFault& fault,
+                                 const VerifyOptions& options,
+                                 std::uint64_t* worst_case_cycles) {
+  const microcode::PlaPersonality faulted_pla =
+      sim::apply_pla_fault(ctrl.pla, fault);
+  const PlaTable faulted = tabulate(faulted_pla, ctrl.state_bits);
+  const DatapathDims dims(options);
+  require(dims.size() * static_cast<std::size_t>(faulted.num_codes) <=
+              options.max_product_states,
+          "verify: fault product model exceeds max_product_states");
+
+  if (worst_case_cycles) *worst_case_cycles = 0;
+  const SoloResult solo = explore_solo(faulted, dims, ctrl.initial_state);
+  if (!solo.hang_free) return StaticVerdict::HangPossible;
+  if (worst_case_cycles) *worst_case_cycles = solo.bound;
+  if (control_equivalent(golden, faulted, dims, ctrl.initial_state))
+    return StaticVerdict::Benign;
+  return solo.any_done ? StaticVerdict::EscapePossible
+                       : StaticVerdict::SafeFail;
+}
+
+StaticFaultReport analyze_pla_faults(const microcode::AssembledController& ctrl,
+                                     const VerifyOptions& options,
+                                     int threads) {
+  const std::vector<sim::InfraFault> faults =
+      sim::enumerate_pla_crosspoint_faults(ctrl.pla);
+  const PlaTable golden = tabulate(ctrl.pla, ctrl.state_bits);
+
+  // Fold on the deterministic engine: per-fault classifications are
+  // appended in strict index order, so the report is bit-identical for
+  // any thread count.
+  StaticFaultReport report = parallel_reduce<StaticFaultReport>(
+      static_cast<std::int64_t>(faults.size()), /*chunk=*/8,
+      StaticFaultReport{},
+      [&](std::int64_t i) {
+        FaultClassification c;
+        c.fault = faults[static_cast<std::size_t>(i)];
+        c.verdict = classify_pla_fault(ctrl, golden, c.fault, options,
+                                       &c.worst_case_cycles);
+        StaticFaultReport one;
+        one.classified.push_back(c);
+        return one;
+      },
+      [](StaticFaultReport acc, StaticFaultReport part) {
+        for (auto& c : part.classified)
+          acc.classified.push_back(std::move(c));
+        return acc;
+      },
+      threads);
+
+  for (const auto& c : report.classified) {
+    ++report.histogram[static_cast<std::size_t>(c.verdict)];
+    report.max_worst_case_cycles =
+        std::max(report.max_worst_case_cycles, c.worst_case_cycles);
+  }
+  return report;
+}
+
+}  // namespace bisram::verify

@@ -1,0 +1,89 @@
+#pragma once
+// Static fault-mode analysis of the TRPLA microprogram.
+//
+// sim/infra_faults.hpp asks the robustness question dynamically: inject
+// one PLA crosspoint defect, run the whole BIST/BISR flow, classify the
+// outcome. This module answers the same question statically, for *every*
+// single missing/extra crosspoint, by re-running the product model-check
+// of verify/microprogram.hpp on the faulted personality:
+//
+//   * HangPossible — the faulted program has a reachable cycle of
+//     non-signalling edges. Possible-only: whether a real run enters the
+//     cycle depends on the array contents.
+//   * Benign — definite: a lockstep exploration of (golden code, faulted
+//     code, shared datapath) shows the faulted program asserts exactly
+//     the golden control word on every reachable cycle. State codes may
+//     differ (e.g. a next-state crosspoint fault into an equivalent
+//     path); visible behavior cannot, so every run ends as the fault-free
+//     run would.
+//   * SafeFail — definite: the faulted program diverges from golden but
+//     is hang-free and no reachable signalling edge asserts SigDone, so
+//     every run — any array, any TLB luck — ends in "Repair
+//     Unsuccessful" and the die is discarded.
+//   * EscapePossible — the program diverges and some run may reach
+//     SigDone; a defective die could be stamped good.
+//
+// Definite verdicts are sound because every PlaBistMachine run is a
+// model trajectory; the cross-validation test
+// (tests/test_verify_cross.cpp) checks them against the dynamic
+// campaign fault by fault.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/infra_faults.hpp"
+#include "verify/microprogram.hpp"
+
+namespace bisram::verify {
+
+enum class StaticVerdict : std::uint8_t {
+  Benign,         ///< control-equivalent to the fault-free program
+  SafeFail,       ///< always terminates, and only ever with SigFail
+  EscapePossible, ///< diverges; some trajectory asserts SigDone
+  HangPossible,   ///< a reachable non-signalling cycle exists
+};
+inline constexpr int kStaticVerdictCount = 4;
+
+/// Human-readable name ("benign", "safe-fail", ...).
+const char* static_verdict_name(StaticVerdict v);
+
+/// Classifies one crosspoint defect. `golden` must be tabulate(ctrl.pla,
+/// ctrl.state_bits). When the verdict is not HangPossible,
+/// `*worst_case_cycles` (if given) receives a sound bound on the faulted
+/// program's cycles until a signal — the watchdog budget under which the
+/// definite verdicts hold dynamically.
+StaticVerdict classify_pla_fault(const microcode::AssembledController& ctrl,
+                                 const PlaTable& golden,
+                                 const sim::InfraFault& fault,
+                                 const VerifyOptions& options,
+                                 std::uint64_t* worst_case_cycles = nullptr);
+
+struct FaultClassification {
+  sim::InfraFault fault;
+  StaticVerdict verdict = StaticVerdict::Benign;
+  /// Cycle bound for this faulted program (0 when HangPossible).
+  std::uint64_t worst_case_cycles = 0;
+};
+
+struct StaticFaultReport {
+  /// One entry per fault of enumerate_pla_crosspoint_faults, same order.
+  std::vector<FaultClassification> classified;
+  std::array<std::int64_t, kStaticVerdictCount> histogram{};
+  /// Max bound over the non-hang verdicts: a watchdog at least this large
+  /// cannot be tripped by any statically-definite fault.
+  std::uint64_t max_worst_case_cycles = 0;
+
+  std::int64_t count(StaticVerdict v) const {
+    return histogram[static_cast<std::size_t>(v)];
+  }
+};
+
+/// Classifies every single PLA crosspoint defect of `ctrl`. Runs on the
+/// deterministic parallel engine: bit-identical for any thread count
+/// (`threads` <= 0 means campaign_threads()).
+StaticFaultReport analyze_pla_faults(const microcode::AssembledController& ctrl,
+                                     const VerifyOptions& options = {},
+                                     int threads = 0);
+
+}  // namespace bisram::verify

@@ -1,0 +1,158 @@
+#pragma once
+// Static verification of the microcoded TRPLA controller.
+//
+// The paper trusts its 59-state controller to terminate and to drive the
+// IFA-9 march deterministically; until now the repo could only observe a
+// runaway controller *dynamically* (the watchdog in PlaBistMachine::run
+// buckets it as `hung` after the fact). This module proves those
+// properties statically, from the PLA personality alone:
+//
+//   1. The personality is tabulated into an explicit transition graph
+//      over (state-register code × condition vector) — the symbolic FSM
+//      the NOR-NOR planes encode (PlaTable).
+//   2. The graph is composed with an *exact* model of the datapath the
+//      condition bits sample: ADDGEN position/direction, the DATAGEN
+//      Johnson fill, and the retention timer evolve exactly as in
+//      sim/controller.cpp, while the environment-driven flip-flops
+//      (pass-dirty, TLB overflow) are adversarial within their hardware
+//      constraints (dirty sets only on a read cycle and clears only on
+//      ClearDirty; overflow is monotone and needs a recording read).
+//   3. Exhaustive exploration of that product then decides: unreachable
+//      states and dead product terms, nondeterminism (overlapping terms
+//      on *reachable* inputs — the sharpening of
+//      PlaPersonality::matching_terms), unspecified inputs (no matching
+//      term: the pseudo-NMOS planes float every output low), and
+//      hang/livelock — a reachable cycle that never asserts SigDone or
+//      SigFail, which no input sequence can leave. Hang-freedom comes
+//      with a sound worst-case cycle bound (longest path to a signal
+//      assertion), i.e. the verifier *derives* a watchdog budget instead
+//      of guessing one.
+//
+// Every real execution of PlaBistMachine is a trajectory of this model
+// (the adversary subsumes any RAM/TLB content), so "statically hang-free"
+// is a proof that no run — on any array fault pattern — trips the
+// watchdog, provided the budget is at least worst_case_cycles.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "microcode/controller.hpp"
+#include "microcode/pla.hpp"
+
+namespace bisram::verify {
+
+/// Datapath parameters of the product model. Defaults mirror the
+/// simulator's defaults; the cross-validation tests set them to the exact
+/// geometry of the dynamic campaign so the static verdicts are sound for
+/// it. For signoff on large modules the address/data spaces are abstract
+/// (the controller only observes AddrLast/BgLast, so modest spaces
+/// exercise every condition trace shape).
+struct VerifyOptions {
+  std::uint32_t words = 8;       ///< ADDGEN address space (>= 2)
+  int bpw = 4;                   ///< DATAGEN width: bpw+1 Johnson backgrounds
+  int timer_cycles = 3;          ///< retention-timer reload (PlaBistMachine)
+  bool johnson_backgrounds = true;
+  /// Hard cap on the explored product size (codes x datapath states);
+  /// analyze_controller throws SpecError when the model would exceed it.
+  std::size_t max_product_states = std::size_t{1} << 22;
+};
+
+/// The explicit transition graph the planes encode: next-state code and
+/// asserted-control word for every (state code, condition vector) input
+/// point, plus which product terms fire there. Input point index =
+/// code * 2^kCondCount + conds.
+struct PlaTable {
+  int state_bits = 0;
+  int num_codes = 0;  ///< 2^state_bits
+  std::vector<std::uint16_t> next;      ///< OR of matching terms' next codes
+  std::vector<std::uint32_t> controls;  ///< bit i = Ctrl i asserted
+  /// Product terms matching each input point (only when tabulated
+  /// with_terms; empty otherwise).
+  std::vector<std::vector<std::uint16_t>> matched;
+
+  std::size_t index(int code, std::uint32_t conds) const {
+    return static_cast<std::size_t>(code) *
+               (std::size_t{1} << microcode::kCondCount) +
+           conds;
+  }
+};
+
+/// Tabulates `pla` (inputs = state_bits + kCondCount, outputs =
+/// state_bits + kCtrlCount) into the explicit graph. `with_terms` also
+/// records which terms fire at each input point (used for dead-term and
+/// overlap reporting).
+PlaTable tabulate(const microcode::PlaPersonality& pla, int state_bits,
+                  bool with_terms = false);
+
+/// One PLA input point: a state-register code plus a condition vector
+/// (bit i = Cond i).
+struct InputPoint {
+  int state = 0;
+  std::uint32_t conds = 0;
+};
+
+/// Two or more product terms firing together on a reachable input.
+struct TermOverlap {
+  InputPoint at;
+  std::vector<int> terms;
+  /// The overlapping terms assert different OR rows, so the merged word
+  /// (their OR) is something no single term intended — in particular the
+  /// next-state code can be a third state.
+  bool output_conflict = false;
+};
+
+struct MicroReport {
+  int state_bits = 0;
+  int declared_states = 0;
+  int terms = 0;
+
+  std::vector<int> reachable_codes;       ///< sorted state codes entered
+  std::vector<int> unreachable_states;    ///< declared states never entered
+  std::vector<int> reachable_undeclared;  ///< codes >= declared_states entered
+  /// Terms that cannot fire even in the coarse FSM view (conditions left
+  /// free): stale microcode, e.g. terms of an orphaned state. A defect.
+  std::vector<int> dead_terms;
+  /// Terms firable in the coarse view but on no input the exact datapath
+  /// model reaches — defensive covers of condition combinations the
+  /// hardware invariants exclude (the FSM determinism contract demands
+  /// total condition coverage, so generated controllers legitimately
+  /// carry these). Informative, not an error.
+  std::vector<int> vacuous_terms;
+  std::vector<TermOverlap> overlaps;      ///< nondeterminism, reachable only
+  std::vector<InputPoint> unspecified;    ///< reachable input, no term fires
+
+  bool hang_free = false;
+  /// Witness when !hang_free: state codes along a reachable cycle from
+  /// which no input sequence asserts SigDone/SigFail.
+  std::vector<int> hang_cycle;
+  /// Valid when hang_free: sound upper bound on controller cycles until a
+  /// done/fail signal, over every input behavior — a derived watchdog
+  /// budget.
+  std::uint64_t worst_case_cycles = 0;
+
+  std::size_t product_states_explored = 0;
+
+  bool deterministic() const { return overlaps.empty() && unspecified.empty(); }
+  bool fully_reachable() const {
+    return unreachable_states.empty() && reachable_undeclared.empty();
+  }
+  bool clean() const {
+    return deterministic() && hang_free && fully_reachable() &&
+           dead_terms.empty();
+  }
+
+  /// One-paragraph human rendering; pass the controller's state names to
+  /// label unreachable states and the hang witness.
+  std::string summary(const std::vector<std::string>& state_names = {}) const;
+};
+
+/// Statically verifies `ctrl`'s microprogram against the product model.
+/// Throws SpecError when the personality's shape does not match a
+/// state-assigned controller or the product exceeds
+/// options.max_product_states.
+MicroReport analyze_controller(const microcode::AssembledController& ctrl,
+                               const VerifyOptions& options = {});
+
+}  // namespace bisram::verify

@@ -1,0 +1,148 @@
+#pragma once
+// Shared machinery of the static verifier: the exact abstract datapath
+// the product model-check composes with the PLA transition table. Kept
+// out of microprogram.hpp because only the analyzer and the fault
+// classifier need the encoding; the semantics mirror
+// sim/controller.cpp's step() cycle for cycle.
+
+#include <cstdint>
+
+#include "microcode/controller.hpp"
+#include "util/error.hpp"
+#include "verify/microprogram.hpp"
+
+namespace bisram::verify::detail {
+
+inline constexpr std::uint32_t cbit(microcode::Ctrl c) {
+  return 1u << static_cast<int>(c);
+}
+inline constexpr std::uint32_t kTerminalMask =
+    cbit(microcode::Ctrl::SigDone) | cbit(microcode::Ctrl::SigFail);
+
+/// Dimensions of the datapath state space. A datapath state packs
+/// (addr, up, ones, timer, dirty, overflow) into one index; the full
+/// product adds the state-register code as the major axis.
+struct DatapathDims {
+  std::uint32_t words;
+  int bpw;
+  int timer_cycles;
+  bool johnson;
+
+  explicit DatapathDims(const VerifyOptions& o)
+      : words(o.words), bpw(o.bpw), timer_cycles(o.timer_cycles),
+        johnson(o.johnson_backgrounds) {
+    require(words >= 2, "verify: abstract ADDGEN needs >= 2 words");
+    require(bpw >= 1, "verify: abstract DATAGEN needs >= 1 bit");
+    require(timer_cycles >= 1, "verify: timer needs >= 1 cycle");
+  }
+
+  std::size_t size() const {
+    return static_cast<std::size_t>(words) * 2 *
+           static_cast<std::size_t>(bpw + 1) *
+           static_cast<std::size_t>(timer_cycles + 1) * 4;
+  }
+
+  std::size_t encode(std::uint32_t addr, bool up, int ones, int timer,
+                     bool dirty, bool overflow) const {
+    std::size_t i = addr;
+    i = i * 2 + (up ? 1 : 0);
+    i = i * static_cast<std::size_t>(bpw + 1) + static_cast<std::size_t>(ones);
+    i = i * static_cast<std::size_t>(timer_cycles + 1) +
+        static_cast<std::size_t>(timer);
+    i = i * 4 + (dirty ? 2u : 0u) + (overflow ? 1u : 0u);
+    return i;
+  }
+
+  /// Hardware reset: ADDGEN loaded up at 0, DATAGEN at the all-0
+  /// background, timer idle, flags clear (PlaBistMachine's constructor).
+  std::size_t initial() const { return encode(0, true, 0, 0, false, false); }
+
+  /// Condition vector (bit i = Cond i) this datapath state samples at the
+  /// start of a cycle — after the timer decrement, like the simulator.
+  std::uint32_t conds_of(std::size_t dp) const {
+    const bool overflow = (dp & 1) != 0;
+    const bool dirty = (dp & 2) != 0;
+    dp /= 4;
+    const int timer =
+        static_cast<int>(dp % static_cast<std::size_t>(timer_cycles + 1));
+    dp /= static_cast<std::size_t>(timer_cycles + 1);
+    const int ones = static_cast<int>(dp % static_cast<std::size_t>(bpw + 1));
+    dp /= static_cast<std::size_t>(bpw + 1);
+    const bool up = (dp & 1) != 0;
+    const std::uint32_t addr = static_cast<std::uint32_t>(dp / 2);
+
+    const int t1 = timer > 0 ? timer - 1 : 0;
+    std::uint32_t c = 0;
+    if (up ? addr == words - 1 : addr == 0)
+      c |= 1u << static_cast<int>(microcode::Cond::AddrLast);
+    if (!johnson || ones == bpw)
+      c |= 1u << static_cast<int>(microcode::Cond::BgLast);
+    if (t1 == 0) c |= 1u << static_cast<int>(microcode::Cond::TimerDone);
+    if (dirty) c |= 1u << static_cast<int>(microcode::Cond::PassDirty);
+    if (overflow) c |= 1u << static_cast<int>(microcode::Cond::TlbOverflow);
+    return c;
+  }
+
+  /// Applies one cycle's asserted controls to datapath state `dp`,
+  /// writing the possible successors to `succ` (deduplicated) and
+  /// returning their count (1..3). The branching comes from the
+  /// adversarial environment: `m` — does this cycle's read mismatch
+  /// (possible only when DoRead is asserted) — and `n` — does the TLB
+  /// record triggered by the mismatch find no free spare. Every other
+  /// component evolves deterministically, in the simulator's signal
+  /// order: AddrStep, then the address resets, DataStep, DataReset,
+  /// ClearDirty, TimerStart.
+  int step(std::size_t dp, std::uint32_t controls, std::size_t succ[3]) const {
+    using microcode::Ctrl;
+    const bool overflow = (dp & 1) != 0;
+    const bool dirty = (dp & 2) != 0;
+    dp /= 4;
+    int timer =
+        static_cast<int>(dp % static_cast<std::size_t>(timer_cycles + 1));
+    dp /= static_cast<std::size_t>(timer_cycles + 1);
+    int ones = static_cast<int>(dp % static_cast<std::size_t>(bpw + 1));
+    dp /= static_cast<std::size_t>(bpw + 1);
+    bool up = (dp & 1) != 0;
+    std::uint32_t addr = static_cast<std::uint32_t>(dp / 2);
+
+    const int t1 = timer > 0 ? timer - 1 : 0;
+    if (controls & cbit(Ctrl::AddrStep)) {
+      const bool at_last = up ? addr == words - 1 : addr == 0;
+      if (!at_last) addr = up ? addr + 1 : addr - 1;
+    }
+    if (controls & cbit(Ctrl::AddrResetUp)) {
+      addr = 0;
+      up = true;
+    }
+    if (controls & cbit(Ctrl::AddrResetDown)) {
+      addr = words - 1;
+      up = false;
+    }
+    if ((controls & cbit(Ctrl::DataStep)) && johnson && ones < bpw) ++ones;
+    if (controls & cbit(Ctrl::DataReset)) ones = 0;
+    timer = (controls & cbit(Ctrl::TimerStart)) ? timer_cycles : t1;
+
+    const bool clear_dirty = (controls & cbit(Ctrl::ClearDirty)) != 0;
+    const bool can_mismatch = (controls & cbit(Ctrl::DoRead)) != 0;
+    const bool can_record = (controls & cbit(Ctrl::TlbRecord)) != 0;
+
+    int count = 0;
+    auto push = [&](bool d2, bool o2) {
+      const std::size_t s = encode(addr, up, ones, timer, d2, o2);
+      for (int i = 0; i < count; ++i)
+        if (succ[i] == s) return;
+      succ[count++] = s;
+    };
+    // No mismatch this cycle.
+    push(clear_dirty ? false : dirty, overflow);
+    if (can_mismatch) {
+      // Mismatch; the TLB record (if any) finds a spare...
+      push(clear_dirty ? false : true, overflow);
+      // ...or does not — overflow latches (it is never cleared).
+      if (can_record) push(clear_dirty ? false : true, true);
+    }
+    return count;
+  }
+};
+
+}  // namespace bisram::verify::detail

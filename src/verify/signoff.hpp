@@ -1,0 +1,89 @@
+#pragma once
+// Unified signoff for a generated BISR RAM: one call (and one CLI,
+// examples/bisram_lint.cpp) that runs every static check the repo has —
+// microprogram verification of the generated TRPLA, optionally the
+// per-crosspoint static fault analysis, DRC on the assembled layout,
+// ERC and LVS on the leaf cells the module instantiates, and the exact
+// march-coverage analysis of the programmed test — and aggregates the
+// verdicts into a single machine-readable report. This is the "is this
+// module safe to tape out" gate the paper's flow (Fig. 1) implies but
+// never names.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bisramgen.hpp"
+#include "march/analysis.hpp"
+#include "verify/fault_analysis.hpp"
+#include "verify/microprogram.hpp"
+
+namespace bisram::verify {
+
+struct SignoffOptions {
+  /// Datapath dimensions of the microprogram product model. The
+  /// controller only observes AddrLast/BgLast/TimerDone, so the default
+  /// abstract space exercises every condition shape without scaling with
+  /// the real array; bpw is clamped to the spec's (Johnson backgrounds
+  /// beyond the real width do not exist).
+  VerifyOptions micro;
+  /// Also statically classify every single PLA crosspoint defect
+  /// (slower: one product model-check per crosspoint site).
+  bool fault_mode = false;
+  bool run_drc = true;
+  bool run_erc_lvs = true;
+  /// DRC violation descriptions kept in the report (the count is exact).
+  std::size_t max_drc_details = 10;
+  int threads = 0;  ///< for fault_mode; <= 0 means campaign_threads()
+};
+
+struct SignoffReport {
+  // Echo of the checked spec.
+  std::uint32_t words = 0;
+  int bpw = 0;
+  int bpc = 0;
+  int spare_rows = 0;
+  std::string technology;
+  std::string test_name;
+  int max_passes = 0;
+
+  MicroReport micro;
+  std::vector<std::string> state_names;
+
+  bool fault_mode = false;
+  StaticFaultReport static_faults;
+
+  bool drc_ran = false;
+  std::size_t drc_violations = 0;
+  std::vector<std::string> drc_details;
+
+  bool erc_lvs_ran = false;
+  std::vector<std::string> erc_lvs_details;  ///< empty when clean
+
+  march::MarchAnalysis march;
+  std::uint64_t test_cycles = 0;
+
+  double area_mm2 = 0;
+  double overhead_pct = 0;
+
+  bool drc_clean() const { return !drc_ran || drc_violations == 0; }
+  bool erc_lvs_clean() const { return erc_lvs_details.empty(); }
+  /// The signoff verdict: microprogram proven clean, layout and circuits
+  /// clean, and the programmed march at least covers stuck-at faults.
+  bool clean() const {
+    return micro.clean() && drc_clean() && erc_lvs_clean() &&
+           march.detects_saf;
+  }
+
+  /// Human-readable multi-line rendering.
+  std::string render() const;
+  /// The unified machine-readable report (one JSON object).
+  std::string json() const;
+};
+
+/// Generates the module for `spec` and runs the selected checks.
+/// Throws bisram::SpecError on invalid specs.
+SignoffReport run_signoff(const core::RamSpec& spec,
+                          const SignoffOptions& options = {});
+
+}  // namespace bisram::verify

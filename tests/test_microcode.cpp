@@ -58,6 +58,56 @@ TEST(Pla, FileRoundTrip) {
   }
 }
 
+// The plane files are hand-editable ("changing these files ... is a
+// simple and straightforward matter"), so the loader must say exactly
+// what is wrong with a damaged program.
+std::string read_planes_error(const std::string& and_text,
+                              const std::string& or_text) {
+  std::istringstream and_is(and_text), or_is(or_text);
+  try {
+    PlaPersonality::read_planes(and_is, or_is);
+  } catch (const SpecError& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(Pla, ReadPlanesRejectsRaggedRows) {
+  const std::string msg = read_planes_error("10-1\n--0\n", "101\n010\n");
+  EXPECT_NE(msg.find("AND plane term 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("ragged"), std::string::npos) << msg;
+}
+
+TEST(Pla, ReadPlanesRejectsBadCharacters) {
+  // Don't-care in the OR plane: legal in the AND alphabet only.
+  const std::string or_msg = read_planes_error("10-1\n", "1-1\n");
+  EXPECT_NE(or_msg.find("OR plane term 0 column 1"), std::string::npos)
+      << or_msg;
+  EXPECT_NE(or_msg.find("'-'"), std::string::npos) << or_msg;
+  const std::string and_msg = read_planes_error("10x1\n", "101\n");
+  EXPECT_NE(and_msg.find("AND plane term 0 column 2"), std::string::npos)
+      << and_msg;
+}
+
+TEST(Pla, ReadPlanesRejectsTruncatedAndEmptyFiles) {
+  const std::string trunc = read_planes_error("10-1\n--00\n", "101\n");
+  EXPECT_NE(trunc.find("2 terms"), std::string::npos) << trunc;
+  EXPECT_NE(trunc.find("truncated"), std::string::npos) << trunc;
+  const std::string empty = read_planes_error("# only a comment\n", "101\n");
+  EXPECT_NE(empty.find("empty AND plane"), std::string::npos) << empty;
+}
+
+TEST(Pla, IsDeterministicForCountsMatchingTerms) {
+  PlaPersonality pla(2, 1);
+  pla.add_term("1-", "1");
+  pla.add_term("-1", "1");
+  EXPECT_EQ(pla.matching_terms({true, true}), 2);
+  EXPECT_FALSE(pla.is_deterministic_for({true, true}));
+  EXPECT_TRUE(pla.is_deterministic_for({true, false}));
+  EXPECT_EQ(pla.matching_terms({false, false}), 0);
+  EXPECT_FALSE(pla.is_deterministic_for({false, false}));
+}
+
 TEST(Pla, GridDimensionsForMacroGeneration) {
   PlaPersonality pla(11, 21);
   pla.add_term("-----------", "000000000000000000001");
