@@ -14,11 +14,12 @@
 
 #include <cstdio>
 
-#include <cstring>
-
 #include "march/analysis.hpp"
 #include "sim/fault_sim.hpp"
+#include "sim/packed_ram.hpp"
 #include "sim/transparent.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -28,8 +29,10 @@
 namespace {
 
 using namespace bisram;
+using sim::CampaignSpec;
 using sim::CouplingScope;
 using sim::FaultKind;
+using sim::SimKernel;
 
 sim::RamGeometry bench_geo() {
   sim::RamGeometry g;
@@ -42,16 +45,28 @@ sim::RamGeometry bench_geo() {
 
 constexpr int kTrials = 60;
 
-void print_coverage() {
-  std::printf("\n=== Section V: march-test fault coverage (%d random "
-              "single faults per cell) ===\n",
-              kTrials);
+/// Campaign fault kinds, dropped to the overlay-expressible subset when
+/// the bit-plane kernel is forced (StuckOpen/Retention have no overlay
+/// form and would be rejected by the dispatcher).
+std::vector<FaultKind> campaign_kinds(SimKernel kernel) {
   const std::vector<FaultKind> kinds = {
       FaultKind::StuckAt0,      FaultKind::StuckAt1,
       FaultKind::TransitionUp,  FaultKind::TransitionDown,
       FaultKind::CouplingState, FaultKind::CouplingIdem,
       FaultKind::StuckOpen,     FaultKind::Retention,
   };
+  if (kernel != SimKernel::Packed) return kinds;
+  std::vector<FaultKind> out;
+  for (FaultKind k : kinds)
+    if (sim::packed_supported(k)) out.push_back(k);
+  return out;
+}
+
+void print_coverage(const CampaignSpec& spec) {
+  std::printf("\n=== Section V: march-test fault coverage (%d random "
+              "single faults per cell, %s kernel) ===\n",
+              spec.trials, sim::kernel_name(spec.kernel));
+  const std::vector<FaultKind> kinds = campaign_kinds(spec.kernel);
   const std::vector<std::pair<const char*, const march::MarchTest*>> tests = {
       {"IFA-9", &march::ifa9()},       {"IFA-13", &march::ifa13()},
       {"MATS+", &march::mats_plus()},  {"March C-", &march::march_c_minus()},
@@ -64,9 +79,9 @@ void print_coverage() {
   for (FaultKind kind : kinds) {
     std::vector<std::string> row = {sim::fault_name(kind)};
     for (const auto& [name, test] : tests) {
-      const auto cov = sim::fault_coverage(*test, bench_geo(), {kind},
-                                           kTrials, true, 17);
-      row.push_back(strfmt("%.0f%%", 100.0 * cov[0].fraction()));
+      const auto cov =
+          sim::fault_coverage(*test, bench_geo(), {kind}, true, spec);
+      row.push_back(strfmt("%.0f%%", 100.0 * cov.value[0].fraction()));
     }
     t.row(row);
   }
@@ -80,13 +95,18 @@ void print_coverage() {
 
   std::printf("\nJohnson-background ablation (intra-word state coupling, "
               "IFA-9):\n");
+  // The ablation historically ran on its own stream, 12 past the main
+  // tables' seed (17 -> 29 at the defaults).
+  CampaignSpec ablation = spec;
+  ablation.seed = spec.seed + 12;
   for (bool johnson : {false, true}) {
-    const auto cov = sim::fault_coverage(
-        march::ifa9(), bench_geo(), {FaultKind::CouplingState}, kTrials,
-        johnson, 29, CouplingScope::IntraWord);
+    const auto cov =
+        sim::fault_coverage(march::ifa9(), bench_geo(),
+                            {FaultKind::CouplingState}, johnson, ablation,
+                            CouplingScope::IntraWord);
     std::printf("  %-18s %.0f%%\n",
                 johnson ? "bpw+1 backgrounds:" : "single background:",
-                100.0 * cov[0].fraction());
+                100.0 * cov.value[0].fraction());
   }
   std::printf(
       "paper check: IFA-9 covers SAF/TF/CFst/DRF; IFA-13's verifying "
@@ -116,20 +136,18 @@ void print_coverage() {
 }
 
 // Machine-readable variant of print_coverage() for --json: the same
-// campaigns, emitted as one JSON object on stdout.
-void print_coverage_json() {
-  const std::vector<FaultKind> kinds = {
-      FaultKind::StuckAt0,      FaultKind::StuckAt1,
-      FaultKind::TransitionUp,  FaultKind::TransitionDown,
-      FaultKind::CouplingState, FaultKind::CouplingIdem,
-      FaultKind::StuckOpen,     FaultKind::Retention,
-  };
+// campaigns, emitted as one JSON object (stdout or `path`), with the
+// campaign provenance — kernel, threads, seed, per-kernel trial counts —
+// so a CI artifact records exactly how the numbers were produced.
+void print_coverage_json(const CampaignSpec& spec, const std::string& path) {
+  const std::vector<FaultKind> kinds = campaign_kinds(spec.kernel);
   const std::vector<std::pair<const char*, const march::MarchTest*>> tests = {
       {"IFA-9", &march::ifa9()},       {"IFA-13", &march::ifa13()},
       {"MATS+", &march::mats_plus()},  {"March C-", &march::march_c_minus()},
       {"March X", &march::march_x()},  {"March Y", &march::march_y()},
   };
   const sim::RamGeometry geo = bench_geo();
+  sim::CampaignProvenance prov;
   JsonWriter j;
   j.begin_object();
   j.key("benchmark").value("fault_coverage");
@@ -139,11 +157,15 @@ void print_coverage_json() {
   j.key("bpc").value(geo.bpc);
   j.key("spare_rows").value(geo.spare_rows);
   j.end_object();
-  j.key("trials_per_fault").value(kTrials);
+  j.key("trials_per_fault").value(spec.trials);
   j.key("coverage").begin_array();
   for (const auto& [name, test] : tests) {
-    const auto cov = sim::fault_coverage(*test, geo, kinds, kTrials, true, 17);
-    for (const auto& c : cov) {
+    const auto cov = sim::fault_coverage(*test, geo, kinds, true, spec);
+    prov.packed_trials += cov.provenance.packed_trials;
+    prov.scalar_trials += cov.provenance.scalar_trials;
+    prov.trials += cov.provenance.trials;
+    prov.threads = cov.provenance.threads;
+    for (const auto& c : cov.value) {
       j.begin_object();
       j.key("test").value(name);
       j.key("fault").value(sim::fault_name(c.kind));
@@ -155,16 +177,40 @@ void print_coverage_json() {
   }
   j.end_array();
   j.key("johnson_ablation").begin_object();
+  CampaignSpec ablation = spec;
+  ablation.seed = spec.seed + 12;
   for (bool johnson : {false, true}) {
-    const auto cov = sim::fault_coverage(
-        march::ifa9(), geo, {FaultKind::CouplingState}, kTrials, johnson, 29,
-        CouplingScope::IntraWord);
+    const auto cov =
+        sim::fault_coverage(march::ifa9(), geo, {FaultKind::CouplingState},
+                            johnson, ablation, CouplingScope::IntraWord);
+    prov.packed_trials += cov.provenance.packed_trials;
+    prov.scalar_trials += cov.provenance.scalar_trials;
+    prov.trials += cov.provenance.trials;
     j.key(johnson ? "johnson_backgrounds" : "single_background")
-        .value(cov[0].fraction());
+        .value(cov.value[0].fraction());
   }
   j.end_object();
+  j.key("provenance").begin_object();
+  j.key("kernel").value(sim::kernel_name(spec.kernel));
+  j.key("seed").value(spec.seed);
+  j.key("threads").value(prov.threads);
+  j.key("trials").value(prov.trials);
+  j.key("packed_trials").value(prov.packed_trials);
+  j.key("scalar_trials").value(prov.scalar_trials);
   j.end_object();
-  std::printf("%s\n", j.str().c_str());
+  j.end_object();
+  if (path.empty()) {
+    std::printf("%s\n", j.str().c_str());
+  } else {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench_fault_coverage: cannot write '%s'\n",
+                   path.c_str());
+      std::exit(2);
+    }
+    std::fprintf(f, "%s\n", j.str().c_str());
+    std::fclose(f);
+  }
 }
 
 void BM_Ifa9Campaign(benchmark::State& state) {
@@ -175,6 +221,29 @@ void BM_Ifa9Campaign(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Ifa9Campaign)->Unit(benchmark::kMillisecond);
+
+// The tentpole measurement: the same single-thread campaign forced onto
+// the scalar reference engine (Arg 0) and the bit-plane packed kernel
+// (Arg 1). Identical coverage counts, different wall clock — the packed
+// kernel's word-parallel march ops are the whole difference.
+void BM_Ifa9CampaignKernel(benchmark::State& state) {
+  CampaignSpec spec;
+  spec.trials = 24;
+  spec.seed = 3;
+  spec.threads = 1;
+  spec.kernel = state.range(0) == 0 ? SimKernel::Scalar : SimKernel::Packed;
+  for (auto _ : state) {
+    const auto cov = sim::fault_coverage(
+        march::ifa9(), bench_geo(),
+        {FaultKind::StuckAt0, FaultKind::CouplingIdem}, true, spec);
+    benchmark::DoNotOptimize(cov.value[0].detected);
+  }
+  state.SetLabel(spec.kernel == SimKernel::Packed ? "packed" : "scalar");
+}
+BENCHMARK(BM_Ifa9CampaignKernel)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 // Parallel-engine scaling: the same campaign pinned to 1/2/4/8 threads.
 // Results are bit-identical across the sweep (the determinism contract,
@@ -200,14 +269,36 @@ BENCHMARK(BM_Ifa9CampaignThreads)
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --json: emit the campaign report as JSON and skip the benchmarks.
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      print_coverage_json();
-      return 0;
-    }
+  CampaignSpec spec;
+  spec.trials = kTrials;
+  spec.seed = 17;
+  bool json = false;
+  std::string json_path;
+  std::string kernel = "auto";
+  Cli cli("bench_fault_coverage",
+          "Section V march-test fault-coverage campaigns.");
+  cli.value("--trials", &spec.trials, "random faults per (test, kind) campaign")
+      .value("--seed", &spec.seed, "campaign seed")
+      .value("--threads", &spec.threads,
+             "worker threads (0 = BISRAM_THREADS or hardware)")
+      .value("--kernel", &kernel, "simulation kernel: auto|packed|scalar", "K")
+      .optional_value("--json", &json, &json_path,
+                      "emit the report as JSON (to FILE or stdout) and skip "
+                      "the benchmarks")
+      .passthrough_prefix("--benchmark_");
+  cli.parse(&argc, argv);
+  try {
+    spec.kernel = sim::kernel_by_name(kernel);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "bench_fault_coverage: %s\n%s", e.what(),
+                 cli.usage().c_str());
+    return 2;
   }
-  print_coverage();
+  if (json) {
+    print_coverage_json(spec, json_path);
+    return 0;
+  }
+  print_coverage(spec);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -9,10 +9,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
-#include <cstring>
 
 #include "models/yield.hpp"
 #include "sim/infra_faults.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
@@ -21,6 +22,7 @@
 namespace {
 
 using namespace bisram;
+using sim::CampaignSpec;
 using sim::InfraFaultKind;
 using sim::InfraOutcome;
 
@@ -35,10 +37,14 @@ sim::RamGeometry bench_geo() {
 
 constexpr int kTrials = 240;
 
-sim::InfraCampaignReport run_campaign(int array_faults, std::uint64_t seed) {
+sim::InfraCampaignReport run_campaign(int array_faults,
+                                      const CampaignSpec& base,
+                                      std::uint64_t seed_offset) {
   sim::InfraTrialConfig cfg;
   cfg.array_faults = array_faults;
-  return sim::infra_fault_campaign(bench_geo(), cfg, kTrials, seed);
+  CampaignSpec spec = base;
+  spec.seed = base.seed + seed_offset;
+  return sim::infra_fault_campaign(bench_geo(), cfg, spec).value;
 }
 
 void print_outcome_table(const sim::InfraCampaignReport& rep) {
@@ -63,15 +69,15 @@ void print_outcome_table(const sim::InfraCampaignReport& rep) {
               100.0 * rep.rate(InfraOutcome::Hung));
 }
 
-void print_report() {
+void print_report(const CampaignSpec& spec) {
   std::printf("\n=== Infrastructure fault campaign (defects in the repair "
               "machinery, %d trials) ===\n",
-              kTrials);
+              spec.trials);
   std::printf("\nclean array (the infra fault is the only defect):\n");
-  print_outcome_table(run_campaign(0, 2026));
+  print_outcome_table(run_campaign(0, spec, 0));
   std::printf("\narray additionally carrying 2 random stuck-at cells (the "
               "broken engine must actually repair):\n");
-  print_outcome_table(run_campaign(2, 2027));
+  print_outcome_table(run_campaign(2, spec, 1));
 
   std::printf("\nyield impact (alpha=2, growth 1.06, repair logic 6%% of "
               "die area):\n");
@@ -93,15 +99,14 @@ void print_report() {
               "graceful-degradation bucket.\n");
 }
 
-void print_report_json() {
+void print_report_json(const CampaignSpec& spec, const std::string& path) {
   JsonWriter j;
   j.begin_object();
   j.key("benchmark").value("infra_faults");
-  j.key("trials").value(kTrials);
+  j.key("trials").value(spec.trials);
   j.key("campaigns").begin_array();
   for (int array_faults : {0, 2}) {
-    const auto rep =
-        run_campaign(array_faults, array_faults == 0 ? 2026 : 2027);
+    const auto rep = run_campaign(array_faults, spec, array_faults == 0 ? 0 : 1);
     j.begin_object();
     j.key("array_faults").value(array_faults);
     j.key("by_kind").begin_array();
@@ -142,7 +147,18 @@ void print_report_json() {
   }
   j.end_array();
   j.end_object();
-  std::printf("%s\n", j.str().c_str());
+  if (path.empty()) {
+    std::printf("%s\n", j.str().c_str());
+  } else {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench_infra_faults: cannot write '%s'\n",
+                   path.c_str());
+      std::exit(2);
+    }
+    std::fprintf(f, "%s\n", j.str().c_str());
+    std::fclose(f);
+  }
 }
 
 void BM_InfraTrial(benchmark::State& state) {
@@ -184,14 +200,42 @@ BENCHMARK(BM_InfraCampaignThreads)
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --json: emit the campaign report as JSON and skip the benchmarks.
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      print_report_json();
-      return 0;
-    }
+  CampaignSpec spec;
+  spec.trials = kTrials;
+  spec.seed = 2026;
+  bool json = false;
+  std::string json_path;
+  std::string kernel = "auto";
+  Cli cli("bench_infra_faults",
+          "Fault-injection campaign for the repair machinery itself.");
+  cli.value("--trials", &spec.trials, "campaign trials per table")
+      .value("--seed", &spec.seed, "campaign seed")
+      .value("--threads", &spec.threads,
+             "worker threads (0 = BISRAM_THREADS or hardware)")
+      .value("--kernel", &kernel,
+             "simulation kernel: auto|scalar (infra faults have no packed "
+             "form)",
+             "K")
+      .optional_value("--json", &json, &json_path,
+                      "emit the report as JSON (to FILE or stdout) and skip "
+                      "the benchmarks")
+      .passthrough_prefix("--benchmark_");
+  cli.parse(&argc, argv);
+  try {
+    spec.kernel = sim::kernel_by_name(kernel);
+    if (spec.kernel == sim::SimKernel::Packed)
+      throw SpecError(
+          "infrastructure faults cannot run on the packed kernel");
+  } catch (const Error& e) {
+    std::fprintf(stderr, "bench_infra_faults: %s\n%s", e.what(),
+                 cli.usage().c_str());
+    return 2;
   }
-  print_report();
+  if (json) {
+    print_report_json(spec, json_path);
+    return 0;
+  }
+  print_report(spec);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -12,12 +12,16 @@
 #include <cstdio>
 
 #include "models/reliability.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace bisram;
+using sim::CampaignSpec;
 
 sim::RamGeometry fig5_geometry(int spares) {
   sim::RamGeometry g;
@@ -30,7 +34,7 @@ sim::RamGeometry fig5_geometry(int spares) {
 
 constexpr double kLambda = 1e-9;  // per cell per hour
 
-void print_fig5() {
+void print_fig5(const CampaignSpec& spec) {
   std::printf(
       "\n=== Fig. 5: reliability vs age (1024 rows, bpc=4, bpw=4, "
       "lambda=1e-6/kh/cell) ===\n");
@@ -59,11 +63,11 @@ void print_fig5() {
 
   // Monte-Carlo cross-check of the analytic curve (exact word-failure
   // pattern sampling on the deterministic parallel engine).
-  std::printf("Monte-Carlo spot checks (8 spares, 6000 trials):\n");
+  std::printf("Monte-Carlo spot checks (8 spares, %d trials):\n", spec.trials);
   for (double h : {1e5, 5e5, 1e6}) {
     const double analytic = models::reliability(fig5_geometry(8), kLambda, h);
     const double mc =
-        models::reliability_mc(fig5_geometry(8), kLambda, h, 6000, 31);
+        models::reliability_mc(fig5_geometry(8), kLambda, h, spec).value;
     std::printf("  t = %.0e h: analytic %.4f  monte-carlo %.4f\n", h,
                 analytic, mc);
   }
@@ -79,6 +83,69 @@ void print_fig5() {
       "paper shape check: early life favours fewer spares (the extra spare "
       "cells must all stay alive), late life favours more spares; MTTF "
       "grows monotonically with spares.\n");
+}
+
+// Machine-readable variant of print_fig5() for --json: the analytic
+// curves, the crossovers, the MTTF table and the Monte-Carlo spot checks
+// with their campaign provenance.
+void print_fig5_json(const CampaignSpec& spec, const std::string& path) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("benchmark").value("reliability");
+  j.key("lambda_per_hour").value(kLambda);
+  j.key("curve").begin_array();
+  for (double h : {0.0, 1e4, 5e4, 1e5, 2e5, 5e5, 1e6, 2e6, 5e6, 1e7}) {
+    j.begin_object();
+    j.key("hours").value(h);
+    j.key("no_spares").value(models::reliability(fig5_geometry(0), kLambda, h));
+    j.key("spares4").value(models::reliability(fig5_geometry(4), kLambda, h));
+    j.key("spares8").value(models::reliability(fig5_geometry(8), kLambda, h));
+    j.key("spares16").value(models::reliability(fig5_geometry(16), kLambda, h));
+    j.end_object();
+  }
+  j.end_array();
+  j.key("crossover_hours_4v8")
+      .value(models::reliability_crossover_hours(fig5_geometry(0), 4, 8,
+                                                 kLambda, 5e7));
+  j.key("crossover_hours_8v16")
+      .value(models::reliability_crossover_hours(fig5_geometry(0), 8, 16,
+                                                 kLambda, 5e7));
+  j.key("mttf_hours").begin_object();
+  for (int s : {0, 4, 8, 16})
+    j.key(("spares" + std::to_string(s)).c_str())
+        .value(models::mttf_hours(fig5_geometry(s), kLambda));
+  j.end_object();
+  j.key("mc_spot_checks").begin_array();
+  sim::CampaignProvenance prov;
+  for (double h : {1e5, 5e5, 1e6}) {
+    const auto mc = models::reliability_mc(fig5_geometry(8), kLambda, h, spec);
+    prov = mc.provenance;
+    j.begin_object();
+    j.key("hours").value(h);
+    j.key("analytic").value(models::reliability(fig5_geometry(8), kLambda, h));
+    j.key("monte_carlo").value(mc.value);
+    j.end_object();
+  }
+  j.end_array();
+  j.key("provenance").begin_object();
+  j.key("kernel").value(sim::kernel_name(spec.kernel));
+  j.key("seed").value(spec.seed);
+  j.key("threads").value(prov.threads);
+  j.key("trials_per_check").value(spec.trials);
+  j.end_object();
+  j.end_object();
+  if (path.empty()) {
+    std::printf("%s\n", j.str().c_str());
+  } else {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench_reliability: cannot write '%s'\n",
+                   path.c_str());
+      std::exit(2);
+    }
+    std::fprintf(f, "%s\n", j.str().c_str());
+    std::fclose(f);
+  }
 }
 
 void BM_ReliabilityEval(benchmark::State& state) {
@@ -98,7 +165,39 @@ BENCHMARK(BM_Mttf)->Arg(4)->Arg(16);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_fig5();
+  CampaignSpec spec;
+  spec.trials = 6000;
+  spec.seed = 31;
+  bool json = false;
+  std::string json_path;
+  std::string kernel = "auto";
+  Cli cli("bench_reliability",
+          "Fig. 5 reliability-vs-age curves, crossovers and MTTF.");
+  cli.value("--trials", &spec.trials, "Monte-Carlo trials per spot check")
+      .value("--seed", &spec.seed, "campaign seed")
+      .value("--threads", &spec.threads,
+             "worker threads (0 = BISRAM_THREADS or hardware)")
+      .value("--kernel", &kernel,
+             "simulation kernel: auto|scalar (the sampler has no RAM "
+             "simulation to pack)",
+             "K")
+      .optional_value("--json", &json, &json_path,
+                      "emit the report as JSON (to FILE or stdout) and skip "
+                      "the benchmarks")
+      .passthrough_prefix("--benchmark_");
+  cli.parse(&argc, argv);
+  try {
+    spec.kernel = sim::kernel_by_name(kernel);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "bench_reliability: %s\n%s", e.what(),
+                 cli.usage().c_str());
+    return 2;
+  }
+  if (json) {
+    print_fig5_json(spec, json_path);
+    return 0;
+  }
+  print_fig5(spec);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

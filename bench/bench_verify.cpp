@@ -11,6 +11,9 @@
 
 #include "march/march.hpp"
 #include "microcode/controller.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/parallel.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "verify/fault_analysis.hpp"
@@ -73,6 +76,64 @@ void print_verification() {
               "outcomes the dynamic campaign (bench_infra_faults) samples.\n");
 }
 
+// Machine-readable variant of print_verification() for --json.
+void print_verification_json(const std::string& path) {
+  const std::vector<std::pair<const char*, const march::MarchTest*>> tests = {
+      {"IFA-9", &march::ifa9()},
+      {"IFA-13", &march::ifa13()},
+      {"MATS+", &march::mats_plus()},
+      {"March C-", &march::march_c_minus()},
+  };
+  JsonWriter j;
+  j.begin_object();
+  j.key("benchmark").value("verify");
+  j.key("programs").begin_array();
+  for (const auto& [name, test] : tests) {
+    const auto ctrl = microcode::build_trpla(*test, 2);
+    const auto rep = verify::analyze_controller(ctrl, bench_options());
+    const auto faults = verify::analyze_pla_faults(ctrl, bench_options());
+    j.begin_object();
+    j.key("program").value(name);
+    j.key("states").value(rep.declared_states);
+    j.key("terms").value(rep.terms);
+    j.key("product_states").value(
+        static_cast<std::int64_t>(rep.product_states_explored));
+    j.key("dead_terms").value(static_cast<std::int64_t>(rep.dead_terms.size()));
+    j.key("vacuous_terms")
+        .value(static_cast<std::int64_t>(rep.vacuous_terms.size()));
+    j.key("hang_free").value(rep.hang_free);
+    j.key("worst_case_cycles")
+        .value(static_cast<std::int64_t>(rep.worst_case_cycles));
+    j.key("crosspoint_sites")
+        .value(static_cast<std::int64_t>(faults.classified.size()));
+    j.key("benign").value(
+        static_cast<std::int64_t>(faults.count(verify::StaticVerdict::Benign)));
+    j.key("safe_fail")
+        .value(static_cast<std::int64_t>(
+            faults.count(verify::StaticVerdict::SafeFail)));
+    j.key("escape_possible")
+        .value(static_cast<std::int64_t>(
+            faults.count(verify::StaticVerdict::EscapePossible)));
+    j.key("hang_possible")
+        .value(static_cast<std::int64_t>(
+            faults.count(verify::StaticVerdict::HangPossible)));
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  if (path.empty()) {
+    std::printf("%s\n", j.str().c_str());
+  } else {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench_verify: cannot write '%s'\n", path.c_str());
+      std::exit(2);
+    }
+    std::fprintf(f, "%s\n", j.str().c_str());
+    std::fclose(f);
+  }
+}
+
 void BM_AnalyzeController(benchmark::State& state) {
   const auto ctrl = microcode::build_trpla(march::ifa9(), 2);
   for (auto _ : state)
@@ -103,7 +164,26 @@ BENCHMARK(BM_ClassifyAllCrosspointFaults)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool json = false;
+  std::string json_path;
+  int threads = 0;
+  Cli cli("bench_verify",
+          "Static microprogram verification and crosspoint-fault census.");
+  cli.value("--threads", &threads,
+            "worker threads for the analyses (0 = BISRAM_THREADS or hardware)")
+      .optional_value("--json", &json, &json_path,
+                      "emit the report as JSON (to FILE or stdout) and skip "
+                      "the benchmarks")
+      .passthrough_prefix("--benchmark_");
+  cli.parse(&argc, argv);
+  const int prev = threads > 0 ? set_campaign_threads(threads) : 0;
+  if (json) {
+    print_verification_json(json_path);
+    if (threads > 0) set_campaign_threads(prev);
+    return 0;
+  }
   print_verification();
+  if (threads > 0) set_campaign_threads(prev);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -8,11 +8,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
-#include <cstring>
 
 #include "core/bisramgen.hpp"
 #include "models/wafermap.hpp"
 #include "models/yield.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
@@ -21,6 +22,7 @@
 namespace {
 
 using namespace bisram;
+using sim::CampaignSpec;
 
 sim::RamGeometry fig4_geometry(int spares) {
   sim::RamGeometry g;
@@ -44,7 +46,7 @@ double growth_factor(int spares) {
   return (base + ds.spare_mm2 + ds.bist_mm2 + ds.bisr_mm2) / base;
 }
 
-void print_fig4() {
+void print_fig4(const CampaignSpec& spec) {
   std::printf(
       "\n=== Fig. 4: yield vs defects (1024 rows, bpc=4, bpw=4, alpha=2) "
       "===\n");
@@ -69,19 +71,20 @@ void print_fig4() {
   std::printf("%s", t.render().c_str());
 
   // Monte-Carlo cross-check at a few defect means (pattern-exact model).
-  std::printf("Monte-Carlo spot checks (4 spares):\n");
+  std::printf("Monte-Carlo spot checks (4 spares, %d trials):\n", spec.trials);
   for (int d : {25, 50, 100}) {
     const double analytic =
         models::bisr_yield(fig4_geometry(4), d, alpha, g4);
-    // Sample the defect-count mixture by direct repairability averaging.
+    // Sample the defect-count mixture by direct repairability averaging;
+    // each defect count k runs on its own sub-stream of the bench seed.
     double mc = 0.0;
-    const int trials = 200;
     for (int k = 0; k < 3 * d; ++k) {
       const double pk = models::negbin_pmf(k, d * g4, alpha);
       if (pk < 1e-6) continue;
+      CampaignSpec sub = spec;
+      sub.seed = spec.seed + static_cast<std::uint64_t>(k);
       mc += pk *
-            models::repair_probability_mc(fig4_geometry(4), k, trials,
-                                          1234 + static_cast<unsigned>(k));
+            models::repair_probability_mc(fig4_geometry(4), k, sub).value;
     }
     std::printf("  defects %3d: analytic %.4f  monte-carlo %.4f\n", d,
                 analytic, mc);
@@ -106,8 +109,10 @@ void print_fig4() {
 }
 
 // Machine-readable variant of print_fig4() for --json: the analytic
-// curves plus the repair-logic discount of models::repair_logic_yield.
-void print_fig4_json() {
+// curves plus the repair-logic discount of models::repair_logic_yield
+// and an end-to-end BIST/BISR Monte-Carlo spot check with its campaign
+// provenance.
+void print_fig4_json(const CampaignSpec& spec, const std::string& path) {
   const double alpha = 2.0;
   const double g4 = growth_factor(4);
   const double g8 = growth_factor(8);
@@ -141,8 +146,41 @@ void print_fig4_json() {
     j.end_object();
   }
   j.end_array();
+  // End-to-end BIST/BISR Monte-Carlo under the unified campaign API:
+  // stuck-at-only trials, so Auto dispatches to the packed kernel.
+  {
+    sim::RamGeometry g;
+    g.words = 64;
+    g.bpw = 4;
+    g.bpc = 4;
+    g.spare_rows = 4;
+    const auto mc = models::bisr_yield_mc_with_bist(g, 3.0, alpha, g4, spec);
+    j.key("bisr_mc_spot_check").begin_object();
+    j.key("defect_mean").value(3.0);
+    j.key("bist_repaired").value(mc.value.bist_repaired);
+    j.key("strict_good").value(mc.value.strict_good);
+    j.key("provenance").begin_object();
+    j.key("kernel").value(sim::kernel_name(spec.kernel));
+    j.key("seed").value(mc.provenance.seed);
+    j.key("threads").value(mc.provenance.threads);
+    j.key("trials").value(mc.provenance.trials);
+    j.key("packed_trials").value(mc.provenance.packed_trials);
+    j.key("scalar_trials").value(mc.provenance.scalar_trials);
+    j.end_object();
+    j.end_object();
+  }
   j.end_object();
-  std::printf("%s\n", j.str().c_str());
+  if (path.empty()) {
+    std::printf("%s\n", j.str().c_str());
+  } else {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench_yield: cannot write '%s'\n", path.c_str());
+      std::exit(2);
+    }
+    std::fprintf(f, "%s\n", j.str().c_str());
+    std::fclose(f);
+  }
 }
 
 void BM_YieldCurvePoint(benchmark::State& state) {
@@ -208,14 +246,34 @@ BENCHMARK(BM_BisrYieldMcThreads)
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --json: emit the yield report as JSON and skip the benchmarks.
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      print_fig4_json();
-      return 0;
-    }
+  CampaignSpec spec;
+  spec.trials = 200;
+  spec.seed = 1234;
+  bool json = false;
+  std::string json_path;
+  std::string kernel = "auto";
+  Cli cli("bench_yield", "Fig. 4 yield-vs-defects curves and MC checks.");
+  cli.value("--trials", &spec.trials, "Monte-Carlo trials per spot check")
+      .value("--seed", &spec.seed, "campaign seed")
+      .value("--threads", &spec.threads,
+             "worker threads (0 = BISRAM_THREADS or hardware)")
+      .value("--kernel", &kernel, "simulation kernel: auto|packed|scalar", "K")
+      .optional_value("--json", &json, &json_path,
+                      "emit the report as JSON (to FILE or stdout) and skip "
+                      "the benchmarks")
+      .passthrough_prefix("--benchmark_");
+  cli.parse(&argc, argv);
+  try {
+    spec.kernel = sim::kernel_by_name(kernel);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "bench_yield: %s\n%s", e.what(), cli.usage().c_str());
+    return 2;
   }
-  print_fig4();
+  if (json) {
+    print_fig4_json(spec, json_path);
+    return 0;
+  }
+  print_fig4(spec);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -7,50 +7,25 @@
 // layout, ERC/LVS on the instantiated leaf cells, and the exact march
 // coverage analysis — and prints one aggregated verdict.
 //
-// Usage:
-//   bisram_lint [options]
-//     --words N          number of words            (default 1024)
-//     --bpw N            bits per word              (default 16)
-//     --bpc N            bits per column, pow2      (default 4)
-//     --spares N         spare rows: 4, 8 or 16     (default 4)
-//     --gate-size X      critical gate multiplier   (default 2.0)
-//     --tech NAME        cda.5u3m1p | cda.7u3m1p | mos.6u3m1pHP
-//     --test NAME        ifa9 | ifa13 | matsp | marchc
-//     --passes N         BIST passes (>= 2)         (default 2)
-//     --microfaults      also classify every PLA crosspoint defect
-//     --no-drc           skip layout DRC
-//     --no-erc           skip leaf-cell ERC/LVS
-//     --abstract-words N product-model address space (default 8)
-//     --abstract-bpw N   product-model data width    (default 4)
-//     --json [FILE]      emit the unified JSON report (stdout or FILE)
+// All flags are declared through util/cli.hpp (run with --help for the
+// generated option table).
 //
 // Exit status: 0 when the signoff is clean, 1 when any check found a
 // problem, 2 on a bad invocation or invalid spec.
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <string>
 
+#include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "verify/signoff.hpp"
 
 using namespace bisram;
 
 namespace {
-
-[[noreturn]] void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--words N] [--bpw N] [--bpc N] [--spares N]\n"
-               "          [--gate-size X] [--tech NAME]\n"
-               "          [--test ifa9|ifa13|matsp|marchc] [--passes N]\n"
-               "          [--microfaults] [--no-drc] [--no-erc]\n"
-               "          [--abstract-words N] [--abstract-bpw N]\n"
-               "          [--json [FILE]]\n",
-               argv0);
-  std::exit(2);
-}
 
 const march::MarchTest* test_by_name(const std::string& name) {
   if (name == "ifa9") return &march::ifa9();
@@ -68,39 +43,54 @@ int main(int argc, char** argv) {
   spec.bpw = 16;
   spec.bpc = 4;
   verify::SignoffOptions options;
+  std::int64_t words = spec.words;
+  std::int64_t abstract_words = options.micro.words;
+  std::string test_name;
+  bool microfaults = false;
+  bool no_drc = false;
+  bool no_erc = false;
+  int threads = 0;
   bool want_json = false;
   std::string json_path;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) usage(argv[0]);
-      return argv[++i];
-    };
-    if (arg == "--words") spec.words = static_cast<std::uint32_t>(std::atoll(next()));
-    else if (arg == "--bpw") spec.bpw = std::atoi(next());
-    else if (arg == "--bpc") spec.bpc = std::atoi(next());
-    else if (arg == "--spares") spec.spare_rows = std::atoi(next());
-    else if (arg == "--gate-size") spec.gate_size = std::atof(next());
-    else if (arg == "--tech") spec.technology = next();
-    else if (arg == "--passes") spec.max_passes = std::atoi(next());
-    else if (arg == "--microfaults") options.fault_mode = true;
-    else if (arg == "--no-drc") options.run_drc = false;
-    else if (arg == "--no-erc") options.run_erc_lvs = false;
-    else if (arg == "--abstract-words")
-      options.micro.words = static_cast<std::uint32_t>(std::atoll(next()));
-    else if (arg == "--abstract-bpw") options.micro.bpw = std::atoi(next());
-    else if (arg == "--json") {
-      want_json = true;
-      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
-    } else if (arg == "--test") {
-      const march::MarchTest* t = test_by_name(next());
-      if (!t) usage(argv[0]);
-      spec.test = t;
-    } else {
-      usage(argv[0]);
+  Cli cli("bisram_lint", "Unified static signoff for a generated BISR RAM.");
+  cli.value("--words", &words, "number of words")
+      .value("--bpw", &spec.bpw, "bits per word")
+      .value("--bpc", &spec.bpc, "bits per column (power of two)")
+      .value("--spares", &spec.spare_rows, "spare rows: 4, 8 or 16")
+      .value("--gate-size", &spec.gate_size, "critical gate multiplier", "X")
+      .value("--tech", &spec.technology,
+             "cda.5u3m1p | cda.7u3m1p | mos.6u3m1pHP", "NAME")
+      .value("--test", &test_name, "ifa9 | ifa13 | matsp | marchc", "NAME")
+      .value("--passes", &spec.max_passes, "BIST passes (>= 2)")
+      .flag("--microfaults", &microfaults,
+            "also classify every PLA crosspoint defect")
+      .flag("--no-drc", &no_drc, "skip layout DRC")
+      .flag("--no-erc", &no_erc, "skip leaf-cell ERC/LVS")
+      .value("--abstract-words", &abstract_words,
+             "product-model address space")
+      .value("--abstract-bpw", &options.micro.bpw, "product-model data width")
+      .value("--threads", &threads,
+             "worker threads for the analyses (0 = BISRAM_THREADS or "
+             "hardware)")
+      .optional_value("--json", &want_json, &json_path,
+                      "emit the unified JSON report (stdout or FILE)");
+  cli.parse(&argc, argv);
+  spec.words = static_cast<std::uint32_t>(words);
+  options.micro.words = static_cast<std::uint32_t>(abstract_words);
+  options.fault_mode = microfaults;
+  options.run_drc = !no_drc;
+  options.run_erc_lvs = !no_erc;
+  if (!test_name.empty()) {
+    const march::MarchTest* t = test_by_name(test_name);
+    if (!t) {
+      std::fprintf(stderr, "bisram_lint: unknown test '%s'\n%s",
+                   test_name.c_str(), cli.usage().c_str());
+      return 2;
     }
+    spec.test = t;
   }
+  if (threads > 0) set_campaign_threads(threads);
 
   try {
     const verify::SignoffReport report = verify::run_signoff(spec, options);

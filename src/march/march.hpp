@@ -29,6 +29,11 @@ bool is_read(Op op);
 bool op_value(Op op);
 std::string op_name(Op op);
 
+/// True when the element sweeps addresses upward. Order::Either resolves
+/// to up — the choice both simulation engines and the microcode
+/// generator share, so it lives here rather than in each of them.
+inline bool ascending(Order order) { return order != Order::Down; }
+
 /// One march element: an address sweep applying `ops` at every address,
 /// or a delay element (for data-retention testing).
 struct Element {

@@ -49,23 +49,36 @@ double reliability(const sim::RamGeometry& geo, double lambda_per_hour,
   return words_ok * spares_ok;
 }
 
-double reliability_mc(const sim::RamGeometry& geo, double lambda_per_hour,
-                      double t_hours, int trials, std::uint64_t seed) {
-  require(trials >= 1, "reliability_mc: needs >= 1 trial");
+sim::CampaignResult<double> reliability_mc(const sim::RamGeometry& geo,
+                                           double lambda_per_hour,
+                                           double t_hours,
+                                           const sim::CampaignSpec& spec) {
+  require(spec.kernel != sim::SimKernel::Packed,
+          "reliability_mc: trial body has no RAM simulation to pack; use "
+          "kernel=auto or kernel=scalar");
   const double q = word_failure_prob(geo.bpw, lambda_per_hour, t_hours);
   const std::int64_t nw = static_cast<std::int64_t>(geo.words);
   const std::int64_t s = geo.spare_words();
-  const int alive = parallel_reduce<int>(
-      trials, /*chunk=*/64, 0,
-      [&](std::int64_t t) {
-        Rng rng(stream_seed(seed, static_cast<std::uint64_t>(t)));
+  sim::CampaignResult<double> out;
+  const int alive = sim::run_campaign<int>(
+      spec, /*chunk=*/64, 0,
+      [&](Rng& rng, std::int64_t, sim::KernelTally&) {
         const std::int64_t failed_regular = binomial_count(rng, nw, q);
         if (failed_regular > s) return 0;
         const std::int64_t failed_spares = binomial_count(rng, s, q);
         return failed_spares == 0 ? 1 : 0;
       },
-      [](int a, int b) { return a + b; });
-  return static_cast<double>(alive) / trials;
+      [](int a, int b) { return a + b; }, &out.provenance);
+  out.value = static_cast<double>(alive) / spec.trials;
+  return out;
+}
+
+double reliability_mc(const sim::RamGeometry& geo, double lambda_per_hour,
+                      double t_hours, int trials, std::uint64_t seed) {
+  sim::CampaignSpec spec;
+  spec.trials = trials;
+  spec.seed = seed;
+  return reliability_mc(geo, lambda_per_hour, t_hours, spec).value;
 }
 
 double mttf_hours(const sim::RamGeometry& geo, double lambda_per_hour) {

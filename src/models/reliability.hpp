@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/campaign.hpp"
 #include "sim/ram_model.hpp"
 
 namespace bisram::models {
@@ -31,10 +32,18 @@ double reliability(const sim::RamGeometry& geo, double lambda_per_hour,
 /// Monte-Carlo estimate of R(t): samples which words have failed by
 /// t_hours (geometric-gap Bernoulli sampling over the word array) and
 /// applies the same survival criterion as the analytic formula — at most
-/// spare_words failed regular words and every spare word alive. Runs on
-/// the deterministic parallel engine: bit-identical for any
-/// BISRAM_THREADS value under a fixed seed. Cross-validates reliability()
+/// spare_words failed regular words and every spare word alive. Runs
+/// under the unified campaign API (sim/campaign.hpp): bit-identical for
+/// any thread count under a fixed seed. The trial body never touches the
+/// RAM model, so forcing SimKernel::Packed is rejected with SpecError;
+/// Auto and Scalar behave identically. Cross-validates reliability()
 /// with exact pattern semantics.
+sim::CampaignResult<double> reliability_mc(const sim::RamGeometry& geo,
+                                           double lambda_per_hour,
+                                           double t_hours,
+                                           const sim::CampaignSpec& spec);
+
+/// Deprecated forwarder (pre-CampaignSpec signature; one PR of grace).
 double reliability_mc(const sim::RamGeometry& geo, double lambda_per_hour,
                       double t_hours, int trials, std::uint64_t seed);
 

@@ -7,6 +7,7 @@
 #include "sim/bist.hpp"
 #include "sim/controller.hpp"
 #include "sim/infra_faults.hpp"
+#include "sim/packed_ram.hpp"
 #include "util/math.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -82,17 +83,16 @@ double repair_probability(const sim::RamGeometry& geo, std::int64_t defects) {
   return words_ok * spares_ok;
 }
 
-double repair_probability_mc(const sim::RamGeometry& geo,
-                             std::int64_t defects, int trials,
-                             std::uint64_t seed) {
-  require(trials >= 1, "repair_probability_mc: needs >= 1 trial");
+sim::CampaignResult<double> repair_probability_mc(
+    const sim::RamGeometry& geo, std::int64_t defects,
+    const sim::CampaignSpec& spec) {
   const std::uint64_t rows = static_cast<std::uint64_t>(geo.total_rows());
   const std::uint64_t cols = static_cast<std::uint64_t>(geo.cols());
   const int spare_words = geo.spare_words();
-  const int good = parallel_reduce<int>(
-      trials, /*chunk=*/64, 0,
-      [&](std::int64_t t) {
-        Rng rng(stream_seed(seed, static_cast<std::uint64_t>(t)));
+  sim::CampaignResult<double> out;
+  const int good = sim::run_campaign<int>(
+      spec, /*chunk=*/64, 0,
+      [&](Rng& rng, std::int64_t, sim::KernelTally&) {
         std::set<std::uint32_t> faulty_words;
         bool spare_hit = false;
         for (std::int64_t d = 0; d < defects; ++d) {
@@ -115,8 +115,18 @@ double repair_probability_mc(const sim::RamGeometry& geo,
                    ? 1
                    : 0;
       },
-      [](int a, int b) { return a + b; });
-  return static_cast<double>(good) / trials;
+      [](int a, int b) { return a + b; }, &out.provenance);
+  out.value = static_cast<double>(good) / spec.trials;
+  return out;
+}
+
+double repair_probability_mc(const sim::RamGeometry& geo,
+                             std::int64_t defects, int trials,
+                             std::uint64_t seed) {
+  sim::CampaignSpec spec;
+  spec.trials = trials;
+  spec.seed = seed;
+  return repair_probability_mc(geo, defects, spec).value;
 }
 
 double bisr_yield(const sim::RamGeometry& geo, double defect_mean,
@@ -172,26 +182,28 @@ std::vector<YieldPoint> yield_curve(sim::RamGeometry geo, int spare_rows,
   return out;
 }
 
-BisrYieldMc bisr_yield_mc_with_bist(const sim::RamGeometry& geo,
-                                    double defect_mean, double alpha,
-                                    double growth, int trials,
-                                    std::uint64_t seed) {
-  require(trials >= 1, "bisr_yield_mc_with_bist: needs >= 1 trial");
+sim::CampaignResult<BisrYieldMc> bisr_yield_mc_with_bist(
+    const sim::RamGeometry& geo, double defect_mean, double alpha,
+    double growth, const sim::CampaignSpec& spec) {
   struct Counts {
     int repaired = 0;
     int strict = 0;
   };
-  const Counts counts = parallel_reduce<Counts>(
-      trials, /*chunk=*/8, Counts{},
-      [&](std::int64_t t) {
-        Rng rng(stream_seed(seed, static_cast<std::uint64_t>(t)));
+  sim::CampaignResult<BisrYieldMc> out;
+  const Counts counts = sim::run_campaign<Counts>(
+      spec, /*chunk=*/8, Counts{},
+      [&](Rng& rng, std::int64_t, sim::KernelTally& tally) {
         // K ~ NegBin(mean = m*growth, alpha) via the Gamma-Poisson
         // mixture.
         const double m = defect_mean * growth;
         const double rate = gamma_sample(rng, alpha, m / alpha);
         const std::int64_t k = poisson_sample(rng, rate);
 
-        sim::RamModel ram(geo);
+        // Drawing the whole fault list before simulating matches the old
+        // inject-as-you-go RNG sequence exactly: FaultyArray::inject
+        // consumes no randomness.
+        std::vector<sim::Fault> faults;
+        faults.reserve(static_cast<std::size_t>(k));
         bool spare_hit = false;
         for (std::int64_t d = 0; d < k; ++d) {
           sim::Fault f;
@@ -202,13 +214,18 @@ BisrYieldMc bisr_yield_mc_with_bist(const sim::RamGeometry& geo,
                       static_cast<int>(rng.below(
                           static_cast<std::uint64_t>(geo.cols())))};
           if (f.victim.row >= geo.rows()) spare_hit = true;
-          ram.array().inject(f);
+          faults.push_back(f);
         }
         // Run the real two-pass BIST/BISR machinery. Note a StuckAt0
         // fault in a cell that every background pattern drives to 0 is
         // benign but is still *detected* by IFA-9's complement writes, so
         // this matches the analytic "any hit cell is faulty" accounting.
-        const sim::BistResult r = sim::self_test_and_repair(ram);
+        // All faults are stuck-ats, so Auto resolves to the packed
+        // bit-plane kernel for every trial.
+        sim::SimKernel used = sim::SimKernel::Scalar;
+        const sim::BistResult r =
+            sim::run_bist(geo, faults, sim::BistConfig{}, spec.kernel, &used);
+        tally.note(used);
         Counts c;
         if (r.repair_successful) {
           c.repaired = 1;
@@ -218,11 +235,21 @@ BisrYieldMc bisr_yield_mc_with_bist(const sim::RamGeometry& geo,
       },
       [](Counts a, Counts b) {
         return Counts{a.repaired + b.repaired, a.strict + b.strict};
-      });
-  BisrYieldMc out;
-  out.bist_repaired = static_cast<double>(counts.repaired) / trials;
-  out.strict_good = static_cast<double>(counts.strict) / trials;
+      },
+      &out.provenance);
+  out.value.bist_repaired = static_cast<double>(counts.repaired) / spec.trials;
+  out.value.strict_good = static_cast<double>(counts.strict) / spec.trials;
   return out;
+}
+
+BisrYieldMc bisr_yield_mc_with_bist(const sim::RamGeometry& geo,
+                                    double defect_mean, double alpha,
+                                    double growth, int trials,
+                                    std::uint64_t seed) {
+  sim::CampaignSpec spec;
+  spec.trials = trials;
+  spec.seed = seed;
+  return bisr_yield_mc_with_bist(geo, defect_mean, alpha, growth, spec).value;
 }
 
 double repair_logic_yield(double defect_mean, double alpha, double growth,

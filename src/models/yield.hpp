@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/campaign.hpp"
 #include "sim/ram_model.hpp"
 
 namespace bisram::models {
@@ -37,7 +38,17 @@ double negbin_pmf(std::int64_t k, double mean, double alpha);
 double repair_probability(const sim::RamGeometry& geo, std::int64_t defects);
 
 /// Monte-Carlo estimate of the same probability (exact pattern
-/// semantics, no independence approximation).
+/// semantics, no independence approximation), run under the unified
+/// campaign API (sim/campaign.hpp). The trial body is pure set
+/// arithmetic — no RAM simulation — so the spec's kernel choice is
+/// recorded in the provenance but does not affect the result, and the
+/// per-kernel trial counters stay zero.
+sim::CampaignResult<double> repair_probability_mc(
+    const sim::RamGeometry& geo, std::int64_t defects,
+    const sim::CampaignSpec& spec);
+
+/// Deprecated forwarder (pre-CampaignSpec signature; one PR of grace):
+/// equivalent to the overload above with CampaignSpec{trials, seed}.
 double repair_probability_mc(const sim::RamGeometry& geo,
                              std::int64_t defects, int trials,
                              std::uint64_t seed);
@@ -78,6 +89,17 @@ struct BisrYieldMc {
   double bist_repaired = 0;
   double strict_good = 0;
 };
+
+/// Unified-campaign form: trials, seed, threads and simulation kernel
+/// come from `spec`. Every sampled fault is a stuck-at cell fault, so
+/// under SimKernel::Auto all trials run on the bit-plane packed kernel
+/// (sim/packed_ram.hpp); results are bit-identical to the scalar path
+/// for every kernel and thread count.
+sim::CampaignResult<BisrYieldMc> bisr_yield_mc_with_bist(
+    const sim::RamGeometry& geo, double defect_mean, double alpha,
+    double growth, const sim::CampaignSpec& spec);
+
+/// Deprecated forwarder (pre-CampaignSpec signature; one PR of grace).
 BisrYieldMc bisr_yield_mc_with_bist(const sim::RamGeometry& geo,
                                     double defect_mean, double alpha,
                                     double growth, int trials,

@@ -23,7 +23,13 @@ bool BistEngine::run_pass(int pass, BistResult& result) {
   const int backgrounds = config_.johnson_backgrounds
                               ? datagen.background_count()
                               : 1;
+  Word readback;  // reused across the whole pass: no per-read allocation
   for (int bg = 0; bg < backgrounds; ++bg) {
+    // The generator state is constant within one background, so both
+    // write patterns are too; materializing them per word was a heap
+    // allocation on every write op.
+    const Word pattern = datagen.word(false);
+    const Word pattern_c = datagen.word(true);
     for (const auto& element : test.elements()) {
       if (element.is_delay) {
         // The embedded processor tristates the bus and waits; our clock
@@ -32,17 +38,17 @@ bool BistEngine::run_pass(int pass, BistResult& result) {
         continue;
       }
       AddGen addgen(geo.words);
-      addgen.reset(element.order != march::Order::Down);
+      addgen.reset(march::ascending(element.order));
       for (;;) {
         const std::uint32_t addr = addgen.address();
         for (march::Op op : element.ops) {
           ++result.cycles;
           if (!march::is_read(op)) {
-            ram_.write_word(addr, datagen.word(march::op_value(op)));
+            ram_.write_word(addr, march::op_value(op) ? pattern_c : pattern);
             continue;
           }
-          const Word data = ram_.read_word(addr);
-          if (!datagen.mismatch(data, march::op_value(op))) continue;
+          ram_.read_word_into(addr, readback);
+          if (!datagen.mismatch(readback, march::op_value(op))) continue;
           clean = false;
           // Record exactly as the hardware does, on every mismatching
           // read: in pass 1 the TLB's own address compare dedups repeat

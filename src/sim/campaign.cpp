@@ -1,0 +1,31 @@
+#include "sim/campaign.hpp"
+
+#include "util/error.hpp"
+
+namespace bisram::sim {
+
+const char* kernel_name(SimKernel kernel) {
+  switch (kernel) {
+    case SimKernel::Auto:
+      return "auto";
+    case SimKernel::Packed:
+      return "packed";
+    case SimKernel::Scalar:
+      return "scalar";
+  }
+  throw InternalError("kernel_name: unknown SimKernel");
+}
+
+SimKernel kernel_by_name(const std::string& name) {
+  if (name == "auto") return SimKernel::Auto;
+  if (name == "packed") return SimKernel::Packed;
+  if (name == "scalar") return SimKernel::Scalar;
+  throw SpecError("unknown simulation kernel '" + name +
+                  "' (expected auto, packed, or scalar)");
+}
+
+int resolve_campaign_threads(const CampaignSpec& spec) {
+  return spec.threads > 0 ? spec.threads : campaign_threads();
+}
+
+}  // namespace bisram::sim

@@ -1,0 +1,141 @@
+#pragma once
+// The unified Monte-Carlo campaign API.
+//
+// Every campaign in the repo (march fault coverage, BISR yield,
+// reliability, infra-fault robustness) used to carry its own ad-hoc
+// (trials, seed[, threads]) parameter convention. This header gives them
+// one front door:
+//
+//   * CampaignSpec — what to run: trial count, campaign seed, worker
+//     threads (0 = the BISRAM_THREADS / hardware default) and the
+//     simulation kernel (packed bit-plane, scalar reference, or auto
+//     per-trial dispatch — see sim/packed_ram.hpp);
+//   * CampaignProvenance — what actually ran: the resolved thread count
+//     plus how the kernel dispatch split the trials, so a report is
+//     reproducible from its own metadata;
+//   * run_campaign — the deterministic parallel engine underneath
+//     (util/parallel.hpp), handing each trial its own seed sub-stream.
+//
+// The determinism contract is inherited from parallel_reduce: for a
+// fixed spec the result is bit-identical for any thread count, and the
+// packed/scalar kernel choice is a pure function of the trial's drawn
+// fault list — never of thread placement.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace bisram::sim {
+
+/// Which simulation kernel a campaign's trials run on.
+enum class SimKernel : std::uint8_t {
+  Auto,    ///< per-trial: packed when the fault list is overlay-expressible
+  Packed,  ///< force the bit-plane kernel (throws on inexpressible faults)
+  Scalar,  ///< force the scalar reference model
+};
+
+/// "auto", "packed", "scalar".
+const char* kernel_name(SimKernel kernel);
+
+/// Inverse of kernel_name; throws SpecError on anything else.
+SimKernel kernel_by_name(const std::string& name);
+
+/// The one campaign parameter block every entry point shares.
+struct CampaignSpec {
+  int trials = 1;            ///< Monte-Carlo trials (>= 1)
+  std::uint64_t seed = 0;    ///< campaign seed (trial i uses sub-stream i)
+  int threads = 0;           ///< worker threads; 0 = BISRAM_THREADS/default
+  SimKernel kernel = SimKernel::Auto;
+};
+
+/// What actually ran — enough to reproduce and to audit the dispatch.
+struct CampaignProvenance {
+  std::uint64_t seed = 0;
+  int threads = 0;  ///< resolved worker count the campaign executed with
+  SimKernel kernel = SimKernel::Auto;  ///< the *requested* kernel
+  std::int64_t trials = 0;
+  std::int64_t packed_trials = 0;  ///< trials the bit-plane kernel ran
+  std::int64_t scalar_trials = 0;  ///< trials the scalar model ran
+};
+
+/// A campaign's outcome plus the provenance needed to reproduce it. The
+/// rewired campaign entry points (sim/fault_sim.hpp, models/yield.hpp,
+/// models/reliability.hpp, sim/infra_faults.hpp) all return this shape.
+template <typename T>
+struct CampaignResult {
+  T value{};
+  CampaignProvenance provenance;
+};
+
+/// Per-trial kernel recorder handed to the trial body; its counts fold
+/// deterministically into the provenance.
+class KernelTally {
+ public:
+  void note(SimKernel used) {
+    if (used == SimKernel::Packed)
+      ++packed_;
+    else
+      ++scalar_;
+  }
+  std::int64_t packed() const { return packed_; }
+  std::int64_t scalar() const { return scalar_; }
+
+ private:
+  std::int64_t packed_ = 0;
+  std::int64_t scalar_ = 0;
+};
+
+/// The thread count a spec resolves to (spec.threads when positive, else
+/// the BISRAM_THREADS / override / hardware default).
+int resolve_campaign_threads(const CampaignSpec& spec);
+
+/// Runs `per_trial(rng, i, tally)` for i in [0, spec.trials) on the
+/// deterministic parallel engine and folds the results with `combine`.
+/// Trial i draws from sub-stream `stream_offset + i` of spec.seed (the
+/// offset lets multi-segment campaigns like fault_coverage keep their
+/// historical stream layout). `chunk` fixes the fold association and is
+/// part of each campaign's bit-exact output contract, so it stays a
+/// per-campaign constant rather than a spec knob. When `provenance` is
+/// non-null it is filled with the resolved thread count and the
+/// packed/scalar trial split.
+template <typename T, typename PerTrial, typename Combine>
+T run_campaign(const CampaignSpec& spec, std::int64_t chunk, T identity,
+               PerTrial&& per_trial, Combine&& combine,
+               CampaignProvenance* provenance = nullptr,
+               std::uint64_t stream_offset = 0) {
+  require(spec.trials >= 1, "CampaignSpec: needs at least one trial");
+  struct Acc {
+    T value;
+    std::int64_t packed = 0;
+    std::int64_t scalar = 0;
+  };
+  Acc folded = parallel_reduce<Acc>(
+      spec.trials, chunk, Acc{identity, 0, 0},
+      [&](std::int64_t i) {
+        Rng rng(stream_seed(spec.seed,
+                            stream_offset + static_cast<std::uint64_t>(i)));
+        KernelTally tally;
+        T value = per_trial(rng, i, tally);
+        return Acc{std::move(value), tally.packed(), tally.scalar()};
+      },
+      [&](Acc a, Acc b) {
+        return Acc{combine(std::move(a.value), std::move(b.value)),
+                   a.packed + b.packed, a.scalar + b.scalar};
+      },
+      spec.threads > 0 ? spec.threads : 0);
+  if (provenance) {
+    provenance->seed = spec.seed;
+    provenance->threads = resolve_campaign_threads(spec);
+    provenance->kernel = spec.kernel;
+    provenance->trials += spec.trials;
+    provenance->packed_trials += folded.packed;
+    provenance->scalar_trials += folded.scalar;
+  }
+  return std::move(folded.value);
+}
+
+}  // namespace bisram::sim

@@ -96,8 +96,8 @@ bool PlaBistMachine::step() {
   }
   if (ctrl_on(Ctrl::DoRead)) {
     ++ram_ops_;
-    const Word data = ram_.read_word(addr);
-    if (datagen_.mismatch(data, invert)) {
+    ram_.read_word_into(addr, readback_);
+    if (datagen_.mismatch(readback_, invert)) {
       dirty_ = true;
       if (passes_started_ == 1) pass1_clean_seen_ = false;
       if (ctrl_on(Ctrl::TlbRecord)) {

@@ -83,6 +83,7 @@ class PlaBistMachine {
   int streg_stuck_mask_ = 0;
   int streg_stuck_value_ = 0;
   std::optional<microcode::PlaPersonality> pla_override_;
+  Word readback_;  ///< reused read buffer: no per-cycle allocation
 };
 
 /// Convenience: build the TRPLA for `config.test`/`config.max_passes`,

@@ -32,6 +32,7 @@ DiagnosisReport diagnose(RamModel& ram, const march::MarchTest& test) {
 
   DataGen datagen(geo.bpw);
   datagen.reset();
+  Word data;  // reused across the whole diagnosis: no per-read allocation
   for (int bg = 0; bg < datagen.background_count(); ++bg) {
     for (const auto& element : test.elements()) {
       if (element.is_delay) {
@@ -48,7 +49,7 @@ DiagnosisReport diagnose(RamModel& ram, const march::MarchTest& test) {
             continue;
           }
           ++report.reads;
-          const Word data = ram.read_word(addr);
+          ram.read_word_into(addr, data);
           for (int bit = 0; bit < geo.bpw; ++bit) {
             const bool expect =
                 datagen.bit(bit) != march::op_value(op);

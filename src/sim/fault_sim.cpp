@@ -1,5 +1,6 @@
 #include "sim/fault_sim.hpp"
 
+#include "sim/packed_ram.hpp"
 #include "util/parallel.hpp"
 
 namespace bisram::sim {
@@ -44,14 +45,47 @@ Fault random_fault(FaultKind kind, const RamGeometry& geo, Rng& rng,
 }
 
 bool detects(const march::MarchTest& test, const RamGeometry& geo,
-             const Fault& fault, bool johnson_backgrounds) {
-  RamModel ram(geo);
-  ram.array().inject(fault);
+             const Fault& fault, bool johnson_backgrounds, SimKernel kernel,
+             SimKernel* kernel_used) {
   BistConfig config;
   config.test = &test;
   config.johnson_backgrounds = johnson_backgrounds;
-  const BistResult result = BistEngine(ram, config).run();
+  const BistResult result =
+      run_bist(geo, {fault}, config, kernel, kernel_used);
   return !result.pass1_clean;
+}
+
+CampaignResult<std::vector<Coverage>> fault_coverage(
+    const march::MarchTest& test, const RamGeometry& geo,
+    const std::vector<FaultKind>& kinds, bool johnson_backgrounds,
+    const CampaignSpec& spec, CouplingScope scope) {
+  // Trial i of kind k draws from sub-stream k * trials + i of the
+  // campaign seed, so the faults sampled are a pure function of the
+  // (seed, kind, trial) triple — never of thread placement or of the
+  // kernel the trial dispatched to.
+  CampaignResult<std::vector<Coverage>> out;
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    const FaultKind kind = kinds[k];
+    Coverage cov;
+    cov.kind = kind;
+    cov.scope = scope;
+    cov.total = spec.trials;
+    cov.detected = run_campaign<int>(
+        spec, /*chunk=*/4, 0,
+        [&](Rng& rng, std::int64_t, KernelTally& tally) {
+          const Fault f = random_fault(kind, geo, rng, scope);
+          SimKernel used = SimKernel::Scalar;
+          const bool hit =
+              detects(test, geo, f, johnson_backgrounds, spec.kernel, &used);
+          tally.note(used);
+          return hit ? 1 : 0;
+        },
+        [](int a, int b) { return a + b; }, &out.provenance,
+        /*stream_offset=*/static_cast<std::uint64_t>(k) *
+            static_cast<std::uint64_t>(spec.trials));
+    out.value.push_back(cov);
+  }
+  return out;
 }
 
 std::vector<Coverage> fault_coverage(const march::MarchTest& test,
@@ -59,31 +93,11 @@ std::vector<Coverage> fault_coverage(const march::MarchTest& test,
                                      const std::vector<FaultKind>& kinds,
                                      int trials, bool johnson_backgrounds,
                                      std::uint64_t seed, CouplingScope scope) {
-  require(trials >= 1, "fault_coverage: needs at least one trial");
-  // Trial i of kind k draws from sub-stream k * trials + i of the
-  // campaign seed, so the faults sampled are a pure function of the
-  // (seed, kind, trial) triple — never of thread placement.
-  std::vector<Coverage> out;
-  for (std::size_t k = 0; k < kinds.size(); ++k) {
-    const FaultKind kind = kinds[k];
-    Coverage cov;
-    cov.kind = kind;
-    cov.scope = scope;
-    cov.total = trials;
-    cov.detected = parallel_reduce<int>(
-        trials, /*chunk=*/4, 0,
-        [&](std::int64_t i) {
-          Rng rng(stream_seed(
-              seed, static_cast<std::uint64_t>(k) *
-                        static_cast<std::uint64_t>(trials) +
-                    static_cast<std::uint64_t>(i)));
-          const Fault f = random_fault(kind, geo, rng, scope);
-          return detects(test, geo, f, johnson_backgrounds) ? 1 : 0;
-        },
-        [](int a, int b) { return a + b; });
-    out.push_back(cov);
-  }
-  return out;
+  CampaignSpec spec;
+  spec.trials = trials;
+  spec.seed = seed;
+  return fault_coverage(test, geo, kinds, johnson_backgrounds, spec, scope)
+      .value;
 }
 
 }  // namespace bisram::sim

@@ -9,6 +9,7 @@
 
 #include "march/march.hpp"
 #include "sim/bist.hpp"
+#include "sim/campaign.hpp"
 #include "sim/ram_model.hpp"
 #include "util/rng.hpp"
 
@@ -26,9 +27,15 @@ Fault random_fault(FaultKind kind, const RamGeometry& geo, Rng& rng,
                    CouplingScope scope = CouplingScope::PhysicalNeighbor);
 
 /// True when running `test` (pass 1 semantics) on a RAM containing only
-/// `fault` flags at least one mismatch.
+/// `fault` flags at least one mismatch. Runs on the requested simulation
+/// kernel (sim/packed_ram.hpp dispatch): Auto picks the bit-plane kernel
+/// whenever the fault is overlay-expressible and falls back to the
+/// scalar model otherwise; results are kernel-independent. When
+/// `kernel_used` is non-null it receives the kernel that actually ran.
 bool detects(const march::MarchTest& test, const RamGeometry& geo,
-             const Fault& fault, bool johnson_backgrounds);
+             const Fault& fault, bool johnson_backgrounds,
+             SimKernel kernel = SimKernel::Auto,
+             SimKernel* kernel_used = nullptr);
 
 /// Coverage of one fault kind over `trials` random instances.
 struct Coverage {
@@ -41,10 +48,22 @@ struct Coverage {
   }
 };
 
-/// Runs a campaign for each kind in `kinds`. Trials execute on the
-/// deterministic parallel engine (util/parallel.hpp): each trial draws
-/// from its own seed sub-stream, so the report is bit-identical for any
-/// BISRAM_THREADS value.
+/// Runs a campaign for each kind in `kinds` under the unified campaign
+/// API (sim/campaign.hpp): `spec` fixes trials-per-kind, seed, worker
+/// threads and the simulation kernel. Trials execute on the deterministic
+/// parallel engine — trial i of kind k draws from sub-stream
+/// k * spec.trials + i, so the report is bit-identical for any thread
+/// count (and for any kernel choice; the equivalence tests enforce it).
+/// The provenance's trial counters sum over all kinds.
+CampaignResult<std::vector<Coverage>> fault_coverage(
+    const march::MarchTest& test, const RamGeometry& geo,
+    const std::vector<FaultKind>& kinds, bool johnson_backgrounds,
+    const CampaignSpec& spec,
+    CouplingScope scope = CouplingScope::PhysicalNeighbor);
+
+/// Deprecated forwarder (pre-CampaignSpec signature; one PR of grace):
+/// equivalent to the overload above with CampaignSpec{trials, seed} and
+/// the provenance dropped.
 std::vector<Coverage> fault_coverage(
     const march::MarchTest& test, const RamGeometry& geo,
     const std::vector<FaultKind>& kinds, int trials, bool johnson_backgrounds,

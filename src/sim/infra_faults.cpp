@@ -191,6 +191,7 @@ bool normal_mode_readback_clean(RamModel& ram) {
     }
   };
   Word w(static_cast<std::size_t>(geo.bpw));
+  Word got;  // reused across the sweep: no per-read allocation
   for (int phase = 0; phase < 4; ++phase) {
     for (std::uint32_t a = 0; a < geo.words; ++a) {
       for (int bit = 0; bit < geo.bpw; ++bit)
@@ -198,7 +199,7 @@ bool normal_mode_readback_clean(RamModel& ram) {
       ram.write_word(a, w);
     }
     for (std::uint32_t a = 0; a < geo.words; ++a) {
-      const Word got = ram.read_word(a);
+      ram.read_word_into(a, got);
       for (int bit = 0; bit < geo.bpw; ++bit)
         if (got[static_cast<std::size_t>(bit)] != expect(a, bit, phase))
           return false;
@@ -263,10 +264,13 @@ double InfraCampaignReport::rate(InfraOutcome outcome) const {
                    static_cast<double>(trials);
 }
 
-InfraCampaignReport infra_fault_campaign(const RamGeometry& geo,
-                                         const InfraTrialConfig& config,
-                                         int trials, std::uint64_t seed) {
-  require(trials >= 1, "infra_fault_campaign: needs >= 1 trial");
+CampaignResult<InfraCampaignReport> infra_fault_campaign(
+    const RamGeometry& geo, const InfraTrialConfig& config,
+    const CampaignSpec& spec) {
+  require(spec.kernel != SimKernel::Packed,
+          "infra_fault_campaign: infrastructure faults live in the "
+          "TLB/controller machinery, which the packed kernel cannot express "
+          "as overlays; use kernel=auto or kernel=scalar");
   require(config.bist.test != nullptr, "infra_fault_campaign: null march");
   require(config.array_faults >= 0,
           "infra_fault_campaign: negative array fault count");
@@ -280,10 +284,11 @@ InfraCampaignReport infra_fault_campaign(const RamGeometry& geo,
   if (cfg.watchdog_cycles == 0)
     cfg.watchdog_cycles = auto_watchdog_cycles(geo, ctrl, config);
 
-  return parallel_reduce<InfraCampaignReport>(
-      trials, /*chunk=*/4, InfraCampaignReport{},
-      [&](std::int64_t t) {
-        Rng rng(stream_seed(seed, static_cast<std::uint64_t>(t)));
+  CampaignResult<InfraCampaignReport> out;
+  out.value = run_campaign<InfraCampaignReport>(
+      spec, /*chunk=*/4, InfraCampaignReport{},
+      [&](Rng& rng, std::int64_t, KernelTally& tally) {
+        tally.note(SimKernel::Scalar);
         const InfraFault fault = random_infra_fault(geo, ctrl, rng);
         std::vector<Fault> cell_faults;
         cell_faults.reserve(static_cast<std::size_t>(cfg.array_faults));
@@ -310,7 +315,18 @@ InfraCampaignReport infra_fault_campaign(const RamGeometry& geo,
             a.counts[k][o] += b.counts[k][o];
         a.trials += b.trials;
         return a;
-      });
+      },
+      &out.provenance);
+  return out;
+}
+
+InfraCampaignReport infra_fault_campaign(const RamGeometry& geo,
+                                         const InfraTrialConfig& config,
+                                         int trials, std::uint64_t seed) {
+  CampaignSpec spec;
+  spec.trials = trials;
+  spec.seed = seed;
+  return infra_fault_campaign(geo, config, spec).value;
 }
 
 }  // namespace bisram::sim

@@ -23,6 +23,7 @@
 
 #include "microcode/controller.hpp"
 #include "sim/bist.hpp"
+#include "sim/campaign.hpp"
 #include "sim/ram_model.hpp"
 #include "util/rng.hpp"
 
@@ -155,10 +156,20 @@ struct InfraCampaignReport {
   double rate(InfraOutcome outcome) const;
 };
 
-/// Monte-Carlo campaign: each trial injects one random infrastructure
+/// Monte-Carlo campaign under the unified campaign API
+/// (sim/campaign.hpp): each trial injects one random infrastructure
 /// fault (plus `config.array_faults` random array faults), runs the full
 /// microprogrammed BIST/BISR flow under the watchdog and classifies the
-/// outcome. Deterministic-parallel: bit-identical for any BISRAM_THREADS.
+/// outcome. Deterministic-parallel: bit-identical for any thread count.
+/// Infrastructure faults live in the TLB/controller machinery, which the
+/// bit-plane kernel cannot express as cell overlays, so every trial runs
+/// the scalar PlaBistMachine; forcing SimKernel::Packed is rejected with
+/// SpecError.
+CampaignResult<InfraCampaignReport> infra_fault_campaign(
+    const RamGeometry& geo, const InfraTrialConfig& config,
+    const CampaignSpec& spec);
+
+/// Deprecated forwarder (pre-CampaignSpec signature; one PR of grace).
 InfraCampaignReport infra_fault_campaign(const RamGeometry& geo,
                                          const InfraTrialConfig& config,
                                          int trials, std::uint64_t seed);

@@ -40,15 +40,23 @@ RamModel::RamModel(const RamGeometry& geo)
       tlb_(std::max(1, geo_.spare_words())) {}
 
 Word RamModel::read_word(std::uint32_t addr) {
+  Word w;
+  read_word_into(addr, w);
+  return w;
+}
+
+void RamModel::read_word_into(std::uint32_t addr, Word& out) {
   if (repair_enabled_) {
-    if (const auto spare = tlb_.lookup(addr)) return read_spare(*spare);
+    if (const auto spare = tlb_.lookup(addr)) {
+      read_spare_into(*spare, out);
+      return;
+    }
   }
-  Word w(static_cast<std::size_t>(geo_.bpw));
+  out.resize(static_cast<std::size_t>(geo_.bpw));
   for (int bit = 0; bit < geo_.bpw; ++bit) {
     const CellAddr c = geo_.cell_of(addr, bit);
-    w[static_cast<std::size_t>(bit)] = array_.read(c.row, c.col);
+    out[static_cast<std::size_t>(bit)] = array_.read(c.row, c.col);
   }
-  return w;
 }
 
 void RamModel::write_word(std::uint32_t addr, const Word& data) {
@@ -67,12 +75,17 @@ void RamModel::write_word(std::uint32_t addr, const Word& data) {
 }
 
 Word RamModel::read_spare(int spare) {
-  Word w(static_cast<std::size_t>(geo_.bpw));
+  Word w;
+  read_spare_into(spare, w);
+  return w;
+}
+
+void RamModel::read_spare_into(int spare, Word& out) {
+  out.resize(static_cast<std::size_t>(geo_.bpw));
   for (int bit = 0; bit < geo_.bpw; ++bit) {
     const CellAddr c = geo_.spare_cell_of(spare, bit);
-    w[static_cast<std::size_t>(bit)] = array_.read(c.row, c.col);
+    out[static_cast<std::size_t>(bit)] = array_.read(c.row, c.col);
   }
-  return w;
 }
 
 void RamModel::write_spare(int spare, const Word& data) {

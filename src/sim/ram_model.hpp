@@ -62,9 +62,16 @@ class RamModel {
   Word read_word(std::uint32_t addr);
   void write_word(std::uint32_t addr, const Word& data);
 
+  /// Allocation-free read into a caller-owned buffer (resized to bpw).
+  /// The march inner loops run millions of reads; the by-value
+  /// read_word() costs one heap allocation per call, which dominated the
+  /// scalar profile.
+  void read_word_into(std::uint32_t addr, Word& out);
+
   /// Direct spare-word access (used by tests and diagnostics).
   Word read_spare(int spare);
   void write_spare(int spare, const Word& data);
+  void read_spare_into(int spare, Word& out);
 
   /// Data-retention wait (delegates to the array's clock).
   void elapse(double seconds) { array_.elapse(seconds); }

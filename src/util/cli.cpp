@@ -1,0 +1,288 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace bisram {
+
+namespace {
+
+bool parse_int64(const std::string& s, std::int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return false;
+  *out = static_cast<std::int64_t>(v);
+  return true;
+}
+
+bool parse_uint64(const std::string& s, std::uint64_t* out) {
+  if (s.empty() || s[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_double(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+Cli& Cli::add(Opt opt) {
+  opts_.push_back(std::move(opt));
+  return *this;
+}
+
+Cli& Cli::flag(const std::string& name, bool* target,
+               const std::string& help) {
+  Opt o;
+  o.name = name;
+  o.kind = Kind::Flag;
+  o.help = help;
+  o.present = target;
+  return add(std::move(o));
+}
+
+Cli& Cli::value(const std::string& name, int* target, const std::string& help,
+                const std::string& metavar) {
+  Opt o;
+  o.name = name;
+  o.kind = Kind::Value;
+  o.metavar = metavar;
+  o.help = help;
+  o.set = [target](const std::string& s) {
+    std::int64_t v = 0;
+    if (!parse_int64(s, &v) || v < std::numeric_limits<int>::min() ||
+        v > std::numeric_limits<int>::max())
+      return false;
+    *target = static_cast<int>(v);
+    return true;
+  };
+  return add(std::move(o));
+}
+
+Cli& Cli::value(const std::string& name, std::int64_t* target,
+                const std::string& help, const std::string& metavar) {
+  Opt o;
+  o.name = name;
+  o.kind = Kind::Value;
+  o.metavar = metavar;
+  o.help = help;
+  o.set = [target](const std::string& s) { return parse_int64(s, target); };
+  return add(std::move(o));
+}
+
+Cli& Cli::value(const std::string& name, std::uint64_t* target,
+                const std::string& help, const std::string& metavar) {
+  Opt o;
+  o.name = name;
+  o.kind = Kind::Value;
+  o.metavar = metavar;
+  o.help = help;
+  o.set = [target](const std::string& s) { return parse_uint64(s, target); };
+  return add(std::move(o));
+}
+
+Cli& Cli::value(const std::string& name, double* target,
+                const std::string& help, const std::string& metavar) {
+  Opt o;
+  o.name = name;
+  o.kind = Kind::Value;
+  o.metavar = metavar;
+  o.help = help;
+  o.set = [target](const std::string& s) { return parse_double(s, target); };
+  return add(std::move(o));
+}
+
+Cli& Cli::value(const std::string& name, std::string* target,
+                const std::string& help, const std::string& metavar) {
+  Opt o;
+  o.name = name;
+  o.kind = Kind::Value;
+  o.metavar = metavar;
+  o.help = help;
+  o.set = [target](const std::string& s) {
+    *target = s;
+    return true;
+  };
+  return add(std::move(o));
+}
+
+Cli& Cli::optional_value(const std::string& name, bool* present,
+                         std::string* target, const std::string& help,
+                         const std::string& metavar) {
+  Opt o;
+  o.name = name;
+  o.kind = Kind::OptionalValue;
+  o.metavar = metavar;
+  o.help = help;
+  o.present = present;
+  o.set = [target](const std::string& s) {
+    *target = s;
+    return true;
+  };
+  return add(std::move(o));
+}
+
+Cli& Cli::passthrough_prefix(std::string prefix) {
+  passthrough_.push_back(std::move(prefix));
+  return *this;
+}
+
+const Cli::Opt* Cli::find(const std::string& name) const {
+  for (const Opt& o : opts_)
+    if (o.name == name) return &o;
+  return nullptr;
+}
+
+std::string Cli::usage() const {
+  std::string out = "usage: " + program_ + " [options]";
+  for (const std::string& p : passthrough_) out += " [" + p + "*]";
+  out += "\n";
+  if (!description_.empty()) out += description_ + "\n";
+  out += "options:\n";
+  std::size_t width = 0;
+  auto left_col = [](const Opt& o) {
+    std::string s = o.name;
+    if (o.kind == Kind::Value) s += " " + o.metavar;
+    if (o.kind == Kind::OptionalValue) s += " " + o.metavar;
+    return s;
+  };
+  for (const Opt& o : opts_) width = std::max(width, left_col(o).size());
+  for (const Opt& o : opts_) {
+    std::string col = left_col(o);
+    out += "  " + col + std::string(width - col.size() + 2, ' ') + o.help +
+           "\n";
+  }
+  out += "  --help" + std::string(width > 6 ? width - 6 + 2 : 2, ' ') +
+         "show this message and exit\n";
+  return out;
+}
+
+bool Cli::scan(const std::vector<std::string>& tokens, std::vector<bool>& kept,
+               std::string& error, bool& help_requested) const {
+  kept.assign(tokens.size(), false);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    if (tok == "--help" || tok == "-h") {
+      help_requested = true;
+      continue;
+    }
+    bool pass = false;
+    for (const std::string& p : passthrough_)
+      if (tok.compare(0, p.size(), p) == 0) pass = true;
+    if (pass) {
+      kept[i] = true;
+      continue;
+    }
+    if (tok.size() < 3 || tok.compare(0, 2, "--") != 0) {
+      error = "unexpected argument '" + tok + "'";
+      return false;
+    }
+    const std::size_t eq = tok.find('=');
+    const std::string name = tok.substr(0, eq);
+    const Opt* opt = find(name);
+    if (!opt) {
+      error = "unknown flag '" + name + "'";
+      return false;
+    }
+    const bool has_inline = eq != std::string::npos;
+    const std::string inline_value =
+        has_inline ? tok.substr(eq + 1) : std::string();
+    if (opt->present) *opt->present = true;
+    switch (opt->kind) {
+      case Kind::Flag:
+        if (has_inline) {
+          error = "flag '" + name + "' takes no value";
+          return false;
+        }
+        break;
+      case Kind::Value: {
+        std::string value = inline_value;
+        if (!has_inline) {
+          if (i + 1 >= tokens.size()) {
+            error = "flag '" + name + "' needs a value";
+            return false;
+          }
+          value = tokens[++i];
+        }
+        if (!opt->set(value)) {
+          error = "bad value '" + value + "' for '" + name + "'";
+          return false;
+        }
+        break;
+      }
+      case Kind::OptionalValue: {
+        if (has_inline) {
+          if (!opt->set(inline_value)) {
+            error = "bad value '" + inline_value + "' for '" + name + "'";
+            return false;
+          }
+        } else if (i + 1 < tokens.size() && !tokens[i + 1].empty() &&
+                   tokens[i + 1][0] != '-') {
+          if (!opt->set(tokens[++i])) {
+            error = "bad value '" + tokens[i] + "' for '" + name + "'";
+            return false;
+          }
+        }
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+bool Cli::try_parse(std::vector<std::string>& args, std::string& error,
+                    bool& help_requested) const {
+  std::vector<bool> kept;
+  help_requested = false;
+  if (!scan(args, kept, error, help_requested)) return false;
+  std::vector<std::string> remaining;
+  for (std::size_t i = 0; i < args.size(); ++i)
+    if (kept[i]) remaining.push_back(args[i]);
+  args = std::move(remaining);
+  return true;
+}
+
+void Cli::parse(int* argc, char** argv) const {
+  std::vector<std::string> tokens;
+  tokens.reserve(static_cast<std::size_t>(*argc > 0 ? *argc - 1 : 0));
+  for (int i = 1; i < *argc; ++i) tokens.emplace_back(argv[i]);
+  std::vector<bool> kept;
+  std::string error;
+  bool help = false;
+  if (!scan(tokens, kept, error, help)) {
+    std::fprintf(stderr, "%s: %s\n%s", program_.c_str(), error.c_str(),
+                 usage().c_str());
+    std::exit(2);
+  }
+  if (help) {
+    std::printf("%s", usage().c_str());
+    std::exit(0);
+  }
+  // Compact argv in place, reusing the original char* pointers so the
+  // passthrough tokens survive for e.g. benchmark::Initialize.
+  int out = 1;
+  for (std::size_t i = 0; i < kept.size(); ++i)
+    if (kept[i]) argv[out++] = argv[i + 1];
+  *argc = out;
+}
+
+}  // namespace bisram

@@ -1,0 +1,100 @@
+#pragma once
+// Tiny declarative command-line parser shared by the bench harnesses and
+// the example CLIs. Before this existed every bench hand-scanned argv
+// for its own --json/--trials/--threads spelling and silently ignored
+// typos; now the flag tables live in one place and an unknown or
+// malformed flag fails the same way everywhere: a one-line error plus
+// the usage text on stderr, exit code 2.
+//
+// Supported syntax per option kind:
+//   * flag            --name
+//   * value           --name V     or --name=V
+//   * optional value  --name [V]   or --name=V   (the next token is only
+//                     consumed as the value when it does not start with
+//                     '-'; used for "--json [FILE]")
+// `--help`/`-h` print the usage text to stdout and exit 0. Tokens
+// matching a registered passthrough prefix (e.g. "--benchmark_") are
+// left in place for a downstream parser such as benchmark::Initialize.
+// Anything else is an error.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace bisram {
+
+class Cli {
+ public:
+  /// `program` is the argv[0] name used in usage/error lines;
+  /// `description` is the one-line summary printed atop the usage text.
+  Cli(std::string program, std::string description);
+
+  /// Boolean switch: sets *target true when present.
+  Cli& flag(const std::string& name, bool* target, const std::string& help);
+
+  /// Mandatory-value options; the value may be attached with '=' or be
+  /// the following token. Numeric targets reject trailing garbage and
+  /// out-of-range input.
+  Cli& value(const std::string& name, int* target, const std::string& help,
+             const std::string& metavar = "N");
+  Cli& value(const std::string& name, std::int64_t* target,
+             const std::string& help, const std::string& metavar = "N");
+  Cli& value(const std::string& name, std::uint64_t* target,
+             const std::string& help, const std::string& metavar = "N");
+  Cli& value(const std::string& name, double* target, const std::string& help,
+             const std::string& metavar = "X");
+  Cli& value(const std::string& name, std::string* target,
+             const std::string& help, const std::string& metavar = "S");
+
+  /// Present/absent switch with an optional string value ("--json" or
+  /// "--json out.json"): *present records the switch, *target the value
+  /// (untouched when no value is given).
+  Cli& optional_value(const std::string& name, bool* present,
+                      std::string* target, const std::string& help,
+                      const std::string& metavar = "[FILE]");
+
+  /// Tokens starting with `prefix` are kept for a downstream parser
+  /// instead of being rejected as unknown.
+  Cli& passthrough_prefix(std::string prefix);
+
+  /// The full usage text (program line, description, option table).
+  std::string usage() const;
+
+  /// Parses `args` (no argv[0]), removing every consumed token so only
+  /// passthrough tokens remain. Returns false with `error` set on an
+  /// unknown flag, a missing or malformed value, or a stray positional
+  /// argument; sets `help_requested` when --help/-h was seen (parsing
+  /// still succeeds). Never exits — the testable core of parse().
+  bool try_parse(std::vector<std::string>& args, std::string& error,
+                 bool& help_requested) const;
+
+  /// argv-style front end: on success compacts argv in place to
+  /// argv[0] + passthrough tokens and updates *argc. Prints usage and
+  /// exits 0 on --help; prints the error and usage to stderr and exits 2
+  /// on a bad invocation.
+  void parse(int* argc, char** argv) const;
+
+ private:
+  enum class Kind { Flag, Value, OptionalValue };
+  struct Opt {
+    std::string name;
+    Kind kind = Kind::Flag;
+    std::string metavar;
+    std::string help;
+    bool* present = nullptr;
+    std::function<bool(const std::string&)> set;  // false: malformed value
+  };
+
+  Cli& add(Opt opt);
+  const Opt* find(const std::string& name) const;
+  bool scan(const std::vector<std::string>& tokens, std::vector<bool>& kept,
+            std::string& error, bool& help_requested) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<Opt> opts_;
+  std::vector<std::string> passthrough_;
+};
+
+}  // namespace bisram

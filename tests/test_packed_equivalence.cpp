@@ -1,0 +1,295 @@
+// Bit-identity contract of the bit-plane fault-simulation kernel
+// (sim/packed_ram.hpp): for every overlay-expressible fault list, the
+// packed BIST/BISR flow must agree with the scalar RamModel/BistEngine
+// reference bit for bit — BistResult fields, TLB contents, and the final
+// raw array state. These tests pin the contract on hand-built corner
+// cases (coupling across plane-word boundaries, spare-row defects, TLB
+// overflow, stacked faults on one cell) and then hammer it with a
+// randomized property sweep over geometries, march tests and fault
+// lists. The suite runs under ASan/UBSan in CI, so the word-parallel
+// kernels also get their memory discipline checked.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "march/march.hpp"
+#include "sim/bist.hpp"
+#include "sim/fault_sim.hpp"
+#include "sim/packed_ram.hpp"
+#include "sim/ram_model.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bisram::sim {
+namespace {
+
+/// Asserts every observable of the packed run equals the scalar one.
+void expect_equivalent(const RamGeometry& geo, const std::vector<Fault>& faults,
+                       const BistConfig& config, const char* context) {
+  SCOPED_TRACE(context);
+
+  RamModel scalar_ram(geo);
+  for (const Fault& f : faults) scalar_ram.array().inject(f);
+  const BistResult want = BistEngine(scalar_ram, config).run();
+
+  PackedRam packed_ram(geo, faults);
+  const auto got = PackedBistEngine(packed_ram, config).run();
+  ASSERT_TRUE(got.has_value()) << "packed kernel aborted its bulk invariant";
+
+  EXPECT_EQ(got->pass1_clean, want.pass1_clean);
+  EXPECT_EQ(got->repair_successful, want.repair_successful);
+  EXPECT_EQ(got->tlb_overflow, want.tlb_overflow);
+  EXPECT_EQ(got->spares_used, want.spares_used);
+  EXPECT_EQ(got->passes_run, want.passes_run);
+  EXPECT_EQ(got->cycles, want.cycles);
+  EXPECT_EQ(got->hung, want.hung);
+
+  // The TLB must hold the same diversions in the same slots.
+  const auto& we = scalar_ram.tlb().entries();
+  const auto& ge = packed_ram.tlb().entries();
+  ASSERT_EQ(ge.size(), we.size());
+  for (std::size_t i = 0; i < we.size(); ++i) {
+    EXPECT_EQ(ge[i].addr, we[i].addr) << "TLB slot " << i;
+    EXPECT_EQ(ge[i].spare, we[i].spare) << "TLB slot " << i;
+  }
+
+  // Raw cell state (spares included) must match exactly.
+  for (int r = 0; r < geo.total_rows(); ++r)
+    for (int c = 0; c < geo.cols(); ++c)
+      ASSERT_EQ(packed_ram.peek(r, c), scalar_ram.array().peek(r, c))
+          << "cell (" << r << ", " << c << ")";
+
+  // The dispatcher must agree with both engines.
+  SimKernel used = SimKernel::Auto;
+  const BistResult via = run_bist(geo, faults, config, SimKernel::Auto, &used);
+  EXPECT_EQ(used, SimKernel::Packed);
+  EXPECT_EQ(via.pass1_clean, want.pass1_clean);
+  EXPECT_EQ(via.repair_successful, want.repair_successful);
+  EXPECT_EQ(via.spares_used, want.spares_used);
+}
+
+Fault cell_fault(FaultKind kind, int row, int col, bool value = false) {
+  Fault f;
+  f.kind = kind;
+  f.victim = {row, col};
+  f.value = value;
+  return f;
+}
+
+Fault coupling(FaultKind kind, CellAddr aggressor, CellAddr victim,
+               bool dir_rising, bool value, bool value2 = false) {
+  Fault f;
+  f.kind = kind;
+  f.aggressor = aggressor;
+  f.victim = victim;
+  f.dir_rising = dir_rising;
+  f.value = value;
+  f.value2 = value2;
+  return f;
+}
+
+TEST(PackedSupport, ClassifiesFaultKinds) {
+  EXPECT_TRUE(packed_supported(FaultKind::StuckAt0));
+  EXPECT_TRUE(packed_supported(FaultKind::StuckAt1));
+  EXPECT_TRUE(packed_supported(FaultKind::TransitionUp));
+  EXPECT_TRUE(packed_supported(FaultKind::TransitionDown));
+  EXPECT_TRUE(packed_supported(FaultKind::CouplingIdem));
+  EXPECT_TRUE(packed_supported(FaultKind::CouplingInv));
+  EXPECT_TRUE(packed_supported(FaultKind::CouplingState));
+  EXPECT_FALSE(packed_supported(FaultKind::StuckOpen));
+  EXPECT_FALSE(packed_supported(FaultKind::Retention));
+}
+
+TEST(PackedEquivalence, CleanArrayIsCleanOnBothKernels) {
+  const RamGeometry geo{64, 4, 4, 4};
+  expect_equivalent(geo, {}, BistConfig{}, "clean");
+}
+
+TEST(PackedEquivalence, SingleStuckAtEveryTest) {
+  const RamGeometry geo{64, 4, 4, 4};
+  const march::MarchTest* tests[] = {&march::ifa9(), &march::ifa13(),
+                                     &march::mats_plus(),
+                                     &march::march_c_minus()};
+  for (const auto* test : tests) {
+    BistConfig config;
+    config.test = test;
+    expect_equivalent(geo, {cell_fault(FaultKind::StuckAt0, 3, 5)}, config,
+                      test->name().c_str());
+    expect_equivalent(geo, {cell_fault(FaultKind::StuckAt1, 0, 0)}, config,
+                      test->name().c_str());
+  }
+}
+
+TEST(PackedEquivalence, TransitionFaults) {
+  const RamGeometry geo{64, 4, 4, 4};
+  expect_equivalent(geo, {cell_fault(FaultKind::TransitionUp, 7, 11)},
+                    BistConfig{}, "TU");
+  expect_equivalent(geo, {cell_fault(FaultKind::TransitionDown, 15, 2)},
+                    BistConfig{}, "TD");
+}
+
+TEST(PackedEquivalence, CouplingAcrossPlaneWordBoundary) {
+  // words=512, bpc=4 -> 128 rows: rows 63/64 straddle the uint64_t
+  // plane-word boundary, the packed kernel's most delicate seam.
+  const RamGeometry geo{512, 4, 4, 4};
+  for (const bool rising : {false, true}) {
+    expect_equivalent(
+        geo, {coupling(FaultKind::CouplingIdem, {63, 5}, {64, 5}, rising, true)},
+        BistConfig{}, "CFid straddling rows 63/64");
+    expect_equivalent(
+        geo, {coupling(FaultKind::CouplingInv, {64, 9}, {63, 9}, rising, false)},
+        BistConfig{}, "CFin straddling rows 64/63");
+  }
+  expect_equivalent(
+      geo, {coupling(FaultKind::CouplingState, {63, 0}, {64, 0}, true, true,
+                     false)},
+      BistConfig{}, "CFst straddling rows 63/64");
+}
+
+TEST(PackedEquivalence, SpareRowDefectsDivertedOnto) {
+  // A fault in a spare row only matters once the TLB diverts a failing
+  // word onto it (pass >= 2); both kernels must agree on that flow.
+  const RamGeometry geo{64, 4, 4, 4};
+  std::vector<Fault> faults = {
+      cell_fault(FaultKind::StuckAt0, 2, 3),
+      // First spare row is rows()..: geo.rows() == 16.
+      cell_fault(FaultKind::StuckAt1, 16, 3),
+  };
+  BistConfig config;
+  config.max_passes = 4;  // give the 2k-pass flow room to remap
+  expect_equivalent(geo, faults, config, "spare-row defect");
+}
+
+TEST(PackedEquivalence, TlbOverflowManyFaults) {
+  const RamGeometry geo{64, 4, 4, 1};  // only 4 spare words
+  std::vector<Fault> faults;
+  for (int r = 0; r < 8; ++r)
+    faults.push_back(cell_fault(FaultKind::StuckAt1, r, r % 16));
+  expect_equivalent(geo, faults, BistConfig{}, "overflow");
+}
+
+TEST(PackedEquivalence, StackedFaultsOnOneCell) {
+  // Inject-order precedence: a CFst re-targeting a cell that is also
+  // stuck-at must resolve identically on both kernels.
+  const RamGeometry geo{64, 4, 4, 4};
+  std::vector<Fault> faults = {
+      cell_fault(FaultKind::StuckAt1, 5, 7),
+      coupling(FaultKind::CouplingState, {5, 6}, {5, 7}, true, true, false),
+      coupling(FaultKind::CouplingInv, {5, 7}, {5, 8}, false, false),
+  };
+  expect_equivalent(geo, faults, BistConfig{}, "stacked");
+}
+
+TEST(PackedEquivalence, SolidBackgroundsOnly) {
+  const RamGeometry geo{64, 4, 4, 4};
+  BistConfig config;
+  config.johnson_backgrounds = false;
+  expect_equivalent(geo, {cell_fault(FaultKind::TransitionUp, 9, 1)}, config,
+                    "no Johnson");
+  expect_equivalent(
+      geo, {coupling(FaultKind::CouplingIdem, {4, 2}, {4, 3}, true, true)},
+      config, "no Johnson CFid");
+}
+
+TEST(PackedDispatch, AutoFallsBackToScalarForStuckOpen) {
+  const RamGeometry geo{64, 4, 4, 4};
+  SimKernel used = SimKernel::Auto;
+  const BistResult got = run_bist(geo, {cell_fault(FaultKind::StuckOpen, 1, 1)},
+                                  BistConfig{}, SimKernel::Auto, &used);
+  EXPECT_EQ(used, SimKernel::Scalar);
+
+  RamModel ram(geo);
+  ram.array().inject(cell_fault(FaultKind::StuckOpen, 1, 1));
+  const BistResult want = BistEngine(ram, BistConfig{}).run();
+  EXPECT_EQ(got.pass1_clean, want.pass1_clean);
+  EXPECT_EQ(got.repair_successful, want.repair_successful);
+}
+
+TEST(PackedDispatch, AutoPicksPackedForOverlayFaults) {
+  const RamGeometry geo{64, 4, 4, 4};
+  SimKernel used = SimKernel::Auto;
+  run_bist(geo, {cell_fault(FaultKind::StuckAt0, 1, 1)}, BistConfig{},
+           SimKernel::Auto, &used);
+  EXPECT_EQ(used, SimKernel::Packed);
+}
+
+TEST(PackedDispatch, ForcedPackedRejectsUnsupportedFault) {
+  const RamGeometry geo{64, 4, 4, 4};
+  EXPECT_THROW(run_bist(geo, {cell_fault(FaultKind::Retention, 1, 1)},
+                        BistConfig{}, SimKernel::Packed),
+               SpecError);
+}
+
+TEST(PackedDispatch, ForcedScalarReportsScalar) {
+  const RamGeometry geo{64, 4, 4, 4};
+  SimKernel used = SimKernel::Auto;
+  run_bist(geo, {cell_fault(FaultKind::StuckAt0, 1, 1)}, BistConfig{},
+           SimKernel::Scalar, &used);
+  EXPECT_EQ(used, SimKernel::Scalar);
+}
+
+// --- randomized property sweep ---------------------------------------------
+
+TEST(PackedEquivalenceProperty, RandomGeometryRandomFaults) {
+  // Geometries chosen to exercise 1-plane-word and multi-plane-word
+  // columns, tall/narrow and short/wide arrays, and both spare budgets.
+  const RamGeometry geometries[] = {
+      {64, 4, 4, 4},    // 16 + 4 rows: single plane word
+      {256, 2, 4, 2},   // 64 + 2 rows: exactly one word + spare spill
+      {512, 4, 4, 4},   // 128 rows: plane-word seam in the regular array
+      {128, 8, 2, 2},   // wide words
+      {96, 3, 2, 1},    // odd bpw, minimal spares
+  };
+  const march::MarchTest* tests[] = {&march::ifa9(), &march::mats_plus(),
+                                     &march::march_c_minus()};
+  const FaultKind kinds[] = {
+      FaultKind::StuckAt0,     FaultKind::StuckAt1,
+      FaultKind::TransitionUp, FaultKind::TransitionDown,
+      FaultKind::CouplingIdem, FaultKind::CouplingInv,
+      FaultKind::CouplingState};
+
+  Rng rng(0xb17b5eedULL);
+  for (int trial = 0; trial < 120; ++trial) {
+    const RamGeometry& geo = geometries[rng.below(5)];
+    const march::MarchTest* test = tests[rng.below(3)];
+    const int nfaults = 1 + static_cast<int>(rng.below(4));
+
+    std::vector<Fault> faults;
+    for (int j = 0; j < nfaults; ++j) {
+      const FaultKind kind = kinds[rng.below(7)];
+      Fault f;
+      f.kind = kind;
+      // Victims may land in spare rows too — total_rows, not rows.
+      f.victim = {static_cast<int>(
+                      rng.below(static_cast<std::uint64_t>(geo.total_rows()))),
+                  static_cast<int>(
+                      rng.below(static_cast<std::uint64_t>(geo.cols())))};
+      if (kind == FaultKind::CouplingIdem || kind == FaultKind::CouplingInv ||
+          kind == FaultKind::CouplingState) {
+        do {
+          f.aggressor = {
+              static_cast<int>(rng.below(
+                  static_cast<std::uint64_t>(geo.total_rows()))),
+              static_cast<int>(
+                  rng.below(static_cast<std::uint64_t>(geo.cols())))};
+        } while (f.aggressor == f.victim);
+      }
+      f.dir_rising = rng.chance(0.5);
+      f.value = rng.chance(0.5);
+      f.value2 = rng.chance(0.5);
+      faults.push_back(f);
+    }
+
+    BistConfig config;
+    config.test = test;
+    config.johnson_backgrounds = rng.chance(0.75);
+    config.max_passes = rng.chance(0.25) ? 4 : 2;
+    expect_equivalent(geo, faults, config,
+                      ("property trial " + std::to_string(trial)).c_str());
+    if (HasFatalFailure()) return;  // one detailed failure beats 120 copies
+  }
+}
+
+}  // namespace
+}  // namespace bisram::sim
