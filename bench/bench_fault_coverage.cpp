@@ -215,9 +215,10 @@ void print_coverage_json(const CampaignSpec& spec, const std::string& path) {
 
 void BM_Ifa9Campaign(benchmark::State& state) {
   for (auto _ : state) {
-    const auto cov = sim::fault_coverage(march::ifa9(), bench_geo(),
-                                         {FaultKind::StuckAt0}, 10, true, 3);
-    benchmark::DoNotOptimize(cov[0].detected);
+    const auto cov =
+        sim::fault_coverage(march::ifa9(), bench_geo(), {FaultKind::StuckAt0},
+                            true, CampaignSpec{.trials = 10, .seed = 3});
+    benchmark::DoNotOptimize(cov.value[0].detected);
   }
 }
 BENCHMARK(BM_Ifa9Campaign)->Unit(benchmark::kMillisecond);
@@ -252,9 +253,10 @@ BENCHMARK(BM_Ifa9CampaignKernel)
 void BM_Ifa9CampaignThreads(benchmark::State& state) {
   const int prev = set_campaign_threads(static_cast<int>(state.range(0)));
   for (auto _ : state) {
-    const auto cov = sim::fault_coverage(march::ifa9(), bench_geo(),
-                                         {FaultKind::StuckAt0}, 96, true, 3);
-    benchmark::DoNotOptimize(cov[0].detected);
+    const auto cov =
+        sim::fault_coverage(march::ifa9(), bench_geo(), {FaultKind::StuckAt0},
+                            true, CampaignSpec{.trials = 96, .seed = 3});
+    benchmark::DoNotOptimize(cov.value[0].detected);
   }
   set_campaign_threads(prev);
 }

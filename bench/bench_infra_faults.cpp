@@ -185,7 +185,9 @@ void BM_InfraCampaignThreads(benchmark::State& state) {
   cfg.array_faults = 1;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        sim::infra_fault_campaign(geo, cfg, 64, 11).trials);
+        sim::infra_fault_campaign(geo, cfg,
+                                  sim::CampaignSpec{.trials = 64, .seed = 11})
+            .value.trials);
   }
   set_campaign_threads(prev);
 }

@@ -208,7 +208,9 @@ void BM_RepairProbabilityMcThreads(benchmark::State& state) {
   const auto geo = fig4_geometry(4);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        models::repair_probability_mc(geo, 24, 20000, 99));
+        models::repair_probability_mc(
+            geo, 24, sim::CampaignSpec{.trials = 20000, .seed = 99})
+            .value);
   }
   set_campaign_threads(prev);
 }
@@ -230,8 +232,9 @@ void BM_BisrYieldMcThreads(benchmark::State& state) {
   g.spare_rows = 4;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        models::bisr_yield_mc_with_bist(g, 3.0, 2.0, 1.05, 200, 7)
-            .strict_good);
+        models::bisr_yield_mc_with_bist(
+            g, 3.0, 2.0, 1.05, sim::CampaignSpec{.trials = 200, .seed = 7})
+            .value.strict_good);
   }
   set_campaign_threads(prev);
 }

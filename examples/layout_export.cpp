@@ -30,13 +30,16 @@ int main() {
   const core::Generated g = core::generate(spec);
   const tech::Tech& t = spec.resolved_technology();
 
+  // One flatten into the shared layout database serves the mask view,
+  // the shape/transistor tallies, and (inside generate) the DRC.
+  const geom::LayoutDB db(*g.top, drc::tile_size_for(t));
   {
     std::ofstream cif("bisram_small.cif");
     geom::write_cif(cif, *g.top, t.lambda_um * 1000.0);
   }
   {
     std::ofstream svg("bisram_small.svg");
-    geom::write_svg(svg, *g.top, 2400);
+    geom::write_svg(svg, db, 2400);
   }
   {
     std::ofstream svg("bisram_floorplan.svg");
@@ -44,8 +47,8 @@ int main() {
   }
   std::printf("module: %.0f x %.0f um, %zu flat shapes, %zu transistors, "
               "%zu DRC violations\n",
-              g.sheet.width_um, g.sheet.height_um, g.top->flat_shape_count(),
-              g.top->transistor_census(), g.sheet.drc_violations);
+              g.sheet.width_um, g.sheet.height_um, db.shape_count(),
+              db.transistor_census(), g.sheet.drc_violations);
   if (g.sheet.drc_violations != 0) {
     // Every macro is individually DRC-clean (enforced by the test
     // suite); residual top-level violations come from the demonstration

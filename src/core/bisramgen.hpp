@@ -66,6 +66,9 @@ struct Generated {
   Datasheet sheet;
   microcode::AssembledController trpla;
   pnr::FloorplanResult plan;
+  /// Over-the-cell routing tallies from build_top, validated against the
+  /// placed-blocks LayoutDB (m3_conflicts == 0 on a clean build).
+  pnr::RouteStats route;
 };
 
 /// Runs the complete flow. Throws bisram::SpecError on invalid specs.

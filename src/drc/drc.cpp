@@ -1,16 +1,283 @@
 #include "drc/drc.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
+#include <tuple>
 #include <unordered_map>
 
+#include "util/parallel.hpp"
 #include "util/strings.hpp"
 
 namespace bisram::drc {
 
 using geom::Coord;
 using geom::Layer;
+using geom::LayoutDB;
 using geom::Rect;
+using geom::TileIndex;
+
+namespace {
+
+// Fixed fold granularity for the per-tile passes. parallel_reduce's
+// result is a pure function of (trials, chunk), so keeping the chunk
+// constant makes the violation list bit-identical for any thread count.
+constexpr std::int64_t kTileChunk = 8;
+
+using VioList = std::vector<Violation>;
+
+VioList append(VioList acc, VioList part) {
+  acc.insert(acc.end(), std::make_move_iterator(part.begin()),
+             std::make_move_iterator(part.end()));
+  return acc;
+}
+
+/// Runs per_tile(tx, ty, out) over every tile of `idx` on the
+/// deterministic engine, folding per-tile violation lists in strict
+/// row-major tile order.
+template <typename PerTile>
+VioList tiled(const TileIndex& idx, int threads, PerTile&& per_tile) {
+  const auto cols = static_cast<std::int64_t>(idx.tile_cols());
+  const auto ntiles = cols * static_cast<std::int64_t>(idx.tile_rows());
+  return parallel_reduce<VioList>(
+      ntiles, kTileChunk, {},
+      [&](std::int64_t t) {
+        VioList part;
+        per_tile(static_cast<int>(t % cols), static_cast<int>(t / cols), part);
+        return part;
+      },
+      append, threads);
+}
+
+int kind_rank(RuleKind k) {
+  switch (k) {
+    case RuleKind::MinWidth: return 0;
+    case RuleKind::MinSpace: return 1;
+    case RuleKind::ViaEnclosure: return 2;
+    case RuleKind::WellCoverage: return 3;
+  }
+  return 4;
+}
+
+/// Canonical report order: rule phase, then layer, then coordinates.
+/// A stable sort on this key makes the final list independent of the
+/// database's tile geometry as well (equal-key entries keep the
+/// deterministic tile-order sequence, e.g. a via's lower-enclosure
+/// violation before its upper one).
+bool canon_less(const Violation& x, const Violation& y) {
+  const auto key = [](const Violation& v) {
+    return std::make_tuple(kind_rank(v.kind), static_cast<int>(v.layer),
+                           v.a.lo.y, v.a.lo.x, v.a.hi.y, v.a.hi.x, v.b.lo.y,
+                           v.b.lo.x, v.b.hi.y, v.b.hi.x);
+  };
+  return key(x) < key(y);
+}
+
+bool enclosed_by_any(const Rect& need, const std::vector<Rect>& candidates) {
+  for (const Rect& c : candidates) {
+    if (c.lo.x <= need.lo.x && c.lo.y <= need.lo.y && c.hi.x >= need.hi.x &&
+        c.hi.y >= need.hi.y)
+      return true;
+  }
+  return false;
+}
+
+/// Indexed variant: true when some rect of `idx` encloses `need`. An
+/// enclosing rect necessarily intersects `need`, so querying the window
+/// `need` sees every candidate.
+bool enclosed_by_any(const Rect& need, const TileIndex& idx,
+                     const std::vector<Rect>& rects) {
+  bool found = false;
+  idx.for_each_in(need, [&](std::uint32_t id) {
+    const Rect& c = rects[id];
+    if (c.lo.x <= need.lo.x && c.lo.y <= need.lo.y && c.hi.x >= need.hi.x &&
+        c.hi.y >= need.hi.y)
+      found = true;
+  });
+  return found;
+}
+
+std::string space_note(Coord gap, Coord min_space) {
+  return strfmt("gap %.1f < %.1f lambda", geom::to_lambda(gap),
+                geom::to_lambda(min_space));
+}
+
+struct ViaRule {
+  Layer via;
+  std::vector<Layer> lower;  // any of these may provide the landing
+  Layer upper;
+  Coord encl_lower;
+  Coord encl_upper;
+};
+
+std::vector<ViaRule> via_rules_for(const tech::Tech& tech) {
+  return {
+      {Layer::Contact,
+       {Layer::NDiff, Layer::PDiff, Layer::Poly},
+       Layer::Metal1,
+       std::min(tech.contact_encl_diff, tech.contact_encl_poly),
+       tech.contact_encl_m1},
+      {Layer::Via1, {Layer::Metal1}, Layer::Metal2, tech.via1_encl,
+       tech.via1_encl},
+      {Layer::Via2, {Layer::Metal2}, Layer::Metal3, tech.via2_encl,
+       tech.via2_encl},
+  };
+}
+
+}  // namespace
+
+geom::Coord max_interaction_distance(const tech::Tech& tech) {
+  Coord d = 1;
+  for (Layer layer : geom::all_layers())
+    d = std::max(d, tech.rule(layer).min_space);
+  for (Coord e : {tech.contact_encl_diff, tech.contact_encl_poly,
+                  tech.contact_encl_m1, tech.via1_encl, tech.via2_encl,
+                  tech.well_encl_diff, tech.well_space})
+    d = std::max(d, e);
+  return d;
+}
+
+geom::Coord tile_size_for(const tech::Tech& tech) {
+  // 8x the reach keeps bucket fan-out low (the seed hash used the same
+  // multiple) while every rule still only consults adjacent tiles.
+  return max_interaction_distance(tech) * 8;
+}
+
+std::vector<Violation> check(const geom::LayoutDB& db, const tech::Tech& tech,
+                             const DrcOptions& options) {
+  std::vector<Violation> out;
+  const int threads = options.threads;
+
+  // --- width and spacing per layer ------------------------------------------
+  for (Layer layer : geom::all_layers()) {
+    const auto& rule = tech.rule(layer);
+    const auto& shapes = db.shapes(layer);
+    const auto& rects = db.rects(layer);
+    const auto& idx = db.index(layer);
+    if (rects.empty()) continue;
+
+    if (rule.min_width > 0) {
+      out = append(std::move(out),
+                   tiled(idx, threads, [&](int tx, int ty, VioList& part) {
+                     for (std::uint32_t i : idx.homed_in(tx, ty)) {
+                       const Rect& r = rects[i];
+                       if (std::min(r.width(), r.height()) < rule.min_width)
+                         part.push_back({RuleKind::MinWidth, layer, r, {}, "",
+                                         db.path_name(shapes[i].path)});
+                     }
+                   }));
+    }
+
+    if (rule.min_space > 0) {
+      // Merge touching rects into components first: two rectangles of the
+      // same merged polygon may legitimately sit close (e.g. a contact
+      // pad bridged to a gate by a stub). Note this also skips true
+      // same-polygon notches — an accepted approximation documented in
+      // drc.hpp. The union-find runs serially; the parallel phase below
+      // only reads the fully-collapsed root table.
+      std::vector<std::uint32_t> comp(rects.size());
+      for (std::uint32_t i = 0; i < comp.size(); ++i) comp[i] = i;
+      std::function<std::uint32_t(std::uint32_t)> find =
+          [&](std::uint32_t x) -> std::uint32_t {
+        while (comp[x] != x) {
+          comp[x] = comp[comp[x]];
+          x = comp[x];
+        }
+        return x;
+      };
+      for (std::uint32_t i = 0; i < rects.size(); ++i) {
+        idx.for_each_in(rects[i], [&](std::uint32_t j) {
+          if (j > i && rects[i].intersects(rects[j])) comp[find(i)] = find(j);
+        });
+      }
+      std::vector<std::uint32_t> root(rects.size());
+      for (std::uint32_t i = 0; i < root.size(); ++i) root[i] = find(i);
+
+      out = append(
+          std::move(out),
+          tiled(idx, threads, [&](int tx, int ty, VioList& part) {
+            for (std::uint32_t i : idx.homed_in(tx, ty)) {
+              const Rect& a = rects[i];
+              idx.for_each_in(a.expanded(rule.min_space),
+                              [&](std::uint32_t j) {
+                                if (j <= i) return;
+                                if (root[i] == root[j]) return;
+                                const Rect& b = rects[j];
+                                const Coord gap = geom::rect_gap(a, b);
+                                if (gap < rule.min_space)
+                                  part.push_back(
+                                      {RuleKind::MinSpace, layer, a, b,
+                                       space_note(gap, rule.min_space),
+                                       db.path_name(shapes[i].path),
+                                       db.path_name(shapes[j].path)});
+                              });
+            }
+          }));
+    }
+  }
+
+  // --- via enclosures -------------------------------------------------------
+  for (const auto& vr : via_rules_for(tech)) {
+    const auto& vias = db.rects(vr.via);
+    const auto& via_shapes = db.shapes(vr.via);
+    const auto& via_idx = db.index(vr.via);
+    if (vias.empty()) continue;
+    out = append(
+        std::move(out),
+        tiled(via_idx, threads, [&](int tx, int ty, VioList& part) {
+          for (std::uint32_t i : via_idx.homed_in(tx, ty)) {
+            const Rect& via = vias[i];
+            bool landed = false;
+            for (Layer lower : vr.lower)
+              if (enclosed_by_any(via.expanded(vr.encl_lower), db.index(lower),
+                                  db.rects(lower)))
+                landed = true;
+            if (!landed)
+              part.push_back({RuleKind::ViaEnclosure, vr.via, via, {},
+                              "missing lower-layer enclosure",
+                              db.path_name(via_shapes[i].path)});
+            if (!enclosed_by_any(via.expanded(vr.encl_upper),
+                                 db.index(vr.upper), db.rects(vr.upper)))
+              part.push_back({RuleKind::ViaEnclosure, vr.via, via, {},
+                              "missing upper-layer enclosure",
+                              db.path_name(via_shapes[i].path)});
+          }
+        }));
+  }
+
+  // --- wells must enclose p-diffusion ---------------------------------------
+  {
+    const auto& pdiffs = db.rects(Layer::PDiff);
+    const auto& pdiff_shapes = db.shapes(Layer::PDiff);
+    const auto& pdiff_idx = db.index(Layer::PDiff);
+    if (!pdiffs.empty()) {
+      out = append(
+          std::move(out),
+          tiled(pdiff_idx, threads, [&](int tx, int ty, VioList& part) {
+            for (std::uint32_t i : pdiff_idx.homed_in(tx, ty)) {
+              const Rect& pd = pdiffs[i];
+              if (!enclosed_by_any(pd.expanded(tech.well_encl_diff),
+                                   db.index(Layer::NWell),
+                                   db.rects(Layer::NWell)))
+                part.push_back({RuleKind::WellCoverage, Layer::PDiff, pd, {},
+                                "pdiff not enclosed by nwell",
+                                db.path_name(pdiff_shapes[i].path)});
+            }
+          }));
+    }
+  }
+
+  std::stable_sort(out.begin(), out.end(), canon_less);
+  if (out.size() > options.max_violations) out.resize(options.max_violations);
+  return out;
+}
+
+std::vector<Violation> check(const geom::Cell& top, const tech::Tech& tech,
+                             const DrcOptions& options) {
+  return check(geom::LayoutDB(top, tile_size_for(tech)), tech, options);
+}
+
+// --- reference checker (pre-LayoutDB seed implementation) --------------------
 
 namespace {
 
@@ -55,19 +322,11 @@ class Buckets {
   std::unordered_map<std::uint64_t, std::vector<std::size_t>> grid_;
 };
 
-bool enclosed_by_any(const Rect& need, const std::vector<Rect>& candidates) {
-  for (const Rect& c : candidates) {
-    if (c.lo.x <= need.lo.x && c.lo.y <= need.lo.y && c.hi.x >= need.hi.x &&
-        c.hi.y >= need.hi.y)
-      return true;
-  }
-  return false;
-}
-
 }  // namespace
 
-std::vector<Violation> check(const geom::Cell& top, const tech::Tech& tech,
-                             const DrcOptions& options) {
+std::vector<Violation> check_reference(const geom::Cell& top,
+                                       const tech::Tech& tech,
+                                       const DrcOptions& options) {
   std::vector<Violation> out;
   const auto by_layer = top.flatten_by_layer();
   auto layer_rects = [&](Layer l) -> const std::vector<Rect>& {
@@ -92,11 +351,6 @@ std::vector<Violation> check(const geom::Cell& top, const tech::Tech& tech,
 
     if (rule.min_space > 0) {
       Buckets buckets(rects, rule.min_space * 8);
-      // Merge touching rects into components first: two rectangles of the
-      // same merged polygon may legitimately sit close (e.g. a contact
-      // pad bridged to a gate by a stub). Note this also skips true
-      // same-polygon notches — an accepted approximation documented in
-      // drc.hpp.
       std::vector<std::size_t> comp(rects.size());
       for (std::size_t i = 0; i < comp.size(); ++i) comp[i] = i;
       std::function<std::size_t(std::size_t)> find =
@@ -121,9 +375,7 @@ std::vector<Violation> check(const geom::Cell& top, const tech::Tech& tech,
           const Coord gap = geom::rect_gap(a, b);
           if (gap < rule.min_space)
             out.push_back({RuleKind::MinSpace, layer, a, b,
-                           strfmt("gap %.1f < %.1f lambda",
-                                  geom::to_lambda(gap),
-                                  geom::to_lambda(rule.min_space))});
+                           space_note(gap, rule.min_space)});
         });
         if (full()) return out;
       }
@@ -131,25 +383,7 @@ std::vector<Violation> check(const geom::Cell& top, const tech::Tech& tech,
   }
 
   // --- via enclosures -------------------------------------------------------
-  struct ViaRule {
-    Layer via;
-    std::vector<Layer> lower;  // any of these may provide the landing
-    Layer upper;
-    Coord encl_lower;
-    Coord encl_upper;
-  };
-  const ViaRule via_rules[] = {
-      {Layer::Contact,
-       {Layer::NDiff, Layer::PDiff, Layer::Poly},
-       Layer::Metal1,
-       std::min(tech.contact_encl_diff, tech.contact_encl_poly),
-       tech.contact_encl_m1},
-      {Layer::Via1, {Layer::Metal1}, Layer::Metal2, tech.via1_encl,
-       tech.via1_encl},
-      {Layer::Via2, {Layer::Metal2}, Layer::Metal3, tech.via2_encl,
-       tech.via2_encl},
-  };
-  for (const auto& vr : via_rules) {
+  for (const auto& vr : via_rules_for(tech)) {
     for (const Rect& via : layer_rects(vr.via)) {
       if (full()) return out;
       bool landed = false;
@@ -185,11 +419,14 @@ std::string describe(const Violation& v) {
     case RuleKind::ViaEnclosure: kind = "via-enclosure"; break;
     case RuleKind::WellCoverage: kind = "well-coverage"; break;
   }
-  return strfmt("%s on %s at (%.1f,%.1f)-(%.1f,%.1f) %s", kind,
-                std::string(geom::layer_name(v.layer)).c_str(),
-                geom::to_lambda(v.a.lo.x), geom::to_lambda(v.a.lo.y),
-                geom::to_lambda(v.a.hi.x), geom::to_lambda(v.a.hi.y),
-                v.note.c_str());
+  std::string line =
+      strfmt("%s on %s at (%.1f,%.1f)-(%.1f,%.1f) %s", kind,
+             std::string(geom::layer_name(v.layer)).c_str(),
+             geom::to_lambda(v.a.lo.x), geom::to_lambda(v.a.lo.y),
+             geom::to_lambda(v.a.hi.x), geom::to_lambda(v.a.hi.y),
+             v.note.c_str());
+  if (!v.path_a.empty()) line += strfmt(" [in %s]", v.path_a.c_str());
+  return line;
 }
 
 }  // namespace bisram::drc

@@ -1,14 +1,31 @@
 #pragma once
-// Design-rule checker over flattened layouts: per-layer minimum width and
-// spacing, via enclosure, and well coverage of diffusion. BISRAMGEN runs
-// this after every cell/macro generation — design-rule independence is
-// only credible if the generated geometry actually satisfies the deck it
-// was generated from.
+// Design-rule checker over the shared flat layout database: per-layer
+// minimum width and spacing, via enclosure, and well coverage of
+// diffusion. BISRAMGEN runs this after every cell/macro generation —
+// design-rule independence is only credible if the generated geometry
+// actually satisfies the deck it was generated from.
+//
+// The checker runs on geom::LayoutDB (one flatten, per-layer tile
+// index) and checks tiles in parallel on util/parallel's deterministic
+// chunked engine. Each shape belongs to exactly one *home tile* (the
+// tile holding its lo corner), so the tile grid partitions the work
+// without duplicate reports; per-tile findings are folded in strict
+// tile order and the merged list is finally put into canonical
+// (rule phase, layer, coordinates) order. The result is bit-identical
+// for any BISRAM_THREADS / DrcOptions::threads value, and independent
+// of the database's tile size.
+//
+// Known approximation (inherited from the seed checker): same-layer
+// spacing merges touching rectangles into connected components first,
+// so two rects of one merged polygon may legitimately sit close
+// (contact pad bridged to a gate by a stub). This also skips true
+// same-polygon notches — an accepted approximation.
 
 #include <string>
 #include <vector>
 
 #include "geom/cell.hpp"
+#include "geom/layout_db.hpp"
 #include "tech/tech.hpp"
 
 namespace bisram::drc {
@@ -26,18 +43,55 @@ struct Violation {
   geom::Rect a;
   geom::Rect b;  ///< second rect for spacing violations
   std::string note;
+  /// Instance provenance from the LayoutDB: the hierarchical path of
+  /// the cell instance that produced rect a (and b, for pair rules).
+  /// Empty for shapes owned by the top cell, and for the reference
+  /// checker (which has no provenance to report).
+  std::string path_a;
+  std::string path_b;
 };
 
 struct DrcOptions {
   /// Stop after this many violations (keeps pathological runs bounded).
   std::size_t max_violations = 1000;
+  /// Worker threads for the per-tile passes; <= 0 means the
+  /// BISRAM_THREADS / campaign_threads() default. The violation list is
+  /// bit-identical for every value.
+  int threads = 0;
 };
 
-/// Checks the flattened layout of `top` against `tech`'s rules.
+/// The technology's maximum interaction distance: the largest spacing /
+/// enclosure reach any rule can look across. A LayoutDB tiled at (a
+/// multiple of) this distance answers every rule query from a shape's
+/// own tile and its ring of neighbors.
+geom::Coord max_interaction_distance(const tech::Tech& tech);
+
+/// The tile edge drc-grade LayoutDBs are built with: a small multiple
+/// of max_interaction_distance, balancing bucket fan-out against tile
+/// count.
+geom::Coord tile_size_for(const tech::Tech& tech);
+
+/// Checks a prebuilt layout database against `tech`'s rules. This is
+/// the signoff entry point: build the LayoutDB once and share it with
+/// extraction and the writers.
+std::vector<Violation> check(const geom::LayoutDB& db, const tech::Tech& tech,
+                             const DrcOptions& options = {});
+
+/// Convenience: flattens `top` into a LayoutDB (tiled with
+/// tile_size_for) and checks it.
 std::vector<Violation> check(const geom::Cell& top, const tech::Tech& tech,
                              const DrcOptions& options = {});
 
-/// Human-readable one-line description of a violation.
+/// The pre-LayoutDB serial checker (flatten per call, private spatial
+/// hash, first-found violation order). Kept as the oracle the
+/// equivalence tests and the bench_layouts signoff benchmark compare
+/// the tiled parallel path against; not for production use.
+std::vector<Violation> check_reference(const geom::Cell& top,
+                                       const tech::Tech& tech,
+                                       const DrcOptions& options = {});
+
+/// Human-readable one-line description of a violation (includes the
+/// instance path when provenance is available).
 std::string describe(const Violation& v);
 
 }  // namespace bisram::drc

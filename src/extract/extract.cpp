@@ -1,5 +1,6 @@
 #include "extract/extract.hpp"
 
+#include <algorithm>
 #include <numeric>
 
 #include "util/error.hpp"
@@ -7,7 +8,9 @@
 namespace bisram::extract {
 
 using geom::Layer;
+using geom::LayoutDB;
 using geom::Rect;
+using geom::TileIndex;
 
 namespace {
 
@@ -33,6 +36,7 @@ class UnionFind {
 struct Piece {
   Layer layer;
   Rect rect;
+  std::uint32_t path = 0;  ///< LayoutDB path node of the source shape
 };
 
 /// True when `poly` fully crosses `diff` (a transistor gate).
@@ -67,12 +71,14 @@ bool Extracted::channel_between(int a, int b) const {
   return false;
 }
 
-Extracted extract(const geom::Cell& top, const tech::Tech& tech) {
-  const auto by_layer = top.flatten_by_layer();
-  auto rects = [&](Layer l) -> const std::vector<Rect>& {
-    return by_layer[static_cast<std::size_t>(l)];
-  };
-
+// Bit-identity note: net numbers are assigned in net_of() call order, and
+// every step below visits pieces in the same order the pre-LayoutDB
+// flatten-and-scan extractor did — diffusion splits in flatten order,
+// gates per diffusion in poly id order (TileIndex queries report ids in
+// increasing order, the order a linear scan saw them), "first piece
+// matching" lookups as minimum-id query hits. Hence the extracted
+// netlist is bit-identical to the historical code.
+Extracted extract(const geom::LayoutDB& db, const tech::Tech& tech) {
   // --- 1. split diffusion at gate crossings; collect device sites -------
   struct Site {
     bool pmos;
@@ -80,19 +86,24 @@ Extracted extract(const geom::Cell& top, const tech::Tech& tech) {
     Rect channel;       // poly-diff intersection
     std::size_t left;   // piece ids filled after pieces are final
     std::size_t right;
+    std::uint32_t path; // diffusion shape's provenance
   };
   std::vector<Piece> pieces;
   std::vector<Site> sites;
 
-  const auto& polys = rects(Layer::Poly);
+  const auto& polys = db.rects(Layer::Poly);
+  const auto& poly_index = db.index(Layer::Poly);
   for (Layer dl : {Layer::NDiff, Layer::PDiff}) {
-    for (const Rect& diff : rects(dl)) {
+    const auto& diff_shapes = db.shapes(dl);
+    for (const geom::DbShape& ds : diff_shapes) {
+      const Rect& diff = ds.rect;
       // Gates crossing this diffusion, sorted along the stripe axis.
       std::vector<Rect> gates;
-      for (const Rect& poly : polys)
-        if (crosses(poly, diff)) gates.push_back(poly);
+      poly_index.for_each_in(diff, [&](std::uint32_t pid) {
+        if (crosses(polys[pid], diff)) gates.push_back(polys[pid]);
+      });
       if (gates.empty()) {
-        pieces.push_back({dl, diff});
+        pieces.push_back({dl, diff, ds.path});
         continue;
       }
       const bool split_x = gates[0].lo.y <= diff.lo.y;  // vertical gates
@@ -106,14 +117,14 @@ Extracted extract(const geom::Cell& top, const tech::Tech& tech) {
                              ? Rect::ltrb(pos, diff.lo.y, g.lo.x, diff.hi.y)
                              : Rect::ltrb(diff.lo.x, pos, diff.hi.x, g.lo.y);
         segment_ids.push_back(pieces.size());
-        pieces.push_back({dl, seg});
+        pieces.push_back({dl, seg, ds.path});
         pos = split_x ? g.hi.x : g.hi.y;
       }
       const Rect last = split_x
                             ? Rect::ltrb(pos, diff.lo.y, diff.hi.x, diff.hi.y)
                             : Rect::ltrb(diff.lo.x, pos, diff.hi.x, diff.hi.y);
       segment_ids.push_back(pieces.size());
-      pieces.push_back({dl, last});
+      pieces.push_back({dl, last, ds.path});
 
       for (std::size_t g = 0; g < gates.size(); ++g) {
         Site site;
@@ -122,6 +133,7 @@ Extracted extract(const geom::Cell& top, const tech::Tech& tech) {
         site.channel = gates[g].intersection(diff);
         site.left = segment_ids[g];
         site.right = segment_ids[g + 1];
+        site.path = ds.path;
         sites.push_back(site);
       }
     }
@@ -130,9 +142,18 @@ Extracted extract(const geom::Cell& top, const tech::Tech& tech) {
   // --- 2. other conducting layers as-is ------------------------------------
   for (Layer l : {Layer::Poly, Layer::Metal1, Layer::Metal2, Layer::Metal3,
                   Layer::Contact, Layer::Via1, Layer::Via2})
-    for (const Rect& r : rects(l)) pieces.push_back({l, r});
+    for (const geom::DbShape& s : db.shapes(l))
+      pieces.push_back({l, s.rect, s.path});
 
   // --- 3. connectivity ------------------------------------------------------
+  // One tile index over every piece; each piece unites with its
+  // overlapping electrical neighbors found by an indexed window query
+  // (the j > i filter visits each unordered pair once).
+  std::vector<Rect> piece_rects;
+  piece_rects.reserve(pieces.size());
+  for (const Piece& p : pieces) piece_rects.push_back(p.rect);
+  const TileIndex piece_index(piece_rects, db.tile_size());
+
   UnionFind uf(pieces.size());
   auto connects = [&](Layer a, Layer b) {
     // Same-layer shapes merge on touch; vias merge with their adjacent
@@ -151,21 +172,13 @@ Extracted extract(const geom::Cell& top, const tech::Tech& tech) {
     if (pair_is(Layer::Via2, Layer::Metal3)) return true;
     return false;
   };
-  // O(n^2) with an early bbox sort would be fine for leaf cells; use a
-  // simple sweep over x-sorted pieces to keep macros tractable.
-  std::vector<std::size_t> order(pieces.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return pieces[a].rect.lo.x < pieces[b].rect.lo.x;
-  });
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    const Piece& pi = pieces[order[i]];
-    for (std::size_t j = i + 1; j < order.size(); ++j) {
-      const Piece& pj = pieces[order[j]];
-      if (pj.rect.lo.x > pi.rect.hi.x) break;  // sweep window closed
-      if (!pi.rect.intersects(pj.rect)) continue;
-      if (connects(pi.layer, pj.layer)) uf.unite(order[i], order[j]);
-    }
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    const Piece& pi = pieces[i];
+    piece_index.for_each_in(pi.rect, [&](std::uint32_t j) {
+      if (j <= i) return;
+      const Piece& pj = pieces[j];
+      if (connects(pi.layer, pj.layer)) uf.unite(i, j);
+    });
   }
 
   // --- 4. net numbering ------------------------------------------------------
@@ -180,13 +193,24 @@ Extracted extract(const geom::Cell& top, const tech::Tech& tech) {
     return id;
   };
 
+  /// Lowest-id piece on `layer` intersecting `window` (the piece a
+  /// linear scan would have found first), or pieces.size() when none.
+  auto first_piece_on = [&](Layer layer, const Rect& window) {
+    std::size_t found = pieces.size();
+    piece_index.for_each_in(window, [&](std::uint32_t j) {
+      if (found != pieces.size()) return;  // ids arrive in increasing order
+      if (pieces[j].layer == layer && pieces[j].rect.intersects(window))
+        found = j;
+    });
+    return found;
+  };
+
   // --- 5. devices -------------------------------------------------------------
-  // Find the gate poly's piece id: any poly piece intersecting it.
   auto poly_piece_net = [&](const Rect& gate) {
-    for (std::size_t i = 0; i < pieces.size(); ++i)
-      if (pieces[i].layer == Layer::Poly && pieces[i].rect.intersects(gate))
-        return net_of(i);
-    throw InternalError("extract: gate poly piece not found");
+    const std::size_t i = first_piece_on(Layer::Poly, gate);
+    if (i == pieces.size())
+      throw InternalError("extract: gate poly piece not found");
+    return net_of(i);
   };
   const double um_per_dbu = tech.lambda_um / 10.0;
   for (const Site& s : sites) {
@@ -200,18 +224,16 @@ Extracted extract(const geom::Cell& top, const tech::Tech& tech) {
     const geom::Coord l = split_x ? s.channel.width() : s.channel.height();
     d.w_um = static_cast<double>(w) * um_per_dbu;
     d.l_um = static_cast<double>(l) * um_per_dbu;
+    d.path = db.path_name(s.path);
     out.devices.push_back(d);
   }
 
   // --- 6. ports ---------------------------------------------------------------
-  for (const auto& port : top.ports()) {
-    int net = -1;
-    for (std::size_t i = 0; i < pieces.size() && net < 0; ++i)
-      if (pieces[i].layer == port.layer && pieces[i].rect.intersects(port.rect))
-        net = net_of(i);
-    require(net >= 0, "extract: port '" + port.name +
-                          "' touches no geometry on its layer");
-    out.port_net[port.name] = net;
+  for (const auto& port : db.ports()) {
+    const std::size_t i = first_piece_on(port.layer, port.rect);
+    require(i != pieces.size(), "extract: port '" + port.name +
+                                    "' touches no geometry on its layer");
+    out.port_net[port.name] = net_of(i);
   }
 
   // --- 7. parasitic capacitance -------------------------------------------------
@@ -224,10 +246,18 @@ Extracted extract(const geom::Cell& top, const tech::Tech& tech) {
     const double w = static_cast<double>(p.rect.width()) * um_per_dbu;
     const double h = static_cast<double>(p.rect.height()) * um_per_dbu;
     const int net = net_of(i);
+    // net_of may mint a net here for a component no device or port
+    // reached (isolated fill); grow the table rather than write past it.
+    if (static_cast<std::size_t>(net) >= out.net_cap_f.size())
+      out.net_cap_f.resize(static_cast<std::size_t>(net) + 1, 0.0);
     out.net_cap_f[static_cast<std::size_t>(net)] +=
         w * h * wp.cap_area_f_um2 + 2.0 * (w + h) * wp.cap_fringe_f_um;
   }
   return out;
+}
+
+Extracted extract(const geom::Cell& top, const tech::Tech& tech) {
+  return extract(geom::LayoutDB(top), tech);
 }
 
 }  // namespace bisram::extract

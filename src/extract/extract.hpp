@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "geom/cell.hpp"
+#include "geom/layout_db.hpp"
 #include "spice/netlist.hpp"
 #include "tech/tech.hpp"
 
@@ -26,6 +27,9 @@ struct Device {
   int drain = -1;   ///<  are symmetric)
   double w_um = 0;
   double l_um = 0;
+  /// Instance path of the diffusion shape the channel was recognized on
+  /// (LayoutDB provenance; "" for shapes owned by the top cell).
+  std::string path;
 };
 
 /// Extraction result.
@@ -43,7 +47,14 @@ struct Extracted {
   bool channel_between(int a, int b) const;
 };
 
-/// Extracts the flattened layout of `top`.
+/// Extracts a prebuilt layout database (the signoff path: one LayoutDB
+/// shared with DRC and the writers). Ports come from db.ports().
+/// Device recognition and connectivity use the database's tile indexes;
+/// net numbering is bit-identical to the historical flatten-and-scan
+/// extractor by construction (see the per-step notes in extract.cpp).
+Extracted extract(const geom::LayoutDB& db, const tech::Tech& tech);
+
+/// Convenience: flattens `top` into a LayoutDB and extracts it.
 Extracted extract(const geom::Cell& top, const tech::Tech& tech);
 
 }  // namespace bisram::extract

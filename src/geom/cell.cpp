@@ -1,5 +1,6 @@
 #include "geom/cell.hpp"
 
+#include "geom/layout_db.hpp"
 #include "util/error.hpp"
 
 namespace bisram::geom {
@@ -82,22 +83,10 @@ double Cell::layer_union_area(Layer layer) const {
 }
 
 std::size_t Cell::transistor_census() const {
-  const auto by_layer = flatten_by_layer();
-  const auto& poly = by_layer[static_cast<std::size_t>(Layer::Poly)];
-  std::size_t count = 0;
-  for (Layer diff : {Layer::NDiff, Layer::PDiff}) {
-    for (const Rect& d : by_layer[static_cast<std::size_t>(diff)]) {
-      for (const Rect& p : poly) {
-        // A gate exists where poly crosses fully over a diffusion strip.
-        const Rect x = p.intersection(d);
-        if (!x.empty() &&
-            ((p.lo.y <= d.lo.y && p.hi.y >= d.hi.y) ||
-             (p.lo.x <= d.lo.x && p.hi.x >= d.hi.x)))
-          ++count;
-      }
-    }
-  }
-  return count;
+  // One flatten into a tile index; the poly-over-diffusion crossing test
+  // then only examines polys near each diffusion strip instead of the
+  // historical all-pairs product.
+  return LayoutDB(*this).transistor_census();
 }
 
 std::shared_ptr<Cell> Library::create(const std::string& name) {

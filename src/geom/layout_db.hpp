@@ -1,0 +1,205 @@
+#pragma once
+// The shared, spatially-indexed flat layout database.
+//
+// Before this existed, every geometry consumer — DRC, extraction, the
+// SVG writer, the area reports — independently called
+// Cell::flatten_by_layer() and rebuilt its own ad-hoc per-layer rect
+// vectors (DRC even kept a private spatial hash), so a full-macro
+// signoff flattened the hierarchy three-plus times and ran its scans
+// effectively pairwise. LayoutDB flattens the hierarchy exactly once
+// into a per-layer, tile-bucketed spatial index and becomes the one
+// artifact the whole signoff flow shares:
+//
+//     cells --(flatten once)--> LayoutDB --> { DRC, extract, LVS,
+//                                              writers, pnr checks }
+//
+// Contracts:
+//   * Shape order. Per layer, shapes are stored in the exact order the
+//     depth-first Cell::flatten() visit produces them — the same order
+//     flatten_by_layer() historically returned. Extraction's net
+//     numbering and the SVG writer's paint order are functions of that
+//     order, so their outputs are bit-identical to the pre-LayoutDB
+//     code by construction.
+//   * Tiling. Each layer with shapes gets a uniform tile grid over the
+//     layer's bounding box. The tile edge is the caller's choice — DRC
+//     sizes it from the technology's maximum interaction distance (the
+//     largest spacing/enclosure rule, see drc::tile_size_for), so any
+//     rule check on a shape only ever needs the shape's own tile and
+//     its eight neighbors. A shape straddling tiles is registered in
+//     every tile it touches; queries deduplicate by shape id.
+//   * Determinism. Queries report shape ids in strictly increasing id
+//     order, independent of tile geometry, so everything built on top
+//     (parallel DRC included) is reproducible bit-for-bit.
+//   * Provenance. Every shape carries the instance path that produced
+//     it ("ROWDEC/dec3/inv" style, segments joined with '/'; shapes
+//     owned by the top cell itself have an empty path). Paths are kept
+//     as a compact parent-pointer tree — one node per flattened
+//     instance, not per shape — and materialized only on demand, so a
+//     DRC/ERC violation or an extracted device can name the instance
+//     that produced it without the database paying a per-shape string.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "geom/cell.hpp"
+#include "geom/geometry.hpp"
+#include "geom/layer.hpp"
+
+namespace bisram::geom {
+
+/// Generic tile-bucketed index over a rectangle set. LayoutDB holds one
+/// per layer; extraction reuses it for its split diffusion pieces.
+class TileIndex {
+ public:
+  TileIndex() = default;
+
+  /// Indexes `rects` with uniform square tiles of edge `tile` (DBU,
+  /// clamped to >= 1) over the set's bounding box. The rect vector must
+  /// outlive the index (ids refer into it).
+  TileIndex(const std::vector<Rect>& rects, Coord tile);
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  Coord tile() const { return tile_; }
+  const Rect& bounds() const { return bounds_; }
+  int tile_cols() const { return cols_; }
+  int tile_rows() const { return rows_; }
+
+  /// Shape ids bucketed into tile (tx, ty), in insertion (= id) order,
+  /// each id possibly present in several tiles.
+  const std::vector<std::uint32_t>& bucket(int tx, int ty) const;
+
+  /// Ids of rects whose *home tile* — the tile containing the rect's lo
+  /// corner — is (tx, ty). Each rect has exactly one home tile, which
+  /// gives parallel per-tile passes a duplicate-free partition of the
+  /// rect set.
+  std::vector<std::uint32_t> homed_in(int tx, int ty) const;
+
+  /// Calls fn(id) for every rect intersecting `window` (edge-touching
+  /// counts, as Rect::intersects), in strictly increasing id order,
+  /// each id exactly once.
+  void for_each_in(const Rect& window,
+                   const std::function<void(std::uint32_t)>& fn) const;
+
+  /// Collects the ids for_each_in would visit.
+  std::vector<std::uint32_t> ids_in(const Rect& window) const;
+
+ private:
+  int tx_of(Coord x) const;
+  int ty_of(Coord y) const;
+
+  const std::vector<Rect>* rects_ = nullptr;
+  std::size_t count_ = 0;
+  Coord tile_ = 1;
+  Rect bounds_{};
+  int cols_ = 0;
+  int rows_ = 0;
+  std::vector<std::vector<std::uint32_t>> buckets_;  // row-major [ty*cols+tx]
+};
+
+/// One flattened shape: its absolute rect plus the id of the instance
+/// path that produced it.
+struct DbShape {
+  Rect rect;
+  std::uint32_t path = 0;  ///< LayoutDB path-node id (0 = the top cell)
+};
+
+class LayoutDB {
+ public:
+  /// Flattens `top` once and indexes every layer with tile edge
+  /// `tile_size` (DBU; values < 1 are clamped to 1). Pick the tile from
+  /// the largest interaction distance of the checks you plan to run —
+  /// drc::tile_size_for(tech) for signoff — or kDefaultTile for
+  /// geometry-only queries.
+  explicit LayoutDB(const Cell& top, Coord tile_size = kDefaultTile);
+
+  /// 16 lambda: comfortably above every rule in the scalable decks, so
+  /// geometry-only users need not consult a Tech.
+  static constexpr Coord kDefaultTile = 160;
+
+  const std::string& top_name() const { return top_name_; }
+  Coord tile_size() const { return tile_; }
+  /// The top cell's ports (copied; already in top coordinates). Lets
+  /// extraction and pin-aware checks run entirely off the database.
+  const std::vector<Port>& ports() const { return ports_; }
+
+  // --- shapes ---------------------------------------------------------------
+  /// Flattened shapes of `layer` in depth-first flatten order. The rect
+  /// at index i is rects(layer)[i]; the two vectors are parallel.
+  const std::vector<DbShape>& shapes(Layer layer) const {
+    return shapes_[static_cast<std::size_t>(layer)];
+  }
+  /// Just the rects of `layer` (parallel to shapes(layer)); this is the
+  /// exact vector Cell::flatten_by_layer() used to produce.
+  const std::vector<Rect>& rects(Layer layer) const {
+    return rects_[static_cast<std::size_t>(layer)];
+  }
+  const TileIndex& index(Layer layer) const {
+    return index_[static_cast<std::size_t>(layer)];
+  }
+
+  /// Total flattened shape count over all layers.
+  std::size_t shape_count() const;
+
+  // --- queries --------------------------------------------------------------
+  /// fn(id) for every shape of `layer` intersecting `window`, in
+  /// strictly increasing id order, each exactly once.
+  void for_each_in(Layer layer, const Rect& window,
+                   const std::function<void(std::uint32_t)>& fn) const;
+
+  /// fn(id) for every shape of `layer` within Manhattan distance `d` of
+  /// `rect` (rect_gap <= d), excluding `rect` itself only if the caller
+  /// filters — all candidates produced by the expanded-window query are
+  /// gap-checked before fn is called.
+  void neighbors_within(Layer layer, const Rect& rect, Coord d,
+                        const std::function<void(std::uint32_t)>& fn) const;
+
+  /// Bounding box over every layer (empty Rect when no shapes).
+  Rect bbox() const { return bbox_; }
+  /// Bounding box of one layer.
+  Rect layer_bbox(Layer layer) const {
+    return index(layer).bounds();
+  }
+
+  /// Sum of shape areas on `layer` (overlaps counted multiply).
+  double layer_area(Layer layer) const;
+  /// Exact merged area of `layer` (overlaps counted once).
+  double layer_union_area(Layer layer) const;
+
+  /// Poly-over-diffusion crossing count (the structural transistor
+  /// census Cell::transistor_census() reports), answered with indexed
+  /// overlap queries instead of the historical all-pairs scan.
+  std::size_t transistor_census() const;
+
+  // --- provenance -----------------------------------------------------------
+  /// Materializes the instance path of path-node `id`: '/'-joined
+  /// instance names from the top cell down ("" for the top itself).
+  std::string path_name(std::uint32_t id) const;
+  /// Convenience: the path of shape `shape_id` on `layer`.
+  std::string shape_path(Layer layer, std::uint32_t shape_id) const {
+    return path_name(shapes(layer)[shape_id].path);
+  }
+  /// Number of path nodes (top + every flattened instance).
+  std::size_t path_count() const { return path_parent_.size(); }
+
+ private:
+  void flatten_cell(const Cell& cell, const Transform& t, std::uint32_t path);
+
+  std::string top_name_;
+  std::vector<Port> ports_;
+  Coord tile_ = kDefaultTile;
+  Rect bbox_{};
+  std::array<std::vector<DbShape>, kLayerCount> shapes_;
+  std::array<std::vector<Rect>, kLayerCount> rects_;
+  std::array<TileIndex, kLayerCount> index_;
+  // Parent-pointer path tree; node 0 is the top cell. Names are stored
+  // by value (instance names are short; the tree has one node per
+  // flattened instance, not per shape).
+  std::vector<std::uint32_t> path_parent_;
+  std::vector<std::string> path_name_;
+};
+
+}  // namespace bisram::geom

@@ -78,8 +78,14 @@ void write_cif(std::ostream& os, const Cell& top, double lambda_nm) {
   os << "C " << ids[&top] << ";\nE\n";
 }
 
-void write_svg(std::ostream& os, const Cell& top, int max_px) {
-  const Rect box = top.bbox();
+namespace {
+
+// Shared SVG body for both write_svg overloads: `rects_of(layer)` must
+// return the flattened rects of a layer in flatten order (paint order is
+// part of the output contract).
+template <typename RectsOf>
+void svg_from_rects(std::ostream& os, const Rect& box, int max_px,
+                    RectsOf&& rects_of) {
   ensure(!box.empty(), "write_svg: empty layout");
   const double w = static_cast<double>(box.width());
   const double h = static_cast<double>(box.height());
@@ -91,9 +97,8 @@ void write_svg(std::ostream& os, const Cell& top, int max_px) {
      << "\">\n<rect width=\"100%\" height=\"100%\" fill=\"#ffffff\"/>\n";
 
   // Draw in stack order so wells sit below metal.
-  auto by_layer = top.flatten_by_layer();
   for (Layer layer : all_layers()) {
-    const auto& rects = by_layer[static_cast<std::size_t>(layer)];
+    const std::vector<Rect>& rects = rects_of(layer);
     if (rects.empty()) continue;
     os << "<g fill=\"" << layer_color(layer) << "\" fill-opacity=\"0.55\">\n";
     for (const Rect& r : rects) {
@@ -107,6 +112,20 @@ void write_svg(std::ostream& os, const Cell& top, int max_px) {
     os << "</g>\n";
   }
   os << "</svg>\n";
+}
+
+}  // namespace
+
+void write_svg(std::ostream& os, const Cell& top, int max_px) {
+  const auto by_layer = top.flatten_by_layer();
+  svg_from_rects(os, top.bbox(), max_px, [&](Layer layer) -> const auto& {
+    return by_layer[static_cast<std::size_t>(layer)];
+  });
+}
+
+void write_svg(std::ostream& os, const LayoutDB& db, int max_px) {
+  svg_from_rects(os, db.bbox(), max_px,
+                 [&](Layer layer) -> const auto& { return db.rects(layer); });
 }
 
 namespace {

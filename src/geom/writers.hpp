@@ -6,6 +6,7 @@
 #include <string>
 
 #include "geom/cell.hpp"
+#include "geom/layout_db.hpp"
 
 namespace bisram::geom {
 
@@ -16,6 +17,12 @@ void write_cif(std::ostream& os, const Cell& top, double lambda_nm);
 /// Renders the flattened layout as an SVG document.
 /// `max_px` bounds the longer image side in pixels.
 void write_svg(std::ostream& os, const Cell& top, int max_px = 1600);
+
+/// Same rendering from a prebuilt LayoutDB (the signoff path: one
+/// flattening shared with DRC/extract). Shape order per layer equals
+/// flatten order, so the document is byte-identical to the Cell
+/// overload's.
+void write_svg(std::ostream& os, const LayoutDB& db, int max_px = 1600);
 
 /// Renders a floorplan view: instance outlines (with names) down to
 /// `depth` levels plus the top cell's own shapes. Multi-megabit arrays

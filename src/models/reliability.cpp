@@ -73,14 +73,6 @@ sim::CampaignResult<double> reliability_mc(const sim::RamGeometry& geo,
   return out;
 }
 
-double reliability_mc(const sim::RamGeometry& geo, double lambda_per_hour,
-                      double t_hours, int trials, std::uint64_t seed) {
-  sim::CampaignSpec spec;
-  spec.trials = trials;
-  spec.seed = seed;
-  return reliability_mc(geo, lambda_per_hour, t_hours, spec).value;
-}
-
 double mttf_hours(const sim::RamGeometry& geo, double lambda_per_hour) {
   require(lambda_per_hour > 0, "mttf_hours: rate must be positive");
   // R(t) decays on the scale where E[failed words] ~ spares. Find a

@@ -43,10 +43,6 @@ sim::CampaignResult<double> reliability_mc(const sim::RamGeometry& geo,
                                            double t_hours,
                                            const sim::CampaignSpec& spec);
 
-/// Deprecated forwarder (pre-CampaignSpec signature; one PR of grace).
-double reliability_mc(const sim::RamGeometry& geo, double lambda_per_hour,
-                      double t_hours, int trials, std::uint64_t seed);
-
 /// Mean time to failure in hours (numeric integration of R).
 double mttf_hours(const sim::RamGeometry& geo, double lambda_per_hour);
 

@@ -120,15 +120,6 @@ sim::CampaignResult<double> repair_probability_mc(
   return out;
 }
 
-double repair_probability_mc(const sim::RamGeometry& geo,
-                             std::int64_t defects, int trials,
-                             std::uint64_t seed) {
-  sim::CampaignSpec spec;
-  spec.trials = trials;
-  spec.seed = seed;
-  return repair_probability_mc(geo, defects, spec).value;
-}
-
 double bisr_yield(const sim::RamGeometry& geo, double defect_mean,
                   double alpha, double growth) {
   require(growth >= 1.0, "bisr_yield: growth factor must be >= 1");
@@ -240,16 +231,6 @@ sim::CampaignResult<BisrYieldMc> bisr_yield_mc_with_bist(
   out.value.bist_repaired = static_cast<double>(counts.repaired) / spec.trials;
   out.value.strict_good = static_cast<double>(counts.strict) / spec.trials;
   return out;
-}
-
-BisrYieldMc bisr_yield_mc_with_bist(const sim::RamGeometry& geo,
-                                    double defect_mean, double alpha,
-                                    double growth, int trials,
-                                    std::uint64_t seed) {
-  sim::CampaignSpec spec;
-  spec.trials = trials;
-  spec.seed = seed;
-  return bisr_yield_mc_with_bist(geo, defect_mean, alpha, growth, spec).value;
 }
 
 double repair_logic_yield(double defect_mean, double alpha, double growth,

@@ -47,12 +47,6 @@ sim::CampaignResult<double> repair_probability_mc(
     const sim::RamGeometry& geo, std::int64_t defects,
     const sim::CampaignSpec& spec);
 
-/// Deprecated forwarder (pre-CampaignSpec signature; one PR of grace):
-/// equivalent to the overload above with CampaignSpec{trials, seed}.
-double repair_probability_mc(const sim::RamGeometry& geo,
-                             std::int64_t defects, int trials,
-                             std::uint64_t seed);
-
 /// Yield of a RAM *without* spares at defect mean m: Stapper.
 /// Yield *with* spares and BISR at the same nonredundant defect mean m:
 /// E_K[repair_probability(K)] with K ~ NegBin(mean = m * growth, alpha).
@@ -98,12 +92,6 @@ struct BisrYieldMc {
 sim::CampaignResult<BisrYieldMc> bisr_yield_mc_with_bist(
     const sim::RamGeometry& geo, double defect_mean, double alpha,
     double growth, const sim::CampaignSpec& spec);
-
-/// Deprecated forwarder (pre-CampaignSpec signature; one PR of grace).
-BisrYieldMc bisr_yield_mc_with_bist(const sim::RamGeometry& geo,
-                                    double defect_mean, double alpha,
-                                    double growth, int trials,
-                                    std::uint64_t seed);
 
 // --- repair-logic defects (sim/infra_faults.hpp) ----------------------------
 //

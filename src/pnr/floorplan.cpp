@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <memory>
+#include <tuple>
 
+#include "geom/layout_db.hpp"
 #include "util/error.hpp"
 
 namespace bisram::pnr {
@@ -166,6 +169,170 @@ FloorplanResult floorplan(const std::vector<Block>& blocks,
 
 namespace {
 
+/// One abutting connected pin pair under a plan: blocks a and b sit
+/// side by side (outline gap <= reach) and the net asks their ports to
+/// line up along the shared edge.
+struct AbutPair {
+  int block_a = 0;
+  int block_b = 0;
+  bool slide_y = false;  ///< true: horizontal neighbors, align in y
+  Coord offset = 0;      ///< port-centre offset along the edge (a - b)
+};
+
+/// Visits every abutting connected pin pair of `nets` under the given
+/// outlines/placements, in net order then pin-pair order (deterministic).
+template <typename Fn>
+void for_each_abutting_pair(const std::vector<Block>& blocks,
+                            const std::vector<Net>& nets,
+                            const std::vector<Transform>& placements,
+                            const std::vector<Rect>& outlines, Coord reach,
+                            Fn&& fn) {
+  for (const auto& net : nets) {
+    for (std::size_t i = 0; i < net.pins.size(); ++i) {
+      for (std::size_t j = i + 1; j < net.pins.size(); ++j) {
+        const auto& [ba, porta] = net.pins[i];
+        const auto& [bb, portb] = net.pins[j];
+        if (ba == bb) continue;
+        const Rect& oa = outlines[static_cast<std::size_t>(ba)];
+        const Rect& ob = outlines[static_cast<std::size_t>(bb)];
+        if (geom::rect_gap(oa, ob) > reach) continue;
+        // Side-by-side when the outlines share a span on exactly one
+        // axis; diagonal neighbors have no common edge to slide along.
+        const bool share_y = oa.lo.y < ob.hi.y && ob.lo.y < oa.hi.y;
+        const bool share_x = oa.lo.x < ob.hi.x && ob.lo.x < oa.hi.x;
+        if (share_y == share_x) continue;
+        const Rect ra = port_rect(blocks[static_cast<std::size_t>(ba)],
+                                  placements[static_cast<std::size_t>(ba)],
+                                  porta);
+        const Rect rb = port_rect(blocks[static_cast<std::size_t>(bb)],
+                                  placements[static_cast<std::size_t>(bb)],
+                                  portb);
+        AbutPair pair;
+        pair.block_a = ba;
+        pair.block_b = bb;
+        pair.slide_y = share_y;  // horizontal neighbors slide vertically
+        pair.offset = share_y ? ra.center().y - rb.center().y
+                              : ra.center().x - rb.center().x;
+        fn(pair);
+      }
+    }
+  }
+}
+
+std::vector<Transform> placement_transforms(const FloorplanResult& plan,
+                                            std::size_t nblocks) {
+  std::vector<Transform> ts(nblocks);
+  for (const auto& p : plan.placements)
+    ts[static_cast<std::size_t>(p.block)] = p.transform;
+  return ts;
+}
+
+std::vector<Rect> placement_outlines(const std::vector<Block>& blocks,
+                                     const std::vector<Transform>& ts) {
+  std::vector<Rect> outlines;
+  outlines.reserve(blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i)
+    outlines.push_back(ts[i].apply(blocks[i].cell->bbox()));
+  return outlines;
+}
+
+double misalignment_of(const std::vector<Block>& blocks,
+                       const std::vector<Net>& nets,
+                       const std::vector<Transform>& ts,
+                       const std::vector<Rect>& outlines, Coord reach) {
+  double sum = 0.0;
+  for_each_abutting_pair(blocks, nets, ts, outlines, reach,
+                         [&](const AbutPair& p) {
+                           sum += static_cast<double>(
+                               p.offset < 0 ? -p.offset : p.offset);
+                         });
+  return sum;
+}
+
+}  // namespace
+
+double port_misalignment(const std::vector<Block>& blocks,
+                         const std::vector<Net>& nets,
+                         const FloorplanResult& plan, Coord abut_reach) {
+  const auto ts = placement_transforms(plan, blocks.size());
+  return misalignment_of(blocks, nets, ts, placement_outlines(blocks, ts),
+                         abut_reach);
+}
+
+FloorplanResult stretch(const std::vector<Block>& blocks,
+                        const std::vector<Net>& nets,
+                        const FloorplanResult& plan, Coord abut_reach,
+                        StretchStats* stats) {
+  auto ts = placement_transforms(plan, blocks.size());
+  auto outlines = placement_outlines(blocks, ts);
+
+  StretchStats local;
+  local.misalignment_before_dbu =
+      misalignment_of(blocks, nets, ts, outlines, abut_reach);
+  double current = local.misalignment_before_dbu;
+
+  // Greedy passes: slide the pair's second block along the shared edge to
+  // zero its offset, keeping a move only when no outlines overlap and the
+  // total misalignment strictly drops (integer coordinates, so the strict
+  // drop bounds the loop). Repeat until a pass applies nothing.
+  bool changed = true;
+  while (changed && current > 0.0) {
+    changed = false;
+    // Collect this pass's candidates first: applying a move invalidates
+    // the outlines the visitor iterates over.
+    std::vector<AbutPair> pairs;
+    for_each_abutting_pair(blocks, nets, ts, outlines, abut_reach,
+                           [&](const AbutPair& p) { pairs.push_back(p); });
+    for (const AbutPair& p : pairs) {
+      if (p.offset == 0) continue;
+      const auto bi = static_cast<std::size_t>(p.block_b);
+      const Coord dx = p.slide_y ? 0 : p.offset;
+      const Coord dy = p.slide_y ? p.offset : 0;
+      const Transform moved = Transform::translate(dx, dy).compose(ts[bi]);
+      const Rect outline = moved.apply(blocks[bi].cell->bbox());
+      bool collides = false;
+      for (std::size_t o = 0; o < outlines.size(); ++o)
+        if (o != bi && outline.overlaps(outlines[o])) collides = true;
+      if (collides) continue;
+      const Transform prev_t = ts[bi];
+      const Rect prev_o = outlines[bi];
+      ts[bi] = moved;
+      outlines[bi] = outline;
+      const double next =
+          misalignment_of(blocks, nets, ts, outlines, abut_reach);
+      if (next < current) {
+        current = next;
+        ++local.moves;
+        changed = true;
+      } else {
+        ts[bi] = prev_t;
+        outlines[bi] = prev_o;
+      }
+    }
+  }
+
+  FloorplanResult out;
+  out.placements.reserve(blocks.size());
+  Rect bbox{};
+  double area_sum = 0.0;
+  std::map<int, Transform> placed;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    out.placements.push_back({static_cast<int>(i), ts[i]});
+    bbox = bbox.united(outlines[i]);
+    area_sum += blocks[i].cell->bbox().area();
+    placed[static_cast<int>(i)] = ts[i];
+  }
+  out.bbox = bbox;
+  out.rectangularity = area_sum / bbox.area();
+  out.wirelength_dbu = total_hpwl(nets, blocks, placed);
+
+  local.misalignment_after_dbu = current;
+  if (stats) *stats = local;
+  return out;
+}
+
+namespace {
+
 /// Draws a via stack from `layer` up to metal3 at the given point.
 void via_stack_to_m3(geom::Cell& top, const tech::Tech& t, geom::Layer layer,
                      geom::Point at) {
@@ -215,7 +382,8 @@ void draw_bridge(geom::Cell& top, const tech::Tech& t, geom::Layer layer,
 
 CellPtr build_top(geom::Library& lib, const tech::Tech& t,
                   const std::string& name, const std::vector<Block>& blocks,
-                  const std::vector<Net>& nets, const FloorplanResult& plan) {
+                  const std::vector<Net>& nets, const FloorplanResult& plan,
+                  RouteStats* stats) {
   auto top = lib.create(name);
   std::vector<Rect> outlines;
   for (const auto& p : plan.placements) {
@@ -223,6 +391,16 @@ CellPtr build_top(geom::Library& lib, const tech::Tech& t,
     top->add_instance(block.name, block.cell, p.transform);
     outlines.push_back(p.transform.apply(block.cell->bbox()));
   }
+
+  // Snapshot the placed blocks before any route shape exists: the
+  // over-the-cell wires are validated against this database (one
+  // flatten) instead of re-flattening the finished top.
+  std::unique_ptr<geom::LayoutDB> block_db;
+  if (stats) {
+    *stats = RouteStats{};
+    block_db = std::make_unique<geom::LayoutDB>(*top);
+  }
+  std::vector<Rect> route_wires;
 
   const Coord w3 = t.rule(geom::Layer::Metal3).min_width;
   int net_ordinal = 0;
@@ -289,14 +467,40 @@ CellPtr build_top(geom::Library& lib, const tech::Tech& t,
       const geom::Point corner{b.x, a.y};
       auto add_wire = [&](geom::Point p0, geom::Point p1) {
         if (p0.x == p1.x && p0.y == p1.y) return;
-        top->add_shape(geom::Layer::Metal3,
-                       Rect::ltrb(std::min(p0.x, p1.x) - w3 / 2,
-                                  std::min(p0.y, p1.y) - w3 / 2,
-                                  std::max(p0.x, p1.x) + w3 / 2,
-                                  std::max(p0.y, p1.y) + w3 / 2));
+        const Rect wire = Rect::ltrb(std::min(p0.x, p1.x) - w3 / 2,
+                                     std::min(p0.y, p1.y) - w3 / 2,
+                                     std::max(p0.x, p1.x) + w3 / 2,
+                                     std::max(p0.y, p1.y) + w3 / 2);
+        top->add_shape(geom::Layer::Metal3, wire);
+        if (stats) {
+          ++stats->m3_wires;
+          stats->m3_length_dbu += static_cast<double>(
+              std::max(std::max(p0.x, p1.x) - std::min(p0.x, p1.x),
+                       std::max(p0.y, p1.y) - std::min(p0.y, p1.y)));
+          route_wires.push_back(wire);
+        }
       };
       add_wire(a, corner);
       add_wire(corner, b);
+      if (stats) {
+        ++stats->routed_spans;
+        stats->via_stacks += 2;
+      }
+    }
+  }
+
+  if (stats) {
+    // Indexed overlap check of every route wire against block-internal
+    // metal3; a positive-area overlap is a genuine over-the-cell
+    // conflict, reported with the offending instance's path.
+    const auto& m3 = block_db->rects(geom::Layer::Metal3);
+    for (const Rect& wire : route_wires) {
+      block_db->for_each_in(geom::Layer::Metal3, wire, [&](std::uint32_t id) {
+        if (!wire.overlaps(m3[id])) return;
+        ++stats->m3_conflicts;
+        stats->conflict_paths.push_back(
+            block_db->shape_path(geom::Layer::Metal3, id));
+      });
     }
   }
   return top;

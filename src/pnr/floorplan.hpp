@@ -64,11 +64,56 @@ FloorplanResult floorplan(const std::vector<Block>& blocks,
                           const std::vector<Net>& nets,
                           const FloorplanOptions& options = {});
 
+/// Total remaining port misalignment of `plan` in DBU: for every
+/// connected pin pair whose block outlines abut (outline gap <=
+/// abut_reach) side-by-side, the offset of the two port centres along
+/// the shared edge. Zero means every abutting connection lines up.
+double port_misalignment(const std::vector<Block>& blocks,
+                         const std::vector<Net>& nets,
+                         const FloorplanResult& plan,
+                         Coord abut_reach = geom::dbu(16));
+
+struct StretchStats {
+  int moves = 0;  ///< block translations applied
+  double misalignment_before_dbu = 0;
+  double misalignment_after_dbu = 0;
+};
+
+/// The paper's stretching post-pass: slides blocks along their abutment
+/// edge to zero out remaining port misalignment, applying a slide only
+/// when it introduces no block overlap and strictly reduces the total
+/// misalignment (which also bounds the pass). Opt-in — callers that
+/// want the seed placement untouched simply skip it. Returns the
+/// adjusted plan with bbox/rectangularity/wirelength recomputed.
+FloorplanResult stretch(const std::vector<Block>& blocks,
+                        const std::vector<Net>& nets,
+                        const FloorplanResult& plan,
+                        Coord abut_reach = geom::dbu(16),
+                        StretchStats* stats = nullptr);
+
+/// Statistics from build_top's over-the-cell metal3 routing, validated
+/// against a LayoutDB snapshot of the placed blocks (built once, before
+/// any route shape is added).
+struct RouteStats {
+  int routed_spans = 0;  ///< pin-to-pin spans given an L-route
+  int via_stacks = 0;
+  int m3_wires = 0;
+  double m3_length_dbu = 0;  ///< centreline length of the route wires
+  /// Route wires overlapping block-internal metal3 with positive area —
+  /// true over-the-cell conflicts; conflict_paths names the offending
+  /// instance (LayoutDB provenance), one entry per conflicting pair.
+  int m3_conflicts = 0;
+  std::vector<std::string> conflict_paths;
+};
+
 /// Builds the placed top-level cell and routes every non-abutting net
 /// with an L-shaped over-the-cell metal3 wire (via stacks at the pins).
+/// When `stats` is non-null, the routes are validated against the
+/// placed-blocks LayoutDB and the tallies filled in.
 CellPtr build_top(geom::Library& lib, const tech::Tech& t,
                   const std::string& name, const std::vector<Block>& blocks,
-                  const std::vector<Net>& nets, const FloorplanResult& plan);
+                  const std::vector<Net>& nets, const FloorplanResult& plan,
+                  RouteStats* stats = nullptr);
 
 // --- channel routing ---------------------------------------------------------
 

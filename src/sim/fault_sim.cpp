@@ -88,16 +88,4 @@ CampaignResult<std::vector<Coverage>> fault_coverage(
   return out;
 }
 
-std::vector<Coverage> fault_coverage(const march::MarchTest& test,
-                                     const RamGeometry& geo,
-                                     const std::vector<FaultKind>& kinds,
-                                     int trials, bool johnson_backgrounds,
-                                     std::uint64_t seed, CouplingScope scope) {
-  CampaignSpec spec;
-  spec.trials = trials;
-  spec.seed = seed;
-  return fault_coverage(test, geo, kinds, johnson_backgrounds, spec, scope)
-      .value;
-}
-
 }  // namespace bisram::sim

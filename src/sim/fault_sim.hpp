@@ -61,12 +61,4 @@ CampaignResult<std::vector<Coverage>> fault_coverage(
     const CampaignSpec& spec,
     CouplingScope scope = CouplingScope::PhysicalNeighbor);
 
-/// Deprecated forwarder (pre-CampaignSpec signature; one PR of grace):
-/// equivalent to the overload above with CampaignSpec{trials, seed} and
-/// the provenance dropped.
-std::vector<Coverage> fault_coverage(
-    const march::MarchTest& test, const RamGeometry& geo,
-    const std::vector<FaultKind>& kinds, int trials, bool johnson_backgrounds,
-    std::uint64_t seed, CouplingScope scope = CouplingScope::PhysicalNeighbor);
-
 }  // namespace bisram::sim

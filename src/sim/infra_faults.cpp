@@ -320,13 +320,4 @@ CampaignResult<InfraCampaignReport> infra_fault_campaign(
   return out;
 }
 
-InfraCampaignReport infra_fault_campaign(const RamGeometry& geo,
-                                         const InfraTrialConfig& config,
-                                         int trials, std::uint64_t seed) {
-  CampaignSpec spec;
-  spec.trials = trials;
-  spec.seed = seed;
-  return infra_fault_campaign(geo, config, spec).value;
-}
-
 }  // namespace bisram::sim

@@ -169,9 +169,4 @@ CampaignResult<InfraCampaignReport> infra_fault_campaign(
     const RamGeometry& geo, const InfraTrialConfig& config,
     const CampaignSpec& spec);
 
-/// Deprecated forwarder (pre-CampaignSpec signature; one PR of grace).
-InfraCampaignReport infra_fault_campaign(const RamGeometry& geo,
-                                         const InfraTrialConfig& config,
-                                         int trials, std::uint64_t seed);
-
 }  // namespace bisram::sim

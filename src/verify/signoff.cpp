@@ -85,7 +85,10 @@ SignoffReport run_signoff(const core::RamSpec& spec,
   const tech::Tech& tech = spec.resolved_technology();
   if (options.run_drc) {
     rep.drc_ran = true;
-    const auto violations = drc::check(*g.top, tech);
+    // One flatten into the shared layout database; the checker runs its
+    // per-tile passes in parallel over it.
+    const geom::LayoutDB db(*g.top, drc::tile_size_for(tech));
+    const auto violations = drc::check(db, tech);
     rep.drc_violations = violations.size();
     for (std::size_t i = 0;
          i < std::min(violations.size(), options.max_drc_details); ++i)

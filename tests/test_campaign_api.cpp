@@ -1,6 +1,7 @@
 // The unified campaign API contract (sim/campaign.hpp):
-//   * the deprecated (trials, seed) forwarders are bit-identical to the
-//     CampaignSpec overloads they wrap, for all five campaigns;
+//   * rerunning the same CampaignSpec reproduces every result bit-for-bit
+//     (the reproducibility the retired (trials, seed) forwarders relied
+//     on), for all five campaigns;
 //   * provenance audits the dispatch (packed + scalar == trials) and the
 //     resolved thread count;
 //   * results are thread-count invariant through spec.threads;
@@ -43,76 +44,73 @@ CampaignSpec spec_of(int trials, std::uint64_t seed) {
   return s;
 }
 
-// --- forwarder bit-identity -------------------------------------------------
+// --- reproducibility and dispatch provenance --------------------------------
 
-TEST(CampaignForwarders, FaultCoverageMatchesSpecOverload) {
+TEST(CampaignProvenance, FaultCoverageReproducibleAndAuditsDispatch) {
   const auto geo = small_geo();
   const std::vector<sim::FaultKind> kinds = {sim::FaultKind::StuckAt0,
                                              sim::FaultKind::CouplingIdem,
                                              sim::FaultKind::StuckOpen};
-  const auto legacy =
-      sim::fault_coverage(march::ifa9(), geo, kinds, 20, true, 77);
-  const auto unified = sim::fault_coverage(march::ifa9(), geo, kinds, true,
-                                           spec_of(20, 77));
-  ASSERT_EQ(legacy.size(), unified.value.size());
-  for (std::size_t i = 0; i < legacy.size(); ++i) {
-    EXPECT_EQ(legacy[i].kind, unified.value[i].kind);
-    EXPECT_EQ(legacy[i].detected, unified.value[i].detected);
-    EXPECT_EQ(legacy[i].total, unified.value[i].total);
+  const auto first = sim::fault_coverage(march::ifa9(), geo, kinds, true,
+                                         spec_of(20, 77));
+  const auto again = sim::fault_coverage(march::ifa9(), geo, kinds, true,
+                                         spec_of(20, 77));
+  ASSERT_EQ(first.value.size(), again.value.size());
+  for (std::size_t i = 0; i < first.value.size(); ++i) {
+    EXPECT_EQ(first.value[i].kind, again.value[i].kind);
+    EXPECT_EQ(first.value[i].detected, again.value[i].detected);
+    EXPECT_EQ(first.value[i].total, again.value[i].total);
   }
   // Provenance sums over the per-kind segments.
-  EXPECT_EQ(unified.provenance.trials, 60);
-  EXPECT_EQ(unified.provenance.packed_trials +
-                unified.provenance.scalar_trials,
-            unified.provenance.trials);
+  EXPECT_EQ(first.provenance.trials, 60);
+  EXPECT_EQ(first.provenance.packed_trials + first.provenance.scalar_trials,
+            first.provenance.trials);
   // StuckOpen trials cannot be packed; stuck-at / coupling trials can.
-  EXPECT_GE(unified.provenance.packed_trials, 40);
-  EXPECT_GE(unified.provenance.scalar_trials, 20);
+  EXPECT_GE(first.provenance.packed_trials, 40);
+  EXPECT_GE(first.provenance.scalar_trials, 20);
 }
 
-TEST(CampaignForwarders, RepairProbabilityMcMatchesSpecOverload) {
+TEST(CampaignProvenance, RepairProbabilityMcReproducible) {
   const auto geo = small_geo();
-  const double legacy = models::repair_probability_mc(geo, 6, 300, 9);
-  const auto unified =
-      models::repair_probability_mc(geo, 6, spec_of(300, 9));
-  EXPECT_EQ(legacy, unified.value);
-  EXPECT_EQ(unified.provenance.trials, 300);
-  EXPECT_EQ(unified.provenance.seed, 9u);
+  const auto first = models::repair_probability_mc(geo, 6, spec_of(300, 9));
+  const auto again = models::repair_probability_mc(geo, 6, spec_of(300, 9));
+  EXPECT_EQ(first.value, again.value);
+  EXPECT_EQ(first.provenance.trials, 300);
+  EXPECT_EQ(first.provenance.seed, 9u);
 }
 
-TEST(CampaignForwarders, BisrYieldMcWithBistMatchesSpecOverload) {
+TEST(CampaignProvenance, BisrYieldMcWithBistPacksEveryTrial) {
   const auto geo = small_geo();
-  const auto legacy =
-      models::bisr_yield_mc_with_bist(geo, 3.0, 2.0, 1.05, 60, 7);
-  const auto unified =
+  const auto first =
       models::bisr_yield_mc_with_bist(geo, 3.0, 2.0, 1.05, spec_of(60, 7));
-  EXPECT_EQ(legacy.bist_repaired, unified.value.bist_repaired);
-  EXPECT_EQ(legacy.strict_good, unified.value.strict_good);
+  const auto again =
+      models::bisr_yield_mc_with_bist(geo, 3.0, 2.0, 1.05, spec_of(60, 7));
+  EXPECT_EQ(first.value.bist_repaired, again.value.bist_repaired);
+  EXPECT_EQ(first.value.strict_good, again.value.strict_good);
   // Every sampled fault is a stuck-at, so Auto packs every trial.
-  EXPECT_EQ(unified.provenance.packed_trials, 60);
-  EXPECT_EQ(unified.provenance.scalar_trials, 0);
+  EXPECT_EQ(first.provenance.packed_trials, 60);
+  EXPECT_EQ(first.provenance.scalar_trials, 0);
 }
 
-TEST(CampaignForwarders, ReliabilityMcMatchesSpecOverload) {
+TEST(CampaignProvenance, ReliabilityMcReproducible) {
   const auto geo = small_geo();
-  const double legacy = models::reliability_mc(geo, 1e-9, 5e5, 400, 31);
-  const auto unified =
-      models::reliability_mc(geo, 1e-9, 5e5, spec_of(400, 31));
-  EXPECT_EQ(legacy, unified.value);
-  EXPECT_EQ(unified.provenance.trials, 400);
+  const auto first = models::reliability_mc(geo, 1e-9, 5e5, spec_of(400, 31));
+  const auto again = models::reliability_mc(geo, 1e-9, 5e5, spec_of(400, 31));
+  EXPECT_EQ(first.value, again.value);
+  EXPECT_EQ(first.provenance.trials, 400);
 }
 
-TEST(CampaignForwarders, InfraFaultCampaignMatchesSpecOverload) {
+TEST(CampaignProvenance, InfraFaultCampaignStaysScalar) {
   const auto geo = small_geo();
   sim::InfraTrialConfig cfg;
   cfg.array_faults = 1;
-  const auto legacy = sim::infra_fault_campaign(geo, cfg, 48, 11);
-  const auto unified = sim::infra_fault_campaign(geo, cfg, spec_of(48, 11));
-  EXPECT_EQ(legacy.trials, unified.value.trials);
-  EXPECT_EQ(legacy.counts, unified.value.counts);
+  const auto first = sim::infra_fault_campaign(geo, cfg, spec_of(48, 11));
+  const auto again = sim::infra_fault_campaign(geo, cfg, spec_of(48, 11));
+  EXPECT_EQ(first.value.trials, again.value.trials);
+  EXPECT_EQ(first.value.counts, again.value.counts);
   // Infra trials always run the scalar machinery.
-  EXPECT_EQ(unified.provenance.scalar_trials, 48);
-  EXPECT_EQ(unified.provenance.packed_trials, 0);
+  EXPECT_EQ(first.provenance.scalar_trials, 48);
+  EXPECT_EQ(first.provenance.packed_trials, 0);
 }
 
 // --- thread invariance through spec.threads ---------------------------------

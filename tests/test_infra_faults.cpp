@@ -299,7 +299,10 @@ TEST(InfraRandom, DrawnFaultsAreAlwaysInRange) {
 TEST(InfraCampaign, ClassifiesEveryTrialAndFindsNonBenignFaults) {
   sim::InfraTrialConfig cfg;
   cfg.array_faults = 2;
-  const auto rep = sim::infra_fault_campaign(small_geo(), cfg, 150, 77);
+  const auto rep =
+      sim::infra_fault_campaign(small_geo(), cfg,
+                                sim::CampaignSpec{.trials = 150, .seed = 77})
+          .value;
   EXPECT_EQ(rep.trials, 150);
   std::int64_t sum = 0;
   for (int o = 0; o < sim::kInfraOutcomeCount; ++o)
@@ -321,7 +324,8 @@ TEST(InfraCampaign, RejectsGeometryWithoutSpares) {
   sim::RamGeometry g = small_geo();
   g.spare_rows = 0;
   EXPECT_THROW(
-      sim::infra_fault_campaign(g, sim::InfraTrialConfig{}, 10, 1),
+      sim::infra_fault_campaign(g, sim::InfraTrialConfig{},
+                                sim::CampaignSpec{.trials = 10, .seed = 1}),
       SpecError);
 }
 

@@ -1,0 +1,222 @@
+// Tests for the shared spatial layout database (geom/layout_db.hpp):
+// the TileIndex bucketing/query contracts (id order, dedup, home-tile
+// partition), the flatten-order and provenance guarantees of LayoutDB,
+// and the derived geometry queries (areas, bbox, transistor census).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cells/leaf_cells.hpp"
+#include "geom/layout_db.hpp"
+#include "tech/tech.hpp"
+
+namespace bisram::geom {
+namespace {
+
+std::vector<Rect> lcg_rects(int n, std::uint64_t seed) {
+  std::vector<Rect> rects;
+  std::uint64_t s = seed;
+  const auto next = [&s] {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<Coord>(s >> 40);
+  };
+  for (int i = 0; i < n; ++i) {
+    const Coord x = next() % 1000, y = next() % 1000;
+    rects.push_back(Rect::ltrb(x, y, x + 1 + next() % 120,
+                               y + 1 + next() % 120));
+  }
+  return rects;
+}
+
+TEST(TileIndex, StraddlingRectLandsInEveryTileItTouches) {
+  // One rect spanning a 3x2 block of 10-DBU tiles plus one single-tile
+  // rect pinning the grid origin.
+  const std::vector<Rect> rects = {Rect::ltrb(0, 0, 5, 5),
+                                   Rect::ltrb(2, 2, 25, 15)};
+  const TileIndex idx(rects, 10);
+  int tiles_with_1 = 0;
+  for (int ty = 0; ty < idx.tile_rows(); ++ty)
+    for (int tx = 0; tx < idx.tile_cols(); ++tx)
+      for (std::uint32_t id : idx.bucket(tx, ty))
+        if (id == 1) ++tiles_with_1;
+  EXPECT_EQ(tiles_with_1, 6);  // 3 columns x 2 rows
+  // Queries dedup the straddler back to one visit.
+  EXPECT_EQ(idx.ids_in(Rect::ltrb(0, 0, 30, 20)),
+            (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(TileIndex, HomeTilesPartitionTheRectSet) {
+  const auto rects = lcg_rects(200, 11);
+  const TileIndex idx(rects, 64);
+  std::vector<int> seen(rects.size(), 0);
+  for (int ty = 0; ty < idx.tile_rows(); ++ty)
+    for (int tx = 0; tx < idx.tile_cols(); ++tx)
+      for (std::uint32_t id : idx.homed_in(tx, ty)) ++seen[id];
+  // Every rect has exactly one home tile — the duplicate-free partition
+  // the parallel DRC passes rely on.
+  EXPECT_EQ(std::count(seen.begin(), seen.end(), 1),
+            static_cast<std::ptrdiff_t>(rects.size()));
+}
+
+TEST(TileIndex, QueriesMatchLinearScanInIdOrder) {
+  const auto rects = lcg_rects(300, 5);
+  const std::vector<Rect> windows = {
+      Rect::ltrb(0, 0, 100, 100), Rect::ltrb(500, 200, 900, 800),
+      Rect::ltrb(37, 411, 38, 412), Rect::ltrb(-50, -50, 2000, 2000)};
+  // The id-order guarantee must hold for *any* tile size; that is what
+  // makes every consumer's output independent of the tiling.
+  for (Coord tile : {7, 64, 333, 5000}) {
+    const TileIndex idx(rects, tile);
+    for (const Rect& w : windows) {
+      std::vector<std::uint32_t> expect;
+      for (std::uint32_t i = 0; i < rects.size(); ++i)
+        if (rects[i].intersects(w)) expect.push_back(i);
+      EXPECT_EQ(idx.ids_in(w), expect) << "tile " << tile;
+    }
+  }
+}
+
+TEST(TileIndex, IndexesDegenerateRects) {
+  // Extraction indexes zero-width diffusion split pieces; they must be
+  // bucketed and findable like any other rect.
+  const std::vector<Rect> rects = {Rect::ltrb(40, 0, 40, 30),
+                                   Rect::ltrb(0, 0, 10, 10)};
+  const TileIndex idx(rects, 16);
+  EXPECT_EQ(idx.ids_in(Rect::ltrb(35, 5, 45, 6)),
+            std::vector<std::uint32_t>{0});
+}
+
+TEST(TileIndex, EmptySet) {
+  const std::vector<Rect> rects;
+  const TileIndex idx(rects, 16);
+  EXPECT_TRUE(idx.empty());
+  EXPECT_TRUE(idx.ids_in(Rect::ltrb(0, 0, 100, 100)).empty());
+}
+
+/// A two-level hierarchy with shapes at every level, for the flatten
+/// and provenance tests.
+struct Hier {
+  Library lib;
+  std::shared_ptr<Cell> grand, child, top;
+
+  Hier() {
+    grand = lib.create("grand");
+    grand->add_shape(Layer::Poly, Rect::ltrb(0, 0, 4, 20));
+    child = lib.create("child");
+    child->add_shape(Layer::Metal1, Rect::ltrb(0, 0, 30, 8));
+    child->add_instance("g0", grand, Transform::translate(5, 0));
+    child->add_instance("g1", grand, Transform::translate(15, 0));
+    top = lib.create("hier_top");
+    top->add_shape(Layer::Metal2, Rect::ltrb(0, 0, 100, 10));
+    top->add_instance("u0", child, Transform::translate(0, 20));
+    top->add_instance("u1", child, Transform::translate(50, 20));
+    top->add_port("a", Layer::Metal2, Rect::ltrb(0, 0, 10, 10));
+  }
+};
+
+TEST(LayoutDB, FlattenOrderMatchesFlattenByLayer) {
+  const Hier h;
+  const LayoutDB db(*h.top);
+  const auto by_layer = h.top->flatten_by_layer();
+  std::size_t total = 0;
+  for (std::size_t l = 0; l < by_layer.size(); ++l) {
+    const auto layer = static_cast<Layer>(l);
+    EXPECT_EQ(db.rects(layer), by_layer[l]) << layer_name(layer);
+    total += by_layer[l].size();
+  }
+  EXPECT_EQ(db.shape_count(), total);
+  EXPECT_EQ(db.shape_count(), h.top->flat_shape_count());
+}
+
+TEST(LayoutDB, ProvenanceNamesTheProducingInstance) {
+  const Hier h;
+  const LayoutDB db(*h.top);
+  // Top-owned shapes carry the empty path.
+  EXPECT_EQ(db.shape_path(Layer::Metal2, 0), "");
+  // The child's own metal1, once per instance, in flatten order.
+  ASSERT_EQ(db.shapes(Layer::Metal1).size(), 2u);
+  EXPECT_EQ(db.shape_path(Layer::Metal1, 0), "u0");
+  EXPECT_EQ(db.shape_path(Layer::Metal1, 1), "u1");
+  // The grandchild poly reports the full two-segment path.
+  ASSERT_EQ(db.shapes(Layer::Poly).size(), 4u);
+  EXPECT_EQ(db.shape_path(Layer::Poly, 0), "u0/g0");
+  EXPECT_EQ(db.shape_path(Layer::Poly, 1), "u0/g1");
+  EXPECT_EQ(db.shape_path(Layer::Poly, 2), "u1/g0");
+  EXPECT_EQ(db.shape_path(Layer::Poly, 3), "u1/g1");
+  // One node per flattened instance plus the top: 2 children x (1 + 2).
+  EXPECT_EQ(db.path_count(), 7u);
+}
+
+TEST(LayoutDB, CopiesTopPorts) {
+  const Hier h;
+  const LayoutDB db(*h.top);
+  ASSERT_EQ(db.ports().size(), 1u);
+  EXPECT_EQ(db.ports()[0].name, "a");
+  EXPECT_EQ(db.ports()[0].rect, Rect::ltrb(0, 0, 10, 10));
+}
+
+TEST(LayoutDB, AreasAndBbox) {
+  Library lib;
+  auto c = lib.create("areas");
+  c->add_shape(Layer::Metal1, Rect::ltrb(0, 0, 10, 10));
+  c->add_shape(Layer::Metal1, Rect::ltrb(5, 0, 15, 10));  // overlaps by 50
+  c->add_shape(Layer::Metal2, Rect::ltrb(100, 100, 110, 110));
+  const LayoutDB db(*c);
+  EXPECT_DOUBLE_EQ(db.layer_area(Layer::Metal1), 200.0);
+  EXPECT_DOUBLE_EQ(db.layer_union_area(Layer::Metal1), 150.0);
+  EXPECT_EQ(db.layer_bbox(Layer::Metal1), Rect::ltrb(0, 0, 15, 10));
+  EXPECT_EQ(db.bbox(), Rect::ltrb(0, 0, 110, 110));
+  EXPECT_DOUBLE_EQ(db.layer_area(Layer::Metal3), 0.0);
+}
+
+TEST(LayoutDB, NeighborsWithinUsesManhattanGap) {
+  Library lib;
+  auto c = lib.create("gaps");
+  c->add_shape(Layer::Metal1, Rect::ltrb(0, 0, 10, 10));    // the probe
+  c->add_shape(Layer::Metal1, Rect::ltrb(13, 0, 20, 10));   // gap 3
+  c->add_shape(Layer::Metal1, Rect::ltrb(0, 16, 10, 20));   // gap 6
+  const LayoutDB db(*c);
+  std::set<std::uint32_t> near;
+  db.neighbors_within(Layer::Metal1, Rect::ltrb(0, 0, 10, 10), 3,
+                      [&](std::uint32_t id) { near.insert(id); });
+  EXPECT_TRUE(near.count(1));
+  EXPECT_FALSE(near.count(2));
+}
+
+TEST(LayoutDB, TransistorCensusMatchesCellOnRealLeafCells) {
+  Library lib;
+  const tech::Tech& t = tech::cda_07();
+  for (const CellPtr& cell :
+       {cells::sram_cell_6t(lib, t), cells::precharge_cell(lib, t, 2),
+        cells::column_mux_cell(lib, t, 2)}) {
+    // Cell::transistor_census() itself runs through LayoutDB now; pin
+    // the absolute counts so a regression in either path shows up.
+    EXPECT_EQ(LayoutDB(*cell).transistor_census(),
+              cell->transistor_census())
+        << cell->name();
+  }
+  EXPECT_EQ(cells::sram_cell_6t(lib, t)->transistor_census(), 6u);
+}
+
+TEST(LayoutDB, QueriesAreTileSizeInvariant) {
+  Library lib;
+  const tech::Tech& t = tech::cda_07();
+  const CellPtr cell = cells::sram_cell_6t(lib, t);
+  const LayoutDB fine(*cell, 8);
+  const LayoutDB coarse(*cell, 100000);
+  for (std::size_t l = 0; l < kLayerCount; ++l) {
+    const auto layer = static_cast<Layer>(l);
+    EXPECT_EQ(fine.rects(layer), coarse.rects(layer));
+    const Rect w = fine.bbox();
+    EXPECT_EQ(fine.index(layer).empty() ? std::vector<std::uint32_t>{}
+                                        : fine.index(layer).ids_in(w),
+              coarse.index(layer).empty() ? std::vector<std::uint32_t>{}
+                                          : coarse.index(layer).ids_in(w));
+  }
+  EXPECT_EQ(fine.transistor_census(), coarse.transistor_census());
+}
+
+}  // namespace
+}  // namespace bisram::geom

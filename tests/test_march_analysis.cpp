@@ -88,7 +88,10 @@ TEST(MarchAnalysis, ProofsAgreeWithFaultSimulator) {
     const MarchAnalysis proof = analyze(*test);
     for (const auto& c : classes) {
       if (!(proof.*(c.proved))) continue;  // no claim, nothing to check
-      const auto cov = sim::fault_coverage(*test, g, {c.kind}, 30, true, 77);
+      const auto cov =
+          sim::fault_coverage(*test, g, {c.kind}, true,
+                              sim::CampaignSpec{.trials = 30, .seed = 77})
+              .value;
       EXPECT_DOUBLE_EQ(cov[0].fraction(), 1.0)
           << test->name() << " proved " << sim::fault_name(c.kind)
           << " covered but the simulator measured "

@@ -72,7 +72,10 @@ TEST(Yield, AnalyticMatchesMonteCarlo) {
   const auto g = fig4_geo(4);
   for (int defects : {4, 10, 16, 24}) {
     const double analytic = repair_probability(g, defects);
-    const double mc = repair_probability_mc(g, defects, 4000, 99);
+    const double mc =
+        repair_probability_mc(
+            g, defects, sim::CampaignSpec{.trials = 4000, .seed = 99})
+            .value;
     EXPECT_NEAR(analytic, mc, 0.03) << defects << " defects";
   }
 }
@@ -126,7 +129,10 @@ TEST(Yield, EndToEndBistMonteCarloAgreesWithModel) {
   g.spare_rows = 4;
   const double m = 3.0, alpha = 2.0, growth = 1.05;
   const double analytic = bisr_yield(g, m, alpha, growth);
-  const BisrYieldMc mc = bisr_yield_mc_with_bist(g, m, alpha, growth, 400, 7);
+  const BisrYieldMc mc =
+      bisr_yield_mc_with_bist(g, m, alpha, growth,
+                              sim::CampaignSpec{.trials = 400, .seed = 7})
+          .value;
   // The strict criterion (all spares fault-free) is what the analytic
   // model computes; the raw BIST flow is more permissive because unused
   // faulty spares do not matter.

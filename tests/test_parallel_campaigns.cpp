@@ -147,8 +147,10 @@ TEST(ThreadInvariance, FaultCoverageCampaign) {
       sim::FaultKind::StuckOpen};
   expect_thread_invariant(
       [&] {
-        return sim::fault_coverage(march::ifa9(), small_geo(), kinds, 48,
-                                   true, 17);
+        return sim::fault_coverage(march::ifa9(), small_geo(), kinds,
+                                   true,
+                                   sim::CampaignSpec{.trials = 48, .seed = 17})
+            .value;
       },
       [&](const auto& ref, const auto& got, int threads) {
         ASSERT_EQ(ref.size(), got.size());
@@ -167,7 +169,11 @@ TEST(ThreadInvariance, YieldRepairProbabilityCampaign) {
   g.bpc = 4;
   g.spare_rows = 4;
   expect_thread_invariant(
-      [&] { return models::repair_probability_mc(g, 12, 2000, 99); },
+      [&] {
+        return models::repair_probability_mc(
+                   g, 12, sim::CampaignSpec{.trials = 2000, .seed = 99})
+            .value;
+      },
       [](double ref, double got, int threads) {
         EXPECT_EQ(ref, got) << threads << " threads";  // bitwise
       });
@@ -176,8 +182,10 @@ TEST(ThreadInvariance, YieldRepairProbabilityCampaign) {
 TEST(ThreadInvariance, YieldBistMonteCarloCampaign) {
   expect_thread_invariant(
       [&] {
-        return models::bisr_yield_mc_with_bist(small_geo(), 3.0, 2.0, 1.05,
-                                               120, 7);
+        return models::bisr_yield_mc_with_bist(
+                   small_geo(), 3.0, 2.0, 1.05,
+                   sim::CampaignSpec{.trials = 120, .seed = 7})
+            .value;
       },
       [](const models::BisrYieldMc& ref, const models::BisrYieldMc& got,
          int threads) {
@@ -193,7 +201,12 @@ TEST(ThreadInvariance, ReliabilityCampaign) {
   g.bpc = 4;
   g.spare_rows = 8;
   expect_thread_invariant(
-      [&] { return models::reliability_mc(g, 1e-9, 5e5, 4000, 2024); },
+      [&] {
+        return models::reliability_mc(
+                   g, 1e-9, 5e5,
+                   sim::CampaignSpec{.trials = 4000, .seed = 2024})
+            .value;
+      },
       [](double ref, double got, int threads) {
         EXPECT_EQ(ref, got) << threads << " threads";
       });
@@ -242,7 +255,12 @@ TEST(ThreadInvariance, InfraFaultCampaign) {
   sim::InfraTrialConfig cfg;
   cfg.array_faults = 1;
   expect_thread_invariant(
-      [&] { return sim::infra_fault_campaign(small_geo(), cfg, 96, 13); },
+      [&] {
+        return sim::infra_fault_campaign(
+                   small_geo(), cfg,
+                   sim::CampaignSpec{.trials = 96, .seed = 13})
+            .value;
+      },
       [](const sim::InfraCampaignReport& ref,
          const sim::InfraCampaignReport& got, int threads) {
         EXPECT_EQ(ref.trials, got.trials) << threads;
@@ -283,7 +301,10 @@ TEST(ReliabilityMc, AgreesWithAnalyticModel) {
   const double lam = 1e-9;
   for (double t : {1e5, 5e5, 1e6}) {
     const double analytic = models::reliability(g, lam, t);
-    const double mc = models::reliability_mc(g, lam, t, 6000, 31);
+    const double mc =
+        models::reliability_mc(
+            g, lam, t, sim::CampaignSpec{.trials = 6000, .seed = 31})
+            .value;
     EXPECT_NEAR(mc, analytic, 0.02) << "t = " << t;
   }
 }

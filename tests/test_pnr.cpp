@@ -1,6 +1,10 @@
-// Tests for the macrocell floorplanner and the left-edge channel router.
+// Tests for the macrocell floorplanner, the stretching post-pass, and
+// the left-edge channel router.
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
 
 #include "pnr/floorplan.hpp"
 #include "tech/tech.hpp"
@@ -169,6 +173,173 @@ TEST(ChannelRouter, SegmentsSpanTheirPins) {
   ASSERT_EQ(route.segments.size(), 1u);
   EXPECT_EQ(route.segments[0].x0, 10);
   EXPECT_EQ(route.segments[0].x1, 300);
+}
+
+/// Channel density: the maximum number of net trunks crossing any x.
+/// Trunk intervals are closed, matching the router's strict track-reuse
+/// rule (a track frees up only strictly past its last occupant).
+int channel_density(const std::vector<ChannelPin>& pins) {
+  std::map<int, std::pair<Coord, Coord>> spans;
+  for (const auto& pin : pins) {
+    auto it = spans.find(pin.net);
+    if (it == spans.end()) {
+      spans[pin.net] = {pin.x, pin.x};
+    } else {
+      it->second.first = std::min(it->second.first, pin.x);
+      it->second.second = std::max(it->second.second, pin.x);
+    }
+  }
+  std::map<Coord, int> delta;  // +1 at lo, -1 just past hi
+  for (const auto& [net, span] : spans) {
+    ++delta[span.first];
+    --delta[span.second + 1];
+  }
+  int depth = 0, density = 0;
+  for (const auto& [x, d] : delta) density = std::max(density, depth += d);
+  return density;
+}
+
+/// A reproducible jumble of net intervals (no global RNG state).
+std::vector<ChannelPin> lcg_pins(int nets, std::uint64_t seed) {
+  std::vector<ChannelPin> pins;
+  std::uint64_t s = seed;
+  const auto next = [&s] {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<Coord>(s >> 40);
+  };
+  for (int net = 0; net < nets; ++net) {
+    const Coord lo = next() % 5000;
+    pins.push_back({lo, net});
+    pins.push_back({lo + 1 + next() % 900, net});
+  }
+  std::sort(pins.begin(), pins.end(),
+            [](const ChannelPin& a, const ChannelPin& b) {
+              return a.x < b.x;
+            });
+  return pins;
+}
+
+TEST(ChannelRouter, TrackCountEqualsDensityOnSortedPinSets) {
+  // The left-edge algorithm is optimal for channels without vertical
+  // constraints: track count == channel density, on any pin set.
+  for (std::uint64_t seed : {3u, 17u, 99u}) {
+    const auto pins = lcg_pins(48, seed);
+    EXPECT_EQ(left_edge_route(pins).tracks, channel_density(pins))
+        << "seed " << seed;
+  }
+}
+
+TEST(ChannelRouter, TrunksSharingATrackNeverOverlap) {
+  // The negative case guarding the greedy packer: two trunks assigned to
+  // the same track must be strictly disjoint, or the nets would short.
+  const auto pins = lcg_pins(48, 7);
+  const auto route = left_edge_route(pins);
+  for (std::size_t i = 0; i < route.segments.size(); ++i) {
+    for (std::size_t j = i + 1; j < route.segments.size(); ++j) {
+      const auto& a = route.segments[i];
+      const auto& b = route.segments[j];
+      if (a.track != b.track) continue;
+      EXPECT_TRUE(a.x1 < b.x0 || b.x1 < a.x0)
+          << "nets " << a.net << " and " << b.net << " share track "
+          << a.track << " with overlapping trunks";
+    }
+  }
+}
+
+// --- stretching post-pass ---------------------------------------------------
+
+/// Two blocks abutting side by side with vertically misaligned ports,
+/// hand-placed so the test controls the exact offset (110 DBU).
+struct StretchFixture {
+  geom::Library lib;
+  std::vector<Block> blocks;
+  std::vector<Net> nets;
+  FloorplanResult plan;
+
+  StretchFixture() {
+    auto a = lib.create("sf_a");
+    a->add_shape(Layer::Metal1, Rect::ltrb(0, 0, 200, 200));
+    a->add_port("out", Layer::Metal1, Rect::ltrb(190, 120, 200, 140));
+    auto b = lib.create("sf_b");
+    b->add_shape(Layer::Metal1, Rect::ltrb(0, 0, 100, 40));
+    b->add_port("in", Layer::Metal1, Rect::ltrb(0, 10, 10, 30));
+    blocks = {{"a", a}, {"b", b}};
+    nets = {{"n", {{0, "out"}, {1, "in"}}}};
+    plan.placements = {{0, geom::Transform::translate(0, 0)},
+                       {1, geom::Transform::translate(200, 0)}};
+    plan.bbox = Rect::ltrb(0, 0, 300, 200);
+  }
+};
+
+TEST(Stretch, DrivesPortMisalignmentToZero) {
+  StretchFixture f;
+  // a's port centre sits at y 130, b's at y 20: off by 110.
+  EXPECT_DOUBLE_EQ(port_misalignment(f.blocks, f.nets, f.plan), 110.0);
+  StretchStats stats;
+  const auto stretched = stretch(f.blocks, f.nets, f.plan, geom::dbu(16),
+                                 &stats);
+  EXPECT_DOUBLE_EQ(stats.misalignment_before_dbu, 110.0);
+  EXPECT_DOUBLE_EQ(stats.misalignment_after_dbu, 0.0);
+  EXPECT_GE(stats.moves, 1);
+  EXPECT_DOUBLE_EQ(port_misalignment(f.blocks, f.nets, stretched), 0.0);
+  // The slid port pair actually lines up.
+  const Rect pa = stretched.placements[0].transform.apply(
+      f.blocks[0].cell->port("out").rect);
+  const Rect pb = stretched.placements[1].transform.apply(
+      f.blocks[1].cell->port("in").rect);
+  EXPECT_EQ(pa.center().y, pb.center().y);
+}
+
+TEST(Stretch, RefusesSlidesThatWouldOverlap) {
+  StretchFixture f;
+  // A third block parked right where b would land if it slid up to
+  // align: the pass must leave the misalignment rather than overlap.
+  auto c = f.lib.create("sf_c");
+  c->add_shape(Layer::Metal1, Rect::ltrb(0, 0, 100, 100));
+  f.blocks.push_back({"c", c});
+  f.plan.placements.push_back({2, geom::Transform::translate(200, 60)});
+  StretchStats stats;
+  const auto stretched = stretch(f.blocks, f.nets, f.plan, geom::dbu(16),
+                                 &stats);
+  EXPECT_EQ(stats.moves, 0);
+  EXPECT_DOUBLE_EQ(stats.misalignment_after_dbu,
+                   stats.misalignment_before_dbu);
+  std::vector<Rect> outlines;
+  for (const auto& p : stretched.placements)
+    outlines.push_back(p.transform.apply(
+        f.blocks[static_cast<std::size_t>(p.block)].cell->bbox()));
+  for (std::size_t i = 0; i < outlines.size(); ++i)
+    for (std::size_t j = i + 1; j < outlines.size(); ++j)
+      EXPECT_FALSE(outlines[i].overlaps(outlines[j])) << i << " vs " << j;
+}
+
+TEST(Stretch, NeverIntroducesOverlapOnRealPlans) {
+  // Stretch a genuine floorplanner result and re-check the floorplan
+  // no-overlap invariant plus monotone misalignment.
+  geom::Library lib;
+  std::vector<Block> blocks;
+  std::vector<Net> nets;
+  for (int i = 0; i < 6; ++i) {
+    auto cell = lib.create("rb" + std::to_string(i));
+    const Coord w = 120 + i * 41, h = 70 + (i * 67) % 110;
+    cell->add_shape(Layer::Metal1, Rect::ltrb(0, 0, w, h));
+    cell->add_port("l", Layer::Metal1, Rect::ltrb(0, 10, 10, 30));
+    cell->add_port("r", Layer::Metal1, Rect::ltrb(w - 10, h - 30, w, h - 10));
+    blocks.push_back({"rb" + std::to_string(i), cell});
+    if (i > 0)
+      nets.push_back({"n" + std::to_string(i), {{i - 1, "r"}, {i, "l"}}});
+  }
+  const auto plan = floorplan(blocks, nets);
+  StretchStats stats;
+  const auto stretched = stretch(blocks, nets, plan, geom::dbu(16), &stats);
+  EXPECT_LE(stats.misalignment_after_dbu, stats.misalignment_before_dbu);
+  std::vector<Rect> outlines;
+  for (const auto& p : stretched.placements)
+    outlines.push_back(p.transform.apply(
+        blocks[static_cast<std::size_t>(p.block)].cell->bbox()));
+  for (std::size_t i = 0; i < outlines.size(); ++i)
+    for (std::size_t j = i + 1; j < outlines.size(); ++j)
+      EXPECT_FALSE(outlines[i].overlaps(outlines[j])) << i << " vs " << j;
 }
 
 }  // namespace

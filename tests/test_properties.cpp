@@ -206,7 +206,10 @@ TEST_P(YieldAgreement, AnalyticTracksMonteCarlo) {
   g.validate();
   for (std::int64_t defects : {2, 8, 20}) {
     const double analytic = models::repair_probability(g, defects);
-    const double mc = models::repair_probability_mc(g, defects, 3000, 4242);
+    const double mc =
+        models::repair_probability_mc(
+            g, defects, sim::CampaignSpec{.trials = 3000, .seed = 4242})
+            .value;
     EXPECT_NEAR(analytic, mc, 0.035)
         << c.words << "x" << c.bpw << " s" << c.spares << " d" << defects;
   }

@@ -207,7 +207,10 @@ TEST(FaultSim, Ifa9DetectsClassicFaults) {
   const std::vector<FaultKind> kinds = {
       FaultKind::StuckAt0, FaultKind::StuckAt1, FaultKind::TransitionUp,
       FaultKind::TransitionDown, FaultKind::Retention};
-  const auto report = fault_coverage(march::ifa9(), g, kinds, 40, true, 1);
+  const auto report =
+      fault_coverage(march::ifa9(), g, kinds, true,
+                     CampaignSpec{.trials = 40, .seed = 1})
+          .value;
   for (const auto& cov : report) {
     EXPECT_EQ(cov.detected, cov.total) << fault_name(cov.kind);
   }
@@ -216,8 +219,10 @@ TEST(FaultSim, Ifa9DetectsClassicFaults) {
 TEST(FaultSim, Ifa9DetectsStateCouplingBetweenNeighbors) {
   const RamGeometry g = small_geo();
   const auto report =
-      fault_coverage(march::ifa9(), g, {FaultKind::CouplingState}, 60, true, 2,
-                     CouplingScope::PhysicalNeighbor);
+      fault_coverage(march::ifa9(), g, {FaultKind::CouplingState}, true,
+                     CampaignSpec{.trials = 60, .seed = 2},
+                     CouplingScope::PhysicalNeighbor)
+          .value;
   EXPECT_GT(report[0].fraction(), 0.95);
 }
 
@@ -226,22 +231,28 @@ TEST(FaultSim, JohnsonBackgroundsImproveIntraWordCoverage) {
   // coupling faults escape when all bits of a word always carry the same
   // value.
   const RamGeometry g = small_geo();
+  const CampaignSpec spec{.trials = 60, .seed = 3};
   const auto with = fault_coverage(march::ifa9(), g,
-                                   {FaultKind::CouplingState}, 60, true, 3,
-                                   CouplingScope::IntraWord);
+                                   {FaultKind::CouplingState}, true, spec,
+                                   CouplingScope::IntraWord)
+                        .value;
   const auto without = fault_coverage(march::ifa9(), g,
-                                      {FaultKind::CouplingState}, 60, false, 3,
-                                      CouplingScope::IntraWord);
+                                      {FaultKind::CouplingState}, false, spec,
+                                      CouplingScope::IntraWord)
+                           .value;
   EXPECT_GT(with[0].fraction(), without[0].fraction() + 0.3);
   EXPECT_GT(with[0].fraction(), 0.9);
 }
 
 TEST(FaultSim, MatsPlusMissesSomeCouplingFaults) {
   const RamGeometry g = small_geo();
+  const CampaignSpec spec{.trials = 80, .seed = 4};
   const auto ifa = fault_coverage(march::ifa9(), g, {FaultKind::CouplingIdem},
-                                  80, true, 4);
+                                  true, spec)
+                       .value;
   const auto mats = fault_coverage(march::mats_plus(), g,
-                                   {FaultKind::CouplingIdem}, 80, true, 4);
+                                   {FaultKind::CouplingIdem}, true, spec)
+                        .value;
   EXPECT_GE(ifa[0].fraction(), mats[0].fraction());
   EXPECT_LT(mats[0].fraction(), 1.0);
 }
@@ -252,10 +263,13 @@ TEST(FaultSim, StuckOpenNeedsIfa13VerifyingReads) {
   // immediately after each write catches them. (This is why IFA-13
   // exists; the Chen-Sunada baseline uses it.)
   const RamGeometry g = small_geo();
+  const CampaignSpec spec{.trials = 40, .seed = 5};
   const auto ifa9_cov =
-      fault_coverage(march::ifa9(), g, {FaultKind::StuckOpen}, 40, true, 5);
+      fault_coverage(march::ifa9(), g, {FaultKind::StuckOpen}, true, spec)
+          .value;
   const auto ifa13_cov =
-      fault_coverage(march::ifa13(), g, {FaultKind::StuckOpen}, 40, true, 5);
+      fault_coverage(march::ifa13(), g, {FaultKind::StuckOpen}, true, spec)
+          .value;
   EXPECT_GT(ifa13_cov[0].fraction(), 0.9);
   EXPECT_LT(ifa9_cov[0].fraction(), ifa13_cov[0].fraction());
 }
