@@ -23,6 +23,7 @@
 #include "util/json.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -192,6 +193,7 @@ void print_coverage_json(const CampaignSpec& spec, const std::string& path) {
   j.end_object();
   j.key("provenance").begin_object();
   j.key("kernel").value(sim::kernel_name(spec.kernel));
+  j.key("simd_level").value(simd_level_name(active_simd_level()));
   j.key("seed").value(spec.seed);
   j.key("threads").value(prov.threads);
   j.key("trials").value(prov.trials);

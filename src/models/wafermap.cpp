@@ -3,7 +3,9 @@
 #include <cmath>
 #include <set>
 
+#include "sim/importance.hpp"
 #include "util/error.hpp"
+#include "util/math.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -113,6 +115,210 @@ WaferResult simulate_wafer(const WaferSpec& spec, std::uint64_t seed) {
   result.repaired = counts.repaired;
   result.bad = counts.bad;
   return result;
+}
+
+namespace {
+
+/// One die's defect trial: scatters `k` defects (drawn when k < 0, as in
+/// simulate_wafer's per-die body) between the embedded RAM and the rest
+/// of the chip, and classifies the die. Returns the classification plus
+/// the count actually drawn.
+struct DieTrial {
+  DieState state = DieState::Good;
+  std::int64_t defects = 0;
+};
+
+DieTrial run_die_trial(Rng& rng, const WaferSpec& spec, double mean_defects,
+                       std::int64_t fixed_k) {
+  const int spare_words = spec.ram_geo.spare_words();
+  const std::uint64_t ram_rows =
+      static_cast<std::uint64_t>(spec.ram_geo.total_rows());
+  const std::uint64_t ram_cols =
+      static_cast<std::uint64_t>(spec.ram_geo.cols());
+
+  DieTrial trial;
+  trial.defects =
+      fixed_k >= 0
+          ? fixed_k
+          : (mean_defects <= 0.0
+                 ? 0
+                 : poisson_sample(
+                       rng, gamma_sample(rng, spec.cluster_alpha,
+                                         mean_defects / spec.cluster_alpha)));
+
+  bool logic_hit = false;
+  bool spare_hit = false;
+  std::set<std::uint32_t> faulty_words;
+  for (std::int64_t d = 0; d < trial.defects; ++d) {
+    if (!rng.chance(spec.ram_fraction)) {
+      logic_hit = true;
+      continue;
+    }
+    const int cell_row = static_cast<int>(rng.below(ram_rows));
+    const int cell_col = static_cast<int>(rng.below(ram_cols));
+    if (cell_row >= spec.ram_geo.rows()) {
+      spare_hit = true;
+      continue;
+    }
+    const std::uint32_t addr =
+        static_cast<std::uint32_t>(cell_row) *
+            static_cast<std::uint32_t>(spec.ram_geo.bpc) +
+        static_cast<std::uint32_t>(cell_col % spec.ram_geo.bpc);
+    faulty_words.insert(addr);
+  }
+
+  if (trial.defects == 0) {
+    trial.state = DieState::Good;
+  } else if (logic_hit || spare_hit ||
+             static_cast<int>(faulty_words.size()) > spare_words) {
+    trial.state = DieState::Bad;
+  } else {
+    trial.state = DieState::Repaired;
+  }
+  return trial;
+}
+
+/// Usable (fully inside the circle) dies on one physical wafer.
+int usable_dies(const WaferSpec& spec) {
+  const double radius = spec.wafer_mm / 2.0;
+  const int cols = static_cast<int>(spec.wafer_mm / spec.die_w_mm);
+  const int rows = static_cast<int>(spec.wafer_mm / spec.die_h_mm);
+  int usable = 0;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const double x0 = c * spec.die_w_mm - radius;
+      const double y0 = r * spec.die_h_mm - radius;
+      bool inside = true;
+      for (double dx : {0.0, spec.die_w_mm})
+        for (double dy : {0.0, spec.die_h_mm})
+          if (std::hypot(x0 + dx, y0 + dy) > radius) inside = false;
+      if (inside) ++usable;
+    }
+  }
+  return usable;
+}
+
+struct StreamCounts {
+  std::int64_t good = 0;
+  std::int64_t saved = 0;  ///< good or repaired
+  WelfordAccumulator defects;
+};
+
+/// Folds `trials` streamed die trials. The chunk grows with the trial
+/// count (but never depends on the thread count, keeping the fold — and
+/// so the Welford rounding — bit-identical for any BISRAM_THREADS), so
+/// the engine holds at most ~4096 chunk partials regardless of how many
+/// million dies stream through.
+StreamCounts run_die_segment(const WaferSpec& spec, double mean_defects,
+                             std::int64_t fixed_k,
+                             const sim::CampaignSpec& campaign, int trials,
+                             std::uint64_t stream_offset,
+                             sim::CampaignProvenance* provenance) {
+  sim::CampaignSpec sub = campaign;
+  sub.trials = trials;
+  const std::int64_t chunk =
+      trials / 4096 > 1024 ? trials / 4096 : 1024;
+  return sim::run_campaign<StreamCounts>(
+      sub, chunk, StreamCounts{},
+      [&](Rng& rng, std::int64_t, sim::KernelTally&) {
+        const DieTrial t = run_die_trial(rng, spec, mean_defects, fixed_k);
+        StreamCounts c;
+        if (t.state == DieState::Good) ++c.good;
+        if (t.state != DieState::Bad) ++c.saved;
+        c.defects.add(static_cast<double>(t.defects));
+        return c;
+      },
+      [](StreamCounts a, StreamCounts b) {
+        a.good += b.good;
+        a.saved += b.saved;
+        a.defects.merge(b.defects);
+        return a;
+      },
+      provenance, stream_offset);
+}
+
+/// Standard error of a Bernoulli mean from its success count.
+double wafer_bernoulli_se(std::int64_t successes, std::int64_t n) {
+  if (n < 2) return 0.0;
+  const double p = static_cast<double>(successes) / static_cast<double>(n);
+  return std::sqrt(p * (1.0 - p) / static_cast<double>(n - 1));
+}
+
+}  // namespace
+
+sim::CampaignResult<WaferCampaignStats> wafer_yield_campaign(
+    const WaferSpec& spec, const sim::CampaignSpec& campaign) {
+  require(spec.wafer_mm > 0 && spec.die_w_mm > 0 && spec.die_h_mm > 0,
+          "wafer_yield_campaign: bad dimensions");
+  require(spec.ram_fraction > 0 && spec.ram_fraction < 1,
+          "wafer_yield_campaign: ram_fraction must be in (0,1)");
+  spec.ram_geo.validate();
+
+  const double die_cm2 = spec.die_w_mm * spec.die_h_mm / 100.0;
+  const double mean_defects = spec.defects_per_cm2 * die_cm2;
+
+  sim::CampaignResult<WaferCampaignStats> out;
+  out.provenance.seed = campaign.seed;
+  out.provenance.threads = sim::resolve_campaign_threads(campaign);
+  out.provenance.kernel = campaign.kernel;
+  out.provenance.sampling = campaign.sampling.mode;
+  out.provenance.batch = campaign.batch;
+  out.value.dies = campaign.trials;
+  out.value.dies_per_wafer = usable_dies(spec);
+
+  if (campaign.sampling.mode == sim::SamplingMode::Plain) {
+    const StreamCounts c =
+        run_die_segment(spec, mean_defects, /*fixed_k=*/-1, campaign,
+                        campaign.trials, /*stream_offset=*/0,
+                        &out.provenance);
+    out.value.yield_without_bisr =
+        static_cast<double>(c.good) / campaign.trials;
+    out.value.yield_without_bisr_se =
+        wafer_bernoulli_se(c.good, campaign.trials);
+    out.value.yield_with_bisr =
+        static_cast<double>(c.saved) / campaign.trials;
+    out.value.yield_with_bisr_se =
+        wafer_bernoulli_se(c.saved, campaign.trials);
+    out.value.mean_defects_per_die = c.defects.mean();
+    out.value.mean_defects_per_die_se = c.defects.std_error();
+    out.value.die_sims = campaign.trials;
+    return out;
+  }
+
+  // Stratified importance sampling over the die defect count. The zero
+  // stratum is the entire without-BISR yield (a die is Good iff it has
+  // zero defects), so that estimate is exact; only the with-BISR rescue
+  // probability needs conditional simulation. Each stratum's defect
+  // count is pinned, so the reweighted mean-defects estimate is a
+  // deterministic sum with zero standard error; the truncated tail
+  // counts as Bad and contributes zero defect mass (bias bounded by
+  // tail_mass * k_max, far below visibility at the default).
+  const sim::StrataPlan plan = sim::plan_strata(
+      mean_defects, spec.cluster_alpha, campaign.trials, campaign.sampling);
+  std::vector<sim::StratumCount> saved;
+  std::vector<sim::StratumMoments> defects;
+  for (std::size_t s = 0; s < plan.strata.size(); ++s) {
+    const sim::Stratum& st = plan.strata[s];
+    const StreamCounts c = run_die_segment(spec, mean_defects, st.defects,
+                                           campaign, st.trials,
+                                           sim::stratum_stream_offset(s),
+                                           &out.provenance);
+    saved.push_back({c.saved, st.trials});
+    defects.push_back({static_cast<double>(st.defects), 0.0, st.trials});
+  }
+  out.value.yield_without_bisr = plan.zero_probability;
+  out.value.yield_without_bisr_se = 0.0;
+  const sim::WeightedEstimate with_bisr = sim::combine_strata_bernoulli(
+      plan, saved, /*zero_value=*/1.0, /*tail_value=*/0.0);
+  out.value.yield_with_bisr = with_bisr.value;
+  out.value.yield_with_bisr_se = with_bisr.std_error;
+  const sim::WeightedEstimate mean_k =
+      sim::combine_strata(plan, defects, 0.0, 0.0);
+  out.value.mean_defects_per_die = mean_k.value;
+  out.value.mean_defects_per_die_se = mean_k.std_error;
+  out.value.die_sims = plan.total_trials();
+  out.provenance.strata = static_cast<std::int64_t>(plan.strata.size());
+  return out;
 }
 
 std::string render_wafer(const WaferResult& result) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/campaign.hpp"
 #include "sim/ram_model.hpp"
 
 namespace bisram::models {
@@ -50,6 +51,39 @@ struct WaferResult {
 
 /// Simulates one wafer.
 WaferResult simulate_wafer(const WaferSpec& spec, std::uint64_t seed);
+
+/// Aggregate statistics of a wafer-scale streaming campaign: the same
+/// per-die defect model as simulate_wafer, run over `spec.trials` dies
+/// (10^6+ is routine) without materializing a map. Memory stays bounded
+/// no matter how many dies stream through: yields fold as exact integer
+/// counts and the defect-count moments fold through mergeable Welford
+/// accumulators (util/math.hpp), one per worker chunk.
+struct WaferCampaignStats {
+  std::int64_t dies = 0;  ///< dies represented by the estimate
+  double yield_without_bisr = 0;     ///< P(zero defects anywhere on the die)
+  double yield_without_bisr_se = 0;  ///< 0 under stratified sampling: the
+                                     ///< zero strat resolves analytically
+  double yield_with_bisr = 0;        ///< P(good or BISR-repaired)
+  double yield_with_bisr_se = 0;
+  double mean_defects_per_die = 0;  ///< sample (plain) / reweighted (IS) mean
+  double mean_defects_per_die_se = 0;
+  std::int64_t die_sims = 0;  ///< per-die simulations actually executed
+  int dies_per_wafer = 0;     ///< usable dies per physical wafer (geometry)
+};
+
+/// Streaming wafer-scale yield campaign. Plain sampling draws every
+/// die's clustered defect count; Stratified sampling (sim/importance.hpp)
+/// resolves the zero-defect stratum — the overwhelming majority at
+/// production densities — analytically, pins the count in each simulated
+/// stratum and reweights with the exact negative-binomial pmf. Under
+/// stratified sampling yield_without_bisr is *exact* (it is P(K = 0)
+/// itself) and mean_defects_per_die is a deterministic reweighted sum.
+/// Die trials are position-independent (defect statistics do not depend
+/// on where a usable die sits), so the campaign streams dies, not
+/// wafers; dies_per_wafer reports the physical wafer capacity for
+/// converting die counts to wafer counts.
+sim::CampaignResult<WaferCampaignStats> wafer_yield_campaign(
+    const WaferSpec& spec, const sim::CampaignSpec& campaign);
 
 /// ASCII rendering of the map ('.' off-wafer, 'O' good, 'R' repaired,
 /// 'X' bad) — the picture a fab yield report shows.

@@ -6,6 +6,7 @@
 #include "microcode/controller.hpp"
 #include "sim/bist.hpp"
 #include "sim/controller.hpp"
+#include "sim/importance.hpp"
 #include "sim/infra_faults.hpp"
 #include "sim/packed_ram.hpp"
 #include "util/math.hpp"
@@ -26,15 +27,10 @@ double stapper_yield(double defect_mean, double alpha) {
 }
 
 double negbin_pmf(std::int64_t k, double mean, double alpha) {
-  if (k < 0) return 0.0;
-  require(alpha > 0, "negbin_pmf: non-positive alpha");
-  if (mean <= 0.0) return k == 0 ? 1.0 : 0.0;
-  const double p = mean / (mean + alpha);  // "success" probability
-  const double ln = std::lgamma(alpha + static_cast<double>(k)) -
-                    ln_factorial(k) - std::lgamma(alpha) +
-                    static_cast<double>(k) * std::log(p) +
-                    alpha * std::log1p(-p);
-  return std::exp(ln);
+  // The pmf itself moved to util/math.hpp so the importance-sampling
+  // strata planner (sim/importance.hpp) can reweight with it without a
+  // models dependency; this alias keeps the historical entry point.
+  return bisram::negbin_pmf(k, mean, alpha);
 }
 
 double repair_probability(const sim::RamGeometry& geo, std::int64_t defects) {
@@ -173,63 +169,212 @@ std::vector<YieldPoint> yield_curve(sim::RamGeometry geo, int spare_rows,
   return out;
 }
 
+namespace {
+
+/// Standard error of a Bernoulli mean from its success count: the
+/// unbiased sample variance n/(n-1) p(1-p) over n, i.e. p(1-p)/(n-1).
+double bernoulli_se(std::int64_t successes, std::int64_t n) {
+  if (n < 2) return 0.0;
+  const double p = static_cast<double>(successes) / static_cast<double>(n);
+  return std::sqrt(p * (1.0 - p) / static_cast<double>(n - 1));
+}
+
+/// One trial's fault list for the array-only yield MC. `fixed_k < 0`
+/// draws K ~ NegBin(m, alpha) from the trial stream (the plain
+/// estimator's historical RNG sequence: gamma, poisson, then per fault
+/// kind / row / col); `fixed_k >= 0` pins the count — the conditional
+/// placement of k defects is uniform iid regardless of the mixed Gamma
+/// rate, so a stratum trial draws no rate at all.
+std::vector<sim::Fault> draw_die_faults(Rng& rng, const sim::RamGeometry& geo,
+                                        double m, double alpha,
+                                        std::int64_t fixed_k,
+                                        bool* spare_hit) {
+  std::int64_t k = fixed_k;
+  if (k < 0) {
+    const double rate = gamma_sample(rng, alpha, m / alpha);
+    k = poisson_sample(rng, rate);
+  }
+  std::vector<sim::Fault> faults;
+  faults.reserve(static_cast<std::size_t>(k));
+  *spare_hit = false;
+  for (std::int64_t d = 0; d < k; ++d) {
+    sim::Fault f;
+    f.kind = rng.chance(0.5) ? sim::FaultKind::StuckAt0
+                             : sim::FaultKind::StuckAt1;
+    f.victim = {static_cast<int>(rng.below(
+                    static_cast<std::uint64_t>(geo.total_rows()))),
+                static_cast<int>(rng.below(
+                    static_cast<std::uint64_t>(geo.cols())))};
+    if (f.victim.row >= geo.rows()) *spare_hit = true;
+    faults.push_back(f);
+  }
+  return faults;
+}
+
+struct YieldCounts {
+  std::int64_t repaired = 0;
+  std::int64_t strict = 0;
+};
+
+/// Runs one segment (the whole plain campaign, or one stratum) of
+/// `trials` BIST/BISR trials. All tallies are integer counts, so the
+/// fold is exactly associative and the segment is bit-identical for any
+/// thread count and any SIMD batch width.
+YieldCounts run_yield_segment(const sim::RamGeometry& geo, double m,
+                              double alpha, std::int64_t fixed_k,
+                              const sim::CampaignSpec& spec, int trials,
+                              std::uint64_t stream_offset,
+                              sim::CampaignProvenance* provenance) {
+  // Note on detection fidelity: a StuckAt0 fault in a cell every
+  // background drives to 0 is benign but still *detected* by IFA-9's
+  // complement writes, so the BIST verdict matches the analytic "any hit
+  // cell is faulty" accounting. All faults are stuck-ats, so Auto
+  // resolves to the packed bit-plane kernel for every trial.
+  if (spec.batch <= 1) {
+    sim::CampaignSpec sub = spec;
+    sub.trials = trials;
+    return sim::run_campaign<YieldCounts>(
+        sub, /*chunk=*/8, YieldCounts{},
+        [&](Rng& rng, std::int64_t, sim::KernelTally& tally) {
+          bool spare_hit = false;
+          const std::vector<sim::Fault> faults =
+              draw_die_faults(rng, geo, m, alpha, fixed_k, &spare_hit);
+          sim::SimKernel used = sim::SimKernel::Scalar;
+          const sim::BistResult r =
+              sim::run_bist(geo, faults, sim::BistConfig{}, spec.kernel, &used);
+          tally.note(used);
+          YieldCounts c;
+          if (r.repair_successful) {
+            c.repaired = 1;
+            if (!spare_hit) c.strict = 1;
+          }
+          return c;
+        },
+        [](YieldCounts a, YieldCounts b) {
+          return YieldCounts{a.repaired + b.repaired, a.strict + b.strict};
+        },
+        provenance, stream_offset);
+  }
+
+  // SIMD-batched path: groups of `batch` dies run lockstep through
+  // run_bist_batch, sharing one pattern table and streaming their bulk
+  // march ops back to back through the SIMD lanes. Each trial draws from
+  // the same per-trial sub-stream as the unbatched path, so the per-die
+  // fault lists — and therefore the counts — are identical.
+  struct Acc {
+    YieldCounts counts;
+    std::int64_t packed = 0;
+    std::int64_t scalar = 0;
+  };
+  const std::int64_t n = trials;
+  const std::int64_t batch = spec.batch;
+  const std::int64_t groups = (n + batch - 1) / batch;
+  const Acc folded = parallel_reduce<Acc>(
+      groups, /*chunk=*/1, Acc{},
+      [&](std::int64_t g) {
+        const std::int64_t begin = g * batch;
+        const std::int64_t end = begin + batch < n ? begin + batch : n;
+        std::vector<std::vector<sim::Fault>> lists;
+        std::vector<char> spare_hits;
+        lists.reserve(static_cast<std::size_t>(end - begin));
+        for (std::int64_t i = begin; i < end; ++i) {
+          Rng rng(stream_seed(spec.seed,
+                              stream_offset + static_cast<std::uint64_t>(i)));
+          bool spare_hit = false;
+          lists.push_back(
+              draw_die_faults(rng, geo, m, alpha, fixed_k, &spare_hit));
+          spare_hits.push_back(spare_hit ? 1 : 0);
+        }
+        std::vector<sim::SimKernel> used;
+        const std::vector<sim::BistResult> results = sim::run_bist_batch(
+            geo, lists, sim::BistConfig{}, spec.kernel, &used);
+        Acc a;
+        for (std::size_t i = 0; i < results.size(); ++i) {
+          if (used[i] == sim::SimKernel::Packed)
+            ++a.packed;
+          else
+            ++a.scalar;
+          if (results[i].repair_successful) {
+            ++a.counts.repaired;
+            if (!spare_hits[i]) ++a.counts.strict;
+          }
+        }
+        return a;
+      },
+      [](Acc a, Acc b) {
+        return Acc{{a.counts.repaired + b.counts.repaired,
+                    a.counts.strict + b.counts.strict},
+                   a.packed + b.packed, a.scalar + b.scalar};
+      },
+      spec.threads > 0 ? spec.threads : 0);
+  if (provenance) {
+    provenance->seed = spec.seed;
+    provenance->threads = sim::resolve_campaign_threads(spec);
+    provenance->kernel = spec.kernel;
+    provenance->trials += n;
+    provenance->packed_trials += folded.packed;
+    provenance->scalar_trials += folded.scalar;
+    provenance->sampling = spec.sampling.mode;
+    provenance->batch = spec.batch;
+    provenance->batched_trials += n;
+  }
+  return folded.counts;
+}
+
+}  // namespace
+
 sim::CampaignResult<BisrYieldMc> bisr_yield_mc_with_bist(
     const sim::RamGeometry& geo, double defect_mean, double alpha,
     double growth, const sim::CampaignSpec& spec) {
-  struct Counts {
-    int repaired = 0;
-    int strict = 0;
-  };
+  const double m = defect_mean * growth;
   sim::CampaignResult<BisrYieldMc> out;
-  const Counts counts = sim::run_campaign<Counts>(
-      spec, /*chunk=*/8, Counts{},
-      [&](Rng& rng, std::int64_t, sim::KernelTally& tally) {
-        // K ~ NegBin(mean = m*growth, alpha) via the Gamma-Poisson
-        // mixture.
-        const double m = defect_mean * growth;
-        const double rate = gamma_sample(rng, alpha, m / alpha);
-        const std::int64_t k = poisson_sample(rng, rate);
+  out.provenance.seed = spec.seed;
+  out.provenance.threads = sim::resolve_campaign_threads(spec);
+  out.provenance.kernel = spec.kernel;
+  out.provenance.sampling = spec.sampling.mode;
+  out.provenance.batch = spec.batch;
 
-        // Drawing the whole fault list before simulating matches the old
-        // inject-as-you-go RNG sequence exactly: FaultyArray::inject
-        // consumes no randomness.
-        std::vector<sim::Fault> faults;
-        faults.reserve(static_cast<std::size_t>(k));
-        bool spare_hit = false;
-        for (std::int64_t d = 0; d < k; ++d) {
-          sim::Fault f;
-          f.kind = rng.chance(0.5) ? sim::FaultKind::StuckAt0
-                                   : sim::FaultKind::StuckAt1;
-          f.victim = {static_cast<int>(rng.below(
-                          static_cast<std::uint64_t>(geo.total_rows()))),
-                      static_cast<int>(rng.below(
-                          static_cast<std::uint64_t>(geo.cols())))};
-          if (f.victim.row >= geo.rows()) spare_hit = true;
-          faults.push_back(f);
-        }
-        // Run the real two-pass BIST/BISR machinery. Note a StuckAt0
-        // fault in a cell that every background pattern drives to 0 is
-        // benign but is still *detected* by IFA-9's complement writes, so
-        // this matches the analytic "any hit cell is faulty" accounting.
-        // All faults are stuck-ats, so Auto resolves to the packed
-        // bit-plane kernel for every trial.
-        sim::SimKernel used = sim::SimKernel::Scalar;
-        const sim::BistResult r =
-            sim::run_bist(geo, faults, sim::BistConfig{}, spec.kernel, &used);
-        tally.note(used);
-        Counts c;
-        if (r.repair_successful) {
-          c.repaired = 1;
-          if (!spare_hit) c.strict = 1;
-        }
-        return c;
-      },
-      [](Counts a, Counts b) {
-        return Counts{a.repaired + b.repaired, a.strict + b.strict};
-      },
-      &out.provenance);
-  out.value.bist_repaired = static_cast<double>(counts.repaired) / spec.trials;
-  out.value.strict_good = static_cast<double>(counts.strict) / spec.trials;
+  if (spec.sampling.mode == sim::SamplingMode::Plain) {
+    const YieldCounts counts = run_yield_segment(
+        geo, m, alpha, /*fixed_k=*/-1, spec, spec.trials,
+        /*stream_offset=*/0, &out.provenance);
+    out.value.bist_repaired =
+        static_cast<double>(counts.repaired) / spec.trials;
+    out.value.strict_good = static_cast<double>(counts.strict) / spec.trials;
+    out.value.bist_repaired_se = bernoulli_se(counts.repaired, spec.trials);
+    out.value.strict_good_se = bernoulli_se(counts.strict, spec.trials);
+    out.value.die_sims = spec.trials;
+    return out;
+  }
+
+  // Stratified importance sampling (sim/importance.hpp): the zero-defect
+  // stratum is analytic (a defect-free die always repairs and is
+  // strictly good), each k >= 1 stratum simulates conditionally on its
+  // own seed-stream window, and the truncated tail counts as
+  // unrepairable.
+  const sim::StrataPlan plan =
+      sim::plan_strata(m, alpha, spec.trials, spec.sampling);
+  std::vector<sim::StratumCount> repaired, strict;
+  repaired.reserve(plan.strata.size());
+  strict.reserve(plan.strata.size());
+  for (std::size_t s = 0; s < plan.strata.size(); ++s) {
+    const sim::Stratum& st = plan.strata[s];
+    const YieldCounts counts = run_yield_segment(
+        geo, m, alpha, st.defects, spec, st.trials,
+        sim::stratum_stream_offset(s), &out.provenance);
+    repaired.push_back({counts.repaired, st.trials});
+    strict.push_back({counts.strict, st.trials});
+  }
+  const sim::WeightedEstimate rep = sim::combine_strata_bernoulli(
+      plan, repaired, /*zero_value=*/1.0, /*tail_value=*/0.0);
+  const sim::WeightedEstimate str = sim::combine_strata_bernoulli(
+      plan, strict, /*zero_value=*/1.0, /*tail_value=*/0.0);
+  out.value.bist_repaired = rep.value;
+  out.value.bist_repaired_se = rep.std_error;
+  out.value.strict_good = str.value;
+  out.value.strict_good_se = str.std_error;
+  out.value.die_sims = plan.total_trials();
+  out.provenance.strata = static_cast<std::int64_t>(plan.strata.size());
   return out;
 }
 
@@ -241,15 +386,30 @@ double repair_logic_yield(double defect_mean, double alpha, double growth,
   return stapper_yield(defect_mean * growth * logic_area_fraction, alpha);
 }
 
-BisrYieldMcInfra bisr_yield_mc_with_infra(const sim::RamGeometry& geo,
-                                          double defect_mean, double alpha,
-                                          double growth,
-                                          double logic_area_fraction,
-                                          int trials, std::uint64_t seed) {
-  require(trials >= 1, "bisr_yield_mc_with_infra: needs >= 1 trial");
+namespace {
+
+struct InfraCounts {
+  std::int64_t reported = 0, effective = 0, escape = 0, safe_fail = 0,
+               hung = 0;
+};
+
+InfraCounts infra_combine(InfraCounts a, InfraCounts b) {
+  return InfraCounts{a.reported + b.reported, a.effective + b.effective,
+                     a.escape + b.escape, a.safe_fail + b.safe_fail,
+                     a.hung + b.hung};
+}
+
+}  // namespace
+
+sim::CampaignResult<BisrYieldMcInfra> bisr_yield_mc_with_infra(
+    const sim::RamGeometry& geo, double defect_mean, double alpha,
+    double growth, double logic_area_fraction, const sim::CampaignSpec& spec) {
   require(growth >= 1.0, "bisr_yield_mc_with_infra: growth must be >= 1");
   require(logic_area_fraction >= 0.0 && logic_area_fraction <= 1.0,
           "bisr_yield_mc_with_infra: area fraction must be in [0, 1]");
+  require(spec.kernel != sim::SimKernel::Packed,
+          "bisr_yield_mc_with_infra: the microprogrammed machine has no "
+          "packed path — use Auto or Scalar");
   geo.validate();
   require(geo.spare_words() >= 1,
           "bisr_yield_mc_with_infra: geometry needs >= 1 spare word");
@@ -262,66 +422,135 @@ BisrYieldMcInfra bisr_yield_mc_with_infra(const sim::RamGeometry& geo,
   const std::uint64_t watchdog =
       sim::auto_watchdog_cycles(geo, ctrl, trial_cfg);
 
-  struct Counts {
-    std::int64_t reported = 0, effective = 0, escape = 0, safe_fail = 0,
-                 hung = 0;
+  const double m = defect_mean * growth;
+  // Infra defects scale the total: K ~ Poisson(rate) array defects plus
+  // L ~ Poisson(rate * fraction) infra defects over the same mixed rate
+  // sum to NegBin(mean = m * (1 + fraction), alpha), and conditioned on
+  // the total each defect is infra with probability fraction / (1 +
+  // fraction) independently of the rate — the basis of the stratified
+  // estimator below.
+  const double infra_share =
+      logic_area_fraction / (1.0 + logic_area_fraction);
+
+  // One microprogrammed trial: `total < 0` draws K and L from the trial
+  // stream (the plain estimator's historical RNG sequence), `total >= 0`
+  // pins K + L and splits it binomially.
+  const auto run_trial = [&](Rng& rng, std::int64_t total) {
+    std::int64_t k = 0, l = 0;
+    if (total < 0) {
+      const double rate = m > 0 ? gamma_sample(rng, alpha, m / alpha) : 0.0;
+      k = poisson_sample(rng, rate);
+      l = poisson_sample(rng, rate * logic_area_fraction);
+    } else {
+      for (std::int64_t d = 0; d < total; ++d)
+        if (rng.chance(infra_share))
+          ++l;
+        else
+          ++k;
+    }
+
+    sim::RamModel ram(geo);
+    for (std::int64_t d = 0; d < k; ++d) {
+      sim::Fault f;
+      f.kind = rng.chance(0.5) ? sim::FaultKind::StuckAt0
+                               : sim::FaultKind::StuckAt1;
+      f.victim = {static_cast<int>(rng.below(
+                      static_cast<std::uint64_t>(geo.total_rows()))),
+                  static_cast<int>(rng.below(
+                      static_cast<std::uint64_t>(geo.cols())))};
+      ram.array().inject(f);
+    }
+    sim::PlaBistMachine machine(ram, ctrl, bist.retention_wait_s,
+                                bist.johnson_backgrounds);
+    for (std::int64_t d = 0; d < l; ++d)
+      machine.inject(sim::random_infra_fault(geo, ctrl, rng));
+
+    const sim::BistResult r = machine.run(watchdog);
+    InfraCounts c;
+    if (r.hung) {
+      c.hung = 1;
+    } else if (!r.repair_successful) {
+      c.safe_fail = 1;
+    } else {
+      c.reported = 1;
+      if (sim::normal_mode_readback_clean(ram))
+        c.effective = 1;
+      else
+        c.escape = 1;
+    }
+    return c;
   };
-  const Counts counts = parallel_reduce<Counts>(
-      trials, /*chunk=*/8, Counts{},
-      [&](std::int64_t t) {
-        Rng rng(stream_seed(seed, static_cast<std::uint64_t>(t)));
-        // One clustered defect rate per die (Gamma mixture), split
-        // between array and repair logic by area.
-        const double m = defect_mean * growth;
-        const double rate =
-            m > 0 ? gamma_sample(rng, alpha, m / alpha) : 0.0;
-        const std::int64_t k = poisson_sample(rng, rate);
-        const std::int64_t l =
-            poisson_sample(rng, rate * logic_area_fraction);
 
-        sim::RamModel ram(geo);
-        for (std::int64_t d = 0; d < k; ++d) {
-          sim::Fault f;
-          f.kind = rng.chance(0.5) ? sim::FaultKind::StuckAt0
-                                   : sim::FaultKind::StuckAt1;
-          f.victim = {static_cast<int>(rng.below(
-                          static_cast<std::uint64_t>(geo.total_rows()))),
-                      static_cast<int>(rng.below(
-                          static_cast<std::uint64_t>(geo.cols())))};
-          ram.array().inject(f);
-        }
-        sim::PlaBistMachine machine(ram, ctrl, bist.retention_wait_s,
-                                    bist.johnson_backgrounds);
-        for (std::int64_t d = 0; d < l; ++d)
-          machine.inject(sim::random_infra_fault(geo, ctrl, rng));
+  const auto run_segment = [&](std::int64_t total, int trials,
+                               std::uint64_t stream_offset,
+                               sim::CampaignProvenance* provenance) {
+    sim::CampaignSpec sub = spec;
+    sub.trials = trials;
+    return sim::run_campaign<InfraCounts>(
+        sub, /*chunk=*/8, InfraCounts{},
+        [&](Rng& rng, std::int64_t, sim::KernelTally& tally) {
+          tally.note(sim::SimKernel::Scalar);
+          return run_trial(rng, total);
+        },
+        infra_combine, provenance, stream_offset);
+  };
 
-        const sim::BistResult r = machine.run(watchdog);
-        Counts c;
-        if (r.hung) {
-          c.hung = 1;
-        } else if (!r.repair_successful) {
-          c.safe_fail = 1;
-        } else {
-          c.reported = 1;
-          if (sim::normal_mode_readback_clean(ram))
-            c.effective = 1;
-          else
-            c.escape = 1;
-        }
-        return c;
-      },
-      [](Counts a, Counts b) {
-        return Counts{a.reported + b.reported, a.effective + b.effective,
-                      a.escape + b.escape, a.safe_fail + b.safe_fail,
-                      a.hung + b.hung};
-      });
-  BisrYieldMcInfra out;
-  const double n = static_cast<double>(trials);
-  out.bist_reported_good = static_cast<double>(counts.reported) / n;
-  out.effective_good = static_cast<double>(counts.effective) / n;
-  out.escape = static_cast<double>(counts.escape) / n;
-  out.safe_fail = static_cast<double>(counts.safe_fail) / n;
-  out.hung = static_cast<double>(counts.hung) / n;
+  sim::CampaignResult<BisrYieldMcInfra> out;
+  out.provenance.seed = spec.seed;
+  out.provenance.threads = sim::resolve_campaign_threads(spec);
+  out.provenance.kernel = spec.kernel;
+  out.provenance.sampling = spec.sampling.mode;
+  out.provenance.batch = spec.batch;
+
+  if (spec.sampling.mode == sim::SamplingMode::Plain) {
+    const InfraCounts c =
+        run_segment(/*total=*/-1, spec.trials, /*stream_offset=*/0,
+                    &out.provenance);
+    const double n = static_cast<double>(spec.trials);
+    out.value.bist_reported_good = static_cast<double>(c.reported) / n;
+    out.value.effective_good = static_cast<double>(c.effective) / n;
+    out.value.escape = static_cast<double>(c.escape) / n;
+    out.value.safe_fail = static_cast<double>(c.safe_fail) / n;
+    out.value.hung = static_cast<double>(c.hung) / n;
+    out.value.bist_reported_good_se = bernoulli_se(c.reported, spec.trials);
+    out.value.effective_good_se = bernoulli_se(c.effective, spec.trials);
+    out.value.die_sims = spec.trials;
+    return out;
+  }
+
+  // Stratified over the *total* defect count. A zero-defect die runs the
+  // flow on a perfect array with a perfect machine: DONE_OK with a clean
+  // readback, deterministically. The truncated tail counts as safe_fail
+  // so the five outcome fractions still sum to one.
+  const sim::StrataPlan plan = sim::plan_strata(
+      m * (1.0 + logic_area_fraction), alpha, spec.trials, spec.sampling);
+  std::vector<sim::StratumCount> reported, effective, escape, safe_fail, hung;
+  for (std::size_t s = 0; s < plan.strata.size(); ++s) {
+    const sim::Stratum& st = plan.strata[s];
+    const InfraCounts c = run_segment(st.defects, st.trials,
+                                      sim::stratum_stream_offset(s),
+                                      &out.provenance);
+    reported.push_back({c.reported, st.trials});
+    effective.push_back({c.effective, st.trials});
+    escape.push_back({c.escape, st.trials});
+    safe_fail.push_back({c.safe_fail, st.trials});
+    hung.push_back({c.hung, st.trials});
+  }
+  const sim::WeightedEstimate rep =
+      sim::combine_strata_bernoulli(plan, reported, 1.0, 0.0);
+  const sim::WeightedEstimate eff =
+      sim::combine_strata_bernoulli(plan, effective, 1.0, 0.0);
+  out.value.bist_reported_good = rep.value;
+  out.value.bist_reported_good_se = rep.std_error;
+  out.value.effective_good = eff.value;
+  out.value.effective_good_se = eff.std_error;
+  out.value.escape =
+      sim::combine_strata_bernoulli(plan, escape, 0.0, 0.0).value;
+  out.value.safe_fail =
+      sim::combine_strata_bernoulli(plan, safe_fail, 0.0, 1.0).value;
+  out.value.hung = sim::combine_strata_bernoulli(plan, hung, 0.0, 0.0).value;
+  out.value.die_sims = plan.total_trials();
+  out.provenance.strata = static_cast<std::int64_t>(plan.strata.size());
   return out;
 }
 

@@ -82,13 +82,27 @@ std::vector<YieldPoint> yield_curve(sim::RamGeometry geo, int spare_rows,
 struct BisrYieldMc {
   double bist_repaired = 0;
   double strict_good = 0;
+  double bist_repaired_se = 0;  ///< standard error of bist_repaired
+  double strict_good_se = 0;    ///< standard error of strict_good
+  /// BIST/BISR die simulations actually executed. Plain sampling spends
+  /// one per trial; stratified sampling spends none on the zero-defect
+  /// stratum, which at production defect densities is a >= 10x saving
+  /// for the same trial budget (tests/test_yield_statistics.cpp).
+  std::int64_t die_sims = 0;
 };
 
-/// Unified-campaign form: trials, seed, threads and simulation kernel
-/// come from `spec`. Every sampled fault is a stuck-at cell fault, so
-/// under SimKernel::Auto all trials run on the bit-plane packed kernel
+/// Unified-campaign form: trials, seed, threads, simulation kernel,
+/// SIMD die-batch width and defect-count sampling mode all come from
+/// `spec`. Every sampled fault is a stuck-at cell fault, so under
+/// SimKernel::Auto all trials run on the bit-plane packed kernel
 /// (sim/packed_ram.hpp); results are bit-identical to the scalar path
-/// for every kernel and thread count.
+/// for every kernel, thread count and batch width.
+///
+/// Sampling modes (sim/importance.hpp): Plain draws K ~ NegBin per trial
+/// and simulates every die; Stratified resolves the K = 0 stratum
+/// analytically, simulates each K = k stratum conditionally and
+/// reweights with the exact pmf — an unbiased estimator of the same
+/// yields with far fewer die simulations and lower variance.
 sim::CampaignResult<BisrYieldMc> bisr_yield_mc_with_bist(
     const sim::RamGeometry& geo, double defect_mean, double alpha,
     double growth, const sim::CampaignSpec& spec);
@@ -122,11 +136,21 @@ struct BisrYieldMcInfra {
   double escape = 0;              ///< DONE_OK but the RAM is bad — shipped defect
   double safe_fail = 0;           ///< DONE_FAIL fraction
   double hung = 0;                ///< watchdog-tripped fraction
+  double bist_reported_good_se = 0;  ///< standard error of bist_reported_good
+  double effective_good_se = 0;      ///< standard error of effective_good
+  std::int64_t die_sims = 0;  ///< microprogrammed die simulations executed
 };
-BisrYieldMcInfra bisr_yield_mc_with_infra(const sim::RamGeometry& geo,
-                                          double defect_mean, double alpha,
-                                          double growth,
-                                          double logic_area_fraction,
-                                          int trials, std::uint64_t seed);
+
+/// Unified-campaign form. The total defect count (array + infra) is
+/// NegBin(mean = m * growth * (1 + fraction), alpha); conditioned on the
+/// total, each defect lands in the repair logic with probability
+/// fraction / (1 + fraction) independently of the mixed rate, which is
+/// what makes the stratified estimator exact here too. The zero stratum
+/// is a defect-free die (DONE_OK, clean readback) and the truncated tail
+/// is counted as safe_fail. Forced SimKernel::Packed is rejected — the
+/// microprogrammed machine has no packed path.
+sim::CampaignResult<BisrYieldMcInfra> bisr_yield_mc_with_infra(
+    const sim::RamGeometry& geo, double defect_mean, double alpha,
+    double growth, double logic_area_fraction, const sim::CampaignSpec& spec);
 
 }  // namespace bisram::models

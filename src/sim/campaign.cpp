@@ -24,6 +24,23 @@ SimKernel kernel_by_name(const std::string& name) {
                   "' (expected auto, packed, or scalar)");
 }
 
+const char* sampling_name(SamplingMode mode) {
+  switch (mode) {
+    case SamplingMode::Plain:
+      return "plain";
+    case SamplingMode::Stratified:
+      return "stratified";
+  }
+  throw InternalError("sampling_name: unknown SamplingMode");
+}
+
+SamplingMode sampling_by_name(const std::string& name) {
+  if (name == "plain") return SamplingMode::Plain;
+  if (name == "stratified") return SamplingMode::Stratified;
+  throw SpecError("unknown sampling mode '" + name +
+                  "' (expected plain or stratified)");
+}
+
 int resolve_campaign_threads(const CampaignSpec& spec) {
   return spec.threads > 0 ? spec.threads : campaign_threads();
 }

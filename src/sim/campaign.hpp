@@ -44,12 +44,50 @@ const char* kernel_name(SimKernel kernel);
 /// Inverse of kernel_name; throws SpecError on anything else.
 SimKernel kernel_by_name(const std::string& name);
 
+/// How a yield campaign samples the per-die defect count.
+enum class SamplingMode : std::uint8_t {
+  Plain,       ///< draw the count directly (the historical estimator)
+  Stratified,  ///< stratified importance sampling over the defect count:
+               ///< simulate each count stratum conditionally, reweight
+               ///< with the exact negative-binomial probabilities, and
+               ///< resolve the fault-free stratum analytically (see
+               ///< sim/importance.hpp)
+};
+
+/// "plain" or "stratified".
+const char* sampling_name(SamplingMode mode);
+
+/// Inverse of sampling_name; throws SpecError on anything else.
+SamplingMode sampling_by_name(const std::string& name);
+
+/// Variance-reduction parameters for the yield campaigns. Both estimators
+/// are unbiased for the same quantity (tests/test_yield_statistics.cpp
+/// proves it statistically); Stratified buys its variance reduction by
+/// never spending a die simulation on the zero-defect stratum.
+struct SamplingSpec {
+  SamplingMode mode = SamplingMode::Plain;
+  /// Residual negative-binomial tail probability beyond the last
+  /// simulated stratum. The tail is counted pessimistically (as
+  /// unrepairable), bounding the estimator's deterministic bias by this
+  /// mass — at the default it is far below double-precision visibility.
+  double tail_mass = 1e-12;
+  /// Trial floor per retained stratum, so rare strata still get a
+  /// variance estimate.
+  int min_stratum_trials = 2;
+};
+
 /// The one campaign parameter block every entry point shares.
 struct CampaignSpec {
   int trials = 1;            ///< Monte-Carlo trials (>= 1)
   std::uint64_t seed = 0;    ///< campaign seed (trial i uses sub-stream i)
   int threads = 0;           ///< worker threads; 0 = BISRAM_THREADS/default
   SimKernel kernel = SimKernel::Auto;
+  /// Dies per SIMD batch for campaigns that support the batched
+  /// bit-plane engine (sim/packed_ram.hpp's run_bist_batch). <= 1 runs
+  /// the historical one-die-at-a-time path; results are bit-identical
+  /// for every width (tests/test_simd_equivalence.cpp).
+  int batch = 1;
+  SamplingSpec sampling;  ///< defect-count sampling for yield campaigns
 };
 
 /// What actually ran — enough to reproduce and to audit the dispatch.
@@ -60,6 +98,10 @@ struct CampaignProvenance {
   std::int64_t trials = 0;
   std::int64_t packed_trials = 0;  ///< trials the bit-plane kernel ran
   std::int64_t scalar_trials = 0;  ///< trials the scalar model ran
+  SamplingMode sampling = SamplingMode::Plain;  ///< the sampling mode run
+  std::int64_t strata = 0;          ///< defect-count strata simulated (IS)
+  int batch = 1;                    ///< requested SIMD die-batch width
+  std::int64_t batched_trials = 0;  ///< trials run through the die batch
 };
 
 /// A campaign's outcome plus the provenance needed to reproduce it. The
@@ -134,6 +176,8 @@ T run_campaign(const CampaignSpec& spec, std::int64_t chunk, T identity,
     provenance->trials += spec.trials;
     provenance->packed_trials += folded.packed;
     provenance->scalar_trials += folded.scalar;
+    provenance->sampling = spec.sampling.mode;
+    provenance->batch = spec.batch;
   }
   return std::move(folded.value);
 }

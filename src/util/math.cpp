@@ -43,6 +43,22 @@ double poisson_pmf(std::int64_t k, double lambda) {
   return std::exp(ln);
 }
 
+double negbin_pmf(std::int64_t k, double mean, double alpha) {
+  if (k < 0) return 0.0;
+  ensure(alpha > 0, "negbin_pmf: non-positive alpha");
+  if (mean <= 0.0) return k == 0 ? 1.0 : 0.0;
+  const double p = mean / (mean + alpha);  // "success" probability
+  const double ln = std::lgamma(alpha + static_cast<double>(k)) -
+                    ln_factorial(k) - std::lgamma(alpha) +
+                    static_cast<double>(k) * std::log(p) +
+                    alpha * std::log1p(-p);
+  return std::exp(ln);
+}
+
+double WelfordAccumulator::std_error() const {
+  return n_ >= 2 ? std::sqrt(variance() / static_cast<double>(n_)) : 0.0;
+}
+
 namespace {
 
 double simpson(double a, double fa, double b, double fb, double fm) {

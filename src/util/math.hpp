@@ -23,6 +23,63 @@ double binomial_cdf(std::int64_t n, std::int64_t k, double p);
 /// Poisson pmf P[X = k] with mean lambda.
 double poisson_pmf(std::int64_t k, double lambda);
 
+/// Negative-binomial pmf P[K = k] with mean m and Stapper clustering
+/// parameter alpha (the Gamma-Poisson mixture the yield models sample).
+/// Lives here rather than in models/yield so the importance-sampling
+/// machinery in sim/ can reweight strata with the exact probabilities.
+double negbin_pmf(std::int64_t k, double mean, double alpha);
+
+/// Streaming mean/variance accumulator (Welford) with an exact parallel
+/// merge (Chan et al.). This is the O(1)-state aggregator behind the
+/// wafer-scale campaigns: each worker chunk folds its dies into one
+/// accumulator and the chunk partials merge in deterministic order, so
+/// memory stays bounded no matter how many dies stream through. Counts
+/// and sums of integer samples are exact; merge order only perturbs
+/// mean/variance at the floating-point rounding level
+/// (tests/test_util.cpp pins the tolerance).
+class WelfordAccumulator {
+ public:
+  /// Folds one sample.
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+  }
+
+  /// Folds another accumulator's samples as if they had been added here.
+  void merge(const WelfordAccumulator& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(o.n_);
+    const double d = o.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += d * nb / n;
+    m2_ += o.m2_ + d * d * na * nb / n;
+    n_ += o.n_;
+  }
+
+  std::int64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sum of squared deviations from the mean (>= 0).
+  double m2() const { return m2_ < 0.0 ? 0.0 : m2_; }
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  double variance() const {
+    return n_ >= 2 ? m2() / static_cast<double>(n_ - 1) : 0.0;
+  }
+  /// Standard error of the mean: sqrt(variance / n); 0 when empty.
+  double std_error() const;
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
 /// Adaptive Simpson quadrature of f over [a, b] to absolute tolerance tol.
 double integrate(const std::function<double(double)>& f, double a, double b,
                  double tol = 1e-10);

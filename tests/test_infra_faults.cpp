@@ -330,8 +330,10 @@ TEST(InfraCampaign, RejectsGeometryWithoutSpares) {
 }
 
 TEST(InfraYield, McWithInfraPartitionsTheDies) {
-  const auto y = models::bisr_yield_mc_with_infra(small_geo(), 2.0, 2.0,
-                                                  1.05, 0.08, 60, 5);
+  const auto y = models::bisr_yield_mc_with_infra(
+                     small_geo(), 2.0, 2.0, 1.05, 0.08,
+                     sim::CampaignSpec{.trials = 60, .seed = 5})
+                     .value;
   EXPECT_NEAR(y.effective_good + y.escape + y.safe_fail + y.hung, 1.0,
               1e-12);
   EXPECT_NEAR(y.bist_reported_good, y.effective_good + y.escape, 1e-12);

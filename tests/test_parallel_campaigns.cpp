@@ -277,8 +277,10 @@ TEST(ThreadInvariance, InfraFaultCampaign) {
 TEST(ThreadInvariance, YieldInfraMonteCarloCampaign) {
   expect_thread_invariant(
       [&] {
-        return models::bisr_yield_mc_with_infra(small_geo(), 2.0, 2.0, 1.05,
-                                                0.08, 80, 7);
+        return models::bisr_yield_mc_with_infra(
+                   small_geo(), 2.0, 2.0, 1.05, 0.08,
+                   sim::CampaignSpec{.trials = 80, .seed = 7})
+            .value;
       },
       [](const models::BisrYieldMcInfra& ref,
          const models::BisrYieldMcInfra& got, int threads) {

@@ -262,5 +262,95 @@ TEST(Errors, RequireAndEnsure) {
   EXPECT_THROW(ensure(false, "bug"), InternalError);
 }
 
+TEST(Welford, MatchesTwoPassMomentsOnRandomData) {
+  Rng rng(0xACC01ADEULL);
+  std::vector<double> xs;
+  WelfordAccumulator acc;
+  for (int i = 0; i < 500; ++i) {
+    const double x = normal_sample(rng) * 3.0 + 7.0;
+    xs.push_back(x);
+    acc.add(x);
+  }
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double m2 = 0.0;
+  for (double x : xs) m2 += (x - mean) * (x - mean);
+  EXPECT_EQ(acc.count(), 500);
+  EXPECT_NEAR(acc.mean(), mean, 1e-10);
+  EXPECT_NEAR(acc.variance(), m2 / 499.0, 1e-9);
+  EXPECT_NEAR(acc.std_error(), std::sqrt(acc.variance() / 500.0), 1e-12);
+}
+
+TEST(Welford, MergeIsPartitionInvariant) {
+  // The wafer-scale campaigns fold one accumulator per worker chunk and
+  // merge; any partition of the stream must agree with the sequential
+  // fold to floating-point rounding.
+  Rng rng(0x5E0E5ECEULL);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(normal_sample(rng));
+
+  WelfordAccumulator sequential;
+  for (double x : xs) sequential.add(x);
+
+  for (std::size_t parts : {2u, 3u, 7u, 100u, 1000u}) {
+    std::vector<WelfordAccumulator> chunks(parts);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      chunks[i % parts].add(xs[i]);
+    WelfordAccumulator merged;
+    for (const auto& c : chunks) merged.merge(c);
+    EXPECT_EQ(merged.count(), sequential.count()) << parts;
+    EXPECT_NEAR(merged.mean(), sequential.mean(), 1e-12) << parts;
+    EXPECT_NEAR(merged.variance(), sequential.variance(), 1e-10) << parts;
+  }
+}
+
+TEST(Welford, MergeOrderInvariantForBalancedTrees) {
+  Rng rng(0x7EEE5ULL);
+  std::vector<WelfordAccumulator> leaves(64);
+  for (auto& leaf : leaves)
+    for (int i = 0; i < 10; ++i) leaf.add(normal_sample(rng) * 100.0);
+
+  WelfordAccumulator forward;
+  for (const auto& leaf : leaves) forward.merge(leaf);
+  WelfordAccumulator backward;
+  for (auto it = leaves.rbegin(); it != leaves.rend(); ++it)
+    backward.merge(*it);
+  EXPECT_EQ(forward.count(), backward.count());
+  EXPECT_NEAR(forward.mean(), backward.mean(), 1e-10);
+  EXPECT_NEAR(forward.variance(), backward.variance(), 1e-8);
+}
+
+TEST(Welford, IntegerCountsAndEdgeCasesAreExact) {
+  WelfordAccumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.std_error(), 0.0);
+
+  acc.add(42.0);
+  EXPECT_EQ(acc.count(), 1);
+  EXPECT_DOUBLE_EQ(acc.mean(), 42.0);
+  EXPECT_EQ(acc.variance(), 0.0);  // undefined with one sample -> 0
+
+  // Merging an empty accumulator is a no-op in both directions.
+  WelfordAccumulator empty;
+  WelfordAccumulator copy = acc;
+  copy.merge(empty);
+  EXPECT_EQ(copy.count(), 1);
+  EXPECT_DOUBLE_EQ(copy.mean(), 42.0);
+  empty.merge(acc);
+  EXPECT_EQ(empty.count(), 1);
+  EXPECT_DOUBLE_EQ(empty.mean(), 42.0);
+
+  // Small integer streams have exactly representable moments.
+  WelfordAccumulator ints;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) ints.add(x);
+  EXPECT_EQ(ints.count(), 8);
+  EXPECT_DOUBLE_EQ(ints.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(ints.m2(), 32.0);
+  EXPECT_DOUBLE_EQ(ints.variance(), 32.0 / 7.0);
+}
+
 }  // namespace
 }  // namespace bisram

@@ -1,0 +1,304 @@
+// Statistical acceptance harness for the yield estimators: proves the
+// plain-MC and stratified importance-sampling estimators unbiased
+// against the analytic Poisson/Stapper closed forms, pins the
+// confidence-interval coverage of the reported standard errors, and
+// enforces the variance-reduction / die-simulation-saving contract of
+// the stratified sampler (sim/importance.hpp).
+//
+// Why the BIST-backed MC may be z-tested against bisr_yield(): the
+// strict_good verdict of the two-pass BIST/BISR flow is *equivalent* to
+// the analytic repairability criterion — IFA-9's complement writes
+// detect every stuck-at cell (even pattern-benign ones), the TLB
+// capacity check is exactly the "distinct faulty words <= spare words"
+// condition, and strict_good additionally demands the spares be clean —
+// so both measure the same Bernoulli parameter and any systematic gap
+// is a bug, not noise.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/wafermap.hpp"
+#include "models/yield.hpp"
+#include "sim/importance.hpp"
+#include "util/error.hpp"
+
+namespace bisram {
+namespace {
+
+// Small enough that a die simulation is microseconds, large enough that
+// single-defect dies are usually repairable: 16 regular + 4 spare rows,
+// 16 columns.
+sim::RamGeometry small_geo() {
+  sim::RamGeometry g;
+  g.words = 64;
+  g.bpw = 4;
+  g.bpc = 4;
+  g.spare_rows = 4;
+  return g;
+}
+
+// The paper's production framing: ~0.5 defects/cm^2 on a small macro
+// puts the per-die defect mean well below one — the regime where the
+// zero-defect stratum dominates and importance sampling pays off.
+constexpr double kDefectMean = 0.08;
+constexpr double kAlpha = 2.0;
+constexpr double kGrowth = 1.0;
+
+double analytic_truth() {
+  return models::bisr_yield(small_geo(), kDefectMean, kAlpha, kGrowth);
+}
+
+sim::CampaignSpec spec_with(sim::SamplingMode mode, int trials,
+                            std::uint64_t seed) {
+  sim::CampaignSpec spec;
+  spec.trials = trials;
+  spec.seed = seed;
+  spec.sampling.mode = mode;
+  return spec;
+}
+
+TEST(YieldStatistics, PlanStrataIsAProbabilityPartition) {
+  const sim::StrataPlan plan =
+      sim::plan_strata(0.5, kAlpha, 1000, sim::SamplingSpec{});
+  double mass = plan.zero_probability + plan.tail_probability;
+  for (const auto& s : plan.strata) {
+    EXPECT_GE(s.defects, 1);
+    EXPECT_GT(s.probability, 0.0);
+    EXPECT_GE(s.trials, 2);
+    mass += s.probability;
+  }
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+  EXPECT_LE(plan.tail_probability, 1e-12);
+  EXPECT_NEAR(plan.zero_probability, models::stapper_yield(0.5, kAlpha),
+              1e-12);
+}
+
+TEST(YieldStatistics, PlanStrataRejectsBadParameters) {
+  EXPECT_THROW(sim::plan_strata(0.5, kAlpha, 0, sim::SamplingSpec{}),
+               SpecError);
+  EXPECT_THROW(sim::plan_strata(-1.0, kAlpha, 10, sim::SamplingSpec{}),
+               SpecError);
+  EXPECT_THROW(sim::plan_strata(0.5, 0.0, 10, sim::SamplingSpec{}),
+               SpecError);
+  sim::SamplingSpec bad;
+  bad.tail_mass = 0.0;
+  EXPECT_THROW(sim::plan_strata(0.5, kAlpha, 10, bad), SpecError);
+  bad = sim::SamplingSpec{};
+  bad.min_stratum_trials = 0;
+  EXPECT_THROW(sim::plan_strata(0.5, kAlpha, 10, bad), SpecError);
+}
+
+TEST(YieldStatistics, ZeroDefectMeanDegeneratesToCertainYield) {
+  const auto r = models::bisr_yield_mc_with_bist(
+      small_geo(), 0.0, kAlpha, kGrowth,
+      spec_with(sim::SamplingMode::Stratified, 100, 1));
+  EXPECT_DOUBLE_EQ(r.value.strict_good, 1.0);
+  EXPECT_DOUBLE_EQ(r.value.strict_good_se, 0.0);
+  EXPECT_EQ(r.value.die_sims, 0);
+  EXPECT_EQ(r.provenance.strata, 0);
+}
+
+TEST(YieldStatistics, PlainEstimateMatchesAnalyticWithinZ) {
+  const double truth = analytic_truth();
+  const auto r = models::bisr_yield_mc_with_bist(
+      small_geo(), kDefectMean, kAlpha, kGrowth,
+      spec_with(sim::SamplingMode::Plain, 3000, 20260801));
+  ASSERT_GT(r.value.strict_good_se, 0.0);
+  const double z =
+      std::abs(r.value.strict_good - truth) / r.value.strict_good_se;
+  EXPECT_LT(z, 4.0) << "plain estimate " << r.value.strict_good
+                    << " +- " << r.value.strict_good_se << " vs analytic "
+                    << truth;
+  EXPECT_EQ(r.value.die_sims, 3000);
+  EXPECT_EQ(r.provenance.sampling, sim::SamplingMode::Plain);
+}
+
+TEST(YieldStatistics, StratifiedEstimateMatchesAnalyticWithinZ) {
+  const double truth = analytic_truth();
+  const auto r = models::bisr_yield_mc_with_bist(
+      small_geo(), kDefectMean, kAlpha, kGrowth,
+      spec_with(sim::SamplingMode::Stratified, 6000, 20260802));
+  ASSERT_GT(r.value.strict_good_se, 0.0);
+  const double z =
+      std::abs(r.value.strict_good - truth) / r.value.strict_good_se;
+  EXPECT_LT(z, 4.0) << "stratified estimate " << r.value.strict_good
+                    << " +- " << r.value.strict_good_se << " vs analytic "
+                    << truth;
+  EXPECT_EQ(r.provenance.sampling, sim::SamplingMode::Stratified);
+  EXPECT_GT(r.provenance.strata, 0);
+  // The acceptance bar: the whole stratified campaign must have burned
+  // at least 10x fewer die simulations than the plain campaign would
+  // (one per trial) at the same trial budget.
+  EXPECT_LE(r.value.die_sims * 10, static_cast<std::int64_t>(6000));
+}
+
+TEST(YieldStatistics, PlainAndStratifiedAgreeWithinJointZ) {
+  const auto plain = models::bisr_yield_mc_with_bist(
+      small_geo(), kDefectMean, kAlpha, kGrowth,
+      spec_with(sim::SamplingMode::Plain, 3000, 11));
+  const auto strat = models::bisr_yield_mc_with_bist(
+      small_geo(), kDefectMean, kAlpha, kGrowth,
+      spec_with(sim::SamplingMode::Stratified, 3000, 12));
+  const double joint_se =
+      std::sqrt(plain.value.strict_good_se * plain.value.strict_good_se +
+                strat.value.strict_good_se * strat.value.strict_good_se);
+  ASSERT_GT(joint_se, 0.0);
+  EXPECT_LT(std::abs(plain.value.strict_good - strat.value.strict_good),
+            4.0 * joint_se);
+  EXPECT_LT(std::abs(plain.value.bist_repaired - strat.value.bist_repaired),
+            4.0 * joint_se + 0.02);
+}
+
+TEST(YieldStatistics, StratifiedReducesVarianceAtEqualTrials) {
+  // Same trial budget: the stratified SE must not exceed the plain SE
+  // (law of total variance — the between-strata term is gone), and it
+  // must get there with at least 10x fewer die simulations.
+  const auto plain = models::bisr_yield_mc_with_bist(
+      small_geo(), kDefectMean, kAlpha, kGrowth,
+      spec_with(sim::SamplingMode::Plain, 3000, 303));
+  const auto strat = models::bisr_yield_mc_with_bist(
+      small_geo(), kDefectMean, kAlpha, kGrowth,
+      spec_with(sim::SamplingMode::Stratified, 3000, 404));
+  ASSERT_GT(plain.value.strict_good_se, 0.0);
+  ASSERT_GT(strat.value.strict_good_se, 0.0);
+  // 1.1 head-room: both SEs are themselves estimates.
+  EXPECT_LE(strat.value.strict_good_se, plain.value.strict_good_se * 1.1);
+  EXPECT_LE(strat.value.die_sims * 10, plain.value.die_sims);
+}
+
+TEST(YieldStatistics, ConfidenceIntervalCoverageIsNominal) {
+  // 200 independently seeded stratified runs; ~95% of the reported
+  // 1.96-sigma intervals must bracket the analytic truth. The binomial
+  // noise of 200 runs puts 3-sigma acceptance at roughly [0.88, 1.0].
+  const double truth = analytic_truth();
+  const int runs = 200;
+  int covered = 0;
+  for (int r = 0; r < runs; ++r) {
+    const auto est = models::bisr_yield_mc_with_bist(
+        small_geo(), kDefectMean, kAlpha, kGrowth,
+        spec_with(sim::SamplingMode::Stratified, 1500,
+                  0xC0FFEE00ULL + static_cast<std::uint64_t>(r)));
+    ASSERT_GT(est.value.strict_good_se, 0.0);
+    if (std::abs(est.value.strict_good - truth) <=
+        1.96 * est.value.strict_good_se)
+      ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / runs;
+  EXPECT_GE(coverage, 0.88) << covered << "/" << runs;
+  EXPECT_LE(coverage, 1.0);
+}
+
+TEST(YieldStatistics, StratifiedDeterministicAcrossThreadCounts) {
+  const auto ref = models::bisr_yield_mc_with_bist(
+      small_geo(), kDefectMean, kAlpha, kGrowth,
+      [&] {
+        auto s = spec_with(sim::SamplingMode::Stratified, 400, 77);
+        s.threads = 1;
+        return s;
+      }());
+  for (int threads : {2, 8}) {
+    auto s = spec_with(sim::SamplingMode::Stratified, 400, 77);
+    s.threads = threads;
+    const auto got = models::bisr_yield_mc_with_bist(
+        small_geo(), kDefectMean, kAlpha, kGrowth, s);
+    EXPECT_EQ(ref.value.strict_good, got.value.strict_good) << threads;
+    EXPECT_EQ(ref.value.bist_repaired, got.value.bist_repaired) << threads;
+    EXPECT_EQ(ref.value.strict_good_se, got.value.strict_good_se) << threads;
+    EXPECT_EQ(ref.value.die_sims, got.value.die_sims) << threads;
+  }
+}
+
+TEST(YieldStatistics, InfraStratifiedPartitionsAndSavesSims) {
+  // The per-stratum trial floor (2 each across ~15 retained strata) is a
+  // fixed overhead, so the 10x saving needs a budget it can amortize
+  // over; 2000 plain-equivalent trials cost the stratified sampler only
+  // ~190 microprogrammed die simulations here.
+  const auto strat = models::bisr_yield_mc_with_infra(
+      small_geo(), kDefectMean, kAlpha, 1.05, 0.08,
+      spec_with(sim::SamplingMode::Stratified, 2000, 5));
+  const auto& y = strat.value;
+  EXPECT_NEAR(y.effective_good + y.escape + y.safe_fail + y.hung, 1.0, 1e-9);
+  EXPECT_NEAR(y.bist_reported_good, y.effective_good + y.escape, 1e-12);
+  EXPECT_LE(y.die_sims * 10, static_cast<std::int64_t>(2000));
+  EXPECT_GT(strat.provenance.strata, 0);
+
+  // And the two samplers estimate the same effective yield.
+  const auto plain = models::bisr_yield_mc_with_infra(
+      small_geo(), kDefectMean, kAlpha, 1.05, 0.08,
+      spec_with(sim::SamplingMode::Plain, 400, 6));
+  const double joint_se = std::sqrt(
+      plain.value.effective_good_se * plain.value.effective_good_se +
+      y.effective_good_se * y.effective_good_se);
+  ASSERT_GT(joint_se, 0.0);
+  EXPECT_LT(std::abs(plain.value.effective_good - y.effective_good),
+            4.0 * joint_se);
+}
+
+TEST(YieldStatistics, WaferCampaignWithoutBisrYieldIsExactUnderIS) {
+  models::WaferSpec wspec;
+  wspec.ram_geo = small_geo();
+  wspec.defects_per_cm2 = 0.5;
+  // A 4x4 mm die at 0.5 defects/cm^2: per-die mean 0.08, the production
+  // regime where >90% of dies are defect-free and IS skips them all.
+  wspec.die_w_mm = 4;
+  wspec.die_h_mm = 4;
+  const double die_cm2 = wspec.die_w_mm * wspec.die_h_mm / 100.0;
+  const double stapper = models::stapper_yield(
+      wspec.defects_per_cm2 * die_cm2, wspec.cluster_alpha);
+
+  const auto strat = models::wafer_yield_campaign(
+      wspec, spec_with(sim::SamplingMode::Stratified, 20000, 99));
+  // The zero stratum *is* the without-BISR yield: exact, zero SE.
+  EXPECT_NEAR(strat.value.yield_without_bisr, stapper, 1e-12);
+  EXPECT_DOUBLE_EQ(strat.value.yield_without_bisr_se, 0.0);
+  EXPECT_GE(strat.value.yield_with_bisr, strat.value.yield_without_bisr);
+  EXPECT_GT(strat.value.dies_per_wafer, 0);
+
+  const auto plain = models::wafer_yield_campaign(
+      wspec, spec_with(sim::SamplingMode::Plain, 20000, 100));
+  ASSERT_GT(plain.value.yield_without_bisr_se, 0.0);
+  const double z = std::abs(plain.value.yield_without_bisr - stapper) /
+                   plain.value.yield_without_bisr_se;
+  EXPECT_LT(z, 4.0);
+  // BISR-rescued yield agrees between samplers.
+  const double joint_se = std::sqrt(
+      plain.value.yield_with_bisr_se * plain.value.yield_with_bisr_se +
+      strat.value.yield_with_bisr_se * strat.value.yield_with_bisr_se);
+  ASSERT_GT(joint_se, 0.0);
+  EXPECT_LT(std::abs(plain.value.yield_with_bisr - strat.value.yield_with_bisr),
+            4.0 * joint_se);
+  // Reweighted defect mean tracks the model mean.
+  const double m = wspec.defects_per_cm2 * die_cm2;
+  EXPECT_NEAR(strat.value.mean_defects_per_die, m, 1e-6);
+  EXPECT_NEAR(plain.value.mean_defects_per_die, m,
+              5.0 * plain.value.mean_defects_per_die_se + 1e-9);
+  // Streaming saving: the stratified campaign simulated a small
+  // fraction of the represented dies.
+  EXPECT_LE(strat.value.die_sims * 10, static_cast<std::int64_t>(20000));
+  EXPECT_EQ(plain.value.die_sims, 20000);
+}
+
+TEST(YieldStatistics, WaferCampaignMatchesMapSimulatorStatistically) {
+  // The streaming campaign and the map-producing simulator share the
+  // per-die model; their with-BISR yields must agree within joint noise.
+  models::WaferSpec wspec;
+  wspec.ram_geo = small_geo();
+  wspec.defects_per_cm2 = 1.0;
+  const auto map = models::simulate_wafer(wspec, 42);
+  const auto stream = models::wafer_yield_campaign(
+      wspec, spec_with(sim::SamplingMode::Stratified, 50000, 43));
+  ASSERT_GT(map.dies_total, 0);
+  const double map_yield = map.yield_with_bisr();
+  const double map_se = std::sqrt(map_yield * (1.0 - map_yield) /
+                                  static_cast<double>(map.dies_total));
+  EXPECT_LT(std::abs(map_yield - stream.value.yield_with_bisr),
+            4.0 * std::sqrt(map_se * map_se +
+                            stream.value.yield_with_bisr_se *
+                                stream.value.yield_with_bisr_se) +
+                1e-9);
+  EXPECT_EQ(stream.value.dies_per_wafer, map.dies_total);
+}
+
+}  // namespace
+}  // namespace bisram
