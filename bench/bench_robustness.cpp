@@ -1,0 +1,297 @@
+// Robustness characteristics of the crash-safe campaign runtime:
+//
+//   1. Checkpoint overhead — the wafer-scale streaming campaign run
+//      uncheckpointed, then with the write cadence throttled to ~1 Hz
+//      and ~10 Hz, and finally writing at every segment boundary. The
+//      atomic write path (temp + fsync + rename) is the cost being
+//      measured; overhead is reported against the uncheckpointed run.
+//   2. Cancellation latency — a worker thread cancels a long-running
+//      campaign; the time from CancelToken::cancel() to the campaign
+//      returning its valid partial estimate is one chunk of work by
+//      design. Reported as p50/p90/p99 over repeated runs.
+//   3. Kill-and-resume equivalence — the campaign is stopped at a
+//      deterministic mid-run boundary (CheckpointSpec::pause_after),
+//      resumed from the checkpoint file, and the final estimate is
+//      compared bit-for-bit against an uninterrupted run.
+//
+// --json emits the BENCH_robustness.json snapshot the bench-smoke CI
+// leg regenerates.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "models/wafermap.hpp"
+#include "util/cancel.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/parallel.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace bisram;
+using sim::CampaignSpec;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+models::WaferSpec bench_wafer_spec() {
+  models::WaferSpec w;
+  w.wafer_mm = 200;
+  w.die_w_mm = 4;
+  w.die_h_mm = 4;
+  w.defects_per_cm2 = 0.5;
+  w.cluster_alpha = 2.0;
+  w.ram_fraction = 0.35;
+  sim::RamGeometry g;
+  g.words = 64;
+  g.bpw = 4;
+  g.bpc = 4;
+  g.spare_rows = 4;
+  w.ram_geo = g;
+  return w;
+}
+
+struct OverheadRow {
+  const char* cadence;
+  double seconds = 0;
+  std::int64_t checkpoints = 0;
+  double overhead_pct = 0;
+};
+
+std::vector<OverheadRow> run_checkpoint_overhead(const CampaignSpec& base,
+                                                 const std::string& scratch) {
+  const models::WaferSpec wafer = bench_wafer_spec();
+  struct Config {
+    const char* name;
+    bool enabled;
+    double min_period_ms;
+  };
+  // min_period_ms throttles how often a due segment boundary actually
+  // writes; 0 writes at every boundary (trials/16 apart by default).
+  const Config configs[] = {
+      {"none", false, 0.0},
+      {"1hz", true, 1000.0},
+      {"10hz", true, 100.0},
+      {"every-segment", true, 0.0},
+  };
+  std::vector<OverheadRow> rows;
+  for (const Config& c : configs) {
+    CampaignSpec s = base;
+    s.sampling.mode = sim::SamplingMode::Plain;
+    if (c.enabled) {
+      s.checkpoint.path = scratch + ".overhead";
+      s.checkpoint.min_period_ms = c.min_period_ms;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = models::wafer_yield_campaign(wafer, s);
+    OverheadRow row;
+    row.cadence = c.name;
+    row.seconds = seconds_since(t0);
+    row.checkpoints = r.provenance.checkpoints_written;
+    rows.push_back(row);
+  }
+  std::remove((scratch + ".overhead").c_str());
+  const double baseline = rows[0].seconds;
+  for (OverheadRow& r : rows)
+    r.overhead_pct =
+        baseline > 0.0 ? (r.seconds / baseline - 1.0) * 100.0 : 0.0;
+  return rows;
+}
+
+struct LatencyStats {
+  std::vector<double> samples_ms;
+  double pct(double p) const {
+    if (samples_ms.empty()) return 0.0;
+    std::vector<double> s = samples_ms;
+    std::sort(s.begin(), s.end());
+    const std::size_t idx = static_cast<std::size_t>(
+        p * static_cast<double>(s.size() - 1) + 0.5);
+    return s[idx];
+  }
+};
+
+/// Cancels a long wafer campaign from another thread `repeats` times and
+/// measures cancel() -> return. The campaign is sized so it is always
+/// still running when the cancel lands.
+LatencyStats run_cancel_latency(const CampaignSpec& base, int repeats,
+                                double cancel_after_ms) {
+  const models::WaferSpec wafer = bench_wafer_spec();
+  LatencyStats stats;
+  for (int i = 0; i < repeats; ++i) {
+    CampaignSpec s = base;
+    s.sampling.mode = sim::SamplingMode::Plain;
+    s.trials = 500'000'000;  // hours of work: the cancel always lands mid-run
+    CancelToken token;
+    s.cancel = &token;
+    std::chrono::steady_clock::time_point cancelled_at;
+    std::thread killer([&] {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(cancel_after_ms));
+      cancelled_at = std::chrono::steady_clock::now();
+      token.cancel();
+    });
+    const auto r = models::wafer_yield_campaign(wafer, s);
+    const double latency_ms = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() -
+                                  cancelled_at)
+                                  .count();
+    killer.join();
+    require(r.termination == Termination::Cancelled,
+            "bench_robustness: cancel did not land mid-run");
+    stats.samples_ms.push_back(latency_ms);
+  }
+  return stats;
+}
+
+struct ResumeCheck {
+  bool bit_identical = false;
+  std::int64_t paused_at = 0;
+  double uninterrupted = 0, resumed = 0;
+};
+
+/// Deterministic kill-and-resume: pause_after stops the run at the first
+/// segment boundary past the midpoint and writes the checkpoint; the
+/// resumed run must match the uninterrupted one bit for bit.
+ResumeCheck run_resume_equivalence(const CampaignSpec& base,
+                                   const std::string& scratch) {
+  const models::WaferSpec wafer = bench_wafer_spec();
+  const std::string path = scratch + ".resume";
+  CampaignSpec whole = base;
+  whole.sampling.mode = sim::SamplingMode::Plain;
+  const auto full = models::wafer_yield_campaign(wafer, whole);
+
+  CampaignSpec first = whole;
+  first.checkpoint.path = path;
+  first.checkpoint.pause_after = whole.trials / 2;
+  const auto paused = models::wafer_yield_campaign(wafer, first);
+
+  CampaignSpec second = whole;
+  second.checkpoint.resume = path;
+  const auto resumed = models::wafer_yield_campaign(wafer, second);
+  std::remove(path.c_str());
+
+  ResumeCheck check;
+  check.paused_at = paused.provenance.trials_done;
+  check.uninterrupted = full.value.yield_with_bisr;
+  check.resumed = resumed.value.yield_with_bisr;
+  check.bit_identical =
+      std::memcmp(&check.uninterrupted, &check.resumed, sizeof(double)) == 0 &&
+      full.value.yield_with_bisr_se == resumed.value.yield_with_bisr_se &&
+      full.value.yield_without_bisr == resumed.value.yield_without_bisr &&
+      resumed.termination == Termination::Resumed;
+  return check;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CampaignSpec spec;
+  spec.trials = 2'000'000;
+  spec.seed = 1234;
+  bool json = false;
+  std::string json_path;
+  std::string scratch = "bench_robustness.ckpt";
+  int repeats = 12;
+  double cancel_after_ms = 4.0;
+  Cli cli("bench_robustness",
+          "Checkpoint overhead, cancel latency and resume equivalence of "
+          "the crash-safe campaign runtime.");
+  cli.value("--dies", &spec.trials, "wafer dies per overhead run")
+      .value("--seed", &spec.seed, "campaign seed")
+      .value("--threads", &spec.threads,
+             "worker threads (0 = BISRAM_THREADS or hardware)")
+      .value("--repeats", &repeats, "cancel-latency samples")
+      .value("--cancel-after-ms", &cancel_after_ms,
+             "delay before the killer thread cancels")
+      .value("--scratch", &scratch, "temp path prefix for checkpoint files",
+             "PATH")
+      .optional_value("--json", &json, &json_path,
+                      "emit the BENCH_robustness.json report (to FILE or "
+                      "stdout)");
+  cli.parse(&argc, argv);
+
+  const auto overhead = run_checkpoint_overhead(spec, scratch);
+  const auto latency = run_cancel_latency(spec, repeats, cancel_after_ms);
+  const auto resume = run_resume_equivalence(spec, scratch);
+
+  if (json) {
+    JsonWriter j;
+    j.begin_object();
+    j.key("benchmark").value("robustness");
+    j.key("dies").value(spec.trials);
+    j.key("checkpoint_overhead").begin_array();
+    for (const OverheadRow& r : overhead) {
+      j.begin_object();
+      j.key("cadence").value(r.cadence);
+      j.key("seconds").value(r.seconds);
+      j.key("checkpoints_written").value(r.checkpoints);
+      j.key("overhead_pct").value(r.overhead_pct);
+      j.end_object();
+    }
+    j.end_array();
+    j.key("cancel_latency_ms").begin_object();
+    j.key("samples").value(static_cast<std::int64_t>(
+        latency.samples_ms.size()));
+    j.key("p50").value(latency.pct(0.50));
+    j.key("p90").value(latency.pct(0.90));
+    j.key("p99").value(latency.pct(0.99));
+    j.key("max").value(latency.samples_ms.empty()
+                           ? 0.0
+                           : *std::max_element(latency.samples_ms.begin(),
+                                               latency.samples_ms.end()));
+    j.end_object();
+    j.key("resume_equivalence").begin_object();
+    j.key("paused_at").value(resume.paused_at);
+    j.key("uninterrupted_yield_with_bisr").value(resume.uninterrupted);
+    j.key("resumed_yield_with_bisr").value(resume.resumed);
+    j.key("bit_identical").value(resume.bit_identical);
+    j.end_object();
+    j.end_object();
+    if (json_path.empty()) {
+      std::printf("%s\n", j.str().c_str());
+    } else {
+      std::FILE* f = std::fopen(json_path.c_str(), "w");
+      if (!f) {
+        std::fprintf(stderr, "bench_robustness: cannot write '%s'\n",
+                     json_path.c_str());
+        return 2;
+      }
+      std::fprintf(f, "%s\n", j.str().c_str());
+      std::fclose(f);
+    }
+    return resume.bit_identical ? 0 : 1;
+  }
+
+  std::printf("=== Checkpoint overhead (%lld-die wafer campaign) ===\n",
+              static_cast<long long>(spec.trials));
+  TextTable t;
+  t.header({"cadence", "seconds", "checkpoints", "overhead"});
+  for (const OverheadRow& r : overhead)
+    t.row({r.cadence, strfmt("%.3f", r.seconds),
+           strfmt("%lld", static_cast<long long>(r.checkpoints)),
+           strfmt("%+.1f%%", r.overhead_pct)});
+  std::printf("%s", t.render().c_str());
+
+  std::printf("\n=== Cancellation latency (%d runs, cancel at %.1f ms) ===\n",
+              repeats, cancel_after_ms);
+  std::printf("p50 %.3f ms  p90 %.3f ms  p99 %.3f ms\n", latency.pct(0.50),
+              latency.pct(0.90), latency.pct(0.99));
+
+  std::printf("\n=== Kill-and-resume equivalence ===\n");
+  std::printf(
+      "paused at %lld dies; uninterrupted %.12f vs resumed %.12f -> %s\n",
+      static_cast<long long>(resume.paused_at), resume.uninterrupted,
+      resume.resumed,
+      resume.bit_identical ? "bit-identical" : "MISMATCH");
+  return resume.bit_identical ? 0 : 1;
+}

@@ -167,10 +167,22 @@ models::WaferSpec bench_wafer_spec() {
   return w;
 }
 
+/// Crash-safety controls for the wafer-scale streaming campaign; the
+/// wafer campaign loops over both sampling modes, so checkpoint and
+/// resume paths get per-mode ".plain"/".stratified" suffixes.
+struct WaferRunOptions {
+  double deadline_ms = 0;      ///< <= 0: no deadline
+  std::string checkpoint;      ///< base path; empty = no checkpointing
+  std::string resume;          ///< base path; empty = fresh run
+  std::int64_t interval = 0;   ///< dies between checkpoints (0 = auto)
+};
+
 /// One measured row of the wafer-scale streaming campaign.
 struct WaferRow {
   const char* name;
   models::WaferCampaignStats stats;
+  sim::CampaignProvenance prov;
+  Termination termination = Termination::Completed;
   double seconds;
   double dies_per_sec() const {
     return seconds > 0.0 ? static_cast<double>(stats.dies) / seconds : 0.0;
@@ -178,7 +190,8 @@ struct WaferRow {
 };
 
 std::vector<WaferRow> run_wafer_campaign(const CampaignSpec& spec,
-                                         int wafer_dies) {
+                                         int wafer_dies,
+                                         const WaferRunOptions& opts = {}) {
   const models::WaferSpec wafer = bench_wafer_spec();
   std::vector<WaferRow> rows;
   for (sim::SamplingMode mode :
@@ -186,15 +199,25 @@ std::vector<WaferRow> run_wafer_campaign(const CampaignSpec& spec,
     CampaignSpec s = spec;
     s.trials = wafer_dies;
     s.sampling.mode = mode;
+    const std::string suffix = std::string(".") + sim::sampling_name(mode);
+    if (!opts.checkpoint.empty()) s.checkpoint.path = opts.checkpoint + suffix;
+    if (!opts.resume.empty()) s.checkpoint.resume = opts.resume + suffix;
+    s.checkpoint.interval = opts.interval;
+    CancelToken token;
+    if (opts.deadline_ms > 0) {
+      token.set_deadline_after_ms(opts.deadline_ms);
+      s.cancel = &token;
+    }
     const auto t0 = std::chrono::steady_clock::now();
     const auto r = models::wafer_yield_campaign(wafer, s);
-    rows.push_back(
-        WaferRow{sim::sampling_name(mode), r.value, seconds_since(t0)});
+    rows.push_back(WaferRow{sim::sampling_name(mode), r.value, r.provenance,
+                            r.termination, seconds_since(t0)});
   }
   return rows;
 }
 
-void print_sampling_sections(const CampaignSpec& spec, int wafer_dies) {
+void print_sampling_sections(const CampaignSpec& spec, int wafer_dies,
+                             const WaferRunOptions& wafer_opts) {
   // --- importance sampling vs plain MC ------------------------------
   const int trials = spec.trials >= 4000 ? spec.trials : 4000;
   const double analytic =
@@ -249,9 +272,11 @@ void print_sampling_sections(const CampaignSpec& spec, int wafer_dies) {
         "%.1f defects/cm2) ===\n",
         wafer_dies, wafer.die_w_mm, wafer.die_h_mm, wafer.defects_per_cm2);
     TextTable wt;
+    // Timing stays in the last column: EXPERIMENTS.md's determinism
+    // recipe diffs thread counts after stripping trailing integers.
     wt.header({"sampling", "yield w/o BISR", "yield w/ BISR", "mean defects",
-               "die sims", "dies/sec"});
-    const auto wrows = run_wafer_campaign(spec, wafer_dies);
+               "die sims", "termination", "dies/sec"});
+    const auto wrows = run_wafer_campaign(spec, wafer_dies, wafer_opts);
     for (const WaferRow& r : wrows)
       wt.row({r.name,
               strfmt("%.6f +/- %.6f", r.stats.yield_without_bisr,
@@ -261,8 +286,13 @@ void print_sampling_sections(const CampaignSpec& spec, int wafer_dies) {
               strfmt("%.4f +/- %.4f", r.stats.mean_defects_per_die,
                      r.stats.mean_defects_per_die_se),
               strfmt("%lld", static_cast<long long>(r.stats.die_sims)),
+              termination_name(r.termination),
               strfmt("%.0f", r.dies_per_sec())});
     std::printf("%s", wt.render().c_str());
+    for (const WaferRow& r : wrows)
+      if (r.prov.checkpoints_written > 0)
+        std::printf("%s: wrote %lld checkpoint(s)\n", r.name,
+                    static_cast<long long>(r.prov.checkpoints_written));
     std::printf("usable dies per physical wafer: %d\n",
                 wrows.empty() ? 0 : wrows[0].stats.dies_per_wafer);
   }
@@ -335,6 +365,7 @@ void print_fig4(const CampaignSpec& spec) {
 // and an end-to-end BIST/BISR Monte-Carlo spot check with its campaign
 // provenance.
 void print_fig4_json(const CampaignSpec& spec, int wafer_dies,
+                     const WaferRunOptions& wafer_opts,
                      const std::string& path) {
   const double alpha = 2.0;
   const double g4 = growth_factor(4);
@@ -455,8 +486,10 @@ void print_fig4_json(const CampaignSpec& spec, int wafer_dies,
     j.key("die_w_mm").value(wafer.die_w_mm);
     j.key("die_h_mm").value(wafer.die_h_mm);
     j.key("defects_per_cm2").value(wafer.defects_per_cm2);
+    j.key("deadline_ms").value(wafer_opts.deadline_ms);
+    j.key("checkpoint_interval").value(wafer_opts.interval);
     j.key("modes").begin_array();
-    for (const WaferRow& r : run_wafer_campaign(spec, wafer_dies)) {
+    for (const WaferRow& r : run_wafer_campaign(spec, wafer_dies, wafer_opts)) {
       j.begin_object();
       j.key("sampling").value(r.name);
       j.key("yield_without_bisr").value(r.stats.yield_without_bisr);
@@ -467,6 +500,9 @@ void print_fig4_json(const CampaignSpec& spec, int wafer_dies,
       j.key("mean_defects_per_die_se").value(r.stats.mean_defects_per_die_se);
       j.key("die_sims").value(r.stats.die_sims);
       j.key("dies_per_wafer").value(r.stats.dies_per_wafer);
+      j.key("termination").value(termination_name(r.termination));
+      j.key("trials_done").value(r.prov.trials_done);
+      j.key("checkpoints_written").value(r.prov.checkpoints_written);
       j.key("seconds").value(r.seconds);
       j.key("dies_per_sec").value(r.dies_per_sec());
       j.end_object();
@@ -561,6 +597,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string kernel = "auto";
   int wafer_dies = 1000000;
+  WaferRunOptions wafer_opts;
   Cli cli("bench_yield", "Fig. 4 yield-vs-defects curves and MC checks.");
   cli.value("--trials", &spec.trials, "Monte-Carlo trials per spot check")
       .value("--seed", &spec.seed, "campaign seed")
@@ -571,6 +608,18 @@ int main(int argc, char** argv) {
              "SIMD die-batch width for the MC campaigns (1 = unbatched)")
       .value("--wafer-dies", &wafer_dies,
              "dies for the wafer-scale streaming campaign (0 = skip)")
+      .value("--deadline-ms", &wafer_opts.deadline_ms,
+             "wall-clock budget per wafer campaign; an expired run reports "
+             "a valid partial estimate with termination=deadline")
+      .value("--checkpoint", &wafer_opts.checkpoint,
+             "write wafer-campaign checkpoints to PATH.plain / "
+             "PATH.stratified",
+             "PATH")
+      .value("--resume", &wafer_opts.resume,
+             "resume the wafer campaigns from PATH.plain / PATH.stratified",
+             "PATH")
+      .value("--checkpoint-interval", &wafer_opts.interval,
+             "dies between checkpoints (0 = trials/16)")
       .optional_value("--json", &json, &json_path,
                       "emit the report as JSON (to FILE or stdout) and skip "
                       "the benchmarks")
@@ -583,11 +632,11 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (json) {
-    print_fig4_json(spec, wafer_dies, json_path);
+    print_fig4_json(spec, wafer_dies, wafer_opts, json_path);
     return 0;
   }
   print_fig4(spec);
-  print_sampling_sections(spec, wafer_dies);
+  print_sampling_sections(spec, wafer_dies, wafer_opts);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

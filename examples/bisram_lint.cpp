@@ -18,7 +18,9 @@
 #include <fstream>
 #include <string>
 
+#include "tech/tech_file.hpp"
 #include "util/cli.hpp"
+#include "util/diag.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "verify/signoff.hpp"
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
   std::int64_t words = spec.words;
   std::int64_t abstract_words = options.micro.words;
   std::string test_name;
+  std::string tech_file;
   bool microfaults = false;
   bool no_drc = false;
   bool no_erc = false;
@@ -61,6 +64,10 @@ int main(int argc, char** argv) {
       .value("--gate-size", &spec.gate_size, "critical gate multiplier", "X")
       .value("--tech", &spec.technology,
              "cda.5u3m1p | cda.7u3m1p | mos.6u3m1pHP", "NAME")
+      .value("--tech-file", &tech_file,
+             "user technology deck (overrides --tech; parse errors are "
+             "reported as structured diagnostics)",
+             "FILE")
       .value("--test", &test_name, "ifa9 | ifa13 | matsp | marchc", "NAME")
       .value("--passes", &spec.max_passes, "BIST passes (>= 2)")
       .flag("--microfaults", &microfaults,
@@ -91,6 +98,36 @@ int main(int argc, char** argv) {
     spec.test = t;
   }
   if (threads > 0) set_campaign_threads(threads);
+
+  // A user deck is parsed through the structured-diagnostics engine: a
+  // damaged deck produces one pass of file:line positioned errors (and,
+  // under --json, the machine-readable diagnostics document) instead of
+  // a single first-failure exception.
+  tech::Tech user_tech;
+  if (!tech_file.empty()) {
+    std::ifstream f(tech_file);
+    if (!f) {
+      std::fprintf(stderr, "bisram_lint: cannot read %s\n",
+                   tech_file.c_str());
+      return 2;
+    }
+    DiagEngine diag(tech_file);
+    user_tech = tech::read_tech_file(f, &diag);
+    if (!diag.ok()) {
+      std::fputs((diag.render_text() + "\n").c_str(), stderr);
+      if (want_json) {
+        const std::string doc = diag.json();
+        if (json_path.empty()) {
+          std::printf("%s\n", doc.c_str());
+        } else {
+          std::ofstream jf(json_path);
+          if (jf) jf << doc << '\n';
+        }
+      }
+      return 2;
+    }
+    spec.custom_tech = &user_tech;
+  }
 
   try {
     const verify::SignoffReport report = verify::run_signoff(spec, options);

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "geom/cell.hpp"
+#include "util/diag.hpp"
 
 namespace bisram::geom {
 
@@ -17,9 +18,19 @@ struct CifDesign {
   double lambda_nm = 0; ///< recovered from the DS scale (a/b * 10 nm)
 };
 
-/// Parses a CIF stream; throws bisram::SpecError on malformed input.
-CifDesign read_cif(std::istream& is);
+/// Parses a CIF stream. Every malformed construct is reported as a
+/// structured diagnostic with the exact 1-based line:column of the
+/// offending token, and the reader recovers at the next command — one
+/// pass collects *all* problems, never just the first.
+///
+/// With a DiagEngine the reader never throws: it records diagnostics,
+/// returns whatever it could salvage, and the caller gates on
+/// diag->ok(). Without one (the legacy contract) it throws
+/// bisram::DiagError — a SpecError carrying the diagnostics — if any
+/// error was recorded.
+CifDesign read_cif(std::istream& is, DiagEngine* diag = nullptr);
 
-CifDesign read_cif_string(const std::string& text);
+CifDesign read_cif_string(const std::string& text,
+                          DiagEngine* diag = nullptr);
 
 }  // namespace bisram::geom

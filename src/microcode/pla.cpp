@@ -73,51 +73,79 @@ void PlaPersonality::write_or_plane(std::ostream& os) const {
   for (const auto& t : terms_) os << t.or_row << '\n';
 }
 
+namespace {
+struct PlaneRow {
+  std::string text;
+  int line;  ///< 1-based file line, comments and blanks counted
+};
+}  // namespace
+
 PlaPersonality PlaPersonality::read_planes(std::istream& and_plane,
-                                           std::istream& or_plane) {
+                                           std::istream& or_plane,
+                                           DiagEngine* diag) {
+  DiagEngine local("<pla>");
+  DiagEngine& eng = diag ? *diag : local;
   auto read_rows = [](std::istream& is) {
-    std::vector<std::string> rows;
+    std::vector<PlaneRow> rows;
     std::string line;
+    int lineno = 0;
     while (std::getline(is, line)) {
+      ++lineno;
       const std::string t = trim(line);
       if (t.empty() || t[0] == '#') continue;
-      rows.push_back(t);
+      rows.push_back({t, lineno});
     }
     return rows;
   };
-  // Validate each plane in isolation first so the message names the
-  // exact plane, term row and column — the personality files are meant
+  // Validate each plane in isolation first so the diagnostic names the
+  // exact plane, file line and column — the personality files are meant
   // to be edited by hand, and "width mismatch" alone is not actionable.
-  auto check_plane = [](const std::vector<std::string>& rows,
-                        const char* plane, const char* alphabet) {
-    require(!rows.empty(), std::string("PLA: empty ") + plane +
-                               " plane (no personality rows; a truncated "
-                               "or comment-only file?)");
-    const std::size_t width = rows[0].size();
+  auto check_plane = [&eng](const std::vector<PlaneRow>& rows,
+                            const char* plane, const char* alphabet) {
+    if (rows.empty()) {
+      eng.error("pla-empty-plane",
+                std::string("empty ") + plane + " plane (no personality "
+                "rows; a truncated or comment-only file?)");
+      return;
+    }
+    const std::size_t width = rows[0].text.size();
     for (std::size_t i = 0; i < rows.size(); ++i) {
-      require(rows[i].size() == width,
-              strfmt("PLA: %s plane term %zu is %zu columns wide but term 0 "
-                     "has %zu (ragged plane file)",
-                     plane, i, rows[i].size(), width));
-      for (std::size_t c = 0; c < rows[i].size(); ++c)
-        require(std::strchr(alphabet, rows[i][c]) != nullptr,
-                strfmt("PLA: %s plane term %zu column %zu holds '%c' "
-                       "(expected one of \"%s\")",
-                       plane, i, c, rows[i][c], alphabet));
+      if (rows[i].text.size() != width) {
+        eng.error("pla-ragged-row",
+                  strfmt("%s plane term %zu is %zu columns wide but term 0 "
+                         "has %zu (ragged plane file)",
+                         plane, i, rows[i].text.size(), width),
+                  rows[i].line);
+        continue;  // column checks on a ragged row would double-report
+      }
+      for (std::size_t c = 0; c < rows[i].text.size(); ++c)
+        if (std::strchr(alphabet, rows[i].text[c]) == nullptr)
+          eng.error("pla-bad-character",
+                    strfmt("%s plane term %zu column %zu holds '%c' "
+                           "(expected one of \"%s\")",
+                           plane, i, c, rows[i].text[c], alphabet),
+                    rows[i].line, static_cast<int>(c) + 1);
     }
   };
   const auto and_rows = read_rows(and_plane);
   const auto or_rows = read_rows(or_plane);
   check_plane(and_rows, "AND", "01-");
   check_plane(or_rows, "OR", "01");
-  require(and_rows.size() == or_rows.size(),
-          strfmt("PLA: AND plane has %zu terms but OR plane has %zu (planes "
-                 "must pair term-for-term; is one file truncated?)",
-                 and_rows.size(), or_rows.size()));
-  PlaPersonality pla(static_cast<int>(and_rows[0].size()),
-                     static_cast<int>(or_rows[0].size()));
+  if (eng.ok() && and_rows.size() != or_rows.size())
+    eng.error("pla-term-count-mismatch",
+              strfmt("AND plane has %zu terms but OR plane has %zu (planes "
+                     "must pair term-for-term; is one file truncated?)",
+                     and_rows.size(), or_rows.size()));
+  if (!eng.ok()) {
+    if (!diag) eng.throw_if_errors();
+    // Non-throwing mode: a valid-but-empty placeholder; the caller must
+    // gate on diag->ok() before using it.
+    return PlaPersonality(1, 1);
+  }
+  PlaPersonality pla(static_cast<int>(and_rows[0].text.size()),
+                     static_cast<int>(or_rows[0].text.size()));
   for (std::size_t i = 0; i < and_rows.size(); ++i)
-    pla.add_term(and_rows[i], or_rows[i]);
+    pla.add_term(and_rows[i].text, or_rows[i].text);
   return pla;
 }
 

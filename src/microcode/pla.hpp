@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "util/diag.hpp"
+
 namespace bisram::microcode {
 
 /// One product term: `and_row` over the inputs ('1' input true,
@@ -51,14 +53,20 @@ class PlaPersonality {
   }
 
   /// Writes/reads the two plane files (text; '#' comment lines allowed).
-  /// read_planes throws bisram::SpecError with the offending plane, term
-  /// row and column on ragged rows, bad characters, and truncated or
-  /// empty planes — the control store is user-editable, so the loader
-  /// must say exactly what is wrong with a hand-modified program.
+  /// read_planes reports the offending plane, the 1-based *file* line of
+  /// the bad row (comments and blanks counted, so the number matches the
+  /// editor) and the column on ragged rows, bad characters, and
+  /// truncated or empty planes — the control store is user-editable, so
+  /// the loader must say exactly what is wrong with a hand-modified
+  /// program. With a DiagEngine the reader records every problem and
+  /// never throws (callers gate on diag->ok(); the returned personality
+  /// is a valid empty placeholder when errors were found); without one
+  /// it throws bisram::DiagError (a SpecError) listing them all.
   void write_and_plane(std::ostream& os) const;
   void write_or_plane(std::ostream& os) const;
   static PlaPersonality read_planes(std::istream& and_plane,
-                                    std::istream& or_plane);
+                                    std::istream& or_plane,
+                                    DiagEngine* diag = nullptr);
 
   /// Grid dimensions of the physical PLA: (rows = terms,
   /// columns = 2 * inputs + outputs) — used by the macro generator.

@@ -59,7 +59,11 @@ sim::CampaignResult<double> reliability_mc(const sim::RamGeometry& geo,
   const double q = word_failure_prob(geo.bpw, lambda_per_hour, t_hours);
   const std::int64_t nw = static_cast<std::int64_t>(geo.words);
   const std::int64_t s = geo.spare_words();
+  require(!spec.checkpoint.enabled() && !spec.checkpoint.resuming(),
+          "reliability_mc: checkpointing is not supported here — use "
+          "cancel/deadline for bounded runs");
   sim::CampaignResult<double> out;
+  std::int64_t done = 0;
   const int alive = sim::run_campaign<int>(
       spec, /*chunk=*/64, 0,
       [&](Rng& rng, std::int64_t, sim::KernelTally&) {
@@ -68,8 +72,12 @@ sim::CampaignResult<double> reliability_mc(const sim::RamGeometry& geo,
         const std::int64_t failed_spares = binomial_count(rng, s, q);
         return failed_spares == 0 ? 1 : 0;
       },
-      [](int a, int b) { return a + b; }, &out.provenance);
-  out.value = static_cast<double>(alive) / spec.trials;
+      [](int a, int b) { return a + b; }, &out.provenance,
+      /*stream_offset=*/0, &done);
+  out.value =
+      done ? static_cast<double>(alive) / static_cast<double>(done) : 0.0;
+  out.termination =
+      sim::resolve_termination(done, spec.trials, spec.cancel, false);
   return out;
 }
 

@@ -4,10 +4,12 @@
 #include <set>
 
 #include "sim/importance.hpp"
+#include "util/checkpoint.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace bisram::models {
 
@@ -204,20 +206,35 @@ struct StreamCounts {
   WelfordAccumulator defects;
 };
 
-/// Folds `trials` streamed die trials. The chunk grows with the trial
+/// Chunk size for a stream of `trials` die trials: grows with the trial
 /// count (but never depends on the thread count, keeping the fold — and
 /// so the Welford rounding — bit-identical for any BISRAM_THREADS), so
 /// the engine holds at most ~4096 chunk partials regardless of how many
-/// million dies stream through.
-StreamCounts run_die_segment(const WaferSpec& spec, double mean_defects,
-                             std::int64_t fixed_k,
-                             const sim::CampaignSpec& campaign, int trials,
-                             std::uint64_t stream_offset,
-                             sim::CampaignProvenance* provenance) {
+/// million dies stream through. Checkpoint segments MUST compute this
+/// from the *full* stream length, never a segment's, or the fold
+/// association (and the bits) would depend on where the checkpoints
+/// landed.
+std::int64_t die_chunk(std::int64_t trials) {
+  return trials / 4096 > 1024 ? trials / 4096 : 1024;
+}
+
+/// Folds die trials [lo, hi) of a `chunk`-chunked stream based at
+/// `base_offset`, continuing the left fold from `initial`. As long as
+/// `lo` is a chunk multiple and `chunk` came from die_chunk(full
+/// length), splitting a stream into segments at arbitrary boundaries
+/// reproduces the uninterrupted fold bit for bit — each trial keeps its
+/// absolute seed sub-stream, each chunk keeps its absolute extent, and
+/// `initial` keeps the caller-side association.
+StreamCounts run_die_range(const WaferSpec& spec, double mean_defects,
+                           std::int64_t fixed_k,
+                           const sim::CampaignSpec& campaign,
+                           std::int64_t lo, std::int64_t hi,
+                           std::int64_t chunk, std::uint64_t base_offset,
+                           const StreamCounts& initial,
+                           std::int64_t* seg_done,
+                           sim::CampaignProvenance* provenance) {
   sim::CampaignSpec sub = campaign;
-  sub.trials = trials;
-  const std::int64_t chunk =
-      trials / 4096 > 1024 ? trials / 4096 : 1024;
+  sub.trials = static_cast<int>(hi - lo);
   return sim::run_campaign<StreamCounts>(
       sub, chunk, StreamCounts{},
       [&](Rng& rng, std::int64_t, sim::KernelTally&) {
@@ -234,7 +251,45 @@ StreamCounts run_die_segment(const WaferSpec& spec, double mean_defects,
         a.defects.merge(b.defects);
         return a;
       },
-      provenance, stream_offset);
+      provenance, base_offset + static_cast<std::uint64_t>(lo), seg_done,
+      &initial);
+}
+
+/// Serialized form of one StreamCounts accumulator (5 payload words).
+void put_counts(CheckpointWriter& w, const StreamCounts& c) {
+  w.i64(c.good).i64(c.saved).i64(c.defects.count());
+  w.f64(c.defects.mean()).f64(c.defects.raw_m2());
+}
+
+StreamCounts get_counts(CheckpointReader& r) {
+  StreamCounts c;
+  c.good = r.i64();
+  c.saved = r.i64();
+  const std::int64_t n = r.i64();
+  const double mean = r.f64();
+  const double m2 = r.f64();
+  c.defects = WelfordAccumulator::restore(n, mean, m2);
+  return c;
+}
+
+/// Everything the wafer campaign's bit-exact result depends on. Thread
+/// count, kernel/batch (unused by die trials) and checkpoint cadence are
+/// deliberately excluded: results are invariant to all of them, so a
+/// checkpoint written at one cadence/thread count resumes under another.
+std::uint64_t wafer_fingerprint(const WaferSpec& spec,
+                                const sim::CampaignSpec& campaign) {
+  Fingerprint fp;
+  fp.mix_str("wafer_yield_campaign");
+  fp.mix_f64(spec.wafer_mm).mix_f64(spec.die_w_mm).mix_f64(spec.die_h_mm);
+  fp.mix_f64(spec.defects_per_cm2).mix_f64(spec.cluster_alpha);
+  fp.mix_f64(spec.ram_fraction);
+  fp.mix(spec.ram_geo.words).mix_i64(spec.ram_geo.bpw);
+  fp.mix_i64(spec.ram_geo.bpc).mix_i64(spec.ram_geo.spare_rows);
+  fp.mix(campaign.seed).mix_i64(campaign.trials);
+  fp.mix_i64(static_cast<std::int64_t>(campaign.sampling.mode));
+  fp.mix_f64(campaign.sampling.tail_mass);
+  fp.mix_i64(campaign.sampling.min_stratum_trials);
+  return fp.value();
 }
 
 /// Standard error of a Bernoulli mean from its success count.
@@ -266,22 +321,84 @@ sim::CampaignResult<WaferCampaignStats> wafer_yield_campaign(
   out.value.dies = campaign.trials;
   out.value.dies_per_wafer = usable_dies(spec);
 
+  const sim::CheckpointSpec& ck = campaign.checkpoint;
+  const bool resumed = ck.resuming();
+  const std::uint64_t fprint = wafer_fingerprint(spec, campaign);
+  sim::CheckpointCadence cadence;
+  std::int64_t run_done = 0;  // trials processed by *this* process
+  auto due = [&](bool force) { return cadence.due(ck, force); };
+
   if (campaign.sampling.mode == sim::SamplingMode::Plain) {
-    const StreamCounts c =
-        run_die_segment(spec, mean_defects, /*fixed_k=*/-1, campaign,
-                        campaign.trials, /*stream_offset=*/0,
-                        &out.provenance);
+    const std::int64_t total = campaign.trials;
+    const std::int64_t chunk = die_chunk(total);
+    const std::int64_t seg = sim::checkpoint_segment_trials(ck, chunk, total);
+
+    StreamCounts master;
+    std::int64_t done = 0;
+    if (resumed) {
+      CheckpointReader r(ck.resume, fprint);
+      require(r.u64() == 0,
+              strfmt("checkpoint: '%s' was written by a stratified "
+                     "campaign; this one samples plain",
+                     ck.resume.c_str()));
+      done = r.i64();
+      master = get_counts(r);
+      require(done >= 0 && done <= total && master.defects.count() == done,
+              strfmt("checkpoint: '%s' carries an inconsistent trial count",
+                     ck.resume.c_str()));
+    }
+
+    auto write_ckpt = [&] {
+      CheckpointWriter w(fprint);
+      w.u64(0).i64(done);
+      put_counts(w, master);
+      w.save(ck.path);
+      cadence.note_write();
+      ++out.provenance.checkpoints_written;
+    };
+
+    Termination term = Termination::Completed;
+    while (done < total) {
+      if (campaign.cancel && campaign.cancel->stop_requested()) {
+        term = campaign.cancel->stop_reason();
+        break;
+      }
+      if (ck.pause_after > 0 && run_done >= ck.pause_after) {
+        if (due(true)) write_ckpt();
+        term = Termination::Cancelled;
+        break;
+      }
+      const std::int64_t hi = std::min(total, done + seg);
+      const std::int64_t want = hi - done;
+      std::int64_t seg_done = 0;
+      master = run_die_range(spec, mean_defects, /*fixed_k=*/-1, campaign,
+                             done, hi, chunk, /*base_offset=*/0, master,
+                             &seg_done, &out.provenance);
+      done += seg_done;
+      run_done += seg_done;
+      if (seg_done < want) {  // token fired mid-segment: partial fold only
+        term = campaign.cancel ? campaign.cancel->stop_reason()
+                               : Termination::Cancelled;
+        break;
+      }
+      if (due(done == total)) write_ckpt();
+    }
+    if (done >= total)
+      term = resumed ? Termination::Resumed : Termination::Completed;
+
+    const std::int64_t n = master.defects.count();
     out.value.yield_without_bisr =
-        static_cast<double>(c.good) / campaign.trials;
-    out.value.yield_without_bisr_se =
-        wafer_bernoulli_se(c.good, campaign.trials);
+        n ? static_cast<double>(master.good) / static_cast<double>(n) : 0.0;
+    out.value.yield_without_bisr_se = wafer_bernoulli_se(master.good, n);
     out.value.yield_with_bisr =
-        static_cast<double>(c.saved) / campaign.trials;
-    out.value.yield_with_bisr_se =
-        wafer_bernoulli_se(c.saved, campaign.trials);
-    out.value.mean_defects_per_die = c.defects.mean();
-    out.value.mean_defects_per_die_se = c.defects.std_error();
-    out.value.die_sims = campaign.trials;
+        n ? static_cast<double>(master.saved) / static_cast<double>(n) : 0.0;
+    out.value.yield_with_bisr_se = wafer_bernoulli_se(master.saved, n);
+    out.value.mean_defects_per_die = master.defects.mean();
+    out.value.mean_defects_per_die_se = master.defects.std_error();
+    out.value.die_sims = n;
+    out.provenance.trials = total;
+    out.provenance.trials_done = n;
+    out.termination = term;
     return out;
   }
 
@@ -293,19 +410,108 @@ sim::CampaignResult<WaferCampaignStats> wafer_yield_campaign(
   // deterministic sum with zero standard error; the truncated tail
   // counts as Bad and contributes zero defect mass (bias bounded by
   // tail_mass * k_max, far below visibility at the default).
+  //
+  // Checkpoints record (current stratum, trials into it, its partial
+  // accumulator, the saved-count of every finished stratum). The plan
+  // itself is a deterministic function of fingerprinted inputs, so it is
+  // recomputed, never stored.
   const sim::StrataPlan plan = sim::plan_strata(
       mean_defects, spec.cluster_alpha, campaign.trials, campaign.sampling);
-  std::vector<sim::StratumCount> saved;
+  std::vector<sim::StratumCount> saved(plan.strata.size(),
+                                       sim::StratumCount{0, 0});
   std::vector<sim::StratumMoments> defects;
-  for (std::size_t s = 0; s < plan.strata.size(); ++s) {
-    const sim::Stratum& st = plan.strata[s];
-    const StreamCounts c = run_die_segment(spec, mean_defects, st.defects,
-                                           campaign, st.trials,
-                                           sim::stratum_stream_offset(s),
-                                           &out.provenance);
-    saved.push_back({c.saved, st.trials});
+  for (const sim::Stratum& st : plan.strata)
     defects.push_back({static_cast<double>(st.defects), 0.0, st.trials});
+
+  std::size_t s0 = 0;
+  std::int64_t done0 = 0;  // trials into stratum s0 at resume
+  StreamCounts cur0;
+  if (resumed) {
+    CheckpointReader r(ck.resume, fprint);
+    require(r.u64() == 1,
+            strfmt("checkpoint: '%s' was written by a plain campaign; "
+                   "this one samples stratified",
+                   ck.resume.c_str()));
+    s0 = static_cast<std::size_t>(r.i64());
+    done0 = r.i64();
+    cur0 = get_counts(r);
+    require(s0 <= plan.strata.size(),
+            strfmt("checkpoint: '%s' names a stratum past the plan",
+                   ck.resume.c_str()));
+    require(done0 >= 0 && cur0.defects.count() == done0 &&
+                (s0 == plan.strata.size()
+                     ? done0 == 0
+                     : done0 <= plan.strata[s0].trials),
+            strfmt("checkpoint: '%s' carries an inconsistent trial count",
+                   ck.resume.c_str()));
+    for (std::size_t i = 0; i < s0; ++i)
+      saved[i] = {r.i64(), plan.strata[i].trials};
   }
+
+  std::int64_t total_done = done0;
+  for (std::size_t i = 0; i < s0; ++i) total_done += plan.strata[i].trials;
+
+  Termination term = Termination::Completed;
+  std::size_t s = s0;
+  std::int64_t done = done0;
+  StreamCounts master = cur0;
+
+  auto write_ckpt = [&] {
+    CheckpointWriter w(fprint);
+    w.u64(1).i64(static_cast<std::int64_t>(s)).i64(done);
+    put_counts(w, master);
+    for (std::size_t i = 0; i < s; ++i) w.i64(saved[i].successes);
+    w.save(ck.path);
+    cadence.note_write();
+    ++out.provenance.checkpoints_written;
+  };
+
+  bool stopped = false;
+  while (s < plan.strata.size() && !stopped) {
+    const sim::Stratum& st = plan.strata[s];
+    const std::int64_t chunk = die_chunk(st.trials);
+    const std::int64_t seg =
+        sim::checkpoint_segment_trials(ck, chunk, st.trials);
+    while (done < st.trials) {
+      if (campaign.cancel && campaign.cancel->stop_requested()) {
+        term = campaign.cancel->stop_reason();
+        stopped = true;
+        break;
+      }
+      if (ck.pause_after > 0 && run_done >= ck.pause_after) {
+        if (due(true)) write_ckpt();
+        term = Termination::Cancelled;
+        stopped = true;
+        break;
+      }
+      const std::int64_t hi = std::min<std::int64_t>(st.trials, done + seg);
+      const std::int64_t want = hi - done;
+      std::int64_t seg_done = 0;
+      master = run_die_range(spec, mean_defects, st.defects, campaign, done,
+                             hi, chunk, sim::stratum_stream_offset(s), master,
+                             &seg_done, &out.provenance);
+      done += seg_done;
+      run_done += seg_done;
+      total_done += seg_done;
+      if (seg_done < want) {
+        term = campaign.cancel ? campaign.cancel->stop_reason()
+                               : Termination::Cancelled;
+        stopped = true;
+        break;
+      }
+      if (done < st.trials && due(false)) write_ckpt();
+    }
+    saved[s] = {master.saved, done};  // partial counts stay valid
+    if (!stopped) {
+      ++s;
+      done = 0;
+      master = StreamCounts{};
+      // Boundary between strata is also a resumable boundary.
+      if (due(s == plan.strata.size())) write_ckpt();
+    }
+  }
+  if (!stopped) term = resumed ? Termination::Resumed : Termination::Completed;
+
   out.value.yield_without_bisr = plan.zero_probability;
   out.value.yield_without_bisr_se = 0.0;
   const sim::WeightedEstimate with_bisr = sim::combine_strata_bernoulli(
@@ -316,8 +522,11 @@ sim::CampaignResult<WaferCampaignStats> wafer_yield_campaign(
       sim::combine_strata(plan, defects, 0.0, 0.0);
   out.value.mean_defects_per_die = mean_k.value;
   out.value.mean_defects_per_die_se = mean_k.std_error;
-  out.value.die_sims = plan.total_trials();
+  out.value.die_sims = total_done;
   out.provenance.strata = static_cast<std::int64_t>(plan.strata.size());
+  out.provenance.trials = plan.total_trials();
+  out.provenance.trials_done = total_done;
+  out.termination = term;
   return out;
 }
 

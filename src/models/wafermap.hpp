@@ -82,6 +82,13 @@ struct WaferCampaignStats {
 /// on where a usable die sits), so the campaign streams dies, not
 /// wafers; dies_per_wafer reports the physical wafer capacity for
 /// converting die counts to wafer counts.
+///
+/// Robustness: honors campaign.cancel (cooperative cancel/deadline — a
+/// stopped run returns a valid partial estimate over
+/// provenance.trials_done dies, labelled by the result's termination)
+/// and campaign.checkpoint (crash-safe checkpoint/resume; a resumed run
+/// is bit-identical to an uninterrupted one for every cadence and
+/// thread count — tests/test_checkpoint_resume.cpp).
 sim::CampaignResult<WaferCampaignStats> wafer_yield_campaign(
     const WaferSpec& spec, const sim::CampaignSpec& campaign);
 

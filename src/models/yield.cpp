@@ -9,9 +9,11 @@
 #include "sim/importance.hpp"
 #include "sim/infra_faults.hpp"
 #include "sim/packed_ram.hpp"
+#include "util/checkpoint.hpp"
 #include "util/math.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace bisram::models {
 
@@ -85,7 +87,10 @@ sim::CampaignResult<double> repair_probability_mc(
   const std::uint64_t rows = static_cast<std::uint64_t>(geo.total_rows());
   const std::uint64_t cols = static_cast<std::uint64_t>(geo.cols());
   const int spare_words = geo.spare_words();
+  require(!spec.checkpoint.enabled() && !spec.checkpoint.resuming(),
+          "repair_probability_mc: checkpointing is not supported here");
   sim::CampaignResult<double> out;
+  std::int64_t done = 0;
   const int good = sim::run_campaign<int>(
       spec, /*chunk=*/64, 0,
       [&](Rng& rng, std::int64_t, sim::KernelTally&) {
@@ -111,8 +116,12 @@ sim::CampaignResult<double> repair_probability_mc(
                    ? 1
                    : 0;
       },
-      [](int a, int b) { return a + b; }, &out.provenance);
-  out.value = static_cast<double>(good) / spec.trials;
+      [](int a, int b) { return a + b; }, &out.provenance,
+      /*stream_offset=*/0, &done);
+  out.value = done ? static_cast<double>(good) / static_cast<double>(done)
+                   : 0.0;
+  out.termination =
+      sim::resolve_termination(done, spec.trials, spec.cancel, false);
   return out;
 }
 
@@ -216,15 +225,20 @@ struct YieldCounts {
   std::int64_t strict = 0;
 };
 
-/// Runs one segment (the whole plain campaign, or one stratum) of
-/// `trials` BIST/BISR trials. All tallies are integer counts, so the
-/// fold is exactly associative and the segment is bit-identical for any
-/// thread count and any SIMD batch width.
-YieldCounts run_yield_segment(const sim::RamGeometry& geo, double m,
-                              double alpha, std::int64_t fixed_k,
-                              const sim::CampaignSpec& spec, int trials,
-                              std::uint64_t stream_offset,
-                              sim::CampaignProvenance* provenance) {
+/// Runs BIST/BISR trials [lo, hi) of one stream (the plain campaign's,
+/// or one stratum's), continuing the fold from `initial` and adding the
+/// trials actually folded to *seg_done. All tallies are integer counts,
+/// so the fold is exactly associative and the range is bit-identical for
+/// any thread count, any SIMD batch width, and any split of a stream
+/// into ranges — the property the checkpoint/resume path rides on.
+YieldCounts run_yield_range(const sim::RamGeometry& geo, double m,
+                            double alpha, std::int64_t fixed_k,
+                            const sim::CampaignSpec& spec,
+                            std::int64_t lo, std::int64_t hi,
+                            std::uint64_t base_offset,
+                            const YieldCounts& initial,
+                            std::int64_t* seg_done,
+                            sim::CampaignProvenance* provenance) {
   // Note on detection fidelity: a StuckAt0 fault in a cell every
   // background drives to 0 is benign but still *detected* by IFA-9's
   // complement writes, so the BIST verdict matches the analytic "any hit
@@ -232,7 +246,7 @@ YieldCounts run_yield_segment(const sim::RamGeometry& geo, double m,
   // resolves to the packed bit-plane kernel for every trial.
   if (spec.batch <= 1) {
     sim::CampaignSpec sub = spec;
-    sub.trials = trials;
+    sub.trials = static_cast<int>(hi - lo);
     return sim::run_campaign<YieldCounts>(
         sub, /*chunk=*/8, YieldCounts{},
         [&](Rng& rng, std::int64_t, sim::KernelTally& tally) {
@@ -253,20 +267,27 @@ YieldCounts run_yield_segment(const sim::RamGeometry& geo, double m,
         [](YieldCounts a, YieldCounts b) {
           return YieldCounts{a.repaired + b.repaired, a.strict + b.strict};
         },
-        provenance, stream_offset);
+        provenance, base_offset + static_cast<std::uint64_t>(lo), seg_done,
+        &initial);
   }
 
   // SIMD-batched path: groups of `batch` dies run lockstep through
   // run_bist_batch, sharing one pattern table and streaming their bulk
   // march ops back to back through the SIMD lanes. Each trial draws from
   // the same per-trial sub-stream as the unbatched path, so the per-die
-  // fault lists — and therefore the counts — are identical.
+  // fault lists — and therefore the counts — are identical. The batched
+  // engine only ever sees a whole stream (checkpoint/pause segmentation
+  // is rejected for batch > 1), but it honors spec.cancel: a stopped run
+  // folds exactly the groups that finished, and Acc carries its own
+  // trial count so the partial estimate normalizes correctly.
+  require(lo == 0, "run_yield_range: batched path takes whole streams");
   struct Acc {
     YieldCounts counts;
+    std::int64_t trials = 0;
     std::int64_t packed = 0;
     std::int64_t scalar = 0;
   };
-  const std::int64_t n = trials;
+  const std::int64_t n = hi;
   const std::int64_t batch = spec.batch;
   const std::int64_t groups = (n + batch - 1) / batch;
   const Acc folded = parallel_reduce<Acc>(
@@ -279,7 +300,7 @@ YieldCounts run_yield_segment(const sim::RamGeometry& geo, double m,
         lists.reserve(static_cast<std::size_t>(end - begin));
         for (std::int64_t i = begin; i < end; ++i) {
           Rng rng(stream_seed(spec.seed,
-                              stream_offset + static_cast<std::uint64_t>(i)));
+                              base_offset + static_cast<std::uint64_t>(i)));
           bool spare_hit = false;
           lists.push_back(
               draw_die_faults(rng, geo, m, alpha, fixed_k, &spare_hit));
@@ -289,6 +310,7 @@ YieldCounts run_yield_segment(const sim::RamGeometry& geo, double m,
         const std::vector<sim::BistResult> results = sim::run_bist_batch(
             geo, lists, sim::BistConfig{}, spec.kernel, &used);
         Acc a;
+        a.trials = end - begin;
         for (std::size_t i = 0; i < results.size(); ++i) {
           if (used[i] == sim::SimKernel::Packed)
             ++a.packed;
@@ -304,9 +326,11 @@ YieldCounts run_yield_segment(const sim::RamGeometry& geo, double m,
       [](Acc a, Acc b) {
         return Acc{{a.counts.repaired + b.counts.repaired,
                     a.counts.strict + b.counts.strict},
-                   a.packed + b.packed, a.scalar + b.scalar};
+                   a.trials + b.trials, a.packed + b.packed,
+                   a.scalar + b.scalar};
       },
-      spec.threads > 0 ? spec.threads : 0);
+      spec.threads > 0 ? spec.threads : 0, spec.cancel);
+  if (seg_done) *seg_done += folded.trials;
   if (provenance) {
     provenance->seed = spec.seed;
     provenance->threads = sim::resolve_campaign_threads(spec);
@@ -316,9 +340,30 @@ YieldCounts run_yield_segment(const sim::RamGeometry& geo, double m,
     provenance->scalar_trials += folded.scalar;
     provenance->sampling = spec.sampling.mode;
     provenance->batch = spec.batch;
-    provenance->batched_trials += n;
+    provenance->batched_trials += folded.trials;
+    provenance->trials_done += folded.trials;
   }
-  return folded.counts;
+  return YieldCounts{initial.repaired + folded.counts.repaired,
+                     initial.strict + folded.counts.strict};
+}
+
+/// Fingerprint of everything a BIST-yield campaign's bit-exact result
+/// depends on (threads, kernel, batch and cadence are invariants and
+/// deliberately excluded — see tests/test_simd_equivalence.cpp).
+std::uint64_t yield_fingerprint(const sim::RamGeometry& geo,
+                                double defect_mean, double alpha,
+                                double growth,
+                                const sim::CampaignSpec& spec) {
+  Fingerprint fp;
+  fp.mix_str("bisr_yield_mc_with_bist");
+  fp.mix(geo.words).mix_i64(geo.bpw).mix_i64(geo.bpc);
+  fp.mix_i64(geo.spare_rows);
+  fp.mix_f64(defect_mean).mix_f64(alpha).mix_f64(growth);
+  fp.mix(spec.seed).mix_i64(spec.trials);
+  fp.mix_i64(static_cast<std::int64_t>(spec.sampling.mode));
+  fp.mix_f64(spec.sampling.tail_mass);
+  fp.mix_i64(spec.sampling.min_stratum_trials);
+  return fp.value();
 }
 
 }  // namespace
@@ -334,16 +379,89 @@ sim::CampaignResult<BisrYieldMc> bisr_yield_mc_with_bist(
   out.provenance.sampling = spec.sampling.mode;
   out.provenance.batch = spec.batch;
 
+  const sim::CheckpointSpec& ck = spec.checkpoint;
+  require(spec.batch <= 1 ||
+              (!ck.enabled() && !ck.resuming() && ck.pause_after <= 0),
+          "bisr_yield_mc_with_bist: checkpoint/resume/pause requires batch "
+          "<= 1 (the batched engine has no chunk-aligned fold boundaries)");
+  const bool resumed = ck.resuming();
+  const std::uint64_t fprint =
+      yield_fingerprint(geo, defect_mean, alpha, growth, spec);
+  sim::CheckpointCadence cadence;
+  std::int64_t run_done = 0;  // trials processed by *this* process
+
   if (spec.sampling.mode == sim::SamplingMode::Plain) {
-    const YieldCounts counts = run_yield_segment(
-        geo, m, alpha, /*fixed_k=*/-1, spec, spec.trials,
-        /*stream_offset=*/0, &out.provenance);
+    const std::int64_t total = spec.trials;
+    const std::int64_t chunk = 8;  // the campaign's historical fold chunk
+    const std::int64_t seg = sim::checkpoint_segment_trials(ck, chunk, total);
+
+    YieldCounts master;
+    std::int64_t done = 0;
+    if (resumed) {
+      CheckpointReader r(ck.resume, fprint);
+      require(r.u64() == 2,
+              strfmt("checkpoint: '%s' was not written by a plain BIST "
+                     "yield campaign",
+                     ck.resume.c_str()));
+      done = r.i64();
+      master.repaired = r.i64();
+      master.strict = r.i64();
+      require(done >= 0 && done <= total && master.repaired >= 0 &&
+                  master.strict >= 0 && master.repaired <= done &&
+                  master.strict <= master.repaired,
+              strfmt("checkpoint: '%s' carries inconsistent counts",
+                     ck.resume.c_str()));
+    }
+
+    auto write_ckpt = [&] {
+      CheckpointWriter w(fprint);
+      w.u64(2).i64(done).i64(master.repaired).i64(master.strict);
+      w.save(ck.path);
+      cadence.note_write();
+      ++out.provenance.checkpoints_written;
+    };
+
+    Termination term = Termination::Completed;
+    while (done < total) {
+      if (spec.cancel && spec.cancel->stop_requested()) {
+        term = spec.cancel->stop_reason();
+        break;
+      }
+      if (ck.pause_after > 0 && run_done >= ck.pause_after) {
+        if (cadence.due(ck, true)) write_ckpt();
+        term = Termination::Cancelled;
+        break;
+      }
+      const std::int64_t hi = std::min(total, done + seg);
+      const std::int64_t want = hi - done;
+      std::int64_t seg_done = 0;
+      master = run_yield_range(geo, m, alpha, /*fixed_k=*/-1, spec, done, hi,
+                               /*base_offset=*/0, master, &seg_done,
+                               &out.provenance);
+      done += seg_done;
+      run_done += seg_done;
+      if (seg_done < want) {
+        term = spec.cancel ? spec.cancel->stop_reason()
+                           : Termination::Cancelled;
+        break;
+      }
+      if (cadence.due(ck, done == total)) write_ckpt();
+    }
+    if (done >= total)
+      term = resumed ? Termination::Resumed : Termination::Completed;
+
+    const std::int64_t n = done;
     out.value.bist_repaired =
-        static_cast<double>(counts.repaired) / spec.trials;
-    out.value.strict_good = static_cast<double>(counts.strict) / spec.trials;
-    out.value.bist_repaired_se = bernoulli_se(counts.repaired, spec.trials);
-    out.value.strict_good_se = bernoulli_se(counts.strict, spec.trials);
-    out.value.die_sims = spec.trials;
+        n ? static_cast<double>(master.repaired) / static_cast<double>(n)
+          : 0.0;
+    out.value.strict_good =
+        n ? static_cast<double>(master.strict) / static_cast<double>(n) : 0.0;
+    out.value.bist_repaired_se = bernoulli_se(master.repaired, n);
+    out.value.strict_good_se = bernoulli_se(master.strict, n);
+    out.value.die_sims = n;
+    out.provenance.trials = total;
+    out.provenance.trials_done = n;
+    out.termination = term;
     return out;
   }
 
@@ -351,20 +469,81 @@ sim::CampaignResult<BisrYieldMc> bisr_yield_mc_with_bist(
   // stratum is analytic (a defect-free die always repairs and is
   // strictly good), each k >= 1 stratum simulates conditionally on its
   // own seed-stream window, and the truncated tail counts as
-  // unrepairable.
+  // unrepairable. Checkpoints land on stratum boundaries (a finished
+  // stratum's counts are final), which also serve as the pause_after
+  // boundaries; integer tallies make any resume split bit-identical.
   const sim::StrataPlan plan =
       sim::plan_strata(m, alpha, spec.trials, spec.sampling);
-  std::vector<sim::StratumCount> repaired, strict;
-  repaired.reserve(plan.strata.size());
-  strict.reserve(plan.strata.size());
-  for (std::size_t s = 0; s < plan.strata.size(); ++s) {
-    const sim::Stratum& st = plan.strata[s];
-    const YieldCounts counts = run_yield_segment(
-        geo, m, alpha, st.defects, spec, st.trials,
-        sim::stratum_stream_offset(s), &out.provenance);
-    repaired.push_back({counts.repaired, st.trials});
-    strict.push_back({counts.strict, st.trials});
+  std::vector<sim::StratumCount> repaired(plan.strata.size(),
+                                          sim::StratumCount{0, 0});
+  std::vector<sim::StratumCount> strict(plan.strata.size(),
+                                        sim::StratumCount{0, 0});
+
+  std::size_t s0 = 0;
+  if (resumed) {
+    CheckpointReader r(ck.resume, fprint);
+    require(r.u64() == 3,
+            strfmt("checkpoint: '%s' was not written by a stratified BIST "
+                   "yield campaign",
+                   ck.resume.c_str()));
+    s0 = static_cast<std::size_t>(r.i64());
+    require(s0 <= plan.strata.size(),
+            strfmt("checkpoint: '%s' names a stratum past the plan",
+                   ck.resume.c_str()));
+    for (std::size_t i = 0; i < s0; ++i) {
+      repaired[i] = {r.i64(), plan.strata[i].trials};
+      strict[i] = {r.i64(), plan.strata[i].trials};
+    }
   }
+
+  std::int64_t total_done = 0;
+  for (std::size_t i = 0; i < s0; ++i) total_done += plan.strata[i].trials;
+
+  std::size_t s = s0;
+  auto write_ckpt = [&] {
+    CheckpointWriter w(fprint);
+    w.u64(3).i64(static_cast<std::int64_t>(s));
+    for (std::size_t i = 0; i < s; ++i)
+      w.i64(repaired[i].successes).i64(strict[i].successes);
+    w.save(ck.path);
+    cadence.note_write();
+    ++out.provenance.checkpoints_written;
+  };
+
+  Termination term = Termination::Completed;
+  bool stopped = false;
+  for (; s < plan.strata.size() && !stopped; ) {
+    if (spec.cancel && spec.cancel->stop_requested()) {
+      term = spec.cancel->stop_reason();
+      break;
+    }
+    if (ck.pause_after > 0 && run_done >= ck.pause_after) {
+      if (cadence.due(ck, true)) write_ckpt();
+      term = Termination::Cancelled;
+      break;
+    }
+    const sim::Stratum& st = plan.strata[s];
+    std::int64_t st_done = 0;
+    const YieldCounts counts = run_yield_range(
+        geo, m, alpha, st.defects, spec, 0, st.trials,
+        sim::stratum_stream_offset(s), YieldCounts{}, &st_done,
+        &out.provenance);
+    repaired[s] = {counts.repaired, st_done};
+    strict[s] = {counts.strict, st_done};
+    total_done += st_done;
+    run_done += st_done;
+    if (st_done < st.trials) {  // token fired inside the stratum
+      term = spec.cancel ? spec.cancel->stop_reason()
+                         : Termination::Cancelled;
+      stopped = true;
+      break;
+    }
+    ++s;
+    if (cadence.due(ck, s == plan.strata.size())) write_ckpt();
+  }
+  if (!stopped && s == plan.strata.size())
+    term = resumed ? Termination::Resumed : Termination::Completed;
+
   const sim::WeightedEstimate rep = sim::combine_strata_bernoulli(
       plan, repaired, /*zero_value=*/1.0, /*tail_value=*/0.0);
   const sim::WeightedEstimate str = sim::combine_strata_bernoulli(
@@ -373,8 +552,11 @@ sim::CampaignResult<BisrYieldMc> bisr_yield_mc_with_bist(
   out.value.bist_repaired_se = rep.std_error;
   out.value.strict_good = str.value;
   out.value.strict_good_se = str.std_error;
-  out.value.die_sims = plan.total_trials();
+  out.value.die_sims = total_done;
   out.provenance.strata = static_cast<std::int64_t>(plan.strata.size());
+  out.provenance.trials = plan.total_trials();
+  out.provenance.trials_done = total_done;
+  out.termination = term;
   return out;
 }
 
@@ -481,9 +663,14 @@ sim::CampaignResult<BisrYieldMcInfra> bisr_yield_mc_with_infra(
     return c;
   };
 
+  require(!spec.checkpoint.enabled() && !spec.checkpoint.resuming(),
+          "bisr_yield_mc_with_infra: checkpointing is not supported here — "
+          "use cancel/deadline for bounded runs");
+
   const auto run_segment = [&](std::int64_t total, int trials,
                                std::uint64_t stream_offset,
-                               sim::CampaignProvenance* provenance) {
+                               sim::CampaignProvenance* provenance,
+                               std::int64_t* done) {
     sim::CampaignSpec sub = spec;
     sub.trials = trials;
     return sim::run_campaign<InfraCounts>(
@@ -492,7 +679,7 @@ sim::CampaignResult<BisrYieldMcInfra> bisr_yield_mc_with_infra(
           tally.note(sim::SimKernel::Scalar);
           return run_trial(rng, total);
         },
-        infra_combine, provenance, stream_offset);
+        infra_combine, provenance, stream_offset, done);
   };
 
   sim::CampaignResult<BisrYieldMcInfra> out;
@@ -503,38 +690,51 @@ sim::CampaignResult<BisrYieldMcInfra> bisr_yield_mc_with_infra(
   out.provenance.batch = spec.batch;
 
   if (spec.sampling.mode == sim::SamplingMode::Plain) {
+    std::int64_t done = 0;
     const InfraCounts c =
         run_segment(/*total=*/-1, spec.trials, /*stream_offset=*/0,
-                    &out.provenance);
-    const double n = static_cast<double>(spec.trials);
+                    &out.provenance, &done);
+    const double n = done ? static_cast<double>(done) : 1.0;
     out.value.bist_reported_good = static_cast<double>(c.reported) / n;
     out.value.effective_good = static_cast<double>(c.effective) / n;
     out.value.escape = static_cast<double>(c.escape) / n;
     out.value.safe_fail = static_cast<double>(c.safe_fail) / n;
     out.value.hung = static_cast<double>(c.hung) / n;
-    out.value.bist_reported_good_se = bernoulli_se(c.reported, spec.trials);
-    out.value.effective_good_se = bernoulli_se(c.effective, spec.trials);
-    out.value.die_sims = spec.trials;
+    out.value.bist_reported_good_se = bernoulli_se(c.reported, done);
+    out.value.effective_good_se = bernoulli_se(c.effective, done);
+    out.value.die_sims = done;
+    out.termination =
+        sim::resolve_termination(done, spec.trials, spec.cancel, false);
     return out;
   }
 
   // Stratified over the *total* defect count. A zero-defect die runs the
   // flow on a perfect array with a perfect machine: DONE_OK with a clean
   // readback, deterministically. The truncated tail counts as safe_fail
-  // so the five outcome fractions still sum to one.
+  // so the five outcome fractions still sum to one. Strata a cancelled
+  // run never reached carry zero trials and are counted pessimistically
+  // by the combiners below.
   const sim::StrataPlan plan = sim::plan_strata(
       m * (1.0 + logic_area_fraction), alpha, spec.trials, spec.sampling);
-  std::vector<sim::StratumCount> reported, effective, escape, safe_fail, hung;
-  for (std::size_t s = 0; s < plan.strata.size(); ++s) {
+  std::vector<sim::StratumCount> reported(plan.strata.size()),
+      effective(plan.strata.size()), escape(plan.strata.size()),
+      safe_fail(plan.strata.size()), hung(plan.strata.size());
+  std::int64_t total_done = 0;
+  bool stopped = false;
+  for (std::size_t s = 0; s < plan.strata.size() && !stopped; ++s) {
+    if (spec.cancel && spec.cancel->stop_requested()) break;
     const sim::Stratum& st = plan.strata[s];
+    std::int64_t done = 0;
     const InfraCounts c = run_segment(st.defects, st.trials,
                                       sim::stratum_stream_offset(s),
-                                      &out.provenance);
-    reported.push_back({c.reported, st.trials});
-    effective.push_back({c.effective, st.trials});
-    escape.push_back({c.escape, st.trials});
-    safe_fail.push_back({c.safe_fail, st.trials});
-    hung.push_back({c.hung, st.trials});
+                                      &out.provenance, &done);
+    reported[s] = {c.reported, done};
+    effective[s] = {c.effective, done};
+    escape[s] = {c.escape, done};
+    safe_fail[s] = {c.safe_fail, done};
+    hung[s] = {c.hung, done};
+    total_done += done;
+    if (done < st.trials) stopped = true;
   }
   const sim::WeightedEstimate rep =
       sim::combine_strata_bernoulli(plan, reported, 1.0, 0.0);
@@ -549,8 +749,12 @@ sim::CampaignResult<BisrYieldMcInfra> bisr_yield_mc_with_infra(
   out.value.safe_fail =
       sim::combine_strata_bernoulli(plan, safe_fail, 0.0, 1.0).value;
   out.value.hung = sim::combine_strata_bernoulli(plan, hung, 0.0, 0.0).value;
-  out.value.die_sims = plan.total_trials();
+  out.value.die_sims = total_done;
   out.provenance.strata = static_cast<std::int64_t>(plan.strata.size());
+  out.provenance.trials = plan.total_trials();
+  out.provenance.trials_done = total_done;
+  out.termination = sim::resolve_termination(total_done, plan.total_trials(),
+                                             spec.cancel, false);
   return out;
 }
 

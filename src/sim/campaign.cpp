@@ -1,8 +1,20 @@
 #include "sim/campaign.hpp"
 
+#include <chrono>
+
 #include "util/error.hpp"
 
 namespace bisram::sim {
+
+namespace {
+
+double steady_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 const char* kernel_name(SimKernel kernel) {
   switch (kernel) {
@@ -44,5 +56,24 @@ SamplingMode sampling_by_name(const std::string& name) {
 int resolve_campaign_threads(const CampaignSpec& spec) {
   return spec.threads > 0 ? spec.threads : campaign_threads();
 }
+
+std::int64_t checkpoint_segment_trials(const CheckpointSpec& ck,
+                                       std::int64_t chunk,
+                                       std::int64_t total) {
+  if (!ck.enabled() && ck.pause_after <= 0) return total;
+  std::int64_t iv = ck.interval > 0 ? ck.interval : total / 16;
+  if (iv < chunk) iv = chunk;
+  return (iv + chunk - 1) / chunk * chunk;
+}
+
+CheckpointCadence::CheckpointCadence() : last_ms_(steady_ms()) {}
+
+bool CheckpointCadence::due(const CheckpointSpec& ck, bool force) const {
+  if (!ck.enabled()) return false;
+  return force || ck.min_period_ms <= 0 ||
+         steady_ms() - last_ms_ >= ck.min_period_ms;
+}
+
+void CheckpointCadence::note_write() { last_ms_ = steady_ms(); }
 
 }  // namespace bisram::sim

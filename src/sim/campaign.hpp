@@ -25,6 +25,7 @@
 #include <string>
 #include <utility>
 
+#include "util/cancel.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -76,6 +77,35 @@ struct SamplingSpec {
   int min_stratum_trials = 2;
 };
 
+/// Checkpoint/resume parameters for the campaigns that support them
+/// (models::wafer_yield_campaign, models::bisr_yield_mc_with_bist).
+/// Checkpoints are written at deterministic fold boundaries, so a
+/// resumed run is bit-identical to an uninterrupted one for every
+/// cadence and thread count — see util/checkpoint.hpp for the file
+/// format and tests/test_checkpoint_resume.cpp for the proof.
+struct CheckpointSpec {
+  std::string path;    ///< write checkpoints here ("" = checkpointing off)
+  std::string resume;  ///< resume from this checkpoint ("" = fresh start)
+  /// Trials per checkpoint segment (rounded up to a whole number of fold
+  /// chunks; 0 = a campaign-chosen default). Purely a cadence knob: the
+  /// final estimate is bit-identical for every value.
+  std::int64_t interval = 0;
+  /// Minimum wall-clock gap between checkpoint *writes* in ms (0 = write
+  /// at every segment boundary). Time-gating which boundaries hit disk
+  /// never affects the estimate, only the recovery granularity.
+  double min_period_ms = 0;
+  /// Cooperative pause: stop cleanly at the first segment boundary at or
+  /// past this many trials processed *this run* (0 = never), write a
+  /// checkpoint, and return with Termination::Cancelled. This is the
+  /// deterministic "kill" a time-sliced service (and the resume test
+  /// suite) uses: unlike an asynchronous CancelToken, the stop lands on
+  /// an exact fold boundary for every thread count.
+  std::int64_t pause_after = 0;
+
+  bool enabled() const { return !path.empty(); }
+  bool resuming() const { return !resume.empty(); }
+};
+
 /// The one campaign parameter block every entry point shares.
 struct CampaignSpec {
   int trials = 1;            ///< Monte-Carlo trials (>= 1)
@@ -88,6 +118,13 @@ struct CampaignSpec {
   /// for every width (tests/test_simd_equivalence.cpp).
   int batch = 1;
   SamplingSpec sampling;  ///< defect-count sampling for yield campaigns
+  /// Cooperative cancellation + deadline, polled at chunk boundaries
+  /// (util/cancel.hpp). Null = never cancelled. A token that never fires
+  /// perturbs nothing: the result stays bit-identical to a token-free
+  /// run. When it fires, the campaign returns a *valid partial estimate*
+  /// over the trials that completed, with its termination labelled.
+  const CancelToken* cancel = nullptr;
+  CheckpointSpec checkpoint;  ///< crash-safe checkpoint/resume (see above)
 };
 
 /// What actually ran — enough to reproduce and to audit the dispatch.
@@ -102,6 +139,12 @@ struct CampaignProvenance {
   std::int64_t strata = 0;          ///< defect-count strata simulated (IS)
   int batch = 1;                    ///< requested SIMD die-batch width
   std::int64_t batched_trials = 0;  ///< trials run through the die batch
+  /// Trials whose results are folded into the estimate. Equals `trials`
+  /// on a completed run; smaller when a CancelToken or deadline stopped
+  /// the campaign early (the estimate is still valid, normalized by this
+  /// count). Includes trials restored from a resumed checkpoint.
+  std::int64_t trials_done = 0;
+  std::int64_t checkpoints_written = 0;  ///< checkpoint files published
 };
 
 /// A campaign's outcome plus the provenance needed to reproduce it. The
@@ -111,7 +154,27 @@ template <typename T>
 struct CampaignResult {
   T value{};
   CampaignProvenance provenance;
+  /// How the campaign ended. Anything other than Completed/Resumed marks
+  /// `value` as a partial (but statistically valid) estimate over
+  /// provenance.trials_done trials.
+  Termination termination = Termination::Completed;
 };
+
+/// The termination label for a campaign that processed `done` of
+/// `requested` trials under `cancel` (null = no token), having started
+/// from a resumed checkpoint or not. Cancellation wins over deadline
+/// when both fired; a fully processed run is Completed (or Resumed when
+/// it continued from a checkpoint) even if the token fired after the
+/// last chunk was claimed.
+inline Termination resolve_termination(std::int64_t done,
+                                       std::int64_t requested,
+                                       const CancelToken* cancel,
+                                       bool resumed) {
+  if (done >= requested)
+    return resumed ? Termination::Resumed : Termination::Completed;
+  if (cancel) return cancel->stop_reason();
+  return Termination::Cancelled;
+}
 
 /// Per-trial kernel recorder handed to the trial body; its counts fold
 /// deterministically into the provenance.
@@ -135,6 +198,34 @@ class KernelTally {
 /// the BISRAM_THREADS / override / hardware default).
 int resolve_campaign_threads(const CampaignSpec& spec);
 
+/// Segment length (in trials) between checkpoint boundaries, rounded up
+/// to a whole number of `chunk`-sized fold chunks so every boundary is
+/// also a chunk boundary of the uninterrupted fold (the alignment the
+/// bit-identical resume contract rests on). Returns `total` — one
+/// segment, no interior boundaries — when neither checkpointing nor a
+/// cooperative pause needs them; asynchronous cancellation alone is
+/// handled inside parallel_reduce and needs no segmentation. ck.interval
+/// = 0 defaults to total/16 (floored at one chunk).
+std::int64_t checkpoint_segment_trials(const CheckpointSpec& ck,
+                                       std::int64_t chunk,
+                                       std::int64_t total);
+
+/// Wall-clock gate for checkpoint writes (CheckpointSpec::min_period_ms):
+/// due() says whether a boundary's write should hit disk, note_write()
+/// stamps a completed write. Construction stamps the campaign start, so
+/// min_period_ms also spaces the first write from it.
+class CheckpointCadence {
+ public:
+  CheckpointCadence();
+  /// True when ck wants a write now: forced boundaries (pause, final)
+  /// always write; others wait out min_period_ms since the last write.
+  bool due(const CheckpointSpec& ck, bool force) const;
+  void note_write();
+
+ private:
+  double last_ms_ = 0;
+};
+
 /// Runs `per_trial(rng, i, tally)` for i in [0, spec.trials) on the
 /// deterministic parallel engine and folds the results with `combine`.
 /// Trial i draws from sub-stream `stream_offset + i` of spec.seed (the
@@ -144,17 +235,28 @@ int resolve_campaign_threads(const CampaignSpec& spec);
 /// per-campaign constant rather than a spec knob. When `provenance` is
 /// non-null it is filled with the resolved thread count and the
 /// packed/scalar trial split.
+///
+/// Cancellation: spec.cancel is polled at chunk boundaries. When it
+/// fires, the fold covers exactly the chunks that finished; the number
+/// of trials in that fold is added to `trials_done` (and to
+/// provenance.trials_done). `initial` seeds the caller-side fold
+/// (checkpoint resume) — it is folded in *before* chunk 0's partial,
+/// continuing the exact left fold of an uninterrupted run.
 template <typename T, typename PerTrial, typename Combine>
 T run_campaign(const CampaignSpec& spec, std::int64_t chunk, T identity,
                PerTrial&& per_trial, Combine&& combine,
                CampaignProvenance* provenance = nullptr,
-               std::uint64_t stream_offset = 0) {
+               std::uint64_t stream_offset = 0,
+               std::int64_t* trials_done = nullptr,
+               const T* initial = nullptr) {
   require(spec.trials >= 1, "CampaignSpec: needs at least one trial");
   struct Acc {
     T value;
     std::int64_t packed = 0;
     std::int64_t scalar = 0;
   };
+  std::int64_t done = 0;
+  const Acc start{initial ? *initial : identity, 0, 0};
   Acc folded = parallel_reduce<Acc>(
       spec.trials, chunk, Acc{identity, 0, 0},
       [&](std::int64_t i) {
@@ -168,7 +270,9 @@ T run_campaign(const CampaignSpec& spec, std::int64_t chunk, T identity,
         return Acc{combine(std::move(a.value), std::move(b.value)),
                    a.packed + b.packed, a.scalar + b.scalar};
       },
-      spec.threads > 0 ? spec.threads : 0);
+      spec.threads > 0 ? spec.threads : 0, spec.cancel, &done,
+      initial ? &start : nullptr);
+  if (trials_done) *trials_done += done;
   if (provenance) {
     provenance->seed = spec.seed;
     provenance->threads = resolve_campaign_threads(spec);
@@ -178,6 +282,7 @@ T run_campaign(const CampaignSpec& spec, std::int64_t chunk, T identity,
     provenance->scalar_trials += folded.scalar;
     provenance->sampling = spec.sampling.mode;
     provenance->batch = spec.batch;
+    provenance->trials_done += done;
   }
   return std::move(folded.value);
 }

@@ -63,13 +63,18 @@ CampaignResult<std::vector<Coverage>> fault_coverage(
   // campaign seed, so the faults sampled are a pure function of the
   // (seed, kind, trial) triple — never of thread placement or of the
   // kernel the trial dispatched to.
+  require(!spec.checkpoint.enabled() && !spec.checkpoint.resuming(),
+          "fault_coverage: checkpointing is not supported here — use "
+          "cancel/deadline for bounded runs");
   CampaignResult<std::vector<Coverage>> out;
+  std::int64_t requested = 0, done_total = 0;
   for (std::size_t k = 0; k < kinds.size(); ++k) {
+    if (spec.cancel && spec.cancel->stop_requested() && k > 0) break;
     const FaultKind kind = kinds[k];
     Coverage cov;
     cov.kind = kind;
     cov.scope = scope;
-    cov.total = spec.trials;
+    std::int64_t done = 0;
     cov.detected = run_campaign<int>(
         spec, /*chunk=*/4, 0,
         [&](Rng& rng, std::int64_t, KernelTally& tally) {
@@ -82,9 +87,17 @@ CampaignResult<std::vector<Coverage>> fault_coverage(
         },
         [](int a, int b) { return a + b; }, &out.provenance,
         /*stream_offset=*/static_cast<std::uint64_t>(k) *
-            static_cast<std::uint64_t>(spec.trials));
+            static_cast<std::uint64_t>(spec.trials),
+        &done);
+    // A cancelled kind reports coverage over the trials it completed; a
+    // kind the campaign never reached is simply absent from the result.
+    cov.total = static_cast<int>(done);
+    done_total += done;
     out.value.push_back(cov);
   }
+  requested = static_cast<std::int64_t>(kinds.size()) * spec.trials;
+  out.termination =
+      resolve_termination(done_total, requested, spec.cancel, false);
   return out;
 }
 

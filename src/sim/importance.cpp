@@ -74,7 +74,15 @@ WeightedEstimate combine_strata_bernoulli(
   for (std::size_t i = 0; i < counts.size(); ++i) {
     const double pk = plan.strata[i].probability;
     const std::int64_t n = counts[i].trials;
-    require(n >= 1, "combine_strata_bernoulli: empty stratum");
+    require(n >= 0, "combine_strata_bernoulli: negative stratum count");
+    if (n == 0) {
+      // Unsimulated stratum (a cancelled campaign stopped before reaching
+      // it): count it pessimistically, like the truncated tail, so the
+      // partial estimate stays a conservative lower bound on the optimistic
+      // outcome rather than silently pretending the stratum is empty.
+      out.value += pk * tail_value;
+      continue;
+    }
     require(counts[i].successes >= 0 && counts[i].successes <= n,
             "combine_strata_bernoulli: success count out of range");
     const double p_hat =
@@ -102,7 +110,11 @@ WeightedEstimate combine_strata(const StrataPlan& plan,
   double var = 0.0;
   for (std::size_t i = 0; i < moments.size(); ++i) {
     const double pk = plan.strata[i].probability;
-    require(moments[i].trials >= 1, "combine_strata: empty stratum");
+    require(moments[i].trials >= 0, "combine_strata: negative stratum count");
+    if (moments[i].trials == 0) {
+      out.value += pk * tail_value;  // unsimulated: pessimistic, like tail
+      continue;
+    }
     out.value += pk * moments[i].mean;
     var += pk * pk * moments[i].std_error * moments[i].std_error;
   }

@@ -105,7 +105,10 @@ struct WeightedEstimate {
 ///                                       sample variance)
 /// `zero_value` is the analytic outcome of a defect-free die and
 /// `tail_value` the pessimistic outcome assigned to the truncated tail.
-/// `counts` must be parallel to plan.strata.
+/// `counts` must be parallel to plan.strata. A stratum with zero trials
+/// (a cancelled campaign never reached it) contributes tail_value — the
+/// same pessimistic treatment as the truncated tail — so a partial
+/// stratified estimate is a valid conservative bound, not an error.
 WeightedEstimate combine_strata_bernoulli(const StrataPlan& plan,
                                           const std::vector<StratumCount>& counts,
                                           double zero_value, double tail_value);

@@ -1,5 +1,8 @@
 #include "tech/tech_file.hpp"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <istream>
 #include <map>
 #include <sstream>
@@ -11,24 +14,33 @@ namespace bisram::tech {
 
 namespace {
 
-Layer layer_by_name(const std::string& name) {
+bool layer_by_name(const std::string& name, Layer* out) {
   for (Layer l : geom::all_layers())
-    if (geom::layer_name(l) == name) return l;
-  throw SpecError("tech deck: unknown layer '" + name + "'");
+    if (geom::layer_name(l) == name) {
+      *out = l;
+      return true;
+    }
+  return false;
 }
 
-double num(const std::string& token, int line_no) {
-  try {
-    return std::stod(token);
-  } catch (...) {
-    throw SpecError("tech deck line " + std::to_string(line_no) +
-                    ": bad number '" + token + "'");
-  }
+/// strtod with full-token validation: rejects empty, partial, infinite
+/// and out-of-range tokens instead of throwing or silently truncating.
+bool parse_num(const std::string& token, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (errno == ERANGE || end == token.c_str() || *end != '\0' ||
+      !std::isfinite(v))
+    return false;
+  *out = v;
+  return true;
 }
 
 }  // namespace
 
-Tech read_tech_file(std::istream& is) {
+Tech read_tech_file(std::istream& is, DiagEngine* diag) {
+  DiagEngine local("<tech>");
+  DiagEngine& eng = diag ? *diag : local;
   // Two-pass: feature size first (it scales everything), then overrides.
   std::vector<std::string> lines;
   std::string raw;
@@ -36,46 +48,93 @@ Tech read_tech_file(std::istream& is) {
 
   std::string name = "user.tech";
   double feature = 0.0;
-  for (const auto& l : lines) {
-    const auto tokens = split(trim(l), " \t");
-    if (tokens.size() >= 2 && tokens[0] == "name") name = tokens[1];
-    if (tokens.size() >= 2 && tokens[0] == "feature_um")
-      feature = std::stod(tokens[1]);
+  bool feature_seen = false;
+  {
+    int line_no = 0;
+    for (const auto& l : lines) {
+      ++line_no;
+      const auto tokens = split(trim(l), " \t");
+      if (tokens.size() >= 2 && tokens[0] == "name") name = tokens[1];
+      if (tokens.size() >= 2 && tokens[0] == "feature_um") {
+        feature_seen = true;
+        double f = 0.0;
+        if (!parse_num(tokens[1], &f) || f <= 0.0)
+          eng.error("tech-bad-number",
+                    "feature_um must be a positive number, got '" +
+                        tokens[1] + "'",
+                    line_no);
+        else if (f < 0.3 || f > 3.0)
+          // make_scalable_tech's supported range; out-of-range decks
+          // still parse against the SCMOS baseline below.
+          eng.error("tech-unsupported-feature",
+                    "feature_um " + tokens[1] +
+                        " is outside the supported 0.3..3.0 um range",
+                    line_no);
+        else
+          feature = f;
+      }
+    }
   }
-  require(feature > 0.0, "tech deck: missing feature_um");
-  Tech t = make_scalable_tech(name, feature);
+  if (!feature_seen)
+    eng.error("tech-missing-feature", "missing feature_um (the deck's "
+              "scale; every lambda rule derives from it)");
+  // On a broken scale, parse the rest against the SCMOS baseline so one
+  // pass still reports every other problem in the deck.
+  Tech t = make_scalable_tech(name, feature > 0.0 ? feature : 0.6);
 
   int line_no = 0;
   for (const auto& l : lines) {
     ++line_no;
+    if (eng.saturated()) break;  // pathological input: stop at the cap
     const std::string line = trim(l);
     if (line.empty() || line[0] == '#') continue;
     const auto tok = split(line, " \t");
     const std::string& key = tok[0];
     auto need = [&](std::size_t n) {
-      require(tok.size() >= n, "tech deck line " + std::to_string(line_no) +
-                                   ": too few fields for '" + key + "'");
+      if (tok.size() >= n) return true;
+      eng.error("tech-too-few-fields", "too few fields for '" + key + "'",
+                line_no);
+      return false;
+    };
+    auto num = [&](const std::string& token, double* out) {
+      if (parse_num(token, out)) return true;
+      eng.error("tech-bad-number", "bad number '" + token + "'", line_no);
+      return false;
     };
 
     if (key == "name" || key == "feature_um") {
       continue;  // handled in the first pass
     } else if (key == "metals") {
-      need(2);
-      t.metal_layers = static_cast<int>(num(tok[1], line_no));
-      require(t.metal_layers >= 3,
-              "tech deck: BISRAMGEN requires three metal layers");
+      double m = 0.0;
+      if (!need(2) || !num(tok[1], &m)) continue;
+      if (m < 3) {
+        eng.error("tech-too-few-metals",
+                  "BISRAMGEN requires three metal layers", line_no);
+        continue;
+      }
+      t.metal_layers = static_cast<int>(m);
     } else if (key == "layer") {
-      need(6);
-      const Layer layer = layer_by_name(tok[1]);
+      if (!need(6)) continue;
+      Layer layer = Layer::Metal1;
+      if (!layer_by_name(tok[1], &layer)) {
+        eng.error("tech-unknown-layer", "unknown layer '" + tok[1] + "'",
+                  line_no);
+        continue;
+      }
       auto& rule = t.layer[static_cast<std::size_t>(layer)];
       for (std::size_t i = 2; i + 1 < tok.size(); i += 2) {
-        if (tok[i] == "width") rule.min_width = geom::dbu(num(tok[i + 1], line_no));
-        else if (tok[i] == "space") rule.min_space = geom::dbu(num(tok[i + 1], line_no));
-        else throw SpecError("tech deck line " + std::to_string(line_no) +
-                             ": unknown layer attribute '" + tok[i] + "'");
+        double v = 0.0;
+        if (tok[i] == "width") {
+          if (num(tok[i + 1], &v)) rule.min_width = geom::dbu(v);
+        } else if (tok[i] == "space") {
+          if (num(tok[i + 1], &v)) rule.min_space = geom::dbu(v);
+        } else {
+          eng.error("tech-unknown-attribute",
+                    "unknown layer attribute '" + tok[i] + "'", line_no);
+        }
       }
     } else if (key == "rule") {
-      need(3);
+      if (!need(3)) continue;
       const std::map<std::string, geom::Coord Tech::*> rules = {
           {"gate_poly_ext", &Tech::gate_poly_ext},
           {"diff_gate_ext", &Tech::diff_gate_ext},
@@ -93,72 +152,95 @@ Tech read_tech_file(std::istream& is) {
           {"well_space", &Tech::well_space},
       };
       auto it = rules.find(tok[1]);
-      if (it == rules.end())
-        throw SpecError("tech deck line " + std::to_string(line_no) +
-                        ": unknown rule '" + tok[1] + "'");
-      t.*(it->second) = geom::dbu(num(tok[2], line_no));
+      if (it == rules.end()) {
+        eng.error("tech-unknown-rule", "unknown rule '" + tok[1] + "'",
+                  line_no);
+        continue;
+      }
+      double v = 0.0;
+      if (num(tok[2], &v)) t.*(it->second) = geom::dbu(v);
     } else if (key == "vdd") {
-      need(2);
-      t.elec.vdd = num(tok[1], line_no);
+      double v = 0.0;
+      if (need(2) && num(tok[1], &v)) t.elec.vdd = v;
     } else if (key == "nmos" || key == "pmos") {
       MosParams& p = key == "nmos" ? t.elec.nmos : t.elec.pmos;
       for (std::size_t i = 1; i + 1 < tok.size(); i += 2) {
-        if (tok[i] == "vt0") p.vt0 = num(tok[i + 1], line_no);
-        else if (tok[i] == "kp") p.kp = num(tok[i + 1], line_no);
-        else if (tok[i] == "lambda") p.lambda_ch = num(tok[i + 1], line_no);
-        else throw SpecError("tech deck line " + std::to_string(line_no) +
-                             ": unknown device attribute '" + tok[i] + "'");
+        double v = 0.0;
+        if (tok[i] == "vt0") {
+          if (num(tok[i + 1], &v)) p.vt0 = v;
+        } else if (tok[i] == "kp") {
+          if (num(tok[i + 1], &v)) p.kp = v;
+        } else if (tok[i] == "lambda") {
+          if (num(tok[i + 1], &v)) p.lambda_ch = v;
+        } else {
+          eng.error("tech-unknown-attribute",
+                    "unknown device attribute '" + tok[i] + "'", line_no);
+        }
       }
     } else if (key == "wire") {
-      need(4);
-      const Layer layer = layer_by_name(tok[1]);
+      if (!need(4)) continue;
+      Layer layer = Layer::Metal1;
+      if (!layer_by_name(tok[1], &layer)) {
+        eng.error("tech-unknown-layer", "unknown layer '" + tok[1] + "'",
+                  line_no);
+        continue;
+      }
       auto& w = t.elec.wire[static_cast<std::size_t>(layer)];
       for (std::size_t i = 2; i + 1 < tok.size(); i += 2) {
-        if (tok[i] == "sheet") w.sheet_ohm = num(tok[i + 1], line_no);
-        else if (tok[i] == "area") w.cap_area_f_um2 = num(tok[i + 1], line_no);
-        else if (tok[i] == "fringe") w.cap_fringe_f_um = num(tok[i + 1], line_no);
-        else throw SpecError("tech deck line " + std::to_string(line_no) +
-                             ": unknown wire attribute '" + tok[i] + "'");
+        double v = 0.0;
+        if (tok[i] == "sheet") {
+          if (num(tok[i + 1], &v)) w.sheet_ohm = v;
+        } else if (tok[i] == "area") {
+          if (num(tok[i + 1], &v)) w.cap_area_f_um2 = v;
+        } else if (tok[i] == "fringe") {
+          if (num(tok[i + 1], &v)) w.cap_fringe_f_um = v;
+        } else {
+          eng.error("tech-unknown-attribute",
+                    "unknown wire attribute '" + tok[i] + "'", line_no);
+        }
       }
     } else {
-      throw SpecError("tech deck line " + std::to_string(line_no) +
-                      ": unknown keyword '" + key + "'");
+      eng.error("tech-unknown-keyword", "unknown keyword '" + key + "'",
+                line_no);
     }
   }
 
   // Sanity constraints that generators rely on.
-  require(t.elec.nmos.kp > 0 && t.elec.pmos.kp > 0,
-          "tech deck: device KP must be positive");
-  require(t.contact_size > 0 && t.via1_size > 0 && t.via2_size > 0,
-          "tech deck: via sizes must be positive");
+  if (!(t.elec.nmos.kp > 0 && t.elec.pmos.kp > 0))
+    eng.error("tech-bad-device", "device KP must be positive");
+  if (!(t.contact_size > 0 && t.via1_size > 0 && t.via2_size > 0))
+    eng.error("tech-bad-via", "via sizes must be positive");
 
   // The leaf-cell generators are architected against the scalable
   // (SCMOS-style) rule envelope: any *tighter* deck works unchanged
   // (everything is drawn in lambda), but a deck with looser-than-envelope
   // spacing or width would need re-architected cells. Reject those
   // explicitly instead of producing DRC-dirty layouts.
-  const Tech envelope = make_scalable_tech("envelope", feature);
+  const Tech envelope =
+      make_scalable_tech("envelope", feature > 0.0 ? feature : 0.6);
   for (Layer l : geom::all_layers()) {
     const auto& user = t.rule(l);
     const auto& base = envelope.rule(l);
-    require(user.min_width <= base.min_width &&
-                user.min_space <= base.min_space,
-            std::string("tech deck: layer '") +
-                std::string(geom::layer_name(l)) +
-                "' rules exceed the scalable envelope the generators "
-                "support (tighten, or match the SCMOS baseline)");
+    if (!(user.min_width <= base.min_width &&
+          user.min_space <= base.min_space))
+      eng.error("tech-envelope-exceeded",
+                std::string("layer '") + std::string(geom::layer_name(l)) +
+                    "' rules exceed the scalable envelope the generators "
+                    "support (tighten, or match the SCMOS baseline)");
   }
-  require(t.contact_size <= envelope.contact_size &&
-              t.contact_space <= envelope.contact_space &&
-              t.well_encl_diff <= envelope.well_encl_diff &&
-              t.well_space <= envelope.well_space,
-          "tech deck: construction rules exceed the scalable envelope");
+  if (!(t.contact_size <= envelope.contact_size &&
+        t.contact_space <= envelope.contact_space &&
+        t.well_encl_diff <= envelope.well_encl_diff &&
+        t.well_space <= envelope.well_space))
+    eng.error("tech-envelope-exceeded",
+              "construction rules exceed the scalable envelope");
+  if (!diag) eng.throw_if_errors();
   return t;
 }
 
-Tech read_tech_string(const std::string& text) {
+Tech read_tech_string(const std::string& text, DiagEngine* diag) {
   std::istringstream ss(text);
-  return read_tech_file(ss);
+  return read_tech_file(ss, diag);
 }
 
 std::string write_tech_string(const Tech& t) {

@@ -23,13 +23,20 @@
 #include <string>
 
 #include "tech/tech.hpp"
+#include "util/diag.hpp"
 
 namespace bisram::tech {
 
-/// Parses a deck; throws bisram::SpecError with line numbers on errors.
-Tech read_tech_file(std::istream& is);
+/// Parses a deck. Every problem is reported as a structured diagnostic
+/// carrying the 1-based deck line, and the parser recovers at the next
+/// line so one pass lists everything wrong with a hand-edited deck.
+/// With a DiagEngine the parser never throws — it returns a best-effort
+/// Tech (built-in defaults where the deck was unusable) that the caller
+/// must gate on diag->ok(). Without one it throws bisram::DiagError
+/// (a SpecError) when any error was recorded.
+Tech read_tech_file(std::istream& is, DiagEngine* diag = nullptr);
 
-Tech read_tech_string(const std::string& text);
+Tech read_tech_string(const std::string& text, DiagEngine* diag = nullptr);
 
 /// Serializes a Tech back into the deck format (round-trip and
 /// documentation of the built-ins).

@@ -1,0 +1,44 @@
+#include "util/cancel.hpp"
+
+#include <chrono>
+
+namespace bisram {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* termination_name(Termination t) {
+  switch (t) {
+    case Termination::Completed: return "completed";
+    case Termination::Deadline: return "deadline";
+    case Termination::Cancelled: return "cancelled";
+    case Termination::Resumed: return "resumed";
+  }
+  return "unknown";
+}
+
+void CancelToken::set_deadline_after_ms(double ms) noexcept {
+  const double ns = ms * 1e6;
+  std::int64_t when = steady_now_ns();
+  // A non-positive budget means "already expired"; nudge the stored
+  // stamp below now so expired() is immediately true. The stamp is also
+  // kept nonzero (0 means "no deadline").
+  if (ns > 0) when += static_cast<std::int64_t>(ns);
+  else when -= 1;
+  if (when == 0) when = -1;
+  deadline_ns_.store(when, std::memory_order_release);
+}
+
+bool CancelToken::expired() const noexcept {
+  const std::int64_t dl = deadline_ns_.load(std::memory_order_acquire);
+  return dl != 0 && steady_now_ns() >= dl;
+}
+
+}  // namespace bisram

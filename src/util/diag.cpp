@@ -1,0 +1,114 @@
+#include "util/diag.hpp"
+
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace bisram {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::render() const {
+  std::string out = file;
+  if (line > 0) {
+    out += ':' + std::to_string(line);
+    if (column > 0) out += ':' + std::to_string(column);
+  }
+  out += ": ";
+  out += severity_name(severity);
+  out += ": ";
+  out += message;
+  if (!code.empty()) out += " [" + code + "]";
+  return out;
+}
+
+DiagEngine::DiagEngine(std::string file) : file_(std::move(file)) {}
+
+void DiagEngine::report(Severity severity, std::string code,
+                        std::string message, int line, int column) {
+  if (severity == Severity::Error) {
+    ++errors_;
+    if (errors_ > max_errors_) return;  // counted, not stored
+  } else if (severity == Severity::Warning) {
+    ++warnings_;
+  }
+  Diagnostic d;
+  d.severity = severity;
+  d.code = std::move(code);
+  d.message = std::move(message);
+  d.file = file_;
+  d.line = line;
+  d.column = column;
+  diags_.push_back(std::move(d));
+}
+
+std::string DiagEngine::render_text() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += d.render();
+    out += '\n';
+  }
+  if (errors_ > max_errors_)
+    out += strfmt("(%zu further errors suppressed)\n", errors_ - max_errors_);
+  return out;
+}
+
+void DiagEngine::render_json(JsonWriter& j) const {
+  j.begin_object();
+  j.key("file").value(file_);
+  j.key("errors").value(static_cast<std::int64_t>(errors_));
+  j.key("warnings").value(static_cast<std::int64_t>(warnings_));
+  j.key("diagnostics").begin_array();
+  for (const Diagnostic& d : diags_) {
+    j.begin_object();
+    j.key("severity").value(severity_name(d.severity));
+    j.key("code").value(d.code);
+    j.key("message").value(d.message);
+    j.key("file").value(d.file);
+    j.key("line").value(d.line);
+    j.key("column").value(d.column);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+}
+
+std::string DiagEngine::json() const {
+  JsonWriter j;
+  render_json(j);
+  return j.str();
+}
+
+void DiagEngine::throw_if_errors() const {
+  if (errors_ == 0) return;
+  throw DiagError(diags_);
+}
+
+namespace {
+
+std::string diag_error_what(const std::vector<Diagnostic>& diags) {
+  std::size_t errors = 0;
+  const Diagnostic* first = nullptr;
+  for (const Diagnostic& d : diags)
+    if (d.severity == Severity::Error) {
+      if (!first) first = &d;
+      ++errors;
+    }
+  if (!first) return "diagnostics: no errors";
+  std::string out = first->render();
+  if (errors > 1) out += strfmt(" (and %zu more errors)", errors - 1);
+  return out;
+}
+
+}  // namespace
+
+DiagError::DiagError(std::vector<Diagnostic> diags)
+    : SpecError(diag_error_what(diags)), diags_(std::move(diags)) {}
+
+}  // namespace bisram

@@ -1,0 +1,125 @@
+#pragma once
+// Structured diagnostics for the user-facing front-ends.
+//
+// The CIF reader, the PLA plane reader and the tech-deck parser all
+// consume hand-edited files, and for years their error reporting was an
+// ad-hoc `throw SpecError("cif: bad B")` with no idea *where* the bad
+// box was. This module gives every front-end one reporting channel:
+//
+//   * Diagnostic — severity, stable machine-readable code
+//     ("cif-unknown-layer"), human message, and source position
+//     (file:line:column, 1-based, 0 = unknown);
+//   * DiagEngine — collects diagnostics during a parse, with an error
+//     cap so garbage input cannot flood memory, and renders them as
+//     compiler-style text or as the JSON array service front-ends (and
+//     bisram_lint --json) consume;
+//   * DiagError — a SpecError subclass carrying the structured list, so
+//     the legacy throwing entry points keep their exact exception
+//     contract (`catch (SpecError&)` still works everywhere) while the
+//     what() string gains positions.
+//
+// Parsers follow one convention: the caller may pass a DiagEngine*. When
+// it is null the parser collects internally and throws DiagError at the
+// first hard stop; when non-null the parser NEVER throws on malformed
+// input — it records diagnostics, recovers where it can, and returns a
+// best-effort result the caller must gate on engine.ok(). The second
+// mode is what the corpus fuzz harness (tests/test_fuzz_inputs.cpp)
+// drives: any garbage in, diagnostics out, no crash, no hang, no leak.
+//
+// JSON schema (rendered by render_json / json()):
+//   { "file": "<name>", "errors": N, "warnings": M,
+//     "diagnostics": [ { "severity": "error", "code": "cif-bad-box",
+//                        "message": "...", "file": "<name>",
+//                        "line": 3, "column": 7 }, ... ] }
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bisram {
+
+class JsonWriter;
+
+enum class Severity : std::uint8_t { Note, Warning, Error };
+
+/// "note", "warning", "error".
+const char* severity_name(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string code;     ///< stable kebab-case id, e.g. "cif-unknown-layer"
+  std::string message;  ///< human text, no position prefix
+  std::string file;     ///< source name ("<cif>", a path, ...)
+  int line = 0;         ///< 1-based; 0 = no position
+  int column = 0;       ///< 1-based; 0 = line-only position
+
+  /// Compiler-style one-liner: "file:3:7: error: message [code]".
+  std::string render() const;
+};
+
+class DiagEngine {
+ public:
+  explicit DiagEngine(std::string file = "<input>");
+
+  const std::string& file() const { return file_; }
+
+  /// Records one diagnostic (position 0/0 = none). Once the error cap is
+  /// reached further *errors* are counted but not stored, and
+  /// saturated() turns true — parsers use that as their bail-out signal
+  /// on pathological input.
+  void report(Severity severity, std::string code, std::string message,
+              int line = 0, int column = 0);
+  void error(std::string code, std::string message, int line = 0,
+             int column = 0) {
+    report(Severity::Error, std::move(code), std::move(message), line, column);
+  }
+  void warning(std::string code, std::string message, int line = 0,
+               int column = 0) {
+    report(Severity::Warning, std::move(code), std::move(message), line,
+           column);
+  }
+
+  bool ok() const { return errors_ == 0; }
+  std::size_t error_count() const { return errors_; }
+  std::size_t warning_count() const { return warnings_; }
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  /// True once error_count() reached the cap (default 64).
+  bool saturated() const { return errors_ >= max_errors_; }
+  void set_max_errors(std::size_t n) { max_errors_ = n == 0 ? 1 : n; }
+
+  /// One rendered line per stored diagnostic, newline-separated.
+  std::string render_text() const;
+
+  /// Emits the JSON object documented in the header comment into an
+  /// existing writer (for embedding in a larger report).
+  void render_json(JsonWriter& j) const;
+
+  /// The same object as a standalone JSON document.
+  std::string json() const;
+
+  /// Throws DiagError when any error was recorded (legacy entry points).
+  void throw_if_errors() const;
+
+ private:
+  std::string file_;
+  std::vector<Diagnostic> diags_;
+  std::size_t errors_ = 0;
+  std::size_t warnings_ = 0;
+  std::size_t max_errors_ = 64;
+};
+
+/// SpecError carrying the structured diagnostics; what() is the rendered
+/// first error plus a count of the rest.
+class DiagError : public SpecError {
+ public:
+  explicit DiagError(std::vector<Diagnostic> diags);
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace bisram

@@ -74,6 +74,22 @@ class WelfordAccumulator {
   /// Standard error of the mean: sqrt(variance / n); 0 when empty.
   double std_error() const;
 
+  /// The internal m2 without the non-negativity clamp — checkpoint
+  /// serialization stores this so a resumed accumulator is bitwise
+  /// identical to the uninterrupted one (the clamp in m2() would round a
+  /// tiny negative float-error residue to zero and perturb later adds).
+  double raw_m2() const { return m2_; }
+
+  /// Rebuilds an accumulator from checkpointed state (count, raw mean,
+  /// raw m2). Inverse of (count(), mean(), raw_m2()).
+  static WelfordAccumulator restore(std::int64_t n, double mean, double m2) {
+    WelfordAccumulator w;
+    w.n_ = n;
+    w.mean_ = n ? mean : 0.0;
+    w.m2_ = m2;
+    return w;
+  }
+
  private:
   std::int64_t n_ = 0;
   double mean_ = 0.0;

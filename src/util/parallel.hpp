@@ -25,6 +25,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/cancel.hpp"
+
 namespace bisram {
 
 /// Worker-thread count campaigns use: the BISRAM_THREADS environment
@@ -54,10 +56,31 @@ void run_on_pool(int threads, const std::function<void()>& body);
 /// pure function of (trials, chunk) — see the header comment — so for a
 /// fixed chunk size the result is bit-identical no matter how many
 /// threads execute it. `threads` <= 0 means campaign_threads().
+///
+/// Cancellation: when `cancel` is non-null, every participant polls
+/// cancel->stop_requested() before claiming each chunk and stops claiming
+/// once it fires; chunks already in flight finish (latency is bounded by
+/// one chunk of work). The returned fold then covers exactly the chunks
+/// that completed — a valid partial result as long as the accumulator
+/// carries its own sample count. `completed`, when non-null, receives the
+/// number of trials actually folded (== trials on an uninterrupted run).
+/// An attached-but-silent token perturbs nothing: the fold order and
+/// result are bit-identical to a run with no token at all.
+///
+/// Resume: when `initial` is non-null the caller-side fold starts from
+/// *initial instead of `identity` (chunk partials still start from
+/// `identity`). Because the caller-side fold is a strict left fold over
+/// chunk partials, feeding a previous run's accumulator back as `initial`
+/// continues the exact association an uninterrupted run would have used —
+/// the basis of the bit-identical checkpoint/resume contract
+/// (tests/test_checkpoint_resume.cpp).
 template <typename T, typename PerTrial, typename Combine>
 T parallel_reduce(std::int64_t trials, std::int64_t chunk, T identity,
-                  PerTrial&& per_trial, Combine&& combine, int threads = 0) {
-  if (trials <= 0) return identity;
+                  PerTrial&& per_trial, Combine&& combine, int threads = 0,
+                  const CancelToken* cancel = nullptr,
+                  std::int64_t* completed = nullptr, const T* initial = nullptr) {
+  if (completed) *completed = 0;
+  if (trials <= 0) return initial ? *initial : identity;
   if (chunk < 1) chunk = 1;
   if (threads <= 0) threads = campaign_threads();
 
@@ -65,41 +88,55 @@ T parallel_reduce(std::int64_t trials, std::int64_t chunk, T identity,
   if (threads == 1 || nchunks == 1) {
     // Serial path: identical association (chunked fold) as the parallel
     // path, just executed in place.
-    T acc = identity;
+    T acc = initial ? *initial : identity;
     for (std::int64_t c = 0; c < nchunks; ++c) {
+      if (cancel && cancel->stop_requested()) break;
       const std::int64_t lo = c * chunk;
       const std::int64_t hi = std::min(trials, lo + chunk);
       T part = identity;
       for (std::int64_t i = lo; i < hi; ++i) part = combine(std::move(part), per_trial(i));
       acc = combine(std::move(acc), std::move(part));
+      if (completed) *completed += hi - lo;
     }
     return acc;
   }
 
   if (threads > nchunks) threads = static_cast<int>(nchunks);
   std::vector<T> partials(static_cast<std::size_t>(nchunks), identity);
+  std::vector<char> finished(static_cast<std::size_t>(nchunks), 0);
   std::atomic<std::int64_t> next{0};
   detail::run_on_pool(threads, [&] {
-    for (std::int64_t c; (c = next.fetch_add(1, std::memory_order_relaxed)) <
-                         nchunks;) {
+    for (std::int64_t c;
+         !(cancel && cancel->stop_requested()) &&
+         (c = next.fetch_add(1, std::memory_order_relaxed)) < nchunks;) {
       const std::int64_t lo = c * chunk;
       const std::int64_t hi = std::min(trials, lo + chunk);
       T part = identity;
       for (std::int64_t i = lo; i < hi; ++i) part = combine(std::move(part), per_trial(i));
       partials[static_cast<std::size_t>(c)] = std::move(part);
+      finished[static_cast<std::size_t>(c)] = 1;
     }
   });
-  T acc = identity;
-  for (auto& p : partials) acc = combine(std::move(acc), std::move(p));
+  // The pool join publishes every worker's writes; fold only the chunks
+  // that actually ran (on an uninterrupted run that is all of them, and
+  // folding in chunk order keeps the association thread-independent).
+  T acc = initial ? *initial : identity;
+  for (std::int64_t c = 0; c < nchunks; ++c) {
+    if (!finished[static_cast<std::size_t>(c)]) continue;
+    acc = combine(std::move(acc), std::move(partials[static_cast<std::size_t>(c)]));
+    if (completed)
+      *completed += std::min(trials, (c + 1) * chunk) - c * chunk;
+  }
   return acc;
 }
 
 /// Runs `per_item(i)` for i in [0, items) for side effects only (each
-/// item must touch disjoint state). Same scheduling and thread-count
-/// semantics as parallel_reduce.
+/// item must touch disjoint state). Same scheduling, thread-count and
+/// cancellation semantics as parallel_reduce.
 template <typename PerItem>
 void parallel_for(std::int64_t items, std::int64_t chunk, PerItem&& per_item,
-                  int threads = 0) {
+                  int threads = 0, const CancelToken* cancel = nullptr,
+                  std::int64_t* completed = nullptr) {
   struct Nothing {};
   parallel_reduce<Nothing>(
       items, chunk, Nothing{},
@@ -107,7 +144,7 @@ void parallel_for(std::int64_t items, std::int64_t chunk, PerItem&& per_item,
         per_item(i);
         return Nothing{};
       },
-      [](Nothing, Nothing) { return Nothing{}; }, threads);
+      [](Nothing, Nothing) { return Nothing{}; }, threads, cancel, completed);
 }
 
 }  // namespace bisram

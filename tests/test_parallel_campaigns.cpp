@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "march/march.hpp"
@@ -290,6 +292,114 @@ TEST(ThreadInvariance, YieldInfraMonteCarloCampaign) {
         EXPECT_EQ(ref.safe_fail, got.safe_fail) << threads;
         EXPECT_EQ(ref.hung, got.hung) << threads;
       });
+}
+
+// --- cooperative cancellation ---------------------------------------
+// The cancellation contract has two halves: a token that never fires
+// must leave every campaign bit-identical to a run with no token at
+// all, and a token that does fire must still yield a *valid* partial
+// estimate (normalized over the trials that finished) labelled with the
+// right Termination. The mid-run test doubles as the TSan exercise of
+// the cancel path (this suite runs under -DBISRAM_SANITIZE=thread).
+
+models::WaferSpec cancel_wafer_spec() {
+  models::WaferSpec w;
+  w.wafer_mm = 150;
+  w.die_w_mm = 10;
+  w.die_h_mm = 10;
+  w.defects_per_cm2 = 1.0;
+  w.cluster_alpha = 2.0;
+  w.ram_fraction = 0.3;
+  w.ram_geo = small_geo();
+  return w;
+}
+
+TEST(Cancellation, SilentTokenIsBitIdentical) {
+  const models::WaferSpec wafer = cancel_wafer_spec();
+  auto run = [&](const CancelToken* token) {
+    sim::CampaignSpec s{.trials = 4000, .seed = 11};
+    s.cancel = token;
+    return models::wafer_yield_campaign(wafer, s);
+  };
+  for (int threads : kThreadCounts) {
+    ThreadGuard guard(threads);
+    const auto plain = run(nullptr);
+    CancelToken silent;
+    const auto tokened = run(&silent);
+    EXPECT_EQ(plain.value.yield_with_bisr, tokened.value.yield_with_bisr)
+        << threads << " threads";
+    EXPECT_EQ(plain.value.yield_with_bisr_se,
+              tokened.value.yield_with_bisr_se);
+    EXPECT_EQ(plain.value.mean_defects_per_die,
+              tokened.value.mean_defects_per_die);
+    EXPECT_EQ(tokened.termination, Termination::Completed);
+  }
+}
+
+TEST(Cancellation, PreCancelledReturnsEmptyValidPartial) {
+  CancelToken token;
+  token.cancel();
+  sim::CampaignSpec s{.trials = 4000, .seed = 11};
+  s.cancel = &token;
+  const auto r = models::wafer_yield_campaign(cancel_wafer_spec(), s);
+  EXPECT_EQ(r.termination, Termination::Cancelled);
+  EXPECT_EQ(r.provenance.trials_done, 0);
+  EXPECT_EQ(r.value.die_sims, 0);
+}
+
+TEST(Cancellation, ExpiredDeadlineReportsDeadline) {
+  CancelToken token;
+  token.set_deadline_after_ms(0.0);  // already expired
+  ASSERT_TRUE(token.expired());
+  sim::CampaignSpec s{.trials = 2000, .seed = 5};
+  s.cancel = &token;
+  const auto r = models::bisr_yield_mc_with_bist(small_geo(), 3.0, 2.0,
+                                                 1.05, s);
+  EXPECT_EQ(r.termination, Termination::Deadline);
+  // An explicit cancel on top of an expired deadline wins the label.
+  token.cancel();
+  const auto r2 = models::bisr_yield_mc_with_bist(small_geo(), 3.0, 2.0,
+                                                  1.05, s);
+  EXPECT_EQ(r2.termination, Termination::Cancelled);
+}
+
+TEST(Cancellation, MidRunCancelReturnsValidPartialEstimate) {
+  ThreadGuard guard(8);
+  const models::WaferSpec wafer = cancel_wafer_spec();
+  sim::CampaignSpec s{.trials = 50'000'000, .seed = 23};
+  CancelToken token;
+  s.cancel = &token;
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    token.cancel();
+  });
+  const auto r = models::wafer_yield_campaign(wafer, s);
+  killer.join();
+  EXPECT_EQ(r.termination, Termination::Cancelled);
+  EXPECT_LT(r.provenance.trials_done, s.trials);
+  EXPECT_EQ(r.value.die_sims, r.provenance.trials_done);
+  if (r.provenance.trials_done > 0) {
+    EXPECT_GE(r.value.yield_with_bisr, 0.0);
+    EXPECT_LE(r.value.yield_with_bisr, 1.0);
+    EXPECT_GE(r.value.yield_with_bisr, r.value.yield_without_bisr);
+  }
+}
+
+TEST(Cancellation, FaultCoverageSkipsUnreachedKinds) {
+  const std::vector<sim::FaultKind> kinds = {sim::FaultKind::StuckAt0,
+                                             sim::FaultKind::StuckAt1,
+                                             sim::FaultKind::StuckOpen};
+  CancelToken token;
+  token.cancel();
+  sim::CampaignSpec s{.trials = 48, .seed = 17};
+  s.cancel = &token;
+  const auto r =
+      sim::fault_coverage(march::ifa9(), small_geo(), kinds, true, s);
+  EXPECT_EQ(r.termination, Termination::Cancelled);
+  // The first kind reports the zero trials it completed; later kinds
+  // are absent rather than fabricated.
+  ASSERT_EQ(r.value.size(), 1u);
+  EXPECT_EQ(r.value[0].total, 0);
 }
 
 TEST(ReliabilityMc, AgreesWithAnalyticModel) {
