@@ -7,17 +7,37 @@
 // needing the hierarchy for repair; this sweep shows what the hierarchy
 // costs and buys.
 
+// `--json [FILE]` emits the sweep as a machine-readable table instead of
+// running the Google benchmarks.
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/banking.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace bisram;
+
+void write_doc(const char* prog, const JsonWriter& j, const std::string& path) {
+  if (path.empty()) {
+    std::printf("%s\n", j.str().c_str());
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "%s: cannot write '%s'\n", prog, path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f, "%s\n", j.str().c_str());
+  std::fclose(f);
+}
 
 core::RamSpec base_spec() {
   core::RamSpec s;
@@ -48,6 +68,32 @@ void print_sweep() {
       "lives in.\n");
 }
 
+void banking_json(const std::string& path) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("benchmark").value("banking_ablation");
+  j.key("module").begin_object();
+  j.key("words").value(static_cast<std::int64_t>(base_spec().words));
+  j.key("bpw").value(base_spec().bpw);
+  j.key("bpc").value(base_spec().bpc);
+  j.key("spare_rows").value(base_spec().spare_rows);
+  j.end_object();
+  j.key("sweep").begin_array();
+  for (const auto& p : core::banking_sweep(base_spec(), {1, 2, 4, 8, 16})) {
+    j.begin_object();
+    j.key("banks").value(p.banks);
+    j.key("area_mm2").value(p.area_mm2);
+    j.key("access_ns").value(p.access_ns);
+    j.key("overhead_pct").value(p.overhead_pct);
+    j.key("tlb_penalty_ns").value(p.tlb_penalty_ns);
+    j.key("energy_per_read_pj").value(p.energy_per_read_pj);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  write_doc("bench_banking", j, path);
+}
+
 void BM_EvaluateBanking(benchmark::State& state) {
   const auto s = base_spec();
   for (auto _ : state)
@@ -59,6 +105,19 @@ BENCHMARK(BM_EvaluateBanking)->Arg(4)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool json = false;
+  std::string json_path;
+  Cli cli("bench_banking",
+          "Banking ablation: flat organization vs hierarchical banks.");
+  cli.optional_value("--json", &json, &json_path,
+                     "emit the sweep as JSON (to FILE or stdout) and skip "
+                     "the benchmarks")
+      .passthrough_prefix("--benchmark_");
+  cli.parse(&argc, argv);
+  if (json) {
+    banking_json(json_path);
+    return 0;
+  }
   print_sweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

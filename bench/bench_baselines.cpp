@@ -7,17 +7,37 @@
 //     every stored address in parallel; Chen-Sunada compares its capture
 //     registers sequentially.
 
+// `--json [FILE]` emits the comparison as a machine-readable table
+// instead of running the Google benchmarks.
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "sim/baselines.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace bisram;
+
+void write_doc(const char* prog, const JsonWriter& j, const std::string& path) {
+  if (path.empty()) {
+    std::printf("%s\n", j.str().c_str());
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "%s: cannot write '%s'\n", prog, path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f, "%s\n", j.str().c_str());
+  std::fclose(f);
+}
 
 sim::RamGeometry bench_geo() {
   sim::RamGeometry g;
@@ -69,6 +89,57 @@ void print_comparison() {
       "logarithmic while sequential compare grows linearly.\n");
 }
 
+void baselines_json(const std::string& path) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("benchmark").value("repair_baselines");
+  j.key("module").begin_object();
+  j.key("words").value(static_cast<std::int64_t>(bench_geo().words));
+  j.key("bpw").value(bench_geo().bpw);
+  j.key("bpc").value(bench_geo().bpc);
+  j.key("spare_rows").value(bench_geo().spare_rows);
+  j.end_object();
+
+  j.key("repair_rate").begin_array();
+  for (int defects : {1, 2, 4, 8, 12, 16, 24, 32}) {
+    const auto r = sim::compare_schemes(bench_geo(), defects, 4000, 99, 16, 0);
+    j.begin_object();
+    j.key("faulty_words").value(defects);
+    j.key("bisramgen").value(r.bisramgen);
+    j.key("chen_sunada").value(r.chen_sunada);
+    j.key("sawada").value(r.sawada);
+    j.end_object();
+  }
+  j.end_array();
+
+  j.key("repair_rate_faulty_spares_5pct").begin_array();
+  for (int defects : {4, 8, 16}) {
+    const auto r =
+        sim::compare_schemes(bench_geo(), defects, 4000, 7, 16, 0, 0.05);
+    j.begin_object();
+    j.key("faulty_words").value(defects);
+    j.key("bisramgen").value(r.bisramgen);
+    j.key("chen_sunada").value(r.chen_sunada);
+    j.key("sawada").value(r.sawada);
+    j.end_object();
+  }
+  j.end_array();
+
+  j.key("compare_delay").begin_array();
+  for (int entries : {2, 4, 8, 16, 32, 64}) {
+    j.begin_object();
+    j.key("entries").value(entries);
+    j.key("parallel_ns").value(sim::parallel_compare_delay_s(entries, 0.2e-9) *
+                               1e9);
+    j.key("sequential_ns").value(
+        sim::sequential_compare_delay_s(entries, 0.2e-9) * 1e9);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  write_doc("bench_baselines", j, path);
+}
+
 void BM_CompareSchemes(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -80,6 +151,19 @@ BENCHMARK(BM_CompareSchemes)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool json = false;
+  std::string json_path;
+  Cli cli("bench_baselines",
+          "Section III comparison against prior BISR schemes.");
+  cli.optional_value("--json", &json, &json_path,
+                     "emit the comparison as JSON (to FILE or stdout) and "
+                     "skip the benchmarks")
+      .passthrough_prefix("--benchmark_");
+  cli.parse(&argc, argv);
+  if (json) {
+    baselines_json(json_path);
+    return 0;
+  }
   print_comparison();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -8,17 +8,37 @@
 //  * Table III: total manufacturing cost per packaged and tested chip.
 //    Paper: reductions from 2.35% (Intel486DX2) to 47.2% (TI SuperSPARC).
 
+// `--json [FILE]` emits both tables as one machine-readable document
+// instead of running the Google benchmarks.
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "models/cost.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace bisram;
+
+void write_doc(const char* prog, const JsonWriter& j, const std::string& path) {
+  if (path.empty()) {
+    std::printf("%s\n", j.str().c_str());
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "%s: cannot write '%s'\n", prog, path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f, "%s\n", j.str().c_str());
+  std::fclose(f);
+}
 
 void print_tables() {
   std::printf("\n=== Table II: cost per good die, without / with RAM BISR "
@@ -70,6 +90,37 @@ void print_tables() {
       ss.total_cost_reduction_pct(), dx.total_cost_reduction_pct());
 }
 
+void cost_json(const std::string& path) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("benchmark").value("cost_tables");
+  j.key("processors").begin_array();
+  for (const auto& cpu : models::cpu_database()) {
+    const models::CostResult r = models::analyze_cpu(cpu);
+    j.begin_object();
+    j.key("name").value(cpu.name);
+    j.key("process").value(cpu.process);
+    j.key("die_mm2").value(cpu.die_area_mm2);
+    j.key("pins").value(cpu.pins);
+    j.key("package").value(cpu.package);
+    j.key("bisr_supported").value(r.bisr_supported);
+    j.key("die_yield").value(r.die_yield);
+    j.key("die_cost").value(r.die_cost);
+    j.key("total_cost").value(r.total_cost);
+    if (r.bisr_supported) {
+      j.key("die_yield_bisr").value(r.die_yield_bisr);
+      j.key("die_cost_bisr").value(r.die_cost_bisr);
+      j.key("die_cost_improvement").value(r.die_cost_improvement());
+      j.key("total_cost_bisr").value(r.total_cost_bisr);
+      j.key("total_cost_reduction_pct").value(r.total_cost_reduction_pct());
+    }
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  write_doc("bench_cost", j, path);
+}
+
 void BM_AnalyzeCpu(benchmark::State& state) {
   const auto cpu = *models::find_cpu("TI-SuperSPARC");
   for (auto _ : state)
@@ -80,6 +131,19 @@ BENCHMARK(BM_AnalyzeCpu);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool json = false;
+  std::string json_path;
+  Cli cli("bench_cost",
+          "Tables II-III manufacturing economics with and without BISR.");
+  cli.optional_value("--json", &json, &json_path,
+                     "emit both tables as JSON (to FILE or stdout) and skip "
+                     "the benchmarks")
+      .passthrough_prefix("--benchmark_");
+  cli.parse(&argc, argv);
+  if (json) {
+    cost_json(json_path);
+    return 0;
+  }
   print_tables();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

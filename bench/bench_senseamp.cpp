@@ -7,13 +7,19 @@
 // sensing. It also prints the automatic rise/fall balancing results the
 // tool applies to critical gates.
 
+// `--json [FILE]` emits the sweep and the balancing results as one
+// machine-readable document instead of running the Google benchmarks.
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "spice/engine.hpp"
 #include "spice/measure.hpp"
 #include "spice/sizing.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -21,6 +27,20 @@ namespace {
 
 using namespace bisram;
 using namespace bisram::spice;
+
+void write_doc(const char* prog, const JsonWriter& j, const std::string& path) {
+  if (path.empty()) {
+    std::printf("%s\n", j.str().c_str());
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "%s: cannot write '%s'\n", prog, path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f, "%s\n", j.str().c_str());
+  std::fclose(f);
+}
 
 /// Cross-coupled sense latch: out/outb precharged near VDD/2 with a
 /// differential offset, regenerating to the rails once enabled via the
@@ -94,6 +114,38 @@ void print_senseamp() {
   std::printf("%s", bt.render().c_str());
 }
 
+void senseamp_json(const std::string& path) {
+  const tech::Tech& t = tech::cda_07();
+  JsonWriter j;
+  j.begin_object();
+  j.key("benchmark").value("senseamp_latch");
+  j.key("technology").value(t.name);
+  j.key("latch_sweep").begin_array();
+  for (double dv : {0.02, 0.05, 0.10, 0.20, 0.50}) {
+    const double d = latch_delay_s(t, dv);
+    j.begin_object();
+    j.key("differential").value(dv);
+    j.key("latched").value(d > 0);
+    if (d > 0) j.key("latch_delay_ns").value(d * 1e9);
+    j.end_object();
+  }
+  j.end_array();
+  j.key("balancing").begin_array();
+  for (const auto& name : tech::technology_names()) {
+    const auto r = balance_inverter(tech::technology(name), 2.0, 30e-15);
+    j.begin_object();
+    j.key("process").value(name);
+    j.key("wn_um").value(r.wn_um);
+    j.key("wp_um").value(r.wp_um);
+    j.key("rise_ns").value(r.rise_s * 1e9);
+    j.key("fall_ns").value(r.fall_s * 1e9);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  write_doc("bench_senseamp", j, path);
+}
+
 void BM_SenseLatch(benchmark::State& state) {
   const tech::Tech& t = tech::cda_07();
   for (auto _ : state) benchmark::DoNotOptimize(latch_delay_s(t, 0.1));
@@ -103,6 +155,19 @@ BENCHMARK(BM_SenseLatch)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool json = false;
+  std::string json_path;
+  Cli cli("bench_senseamp",
+          "Fig. 3 current-mode sense amplifier in the built-in SPICE.");
+  cli.optional_value("--json", &json, &json_path,
+                     "emit the sweep as JSON (to FILE or stdout) and skip "
+                     "the benchmarks")
+      .passthrough_prefix("--benchmark_");
+  cli.parse(&argc, argv);
+  if (json) {
+    senseamp_json(json_path);
+    return 0;
+  }
   print_senseamp();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

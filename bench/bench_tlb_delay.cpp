@@ -6,18 +6,38 @@
 // will not be able to guarantee that the TLB delay penalty can be
 // masked". The harness sweeps spare rows and processes.
 
+// `--json [FILE]` emits the sweep as a machine-readable table instead of
+// running the Google benchmarks.
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/timing.hpp"
 #include "tech/tech.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace bisram;
+
+void write_doc(const char* prog, const JsonWriter& j, const std::string& path) {
+  if (path.empty()) {
+    std::printf("%s\n", j.str().c_str());
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "%s: cannot write '%s'\n", prog, path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f, "%s\n", j.str().c_str());
+  std::fclose(f);
+}
 
 sim::RamGeometry geo_with(int spares) {
   sim::RamGeometry g;
@@ -54,6 +74,35 @@ void print_tlb() {
       p07);
 }
 
+void tlb_json(const std::string& path) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("benchmark").value("tlb_penalty");
+  j.key("module").begin_object();
+  j.key("words").value(static_cast<std::int64_t>(4096));
+  j.key("bpw").value(32);
+  j.key("bpc").value(4);
+  j.end_object();
+  j.key("sweep").begin_array();
+  for (const auto& name : tech::technology_names()) {
+    const tech::Tech& tech = tech::technology(name);
+    for (int spares : {4, 8, 16}) {
+      const core::TimingReport r =
+          core::estimate_timing(tech, geo_with(spares), 2.0);
+      j.begin_object();
+      j.key("process").value(name);
+      j.key("spares").value(spares);
+      j.key("tlb_ns").value(r.tlb_penalty_s * 1e9);
+      j.key("access_ns").value(r.access_s * 1e9);
+      j.key("penalty_ratio").value(r.penalty_ratio);
+      j.end_object();
+    }
+  }
+  j.end_array();
+  j.end_object();
+  write_doc("bench_tlb_delay", j, path);
+}
+
 void BM_TimingEstimate(benchmark::State& state) {
   const auto geo = geo_with(4);
   for (auto _ : state)
@@ -65,6 +114,19 @@ BENCHMARK(BM_TimingEstimate);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool json = false;
+  std::string json_path;
+  Cli cli("bench_tlb_delay",
+          "Section VI TLB address-diversion penalty sweep.");
+  cli.optional_value("--json", &json, &json_path,
+                     "emit the sweep as JSON (to FILE or stdout) and skip "
+                     "the benchmarks")
+      .passthrough_prefix("--benchmark_");
+  cli.parse(&argc, argv);
+  if (json) {
+    tlb_json(json_path);
+    return 0;
+  }
   print_tlb();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

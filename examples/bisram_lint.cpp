@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
   bool microfaults = false;
   bool no_drc = false;
   bool no_erc = false;
+  bool no_timing = false;
   int threads = 0;
   bool want_json = false;
   std::string json_path;
@@ -74,6 +75,8 @@ int main(int argc, char** argv) {
             "also classify every PLA crosspoint defect")
       .flag("--no-drc", &no_drc, "skip layout DRC")
       .flag("--no-erc", &no_erc, "skip leaf-cell ERC/LVS")
+      .flag("--no-timing", &no_timing,
+            "skip the STA timing check (access budget + setup slack)")
       .value("--abstract-words", &abstract_words,
              "product-model address space")
       .value("--abstract-bpw", &options.micro.bpw, "product-model data width")
@@ -88,6 +91,7 @@ int main(int argc, char** argv) {
   options.fault_mode = microfaults;
   options.run_drc = !no_drc;
   options.run_erc_lvs = !no_erc;
+  options.run_timing = !no_timing;
   if (!test_name.empty()) {
     const march::MarchTest* t = test_by_name(test_name);
     if (!t) {

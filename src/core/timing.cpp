@@ -1,63 +1,45 @@
 #include "core/timing.hpp"
 
 #include <cmath>
-#include <map>
-#include <mutex>
 
-#include "cells/leaf_cells.hpp"
 #include "spice/sizing.hpp"
+#include "sta/access_path.hpp"
+#include "sta/leaf.hpp"
 #include "util/math.hpp"
 
 namespace bisram::core {
 
-double stage_delay_s(const tech::Tech& t) {
-  static std::map<std::string, double> cache;
-  static std::mutex mutex;
-  std::lock_guard<std::mutex> lock(mutex);
-  auto it = cache.find(t.name);
-  if (it != cache.end()) return it->second;
-
-  // A 2 um NMOS inverter driving four copies of itself (~FO4): gate cap
-  // of the fan-out plus local wire.
-  const double wn = 2.0;
-  const double cg =
-      (t.elec.nmos.cox_f_um2 + t.elec.pmos.cox_f_um2) * wn * t.feature_um;
-  const double load = 4.0 * cg + 5e-15;
-  const spice::SizingResult r = spice::balance_inverter(t, wn, load, 0.05);
-  const double tau = 0.5 * (r.tplh_s + r.tphl_s);
-  cache[t.name] = tau;
-  return tau;
-}
-
-namespace {
-
-/// Capacitance of one word-line segment per cell: the poly strip across
-/// the 56-lambda pitch plus two pass-transistor gates.
-double wordline_cap_per_cell(const tech::Tech& t) {
-  const double lam = t.lambda_um;
-  const auto& poly = t.elec.wire[static_cast<std::size_t>(geom::Layer::Poly)];
-  const double strip_area = (cells::kCellPitchLambda * lam) * (2.0 * lam);
-  const double gate_area = 2.0 * (6.0 * lam) * t.feature_um;
-  return strip_area * poly.cap_area_f_um2 +
-         2.0 * (cells::kCellPitchLambda * lam) * poly.cap_fringe_f_um +
-         gate_area * t.elec.nmos.cox_f_um2;
-}
-
-/// Capacitance of one bit-line segment per cell: metal2 strip plus the
-/// pass-transistor junction.
-double bitline_cap_per_cell(const tech::Tech& t) {
-  const double lam = t.lambda_um;
-  const auto& m2 = t.elec.wire[static_cast<std::size_t>(geom::Layer::Metal2)];
-  const double strip_area = (cells::kCellPitchLambda * lam) * (3.0 * lam);
-  const double junction = (6.0 * lam) * (5.0 * lam) * t.elec.nmos.cj_f_um2;
-  return strip_area * m2.cap_area_f_um2 +
-         2.0 * (cells::kCellPitchLambda * lam) * m2.cap_fringe_f_um + junction;
-}
-
-}  // namespace
+double stage_delay_s(const tech::Tech& t) { return sta::stage_delay_s(t); }
 
 TimingReport estimate_timing(const tech::Tech& t, const sim::RamGeometry& geo,
                              double gate_size) {
+  // Path-based numbers from the STA access-path graph (sta/access_path):
+  // the worst dout[b] endpoint arrival is the read access time, the
+  // worst cell[b] arrival the write time, and the decoder/wordline/
+  // bitline/senseamp split comes from the worst read path's arc tags.
+  const sta::AccessTiming at = sta::analyze_access_path(t, geo, gate_size);
+  TimingReport r;
+  r.tau_s = at.tau_s;
+  r.decoder_s = at.decoder_s;
+  r.wordline_s = at.wordline_s;
+  r.bitline_s = at.bitline_s;
+  r.senseamp_s = at.senseamp_s;
+  r.access_s = at.access_s;
+  r.write_s = at.write_s;
+
+  // Synchronous interface (paper section VI, masking technique 2): the
+  // TLB compare overlaps the low clock phase, so the address must be
+  // valid one TLB delay before the active edge; hold is one stage delay.
+  r.tlb_penalty_s = tlb_penalty_s(t, geo);
+  r.setup_s = r.tlb_penalty_s;
+  r.hold_s = r.tau_s;
+  r.penalty_ratio = r.tlb_penalty_s / r.access_s;
+  return r;
+}
+
+TimingReport estimate_timing_reference(const tech::Tech& t,
+                                       const sim::RamGeometry& geo,
+                                       double gate_size) {
   TimingReport r;
   r.tau_s = stage_delay_s(t);
 
@@ -68,10 +50,9 @@ TimingReport estimate_timing(const tech::Tech& t, const sim::RamGeometry& geo,
 
   // Word line: driver resistance against the distributed line cap
   // (lumped RC with the 0.7 Elmore factor for a distributed load).
-  const double r_driver =
-      spice::device_on_resistance(t, spice::MosType::Pmos,
-                                  8.0 * gate_size * t.lambda_um) ;
-  const double c_wl = geo.cols() * wordline_cap_per_cell(t);
+  const double r_driver = spice::device_on_resistance(
+      t, spice::MosType::Pmos, 8.0 * gate_size * t.lambda_um);
+  const double c_wl = geo.cols() * sta::wordline_cap_per_cell_f(t);
   r.wordline_s = 0.7 * r_driver * c_wl;
 
   // Bit line: cell pull-down discharging the line through the pass
@@ -80,7 +61,7 @@ TimingReport estimate_timing(const tech::Tech& t, const sim::RamGeometry& geo,
   const double r_cell =
       spice::device_on_resistance(t, spice::MosType::Nmos, 6.0 * t.lambda_um) *
       2.0;  // pull-down in series with the pass device
-  const double c_bl = geo.total_rows() * bitline_cap_per_cell(t);
+  const double c_bl = geo.total_rows() * sta::bitline_cap_per_cell_f(t);
   r.bitline_s = 0.1 * r_cell * c_bl;
 
   // Column mux (one pass stage) + current-mode sense amplifier.
@@ -93,12 +74,9 @@ TimingReport estimate_timing(const tech::Tech& t, const sim::RamGeometry& geo,
   // bypassed and the bit-lines are directly accessed").
   const double r_drv = spice::device_on_resistance(
       t, spice::MosType::Nmos, 6.0 * gate_size * t.lambda_um);
-  const double c_bl_w = geo.total_rows() * bitline_cap_per_cell(t);
+  const double c_bl_w = geo.total_rows() * sta::bitline_cap_per_cell_f(t);
   r.write_s = r.decoder_s + r.wordline_s + 0.7 * r_drv * c_bl_w;
 
-  // Synchronous interface (paper section VI, masking technique 2): the
-  // TLB compare overlaps the low clock phase, so the address must be
-  // valid one TLB delay before the active edge; hold is one stage delay.
   r.tlb_penalty_s = tlb_penalty_s(t, geo);
   r.setup_s = r.tlb_penalty_s;
   r.hold_s = r.tau_s;
@@ -110,8 +88,8 @@ PowerReport estimate_power(const tech::Tech& t, const sim::RamGeometry& geo,
                            double access_s) {
   PowerReport p;
   p.vdd = t.elec.vdd;
-  const double c_bl = geo.total_rows() * bitline_cap_per_cell(t);
-  const double c_wl = geo.cols() * wordline_cap_per_cell(t);
+  const double c_bl = geo.total_rows() * sta::bitline_cap_per_cell_f(t);
+  const double c_wl = geo.cols() * sta::wordline_cap_per_cell_f(t);
 
   // Read: one word line swings rail to rail; every column's bit-line
   // pair is precharged back through the ~10% current-mode sensing swing;

@@ -46,8 +46,18 @@ struct PowerReport {
 double stage_delay_s(const tech::Tech& t);
 
 /// Full access-path timing for the given geometry and gate sizing.
+/// Since the STA engine landed, these numbers come from the path-based
+/// analysis of the macro timing graph (sta/access_path.hpp) — the same
+/// graph the signoff `timing` check slacks against a clock.
 TimingReport estimate_timing(const tech::Tech& t, const sim::RamGeometry& geo,
                              double gate_size);
+
+/// The historical closed-form lumped-RC model, kept as a cross-check
+/// oracle: same physics as the STA graph with every path collapsed to
+/// one term, so the two must agree to first order (tests pin the ratio).
+TimingReport estimate_timing_reference(const tech::Tech& t,
+                                       const sim::RamGeometry& geo,
+                                       double gate_size);
 
 /// TLB penalty only (used by the spare-count sweep benchmark).
 double tlb_penalty_s(const tech::Tech& t, const sim::RamGeometry& geo);

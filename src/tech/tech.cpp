@@ -80,6 +80,12 @@ Tech make(const std::string& name, double feature_um) {
   t.feature_um = feature_um;
   t.lambda_um = feature_um / 2.0;
   t.elec = electrical_for(feature_um);
+  // Signoff budgets, anchored so the paper's largest reference macro
+  // (Fig. 6, 4096x128) closes with ~20% margin at 0.7 um; RC delays
+  // scale roughly quadratically with feature size at fixed lambda rules.
+  const double scale = feature_um / 0.7;
+  t.timing.access_budget_s = 16e-9 * scale * scale;
+  t.timing.clock_period_s = 18e-9 * scale * scale;
   return t;
 }
 

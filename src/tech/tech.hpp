@@ -52,6 +52,16 @@ struct Electrical {
   std::array<WireParams, geom::kLayerCount> wire{};
 };
 
+/// Signoff timing budgets for the process (deck key `timing`). A zero
+/// value disables that constraint: the STA then reports relative slack
+/// only. The registered decks carry budgets sized so the paper's
+/// flagship macros close with margin — see sta/access_path.hpp for the
+/// engine that checks them.
+struct TimingBudget {
+  double access_budget_s = 0;  ///< read access-time ceiling
+  double clock_period_s = 0;   ///< target clock for setup slack
+};
+
 /// A complete process description.
 struct Tech {
   std::string name;      ///< e.g. "cda.7u3m1p"
@@ -78,6 +88,7 @@ struct Tech {
   Coord well_space = 0;
 
   Electrical elec;
+  TimingBudget timing;
 
   /// Rule accessor with bounds checking.
   const LayerRule& rule(Layer l) const {

@@ -177,6 +177,18 @@ Tech read_tech_file(std::istream& is, DiagEngine* diag) {
                     "unknown device attribute '" + tok[i] + "'", line_no);
         }
       }
+    } else if (key == "timing") {
+      for (std::size_t i = 1; i + 1 < tok.size(); i += 2) {
+        double v = 0.0;
+        if (tok[i] == "access_ns") {
+          if (num(tok[i + 1], &v)) t.timing.access_budget_s = v * 1e-9;
+        } else if (tok[i] == "clock_ns") {
+          if (num(tok[i + 1], &v)) t.timing.clock_period_s = v * 1e-9;
+        } else {
+          eng.error("tech-unknown-attribute",
+                    "unknown timing attribute '" + tok[i] + "'", line_no);
+        }
+      }
     } else if (key == "wire") {
       if (!need(4)) continue;
       Layer layer = Layer::Metal1;
@@ -284,6 +296,10 @@ std::string write_tech_string(const Tech& t) {
        << strfmt(" sheet %.9g area %.9g fringe %.9g\n", w.sheet_ohm,
                  w.cap_area_f_um2, w.cap_fringe_f_um);
   }
+  if (t.timing.access_budget_s > 0 || t.timing.clock_period_s > 0)
+    os << strfmt("timing access_ns %.9g clock_ns %.9g\n",
+                 t.timing.access_budget_s * 1e9,
+                 t.timing.clock_period_s * 1e9);
   return os.str();
 }
 

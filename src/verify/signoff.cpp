@@ -7,6 +7,7 @@
 #include "extract/erc.hpp"
 #include "extract/extract.hpp"
 #include "extract/lvs.hpp"
+#include "sta/access_path.hpp"
 #include "util/json.hpp"
 #include "util/math.hpp"
 #include "util/strings.hpp"
@@ -98,6 +99,25 @@ SignoffReport run_signoff(const core::RamSpec& spec,
     rep.erc_lvs_ran = true;
     check_leaf_circuits(spec, tech, rep.erc_lvs_details);
   }
+  if (options.run_timing) {
+    rep.timing_ran = true;
+    sta::AnalyzeOptions aopt;
+    aopt.clock_period_s = tech.timing.clock_period_s;
+    aopt.k_paths = options.timing_paths;
+    aopt.threads = options.threads;
+    const sta::AccessTiming at =
+        sta::analyze_access_path(tech, spec.geometry(), spec.gate_size, aopt);
+    rep.timing = at.report;
+    rep.access_s = at.access_s;
+    rep.write_s = at.write_s;
+    rep.access_budget_s = tech.timing.access_budget_s;
+    // The cycle-domain watchdog bound expressed in the STA's clock
+    // domain: one number both signoffs must agree on.
+    if (rep.micro.hang_free)
+      rep.watchdog_budget_s =
+          static_cast<double>(rep.micro.worst_case_cycles) *
+          rep.timing.clock_period_s;
+  }
 
   rep.march = march::analyze(*spec.test);
   return rep;
@@ -133,6 +153,29 @@ std::string SignoffReport::render() const {
     for (const auto& d : erc_lvs_details) s += "    " + d + "\n";
   } else {
     s += "  ERC/LVS: skipped\n";
+  }
+  if (timing_ran) {
+    s += strfmt(
+        "  timing: access %.3f ns (budget %.3f ns), write %.3f ns, "
+        "WNS %+.3f ns @ clock %.3f ns — %s\n",
+        access_s * 1e9, access_budget_s * 1e9, write_s * 1e9,
+        timing.wns_s * 1e9, timing.clock_period_s * 1e9,
+        timing_clean() ? "clean" : "VIOLATED");
+    if (!timing.worst_paths.empty()) {
+      const sta::CriticalPath& p = timing.worst_paths.front();
+      s += strfmt("    worst path -> %s (slack %+.3f ns):\n",
+                  p.endpoint.c_str(), p.slack_s * 1e9);
+      for (const sta::PathStep& st : p.steps)
+        s += strfmt("      %8.3f ns  +%7.3f ns  %-14s %s\n",
+                    st.arrival_s * 1e9, st.incr_s * 1e9, st.node.c_str(),
+                    st.tag.c_str());
+    }
+    if (micro.hang_free)
+      s += strfmt("    watchdog budget: %llu cycles = %.1f ns\n",
+                  static_cast<unsigned long long>(micro.worst_case_cycles),
+                  watchdog_budget_s * 1e9);
+  } else {
+    s += "  timing: skipped\n";
   }
   s += strfmt("  march coverage: %s (%llu test cycles)\n",
               march.summary().c_str(),
@@ -234,6 +277,50 @@ std::string SignoffReport::json() const {
   j.key("detects_sof").value(march.detects_sof);
   j.key("exercises_retention").value(march.exercises_retention);
   j.key("test_cycles").value(test_cycles);
+  j.end_object();
+
+  j.key("timing").begin_object();
+  j.key("ran").value(timing_ran);
+  if (timing_ran) {
+    j.key("constrained").value(timing.constrained);
+    j.key("clock_period_s").value(timing.clock_period_s);
+    j.key("access_s").value(access_s);
+    j.key("write_s").value(write_s);
+    j.key("access_budget_s").value(access_budget_s);
+    j.key("wns_s").value(timing.wns_s);
+    j.key("tns_s").value(timing.tns_s);
+    j.key("watchdog_budget_s").value(watchdog_budget_s);
+    j.key("endpoints").begin_array();
+    for (const sta::EndpointSlack& e : timing.endpoints) {
+      j.begin_object();
+      j.key("name").value(e.name);
+      j.key("arrival_s").value(e.arrival_s);
+      j.key("slew_s").value(e.slew_s);
+      j.key("slack_s").value(e.slack_s);
+      j.end_object();
+    }
+    j.end_array();
+    j.key("worst_paths").begin_array();
+    for (const sta::CriticalPath& p : timing.worst_paths) {
+      j.begin_object();
+      j.key("endpoint").value(p.endpoint);
+      j.key("arrival_s").value(p.arrival_s);
+      j.key("slack_s").value(p.slack_s);
+      j.key("steps").begin_array();
+      for (const sta::PathStep& st : p.steps) {
+        j.begin_object();
+        j.key("node").value(st.node);
+        j.key("tag").value(st.tag);
+        j.key("incr_s").value(st.incr_s);
+        j.key("arrival_s").value(st.arrival_s);
+        j.end_object();
+      }
+      j.end_array();
+      j.end_object();
+    }
+    j.end_array();
+    j.key("clean").value(timing_clean());
+  }
   j.end_object();
 
   j.key("datasheet").begin_object();

@@ -15,6 +15,7 @@
 
 #include "core/bisramgen.hpp"
 #include "march/analysis.hpp"
+#include "sta/graph.hpp"
 #include "verify/fault_analysis.hpp"
 #include "verify/microprogram.hpp"
 
@@ -32,9 +33,14 @@ struct SignoffOptions {
   bool fault_mode = false;
   bool run_drc = true;
   bool run_erc_lvs = true;
+  /// Static timing on the macro access-path graph, slacked against the
+  /// technology deck's `timing` budgets (sta/access_path.hpp).
+  bool run_timing = true;
+  /// Worst paths carried with full provenance traces in the report.
+  int timing_paths = 4;
   /// DRC violation descriptions kept in the report (the count is exact).
   std::size_t max_drc_details = 10;
-  int threads = 0;  ///< for fault_mode; <= 0 means campaign_threads()
+  int threads = 0;  ///< fault_mode / timing; <= 0 means campaign_threads()
 };
 
 struct SignoffReport {
@@ -63,16 +69,33 @@ struct SignoffReport {
   march::MarchAnalysis march;
   std::uint64_t test_cycles = 0;
 
+  bool timing_ran = false;
+  sta::StaReport timing;        ///< per-endpoint slack + worst paths
+  double access_s = 0;          ///< worst read endpoint arrival
+  double write_s = 0;           ///< worst write endpoint arrival
+  double access_budget_s = 0;   ///< tech deck ceiling (0 = unconstrained)
+  /// The controller watchdog budget in seconds: the microprogram
+  /// verifier's derived worst-case cycle bound times the STA clock
+  /// period. Tests pin that this equals worst_case_cycles * clock — the
+  /// cycle-domain and time-domain signoffs must tell one story.
+  double watchdog_budget_s = 0;
+
   double area_mm2 = 0;
   double overhead_pct = 0;
 
   bool drc_clean() const { return !drc_ran || drc_violations == 0; }
   bool erc_lvs_clean() const { return erc_lvs_details.empty(); }
+  bool timing_clean() const {
+    return !timing_ran ||
+           (timing.setup_clean() &&
+            (access_budget_s <= 0 || access_s <= access_budget_s));
+  }
   /// The signoff verdict: microprogram proven clean, layout and circuits
-  /// clean, and the programmed march at least covers stuck-at faults.
+  /// clean, timing closed, and the programmed march at least covers
+  /// stuck-at faults.
   bool clean() const {
     return micro.clean() && drc_clean() && erc_lvs_clean() &&
-           march.detects_saf;
+           timing_clean() && march.detects_saf;
   }
 
   /// Human-readable multi-line rendering.

@@ -54,10 +54,14 @@ TEST(GoldenDatasheet, SmallModuleAreaNumbers) {
 
 TEST(GoldenDatasheet, SmallModuleTimingNumbers) {
   const Datasheet ds = generate(golden_spec()).sheet;
-  expect_rel(ds.timing.access_s, 6.1833172849822778e-10, "access_s");
+  // Since the STA engine landed, access_s is the worst dout[b] endpoint
+  // arrival of the path-based analysis (sta/access_path.hpp), not the
+  // lumped four-term sum — the golden moved once, deliberately, with
+  // that change.
+  expect_rel(ds.timing.access_s, 7.1884885490036105e-10, "access_s");
   expect_rel(ds.timing.tlb_penalty_s, 2.4259126065546088e-10,
              "tlb_penalty_s");
-  expect_rel(ds.timing.penalty_ratio, 0.39233189803255614, "penalty_ratio");
+  expect_rel(ds.timing.penalty_ratio, 0.33747186074197227, "penalty_ratio");
   // Qualitative §VI bound alongside the goldens: the address-diversion
   // penalty must stay below the access time even on this minimal module
   // (for realistic widths the ratio drops by an order of magnitude —
