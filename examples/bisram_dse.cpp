@@ -1,0 +1,158 @@
+// bisram_dse: parallel design-space exploration over the BISRAMGEN
+// lattice.
+//
+// Reads a sweep spec (JSON: a base RamSpec, the axes to sweep, and the
+// yield/reliability/cost evaluation constants), compiles every lattice
+// point through the staged compile API (sharing one deck-pure
+// CompileCache across all worker threads), prices each point with the
+// models, and prints the Pareto frontier over area / yield / MTTF /
+// cost.
+//
+// With --cache DIR, per-point results persist across invocations:
+// re-running (or widening) a sweep only compiles points it has never
+// seen — a warm rerun is pure file reads, zero compiles.
+//
+// Exit status: 0 on a completed (or deadline-truncated) sweep, 2 on a
+// bad invocation or a sweep file with errors.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "dse/engine.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace bisram;
+
+namespace {
+
+std::string frontier_table(const dse::SweepResult& res) {
+  TextTable t;
+  t.header({"point", "words", "bpw", "bpc", "spares", "gate", "tech",
+            "area mm2", "yield", "MTTF h", "cost $"});
+  for (std::size_t i : res.frontier) {
+    const dse::PointResult& p = res.points[i];
+    t.row({strfmt("%zu", p.index), strfmt("%u", p.spec.words),
+           strfmt("%d", p.spec.bpw), strfmt("%d", p.spec.bpc),
+           strfmt("%d", p.spec.spare_rows), strfmt("%.2g", p.spec.gate_size),
+           p.spec.technology, strfmt("%.4f", p.metrics.area_mm2),
+           strfmt("%.4f", p.metrics.yield),
+           strfmt("%.3g", p.metrics.mttf_hours),
+           strfmt("%.2f", p.metrics.cost_usd)});
+  }
+  return t.render();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string sweep_path;
+  std::string cache_dir;
+  int threads = 0;
+  double deadline_ms = 0;
+  bool all_points = false;
+  bool want_json = false;
+  std::string json_path;
+
+  Cli cli("bisram_dse",
+          "Design-space exploration: sweep the RamSpec lattice, report "
+          "the Pareto frontier over area / yield / MTTF / cost.");
+  cli.value("--sweep", &sweep_path, "sweep spec (JSON; see src/dse/space.hpp)",
+            "FILE")
+      .value("--cache", &cache_dir,
+             "persistent result cache directory (created if missing); "
+             "reruns and widened sweeps reuse every cached point",
+             "DIR")
+      .value("--threads", &threads,
+             "worker threads (0 = BISRAM_THREADS or hardware)")
+      .value("--deadline-ms", &deadline_ms,
+             "wall-clock budget; an expired sweep reports a valid partial "
+             "frontier with termination=deadline")
+      .flag("--all-points", &all_points,
+            "include every evaluated point in the JSON report, not just "
+            "the frontier")
+      .optional_value("--json", &want_json, &json_path,
+                      "emit the JSON report (stdout or FILE)");
+  cli.parse(&argc, argv);
+
+  if (sweep_path.empty()) {
+    std::fprintf(stderr, "bisram_dse: --sweep FILE is required\n%s",
+                 cli.usage().c_str());
+    return 2;
+  }
+  std::ifstream f(sweep_path);
+  if (!f) {
+    std::fprintf(stderr, "bisram_dse: cannot read %s\n", sweep_path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+
+  // The sweep file parses through the structured-diagnostics engine:
+  // every problem is reported with file:line:column and a stable code
+  // in one pass, and --json additionally emits the machine-readable
+  // diagnostics document.
+  DiagEngine diag(sweep_path);
+  const dse::SweepSpec sweep = dse::SweepSpec::from_json(buf.str(), &diag,
+                                                         sweep_path);
+  if (!diag.ok()) {
+    std::fputs((diag.render_text() + "\n").c_str(), stderr);
+    if (want_json) {
+      const std::string doc = diag.json();
+      if (json_path.empty()) {
+        std::printf("%s\n", doc.c_str());
+      } else {
+        std::ofstream jf(json_path);
+        if (jf) jf << doc << '\n';
+      }
+    }
+    return 2;
+  }
+
+  dse::RunOptions opt;
+  opt.cache_dir = cache_dir;
+  opt.threads = threads;
+  CancelToken cancel;
+  if (deadline_ms > 0) {
+    cancel.set_deadline_after_ms(deadline_ms);
+    opt.cancel = &cancel;
+  }
+
+  try {
+    const dse::SweepResult res = dse::run_sweep(sweep, opt);
+    std::printf("sweep: %llu points, %llu evaluated (%llu cached, %llu "
+                "compiled, %llu invalid), termination=%s\n",
+                static_cast<unsigned long long>(res.stats.points),
+                static_cast<unsigned long long>(res.stats.evaluated),
+                static_cast<unsigned long long>(res.stats.cache_hits),
+                static_cast<unsigned long long>(res.stats.full_compiles),
+                static_cast<unsigned long long>(res.stats.invalid),
+                termination_name(res.stats.termination));
+    std::printf("frontier: %zu non-dominated points\n\n",
+                res.frontier.size());
+    std::fputs(frontier_table(res).c_str(), stdout);
+    if (want_json) {
+      const std::string doc = res.json(all_points);
+      if (json_path.empty()) {
+        std::printf("%s\n", doc.c_str());
+      } else {
+        std::ofstream jf(json_path);
+        if (!jf) {
+          std::fprintf(stderr, "bisram_dse: cannot write %s\n",
+                       json_path.c_str());
+          return 2;
+        }
+        jf << doc << '\n';
+        std::printf("wrote %s\n", json_path.c_str());
+      }
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "bisram_dse: %s\n", e.what());
+    return 2;
+  }
+}

@@ -130,7 +130,7 @@ int main(int argc, char** argv) {
       }
       return 2;
     }
-    spec.custom_tech = &user_tech;
+    spec.custom_tech = std::make_shared<const tech::Tech>(user_tech);
   }
 
   try {

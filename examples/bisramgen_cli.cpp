@@ -92,7 +92,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bisramgen: bad tech deck: %s\n", e.what());
         return 2;
       }
-      spec.custom_tech = &user_tech;
+      spec.custom_tech = std::make_shared<const tech::Tech>(user_tech);
       spec.technology = user_tech.name;
     }
     else if (arg == "--passes") spec.max_passes = std::atoi(next());

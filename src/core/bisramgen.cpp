@@ -2,7 +2,7 @@
 
 #include <sstream>
 
-#include "macro/macros.hpp"
+#include "core/compiler.hpp"
 #include "util/math.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -51,103 +51,11 @@ std::string Datasheet::render() const {
 }
 
 Generated generate(const RamSpec& spec) {
-  spec.validate();
-  const tech::Tech& t = spec.resolved_technology();
-  const sim::RamGeometry geo = spec.geometry();
-
-  // The control program comes first: its PLA shape sizes the TRPLA macro
-  // (and AssembledController carries the personality, so Generated is
-  // built around it).
-  Generated out{std::make_unique<geom::Library>(), nullptr, {},
-                microcode::build_trpla(*spec.test, spec.max_passes), {}};
-  geom::Library& lib = *out.library;
-
-  macro::MacroOptions opt;
-  opt.gate_size = spec.gate_size;
-  opt.strap_interval = spec.strap_interval;
-  opt.strap_width_lambda = spec.strap_width_lambda;
-
-  // --- macrocells ----------------------------------------------------------
-  const auto array = macro::ram_array(lib, t, geo, opt);
-  const auto decoders = macro::row_decoder_column(lib, t, geo.rows(), opt);
-  const auto periphery = macro::column_periphery(lib, t, geo, opt);
-  const int addr_bits = log2_ceil(std::max<std::uint64_t>(geo.words, 2));
-  const auto addgen = macro::addgen_macro(lib, t, addr_bits);
-  const auto datagen = macro::datagen_macro(lib, t, geo.bpw);
-  const auto streg = macro::streg_macro(lib, t, out.trpla.state_bits);
-  const auto tlb = macro::tlb_macro(lib, t, geo.spare_words(), addr_bits);
-  const auto trpla_cell = macro::trpla_macro(lib, t, out.trpla.pla);
-
-  // --- place and route -------------------------------------------------------
-  const std::vector<pnr::Block> blocks = {
-      {"RAMARRAY", array},   {"ROWDEC", decoders}, {"COLPERIPH", periphery},
-      {"ADDGEN", addgen},    {"DATAGEN", datagen}, {"STREG", streg},
-      {"TLB", tlb},          {"TRPLA", trpla_cell},
-  };
-  const std::vector<pnr::Net> nets = {
-      {"wordlines", {{0, "decoder_side"}, {1, "wl_out"}}},
-      {"bitlines", {{0, "column_side"}, {2, "bitline_top"}}},
-      {"address", {{3, "bus"}, {1, "addr_in"}, {6, "addr_in"}}},
-      {"data", {{4, "bus"}, {2, "data_out"}}},
-      {"spare_select", {{6, "spare_out"}, {0, "decoder_side"}}},
-      {"control",
-       {{7, "outputs"}, {3, "control"}, {4, "control"}, {5, "control"}}},
-      {"state", {{5, "bus"}, {7, "inputs"}}},
-  };
-  pnr::FloorplanOptions fp_opt;
-  // Keep a 12-lambda halo between macros: wells may legally overhang a
-  // macro's active area by a few lambda, and the halo keeps well spacing
-  // satisfied across block boundaries.
-  fp_opt.spacing = geom::dbu(12);
-  out.plan = pnr::floorplan(blocks, nets, fp_opt);
-  out.top = pnr::build_top(lib, t, "bisram_top", blocks, nets, out.plan,
-                           &out.route);
-
-  // --- datasheet --------------------------------------------------------------
-  Datasheet& ds = out.sheet;
-  ds.geo = geo;
-  ds.technology = t.name;
-  const geom::Rect bbox = out.top->bbox();
-  ds.width_um = t.um(bbox.width());
-  ds.height_um = t.um(bbox.height());
-  ds.area_mm2 = t.mm2(bbox.area());
-
-  const double array_total = macro::macro_area_mm2(t, *array);
-  ds.spare_mm2 = array_total * geo.spare_rows / geo.total_rows();
-  ds.array_mm2 = array_total - ds.spare_mm2;
-  ds.decoder_mm2 = macro::macro_area_mm2(t, *decoders);
-  ds.periphery_mm2 = macro::macro_area_mm2(t, *periphery);
-  ds.bist_mm2 = macro::macro_area_mm2(t, *addgen) +
-                macro::macro_area_mm2(t, *datagen) +
-                macro::macro_area_mm2(t, *streg) +
-                macro::macro_area_mm2(t, *trpla_cell);
-  ds.bisr_mm2 = macro::macro_area_mm2(t, *tlb);
-  const double base = ds.array_mm2 + ds.decoder_mm2 + ds.periphery_mm2;
-  ds.overhead_pct = 100.0 * (ds.bist_mm2 + ds.bisr_mm2) / base;
-  ds.controller_pct =
-      100.0 * macro::macro_area_mm2(t, *trpla_cell) / array_total;
-
-  ds.timing = estimate_timing(t, geo, spec.gate_size);
-  ds.power = estimate_power(t, geo, ds.timing.access_s);
-
-  const int backgrounds = spec.johnson_backgrounds ? geo.bpw + 1 : 1;
-  ds.test_cycles =
-      march::test_cycles(*spec.test, geo.words, backgrounds) * 2;  // two passes
-  ds.test_time_s =
-      static_cast<double>(ds.test_cycles) * ds.timing.access_s +
-      static_cast<double>(spec.test->delay_count() * backgrounds * 2) * 0.1;
-  ds.controller_states = out.trpla.num_states;
-  ds.controller_terms = out.trpla.pla.terms();
-  ds.state_register_bits = out.trpla.state_bits;
-  ds.rectangularity = out.plan.rectangularity;
-
-  if (spec.run_drc) {
-    // One shared flatten for signoff-grade checks on the finished top.
-    const geom::LayoutDB db(*out.top, drc::tile_size_for(t));
-    drc::DrcOptions drc_opt;
-    ds.drc_violations = drc::check(db, t, drc_opt).size();
-  }
-  return out;
+  // The one-call wrapper over the staged compile API (core/compiler.hpp):
+  // a throwaway session with a private cache — exactly the historical
+  // one-shot semantics. Callers that compile more than one spec should
+  // hold a Compiler (or share a CompileCache) instead.
+  return Compiler().run(spec);
 }
 
 }  // namespace bisram::core

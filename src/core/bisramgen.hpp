@@ -72,6 +72,10 @@ struct Generated {
 };
 
 /// Runs the complete flow. Throws bisram::SpecError on invalid specs.
+/// This is the thin one-call wrapper over the staged compile API
+/// (core/compiler.hpp) — equivalent to Compiler().run(spec). Callers
+/// compiling many related specs should share a core::CompileCache so
+/// per-deck leaf libraries and SPICE sizing are computed once.
 Generated generate(const RamSpec& spec);
 
 }  // namespace bisram::core

@@ -1,8 +1,10 @@
 #include "core/spec.hpp"
 
 #include "tech/tech.hpp"
+#include "tech/tech_file.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
+#include "util/strings.hpp"
 
 namespace bisram::core {
 
@@ -29,6 +31,203 @@ void RamSpec::validate() const {
 
 const tech::Tech& RamSpec::resolved_technology() const {
   return custom_tech != nullptr ? *custom_tech : tech::technology(technology);
+}
+
+const march::MarchTest* march_test_by_key(const std::string& key) {
+  if (key == "ifa9") return &march::ifa9();
+  if (key == "ifa13") return &march::ifa13();
+  if (key == "matsp") return &march::mats_plus();
+  if (key == "marchc") return &march::march_c_minus();
+  return nullptr;
+}
+
+const char* march_test_key(const march::MarchTest* test) {
+  if (test == &march::ifa9()) return "ifa9";
+  if (test == &march::ifa13()) return "ifa13";
+  if (test == &march::mats_plus()) return "matsp";
+  if (test == &march::march_c_minus()) return "marchc";
+  throw SpecError("march_test_key: test is not one of the registered four");
+}
+
+namespace {
+
+/// Reports `spec-bad-type` against the member's own source position.
+void bad_type(DiagEngine& diag, const std::string& key, const JsonValue& v,
+              const char* want) {
+  diag.error("spec-bad-type",
+             strfmt("\"%s\" must be a %s, got %s", key.c_str(), want,
+                    v.kind_name()),
+             v.line(), v.column());
+}
+
+bool get_int(DiagEngine& diag, const std::string& key, const JsonValue& v,
+             std::int64_t lo, std::int64_t hi, std::int64_t* out) {
+  if (!v.is_number()) {
+    bad_type(diag, key, v, "number");
+    return false;
+  }
+  std::int64_t i = 0;
+  try {
+    i = v.as_i64();
+  } catch (const SpecError&) {
+    diag.error("spec-bad-value",
+               strfmt("\"%s\" must be an integer", key.c_str()), v.line(),
+               v.column());
+    return false;
+  }
+  if (i < lo || i > hi) {
+    diag.error("spec-bad-value",
+               strfmt("\"%s\" = %lld is outside [%lld, %lld]", key.c_str(),
+                      static_cast<long long>(i), static_cast<long long>(lo),
+                      static_cast<long long>(hi)),
+               v.line(), v.column());
+    return false;
+  }
+  *out = i;
+  return true;
+}
+
+bool get_double(DiagEngine& diag, const std::string& key, const JsonValue& v,
+                double* out) {
+  if (!v.is_number()) {
+    bad_type(diag, key, v, "number");
+    return false;
+  }
+  *out = v.as_double();
+  return true;
+}
+
+bool get_bool(DiagEngine& diag, const std::string& key, const JsonValue& v,
+              bool* out) {
+  if (!v.is_bool()) {
+    bad_type(diag, key, v, "bool");
+    return false;
+  }
+  *out = v.as_bool();
+  return true;
+}
+
+}  // namespace
+
+RamSpec RamSpec::from_json_value(const JsonValue& v, DiagEngine& diag) {
+  RamSpec spec;
+  if (!v.is_object()) {
+    diag.error("spec-bad-type",
+               strfmt("a RamSpec must be a JSON object, got %s",
+                      v.kind_name()),
+               v.line(), v.column());
+    return spec;
+  }
+  for (const auto& [key, val] : v.members()) {
+    std::int64_t i = 0;
+    if (key == "words") {
+      if (get_int(diag, key, val, 1, 1u << 28, &i))
+        spec.words = static_cast<std::uint32_t>(i);
+    } else if (key == "bpw") {
+      if (get_int(diag, key, val, 1, 1024, &i)) spec.bpw = static_cast<int>(i);
+    } else if (key == "bpc") {
+      if (get_int(diag, key, val, 1, 256, &i)) spec.bpc = static_cast<int>(i);
+    } else if (key == "spare_rows") {
+      if (get_int(diag, key, val, 0, 64, &i))
+        spec.spare_rows = static_cast<int>(i);
+    } else if (key == "gate_size") {
+      get_double(diag, key, val, &spec.gate_size);
+    } else if (key == "strap_interval") {
+      if (get_int(diag, key, val, 0, 1 << 20, &i))
+        spec.strap_interval = static_cast<int>(i);
+    } else if (key == "strap_width_lambda") {
+      get_double(diag, key, val, &spec.strap_width_lambda);
+    } else if (key == "technology") {
+      if (val.is_string()) spec.technology = val.as_string();
+      else bad_type(diag, key, val, "string");
+    } else if (key == "tech_deck") {
+      if (!val.is_string()) {
+        bad_type(diag, key, val, "string");
+        continue;
+      }
+      // The inline deck parses through its own engine so its line
+      // numbers (relative to the deck text) are not confused with the
+      // JSON document's; errors are re-reported under one stable code.
+      DiagEngine deck_diag(diag.file() + ":tech_deck");
+      tech::Tech t = tech::read_tech_string(val.as_string(), &deck_diag);
+      if (deck_diag.ok()) {
+        spec.technology = t.name;
+        spec.custom_tech = std::make_shared<const tech::Tech>(std::move(t));
+      } else {
+        for (const Diagnostic& d : deck_diag.diagnostics())
+          if (d.severity == Severity::Error)
+            diag.error("spec-bad-tech-deck",
+                       strfmt("tech_deck line %d: %s", d.line,
+                              d.message.c_str()),
+                       val.line(), val.column());
+      }
+    } else if (key == "test") {
+      if (!val.is_string()) {
+        bad_type(diag, key, val, "string");
+        continue;
+      }
+      const march::MarchTest* t = march_test_by_key(val.as_string());
+      if (t == nullptr)
+        diag.error("spec-unknown-test",
+                   strfmt("unknown march test \"%s\" (known: ifa9, ifa13, "
+                          "matsp, marchc)",
+                          val.as_string().c_str()),
+                   val.line(), val.column());
+      else
+        spec.test = t;
+    } else if (key == "max_passes") {
+      if (get_int(diag, key, val, 2, 64, &i))
+        spec.max_passes = static_cast<int>(i);
+    } else if (key == "johnson_backgrounds") {
+      get_bool(diag, key, val, &spec.johnson_backgrounds);
+    } else if (key == "run_drc") {
+      get_bool(diag, key, val, &spec.run_drc);
+    } else {
+      diag.error("spec-unknown-field",
+                 strfmt("unknown RamSpec field \"%s\"", key.c_str()),
+                 val.line(), val.column());
+    }
+  }
+  if (!diag.ok()) return spec;
+  // Semantic validation through the non-throwing channel, so a sweep
+  // file with one bad point reports it instead of aborting the parse.
+  try {
+    spec.validate();
+  } catch (const SpecError& e) {
+    diag.error("spec-invalid", e.what(), v.line(), v.column());
+  }
+  return spec;
+}
+
+RamSpec RamSpec::from_json(const std::string& text, DiagEngine* diag,
+                           const std::string& source) {
+  DiagEngine local(source);
+  DiagEngine& eng = diag ? *diag : local;
+  const JsonValue v = parse_json(text, &eng, source);
+  RamSpec spec;
+  if (eng.ok()) spec = from_json_value(v, eng);
+  if (!diag) local.throw_if_errors();
+  return spec;
+}
+
+std::string RamSpec::to_json() const {
+  JsonWriter j;
+  j.begin_object();
+  j.key("words").value(static_cast<std::uint64_t>(words));
+  j.key("bpw").value(bpw);
+  j.key("bpc").value(bpc);
+  j.key("spare_rows").value(spare_rows);
+  j.key("gate_size").value(gate_size);
+  j.key("strap_interval").value(strap_interval);
+  j.key("strap_width_lambda").value(strap_width_lambda);
+  j.key("technology").value(technology);
+  if (custom_tech) j.key("tech_deck").value(tech::write_tech_string(*custom_tech));
+  j.key("test").value(march_test_key(test));
+  j.key("max_passes").value(max_passes);
+  j.key("johnson_backgrounds").value(johnson_backgrounds);
+  j.key("run_drc").value(run_drc);
+  j.end_object();
+  return j.str();
 }
 
 }  // namespace bisram::core

@@ -4,11 +4,14 @@
 // bits per column (bpc, the column-mux factor), number of spare rows
 // (4, 8 or 16), the size of critical gates, and the strap space.
 
+#include <memory>
 #include <string>
 
 #include "march/march.hpp"
 #include "sim/ram_model.hpp"
 #include "tech/tech.hpp"
+#include "util/diag.hpp"
+#include "util/json.hpp"
 
 namespace bisram::core {
 
@@ -22,8 +25,10 @@ struct RamSpec {
   double strap_width_lambda = 32.0;
   std::string technology = "cda.7u3m1p";
   /// When set, overrides `technology` with a user-supplied deck (see
-  /// tech/tech_file.hpp); must outlive the generate() call.
-  const tech::Tech* custom_tech = nullptr;
+  /// tech/tech_file.hpp). The spec *owns* the deck (shared with any
+  /// Compiler session that resolves it), so there is no lifetime to get
+  /// wrong — copies of the spec share the same immutable deck.
+  std::shared_ptr<const tech::Tech> custom_tech;
   const march::MarchTest* test = &march::ifa9();
   int max_passes = 2;           ///< 2 = standard flow; 2k for spare repair
   bool johnson_backgrounds = true;
@@ -44,6 +49,43 @@ struct RamSpec {
   /// The process to build in: custom_tech when set, else the registry
   /// entry named by `technology`.
   const tech::Tech& resolved_technology() const;
+
+  // --- JSON (the one spec parser every front-end shares: bisramgen_cli,
+  // --- bisram_dse sweep files, service requests) ------------------------
+  //
+  // Schema: one object; every member optional (absent = default):
+  //   { "words": 4096, "bpw": 32, "bpc": 4, "spare_rows": 4,
+  //     "gate_size": 2.0, "strap_interval": 32,
+  //     "strap_width_lambda": 32.0, "technology": "cda.7u3m1p",
+  //     "tech_deck": "<inline deck text, tech_file.hpp format>",
+  //     "test": "ifa9|ifa13|matsp|marchc", "max_passes": 2,
+  //     "johnson_backgrounds": true, "run_drc": false }
+  // Diagnostics use stable codes: json-* for malformed text,
+  // spec-bad-type, spec-bad-value, spec-unknown-field,
+  // spec-unknown-test, spec-invalid (semantic validation).
+
+  /// Parses a spec from JSON text. Follows the repo's parser convention
+  /// (util/diag.hpp): with a DiagEngine it never throws and returns a
+  /// best-effort spec the caller must gate on diag->ok(); without one
+  /// it throws bisram::DiagError on any error.
+  static RamSpec from_json(const std::string& text, DiagEngine* diag = nullptr,
+                           const std::string& source = "<spec>");
+
+  /// Same, from an already-parsed JSON object (the sweep-spec reader's
+  /// path). Reports into `diag`; never throws.
+  static RamSpec from_json_value(const JsonValue& v, DiagEngine& diag);
+
+  /// Serializes every field (including an inline "tech_deck" for custom
+  /// decks); from_json(to_json()) round-trips to an equivalent spec.
+  std::string to_json() const;
 };
+
+/// The march test registered under the spec-JSON key "ifa9", "ifa13",
+/// "matsp" or "marchc"; nullptr for anything else.
+const march::MarchTest* march_test_by_key(const std::string& key);
+
+/// The spec-JSON key for one of the four registered tests; throws
+/// bisram::SpecError for a test outside the registry.
+const char* march_test_key(const march::MarchTest* test);
 
 }  // namespace bisram::core

@@ -1,5 +1,6 @@
 #include "core/timing.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "spice/sizing.hpp"
@@ -13,11 +14,19 @@ double stage_delay_s(const tech::Tech& t) { return sta::stage_delay_s(t); }
 
 TimingReport estimate_timing(const tech::Tech& t, const sim::RamGeometry& geo,
                              double gate_size) {
+  const int row_bits = std::max(
+      1, log2_ceil(static_cast<std::uint64_t>(geo.rows())));
+  return estimate_timing(t, geo, gate_size,
+                         sta::characterize(t, gate_size, row_bits));
+}
+
+TimingReport estimate_timing(const tech::Tech& t, const sim::RamGeometry& geo,
+                             double gate_size, const sta::LeafTiming& lt) {
   // Path-based numbers from the STA access-path graph (sta/access_path):
   // the worst dout[b] endpoint arrival is the read access time, the
   // worst cell[b] arrival the write time, and the decoder/wordline/
   // bitline/senseamp split comes from the worst read path's arc tags.
-  const sta::AccessTiming at = sta::analyze_access_path(t, geo, gate_size);
+  const sta::AccessTiming at = sta::analyze_access_path(t, geo, gate_size, lt);
   TimingReport r;
   r.tau_s = at.tau_s;
   r.decoder_s = at.decoder_s;

@@ -12,6 +12,7 @@
 // a 0.7 um process, an order of magnitude below the access time.
 
 #include "sim/ram_model.hpp"
+#include "sta/leaf.hpp"
 #include "tech/tech.hpp"
 
 namespace bisram::core {
@@ -51,6 +52,13 @@ double stage_delay_s(const tech::Tech& t);
 /// graph the signoff `timing` check slacks against a clock.
 TimingReport estimate_timing(const tech::Tech& t, const sim::RamGeometry& geo,
                              double gate_size);
+
+/// Same analysis from a pre-characterized leaf library (the staged
+/// compile API's path: the Compiler session threads its CompileCache's
+/// LeafTiming through, so one deck's SPICE work serves every spec).
+/// Bit-identical to the 3-argument form for matching inputs.
+TimingReport estimate_timing(const tech::Tech& t, const sim::RamGeometry& geo,
+                             double gate_size, const sta::LeafTiming& lt);
 
 /// The historical closed-form lumped-RC model, kept as a cross-check
 /// oracle: same physics as the STA graph with every path collapsed to

@@ -1,0 +1,97 @@
+#include "dse/cache.hpp"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/checkpoint.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bisram::dse {
+
+namespace {
+
+/// mkdir -p for the (at most two-level) cache path; EEXIST is success.
+void ensure_dir(const std::string& dir) {
+  const std::size_t slash = dir.find_last_of('/');
+  if (slash != std::string::npos && slash > 0)
+    ::mkdir(dir.substr(0, slash).c_str(), 0755);
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST)
+    throw Error(strfmt("dse cache: cannot create '%s': %s", dir.c_str(),
+                       std::strerror(errno)));
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  if (!dir_.empty()) ensure_dir(dir_);
+}
+
+std::string ResultCache::entry_path(std::uint64_t fingerprint) const {
+  return strfmt("%s/%016llx.dsepoint", dir_.c_str(),
+                static_cast<unsigned long long>(fingerprint));
+}
+
+bool ResultCache::load(std::uint64_t fingerprint, models::DesignMetrics* out) {
+  if (dir_.empty()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const std::string path = entry_path(fingerprint);
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  try {
+    // CheckpointReader does the heavy lifting: magic, version, CRC32
+    // and fingerprint are all validated before a single payload word
+    // is handed out. Any failure lands in the catch below.
+    CheckpointReader r(path, fingerprint);
+    models::DesignMetrics m;
+    m.area_mm2 = r.f64();
+    m.yield = r.f64();
+    m.mttf_hours = r.f64();
+    m.cost_usd = r.f64();
+    m.access_ns = r.f64();
+    m.overhead_pct = r.f64();
+    if (r.remaining() != 0)
+      throw SpecError(strfmt("dse cache: '%s' has trailing payload",
+                             path.c_str()));
+    *out = m;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  } catch (const Error&) {
+    // Stale schema, torn write, bit rot, wrong file — all of them just
+    // mean "recompute this point"; the rewrite will repair the entry.
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+}
+
+void ResultCache::store(std::uint64_t fingerprint,
+                        const models::DesignMetrics& m) {
+  if (dir_.empty()) return;
+  CheckpointWriter w(fingerprint);
+  w.f64(m.area_mm2)
+      .f64(m.yield)
+      .f64(m.mttf_hours)
+      .f64(m.cost_usd)
+      .f64(m.access_ns)
+      .f64(m.overhead_pct);
+  w.save(entry_path(fingerprint));
+  stores_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.stores = stores_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace bisram::dse

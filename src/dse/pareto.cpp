@@ -1,0 +1,27 @@
+#include "dse/pareto.hpp"
+
+namespace bisram::dse {
+
+bool dominates(const models::DesignMetrics& a, const models::DesignMetrics& b) {
+  // Objective directions: area and cost down, yield and MTTF up.
+  const bool no_worse = a.area_mm2 <= b.area_mm2 && a.yield >= b.yield &&
+                        a.mttf_hours >= b.mttf_hours &&
+                        a.cost_usd <= b.cost_usd;
+  if (!no_worse) return false;
+  return a.area_mm2 < b.area_mm2 || a.yield > b.yield ||
+         a.mttf_hours > b.mttf_hours || a.cost_usd < b.cost_usd;
+}
+
+std::vector<std::size_t> pareto_frontier(
+    const std::vector<models::DesignMetrics>& points) {
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j)
+      dominated = j != i && dominates(points[j], points[i]);
+    if (!dominated) frontier.push_back(i);
+  }
+  return frontier;
+}
+
+}  // namespace bisram::dse

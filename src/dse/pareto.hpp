@@ -1,0 +1,30 @@
+#pragma once
+// Pareto-frontier extraction over the four DSE objectives: minimize
+// area, maximize yield, maximize MTTF, minimize cost. A point is
+// dominated when another point is at least as good on every objective
+// and strictly better on one; the frontier is the non-dominated subset.
+//
+// Everything here is deterministic: the frontier is reported in
+// ascending lattice-index order regardless of how many threads
+// evaluated the points, which is what lets the engine promise
+// bit-identical frontier JSON for any BISRAM_THREADS.
+
+#include <cstddef>
+#include <vector>
+
+#include "models/batch.hpp"
+
+namespace bisram::dse {
+
+/// True when `a` dominates `b`: a is no worse on all four objectives
+/// and strictly better on at least one. Ties on every objective
+/// dominate in neither direction (duplicates both stay).
+bool dominates(const models::DesignMetrics& a, const models::DesignMetrics& b);
+
+/// Indices into `points` of the non-dominated subset, ascending. O(n^2)
+/// pairwise scan — the lattice cap (SweepSpec::kMaxPoints) and the cost
+/// of compiling a point keep n far below where that matters.
+std::vector<std::size_t> pareto_frontier(
+    const std::vector<models::DesignMetrics>& points);
+
+}  // namespace bisram::dse

@@ -1,0 +1,324 @@
+#include "dse/space.hpp"
+
+#include <limits>
+
+#include "tech/tech_file.hpp"
+#include "util/checkpoint.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bisram::dse {
+
+namespace {
+
+/// Axis cardinality with the "empty = base value" convention.
+std::size_t card(std::size_t n) { return n == 0 ? 1 : n; }
+
+}  // namespace
+
+std::size_t SweepSpec::size() const {
+  // The parser caps the product at kMaxPoints, but size() is also called
+  // on hand-built sweeps (tests), so saturate instead of overflowing.
+  std::size_t n = 1;
+  for (std::size_t c : {card(words.size()), card(bpw.size()), card(bpc.size()),
+                        card(spare_rows.size()), card(gate_size.size()),
+                        card(tech.size())}) {
+    if (n > std::numeric_limits<std::size_t>::max() / c)
+      return std::numeric_limits<std::size_t>::max();
+    n *= c;
+  }
+  return n;
+}
+
+core::RamSpec SweepSpec::point(std::size_t i) const {
+  require(i < size(), "SweepSpec::point: index out of range");
+  core::RamSpec s = base;
+  // Mixed-radix decode, words fastest: the innermost digit is the axis
+  // listed first in the header comment.
+  auto digit = [&i](std::size_t n) {
+    const std::size_t c = card(n);
+    const std::size_t d = i % c;
+    i /= c;
+    return d;
+  };
+  const std::size_t iw = digit(words.size());
+  const std::size_t ib = digit(bpw.size());
+  const std::size_t ic = digit(bpc.size());
+  const std::size_t is = digit(spare_rows.size());
+  const std::size_t ig = digit(gate_size.size());
+  const std::size_t it = digit(tech.size());
+  if (!words.empty()) s.words = words[iw];
+  if (!bpw.empty()) s.bpw = bpw[ib];
+  if (!bpc.empty()) s.bpc = bpc[ic];
+  if (!spare_rows.empty()) s.spare_rows = spare_rows[is];
+  if (!gate_size.empty()) s.gate_size = gate_size[ig];
+  if (!tech.empty()) {
+    s.technology = tech[it].name;
+    s.custom_tech = tech[it].deck;  // null for registry decks
+  }
+  return s;
+}
+
+std::uint64_t point_fingerprint(const core::RamSpec& spec,
+                                const models::EvalParams& eval) {
+  Fingerprint fp;
+  fp.mix(kDseSchemaVersion);
+  fp.mix(spec.words);
+  fp.mix_i64(spec.bpw);
+  fp.mix_i64(spec.bpc);
+  fp.mix_i64(spec.spare_rows);
+  fp.mix_f64(spec.gate_size);
+  fp.mix_i64(spec.strap_interval);
+  fp.mix_f64(spec.strap_width_lambda);
+  // The deck by *content*, never by name: two decks that share a name
+  // but differ in a rule must not alias in the persistent cache.
+  fp.mix(tech::fingerprint(spec.resolved_technology()));
+  fp.mix_str(core::march_test_key(spec.test));
+  fp.mix_i64(spec.max_passes);
+  fp.mix(spec.johnson_backgrounds ? 1 : 0);
+  fp.mix_f64(eval.defects_per_cm2);
+  fp.mix_f64(eval.cluster_alpha);
+  fp.mix_f64(eval.lambda_per_hour);
+  fp.mix_f64(eval.wafer_mm);
+  fp.mix_f64(eval.wafer_cost_usd);
+  return fp.value();
+}
+
+std::uint64_t SweepSpec::point_fingerprint(std::size_t i) const {
+  return dse::point_fingerprint(point(i), eval);
+}
+
+std::uint64_t SweepSpec::fingerprint() const {
+  Fingerprint fp;
+  fp.mix(kDseSchemaVersion);
+  fp.mix(dse::point_fingerprint(base, eval));
+  auto mix_axis = [&fp](const auto& axis, auto&& each) {
+    fp.mix(static_cast<std::uint64_t>(axis.size()));
+    for (const auto& v : axis) each(v);
+  };
+  mix_axis(words, [&](std::uint32_t v) { fp.mix(v); });
+  mix_axis(bpw, [&](int v) { fp.mix_i64(v); });
+  mix_axis(bpc, [&](int v) { fp.mix_i64(v); });
+  mix_axis(spare_rows, [&](int v) { fp.mix_i64(v); });
+  mix_axis(gate_size, [&](double v) { fp.mix_f64(v); });
+  mix_axis(tech, [&](const TechChoice& v) {
+    fp.mix(tech::fingerprint(v.resolved()));
+  });
+  return fp.value();
+}
+
+namespace {
+
+void bad_type(DiagEngine& diag, const std::string& key, const JsonValue& v,
+              const char* want) {
+  diag.error("sweep-bad-type",
+             strfmt("\"%s\" must be a %s, got %s", key.c_str(), want,
+                    v.kind_name()),
+             v.line(), v.column());
+}
+
+/// Reads one numeric axis: a JSON array of numbers, each converted and
+/// range-checked by `accept` (which reports its own diagnostics).
+template <typename T, typename Accept>
+void read_axis(DiagEngine& diag, const std::string& key, const JsonValue& v,
+               std::vector<T>* out, Accept&& accept) {
+  if (!v.is_array()) {
+    bad_type(diag, key, v, "array of numbers");
+    return;
+  }
+  if (v.items().empty()) {
+    diag.error("sweep-empty-axis",
+               strfmt("axis \"%s\" is empty; omit it to sweep the base "
+                      "value only",
+                      key.c_str()),
+               v.line(), v.column());
+    return;
+  }
+  for (const JsonValue& item : v.items()) {
+    T value{};
+    if (accept(item, &value)) out->push_back(value);
+  }
+}
+
+template <typename T>
+auto int_in(DiagEngine& diag, const std::string& key, std::int64_t lo,
+            std::int64_t hi) {
+  return [&diag, key, lo, hi](const JsonValue& item, T* out) {
+    if (!item.is_number()) {
+      bad_type(diag, key, item, "number");
+      return false;
+    }
+    std::int64_t i = 0;
+    try {
+      i = item.as_i64();
+    } catch (const SpecError&) {
+      diag.error("sweep-bad-type",
+                 strfmt("axis \"%s\" entries must be integers", key.c_str()),
+                 item.line(), item.column());
+      return false;
+    }
+    if (i < lo || i > hi) {
+      diag.error("spec-bad-value",
+                 strfmt("axis \"%s\" entry %lld is outside [%lld, %lld]",
+                        key.c_str(), static_cast<long long>(i),
+                        static_cast<long long>(lo),
+                        static_cast<long long>(hi)),
+                 item.line(), item.column());
+      return false;
+    }
+    *out = static_cast<T>(i);
+    return true;
+  };
+}
+
+void read_axes(DiagEngine& diag, const JsonValue& v, SweepSpec* sweep) {
+  if (!v.is_object()) {
+    bad_type(diag, "axes", v, "object");
+    return;
+  }
+  for (const auto& [key, val] : v.members()) {
+    if (key == "words") {
+      read_axis(diag, key, val, &sweep->words,
+                int_in<std::uint32_t>(diag, key, 1, 1u << 28));
+    } else if (key == "bpw") {
+      read_axis(diag, key, val, &sweep->bpw, int_in<int>(diag, key, 1, 1024));
+    } else if (key == "bpc") {
+      read_axis(diag, key, val, &sweep->bpc, int_in<int>(diag, key, 1, 256));
+    } else if (key == "spare_rows") {
+      read_axis(diag, key, val, &sweep->spare_rows,
+                int_in<int>(diag, key, 0, 64));
+    } else if (key == "gate_size") {
+      read_axis(diag, key, val, &sweep->gate_size,
+                [&diag, &key](const JsonValue& item, double* out) {
+                  if (!item.is_number()) {
+                    bad_type(diag, key, item, "number");
+                    return false;
+                  }
+                  *out = item.as_double();
+                  return true;
+                });
+    } else if (key == "technology") {
+      read_axis(diag, key, val, &sweep->tech,
+                [&diag, &key](const JsonValue& item, TechChoice* out) {
+                  if (!item.is_string()) {
+                    bad_type(diag, key, item, "string");
+                    return false;
+                  }
+                  try {
+                    tech::technology(item.as_string());
+                  } catch (const SpecError& e) {
+                    diag.error("spec-bad-value", e.what(), item.line(),
+                               item.column());
+                    return false;
+                  }
+                  out->name = item.as_string();
+                  return true;
+                });
+    } else if (key == "tech_decks") {
+      read_axis(diag, key, val, &sweep->tech,
+                [&diag](const JsonValue& item, TechChoice* out) {
+                  if (!item.is_string()) {
+                    bad_type(diag, "tech_decks", item, "string");
+                    return false;
+                  }
+                  DiagEngine deck_diag(diag.file() + ":tech_decks");
+                  tech::Tech t =
+                      tech::read_tech_string(item.as_string(), &deck_diag);
+                  if (!deck_diag.ok()) {
+                    for (const Diagnostic& d : deck_diag.diagnostics())
+                      if (d.severity == Severity::Error)
+                        diag.error("spec-bad-tech-deck",
+                                   strfmt("tech deck line %d: %s", d.line,
+                                          d.message.c_str()),
+                                   item.line(), item.column());
+                    return false;
+                  }
+                  out->name = t.name;
+                  out->deck = std::make_shared<const tech::Tech>(std::move(t));
+                  return true;
+                });
+    } else {
+      diag.error("sweep-unknown-field",
+                 strfmt("unknown axis \"%s\" (known: words, bpw, bpc, "
+                        "spare_rows, gate_size, technology, tech_decks)",
+                        key.c_str()),
+                 val.line(), val.column());
+    }
+  }
+}
+
+void read_eval(DiagEngine& diag, const JsonValue& v, models::EvalParams* p) {
+  if (!v.is_object()) {
+    bad_type(diag, "eval", v, "object");
+    return;
+  }
+  for (const auto& [key, val] : v.members()) {
+    double* field = nullptr;
+    if (key == "defects_per_cm2") field = &p->defects_per_cm2;
+    else if (key == "cluster_alpha") field = &p->cluster_alpha;
+    else if (key == "lambda_per_hour") field = &p->lambda_per_hour;
+    else if (key == "wafer_mm") field = &p->wafer_mm;
+    else if (key == "wafer_cost_usd") field = &p->wafer_cost_usd;
+    if (field == nullptr) {
+      diag.error("sweep-unknown-field",
+                 strfmt("unknown eval parameter \"%s\"", key.c_str()),
+                 val.line(), val.column());
+      continue;
+    }
+    if (!val.is_number()) {
+      bad_type(diag, key, val, "number");
+      continue;
+    }
+    const double d = val.as_double();
+    if (d <= 0) {
+      diag.error("spec-bad-value",
+                 strfmt("\"%s\" must be positive", key.c_str()), val.line(),
+                 val.column());
+      continue;
+    }
+    *field = d;
+  }
+}
+
+}  // namespace
+
+SweepSpec SweepSpec::from_json(const std::string& text, DiagEngine* diag,
+                               const std::string& source) {
+  DiagEngine local(source);
+  DiagEngine& eng = diag ? *diag : local;
+  SweepSpec sweep;
+  const JsonValue v = parse_json(text, &eng, source);
+  if (eng.ok()) {
+    if (!v.is_object()) {
+      eng.error("sweep-bad-type",
+                strfmt("a sweep spec must be a JSON object, got %s",
+                       v.kind_name()),
+                v.line(), v.column());
+    } else {
+      for (const auto& [key, val] : v.members()) {
+        if (key == "base") {
+          sweep.base = core::RamSpec::from_json_value(val, eng);
+        } else if (key == "axes") {
+          read_axes(eng, val, &sweep);
+        } else if (key == "eval") {
+          read_eval(eng, val, &sweep.eval);
+        } else {
+          eng.error("sweep-unknown-field",
+                    strfmt("unknown sweep field \"%s\" (known: base, axes, "
+                           "eval)",
+                           key.c_str()),
+                    val.line(), val.column());
+        }
+      }
+      if (eng.ok() && sweep.size() > kMaxPoints)
+        eng.error("sweep-too-large",
+                  strfmt("lattice has %zu points; the cap is %zu",
+                         sweep.size(), kMaxPoints),
+                  v.line(), v.column());
+    }
+  }
+  if (!diag) local.throw_if_errors();
+  return sweep;
+}
+
+}  // namespace bisram::dse

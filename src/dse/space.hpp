@@ -1,0 +1,114 @@
+#pragma once
+// The design-space lattice: which parameter combinations a DSE sweep
+// visits. A SweepSpec is a base RamSpec plus one value list per swept
+// axis (words, bpw, bpc, spare_rows, gate_size, technology deck) and
+// the sweep-level evaluation constants; the lattice is the Cartesian
+// product of the axes, addressed by a single mixed-radix index so the
+// parallel engine can hand out points as plain integers.
+//
+// Identity is fingerprint-based all the way down (util/checkpoint.hpp's
+// Fingerprint): each lattice point hashes every input its metrics
+// depend on — the resolved spec fields, the *content* fingerprint of
+// its rule deck (tech::fingerprint, so renamed-but-identical decks hit
+// and same-named-but-edited decks miss), the march test, the eval
+// constants, and a schema version — and that hash is the persistent
+// result cache's key. Widening a sweep therefore re-uses every point
+// that already ran, and bumping the schema version orphans (rather than
+// misreads) every stale entry.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/spec.hpp"
+#include "models/batch.hpp"
+#include "tech/tech.hpp"
+#include "util/diag.hpp"
+
+namespace bisram::dse {
+
+/// One entry of the technology axis: a registry process by name, or a
+/// user deck (owned here; specs built from it share the pointer).
+struct TechChoice {
+  std::string name;
+  std::shared_ptr<const tech::Tech> deck;  ///< null = registry lookup
+
+  const tech::Tech& resolved() const {
+    return deck ? *deck : tech::technology(name);
+  }
+};
+
+/// Bump when the cached metrics payload or its meaning changes: every
+/// existing cache entry then fails its fingerprint check and recomputes.
+inline constexpr std::uint64_t kDseSchemaVersion = 1;
+
+struct SweepSpec {
+  /// Defaults for every field the axes do not sweep (test, passes,
+  /// straps, ... — and the starting value of the swept fields).
+  core::RamSpec base;
+
+  // Axis value lists; an empty axis means "the base value only".
+  std::vector<std::uint32_t> words;
+  std::vector<int> bpw;
+  std::vector<int> bpc;
+  std::vector<int> spare_rows;
+  std::vector<double> gate_size;
+  std::vector<TechChoice> tech;
+
+  models::EvalParams eval;
+
+  /// Lattice cardinality (product of the axis sizes, empty axes = 1).
+  std::size_t size() const;
+
+  /// The i-th lattice point (mixed-radix decode; words varies fastest,
+  /// then bpw, bpc, spare_rows, gate_size, technology). The returned
+  /// spec owns its deck via custom_tech when the axis entry is a user
+  /// deck. `i` must be < size().
+  core::RamSpec point(std::size_t i) const;
+
+  /// Sweep identity: schema version + every axis value + base spec +
+  /// eval constants. Named sweep runs with equal fingerprints are
+  /// reruns of the same sweep.
+  std::uint64_t fingerprint() const;
+
+  /// The persistent-cache key of point `i`: a pure function of the
+  /// resolved point spec (deck by content), the eval constants and the
+  /// schema version — independent of the sweep that contains it, so a
+  /// widened sweep hits the entries its predecessor stored.
+  std::uint64_t point_fingerprint(std::size_t i) const;
+
+  // --- JSON -------------------------------------------------------------
+  //
+  // { "base": { <RamSpec fields, core/spec.hpp schema> },
+  //   "axes": { "words": [..], "bpw": [..], "bpc": [..],
+  //             "spare_rows": [..], "gate_size": [..],
+  //             "technology": ["cda.7u3m1p", ...],
+  //             "tech_decks": ["<inline deck text>", ...] },
+  //   "eval": { "defects_per_cm2": X, "cluster_alpha": X,
+  //             "lambda_per_hour": X, "wafer_mm": X,
+  //             "wafer_cost_usd": X } }
+  //
+  // Diagnostics use stable codes: sweep-bad-type, sweep-unknown-field,
+  // sweep-empty-axis, sweep-too-large, plus the spec-* and json-*
+  // codes of the shared parsers.
+
+  /// Parses a sweep file. Same convention as every front-end parser
+  /// (util/diag.hpp): with a DiagEngine it never throws; without, it
+  /// throws DiagError on the first error.
+  static SweepSpec from_json(const std::string& text,
+                             DiagEngine* diag = nullptr,
+                             const std::string& source = "<sweep>");
+
+  /// Lattice points are capped so a typo'ed axis cannot demand a
+  /// billion compiles; from_json reports "sweep-too-large" above this.
+  static constexpr std::size_t kMaxPoints = 1u << 20;
+};
+
+/// The per-point cache key as a free function (the engine uses it with
+/// already-built specs). Mixes kDseSchemaVersion, every metric-relevant
+/// spec field, tech::fingerprint of the resolved deck, and `eval`.
+std::uint64_t point_fingerprint(const core::RamSpec& spec,
+                                const models::EvalParams& eval);
+
+}  // namespace bisram::dse

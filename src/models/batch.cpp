@@ -1,0 +1,53 @@
+#include "models/batch.hpp"
+
+#include <algorithm>
+
+#include "models/cost.hpp"
+#include "models/reliability.hpp"
+#include "models/yield.hpp"
+#include "util/parallel.hpp"
+
+namespace bisram::models {
+
+DesignMetrics evaluate_design(const EvalInputs& in, const EvalParams& p) {
+  DesignMetrics m;
+  m.area_mm2 = in.area_mm2;
+  m.access_ns = in.access_s * 1e9;
+  m.overhead_pct = in.overhead_pct;
+
+  // Yield: the nonredundant defect mean is density x base area (the
+  // paper's Fig. 4 x-axis); the BISR growth factor is the module's own
+  // measured area ratio, floored at 1 (a degenerate tiny module whose
+  // periphery dwarfs its array still has growth >= 1 by construction).
+  const double base_cm2 = std::max(in.base_area_mm2, 1e-9) * 1e-2;
+  const double defect_mean = p.defects_per_cm2 * base_cm2;
+  const double growth =
+      std::max(1.0, in.area_mm2 / std::max(in.base_area_mm2, 1e-9));
+  m.yield = bisr_yield(in.geo, defect_mean, p.cluster_alpha, growth);
+
+  m.mttf_hours = mttf_hours(in.geo, p.lambda_per_hour);
+
+  // Cost per good module: classic dies-per-wafer against the full
+  // module area, discounted by the yield just computed.
+  const double dpw = dies_per_wafer(p.wafer_mm, std::max(in.area_mm2, 1e-9));
+  m.cost_usd = dpw > 0 && m.yield > 0
+                   ? p.wafer_cost_usd / (dpw * m.yield)
+                   : 0.0;
+  return m;
+}
+
+std::vector<DesignMetrics> evaluate_designs(
+    const std::vector<EvalInputs>& inputs, const EvalParams& p, int threads,
+    const CancelToken* cancel) {
+  std::vector<DesignMetrics> out(inputs.size());
+  parallel_for(
+      static_cast<std::int64_t>(inputs.size()), /*chunk=*/8,
+      [&](std::int64_t i) {
+        out[static_cast<std::size_t>(i)] =
+            evaluate_design(inputs[static_cast<std::size_t>(i)], p);
+      },
+      threads, cancel);
+  return out;
+}
+
+}  // namespace bisram::models

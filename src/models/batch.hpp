@@ -1,0 +1,69 @@
+#pragma once
+// Batch design-point evaluation: the one entry point the DSE engine
+// (src/dse) calls per lattice point to turn a compiled module into the
+// four figures of merit the Pareto frontier trades off — silicon area,
+// manufacturing yield, mean time to failure, and cost per good die.
+// Each is computed by the existing per-model code (models/yield.hpp,
+// models/reliability.hpp, models/cost.hpp's dies-per-wafer estimate);
+// this header only fixes the composition so every caller (DSE engine,
+// bisram_dse CLI, tests) prices a design the same way.
+//
+// Everything here is closed-form and deterministic — no Monte Carlo, no
+// RNG — so a design point's metrics are a pure function of
+// (EvalInputs, EvalParams), which is what makes the DSE result cache
+// sound: equal fingerprints imply bit-identical metrics.
+
+#include <vector>
+
+#include "sim/ram_model.hpp"
+#include "util/cancel.hpp"
+
+namespace bisram::models {
+
+/// Sweep-level evaluation constants, shared by every point of a sweep
+/// (and mixed into every point's cache fingerprint).
+struct EvalParams {
+  double defects_per_cm2 = 0.5;   ///< process defect density
+  double cluster_alpha = 2.0;     ///< Stapper clustering parameter
+  double lambda_per_hour = 1e-9;  ///< hard cell-failure rate (reliability)
+  double wafer_mm = 200;          ///< wafer diameter for the cost model
+  double wafer_cost_usd = 1300;   ///< processed wafer cost
+};
+
+/// What one compiled design point hands the models: its geometry and
+/// the datasheet quantities the metrics derive from.
+struct EvalInputs {
+  sim::RamGeometry geo;
+  double area_mm2 = 0;       ///< full module area (with BIST+BISR+spares)
+  double base_area_mm2 = 0;  ///< array + decoders + periphery only
+  double access_s = 0;       ///< read access time
+  double overhead_pct = 0;   ///< Table-I BIST+BISR overhead
+};
+
+/// The DSE objective vector (plus the echoed datasheet quantities the
+/// frontier report carries).
+struct DesignMetrics {
+  double area_mm2 = 0;        ///< minimize
+  double yield = 0;           ///< maximize: BISR yield at EvalParams density
+  double mttf_hours = 0;      ///< maximize
+  double cost_usd = 0;        ///< minimize: wafer cost per good module
+  double access_ns = 0;       ///< reported (not a frontier objective)
+  double overhead_pct = 0;    ///< reported
+};
+
+/// Evaluates one point: Stapper/BISR yield at the sweep's defect
+/// density (defect mean = density x base cell-array area, grown by the
+/// module's measured BISR growth factor), closed-form MTTF, and wafer
+/// cost amortized over good modules (dies_per_wafer x yield).
+DesignMetrics evaluate_design(const EvalInputs& in, const EvalParams& p);
+
+/// Batch form over the campaign pool: metrics[i] corresponds to
+/// inputs[i]; bit-identical for any thread count. A cancelled run
+/// leaves un-evaluated entries value-initialized (yield == 0) — the
+/// caller tracks which indices completed (the DSE engine keeps its own
+/// per-point evaluated flags).
+std::vector<DesignMetrics> evaluate_designs(
+    const std::vector<EvalInputs>& inputs, const EvalParams& p,
+    int threads = 0, const CancelToken* cancel = nullptr);
+
+}  // namespace bisram::models

@@ -30,8 +30,15 @@ TimingGraph build_access_graph(const tech::Tech& t,
                                double gate_size) {
   const int row_bits =
       std::max(1, log2_ceil(static_cast<std::uint64_t>(geo.rows())));
-  const LeafTiming lt = characterize(t, gate_size, row_bits);
+  return build_access_graph(t, geo, gate_size,
+                            characterize(t, gate_size, row_bits));
+}
 
+TimingGraph build_access_graph(const tech::Tech& t,
+                               const sim::RamGeometry& geo, double gate_size,
+                               const LeafTiming& lt) {
+  const int row_bits =
+      std::max(1, log2_ceil(static_cast<std::uint64_t>(geo.rows())));
   const double lam = t.lambda_um;
   const double pitch_um = cells::kCellPitchLambda * lam;
   const auto& m1 = t.elec.wire[static_cast<std::size_t>(geom::Layer::Metal1)];
@@ -141,8 +148,15 @@ AccessTiming analyze_access_path(const tech::Tech& t,
                                  const AnalyzeOptions& options) {
   const int row_bits =
       std::max(1, log2_ceil(static_cast<std::uint64_t>(geo.rows())));
-  const LeafTiming lt = characterize(t, gate_size, row_bits);
-  const TimingGraph g = build_access_graph(t, geo, gate_size);
+  return analyze_access_path(t, geo, gate_size,
+                             characterize(t, gate_size, row_bits), options);
+}
+
+AccessTiming analyze_access_path(const tech::Tech& t,
+                                 const sim::RamGeometry& geo, double gate_size,
+                                 const LeafTiming& lt,
+                                 const AnalyzeOptions& options) {
+  const TimingGraph g = build_access_graph(t, geo, gate_size, lt);
   AnalyzeOptions opt = options;
   if (opt.k_paths < 1) opt.k_paths = 1;
   AccessTiming at;

@@ -44,6 +44,15 @@ struct AccessTiming {
 TimingGraph build_access_graph(const tech::Tech& t,
                                const sim::RamGeometry& geo, double gate_size);
 
+/// Same graph from pre-characterized leaf timing (`lt` must come from
+/// characterize()/characterize_uncached() for the same tech, gate size
+/// and row count). The staged compile API threads its session cache's
+/// LeafTiming through here so one deck's SPICE work is shared across
+/// every spec in a DSE sweep.
+TimingGraph build_access_graph(const tech::Tech& t,
+                               const sim::RamGeometry& geo, double gate_size,
+                               const LeafTiming& lt);
+
 /// Builds and analyzes the access-path graph, splitting the worst read
 /// path into the classic decoder/wordline/bitline/senseamp breakdown by
 /// arc tag. `options.clock_period_s` <= 0 analyzes unconstrained (the
@@ -52,6 +61,13 @@ TimingGraph build_access_graph(const tech::Tech& t,
 AccessTiming analyze_access_path(const tech::Tech& t,
                                  const sim::RamGeometry& geo,
                                  double gate_size,
+                                 const AnalyzeOptions& options = {});
+
+/// Pre-characterized-leaf overload (see build_access_graph above):
+/// bit-identical to the characterize()-path for the same inputs.
+AccessTiming analyze_access_path(const tech::Tech& t,
+                                 const sim::RamGeometry& geo, double gate_size,
+                                 const LeafTiming& lt,
                                  const AnalyzeOptions& options = {});
 
 }  // namespace bisram::sta

@@ -14,6 +14,8 @@
 // moved here so the whole timing stack (core's datasheet numbers, the
 // signoff timing check, the benches) draws from one source.
 
+#include <cstdint>
+
 #include "sim/ram_model.hpp"
 #include "tech/tech.hpp"
 
@@ -33,9 +35,16 @@ struct LeafTiming {
   double write_r_ohm = 0;     ///< write-driver bit-line drive resistance
 };
 
-/// Calibrated stage delay for a process (cached per technology; runs a
-/// SPICE transient on a balanced inverter driving a fan-out-of-4 load).
+/// Calibrated stage delay for a process (cached per deck fingerprint;
+/// runs a SPICE transient on a balanced inverter driving a fan-out-of-4
+/// load).
 double stage_delay_s(const tech::Tech& t);
+
+/// The same calibration with no cache involvement — one full SPICE
+/// sizing run per call. This is what core::CompileCache calls so its
+/// hit/miss accounting reflects real work (and what the warm-cache
+/// "zero re-characterizations" acceptance check counts).
+double stage_delay_uncached(const tech::Tech& t);
 
 /// Capacitance one cell adds to its word line (poly strip across the
 /// cell pitch plus two pass-transistor gates).
@@ -47,7 +56,21 @@ double bitline_cap_per_cell_f(const tech::Tech& t);
 
 /// Characterizes the leaf stages for a process / gate size / decoder
 /// width. Generates the cells, extracts them, and runs the netlist STA;
-/// results are cached per (technology, gate_size, row_bits).
+/// results are cached per (deck fingerprint, gate_size, row_bits) — the
+/// fingerprint (tech/tech.hpp) keys on deck *contents*, so user decks
+/// sharing a name never collide in the cache.
 LeafTiming characterize(const tech::Tech& t, double gate_size, int row_bits);
+
+/// The characterization work itself, no cache: generates, extracts and
+/// STA-analyzes every leaf stage on each call. core::CompileCache owns
+/// the memoization (per compile session or shared across sessions) and
+/// counts invocations of this function as "leaf characterizations".
+LeafTiming characterize_uncached(const tech::Tech& t, double gate_size,
+                                 int row_bits);
+
+/// Process-wide count of characterize_uncached / stage_delay_uncached
+/// executions (monotonic, thread-safe). The cache bit-identity tests and
+/// the DSE bench read this to prove a warm cache does zero SPICE work.
+std::uint64_t characterization_count();
 
 }  // namespace bisram::sta

@@ -1,5 +1,6 @@
 #include "tech/tech.hpp"
 
+#include "util/checkpoint.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -123,6 +124,27 @@ Tech make_scalable_tech(const std::string& name, double feature_um) {
           "make_scalable_tech: feature size out of the supported range "
           "(the paper targets 0.5 um and above)");
   return make(name, feature_um);
+}
+
+std::uint64_t fingerprint(const Tech& t) {
+  Fingerprint fp;
+  fp.mix_str(t.name).mix_f64(t.feature_um).mix_f64(t.lambda_um);
+  fp.mix_i64(t.metal_layers);
+  for (const LayerRule& r : t.layer) fp.mix_i64(r.min_width).mix_i64(r.min_space);
+  for (geom::Coord c :
+       {t.gate_poly_ext, t.diff_gate_ext, t.poly_diff_space, t.contact_size,
+        t.contact_space, t.contact_encl_diff, t.contact_encl_poly,
+        t.contact_encl_m1, t.via1_size, t.via1_encl, t.via2_size, t.via2_encl,
+        t.well_encl_diff, t.well_space})
+    fp.mix_i64(c);
+  fp.mix_f64(t.elec.vdd);
+  for (const MosParams* m : {&t.elec.nmos, &t.elec.pmos})
+    fp.mix_f64(m->vt0).mix_f64(m->kp).mix_f64(m->lambda_ch)
+        .mix_f64(m->cox_f_um2).mix_f64(m->cj_f_um2);
+  for (const WireParams& w : t.elec.wire)
+    fp.mix_f64(w.sheet_ohm).mix_f64(w.cap_area_f_um2).mix_f64(w.cap_fringe_f_um);
+  fp.mix_f64(t.timing.access_budget_s).mix_f64(t.timing.clock_period_s);
+  return fp.value();
 }
 
 }  // namespace bisram::tech

@@ -124,4 +124,12 @@ const Tech& mosis_06();
 /// feature size — the starting point user decks override (tech_file.hpp).
 Tech make_scalable_tech(const std::string& name, double feature_um);
 
+/// Content hash over every field of the deck (rules, electrical
+/// parameters, timing budgets — and the name, which reports carry).
+/// This is the cache key for everything that is a pure function of the
+/// rule deck: two decks that happen to share a name but differ in any
+/// rule get different fingerprints, so the leaf-timing and DSE caches
+/// can never serve one deck's results to the other.
+std::uint64_t fingerprint(const Tech& t);
+
 }  // namespace bisram::tech

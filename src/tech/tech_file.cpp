@@ -184,6 +184,12 @@ Tech read_tech_file(std::istream& is, DiagEngine* diag) {
           if (num(tok[i + 1], &v)) t.timing.access_budget_s = v * 1e-9;
         } else if (tok[i] == "clock_ns") {
           if (num(tok[i + 1], &v)) t.timing.clock_period_s = v * 1e-9;
+        } else if (tok[i] == "access_s") {
+          // Exact-seconds forms (what write_tech_string emits): no unit
+          // conversion, so a written deck parses back bit-identically.
+          if (num(tok[i + 1], &v)) t.timing.access_budget_s = v;
+        } else if (tok[i] == "clock_s") {
+          if (num(tok[i + 1], &v)) t.timing.clock_period_s = v;
         } else {
           eng.error("tech-unknown-attribute",
                     "unknown timing attribute '" + tok[i] + "'", line_no);
@@ -259,7 +265,7 @@ std::string write_tech_string(const Tech& t) {
   std::ostringstream os;
   os << "# BISRAMGEN technology deck\n";
   os << "name " << t.name << '\n';
-  os << "feature_um " << t.feature_um << '\n';
+  os << strfmt("feature_um %.17g\n", t.feature_um);
   os << "metals " << t.metal_layers << '\n';
   for (Layer l : geom::all_layers()) {
     const auto& r = t.rule(l);
@@ -285,21 +291,24 @@ std::string write_tech_string(const Tech& t) {
   rule("via2_encl", t.via2_encl);
   rule("well_encl_diff", t.well_encl_diff);
   rule("well_space", t.well_space);
-  os << "vdd " << t.elec.vdd << '\n';
-  os << strfmt("nmos vt0 %.9g kp %.9g lambda %.9g\n", t.elec.nmos.vt0,
+  os << strfmt("vdd %.17g\n", t.elec.vdd);
+  os << strfmt("nmos vt0 %.17g kp %.17g lambda %.17g\n", t.elec.nmos.vt0,
                t.elec.nmos.kp, t.elec.nmos.lambda_ch);
-  os << strfmt("pmos vt0 %.9g kp %.9g lambda %.9g\n", t.elec.pmos.vt0,
+  os << strfmt("pmos vt0 %.17g kp %.17g lambda %.17g\n", t.elec.pmos.vt0,
                t.elec.pmos.kp, t.elec.pmos.lambda_ch);
   for (Layer l : {Layer::Poly, Layer::Metal1, Layer::Metal2, Layer::Metal3}) {
     const auto& w = t.elec.wire[static_cast<std::size_t>(l)];
     os << "wire " << geom::layer_name(l)
-       << strfmt(" sheet %.9g area %.9g fringe %.9g\n", w.sheet_ohm,
+       << strfmt(" sheet %.17g area %.17g fringe %.17g\n", w.sheet_ohm,
                  w.cap_area_f_um2, w.cap_fringe_f_um);
   }
+  // Seconds, not the human-friendly ns: %.17g round-trips a double
+  // exactly, but an ns<->s conversion would cost the last ulp, and deck
+  // content fingerprints (tech::fingerprint) must survive a
+  // write/read cycle bit-identically.
   if (t.timing.access_budget_s > 0 || t.timing.clock_period_s > 0)
-    os << strfmt("timing access_ns %.9g clock_ns %.9g\n",
-                 t.timing.access_budget_s * 1e9,
-                 t.timing.clock_period_s * 1e9);
+    os << strfmt("timing access_s %.17g clock_s %.17g\n",
+                 t.timing.access_budget_s, t.timing.clock_period_s);
   return os.str();
 }
 

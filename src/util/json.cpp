@@ -1,7 +1,9 @@
 #include "util/json.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/error.hpp"
 
@@ -138,6 +140,361 @@ JsonWriter& JsonWriter::null() {
 const std::string& JsonWriter::str() const {
   require(stack_.empty(), "JsonWriter: unterminated object or array");
   return out_;
+}
+
+// --- JsonValue --------------------------------------------------------------
+
+bool JsonValue::as_bool() const {
+  require(kind_ == Kind::Bool, "JsonValue: not a bool");
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  require(kind_ == Kind::Number, "JsonValue: not a number");
+  return num_;
+}
+
+std::int64_t JsonValue::as_i64() const {
+  require(kind_ == Kind::Number, "JsonValue: not a number");
+  require(integral_, "JsonValue: number is not an integer");
+  return int_;
+}
+
+const std::string& JsonValue::as_string() const {
+  require(kind_ == Kind::String, "JsonValue: not a string");
+  return str_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  require(kind_ == Kind::Array, "JsonValue: not an array");
+  return arr_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  require(kind_ == Kind::Object, "JsonValue: not an object");
+  return obj_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const char* JsonValue::kind_name() const {
+  switch (kind_) {
+    case Kind::Null: return "null";
+    case Kind::Bool: return "bool";
+    case Kind::Number: return "number";
+    case Kind::String: return "string";
+    case Kind::Array: return "array";
+    case Kind::Object: return "object";
+  }
+  return "?";
+}
+
+// --- parser -----------------------------------------------------------------
+
+/// Recursive-descent reader over the raw text with line/column tracking.
+/// Errors go to the DiagEngine and abort the innermost value (the
+/// partial tree built so far is returned); the engine's saturation cap
+/// bounds the damage pathological input can do.
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, DiagEngine& diag)
+      : text_(text), diag_(diag) {}
+
+  JsonValue parse() {
+    JsonValue v = value(0);
+    skip_ws();
+    if (!failed_ && pos_ < text_.size())
+      error("json-trailing-garbage", "unexpected text after the document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 96;
+
+  void error(const char* code, const std::string& msg) {
+    failed_ = true;
+    if (!diag_.saturated()) diag_.error(code, msg, line_, column());
+  }
+
+  int column() const { return static_cast<int>(pos_ - line_start_) + 1; }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  char get() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      line_start_ = pos_;
+    }
+    return c;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') get();
+      else break;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    for (std::size_t i = 0; i < word.size(); ++i) get();
+    return true;
+  }
+
+  JsonValue value(int depth) {
+    JsonValue v;
+    skip_ws();
+    v.line_ = line_;
+    v.column_ = column();
+    if (pos_ >= text_.size()) {
+      error("json-expected-value", "unexpected end of input");
+      return v;
+    }
+    if (depth > kMaxDepth) {
+      error("json-too-deep", "nesting exceeds the parser depth limit");
+      // Swallow the rest of the balanced region crudely: just fail.
+      pos_ = text_.size();
+      return v;
+    }
+    const char c = peek();
+    if (c == '{') return object(std::move(v), depth);
+    if (c == '[') return array(std::move(v), depth);
+    if (c == '"') {
+      v.kind_ = JsonValue::Kind::String;
+      v.str_ = string_token();
+      return v;
+    }
+    if (c == 't') {
+      if (literal("true")) {
+        v.kind_ = JsonValue::Kind::Bool;
+        v.bool_ = true;
+      } else {
+        error("json-bad-token", "expected 'true'");
+        pos_ = text_.size();
+      }
+      return v;
+    }
+    if (c == 'f') {
+      if (literal("false")) {
+        v.kind_ = JsonValue::Kind::Bool;
+        v.bool_ = false;
+      } else {
+        error("json-bad-token", "expected 'false'");
+        pos_ = text_.size();
+      }
+      return v;
+    }
+    if (c == 'n') {
+      if (!literal("null")) {
+        error("json-bad-token", "expected 'null'");
+        pos_ = text_.size();
+      }
+      return v;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return number(std::move(v));
+    error("json-bad-token",
+          std::string("unexpected character '") + c + "' at start of value");
+    pos_ = text_.size();
+    return v;
+  }
+
+  JsonValue number(JsonValue v) {
+    const std::size_t start = pos_;
+    bool integral = true;
+    if (peek() == '-') get();
+    while (peek() >= '0' && peek() <= '9') get();
+    if (peek() == '.') {
+      integral = false;
+      get();
+      while (peek() >= '0' && peek() <= '9') get();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      integral = false;
+      get();
+      if (peek() == '+' || peek() == '-') get();
+      while (peek() >= '0' && peek() <= '9') get();
+    }
+    const std::string tok(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    errno = 0;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size() || tok == "-") {
+      error("json-bad-number", "malformed number '" + tok + "'");
+      return v;
+    }
+    v.kind_ = JsonValue::Kind::Number;
+    v.num_ = d;
+    if (integral) {
+      errno = 0;
+      const long long i = std::strtoll(tok.c_str(), &end, 10);
+      if (errno == 0 && end == tok.c_str() + tok.size()) {
+        v.integral_ = true;
+        v.int_ = i;
+      }
+    }
+    return v;
+  }
+
+  std::string string_token() {
+    std::string out;
+    get();  // opening quote
+    while (true) {
+      if (pos_ >= text_.size()) {
+        error("json-unterminated-string", "string runs past end of input");
+        return out;
+      }
+      const char c = get();
+      if (c == '"') return out;
+      if (c == '\n') {
+        error("json-unterminated-string", "newline inside string");
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        error("json-unterminated-string", "escape runs past end of input");
+        return out;
+      }
+      const char e = get();
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          bool ok = true;
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size()) { ok = false; break; }
+            const char h = get();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else { ok = false; break; }
+          }
+          if (!ok) {
+            error("json-bad-escape", "malformed \\u escape");
+            break;
+          }
+          // UTF-8 encode the BMP code point (surrogates pass through as
+          // replacement — the spec files this reader serves are ASCII).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          error("json-bad-escape",
+                std::string("unknown escape '\\") + e + "'");
+          break;
+      }
+    }
+  }
+
+  JsonValue array(JsonValue v, int depth) {
+    v.kind_ = JsonValue::Kind::Array;
+    get();  // '['
+    skip_ws();
+    if (peek() == ']') {
+      get();
+      return v;
+    }
+    while (true) {
+      v.arr_.push_back(value(depth + 1));
+      if (failed_) return v;
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        get();
+        continue;
+      }
+      if (c == ']') {
+        get();
+        return v;
+      }
+      error("json-expected-comma", "expected ',' or ']' in array");
+      return v;
+    }
+  }
+
+  JsonValue object(JsonValue v, int depth) {
+    v.kind_ = JsonValue::Kind::Object;
+    get();  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      get();
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') {
+        error("json-expected-key", "expected a string object key");
+        return v;
+      }
+      std::string key = string_token();
+      if (failed_) return v;
+      skip_ws();
+      if (peek() != ':') {
+        error("json-expected-colon", "expected ':' after object key");
+        return v;
+      }
+      get();
+      v.obj_.emplace_back(std::move(key), value(depth + 1));
+      if (failed_) return v;
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        get();
+        continue;
+      }
+      if (c == '}') {
+        get();
+        return v;
+      }
+      error("json-expected-comma", "expected ',' or '}' in object");
+      return v;
+    }
+  }
+
+  std::string_view text_;
+  DiagEngine& diag_;
+  std::size_t pos_ = 0;
+  std::size_t line_start_ = 0;
+  int line_ = 1;
+  bool failed_ = false;
+};
+
+JsonValue parse_json(std::string_view text, DiagEngine* diag,
+                     const std::string& source) {
+  DiagEngine local(source);
+  DiagEngine& eng = diag ? *diag : local;
+  JsonValue v = JsonParser(text, eng).parse();
+  if (!diag) local.throw_if_errors();
+  return v;
 }
 
 }  // namespace bisram

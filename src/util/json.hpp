@@ -1,13 +1,26 @@
 #pragma once
-// Minimal JSON emitter for the benchmark harnesses' --json mode. Builds
-// a document incrementally with automatic comma placement and string
-// escaping; no parsing, no DOM — the reports are write-only. Kept
-// dependency-free on purpose (the container ships no JSON library).
+// Minimal JSON emitter and reader, dependency-free on purpose (the
+// container ships no JSON library).
+//
+//   * JsonWriter — streaming emitter for the benchmark harnesses' and
+//     CLIs' --json mode: automatic comma placement and string escaping.
+//   * JsonValue / parse_json — a small DOM reader for the inputs that
+//     arrive as JSON (RamSpec::from_json, the DSE sweep-spec files).
+//     The parser follows the repo's front-end convention (util/diag.hpp):
+//     pass a DiagEngine and it never throws — diagnostics carry 1-based
+//     line:column positions and stable codes ("json-bad-token",
+//     "json-unterminated-string", ...) and the best-effort value the
+//     caller must gate on engine.ok(); pass none and it throws DiagError
+//     on the first hard stop.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "util/diag.hpp"
 
 namespace bisram {
 
@@ -52,5 +65,68 @@ class JsonWriter {
   bool need_comma_ = false;
   bool have_key_ = false;
 };
+
+/// One parsed JSON value. Object members keep document order (parsing
+/// and re-emitting is deterministic); lookups return the first match.
+/// Every value remembers the source position its token started at, so
+/// semantic validators (RamSpec::from_json, the sweep-spec reader) can
+/// report "spec-bad-value" diagnostics pointing into the user's file.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  /// Typed accessors; each throws bisram::SpecError on a kind mismatch
+  /// (callers validating user input should test the predicate first and
+  /// report through their DiagEngine instead).
+  bool as_bool() const;
+  double as_double() const;
+  /// The number as an integer; throws when the value is not a number or
+  /// not integral (e.g. 3.5) or overflows int64.
+  std::int64_t as_i64() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;  ///< array elements
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// 1-based source position of the value's first token (0 = unknown).
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+  /// "null", "bool", "number", "string", "array", "object".
+  const char* kind_name() const;
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0;
+  bool integral_ = false;  ///< token had no '.', 'e' and fits int64
+  std::int64_t int_ = 0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+  int line_ = 0;
+  int column_ = 0;
+};
+
+/// Parses one JSON document. `source` names the input in diagnostics
+/// (a path, "<sweep>", ...). With a DiagEngine: never throws, records
+/// structured diagnostics and returns a best-effort value (null where
+/// the text was unusable) the caller must gate on diag->ok(). Without
+/// one: throws DiagError (a SpecError) on the first error.
+JsonValue parse_json(std::string_view text, DiagEngine* diag = nullptr,
+                     const std::string& source = "<json>");
 
 }  // namespace bisram

@@ -7,9 +7,27 @@
 
 namespace bisram {
 
+namespace {
+
+/// Thread-safe ln Γ(x). libm's lgamma() writes the process-global
+/// `signgam` on every call — a data race whenever two threads compute a
+/// pmf concurrently (the DSE point loop and the campaign engines both
+/// do). lgamma_r takes the sign out-parameter locally instead; every
+/// argument in this file is positive, so the sign is discarded.
+double ln_gamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace
+
 double ln_factorial(std::int64_t n) {
   ensure(n >= 0, "ln_factorial: negative argument");
-  return std::lgamma(static_cast<double>(n) + 1.0);
+  return ln_gamma(static_cast<double>(n) + 1.0);
 }
 
 double ln_choose(std::int64_t n, std::int64_t k) {
@@ -48,8 +66,8 @@ double negbin_pmf(std::int64_t k, double mean, double alpha) {
   ensure(alpha > 0, "negbin_pmf: non-positive alpha");
   if (mean <= 0.0) return k == 0 ? 1.0 : 0.0;
   const double p = mean / (mean + alpha);  // "success" probability
-  const double ln = std::lgamma(alpha + static_cast<double>(k)) -
-                    ln_factorial(k) - std::lgamma(alpha) +
+  const double ln = ln_gamma(alpha + static_cast<double>(k)) -
+                    ln_factorial(k) - ln_gamma(alpha) +
                     static_cast<double>(k) * std::log(p) +
                     alpha * std::log1p(-p);
   return std::exp(ln);

@@ -1,5 +1,6 @@
 #include "util/parallel.hpp"
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <mutex>
@@ -36,6 +37,23 @@ class Pool {
     grow(count);
     for (int i = 0; i < count; ++i) queue_.push_back(job);
     cv_.notify_all();
+  }
+
+  /// Pops and runs one queued job on the calling thread; false when the
+  /// queue is empty. Lets a thread blocked in run_on_pool help drain the
+  /// queue instead of waiting: with nested parallel sections every
+  /// worker can be parked inside an outer wait, and without helping the
+  /// inner jobs they are waiting on would never be picked up (deadlock).
+  bool try_run_one() {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      if (queue_.empty()) return false;
+      job = std::move(queue_.front());
+      queue_.erase(queue_.begin());
+    }
+    job();
+    return true;
   }
 
  private:
@@ -123,8 +141,23 @@ void run_on_pool(int threads, const std::function<void()>& body) {
   } catch (...) {
     caller_error = std::current_exception();
   }
-  std::unique_lock<std::mutex> lock(sync->m);
-  sync->cv.wait(lock, [&] { return sync->remaining == 0; });
+  // Help-while-waiting: drain pool jobs instead of parking. A nested
+  // parallel section queues its helper jobs on the same global pool;
+  // if every worker is blocked here waiting on its own helpers, those
+  // jobs would otherwise never run. The timed wait only bounds how
+  // stale our "queue is empty" observation can get — completion itself
+  // is signalled through the condition variable as usual.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(sync->m);
+      if (sync->remaining == 0) break;
+    }
+    if (Pool::instance().try_run_one()) continue;
+    std::unique_lock<std::mutex> lock(sync->m);
+    if (sync->cv.wait_for(lock, std::chrono::milliseconds(1),
+                          [&] { return sync->remaining == 0; }))
+      break;
+  }
   if (caller_error) std::rethrow_exception(caller_error);
   if (sync->error) std::rethrow_exception(sync->error);
 }

@@ -167,7 +167,7 @@ TEST(Generate, UserTechnologyDeckDrivesGenerate) {
       "nmos vt0 0.7 kp 1e-04 lambda 0.04\n"
       "pmos vt0 -0.8 kp 3.5e-05 lambda 0.05\n");
   RamSpec s = small_spec();
-  s.custom_tech = &user;
+  s.custom_tech = std::make_shared<const tech::Tech>(user);
   const Generated g = generate(s);
   EXPECT_EQ(g.sheet.technology, "user.0p8u3m");
   EXPECT_GT(g.sheet.area_mm2, 0.0);

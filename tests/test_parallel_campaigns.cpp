@@ -119,6 +119,50 @@ TEST(ParallelReduce, EmptyAndSingleTrialEdges) {
   EXPECT_EQ(parallel_reduce<int>(5, 1000, 0, one, add), 5);
 }
 
+TEST(ParallelReduce, NestedParallelSectionsDoNotDeadlock) {
+  // Three levels of nesting on the shared pool — the DSE sweep shape:
+  // an outer point loop whose body compiles, and the compile itself
+  // runs parallel sections. Before callers helped drain the queue,
+  // every worker could end up parked in an outer wait while the inner
+  // jobs it was waiting on sat unclaimed behind it.
+  std::atomic<int> leaves{0};
+  parallel_for(
+      4, 1,
+      [&](std::int64_t) {
+        parallel_for(
+            4, 1,
+            [&](std::int64_t) {
+              parallel_for(
+                  4, 1, [&](std::int64_t) { leaves.fetch_add(1); },
+                  /*threads=*/4);
+            },
+            /*threads=*/4);
+      },
+      /*threads=*/4);
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(ParallelReduce, NestedReduceStaysBitIdenticalPerThreadCount) {
+  // The inner fold's association depends only on its own chunk size,
+  // nesting or not.
+  auto nested_sum = [](int outer_threads, int inner_threads) {
+    return parallel_reduce<double>(
+        8, 1, 0.0,
+        [&](std::int64_t i) {
+          return parallel_reduce<double>(
+              64, 8, 0.0,
+              [&](std::int64_t j) {
+                return 1.0 / (1.0 + static_cast<double>(i * 64 + j));
+              },
+              [](double a, double b) { return a + b; }, inner_threads);
+        },
+        [](double a, double b) { return a + b; }, outer_threads);
+  };
+  const double serial = nested_sum(1, 1);
+  EXPECT_EQ(serial, nested_sum(4, 4));
+  EXPECT_EQ(serial, nested_sum(8, 2));
+}
+
 TEST(ParallelReduce, PropagatesExceptionsFromWorkers) {
   ThreadGuard guard(4);
   auto boom = [&] {

@@ -1,0 +1,193 @@
+// RamSpec JSON I/O (core/spec.hpp) and the JSON DOM parser underneath
+// it (util/json.hpp): round-tripping, the non-throwing DiagEngine mode
+// with stable error codes and source positions, and hostile input.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/spec.hpp"
+#include "util/diag.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace bisram::core {
+namespace {
+
+bool has_code(const DiagEngine& diag, const std::string& code) {
+  for (const Diagnostic& d : diag.diagnostics())
+    if (d.code == code) return true;
+  return false;
+}
+
+TEST(SpecJson, RoundTripsEveryField) {
+  RamSpec s;
+  s.words = 1024;
+  s.bpw = 16;
+  s.bpc = 8;
+  s.spare_rows = 8;
+  s.gate_size = 3.5;
+  s.strap_interval = 8;
+  s.strap_width_lambda = 64.0;
+  s.technology = "cda.5u3m1p";
+  s.test = &march::march_c_minus();
+  s.max_passes = 4;
+  s.johnson_backgrounds = false;
+  s.run_drc = true;
+
+  const RamSpec back = RamSpec::from_json(s.to_json());
+  EXPECT_EQ(back.words, s.words);
+  EXPECT_EQ(back.bpw, s.bpw);
+  EXPECT_EQ(back.bpc, s.bpc);
+  EXPECT_EQ(back.spare_rows, s.spare_rows);
+  EXPECT_EQ(back.gate_size, s.gate_size);
+  EXPECT_EQ(back.strap_interval, s.strap_interval);
+  EXPECT_EQ(back.strap_width_lambda, s.strap_width_lambda);
+  EXPECT_EQ(back.technology, s.technology);
+  EXPECT_EQ(back.test, s.test);
+  EXPECT_EQ(back.max_passes, s.max_passes);
+  EXPECT_EQ(back.johnson_backgrounds, s.johnson_backgrounds);
+  EXPECT_EQ(back.run_drc, s.run_drc);
+  // And the round trip is a fixed point at the text level too.
+  EXPECT_EQ(back.to_json(), s.to_json());
+}
+
+TEST(SpecJson, RoundTripsInlineTechDeck) {
+  RamSpec s;
+  s.words = 256;
+  s.bpw = 8;
+  s.bpc = 4;
+  const tech::Tech user = [] {
+    RamSpec probe;
+    // Build a deck via the spec JSON path itself to avoid depending on
+    // tech_file.hpp here.
+    const RamSpec parsed = RamSpec::from_json(
+        "{\"tech_deck\": \"name user.0p8u3m\\nfeature_um 0.8\\nvdd 5.0\\n"
+        "nmos vt0 0.7 kp 1e-04 lambda 0.04\\n"
+        "pmos vt0 -0.8 kp 3.5e-05 lambda 0.05\\n\"}");
+    return *parsed.custom_tech;
+  }();
+  s.custom_tech = std::make_shared<const tech::Tech>(user);
+  s.technology = user.name;
+
+  const RamSpec back = RamSpec::from_json(s.to_json());
+  ASSERT_NE(back.custom_tech, nullptr);
+  EXPECT_EQ(back.custom_tech->name, "user.0p8u3m");
+  EXPECT_EQ(tech::fingerprint(*back.custom_tech),
+            tech::fingerprint(*s.custom_tech));
+}
+
+TEST(SpecJson, DefaultsWhenFieldsAbsent) {
+  const RamSpec s = RamSpec::from_json("{}");
+  const RamSpec d;
+  EXPECT_EQ(s.words, d.words);
+  EXPECT_EQ(s.bpw, d.bpw);
+  EXPECT_EQ(s.technology, d.technology);
+  EXPECT_EQ(s.test, d.test);
+}
+
+TEST(SpecJson, StableCodesWithPositions) {
+  DiagEngine diag("spec.json");
+  RamSpec::from_json(
+      "{\n"
+      " \"words\": \"many\",\n"
+      " \"bpw\": 99999,\n"
+      " \"test\": \"march-zz\",\n"
+      " \"frobnicate\": 1\n"
+      "}",
+      &diag, "spec.json");
+  EXPECT_FALSE(diag.ok());
+  EXPECT_TRUE(has_code(diag, "spec-bad-type"));      // words
+  EXPECT_TRUE(has_code(diag, "spec-bad-value"));     // bpw out of range
+  EXPECT_TRUE(has_code(diag, "spec-unknown-test"));  // march-zz
+  EXPECT_TRUE(has_code(diag, "spec-unknown-field"));
+  // Positions point into the document, not 0:0.
+  for (const Diagnostic& d : diag.diagnostics()) {
+    EXPECT_GT(d.line, 0);
+    EXPECT_GT(d.column, 0);
+  }
+}
+
+TEST(SpecJson, NonThrowingModeCollectsEverythingInOnePass) {
+  DiagEngine diag("spec.json");
+  RamSpec::from_json("{\"words\": -2, \"bpc\": 3000}", &diag, "spec.json");
+  // Both range errors reported, not just the first.
+  int errors = 0;
+  for (const Diagnostic& d : diag.diagnostics())
+    if (d.severity == Severity::Error) ++errors;
+  EXPECT_EQ(errors, 2);
+}
+
+TEST(SpecJson, ThrowingModeThrowsDiagError) {
+  EXPECT_THROW(RamSpec::from_json("{\"words\": \"x\"}"), DiagError);
+  EXPECT_THROW(RamSpec::from_json("not json at all"), DiagError);
+}
+
+TEST(SpecJson, SemanticValidationGoesThroughSpecInvalid) {
+  DiagEngine diag("spec.json");
+  // Well-typed and in per-field range, but words % bpc != 0.
+  RamSpec::from_json("{\"words\": 255, \"bpw\": 8, \"bpc\": 4}", &diag,
+                     "spec.json");
+  EXPECT_TRUE(has_code(diag, "spec-invalid"));
+}
+
+TEST(SpecJson, BadInlineDeckReportsUnderOneCode) {
+  DiagEngine diag("spec.json");
+  RamSpec::from_json("{\"tech_deck\": \"name x\\nbogus_rule 12\\n\"}", &diag,
+                     "spec.json");
+  EXPECT_TRUE(has_code(diag, "spec-bad-tech-deck"));
+}
+
+TEST(JsonParser, MalformedInputsHaveStableCodes) {
+  struct Case {
+    const char* text;
+    const char* code;
+  };
+  const Case cases[] = {
+      {"", "json-expected-value"},
+      {"{", "json-expected-key"},
+      {"{\"a\": }", "json-bad-token"},
+      {"[1, 2", "json-expected-comma"},
+      {"\"unterminated", "json-unterminated-string"},
+      {"\"bad \\q escape\"", "json-bad-escape"},
+      {"123abc", "json-trailing-garbage"},
+      {"{} extra", "json-trailing-garbage"},
+      {"nulp", "json-bad-token"},
+  };
+  for (const Case& c : cases) {
+    DiagEngine diag("t.json");
+    parse_json(c.text, &diag, "t.json");
+    EXPECT_TRUE(has_code(diag, c.code)) << c.text << " wanted " << c.code;
+  }
+}
+
+TEST(JsonParser, DepthIsBounded) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  DiagEngine diag("t.json");
+  parse_json(deep, &diag, "t.json");
+  EXPECT_TRUE(has_code(diag, "json-too-deep"));
+}
+
+TEST(JsonParser, DomAccessorsAndPositions) {
+  const JsonValue v = parse_json(
+      "{\n \"a\": [1, 2.5, true, null, \"s\\u00e9\"],\n \"b\": -7\n}");
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->items().size(), 5u);
+  EXPECT_EQ(a->items()[0].as_i64(), 1);
+  EXPECT_EQ(a->items()[1].as_double(), 2.5);
+  EXPECT_TRUE(a->items()[2].as_bool());
+  EXPECT_TRUE(a->items()[3].is_null());
+  EXPECT_EQ(a->items()[4].as_string(), "s\xc3\xa9");  // é -> UTF-8
+  EXPECT_EQ(v.find("b")->as_i64(), -7);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_EQ(a->line(), 2);  // positions track the source document
+  // A non-integral number refuses as_i64 with a typed error.
+  EXPECT_THROW(a->items()[1].as_i64(), SpecError);
+}
+
+}  // namespace
+}  // namespace bisram::core
