@@ -15,6 +15,7 @@ using geom::Coord;
 using geom::Layer;
 using geom::LayoutDB;
 using geom::Rect;
+using geom::ShapeSplice;
 using geom::TileIndex;
 
 namespace {
@@ -276,6 +277,373 @@ std::vector<Violation> check(const geom::Cell& top, const tech::Tech& tech,
                              const DrcOptions& options) {
   return check(geom::LayoutDB(top, tile_size_for(tech)), tech, options);
 }
+
+// --- incremental checker -----------------------------------------------------
+//
+// Strategy: keep every violation check() would have found (untruncated)
+// tagged with (phase, emitter, seq), where
+//
+//   * phase is the scan that produced it — width of layer l is 2l,
+//     spacing of layer l is 2l+1, via rule vi is 2*kLayerCount+vi, well
+//     coverage comes last. This is exactly the order check()
+//     concatenates its per-rule lists in.
+//   * emitter is the shape id the homed per-tile pass emitted it from,
+//     and seq orders a single emitter's reports (the spacing partner
+//     id; 0 = lower / 1 = upper for via enclosure).
+//
+// check()'s final stable_sort only has to break ties between
+// violations with EQUAL canonical keys. An equal key pins the rule
+// phase (kind + layer, and for the three via phases the layer is the
+// via layer) and rect a's lo corner — i.e. the emitter's home tile. So
+// within an equal-key group check()'s pre-sort sequence is just the
+// per-tile emission order: ascending emitter, then seq. Sorting the
+// records by (phase, emitter, seq) before the same stable canonical
+// sort therefore reproduces check()'s output bit-for-bit, without ever
+// replaying the full tile sweep.
+//
+// An edit then only has to (a) drop/renumber records through the
+// shape-id splice and (b) re-emit records for shapes whose predicate
+// could have changed; everything else provably still holds (surviving
+// shapes keep their rects, and their instance paths are unaffected by
+// an edit in a disjoint subtree).
+
+struct IncrementalDrc::Impl {
+  struct Rec {
+    int phase;
+    std::uint32_t emitter;
+    std::uint32_t seq;
+    Violation v;
+  };
+  /// Spacing state for one layer: the touching pairs (i < j, packed
+  /// i<<32|j) the component merge is built from, and each shape's
+  /// canonical component label — the smallest member id of its
+  /// component. Labels are unique per component (a label is a member),
+  /// so a shape pair's same-component predicate can only flip if one
+  /// endpoint's label changes; and a splice remaps labels of untouched
+  /// components monotonically, so "label != remapped old label" is an
+  /// exact change detector.
+  struct SpaceCache {
+    std::vector<std::uint64_t> edges;
+    std::vector<std::uint32_t> label;
+  };
+
+  const LayoutDB* db;
+  tech::Tech tech;
+  DrcOptions opt;
+  std::vector<ViaRule> via_rules;
+  std::vector<Rec> recs;
+  std::array<SpaceCache, geom::kLayerCount> space;
+
+  static std::uint64_t pack(std::uint32_t i, std::uint32_t j) {
+    return (static_cast<std::uint64_t>(i) << 32) | j;
+  }
+
+  int width_phase(Layer l) const { return 2 * static_cast<int>(l); }
+  int space_phase(Layer l) const { return 2 * static_cast<int>(l) + 1; }
+  int via_phase(std::size_t vi) const {
+    return 2 * geom::kLayerCount + static_cast<int>(vi);
+  }
+  int well_phase() const {
+    return 2 * geom::kLayerCount + static_cast<int>(via_rules.size());
+  }
+
+  /// Collapsed root table from an edge list (the same partition
+  /// check()'s serial union-find produces; root identities differ but
+  /// only same-root comparisons and per-component minima are used).
+  static std::vector<std::uint32_t> roots_of(
+      std::size_t n, const std::vector<std::uint64_t>& edges) {
+    std::vector<std::uint32_t> parent(n);
+    for (std::uint32_t i = 0; i < n; ++i) parent[i] = i;
+    auto find = [&](std::uint32_t x) {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+    for (std::uint64_t e : edges) {
+      const auto a = find(static_cast<std::uint32_t>(e >> 32));
+      const auto b = find(static_cast<std::uint32_t>(e));
+      if (a != b) parent[a] = b;
+    }
+    for (std::uint32_t i = 0; i < n; ++i) parent[i] = find(i);
+    return parent;
+  }
+
+  /// label[i] = smallest shape id in i's component.
+  static std::vector<std::uint32_t> labels_of(
+      const std::vector<std::uint32_t>& root) {
+    std::vector<std::uint32_t> first(root.size(), ShapeSplice::kRemoved);
+    std::vector<std::uint32_t> label(root.size());
+    for (std::uint32_t i = 0; i < root.size(); ++i) {
+      if (first[root[i]] == ShapeSplice::kRemoved) first[root[i]] = i;
+      label[i] = first[root[i]];
+    }
+    return label;
+  }
+
+  void emit_width(Layer layer, std::uint32_t i) {
+    const auto& r = db->rects(layer)[i];
+    recs.push_back({width_phase(layer), i, 0,
+                    {RuleKind::MinWidth, layer, r, {}, "",
+                     db->path_name(db->shapes(layer)[i].path)}});
+  }
+
+  void emit_space(Layer layer, std::uint32_t i, std::uint32_t j, Coord gap,
+                  Coord min_space) {
+    const auto& shapes = db->shapes(layer);
+    const auto& rects = db->rects(layer);
+    recs.push_back({space_phase(layer), i, j,
+                    {RuleKind::MinSpace, layer, rects[i], rects[j],
+                     space_note(gap, min_space), db->path_name(shapes[i].path),
+                     db->path_name(shapes[j].path)}});
+  }
+
+  void scan_via(std::size_t vi, std::uint32_t i) {
+    const ViaRule& vr = via_rules[vi];
+    const Rect& via = db->rects(vr.via)[i];
+    bool landed = false;
+    for (Layer lower : vr.lower)
+      if (enclosed_by_any(via.expanded(vr.encl_lower), db->index(lower),
+                          db->rects(lower)))
+        landed = true;
+    if (!landed)
+      recs.push_back({via_phase(vi), i, 0,
+                      {RuleKind::ViaEnclosure, vr.via, via, {},
+                       "missing lower-layer enclosure",
+                       db->path_name(db->shapes(vr.via)[i].path)}});
+    if (!enclosed_by_any(via.expanded(vr.encl_upper), db->index(vr.upper),
+                         db->rects(vr.upper)))
+      recs.push_back({via_phase(vi), i, 1,
+                      {RuleKind::ViaEnclosure, vr.via, via, {},
+                       "missing upper-layer enclosure",
+                       db->path_name(db->shapes(vr.via)[i].path)}});
+  }
+
+  void scan_well(std::uint32_t i) {
+    const Rect& pd = db->rects(Layer::PDiff)[i];
+    if (!enclosed_by_any(pd.expanded(tech.well_encl_diff),
+                         db->index(Layer::NWell), db->rects(Layer::NWell)))
+      recs.push_back({well_phase(), i, 0,
+                      {RuleKind::WellCoverage, Layer::PDiff, pd, {},
+                       "pdiff not enclosed by nwell",
+                       db->path_name(db->shapes(Layer::PDiff)[i].path)}});
+  }
+
+  void full_scan() {
+    for (Layer layer : geom::all_layers()) {
+      const auto& rule = tech.rule(layer);
+      const auto& rects = db->rects(layer);
+      const auto& idx = db->index(layer);
+      if (rects.empty()) continue;
+
+      if (rule.min_width > 0) {
+        for (std::uint32_t i = 0; i < rects.size(); ++i)
+          if (std::min(rects[i].width(), rects[i].height()) < rule.min_width)
+            emit_width(layer, i);
+      }
+      if (rule.min_space > 0) {
+        auto& sc = space[static_cast<std::size_t>(layer)];
+        sc.edges.clear();
+        for (std::uint32_t i = 0; i < rects.size(); ++i)
+          idx.for_each_in(rects[i], [&](std::uint32_t j) {
+            if (j > i) sc.edges.push_back(pack(i, j));
+          });
+        const auto root = roots_of(rects.size(), sc.edges);
+        sc.label = labels_of(root);
+        for (std::uint32_t i = 0; i < rects.size(); ++i)
+          idx.for_each_in(rects[i].expanded(rule.min_space),
+                          [&](std::uint32_t j) {
+                            if (j <= i || root[i] == root[j]) return;
+                            const Coord gap = geom::rect_gap(rects[i], rects[j]);
+                            if (gap < rule.min_space)
+                              emit_space(layer, i, j, gap, rule.min_space);
+                          });
+      }
+    }
+    for (std::size_t vi = 0; vi < via_rules.size(); ++vi)
+      for (std::uint32_t i = 0; i < db->rects(via_rules[vi].via).size(); ++i)
+        scan_via(vi, i);
+    for (std::uint32_t i = 0; i < db->rects(Layer::PDiff).size(); ++i)
+      scan_well(i);
+  }
+
+  /// Drops phase-`phase` records whose emitter (and, when
+  /// `remap_seq`, partner) was removed or is in `affected`, renumbering
+  /// the survivors through the splice.
+  void filter_phase(int phase, const ShapeSplice& sp,
+                    const std::vector<char>& affected, bool remap_seq) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < recs.size(); ++r) {
+      Rec rec = std::move(recs[r]);
+      if (rec.phase == phase) {
+        const std::uint32_t e = sp.remap(rec.emitter);
+        if (e == ShapeSplice::kRemoved || affected[e]) continue;
+        rec.emitter = e;
+        if (remap_seq) {
+          const std::uint32_t s = sp.remap(rec.seq);
+          if (s == ShapeSplice::kRemoved || affected[s]) continue;
+          rec.seq = s;
+        }
+      }
+      recs[w++] = std::move(rec);
+    }
+    recs.resize(w);
+  }
+
+  void update_layer(Layer layer, const geom::EditResult& edit) {
+    const auto& rule = tech.rule(layer);
+    const ShapeSplice& sp = edit.splice_of(layer);
+    const auto& rects = db->rects(layer);
+    const auto& idx = db->index(layer);
+    const std::vector<char> none(rects.size() + 1, 0);
+
+    if (rule.min_width > 0) {
+      filter_phase(width_phase(layer), sp, none, false);
+      for (std::uint32_t k = sp.begin; k < sp.new_end; ++k)
+        if (std::min(rects[k].width(), rects[k].height()) < rule.min_width)
+          emit_width(layer, k);
+    }
+    if (rule.min_space == 0) return;
+
+    auto& sc = space[static_cast<std::size_t>(layer)];
+
+    // 1. Carry surviving edges across the splice (a monotone remap, so
+    //    the i<j packing is preserved).
+    std::vector<std::uint64_t> edges;
+    edges.reserve(sc.edges.size());
+    for (std::uint64_t e : sc.edges) {
+      const std::uint32_t a = sp.remap(static_cast<std::uint32_t>(e >> 32));
+      const std::uint32_t b = sp.remap(static_cast<std::uint32_t>(e));
+      if (a == ShapeSplice::kRemoved || b == ShapeSplice::kRemoved) continue;
+      edges.push_back(pack(a, b));
+    }
+    // 2. Discover the inserted shapes' edges. A pair of two inserted
+    //    shapes is found from both ends; keep the lower end's visit.
+    auto is_new = [&](std::uint32_t id) {
+      return id >= sp.begin && id < sp.new_end;
+    };
+    for (std::uint32_t k = sp.begin; k < sp.new_end; ++k)
+      idx.for_each_in(rects[k], [&](std::uint32_t j) {
+        if (j == k || (is_new(j) && j < k)) return;
+        edges.push_back(pack(std::min(j, k), std::max(j, k)));
+      });
+
+    // 3. Rebuild the partition and labels; a shape is affected when it
+    //    is new or its component label changed (exactly the shapes
+    //    whose same-component predicate can have flipped).
+    const auto root = roots_of(rects.size(), edges);
+    auto label = labels_of(root);
+    std::vector<char> affected(rects.size() + 1, 0);
+    for (std::uint32_t k = sp.begin; k < sp.new_end; ++k) affected[k] = 1;
+    for (std::uint32_t o = 0; o < sc.label.size(); ++o) {
+      const std::uint32_t n = sp.remap(o);
+      if (n == ShapeSplice::kRemoved) continue;
+      if (sp.remap(sc.label[o]) != label[n]) affected[n] = 1;
+    }
+    sc.edges = std::move(edges);
+    sc.label = std::move(label);
+
+    // 4. Splice the surviving spacing records and rescan the affected
+    //    shapes. Scanning ascending, a pair of two affected shapes is
+    //    emitted from its lower member's visit.
+    filter_phase(space_phase(layer), sp, affected, true);
+    for (std::uint32_t k = 0; k < rects.size(); ++k) {
+      if (!affected[k]) continue;
+      idx.for_each_in(rects[k].expanded(rule.min_space), [&](std::uint32_t j) {
+        if (j == k || root[j] == root[k]) return;
+        if (affected[j] && j < k) return;
+        const Coord gap = geom::rect_gap(rects[k], rects[j]);
+        if (gap < rule.min_space)
+          emit_space(layer, std::min(j, k), std::max(j, k), gap,
+                     rule.min_space);
+      });
+    }
+  }
+
+  /// Ids of `idx` whose rect intersects any dirty rect expanded by
+  /// `reach` (Minkowski: r.expanded(reach) hits the dirty region iff r
+  /// hits the region expanded by reach), OR'd into `affected`.
+  static void mark_dirty(const TileIndex& idx, const std::vector<Rect>& dirty,
+                         Coord reach, std::vector<char>& affected) {
+    for (const Rect& d : dirty)
+      idx.for_each_in(d.expanded(reach),
+                      [&](std::uint32_t id) { affected[id] = 1; });
+  }
+
+  void update(const geom::EditResult& edit) {
+    for (Layer layer : geom::all_layers())
+      if (edit.touches(layer)) update_layer(layer, edit);
+
+    for (std::size_t vi = 0; vi < via_rules.size(); ++vi) {
+      const ViaRule& vr = via_rules[vi];
+      const ShapeSplice& sp = edit.splice_of(vr.via);
+      std::vector<Rect> lower_dirty, upper_dirty;
+      for (Layer lower : vr.lower)
+        for (const Rect& d : edit.dirty_rects(lower)) lower_dirty.push_back(d);
+      for (const Rect& d : edit.dirty_rects(vr.upper)) upper_dirty.push_back(d);
+      if (sp.empty() && lower_dirty.empty() && upper_dirty.empty()) continue;
+
+      const auto& via_idx = db->index(vr.via);
+      std::vector<char> affected(db->rects(vr.via).size() + 1, 0);
+      for (std::uint32_t k = sp.begin; k < sp.new_end; ++k) affected[k] = 1;
+      mark_dirty(via_idx, lower_dirty, vr.encl_lower, affected);
+      mark_dirty(via_idx, upper_dirty, vr.encl_upper, affected);
+
+      filter_phase(via_phase(vi), sp, affected, false);
+      for (std::uint32_t i = 0; i < db->rects(vr.via).size(); ++i)
+        if (affected[i]) scan_via(vi, i);
+    }
+
+    {
+      const ShapeSplice& sp = edit.splice_of(Layer::PDiff);
+      const auto nwell_dirty = edit.dirty_rects(Layer::NWell);
+      if (!sp.empty() || !nwell_dirty.empty()) {
+        const auto& pdiff_idx = db->index(Layer::PDiff);
+        std::vector<char> affected(db->rects(Layer::PDiff).size() + 1, 0);
+        for (std::uint32_t k = sp.begin; k < sp.new_end; ++k) affected[k] = 1;
+        mark_dirty(pdiff_idx, nwell_dirty, tech.well_encl_diff, affected);
+        filter_phase(well_phase(), sp, affected, false);
+        for (std::uint32_t i = 0; i < db->rects(Layer::PDiff).size(); ++i)
+          if (affected[i]) scan_well(i);
+      }
+    }
+  }
+
+  std::vector<Violation> report() const {
+    std::vector<const Rec*> order;
+    order.reserve(recs.size());
+    for (const Rec& r : recs) order.push_back(&r);
+    std::sort(order.begin(), order.end(), [](const Rec* x, const Rec* y) {
+      return std::make_tuple(x->phase, x->emitter, x->seq) <
+             std::make_tuple(y->phase, y->emitter, y->seq);
+    });
+    std::vector<Violation> out;
+    out.reserve(order.size());
+    for (const Rec* r : order) out.push_back(r->v);
+    std::stable_sort(out.begin(), out.end(), canon_less);
+    if (out.size() > opt.max_violations) out.resize(opt.max_violations);
+    return out;
+  }
+};
+
+IncrementalDrc::IncrementalDrc(const geom::LayoutDB& db, const tech::Tech& tech,
+                               const DrcOptions& options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->db = &db;
+  impl_->tech = tech;
+  impl_->opt = options;
+  impl_->via_rules = via_rules_for(tech);
+  impl_->full_scan();
+}
+
+IncrementalDrc::~IncrementalDrc() = default;
+
+void IncrementalDrc::update(const geom::EditResult& edit) {
+  impl_->update(edit);
+}
+
+std::vector<Violation> IncrementalDrc::report() const { return impl_->report(); }
 
 // --- reference checker (pre-LayoutDB seed implementation) --------------------
 

@@ -21,6 +21,7 @@
 // (contact pad bridged to a gate by a stub). This also skips true
 // same-polygon notches — an accepted approximation.
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -89,6 +90,52 @@ std::vector<Violation> check(const geom::Cell& top, const tech::Tech& tech,
 std::vector<Violation> check_reference(const geom::Cell& top,
                                        const tech::Tech& tech,
                                        const DrcOptions& options = {});
+
+/// Incremental re-check over an edited LayoutDB. Construct it once from
+/// a full scan, then after every LayoutDB::apply feed the returned
+/// EditResult to update(); report() is bit-identical to running
+/// drc::check(db, tech, options) from scratch on the database's current
+/// contents, but update() only re-verifies shapes the edit could have
+/// affected:
+///
+///   * min-width: only the inserted shapes (a surviving rect's width
+///     cannot change).
+///   * min-space: the checker keeps the per-layer connectivity edges
+///     (touching pairs) and a canonical component label per shape; an
+///     edit re-verifies the inserted shapes plus every shape whose
+///     component label changed — exactly the shapes whose "same merged
+///     polygon" predicate can have flipped — and splices the surviving
+///     violations across the shape-id renumbering.
+///   * via enclosure / well coverage: vias (pdiffs) inside the edit's
+///     dirty region expanded by the rule's reach, found by an indexed
+///     window query.
+///
+/// The database must outlive the checker, and every apply() on it must
+/// be fed to update() before the next report(). update()/report() are
+/// single-threaded and deterministic, so the report is bit-identical
+/// for any BISRAM_THREADS value (DrcOptions::threads only shapes the
+/// initial full scan's reduction, which is deterministic too).
+class IncrementalDrc {
+ public:
+  IncrementalDrc(const geom::LayoutDB& db, const tech::Tech& tech,
+                 const DrcOptions& options = {});
+  ~IncrementalDrc();
+  IncrementalDrc(const IncrementalDrc&) = delete;
+  IncrementalDrc& operator=(const IncrementalDrc&) = delete;
+
+  /// Consumes the EditResult of one LayoutDB::apply on the tracked
+  /// database (call once per apply, in order).
+  void update(const geom::EditResult& edit);
+
+  /// The full violation list for the database's current contents, in
+  /// canonical order, truncated to DrcOptions::max_violations —
+  /// bit-identical to drc::check.
+  std::vector<Violation> report() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Human-readable one-line description of a violation (includes the
 /// instance path when provenance is available).

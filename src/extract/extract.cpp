@@ -260,4 +260,521 @@ Extracted extract(const geom::Cell& top, const tech::Tech& tech) {
   return extract(geom::LayoutDB(top), tech);
 }
 
+// --- incremental extraction --------------------------------------------------
+//
+// Piece-id space (identical to extract()'s): diffusion split segments
+// first — every NDiff shape's segments in shape order, then every
+// PDiff shape's — then the step-2 layers' shapes verbatim, in the same
+// {Poly, M1, M2, M3, Contact, Via1, Via2} order. The caches below are
+// keyed so that after an edit the surviving pieces renumber by pure
+// prefix arithmetic: per-shape segment lists for the diffusion blocks,
+// the LayoutDB's own shape ids for the step-2 blocks.
+
+namespace {
+
+/// Step-2 piece layers, in extract()'s concatenation order.
+constexpr Layer kStep2[] = {Layer::Poly,    Layer::Metal1, Layer::Metal2,
+                            Layer::Metal3,  Layer::Contact, Layer::Via1,
+                            Layer::Via2};
+constexpr std::size_t kStep2Count = sizeof(kStep2) / sizeof(kStep2[0]);
+
+int step2_slot(Layer l) {
+  for (std::size_t t = 0; t < kStep2Count; ++t)
+    if (kStep2[t] == l) return static_cast<int>(t);
+  return -1;
+}
+
+/// Layers a piece on `l` electrically merges with (the connects()
+/// relation above, as adjacency lists for targeted index queries).
+const std::vector<Layer>& connect_targets(Layer l) {
+  static const std::vector<Layer> none;
+  static const std::vector<Layer> table[] = {
+      /*NDiff*/ {Layer::NDiff, Layer::Contact},
+      /*PDiff*/ {Layer::PDiff, Layer::Contact},
+      /*Poly*/ {Layer::Poly, Layer::Contact},
+      /*Metal1*/ {Layer::Metal1, Layer::Contact, Layer::Via1},
+      /*Metal2*/ {Layer::Metal2, Layer::Via1, Layer::Via2},
+      /*Metal3*/ {Layer::Metal3, Layer::Via2},
+      /*Contact*/ {Layer::Metal1, Layer::Poly, Layer::NDiff, Layer::PDiff},
+      /*Via1*/ {Layer::Metal1, Layer::Metal2},
+      /*Via2*/ {Layer::Metal2, Layer::Metal3},
+  };
+  switch (l) {
+    case Layer::NDiff: return table[0];
+    case Layer::PDiff: return table[1];
+    case Layer::Poly: return table[2];
+    case Layer::Metal1: return table[3];
+    case Layer::Metal2: return table[4];
+    case Layer::Metal3: return table[5];
+    case Layer::Contact: return table[6];
+    case Layer::Via1: return table[7];
+    case Layer::Via2: return table[8];
+    default: return none;
+  }
+}
+
+constexpr std::uint32_t kNoPiece = 0xffffffffu;
+
+}  // namespace
+
+struct IncrementalExtract::Impl {
+  /// One device site of a diffusion shape's split, in local segment
+  /// coordinates. gate_pid is the Poly *shape id* of the crossing gate
+  /// (renumbered through poly splices); any shape of the gate's merged
+  /// poly net would do, since only its component root feeds net_of.
+  struct LocalSite {
+    Rect gate_poly;
+    Rect channel;
+    std::uint32_t gate_pid;
+    std::uint32_t left;   // local segment index
+    std::uint32_t right;
+  };
+  /// The cached split of one diffusion shape.
+  struct Entry {
+    std::vector<Rect> segs;
+    std::vector<LocalSite> sites;
+  };
+  /// Piece-id layout of the current state (prefix sums).
+  struct Blocks {
+    std::array<std::vector<std::uint32_t>, 2> entry_start;  // per-shape, n+1
+    std::array<std::uint32_t, kStep2Count> step2_start;
+    std::uint32_t total = 0;
+  };
+
+  const LayoutDB* db;
+  tech::Tech tech;
+  std::array<std::vector<Entry>, 2> entries;  // [0]=NDiff, [1]=PDiff
+  std::vector<std::uint64_t> edges;           // packed (i<<32)|j, i<j
+  Extracted out;
+
+  static Layer diff_layer(int dl_i) {
+    return dl_i == 0 ? Layer::NDiff : Layer::PDiff;
+  }
+  static std::uint64_t pack(std::uint32_t i, std::uint32_t j) {
+    return (static_cast<std::uint64_t>(i) << 32) | j;
+  }
+
+  /// Splits one diffusion rect exactly as extract() step 1 does: the
+  /// gate rects are collected in poly-id order and sorted with the
+  /// same comparator, so segment boundaries match bit-for-bit.
+  Entry compute_entry(const Rect& diff) const {
+    Entry e;
+    const auto& polys = db->rects(Layer::Poly);
+    std::vector<std::uint32_t> pids;
+    std::vector<Rect> gates;
+    db->index(Layer::Poly).for_each_in(diff, [&](std::uint32_t pid) {
+      if (crosses(polys[pid], diff)) {
+        pids.push_back(pid);
+        gates.push_back(polys[pid]);
+      }
+    });
+    if (gates.empty()) {
+      e.segs.push_back(diff);
+      return e;
+    }
+    const bool split_x = gates[0].lo.y <= diff.lo.y;  // vertical gates
+    std::sort(gates.begin(), gates.end(), [&](const Rect& a, const Rect& b) {
+      return split_x ? a.lo.x < b.lo.x : a.lo.y < b.lo.y;
+    });
+    geom::Coord pos = split_x ? diff.lo.x : diff.lo.y;
+    for (const Rect& g : gates) {
+      e.segs.push_back(split_x ? Rect::ltrb(pos, diff.lo.y, g.lo.x, diff.hi.y)
+                               : Rect::ltrb(diff.lo.x, pos, diff.hi.x, g.lo.y));
+      pos = split_x ? g.hi.x : g.hi.y;
+    }
+    e.segs.push_back(split_x
+                         ? Rect::ltrb(pos, diff.lo.y, diff.hi.x, diff.hi.y)
+                         : Rect::ltrb(diff.lo.x, pos, diff.hi.x, diff.hi.y));
+    for (std::uint32_t g = 0; g < gates.size(); ++g) {
+      LocalSite s;
+      s.gate_poly = gates[g];
+      s.channel = gates[g].intersection(diff);
+      s.gate_pid = kNoPiece;
+      for (std::size_t k = 0; k < pids.size(); ++k)
+        if (polys[pids[k]] == gates[g]) {
+          s.gate_pid = pids[k];
+          break;
+        }
+      s.left = g;
+      s.right = g + 1;
+      e.sites.push_back(s);
+    }
+    return e;
+  }
+
+  Blocks blocks() const {
+    Blocks b;
+    std::uint32_t acc = 0;
+    for (int dl_i = 0; dl_i < 2; ++dl_i) {
+      const auto& es = entries[dl_i];
+      b.entry_start[dl_i].resize(es.size() + 1);
+      for (std::size_t s = 0; s < es.size(); ++s) {
+        b.entry_start[dl_i][s] = acc;
+        acc += static_cast<std::uint32_t>(es[s].segs.size());
+      }
+      b.entry_start[dl_i][es.size()] = acc;
+    }
+    for (std::size_t t = 0; t < kStep2Count; ++t) {
+      b.step2_start[t] = acc;
+      acc += static_cast<std::uint32_t>(db->rects(kStep2[t]).size());
+    }
+    b.total = acc;
+    return b;
+  }
+
+  /// extract()'s first_piece_on, answered from the per-layer LayoutDB
+  /// indexes and the cached splits instead of a global piece index:
+  /// the lowest piece id on `layer` intersecting `window`.
+  std::uint32_t first_piece(Layer layer, const Rect& window,
+                            const Blocks& b) const {
+    std::uint32_t found = kNoPiece;
+    if (layer == Layer::NDiff || layer == Layer::PDiff) {
+      const int dl_i = layer == Layer::NDiff ? 0 : 1;
+      db->index(layer).for_each_in(window, [&](std::uint32_t s) {
+        if (found != kNoPiece) return;  // shape ids arrive ascending
+        const auto& segs = entries[dl_i][s].segs;
+        for (std::uint32_t t = 0; t < segs.size(); ++t)
+          if (segs[t].intersects(window)) {
+            found = b.entry_start[dl_i][s] + t;
+            return;
+          }
+      });
+      return found;
+    }
+    const int slot = step2_slot(layer);
+    if (slot < 0) return kNoPiece;  // no pieces live on this layer
+    db->index(layer).for_each_in(window, [&](std::uint32_t s) {
+      if (found == kNoPiece) found = b.step2_start[slot] + s;
+    });
+    return found;
+  }
+
+  /// Steps 4-7 of extract(), re-run over the cached pieces: net ids are
+  /// minted in global visit order, so every edit renumbers them and the
+  /// numbering passes must be linear re-passes. Bit-identical to
+  /// extract() by visiting in the same order (devices, then ports, then
+  /// capacitance in piece order).
+  void rebuild_result(const Blocks& b) {
+    std::vector<std::uint32_t> parent(b.total);
+    for (std::uint32_t i = 0; i < b.total; ++i) parent[i] = i;
+    auto find = [&](std::uint32_t x) {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+    for (std::uint64_t e : edges) {
+      const auto a = find(static_cast<std::uint32_t>(e >> 32));
+      const auto bb = find(static_cast<std::uint32_t>(e));
+      if (a != bb) parent[a] = bb;
+    }
+
+    out = Extracted{};
+    std::vector<int> root_net(b.total, -1);
+    auto net_of = [&](std::uint32_t piece) {
+      const std::uint32_t root = find(piece);
+      if (root_net[root] < 0) root_net[root] = out.net_count++;
+      return root_net[root];
+    };
+
+    // Memoized provenance strings: devices repeat a small set of paths.
+    std::vector<std::string> path_memo(db->path_count());
+    std::vector<char> path_done(db->path_count(), 0);
+    auto path_of = [&](std::uint32_t node) -> const std::string& {
+      if (!path_done[node]) {
+        path_memo[node] = db->path_name(node);
+        path_done[node] = 1;
+      }
+      return path_memo[node];
+    };
+
+    const double um_per_dbu = tech.lambda_um / 10.0;
+    const std::uint32_t poly_start = b.step2_start[0];
+    for (int dl_i = 0; dl_i < 2; ++dl_i) {
+      const Layer dl = diff_layer(dl_i);
+      const auto& shapes = db->shapes(dl);
+      for (std::size_t s = 0; s < entries[dl_i].size(); ++s) {
+        const std::uint32_t base = b.entry_start[dl_i][s];
+        for (const LocalSite& site : entries[dl_i][s].sites) {
+          Device d;
+          d.type = dl_i == 1 ? spice::MosType::Pmos : spice::MosType::Nmos;
+          d.gate = net_of(poly_start + site.gate_pid);
+          d.source = net_of(base + site.left);
+          d.drain = net_of(base + site.right);
+          const bool split_x = site.gate_poly.lo.y <= site.channel.lo.y;
+          const geom::Coord w =
+              split_x ? site.channel.height() : site.channel.width();
+          const geom::Coord l =
+              split_x ? site.channel.width() : site.channel.height();
+          d.w_um = static_cast<double>(w) * um_per_dbu;
+          d.l_um = static_cast<double>(l) * um_per_dbu;
+          d.path = path_of(shapes[s].path);
+          out.devices.push_back(d);
+        }
+      }
+    }
+
+    for (const auto& port : db->ports()) {
+      const std::uint32_t i = first_piece(port.layer, port.rect, b);
+      require(i != kNoPiece, "extract: port '" + port.name +
+                                 "' touches no geometry on its layer");
+      out.port_net[port.name] = net_of(i);
+    }
+
+    out.net_cap_f.assign(static_cast<std::size_t>(out.net_count), 0.0);
+    auto add_cap = [&](std::uint32_t i, Layer layer, const Rect& r) {
+      if (geom::is_via(layer)) return;
+      const auto& wp = tech.elec.wire[static_cast<std::size_t>(layer)];
+      if (wp.cap_area_f_um2 == 0.0 && wp.cap_fringe_f_um == 0.0) return;
+      const double w = static_cast<double>(r.width()) * um_per_dbu;
+      const double h = static_cast<double>(r.height()) * um_per_dbu;
+      const int net = net_of(i);
+      if (static_cast<std::size_t>(net) >= out.net_cap_f.size())
+        out.net_cap_f.resize(static_cast<std::size_t>(net) + 1, 0.0);
+      out.net_cap_f[static_cast<std::size_t>(net)] +=
+          w * h * wp.cap_area_f_um2 + 2.0 * (w + h) * wp.cap_fringe_f_um;
+    };
+    std::uint32_t gid = 0;
+    for (int dl_i = 0; dl_i < 2; ++dl_i)
+      for (const Entry& e : entries[dl_i])
+        for (const Rect& seg : e.segs) add_cap(gid++, diff_layer(dl_i), seg);
+    for (std::size_t t = 0; t < kStep2Count; ++t)
+      for (const Rect& r : db->rects(kStep2[t])) add_cap(gid++, kStep2[t], r);
+  }
+
+  void init() {
+    for (int dl_i = 0; dl_i < 2; ++dl_i) {
+      const auto& rects = db->rects(diff_layer(dl_i));
+      entries[dl_i].reserve(rects.size());
+      for (const Rect& r : rects) entries[dl_i].push_back(compute_entry(r));
+    }
+    const Blocks b = blocks();
+
+    // One transient global piece index, queried exactly like extract()
+    // step 3; the surviving edge list is what update() splices.
+    std::vector<Rect> piece_rects;
+    std::vector<std::uint8_t> piece_layer;
+    piece_rects.reserve(b.total);
+    piece_layer.reserve(b.total);
+    for (int dl_i = 0; dl_i < 2; ++dl_i)
+      for (const Entry& e : entries[dl_i])
+        for (const Rect& seg : e.segs) {
+          piece_rects.push_back(seg);
+          piece_layer.push_back(static_cast<std::uint8_t>(diff_layer(dl_i)));
+        }
+    for (std::size_t t = 0; t < kStep2Count; ++t)
+      for (const Rect& r : db->rects(kStep2[t])) {
+        piece_rects.push_back(r);
+        piece_layer.push_back(static_cast<std::uint8_t>(kStep2[t]));
+      }
+    const TileIndex piece_index(piece_rects, db->tile_size());
+    auto connects = [](Layer a, Layer bb) {
+      if (a == bb)
+        return a != Layer::Contact && a != Layer::Via1 && a != Layer::Via2;
+      for (Layer m : connect_targets(a))
+        if (m == bb) return true;
+      return false;
+    };
+    for (std::uint32_t i = 0; i < b.total; ++i)
+      piece_index.for_each_in(piece_rects[i], [&](std::uint32_t j) {
+        if (j <= i) return;
+        if (connects(static_cast<Layer>(piece_layer[i]),
+                     static_cast<Layer>(piece_layer[j])))
+          edges.push_back(pack(i, j));
+      });
+    rebuild_result(b);
+  }
+
+  void update(const geom::EditResult& edit) {
+    bool touched = false;
+    for (Layer l : {Layer::NDiff, Layer::PDiff, Layer::Poly, Layer::Metal1,
+                    Layer::Metal2, Layer::Metal3, Layer::Contact, Layer::Via1,
+                    Layer::Via2})
+      touched = touched || edit.touches(l);
+    if (!touched) return;  // nothing electrical changed; result is current
+
+    const auto& sp_poly = edit.splice_of(Layer::Poly);
+    const auto poly_dirty = edit.dirty_rects(Layer::Poly);
+
+    // Capture the pre-edit piece layout before touching the caches.
+    std::array<std::vector<std::uint32_t>, 2> old_lens;
+    for (int dl_i = 0; dl_i < 2; ++dl_i) {
+      old_lens[dl_i].reserve(entries[dl_i].size());
+      for (const Entry& e : entries[dl_i])
+        old_lens[dl_i].push_back(static_cast<std::uint32_t>(e.segs.size()));
+    }
+    std::array<std::uint32_t, kStep2Count> old_step2_count;
+    for (std::size_t t = 0; t < kStep2Count; ++t)
+      old_step2_count[t] = static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(db->rects(kStep2[t]).size()) -
+          edit.splice_of(kStep2[t]).delta());
+
+    // Refresh the diffusion splits: inserted shapes get fresh entries;
+    // surviving shapes whose rect intersects the dirty poly region are
+    // recomputed (their gate set may have changed); everything else is
+    // carried, with cached gate poly ids renumbered through the poly
+    // splice. fresh[k] marks entries whose old pieces are invalid.
+    std::array<std::vector<char>, 2> fresh;
+    for (int dl_i = 0; dl_i < 2; ++dl_i) {
+      const Layer dl = diff_layer(dl_i);
+      const auto& sp = edit.splice_of(dl);
+      const auto& rects = db->rects(dl);
+      std::vector<Entry> inserted;
+      inserted.reserve(sp.new_end - sp.begin);
+      for (std::uint32_t k = sp.begin; k < sp.new_end; ++k)
+        inserted.push_back(compute_entry(rects[k]));
+      auto& es = entries[dl_i];
+      es.erase(es.begin() + sp.begin, es.begin() + sp.old_end);
+      es.insert(es.begin() + sp.begin,
+                std::make_move_iterator(inserted.begin()),
+                std::make_move_iterator(inserted.end()));
+
+      fresh[dl_i].assign(es.size(), 0);
+      for (std::uint32_t k = sp.begin; k < sp.new_end; ++k)
+        fresh[dl_i][k] = 1;
+      for (const Rect& d : poly_dirty)
+        for (std::uint32_t k : db->index(dl).ids_in(d))
+          if (!fresh[dl_i][k]) {
+            es[k] = compute_entry(rects[k]);
+            fresh[dl_i][k] = 1;
+          }
+      if (!sp_poly.empty()) {
+        for (std::size_t k = 0; k < es.size(); ++k) {
+          if (fresh[dl_i][k]) continue;
+          for (LocalSite& site : es[k].sites) {
+            site.gate_pid = sp_poly.remap(site.gate_pid);
+            ensure(site.gate_pid != geom::ShapeSplice::kRemoved,
+                   "IncrementalExtract: gate poly vanished without "
+                   "dirtying its diffusion");
+          }
+        }
+      }
+    }
+
+    const Blocks nb = blocks();
+
+    // Old-to-new piece id map (kNoPiece = the piece no longer exists).
+    std::uint32_t old_total = 0;
+    for (int dl_i = 0; dl_i < 2; ++dl_i)
+      for (std::uint32_t len : old_lens[dl_i]) old_total += len;
+    // Old step-2 blocks start after all old diffusion pieces.
+    std::array<std::uint32_t, kStep2Count> old_step2_start;
+    {
+      std::uint32_t acc = old_total;
+      for (std::size_t t = 0; t < kStep2Count; ++t) {
+        old_step2_start[t] = acc;
+        acc += old_step2_count[t];
+      }
+      old_total = acc;
+    }
+    std::vector<std::uint32_t> pmap(old_total, kNoPiece);
+    {
+      std::uint32_t o = 0;
+      for (int dl_i = 0; dl_i < 2; ++dl_i) {
+        const auto& sp = edit.splice_of(diff_layer(dl_i));
+        for (std::uint32_t s = 0; s < old_lens[dl_i].size(); ++s) {
+          const std::uint32_t len = old_lens[dl_i][s];
+          const std::uint32_t k = sp.remap(s);
+          if (k != geom::ShapeSplice::kRemoved && !fresh[dl_i][k])
+            for (std::uint32_t t = 0; t < len; ++t)
+              pmap[o + t] = nb.entry_start[dl_i][k] + t;
+          o += len;
+        }
+      }
+      for (std::size_t t = 0; t < kStep2Count; ++t) {
+        const auto& sp = edit.splice_of(kStep2[t]);
+        for (std::uint32_t s = 0; s < old_step2_count[t]; ++s) {
+          const std::uint32_t r = sp.remap(s);
+          if (r != geom::ShapeSplice::kRemoved)
+            pmap[old_step2_start[t] + s] = nb.step2_start[t] + r;
+        }
+      }
+    }
+
+    // New pieces, for edge discovery and its both-new dedup.
+    std::vector<char> is_new(nb.total, 0);
+    for (int dl_i = 0; dl_i < 2; ++dl_i)
+      for (std::size_t k = 0; k < entries[dl_i].size(); ++k)
+        if (fresh[dl_i][k])
+          for (std::uint32_t t = 0; t < entries[dl_i][k].segs.size(); ++t)
+            is_new[nb.entry_start[dl_i][k] + t] = 1;
+    for (std::size_t t = 0; t < kStep2Count; ++t) {
+      const auto& sp = edit.splice_of(kStep2[t]);
+      for (std::uint32_t s = sp.begin; s < sp.new_end; ++s)
+        is_new[nb.step2_start[t] + s] = 1;
+    }
+
+    // Splice the surviving edges, then discover the new pieces' edges
+    // through the per-layer indexes (and the cached splits, for
+    // diffusion targets). A pair of two new pieces is kept from its
+    // lower member's visit only.
+    std::vector<std::uint64_t> kept;
+    kept.reserve(edges.size());
+    for (std::uint64_t e : edges) {
+      const std::uint32_t a = pmap[static_cast<std::uint32_t>(e >> 32)];
+      const std::uint32_t b2 = pmap[static_cast<std::uint32_t>(e)];
+      if (a == kNoPiece || b2 == kNoPiece) continue;
+      kept.push_back(pack(a, b2));
+    }
+    edges = std::move(kept);
+    auto discover = [&](Layer from, const Rect& r, std::uint32_t g) {
+      for (Layer m : connect_targets(from)) {
+        if (m == Layer::NDiff || m == Layer::PDiff) {
+          const int mi = m == Layer::NDiff ? 0 : 1;
+          db->index(m).for_each_in(r, [&](std::uint32_t s) {
+            const auto& segs = entries[mi][s].segs;
+            const std::uint32_t base = nb.entry_start[mi][s];
+            for (std::uint32_t t = 0; t < segs.size(); ++t) {
+              if (!segs[t].intersects(r)) continue;
+              const std::uint32_t h = base + t;
+              if (h == g || (is_new[h] && h < g)) continue;
+              edges.push_back(pack(std::min(g, h), std::max(g, h)));
+            }
+          });
+        } else {
+          const int slot = step2_slot(m);
+          db->index(m).for_each_in(r, [&](std::uint32_t s) {
+            const std::uint32_t h = nb.step2_start[slot] + s;
+            if (h == g || (is_new[h] && h < g)) return;
+            edges.push_back(pack(std::min(g, h), std::max(g, h)));
+          });
+        }
+      }
+    };
+    for (int dl_i = 0; dl_i < 2; ++dl_i)
+      for (std::size_t k = 0; k < entries[dl_i].size(); ++k) {
+        if (!fresh[dl_i][k]) continue;
+        const auto& segs = entries[dl_i][k].segs;
+        for (std::uint32_t t = 0; t < segs.size(); ++t)
+          discover(diff_layer(dl_i), segs[t],
+                   nb.entry_start[dl_i][k] + t);
+      }
+    for (std::size_t t = 0; t < kStep2Count; ++t) {
+      const auto& sp = edit.splice_of(kStep2[t]);
+      const auto& rects = db->rects(kStep2[t]);
+      for (std::uint32_t s = sp.begin; s < sp.new_end; ++s)
+        discover(kStep2[t], rects[s], nb.step2_start[t] + s);
+    }
+
+    rebuild_result(nb);
+  }
+};
+
+IncrementalExtract::IncrementalExtract(const geom::LayoutDB& db,
+                                       const tech::Tech& tech)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->db = &db;
+  impl_->tech = tech;
+  impl_->init();
+}
+
+IncrementalExtract::~IncrementalExtract() = default;
+
+void IncrementalExtract::update(const geom::EditResult& edit) {
+  impl_->update(edit);
+}
+
+const Extracted& IncrementalExtract::result() const { return impl_->out; }
+
 }  // namespace bisram::extract

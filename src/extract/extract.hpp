@@ -9,6 +9,7 @@
 // to nets so tests can verify the topology of generated cells.
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -56,5 +57,45 @@ Extracted extract(const geom::LayoutDB& db, const tech::Tech& tech);
 
 /// Convenience: flattens `top` into a LayoutDB and extracts it.
 Extracted extract(const geom::Cell& top, const tech::Tech& tech);
+
+/// Incremental extraction over an edited LayoutDB. Construct it once
+/// (a full extraction that additionally caches the expensive geometric
+/// intermediates), then after every LayoutDB::apply feed the returned
+/// EditResult to update(); result() is bit-identical to
+/// extract::extract(db, tech) on the database's current contents.
+///
+/// What is cached and what is recomputed: the diffusion split (gate
+/// recognition + segment pieces + device sites) is kept per diffusion
+/// shape and recomputed only for shapes the edit inserted or whose
+/// rect intersects the edit's dirty poly region; the electrical
+/// adjacency edges are kept globally and spliced across the piece-id
+/// renumbering, with fresh edges discovered only around inserted
+/// pieces via the database's per-layer tile indexes. Net numbering,
+/// devices, ports and capacitance are then linear re-passes over the
+/// cached pieces — they must be, because net ids are minted in global
+/// visit order and an edit shifts them globally — which is still far
+/// cheaper than the quadratic-ish window queries they replace.
+///
+/// The database must outlive the extractor, and every apply() on it
+/// must be fed to update() (once, in order). Deterministic and
+/// thread-invariant.
+class IncrementalExtract {
+ public:
+  IncrementalExtract(const geom::LayoutDB& db, const tech::Tech& tech);
+  ~IncrementalExtract();
+  IncrementalExtract(const IncrementalExtract&) = delete;
+  IncrementalExtract& operator=(const IncrementalExtract&) = delete;
+
+  /// Consumes the EditResult of one LayoutDB::apply on the tracked
+  /// database and refreshes the extraction.
+  void update(const geom::EditResult& edit);
+
+  /// The current netlist (valid until the next update()).
+  const Extracted& result() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace bisram::extract

@@ -17,6 +17,21 @@
 
 namespace bisram::geom {
 
+/// Flatten-recursion depth cap shared by Cell::flatten and
+/// LayoutDB: a hierarchy nested deeper than this (or one with an
+/// instance cycle, which recurses forever) aborts with a
+/// "layout-flatten-too-deep" DiagError instead of overflowing the
+/// stack — the same bounded-recursion policy as the JSON parser's
+/// depth cap. Generated macros are ~6 levels deep; 64 is headroom,
+/// not a real design bound.
+inline constexpr int kMaxFlattenDepth = 64;
+
+/// Total-instance cap for one flatten
+/// ("layout-flatten-too-many-instances"): bounds time and memory on
+/// combinatorially exploding hierarchies. 1 << 26 instances is ~50x
+/// the Fig. 7 128 KB macro.
+inline constexpr std::size_t kMaxFlattenInstances = std::size_t{1} << 26;
+
 /// One rectangle on one layer.
 struct Shape {
   Layer layer = Layer::Metal1;
@@ -69,7 +84,10 @@ class Cell {
   /// Total shape count in the fully flattened cell.
   std::size_t flat_shape_count() const;
 
-  /// Visits every shape of the flattened hierarchy with its absolute rect.
+  /// Visits every shape of the flattened hierarchy with its absolute
+  /// rect. Refuses hierarchies deeper than kMaxFlattenDepth or larger
+  /// than kMaxFlattenInstances with a DiagError ("layout-flatten-*"
+  /// codes) instead of overflowing the stack.
   void flatten(const std::function<void(Layer, const Rect&)>& visit) const;
 
   /// Flattened shapes collected per layer (convenience over flatten()).
@@ -89,7 +107,8 @@ class Cell {
 
  private:
   void flatten_into(const Transform& t,
-                    const std::function<void(Layer, const Rect&)>& visit) const;
+                    const std::function<void(Layer, const Rect&)>& visit,
+                    int depth, std::size_t& instances) const;
 
   std::string name_;
   std::vector<Shape> shapes_;

@@ -98,6 +98,16 @@ Rect Transform::apply(const Rect& r) const {
   return Rect::ltrb(p0.x, p0.y, p1.x, p1.y);
 }
 
+Transform Transform::inverse() const {
+  // The inverse of an orthogonal {-1,0,1} matrix is its transpose; the
+  // inverse offset is -(M^T * offset).
+  const Mat& m = mat(orient_);
+  const Mat t{m.a, m.c, m.b, m.d};
+  const Point o{-(t.a * offset_.x + t.b * offset_.y),
+                -(t.c * offset_.x + t.d * offset_.y)};
+  return Transform(orient_from_mat(t), o);
+}
+
 Transform Transform::compose(const Transform& inner) const {
   const Mat& mo = mat(orient_);
   const Mat& mi = mat(inner.orient_);

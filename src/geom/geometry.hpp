@@ -119,6 +119,11 @@ class Transform {
   Rect apply(const Rect& r) const;
   /// Composition: (*this) after `inner` — apply(inner.apply(p)).
   Transform compose(const Transform& inner) const;
+  /// The inverse rigid transform: inverse().apply(apply(p)) == p. Exact
+  /// in integers (orientations are signed permutation matrices). Lets
+  /// LayoutDB::apply re-place an already-flattened subtree without
+  /// consulting the source cell.
+  Transform inverse() const;
 
   friend bool operator==(const Transform&, const Transform&) = default;
 

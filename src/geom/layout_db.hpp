@@ -13,13 +13,32 @@
 //     cells --(flatten once)--> LayoutDB --> { DRC, extract, LVS,
 //                                              writers, pnr checks }
 //
+// Since the incremental/serialization refactor the database is no
+// longer a per-run throwaway:
+//
+//   * apply(CellEdit) edits the flattened database in place — replace,
+//     move, add or remove one instance subtree — re-flattening only the
+//     edited subtree and splicing it into the per-layer shape vectors.
+//     The result is bit-identical (rects, shape ids, provenance) to a
+//     fresh flatten of the edited hierarchy; the returned EditResult
+//     carries the dirty region and the shape-id splice map that drive
+//     the incremental DRC / extraction re-verification.
+//   * save_snapshot()/load_snapshot() persist the flattened database as
+//     a compact, versioned, CRC-protected binary file (format in
+//     layout_snapshot.cpp), so a warm run loads the flatten instead of
+//     recomputing it. geom::SnapshotCache (layout_snapshot.hpp) keys
+//     snapshot files by content-hash fingerprints for the compiler, the
+//     DSE engine and bisram_lint.
+//
 // Contracts:
 //   * Shape order. Per layer, shapes are stored in the exact order the
 //     depth-first Cell::flatten() visit produces them — the same order
 //     flatten_by_layer() historically returned. Extraction's net
 //     numbering and the SVG writer's paint order are functions of that
 //     order, so their outputs are bit-identical to the pre-LayoutDB
-//     code by construction.
+//     code by construction. apply() preserves this: after an edit the
+//     shape order equals what a fresh flatten of the edited hierarchy
+//     would produce.
 //   * Tiling. Each layer with shapes gets a uniform tile grid over the
 //     layer's bounding box. The tile edge is the caller's choice — DRC
 //     sizes it from the technology's maximum interaction distance (the
@@ -37,16 +56,26 @@
 //     instance, not per shape — and materialized only on demand, so a
 //     DRC/ERC violation or an extracted device can name the instance
 //     that produced it without the database paying a per-shape string.
+//   * Bounded flatten. The flatten recursion refuses self-referential
+//     or pathologically deep hierarchies (kMaxFlattenDepth) and runaway
+//     instance counts (kMaxFlattenInstances) with stable DiagError
+//     codes instead of a stack overflow (same bounded-recursion policy
+//     as the JSON parser's depth cap).
 
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "geom/cell.hpp"
 #include "geom/geometry.hpp"
 #include "geom/layer.hpp"
+
+namespace bisram {
+class DiagEngine;
+}
 
 namespace bisram::geom {
 
@@ -107,6 +136,67 @@ struct DbShape {
   std::uint32_t path = 0;  ///< LayoutDB path-node id (0 = the top cell)
 };
 
+/// One edit to a flattened hierarchy, addressed by instance path.
+struct CellEdit {
+  enum class Kind {
+    Replace,  ///< swap the instance's cell (placement unchanged)
+    Move,     ///< re-place the instance (cell unchanged)
+    Add,      ///< append a new instance as the last child of `path`
+    Remove,   ///< delete the instance and its whole subtree
+  };
+  Kind kind = Kind::Replace;
+  /// Instance path of the edited instance ("ARRAY/row3/c17"); for Add,
+  /// the path of the *parent* instance ("" = the top cell itself).
+  std::string path;
+  std::string name;     ///< Add only: the new instance's name
+  CellPtr cell;         ///< Replace/Add: the subtree's cell
+  Transform transform;  ///< Move/Add: the local placement in the parent
+};
+
+/// Per-layer shape-id splice of one apply(): old ids [begin, old_end)
+/// were invalidated (removed or rewritten) and replaced by new ids
+/// [begin, new_end); ids >= old_end shifted by new_end - old_end.
+struct ShapeSplice {
+  static constexpr std::uint32_t kRemoved = 0xffffffffu;
+
+  std::uint32_t begin = 0;
+  std::uint32_t old_end = 0;
+  std::uint32_t new_end = 0;
+
+  bool empty() const { return begin == old_end && begin == new_end; }
+  std::int64_t delta() const {
+    return static_cast<std::int64_t>(new_end) -
+           static_cast<std::int64_t>(old_end);
+  }
+  /// Maps a pre-edit shape id to its post-edit id; kRemoved for ids the
+  /// edit invalidated (consumers treat those as deleted + re-added).
+  std::uint32_t remap(std::uint32_t id) const {
+    if (id < begin) return id;
+    if (id < old_end) return kRemoved;
+    return static_cast<std::uint32_t>(static_cast<std::int64_t>(id) + delta());
+  }
+};
+
+/// What one apply() changed: the per-layer splice maps plus the dirty
+/// region (bounding boxes of the removed and inserted shapes). The
+/// incremental DRC / extraction passes re-verify only shapes near this
+/// region; everything else is provably untouched.
+struct EditResult {
+  std::array<ShapeSplice, kLayerCount> splice;
+  std::array<Rect, kLayerCount> old_bbox;  ///< empty when nothing removed
+  std::array<Rect, kLayerCount> new_bbox;  ///< empty when nothing inserted
+
+  const ShapeSplice& splice_of(Layer l) const {
+    return splice[static_cast<std::size_t>(l)];
+  }
+  /// True when the edit touched `layer` at all.
+  bool touches(Layer l) const { return !splice_of(l).empty(); }
+  /// The layer's dirty rects (0, 1 or 2 of old/new bbox).
+  std::vector<Rect> dirty_rects(Layer l) const;
+  /// Union bounding box of the dirty region over every layer.
+  Rect dirty_bbox() const;
+};
+
 class LayoutDB {
  public:
   /// Flattens `top` once and indexes every layer with tile edge
@@ -116,9 +206,24 @@ class LayoutDB {
   /// geometry-only queries.
   explicit LayoutDB(const Cell& top, Coord tile_size = kDefaultTile);
 
+  // The per-layer TileIndex holds a pointer into this object's rect
+  // vectors, so a copied or moved database would index its donor's
+  // memory. The database is shared by reference (or unique_ptr, as
+  // load_snapshot returns).
+  LayoutDB(const LayoutDB&) = delete;
+  LayoutDB& operator=(const LayoutDB&) = delete;
+
   /// 16 lambda: comfortably above every rule in the scalable decks, so
   /// geometry-only users need not consult a Tech.
   static constexpr Coord kDefaultTile = 160;
+
+  /// Flatten guards shared with Cell::flatten (see cell.hpp): deeper or
+  /// larger hierarchies abort with "layout-flatten-too-deep" /
+  /// "layout-flatten-too-many-instances" DiagErrors instead of
+  /// overflowing the stack.
+  static constexpr int kMaxFlattenDepth = geom::kMaxFlattenDepth;
+  static constexpr std::size_t kMaxFlattenInstances =
+      geom::kMaxFlattenInstances;
 
   const std::string& top_name() const { return top_name_; }
   Coord tile_size() const { return tile_; }
@@ -184,9 +289,54 @@ class LayoutDB {
   }
   /// Number of path nodes (top + every flattened instance).
   std::size_t path_count() const { return path_parent_.size(); }
+  /// The path node of the instance at `path` ("A/b/c" syntax; "" = the
+  /// top node, 0). Throws bisram::Error when no such instance exists.
+  std::uint32_t node_of(const std::string& path) const;
+
+  // --- incremental maintenance ----------------------------------------------
+  /// Applies one edit in place: re-flattens only the edited subtree and
+  /// splices it into the per-layer shape vectors, renumbering path
+  /// nodes and shape ids exactly as a fresh flatten of the edited
+  /// hierarchy would. Only indexes of layers inside the dirty region
+  /// are rebuilt. Throws bisram::Error for an unknown path, an edit
+  /// addressing the top cell itself, or an Add whose name/cell is
+  /// missing. The returned EditResult drives drc::IncrementalDrc and
+  /// extract::IncrementalExtract.
+  EditResult apply(const CellEdit& edit);
+
+  /// Content fingerprint over everything the database stores (shapes,
+  /// provenance tree, ports, tile size). Equal databases hash equal;
+  /// SnapshotCache and the save/load round-trip tests key on this.
+  std::uint64_t content_hash() const;
+
+  // --- snapshots (format + cache in layout_snapshot.{hpp,cpp}) --------------
+  /// Writes the versioned, CRC-protected binary snapshot atomically
+  /// (tmp + fsync + rename, the util/checkpoint discipline). Throws
+  /// bisram::Error on I/O failure.
+  void save_snapshot(const std::string& path) const;
+
+  /// Loads a snapshot without re-flattening any hierarchy. Follows the
+  /// repo's parser convention (util/diag.hpp): with a DiagEngine it
+  /// never throws — corrupt, truncated or version-skewed files yield
+  /// stable "snapshot-*" diagnostics and a null result; without one it
+  /// throws bisram::DiagError carrying the same diagnostics.
+  static std::unique_ptr<LayoutDB> load_snapshot(const std::string& path,
+                                                 DiagEngine* diag = nullptr);
 
  private:
-  void flatten_cell(const Cell& cell, const Transform& t, std::uint32_t path);
+  LayoutDB() = default;  // snapshot loader fills the fields directly
+  friend class SnapshotCodec;
+
+  void flatten_cell(const Cell& cell, const Transform& t, std::uint32_t path,
+                    int depth);
+  /// Rebuilds rects_[l] + index_[l] from shapes_[l] and refreshes bbox_.
+  void reindex_layer(std::size_t l);
+  void rebuild_bbox();
+  /// Recomputes path_sub_end_ from path_parent_ (preorder invariant).
+  void rebuild_sub_ends();
+  /// Absolute transform of a path node (composition of local transforms
+  /// from the top down).
+  Transform abs_transform(std::uint32_t node) const;
 
   std::string top_name_;
   std::vector<Port> ports_;
@@ -195,11 +345,23 @@ class LayoutDB {
   std::array<std::vector<DbShape>, kLayerCount> shapes_;
   std::array<std::vector<Rect>, kLayerCount> rects_;
   std::array<TileIndex, kLayerCount> index_;
-  // Parent-pointer path tree; node 0 is the top cell. Names are stored
-  // by value (instance names are short; the tree has one node per
-  // flattened instance, not per shape).
+  // Parent-pointer path tree; node 0 is the top cell. Names and local
+  // placements are stored by value (one node per flattened instance,
+  // not per shape); path_sub_end_[n] is one past the last node of n's
+  // subtree in the preorder numbering, so a subtree is always the id
+  // interval [n, path_sub_end_[n]).
   std::vector<std::uint32_t> path_parent_;
   std::vector<std::string> path_name_;
+  std::vector<Transform> path_local_;
+  std::vector<std::uint32_t> path_sub_end_;
 };
+
+/// Rebuilds a cell hierarchy with `edit` applied: clones the ancestor
+/// chain from `top` down to the edited instance and swaps in the edit.
+/// This is the full-rebuild oracle the incremental tests and the
+/// layoutdb bench flatten from scratch to prove LayoutDB::apply
+/// bit-identical; it is also the convenient way to keep a Cell tree in
+/// sync with an edited database.
+std::shared_ptr<Cell> edited_cell(const Cell& top, const CellEdit& edit);
 
 }  // namespace bisram::geom

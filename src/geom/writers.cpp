@@ -80,9 +80,8 @@ void write_cif(std::ostream& os, const Cell& top, double lambda_nm) {
 
 namespace {
 
-// Shared SVG body for both write_svg overloads: `rects_of(layer)` must
-// return the flattened rects of a layer in flatten order (paint order is
-// part of the output contract).
+// SVG body: `rects_of(layer)` must return the flattened rects of a
+// layer in flatten order (paint order is part of the output contract).
 template <typename RectsOf>
 void svg_from_rects(std::ostream& os, const Rect& box, int max_px,
                     RectsOf&& rects_of) {
@@ -117,13 +116,16 @@ void svg_from_rects(std::ostream& os, const Rect& box, int max_px,
 }  // namespace
 
 void write_svg(std::ostream& os, const Cell& top, int max_px) {
-  const auto by_layer = top.flatten_by_layer();
-  svg_from_rects(os, top.bbox(), max_px, [&](Layer layer) -> const auto& {
-    return by_layer[static_cast<std::size_t>(layer)];
-  });
+  // One flatten implementation for both overloads: build the shared
+  // LayoutDB and render from it.
+  const LayoutDB db(top);
+  write_svg(os, db, max_px);
 }
 
 void write_svg(std::ostream& os, const LayoutDB& db, int max_px) {
+  ensure(db.shape_count() <= kSvgFullRenderMaxShapes,
+         "write_svg: flatten exceeds kSvgFullRenderMaxShapes; use "
+         "write_svg_outline for layouts this large");
   svg_from_rects(os, db.bbox(), max_px,
                  [&](Layer layer) -> const auto& { return db.rects(layer); });
 }

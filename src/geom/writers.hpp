@@ -1,7 +1,18 @@
 #pragma once
 // Layout export: CIF 2.0 (the interchange format of the paper's era) and
 // SVG (for the Fig. 6 / Fig. 7 style layout plots).
+//
+// Flatten policy: CIF never flattens — it streams the cell hierarchy
+// itself (definitions before uses), so its cost is the hierarchy size,
+// not the expanded geometry. The full-fidelity SVG render consumes a
+// geom::LayoutDB — the same flatten signoff shares with DRC and
+// extraction; the Cell convenience overload builds one LayoutDB and
+// delegates, so there is exactly one flatten implementation and the two
+// overloads are byte-identical by construction (asserted by
+// tests/test_layout_db.cpp). Layouts past kSvgFullRenderMaxShapes are
+// refused — use the outline view.
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
@@ -10,24 +21,33 @@
 
 namespace bisram::geom {
 
-/// Writes the cell hierarchy rooted at `top` as CIF 2.0.
+/// The largest flatten the full-fidelity SVG render accepts. The 64 KB
+/// Fig. 6 macro alone flattens to ~27.8M rectangles — an unusable
+/// multi-gigabyte document — so write_svg refuses past this bound and
+/// the Fig. 6/7 style layout plots use write_svg_outline instead.
+inline constexpr std::size_t kSvgFullRenderMaxShapes = 10'000'000;
+
+/// Writes the cell hierarchy rooted at `top` as CIF 2.0. Hierarchical:
+/// streams cell definitions and placements, never flattens.
 /// `lambda_nm` scales DBU (lambda/10) to CIF centimicrons.
 void write_cif(std::ostream& os, const Cell& top, double lambda_nm);
 
-/// Renders the flattened layout as an SVG document.
+/// Renders the flattened layout as an SVG document. Convenience
+/// overload: builds a LayoutDB from `top` and delegates to the LayoutDB
+/// overload (one flatten implementation, byte-identical output).
 /// `max_px` bounds the longer image side in pixels.
 void write_svg(std::ostream& os, const Cell& top, int max_px = 1600);
 
 /// Same rendering from a prebuilt LayoutDB (the signoff path: one
 /// flattening shared with DRC/extract). Shape order per layer equals
-/// flatten order, so the document is byte-identical to the Cell
-/// overload's.
+/// flatten order (paint order is part of the output contract). Throws
+/// bisram::Error when the database exceeds kSvgFullRenderMaxShapes.
 void write_svg(std::ostream& os, const LayoutDB& db, int max_px = 1600);
 
 /// Renders a floorplan view: instance outlines (with names) down to
-/// `depth` levels plus the top cell's own shapes. Multi-megabit arrays
-/// flatten to tens of millions of rectangles, so the Fig. 6/7 style
-/// layout plots use this view instead of full flattening.
+/// `depth` levels plus the top cell's own shapes. For layouts whose
+/// flatten exceeds kSvgFullRenderMaxShapes (the Fig. 6 macro's ~27.8M
+/// rectangles, say) this is the only practical SVG view.
 void write_svg_outline(std::ostream& os, const Cell& top, int depth = 2,
                        int max_px = 1600);
 

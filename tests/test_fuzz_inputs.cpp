@@ -1,5 +1,6 @@
-// Corpus-driven fuzz harness for the three user-facing front-ends (CIF
-// reader, PLA plane reader, tech deck). Two layers:
+// Corpus-driven fuzz harness for the four user-facing front-ends (CIF
+// reader, PLA plane reader, tech deck, LayoutDB snapshot loader). Two
+// layers:
 //
 //   1. The committed garbage corpus in tests/fuzz_inputs/ — regression
 //     inputs that once crashed, hung or leaked earlier readers (stoi
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "geom/cif_reader.hpp"
+#include "geom/layout_db.hpp"
 #include "microcode/pla.hpp"
 #include "tech/tech_file.hpp"
 #include "util/diag.hpp"
@@ -112,6 +114,21 @@ void drive_tech(const std::string& text, const std::string& label) {
       [&] { tech::read_tech_string(text); });
 }
 
+// The snapshot loader reads files, not strings: stage the bytes in a
+// per-process scratch file and drive that path through both modes.
+void drive_snapshot_bytes(const std::string& bytes, const std::string& label) {
+  const std::string path = ::testing::TempDir() + "bisram_fuzz_snap.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(f.good()) << path;
+  }
+  drive(
+      label,
+      [&](DiagEngine& eng) { geom::LayoutDB::load_snapshot(path, &eng); },
+      [&] { geom::LayoutDB::load_snapshot(path); });
+}
+
 TEST(FuzzCorpus, CifFilesNeverCrash) {
   for (const fs::path& p : corpus_files("cif_"))
     drive_cif(slurp(p), p.filename().string());
@@ -132,6 +149,25 @@ TEST(FuzzCorpus, PlaFilePairsNeverCrash) {
 TEST(FuzzCorpus, TechFilesNeverCrash) {
   for (const fs::path& p : corpus_files("tech_"))
     drive_tech(slurp(p), p.filename().string());
+}
+
+TEST(FuzzCorpus, SnapshotFilesNeverCrash) {
+  // snap_valid.bin is the corpus seed (it must load); every other
+  // snap_* member is a framing/CRC/count/hash corruption the loader
+  // must reject with one stable "snapshot-*" code, never a crash.
+  for (const fs::path& p : corpus_files("snap_")) {
+    const std::string name = p.filename().string();
+    drive_snapshot_bytes(slurp(p), name);
+    if (name == "snap_valid.bin") {
+      EXPECT_NE(geom::LayoutDB::load_snapshot(p.string()), nullptr) << name;
+    } else {
+      DiagEngine eng(name);
+      EXPECT_EQ(geom::LayoutDB::load_snapshot(p.string(), &eng), nullptr)
+          << name;
+      ASSERT_FALSE(eng.diagnostics().empty()) << name;
+      EXPECT_EQ(eng.diagnostics()[0].code.rfind("snapshot-", 0), 0u) << name;
+    }
+  }
 }
 
 // --- deterministic mutation fuzzing ----------------------------------
@@ -192,6 +228,20 @@ TEST(FuzzMutation, PlaReaderSurvivesSeededMangling) {
       a = seed_and;
       o = seed_or;
     }
+  }
+}
+
+TEST(FuzzMutation, SnapshotLoaderSurvivesSeededMangling) {
+  const std::string seed_input =
+      slurp(corpus_dir() / "snap_valid.bin");
+  ASSERT_FALSE(seed_input.empty());
+  Rng rng(0x5A9);
+  std::string input = seed_input;
+  for (int i = 0; i < kRounds; ++i) {
+    input = mutate(input, rng);
+    drive_snapshot_bytes(input, "snapshot mutation round " + std::to_string(i));
+    if (input.size() > (std::size_t{1} << 16) || rng.chance(0.1))
+      input = seed_input;
   }
 }
 

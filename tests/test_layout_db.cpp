@@ -11,6 +11,7 @@
 #include "cells/leaf_cells.hpp"
 #include "geom/layout_db.hpp"
 #include "tech/tech.hpp"
+#include "util/diag.hpp"
 
 namespace bisram::geom {
 namespace {
@@ -93,6 +94,134 @@ TEST(TileIndex, EmptySet) {
   const TileIndex idx(rects, 16);
   EXPECT_TRUE(idx.empty());
   EXPECT_TRUE(idx.ids_in(Rect::ltrb(0, 0, 100, 100)).empty());
+}
+
+TEST(TileIndex, RectsExactlyOnTileBoundaries) {
+  // Edges and corners landing exactly on tile-grid lines: each rect must
+  // still be registered in every tile it touches (edge-touching counts),
+  // and a boundary-line window must see all of them exactly once.
+  const std::vector<Rect> rects = {
+      Rect::ltrb(0, 0, 10, 10),     // exactly tile (0,0)
+      Rect::ltrb(10, 0, 20, 10),    // shares the x=10 grid line
+      Rect::ltrb(0, 10, 20, 20),    // shares the y=10 grid line, 2 tiles wide
+      Rect::ltrb(10, 10, 10, 10),   // degenerate point on a grid corner
+  };
+  const TileIndex idx(rects, 10);
+  // The x=10 line window touches every rect (edge contact included).
+  EXPECT_EQ(idx.ids_in(Rect::ltrb(10, 0, 10, 20)),
+            (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  // The grid-corner point window likewise.
+  EXPECT_EQ(idx.ids_in(Rect::ltrb(10, 10, 10, 10)),
+            (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  // Home tiles remain a partition even with boundary rects.
+  std::vector<int> seen(rects.size(), 0);
+  for (int ty = 0; ty < idx.tile_rows(); ++ty)
+    for (int tx = 0; tx < idx.tile_cols(); ++tx)
+      for (std::uint32_t id : idx.homed_in(tx, ty)) ++seen[id];
+  EXPECT_EQ(std::count(seen.begin(), seen.end(), 1), 4);
+}
+
+TEST(TileIndex, WindowsStraddlingAndOutsideTheIndexBbox) {
+  const auto rects = lcg_rects(50, 23);
+  const TileIndex idx(rects, 32);
+  const Rect b = idx.bounds();
+  // Windows half inside / fully outside / surrounding the indexed bbox.
+  const std::vector<Rect> windows = {
+      Rect::ltrb(b.lo.x - 500, b.lo.y - 500, b.lo.x + 10, b.lo.y + 10),
+      Rect::ltrb(b.hi.x - 10, b.hi.y - 10, b.hi.x + 500, b.hi.y + 500),
+      Rect::ltrb(b.hi.x + 100, b.hi.y + 100, b.hi.x + 200, b.hi.y + 200),
+      Rect::ltrb(b.lo.x - 100, b.lo.y - 100, b.hi.x + 100, b.hi.y + 100),
+  };
+  for (const Rect& w : windows) {
+    std::vector<std::uint32_t> expect;
+    for (std::uint32_t i = 0; i < rects.size(); ++i)
+      if (rects[i].intersects(w)) expect.push_back(i);
+    EXPECT_EQ(idx.ids_in(w), expect);
+  }
+  EXPECT_TRUE(idx.ids_in(windows[2]).empty());
+}
+
+TEST(TileIndex, PropertyQueryEqualsBruteForceWithDegenerates) {
+  // Property sweep: a mixed set with zero-width, zero-height and point
+  // rects must answer every window exactly like a brute-force scan, at
+  // every tile size.
+  std::vector<Rect> rects = lcg_rects(150, 77);
+  std::uint64_t s = 99;
+  const auto next = [&s] {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<Coord>(s >> 40);
+  };
+  for (int i = 0; i < 50; ++i) {
+    const Coord x = next() % 1000, y = next() % 1000;
+    switch (i % 3) {
+      case 0: rects.push_back(Rect::ltrb(x, y, x, y + 20)); break;  // no width
+      case 1: rects.push_back(Rect::ltrb(x, y, x + 20, y)); break;  // no height
+      default: rects.push_back(Rect::ltrb(x, y, x, y)); break;      // point
+    }
+  }
+  for (Coord tile : {9, 100, 4000}) {
+    const TileIndex idx(rects, tile);
+    for (int round = 0; round < 40; ++round) {
+      const Coord x = next() % 1200 - 100, y = next() % 1200 - 100;
+      const Rect w = Rect::ltrb(x, y, x + next() % 300, y + next() % 300);
+      std::vector<std::uint32_t> expect;
+      for (std::uint32_t i = 0; i < rects.size(); ++i)
+        if (rects[i].intersects(w)) expect.push_back(i);
+      ASSERT_EQ(idx.ids_in(w), expect) << "tile " << tile << " round " << round;
+    }
+  }
+}
+
+TEST(LayoutDB, EmptyLayerQueriesAreEmpty) {
+  Library lib;
+  auto c = lib.create("one_layer");
+  c->add_shape(Layer::Metal1, Rect::ltrb(0, 0, 10, 10));
+  const LayoutDB db(*c);
+  EXPECT_TRUE(db.shapes(Layer::Metal3).empty());
+  EXPECT_TRUE(db.index(Layer::Metal3).empty());
+  EXPECT_TRUE(db.index(Layer::Metal3).ids_in(Rect::ltrb(0, 0, 100, 100))
+                  .empty());
+  EXPECT_TRUE(db.layer_bbox(Layer::Metal3).empty());
+  int calls = 0;
+  db.for_each_in(Layer::Metal3, Rect::ltrb(-1000, -1000, 1000, 1000),
+                 [&](std::uint32_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(LayoutDB, FlattenRefusesPathologicallyDeepHierarchies) {
+  // A linear chain one deeper than the guard. The bounded-recursion
+  // contract: a stable DiagError instead of a stack overflow.
+  Library lib;
+  auto cur = lib.create("chain0");
+  cur->add_shape(Layer::Metal1, Rect::ltrb(0, 0, 2, 2));
+  for (int i = 1; i <= kMaxFlattenDepth + 1; ++i) {
+    auto next = lib.create("chain" + std::to_string(i));
+    next->add_instance("c", cur, Transform::translate(1, 1));
+    cur = next;
+  }
+  try {
+    const LayoutDB db(*cur);
+    FAIL() << "expected DiagError";
+  } catch (const DiagError& e) {
+    ASSERT_FALSE(e.diagnostics().empty());
+    EXPECT_EQ(e.diagnostics()[0].code, "layout-flatten-too-deep");
+  }
+}
+
+TEST(LayoutDB, FlattenRefusesSelfReferentialHierarchies) {
+  // A cell instantiating itself recurses forever without the guard; the
+  // depth cap turns it into the same stable refusal.
+  Library lib;
+  auto c = lib.create("ouroboros");
+  c->add_shape(Layer::Metal1, Rect::ltrb(0, 0, 2, 2));
+  c->add_instance("self", c, Transform::translate(4, 4));
+  try {
+    const LayoutDB db(*c);
+    FAIL() << "expected DiagError";
+  } catch (const DiagError& e) {
+    ASSERT_FALSE(e.diagnostics().empty());
+    EXPECT_EQ(e.diagnostics()[0].code, "layout-flatten-too-deep");
+  }
 }
 
 /// A two-level hierarchy with shapes at every level, for the flatten
